@@ -1,0 +1,37 @@
+# SOR reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test test-short race vet bench experiments fieldtest sim clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure.
+experiments: fieldtest sim
+
+fieldtest:
+	$(GO) run ./cmd/fieldtest -category both
+
+sim:
+	$(GO) run ./cmd/sorsim -sweep both -runs 10
+
+clean:
+	$(GO) clean ./...

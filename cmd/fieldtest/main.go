@@ -1,0 +1,167 @@
+// Command fieldtest reproduces the paper's §V-A and §V-B field tests end
+// to end — a real sensing server over HTTP, a fleet of simulated phones
+// per place, Lua sensing scripts, binary uploads — and prints the Fig. 6 /
+// Fig. 10 feature data and the Table I / Table II personalized rankings,
+// comparing against the paper.
+//
+// Usage:
+//
+//	fieldtest -category trails
+//	fieldtest -category coffee -phones 12 -budget 20
+//	fieldtest -category both -svg out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sor/internal/fieldtest"
+	"sor/internal/viz"
+	"sor/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("fieldtest: %v", err)
+	}
+}
+
+func run() error {
+	category := flag.String("category", "both", "trails | coffee | both")
+	phones := flag.Int("phones", 0, "phones per place (default: 7 trails, 12 coffee — the paper's counts)")
+	budget := flag.Int("budget", 20, "per-user sensing budget")
+	seed := flag.Int64("seed", 2013, "random seed")
+	svgDir := flag.String("svg", "", "optional directory for SVG feature charts")
+	faulty := flag.Int("faulty", 0, "miscalibrated phones per place (fault injection)")
+	robust := flag.Bool("robust", false, "enable MAD outlier rejection in the Data Processor")
+	flag.Parse()
+
+	var cats []string
+	switch *category {
+	case "trails":
+		cats = []string{world.CategoryTrail}
+	case "coffee":
+		cats = []string{world.CategoryCoffee}
+	case "both":
+		cats = []string{world.CategoryTrail, world.CategoryCoffee}
+	default:
+		return fmt.Errorf("unknown category %q", *category)
+	}
+
+	for _, cat := range cats {
+		n := *phones
+		if n == 0 {
+			if cat == world.CategoryTrail {
+				n = 7
+			} else {
+				n = 12
+			}
+		}
+		res, err := fieldtest.Run(fieldtest.Config{
+			Category:             cat,
+			PhonesPerPlace:       n,
+			Budget:               *budget,
+			Seed:                 *seed,
+			BluetoothFailureRate: 0.05,
+			FaultyPhones:         *faulty,
+			RobustExtraction:     *robust,
+		})
+		if err != nil {
+			return err
+		}
+		report(cat, res)
+		if *svgDir != "" {
+			if err := writeCharts(*svgDir, cat, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func report(cat string, res *fieldtest.Result) {
+	fig, table := "Fig. 10", "Table II"
+	if cat == world.CategoryTrail {
+		fig, table = "Fig. 6", "Table I"
+	}
+	fmt.Printf("=== %s: %d phones, %d uploads, %d scheduled measurements ===\n\n",
+		cat, res.Phones, res.Uploads, res.Measurements)
+
+	// Feature data (the paper's figure).
+	fmt.Printf("%s — feature data collected through the full pipeline:\n", fig)
+	places := sortedKeys(res.Features)
+	features := sortedKeys(res.Features[places[0]])
+	fmt.Printf("%-18s", "place")
+	for _, f := range features {
+		fmt.Printf("  %14s", f)
+	}
+	fmt.Println()
+	for _, p := range places {
+		fmt.Printf("%-18s", p)
+		for _, f := range features {
+			fmt.Printf("  %14.3f", res.Features[p][f])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Rankings (the paper's table).
+	fmt.Printf("%s — personalized rankings:\n", table)
+	expected := fieldtest.ExpectedRankings(cat)
+	profs := sortedKeys(res.Rankings)
+	allMatch := true
+	for _, prof := range profs {
+		got := res.Rankings[prof]
+		want := expected[prof]
+		match := "MATCHES PAPER"
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			match = "DIFFERS (paper: " + strings.Join(want, " > ") + ")"
+			allMatch = false
+		}
+		fmt.Printf("  %-6s %-70s %s\n", prof, strings.Join(got, " > "), match)
+	}
+	if allMatch {
+		fmt.Printf("all %d rankings match the paper's %s\n", len(profs), table)
+	}
+	fmt.Println()
+}
+
+func writeCharts(dir, cat string, res *fieldtest.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	places := sortedKeys(res.Features)
+	features := sortedKeys(res.Features[places[0]])
+	for _, f := range features {
+		chart := viz.BarChart{Title: f, Categories: places}
+		for _, p := range places {
+			chart.Values = append(chart.Values, res.Features[p][f])
+		}
+		svg, err := chart.SVG(480, 320)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s-%s.svg", cat, strings.ReplaceAll(f, " ", "-"))
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

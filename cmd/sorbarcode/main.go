@@ -1,0 +1,88 @@
+// Command sorbarcode encodes and decodes SOR's 2D matrix barcodes — the
+// trigger a mobile user scans at a target place to start participating.
+//
+// Usage:
+//
+//	sorbarcode encode -app coffee-shop-3 -place "Starbucks" -server http://localhost:8080
+//	sorbarcode encode ... -out code.txt      # save the module grid
+//	sorbarcode decode -in code.txt           # read it back
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sor/internal/barcode"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sorbarcode: %v", err)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("usage: sorbarcode encode|decode [flags]")
+	}
+	switch os.Args[1] {
+	case "encode":
+		return encode(os.Args[2:])
+	case "decode":
+		return decode(os.Args[2:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func encode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ContinueOnError)
+	app := fs.String("app", "", "application id (required)")
+	place := fs.String("place", "", "target place display name")
+	server := fs.String("server", "", "sensing server base URL (required)")
+	out := fs.String("out", "", "write the module grid to this file (default: ASCII art to stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := barcode.Encode(barcode.Payload{AppID: *app, Place: *place, Server: *server})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(m.ASCII())
+		return nil
+	}
+	grid, err := m.MarshalText()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, grid, 0o644)
+}
+
+func decode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ContinueOnError)
+	in := fs.String("in", "", "module grid file produced by encode -out (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("decode needs -in")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var m barcode.Matrix
+	if err := m.UnmarshalText(data); err != nil {
+		return err
+	}
+	p, err := barcode.Decode(&m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app:    %s\nplace:  %s\nserver: %s\n", p.AppID, p.Place, p.Server)
+	return nil
+}

@@ -1,0 +1,149 @@
+// Command sorctl is the SOR client CLI: it talks the binary wire protocol
+// to a running sensing server (see cmd/sord).
+//
+// Usage:
+//
+//	sorctl -server http://localhost:8080 rank -category coffee-shop -profile emma
+//	sorctl -server http://localhost:8080 rank -category hiking-trail -profile alice
+//	sorctl -server http://localhost:8080 ping -token token-0-1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"sor/internal/fieldtest"
+	"sor/internal/transport"
+	"sor/internal/wire"
+	"sor/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sorctl: %v", err)
+	}
+}
+
+func run() error {
+	serverURL := flag.String("server", "http://localhost:8080", "sensing server base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sorctl [-server URL] rank|ping [flags]")
+	}
+	client, err := transport.NewClient(*serverURL)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	switch args[0] {
+	case "rank":
+		return rank(ctx, client, args[1:])
+	case "ping":
+		return ping(ctx, client, args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func rank(ctx context.Context, client *transport.Client, args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ContinueOnError)
+	category := fs.String("category", world.CategoryCoffee, "place category")
+	profileName := fs.String("profile", "", "built-in profile name (alice|bob|chris|david|emma) or empty for defaults")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req := &wire.RankRequest{Category: *category, UserID: *profileName}
+	if *profileName != "" {
+		found := false
+		for _, p := range fieldtest.Profiles(*category) {
+			if strings.EqualFold(p.Name, *profileName) {
+				for feat, pref := range p.Prefs {
+					req.Prefs = append(req.Prefs, wire.PrefEntry{
+						Feature: feat, Kind: int(pref.Kind),
+						Value: pref.Value, Weight: pref.Weight,
+					})
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("no built-in profile %q for category %s", *profileName, *category)
+		}
+		sort.Slice(req.Prefs, func(i, j int) bool { return req.Prefs[i].Feature < req.Prefs[j].Feature })
+	}
+	resp, err := client.Send(ctx, req)
+	if err != nil {
+		return err
+	}
+	switch r := resp.(type) {
+	case *wire.RankResponse:
+		fmt.Printf("ranking for %s (%s):\n", orAnon(*profileName), r.Category)
+		for i, p := range r.Ranked {
+			fmt.Printf("  No. %d  %-20s", i+1, p.Place)
+			for j, f := range r.Features {
+				if j < len(p.FeatureValues) {
+					fmt.Printf("  %s=%.3g", f, p.FeatureValues[j])
+				}
+			}
+			fmt.Println()
+		}
+		return nil
+	case *wire.Ack:
+		return fmt.Errorf("server refused: %s", r.Message)
+	default:
+		return fmt.Errorf("unexpected response %s", resp.Type())
+	}
+}
+
+func ping(ctx context.Context, client *transport.Client, args []string) error {
+	fs := flag.NewFlagSet("ping", flag.ContinueOnError)
+	token := fs.String("token", "", "device token (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *token == "" {
+		return fmt.Errorf("ping needs -token")
+	}
+	resp, err := client.Send(ctx, &wire.Ping{Token: *token})
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(*wire.Ack)
+	if !ok {
+		return fmt.Errorf("unexpected response %s", resp.Type())
+	}
+	if !ack.OK {
+		return fmt.Errorf("server refused: %s", ack.Message)
+	}
+	fmt.Printf("ok: %s\n", ack.Message)
+	if len(ack.Payload) > 0 {
+		inner, err := wire.Decode(ack.Payload)
+		if err != nil {
+			return err
+		}
+		if sched, ok := inner.(*wire.Schedule); ok {
+			fmt.Printf("schedule %s for %s: %d measurements\n",
+				sched.TaskID, sched.UserID, len(sched.AtUnix))
+			for _, at := range sched.AtUnix {
+				fmt.Printf("  %s\n", time.Unix(at, 0).UTC().Format(time.RFC3339))
+			}
+		}
+	}
+	return nil
+}
+
+func orAnon(name string) string {
+	if name == "" {
+		return "(default preferences)"
+	}
+	return name
+}

@@ -1,0 +1,156 @@
+// Command sord runs a SOR sensing server: it registers the six canonical
+// Syracuse target places as applications, prints their 2D barcodes'
+// payloads, and serves the binary-over-HTTP protocol on -addr.
+//
+// Usage:
+//
+//	sord -addr :8080 [-snapshot sor.json] [-barcodes]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"sor/internal/barcode"
+	"sor/internal/fieldtest"
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/transport"
+	"sor/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sord: %v", err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	snapshot := flag.String("snapshot", "", "optional JSON snapshot file to load and periodically save")
+	showBarcodes := flag.Bool("barcodes", false, "print each place's 2D barcode as ASCII art")
+	public := flag.String("public-url", "", "base URL phones should use (default http://<addr>)")
+	flag.Parse()
+
+	db := store.New()
+	if *snapshot != "" {
+		loaded, err := store.Load(*snapshot)
+		if err != nil {
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
+		db = loaded
+		log.Printf("state loaded from %s", *snapshot)
+	}
+
+	srv, err := server.New(server.Config{
+		DB:      db,
+		Catalog: server.DefaultCatalog(),
+		Push:    transport.NewPush(),
+	})
+	if err != nil {
+		return err
+	}
+
+	w, err := world.Canonical()
+	if err != nil {
+		return err
+	}
+	baseURL := *public
+	if baseURL == "" {
+		baseURL = "http://localhost" + *addr
+	}
+	type appDef struct {
+		id, place, category, script string
+	}
+	apps := []appDef{
+		{"hiking-trail-1", world.GreenLakeTrail, world.CategoryTrail, fieldtest.TrailScript},
+		{"hiking-trail-2", world.LongTrail, world.CategoryTrail, fieldtest.TrailScript},
+		{"hiking-trail-3", world.CliffTrail, world.CategoryTrail, fieldtest.TrailScript},
+		{"coffee-shop-1", world.TimHortons, world.CategoryCoffee, fieldtest.CoffeeScript},
+		{"coffee-shop-2", world.BNCafe, world.CategoryCoffee, fieldtest.CoffeeScript},
+		{"coffee-shop-3", world.Starbucks, world.CategoryCoffee, fieldtest.CoffeeScript},
+	}
+	for _, a := range apps {
+		place, err := w.Place(a.place)
+		if err != nil {
+			return err
+		}
+		err = srv.CreateApp(store.Application{
+			ID:        a.id,
+			Creator:   "sord",
+			Category:  a.category,
+			Place:     a.place,
+			Lat:       place.Loc.Lat,
+			Lon:       place.Loc.Lon,
+			RadiusM:   place.RadiusM,
+			Script:    a.script,
+			PeriodSec: 10800,
+		})
+		if err != nil {
+			// Snapshot restores may already contain the apps.
+			log.Printf("app %s: %v (continuing)", a.id, err)
+			continue
+		}
+		code, err := barcode.Encode(barcode.Payload{AppID: a.id, Place: a.place, Server: baseURL})
+		if err != nil {
+			return err
+		}
+		log.Printf("registered %-16s -> %s (barcode: %dx%d modules)", a.id, a.place, code.Size, code.Size)
+		if *showBarcodes {
+			fmt.Println(code.ASCII())
+		}
+	}
+
+	sorHandler, err := transport.NewHTTPHandler(srv.Handler())
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle(transport.Path, sorHandler)
+	// The Visualization module (§II-B): /charts?category=coffee-shop
+	// renders the current feature data as inline SVG bar charts.
+	mux.HandleFunc("/charts", func(w http.ResponseWriter, r *http.Request) {
+		category := r.URL.Query().Get("category")
+		if category == "" {
+			category = world.CategoryCoffee
+		}
+		srv.Processor().Process()
+		charts, err := srv.Charts(category)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>SOR feature data</title></head><body><h1>%s</h1>\n", category)
+		for _, c := range charts {
+			svg, err := c.SVG(480, 320)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintln(w, svg)
+		}
+		fmt.Fprintln(w, "</body></html>")
+	})
+
+	if _, err := srv.StartProcessing(context.Background(), 30*time.Second); err != nil {
+		return err
+	}
+	if *snapshot != "" {
+		if _, err := db.AutoSnapshot(context.Background(), *snapshot, 30*time.Second); err != nil {
+			return err
+		}
+	}
+
+	log.Printf("sensing server listening on %s (endpoints %s, /charts)", *addr, transport.Path)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return httpServer.ListenAndServe()
+}

@@ -1,0 +1,175 @@
+// Command sorload is a load generator for a running SOR sensing server
+// (cmd/sord): it launches N simulated phones against one application,
+// walks each through the full participation → schedule → sense → upload
+// loop, and reports latency and throughput statistics.
+//
+// Usage (with sord running on :8080):
+//
+//	sorload -server http://localhost:8080 -app coffee-shop-3 -phones 25 -budget 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"sor/internal/device"
+	"sor/internal/frontend"
+	"sor/internal/stats"
+	"sor/internal/transport"
+	"sor/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sorload: %v", err)
+	}
+}
+
+func run() error {
+	serverURL := flag.String("server", "http://localhost:8080", "sensing server base URL")
+	appID := flag.String("app", "coffee-shop-3", "application to load (as registered by sord)")
+	phones := flag.Int("phones", 10, "number of simulated phones")
+	budget := flag.Int("budget", 10, "per-phone sensing budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	flag.Parse()
+
+	w, err := world.Canonical()
+	if err != nil {
+		return err
+	}
+	// sord registers the canonical apps; map the app id to its place so
+	// the simulated phones materialize inside the right geofence.
+	place, err := placeForApp(w, *appID)
+	if err != nil {
+		return err
+	}
+	client, err := transport.NewClient(*serverURL)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	type result struct {
+		participateMs float64
+		executeMs     float64
+		measurements  int
+		err           error
+	}
+	results := make([]result, *phones)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *phones; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			now := time.Now().UTC()
+			phone, err := device.New(device.Config{
+				ID:    fmt.Sprintf("load-phone-%d", i),
+				Token: fmt.Sprintf("load-token-%d-%d", *seed, i),
+				Traj:  device.Trajectory{Place: place, Enter: now, Leave: now.Add(3 * time.Hour)},
+				Seed:  *seed + int64(i),
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			fe, err := frontend.New(phone, client)
+			if err != nil {
+				r.err = err
+				return
+			}
+			userID := fmt.Sprintf("load-user-%d-%d", *seed, i)
+			t0 := time.Now()
+			sched, err := fe.Participate(ctx, userID, *appID, *budget, 3*time.Hour)
+			r.participateMs = float64(time.Since(t0)) / float64(time.Millisecond)
+			if err != nil {
+				r.err = err
+				return
+			}
+			t1 := time.Now()
+			if _, err := fe.ExecuteSchedule(ctx, sched); err != nil {
+				r.err = err
+				return
+			}
+			r.executeMs = float64(time.Since(t1)) / float64(time.Millisecond)
+			r.measurements = len(sched.AtUnix)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var partLat, execLat []float64
+	measurements, failures := 0, 0
+	for _, r := range results {
+		if r.err != nil {
+			failures++
+			log.Printf("phone failed: %v", r.err)
+			continue
+		}
+		partLat = append(partLat, r.participateMs)
+		execLat = append(execLat, r.executeMs)
+		measurements += r.measurements
+	}
+	ok := *phones - failures
+	fmt.Printf("sorload: %d/%d phones completed in %v (%d scheduled measurements)\n",
+		ok, *phones, elapsed.Round(time.Millisecond), measurements)
+	if ok > 0 {
+		printLatency("participate (schedule computation)", partLat)
+		printLatency("execute+upload", execLat)
+		fmt.Printf("  throughput: %.1f uploads/s\n", float64(ok)/elapsed.Seconds())
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d phones failed", failures)
+	}
+	return nil
+}
+
+func printLatency(label string, ms []float64) {
+	if len(ms) == 0 {
+		return
+	}
+	mean, _, err := stats.MeanStd(ms)
+	if err != nil {
+		return
+	}
+	p50, err := stats.Quantile(ms, 0.5)
+	if err != nil {
+		return
+	}
+	p99, err := stats.Quantile(ms, 0.99)
+	if err != nil {
+		return
+	}
+	fmt.Printf("  %-36s mean %7.1f ms   p50 %7.1f ms   p99 %7.1f ms\n", label, mean, p50, p99)
+}
+
+// placeForApp maps sord's canonical app ids to world places.
+func placeForApp(w *world.World, appID string) (*world.Place, error) {
+	byApp := map[string]string{
+		"hiking-trail-1": world.GreenLakeTrail,
+		"hiking-trail-2": world.LongTrail,
+		"hiking-trail-3": world.CliffTrail,
+		"coffee-shop-1":  world.TimHortons,
+		"coffee-shop-2":  world.BNCafe,
+		"coffee-shop-3":  world.Starbucks,
+	}
+	name, ok := byApp[appID]
+	if !ok {
+		known := make([]string, 0, len(byApp))
+		for k := range byApp {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("unknown app %q (known: %v)", appID, known)
+	}
+	return w.Place(name)
+}

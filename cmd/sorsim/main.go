@@ -1,0 +1,130 @@
+// Command sorsim reproduces the paper's Fig. 14 scheduling simulation:
+// greedy coverage maximization vs the every-10-seconds baseline, sweeping
+// the number of mobile users (Fig. 14a) or the per-user sensing budget
+// (Fig. 14b).
+//
+// Usage:
+//
+//	sorsim -sweep users              # Fig. 14(a)
+//	sorsim -sweep budget             # Fig. 14(b)
+//	sorsim -sweep both -svg out/     # both, plus SVG plots
+//	sorsim -sweep online             # online vs clairvoyant offline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sor/internal/sim"
+	"sor/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sorsim: %v", err)
+	}
+}
+
+func run() error {
+	sweep := flag.String("sweep", "both", "which sweep to run: users | budget | both | online")
+	runs := flag.Int("runs", 10, "random instances per point (the paper averages 10)")
+	seed := flag.Int64("seed", 2013, "random seed")
+	budget := flag.Int("budget", 17, "per-user budget for the users sweep (paper: 17)")
+	users := flag.Int("users", 40, "user count for the budget sweep (paper: 40)")
+	svgDir := flag.String("svg", "", "optional directory for SVG plots")
+	flag.Parse()
+
+	base := sim.Config{Runs: *runs, Seed: *seed, Lazy: true}
+
+	if *sweep == "users" || *sweep == "both" {
+		points, err := sim.SweepUsers(sim.Fig14aUsers(), *budget, base)
+		if err != nil {
+			return err
+		}
+		printSweep("Fig. 14(a): average coverage probability vs number of mobile users",
+			"users", points)
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, "fig14a.svg",
+				"Fig 14(a): coverage vs users (budget 17)", "# of mobile users", points); err != nil {
+				return err
+			}
+		}
+	}
+	if *sweep == "budget" || *sweep == "both" {
+		points, err := sim.SweepBudget(sim.Fig14bBudgets(), *users, base)
+		if err != nil {
+			return err
+		}
+		printSweep("Fig. 14(b): average coverage probability vs sensing budget",
+			"budget", points)
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, "fig14b.svg",
+				"Fig 14(b): coverage vs budget (40 users)", "budget", points); err != nil {
+				return err
+			}
+		}
+	}
+	if *sweep == "online" {
+		o, err := sim.RunOnline(sim.Config{
+			Users: *users, Budget: *budget, Runs: *runs, Seed: *seed, Lazy: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Online (event-driven) vs clairvoyant offline greedy:")
+		fmt.Printf("  online  %.3f ± %.3f (avg %.0f re-plans/run)\n", o.OnlineMean, o.OnlineStd, o.Replans)
+		fmt.Printf("  offline %.3f ± %.3f\n", o.OfflineMean, o.OfflineStd)
+		fmt.Printf("  competitive ratio %.3f\n", o.CompetitiveRatio())
+	}
+	if *sweep != "users" && *sweep != "budget" && *sweep != "both" && *sweep != "online" {
+		return fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	return nil
+}
+
+func printSweep(title, xName string, points []sim.SeriesPoint) {
+	fmt.Println(title)
+	fmt.Printf("%8s  %18s  %18s  %12s\n", xName, "greedy (mean±std)", "baseline (mean±std)", "improvement")
+	var totalImp float64
+	for _, p := range points {
+		fmt.Printf("%8d  %9.3f ± %.3f  %9.3f ± %.3f  %+10.0f%%\n",
+			p.X, p.GreedyMean, p.GreedyStd, p.BaselineMean, p.BaselineStd,
+			p.Improvement()*100)
+		totalImp += p.Improvement()
+	}
+	fmt.Printf("average improvement over the sweep: %+.0f%% (paper reports ~65%%)\n\n",
+		totalImp/float64(len(points))*100)
+}
+
+func writeSVG(dir, name, title, xlabel string, points []sim.SeriesPoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	chart := viz.LineChart{
+		Title:  title,
+		XLabel: xlabel,
+		YLabel: "average coverage probability",
+	}
+	greedy := viz.Series{Label: "Greedy (this paper)"}
+	baseline := viz.Series{Label: "Baseline"}
+	for _, p := range points {
+		chart.X = append(chart.X, float64(p.X))
+		greedy.Values = append(greedy.Values, p.GreedyMean)
+		baseline.Values = append(baseline.Values, p.BaselineMean)
+	}
+	chart.Series = []viz.Series{greedy, baseline}
+	svg, err := chart.SVG(640, 400)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

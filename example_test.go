@@ -1,0 +1,99 @@
+package sor_test
+
+import (
+	"fmt"
+	"time"
+
+	"sor"
+)
+
+// ExampleScheduleSensing demonstrates §III: schedule two users' sensing
+// for maximal time coverage under per-user budgets.
+func ExampleScheduleSensing() {
+	start := time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+	plan, err := sor.ScheduleSensing(sor.SensingRequest{
+		Start:  start,
+		Period: 30 * time.Minute,
+		Participants: []sor.Participant{
+			{UserID: "alice", Arrive: start, Leave: start.Add(30 * time.Minute), Budget: 3},
+			{UserID: "bob", Arrive: start.Add(10 * time.Minute), Leave: start.Add(30 * time.Minute), Budget: 2},
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("alice: %d measurements\n", len(plan.Plan.Assignments["alice"].Instants))
+	fmt.Printf("bob:   %d measurements\n", len(plan.Plan.Assignments["bob"].Instants))
+	fmt.Printf("greedy beats baseline: %v\n",
+		plan.Plan.AverageCoverage > plan.Baseline.AverageCoverage)
+	// Output:
+	// alice: 3 measurements
+	// bob:   2 measurements
+	// greedy beats baseline: true
+}
+
+// ExampleRankPlaces demonstrates §IV: personalized ranking over a feature
+// matrix.
+func ExampleRankPlaces() {
+	matrix := &sor.Matrix{
+		Places: []string{"Tim Hortons", "B&N Cafe", "Starbucks"},
+		Features: []sor.Feature{
+			{Name: "noise", Default: sor.Preference{Kind: sor.PrefMin}},
+			{Name: "wifi", Unit: "dBm", Default: sor.Preference{Kind: sor.PrefMax}},
+		},
+		Values: [][]float64{
+			{0.05, -62},
+			{0.08, -50},
+			{0.18, -72},
+		},
+	}
+	res, err := sor.RankPlaces(matrix, sor.Profile{
+		Name: "studious",
+		Prefs: map[string]sor.Preference{
+			"noise": {Kind: sor.PrefMin, Weight: 5},
+			"wifi":  {Kind: sor.PrefMax, Weight: 4},
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, place := range res.Order {
+		fmt.Printf("No. %d: %s\n", i+1, place)
+	}
+	// Output:
+	// No. 1: Tim Hortons
+	// No. 2: B&N Cafe
+	// No. 3: Starbucks
+}
+
+// ExampleRankHybrid blends objective features with subjective stars.
+func ExampleRankHybrid() {
+	matrix := &sor.Matrix{
+		Places: []string{"quiet-but-unknown", "loud-but-famous"},
+		Features: []sor.Feature{
+			{Name: "noise", Default: sor.Preference{Kind: sor.PrefMin}},
+		},
+		Values: [][]float64{{0.05}, {0.2}},
+	}
+	profile := sor.Profile{Name: "u", Prefs: map[string]sor.Preference{
+		"noise": {Kind: sor.PrefMin, Weight: 2},
+	}}
+	stars := []float64{3.0, 4.8}
+	objective, err := sor.RankHybrid(matrix, profile, stars, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	crowd, err := sor.RankHybrid(matrix, profile, stars, 5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("sensors say:", objective.Order[0])
+	fmt.Println("crowd says: ", crowd.Order[0])
+	// Output:
+	// sensors say: quiet-but-unknown
+	// crowd says:  loud-but-famous
+}

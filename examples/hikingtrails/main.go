@@ -1,0 +1,65 @@
+// Hiking trails: the paper's §V-A field test as a program. Seven simulated
+// phones per trail walk the Green Lake, Long and Cliff trails, sense
+// temperature/humidity/roughness/curvature/altitude on a greedy schedule,
+// and the server ranks the trails for the three §V hikers (Table I).
+//
+//	go run ./examples/hikingtrails
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sor"
+	"sor/internal/fieldtest"
+	"sor/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("hikingtrails: %v", err)
+	}
+}
+
+func run() error {
+	fmt.Println("running the §V-A hiking-trail field test (7 phones per trail)...")
+	res, err := sor.RunFieldTest(sor.FieldTestConfig{
+		Category:       world.CategoryTrail,
+		PhonesPerPlace: 7,
+		Budget:         20,
+		Seed:           2013,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d uploads from %d phones (%d scheduled measurements)\n\n",
+		res.Uploads, res.Phones, res.Measurements)
+
+	fmt.Println("feature data (Fig. 6):")
+	for _, trail := range []string{world.GreenLakeTrail, world.LongTrail, world.CliffTrail} {
+		f := res.Features[trail]
+		fmt.Printf("  %-18s %.1f °F, %.0f%% humidity, roughness %.2f m/s², curvature %.0f °/100m, altitude ±%.1f m\n",
+			trail, f["temperature"], f["humidity"], f["roughness"], f["curvature"], f["altitude change"])
+	}
+
+	fmt.Println("\npersonalized rankings (Table I):")
+	fmt.Println("  Alice — experienced, wants difficult trails")
+	fmt.Println("  Bob   — comfort-seeking beginner, cares about humidity more than difficulty")
+	fmt.Println("  Chris — beginner who jogs near water")
+	for _, hiker := range []string{"Alice", "Bob", "Chris"} {
+		fmt.Printf("  %-6s %s\n", hiker, strings.Join(res.Rankings[hiker], " > "))
+	}
+
+	want := fieldtest.ExpectedRankings(world.CategoryTrail)
+	for hiker, order := range res.Rankings {
+		for i := range order {
+			if order[i] != want[hiker][i] {
+				return fmt.Errorf("ranking for %s deviates from Table I: %v", hiker, order)
+			}
+		}
+	}
+	fmt.Println("\nall rankings match the paper's Table I ✓")
+	return nil
+}

@@ -1,0 +1,73 @@
+// Hybrid ranking: combining SOR's objective sensed features with an
+// existing subjective recommendation system (the integration the paper's
+// introduction motivates — "not to replace the current ranking systems …
+// but to enhance them").
+//
+// Star ratings reward Starbucks' brand; the sensors know it is loud and
+// dark. The hybrid ranking lets each user decide how much the crowd's
+// stars matter relative to the measurements.
+//
+//	go run ./examples/hybridranking
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("hybridranking: %v", err)
+	}
+}
+
+func run() error {
+	// Feature matrix from the §V-B field test (see examples/coffeeshops
+	// for producing it with live sensing).
+	matrix := &sor.Matrix{
+		Places: []string{"Tim Hortons", "B&N Cafe", "Starbucks"},
+		Features: []sor.Feature{
+			{Name: "temperature", Unit: "°F", Default: sor.Preference{Kind: sor.PrefValue, Value: 73}},
+			{Name: "brightness", Unit: "lux", Default: sor.Preference{Kind: sor.PrefMax}},
+			{Name: "noise", Default: sor.Preference{Kind: sor.PrefMin}},
+			{Name: "wifi", Unit: "dBm", Default: sor.Preference{Kind: sor.PrefMax}},
+		},
+		Values: [][]float64{
+			{66, 1000, 0.05, -62},
+			{71, 400, 0.08, -50},
+			{73, 150, 0.18, -72},
+		},
+	}
+	// Subjective stars as a review site would report them.
+	stars := []float64{3.4, 3.9, 4.6} // TH, B&N, SB — the brand wins
+	fmt.Println("subjective stars: Tim Hortons 3.4, B&N Cafe 3.9, Starbucks 4.6")
+
+	// A student who mostly wants quiet + WiFi but gives the crowd a vote.
+	student := sor.Profile{Name: "student", Prefs: map[string]sor.Preference{
+		"noise": {Kind: sor.PrefMin, Weight: 3},
+		"wifi":  {Kind: sor.PrefMax, Weight: 3},
+	}}
+	for _, starWeight := range []int{0, 2, 5} {
+		res, err := sor.RankHybrid(matrix, student, stars, starWeight)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  star weight %d: %s\n", starWeight, strings.Join(res.Order, " > "))
+	}
+
+	// A tourist who only trusts the stars.
+	tourist := sor.Profile{Name: "tourist", Prefs: map[string]sor.Preference{}}
+	res, err := sor.RankHybrid(matrix, tourist, stars, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  stars only:    %s\n", strings.Join(res.Order, " > "))
+	if sub, ok := res.Individual[sor.SubjectiveFeatureName]; ok {
+		fmt.Printf("  (subjective individual ranking indices: %v)\n", sub)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module sor
+
+go 1.22

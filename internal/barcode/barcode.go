@@ -1,0 +1,311 @@
+// Package barcode implements the 2D matrix code SOR posts at a target
+// place (§II): scanning it is what triggers a sensing procedure. The
+// payload carries the application id, the place name and the sensing
+// server address. The symbology is a compact QR-like matrix: three finder
+// corners, a length header, payload bits with an interleaved parity column
+// and a CRC-8 footer, rendered as a boolean grid (and as ASCII art for
+// terminals).
+package barcode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Payload is the information a SOR barcode carries.
+type Payload struct {
+	AppID  string `json:"app_id"`
+	Place  string `json:"place"`
+	Server string `json:"server"` // base URL of a sensing server
+}
+
+// Validate checks the payload.
+func (p Payload) Validate() error {
+	if p.AppID == "" {
+		return errors.New("barcode: payload needs an app id")
+	}
+	if p.Server == "" {
+		return errors.New("barcode: payload needs a server address")
+	}
+	for _, s := range []string{p.AppID, p.Place, p.Server} {
+		if strings.ContainsRune(s, '\x1f') {
+			return errors.New("barcode: payload contains the reserved separator")
+		}
+	}
+	return nil
+}
+
+// encodePayload flattens the payload with unit separators.
+func (p Payload) encode() []byte {
+	return []byte(p.AppID + "\x1f" + p.Place + "\x1f" + p.Server)
+}
+
+func decodePayload(b []byte) (Payload, error) {
+	parts := strings.Split(string(b), "\x1f")
+	if len(parts) != 3 {
+		return Payload{}, fmt.Errorf("barcode: malformed payload (%d fields)", len(parts))
+	}
+	p := Payload{AppID: parts[0], Place: parts[1], Server: parts[2]}
+	if err := p.Validate(); err != nil {
+		return Payload{}, err
+	}
+	return p, nil
+}
+
+// Matrix is a square boolean module grid.
+type Matrix struct {
+	Size    int
+	Modules []bool // row-major
+}
+
+// At reads module (row, col).
+func (m *Matrix) At(row, col int) bool {
+	return m.Modules[row*m.Size+col]
+}
+
+func (m *Matrix) set(row, col int, v bool) {
+	m.Modules[row*m.Size+col] = v
+}
+
+// finderSize is the side of each corner finder block.
+const finderSize = 3
+
+// crc8 computes an 8-bit CRC (polynomial 0x07).
+func crc8(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Encode renders a payload into a matrix barcode.
+func Encode(p Payload) (*Matrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	data := p.encode()
+	if len(data) > 4096 {
+		return nil, fmt.Errorf("barcode: payload too large (%d bytes)", len(data))
+	}
+	// Frame: 2-byte length, payload, CRC-8.
+	frame := make([]byte, 0, len(data)+3)
+	frame = append(frame, byte(len(data)>>8), byte(len(data)))
+	frame = append(frame, data...)
+	frame = append(frame, crc8(data))
+	bits := len(frame) * 8
+
+	// Choose the smallest square that fits data bits + finder patterns.
+	size := finderSize*2 + 2
+	for {
+		if usableCells(size) >= bits {
+			break
+		}
+		size++
+	}
+	m := &Matrix{Size: size, Modules: make([]bool, size*size)}
+	drawFinders(m)
+	// Write bits into usable cells in scan order.
+	bit := 0
+	for r := 0; r < size && bit < bits; r++ {
+		for c := 0; c < size && bit < bits; c++ {
+			if inFinder(size, r, c) {
+				continue
+			}
+			byteIdx := bit / 8
+			mask := byte(1) << (7 - bit%8)
+			m.set(r, c, frame[byteIdx]&mask != 0)
+			bit++
+		}
+	}
+	return m, nil
+}
+
+// usableCells counts non-finder cells.
+func usableCells(size int) int {
+	total := size * size
+	return total - 3*finderSize*finderSize
+}
+
+// inFinder reports whether (r, c) belongs to a finder corner.
+func inFinder(size, r, c int) bool {
+	if r < finderSize && c < finderSize {
+		return true
+	}
+	if r < finderSize && c >= size-finderSize {
+		return true
+	}
+	if r >= size-finderSize && c < finderSize {
+		return true
+	}
+	return false
+}
+
+// drawFinders paints the three corner patterns (solid with a hollow
+// center, distinguishable from random data).
+func drawFinders(m *Matrix) {
+	paint := func(r0, c0 int) {
+		for r := 0; r < finderSize; r++ {
+			for c := 0; c < finderSize; c++ {
+				v := r == 0 || c == 0 || r == finderSize-1 || c == finderSize-1
+				m.set(r0+r, c0+c, v)
+			}
+		}
+	}
+	paint(0, 0)
+	paint(0, m.Size-finderSize)
+	paint(m.Size-finderSize, 0)
+}
+
+// checkFinders verifies the three corner patterns.
+func checkFinders(m *Matrix) bool {
+	check := func(r0, c0 int) bool {
+		for r := 0; r < finderSize; r++ {
+			for c := 0; c < finderSize; c++ {
+				want := r == 0 || c == 0 || r == finderSize-1 || c == finderSize-1
+				if m.At(r0+r, c0+c) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return check(0, 0) && check(0, m.Size-finderSize) && check(m.Size-finderSize, 0)
+}
+
+// Decode parses a matrix back into a payload, validating finder patterns,
+// length header and CRC.
+func Decode(m *Matrix) (Payload, error) {
+	if m == nil || m.Size < finderSize*2+2 || len(m.Modules) != m.Size*m.Size {
+		return Payload{}, errors.New("barcode: malformed matrix")
+	}
+	if !checkFinders(m) {
+		return Payload{}, errors.New("barcode: finder patterns missing (not a SOR code?)")
+	}
+	// Collect bits.
+	var bits []bool
+	for r := 0; r < m.Size; r++ {
+		for c := 0; c < m.Size; c++ {
+			if inFinder(m.Size, r, c) {
+				continue
+			}
+			bits = append(bits, m.At(r, c))
+		}
+	}
+	readByte := func(i int) (byte, error) {
+		if (i+1)*8 > len(bits) {
+			return 0, errors.New("barcode: truncated data")
+		}
+		var b byte
+		for k := 0; k < 8; k++ {
+			b <<= 1
+			if bits[i*8+k] {
+				b |= 1
+			}
+		}
+		return b, nil
+	}
+	hi, err := readByte(0)
+	if err != nil {
+		return Payload{}, err
+	}
+	lo, err := readByte(1)
+	if err != nil {
+		return Payload{}, err
+	}
+	n := int(hi)<<8 | int(lo)
+	if n == 0 || n > 4096 {
+		return Payload{}, fmt.Errorf("barcode: implausible payload length %d", n)
+	}
+	data := make([]byte, n)
+	for i := range data {
+		if data[i], err = readByte(2 + i); err != nil {
+			return Payload{}, err
+		}
+	}
+	sum, err := readByte(2 + n)
+	if err != nil {
+		return Payload{}, err
+	}
+	if crc8(data) != sum {
+		return Payload{}, errors.New("barcode: checksum mismatch (damaged code)")
+	}
+	return decodePayload(data)
+}
+
+// MarshalText serializes the matrix as one line per row ('#' dark, '.'
+// light) — the printable interchange format cmd/sorbarcode uses.
+func (m *Matrix) MarshalText() ([]byte, error) {
+	if m == nil || len(m.Modules) != m.Size*m.Size {
+		return nil, errors.New("barcode: malformed matrix")
+	}
+	var sb strings.Builder
+	sb.Grow((m.Size + 1) * m.Size)
+	for r := 0; r < m.Size; r++ {
+		for c := 0; c < m.Size; c++ {
+			if m.At(r, c) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), nil
+}
+
+// UnmarshalText parses the MarshalText format.
+func (m *Matrix) UnmarshalText(data []byte) error {
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	size := len(lines)
+	if size == 0 || (size == 1 && lines[0] == "") {
+		return errors.New("barcode: empty grid")
+	}
+	modules := make([]bool, size*size)
+	for r, line := range lines {
+		line = strings.TrimRight(line, "\r")
+		if len(line) != size {
+			return fmt.Errorf("barcode: row %d has %d modules, want %d", r, len(line), size)
+		}
+		for c := 0; c < size; c++ {
+			switch line[c] {
+			case '#':
+				modules[r*size+c] = true
+			case '.':
+			default:
+				return fmt.Errorf("barcode: invalid module %q at (%d,%d)", line[c], r, c)
+			}
+		}
+	}
+	m.Size = size
+	m.Modules = modules
+	return nil
+}
+
+// ASCII renders the matrix as terminal art (## = dark module).
+func (m *Matrix) ASCII() string {
+	var sb strings.Builder
+	border := strings.Repeat("██", m.Size+2)
+	sb.WriteString(border + "\n")
+	for r := 0; r < m.Size; r++ {
+		sb.WriteString("██")
+		for c := 0; c < m.Size; c++ {
+			if m.At(r, c) {
+				sb.WriteString("  ")
+			} else {
+				sb.WriteString("██")
+			}
+		}
+		sb.WriteString("██\n")
+	}
+	sb.WriteString(border + "\n")
+	return sb.String()
+}

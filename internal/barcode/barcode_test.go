@@ -1,0 +1,211 @@
+package barcode
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPayloadValidate(t *testing.T) {
+	ok := Payload{AppID: "app", Place: "Starbucks", Server: "http://localhost:8080"}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Payload{
+		{Place: "p", Server: "s"},
+		{AppID: "a", Place: "p"},
+		{AppID: "a\x1f", Place: "p", Server: "s"},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad case %d should fail", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := Payload{
+		AppID:  "coffee-shop-starbucks",
+		Place:  "Starbucks, 177 Marshall St",
+		Server: "http://sensing.example.com:8080",
+	}
+	m, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip changed payload: %+v -> %+v", p, got)
+	}
+}
+
+func TestEncodeEmptyPlaceAllowed(t *testing.T) {
+	p := Payload{AppID: "a", Server: "s"}
+	m, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(m)
+	if err != nil || got != p {
+		t.Fatalf("got %+v, %v", got, err)
+	}
+}
+
+func TestEncodeInvalidPayload(t *testing.T) {
+	if _, err := Encode(Payload{}); err == nil {
+		t.Fatal("invalid payload must error")
+	}
+	if _, err := Encode(Payload{AppID: strings.Repeat("x", 5000), Server: "s"}); err == nil {
+		t.Fatal("oversized payload must error")
+	}
+}
+
+func TestDecodeDetectsDamage(t *testing.T) {
+	p := Payload{AppID: "app-1", Place: "B&N Cafe", Server: "http://h:1"}
+	m, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip each data module one at a time; every flip must be detected
+	// (CRC) or produce an identical payload (padding bits).
+	for i := range m.Modules {
+		flipped := &Matrix{Size: m.Size, Modules: append([]bool(nil), m.Modules...)}
+		flipped.Modules[i] = !flipped.Modules[i]
+		got, err := Decode(flipped)
+		if err == nil && got != p {
+			t.Fatalf("flip at %d silently corrupted payload: %+v", i, got)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedMatrices(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil matrix must error")
+	}
+	if _, err := Decode(&Matrix{Size: 2, Modules: make([]bool, 4)}); err == nil {
+		t.Fatal("tiny matrix must error")
+	}
+	if _, err := Decode(&Matrix{Size: 10, Modules: make([]bool, 9)}); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+	// All-false grid has no finder patterns.
+	if _, err := Decode(&Matrix{Size: 12, Modules: make([]bool, 144)}); err == nil {
+		t.Fatal("missing finders must error")
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	p := Payload{AppID: "a", Place: "p", Server: "s"}
+	m, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := m.ASCII()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != m.Size+2 {
+		t.Fatalf("ascii has %d lines, want %d", len(lines), m.Size+2)
+	}
+	for _, l := range lines {
+		if len([]rune(l)) != (m.Size+2)*2 {
+			t.Fatalf("ragged ascii line %q", l)
+		}
+	}
+}
+
+func TestMatrixGrowsWithPayload(t *testing.T) {
+	small, err := Encode(Payload{AppID: "a", Server: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Encode(Payload{AppID: strings.Repeat("long-app-id-", 20), Server: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Size <= small.Size {
+		t.Fatalf("big payload matrix %d not larger than small %d", big.Size, small.Size)
+	}
+}
+
+// Property: every printable payload round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() string {
+			n := 1 + rng.Intn(40)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte(32 + rng.Intn(94))
+			}
+			return string(b)
+		}
+		p := Payload{AppID: mk(), Place: mk(), Server: mk()}
+		m, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(m)
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalUnmarshalText(t *testing.T) {
+	p := Payload{AppID: "trail-2", Place: "Long Trail", Server: "http://h:9"}
+	m, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := back.UnmarshalText(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Size != m.Size {
+		t.Fatalf("size changed: %d -> %d", m.Size, back.Size)
+	}
+	got, err := Decode(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("text round trip changed payload: %+v", got)
+	}
+}
+
+func TestMarshalTextErrors(t *testing.T) {
+	if _, err := (*Matrix)(nil).MarshalText(); err == nil {
+		t.Fatal("nil matrix must error")
+	}
+	if _, err := (&Matrix{Size: 3, Modules: make([]bool, 4)}).MarshalText(); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}
+
+func TestUnmarshalTextErrors(t *testing.T) {
+	var m Matrix
+	if err := m.UnmarshalText(nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if err := m.UnmarshalText([]byte("##\n#\n")); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if err := m.UnmarshalText([]byte("#x\n..\n")); err == nil {
+		t.Fatal("invalid module must error")
+	}
+	// Windows line endings are tolerated.
+	if err := m.UnmarshalText([]byte("#.\r\n.#\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size != 2 || !m.At(0, 0) || m.At(0, 1) {
+		t.Fatalf("parsed grid wrong: %+v", m)
+	}
+}

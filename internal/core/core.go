@@ -1,0 +1,203 @@
+// Package core packages SOR's two algorithmic contributions behind a
+// small, task-oriented API:
+//
+//   - ScheduleSensing: given a scheduling period, a coverage kernel and
+//     the participating mobile users (windows + budgets), compute the
+//     greedy 1/2-approximate coverage-maximizing sensing schedule of §III
+//     (plus the paper's baseline for comparison).
+//
+//   - RankPlaces: given the feature matrix H and a user's preference
+//     profile, compute the personalizable ranking of §IV via weighted
+//     footrule aggregation (an exact min-cost matching; 2-approximation
+//     of the weighted Kemeny optimum).
+//
+// Heavy lifting lives in internal/schedule, internal/coverage,
+// internal/ranking and internal/rankagg; this package wires them together
+// the way the sensing server does.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sor/internal/coverage"
+	"sor/internal/ranking"
+	"sor/internal/schedule"
+)
+
+// SensingRequest describes one scheduling problem.
+type SensingRequest struct {
+	// Start and Period bound the scheduling window [tS, tE].
+	Start  time.Time
+	Period time.Duration
+	// Step is the instant spacing (N = Period/Step); default 10 s.
+	Step time.Duration
+	// Sigma is the Gaussian kernel σ in seconds; default 10. Use a large
+	// σ for slowly varying features and a small one for fast ones (§III).
+	Sigma float64
+	// Kernel overrides the Gaussian entirely when non-nil.
+	Kernel coverage.Kernel
+	// Participants are the mobile users.
+	Participants []schedule.Participant
+	// Lazy selects lazy greedy (same output, fewer oracle calls).
+	Lazy bool
+}
+
+// SensingPlan is the outcome.
+type SensingPlan struct {
+	// Plan is the greedy schedule.
+	Plan *schedule.Plan
+	// Baseline is the §V-C comparison schedule (sense every Step from
+	// arrival).
+	Baseline *schedule.Plan
+	// Timeline exposes instant-to-time translation.
+	Timeline *coverage.Timeline
+}
+
+// ScheduleSensing solves the §III problem.
+func ScheduleSensing(req SensingRequest) (*SensingPlan, error) {
+	if req.Period <= 0 {
+		return nil, errors.New("core: need a positive period")
+	}
+	step := req.Step
+	if step <= 0 {
+		step = 10 * time.Second
+	}
+	kernel := req.Kernel
+	if kernel == nil {
+		sigma := req.Sigma
+		if sigma <= 0 {
+			sigma = 10
+		}
+		kernel = coverage.GaussianKernel{Sigma: sigma}
+	}
+	n := int(req.Period / step)
+	if n < 1 {
+		return nil, fmt.Errorf("core: period %v shorter than step %v", req.Period, step)
+	}
+	tl, err := coverage.NewTimeline(req.Start, step, n)
+	if err != nil {
+		return nil, err
+	}
+	var opts []schedule.Option
+	if req.Lazy {
+		opts = append(opts, schedule.WithLazyGreedy())
+	}
+	sched, err := schedule.NewScheduler(tl, kernel, opts...)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sched.Greedy(req.Participants, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Verify(req.Participants, plan); err != nil {
+		return nil, fmt.Errorf("core: greedy plan failed verification: %w", err)
+	}
+	baseline, err := sched.Baseline(req.Participants, step)
+	if err != nil {
+		return nil, err
+	}
+	return &SensingPlan{Plan: plan, Baseline: baseline, Timeline: tl}, nil
+}
+
+// ScheduleEnergyAware solves the dual problem (the paper's companion work,
+// its reference [25]): reach targetAvgCoverage with greedily minimized
+// device energy under the same windows and budgets.
+func ScheduleEnergyAware(req SensingRequest, targetAvgCoverage float64, model schedule.EnergyModel) (*schedule.EnergyPlan, error) {
+	if req.Period <= 0 {
+		return nil, errors.New("core: need a positive period")
+	}
+	step := req.Step
+	if step <= 0 {
+		step = 10 * time.Second
+	}
+	kernel := req.Kernel
+	if kernel == nil {
+		sigma := req.Sigma
+		if sigma <= 0 {
+			sigma = 10
+		}
+		kernel = coverage.GaussianKernel{Sigma: sigma}
+	}
+	n := int(req.Period / step)
+	if n < 1 {
+		return nil, fmt.Errorf("core: period %v shorter than step %v", req.Period, step)
+	}
+	tl, err := coverage.NewTimeline(req.Start, step, n)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := schedule.NewScheduler(tl, kernel)
+	if err != nil {
+		return nil, err
+	}
+	return sched.EnergyAware(req.Participants, targetAvgCoverage, model)
+}
+
+// NewOnlineScheduler builds the event-driven scheduler the sensing server
+// runs (join/leave/execute events trigger re-plans).
+func NewOnlineScheduler(start time.Time, period, step time.Duration, kernel coverage.Kernel) (*schedule.Online, *coverage.Timeline, error) {
+	if step <= 0 {
+		step = 10 * time.Second
+	}
+	if kernel == nil {
+		kernel = coverage.GaussianKernel{Sigma: 10}
+	}
+	n := int(period / step)
+	if n < 1 {
+		return nil, nil, fmt.Errorf("core: period %v shorter than step %v", period, step)
+	}
+	tl, err := coverage.NewTimeline(start, step, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := schedule.NewScheduler(tl, kernel, schedule.WithLazyGreedy())
+	if err != nil {
+		return nil, nil, err
+	}
+	online, err := schedule.NewOnline(sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	return online, tl, nil
+}
+
+// RankPlaces runs the §IV personalizable ranking for one profile.
+func RankPlaces(m *ranking.Matrix, profile ranking.Profile) (*ranking.Result, error) {
+	r, err := ranking.NewRanker(m)
+	if err != nil {
+		return nil, err
+	}
+	return r.Rank(profile)
+}
+
+// RankHybrid blends the objective feature rankings with an existing
+// subjective rating (e.g. Yelp stars) — the integration path the paper's
+// introduction motivates. subjectiveWeight uses the same 0..5 scale as
+// feature weights.
+func RankHybrid(m *ranking.Matrix, profile ranking.Profile, subjective []float64, subjectiveWeight int) (*ranking.Result, error) {
+	r, err := ranking.NewRanker(m)
+	if err != nil {
+		return nil, err
+	}
+	return r.RankHybrid(profile, subjective, subjectiveWeight)
+}
+
+// RankAll ranks for several profiles over one matrix (validating H once).
+func RankAll(m *ranking.Matrix, profiles []ranking.Profile) (map[string]*ranking.Result, error) {
+	r, err := ranking.NewRanker(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*ranking.Result, len(profiles))
+	for _, p := range profiles {
+		res, err := r.Rank(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: ranking for %q: %w", p.Name, err)
+		}
+		out[p.Name] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sor/internal/coverage"
+	"sor/internal/ranking"
+	"sor/internal/schedule"
+)
+
+var start = time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+
+func TestScheduleSensingValidation(t *testing.T) {
+	if _, err := ScheduleSensing(SensingRequest{}); err == nil {
+		t.Fatal("zero period must error")
+	}
+	if _, err := ScheduleSensing(SensingRequest{
+		Start: start, Period: time.Second, Step: time.Minute,
+	}); err == nil {
+		t.Fatal("period < step must error")
+	}
+}
+
+func TestScheduleSensingDefaults(t *testing.T) {
+	parts := []schedule.Participant{
+		{UserID: "u1", Arrive: start, Leave: start.Add(time.Hour), Budget: 6},
+		{UserID: "u2", Arrive: start.Add(20 * time.Minute), Leave: start.Add(time.Hour), Budget: 6},
+	}
+	plan, err := ScheduleSensing(SensingRequest{
+		Start: start, Period: time.Hour, Participants: parts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Timeline.Step() != 10*time.Second {
+		t.Fatalf("default step = %v", plan.Timeline.Step())
+	}
+	if got := len(plan.Plan.Assignments["u1"].Instants); got != 6 {
+		t.Fatalf("u1 scheduled %d times", got)
+	}
+	if plan.Plan.AverageCoverage <= plan.Baseline.AverageCoverage {
+		t.Fatalf("greedy %v <= baseline %v",
+			plan.Plan.AverageCoverage, plan.Baseline.AverageCoverage)
+	}
+}
+
+func TestScheduleSensingCustomKernel(t *testing.T) {
+	parts := []schedule.Participant{
+		{UserID: "u", Arrive: start, Leave: start.Add(30 * time.Minute), Budget: 4},
+	}
+	plan, err := ScheduleSensing(SensingRequest{
+		Start: start, Period: 30 * time.Minute,
+		Kernel:       coverage.TriangularKernel{Width: 30},
+		Participants: parts,
+		Lazy:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Plan.TotalCoverage <= 0 {
+		t.Fatal("no coverage")
+	}
+}
+
+func TestNewOnlineScheduler(t *testing.T) {
+	online, tl, err := NewOnlineScheduler(start, time.Hour, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Step() != 10*time.Second {
+		t.Fatalf("default step = %v", tl.Step())
+	}
+	plan, err := online.Join(start, schedule.Participant{
+		UserID: "u", Arrive: start, Leave: tl.End(), Budget: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments["u"].Instants) != 3 {
+		t.Fatalf("scheduled %v", plan.Assignments["u"].Instants)
+	}
+	if _, _, err := NewOnlineScheduler(start, time.Second, time.Minute, nil); err == nil {
+		t.Fatal("period < step must error")
+	}
+}
+
+func rankingMatrix() *ranking.Matrix {
+	return &ranking.Matrix{
+		Places: []string{"a", "b", "c"},
+		Features: []ranking.Feature{
+			{Name: "noise", Default: ranking.Preference{Kind: ranking.PrefMin}},
+			{Name: "wifi", Default: ranking.Preference{Kind: ranking.PrefMax}},
+		},
+		Values: [][]float64{{0.2, -70}, {0.1, -50}, {0.3, -60}},
+	}
+}
+
+func TestRankPlaces(t *testing.T) {
+	res, err := RankPlaces(rankingMatrix(), ranking.Profile{
+		Name: "quiet-seeker",
+		Prefs: map[string]ranking.Preference{
+			"noise": {Kind: ranking.PrefMin, Weight: 5},
+			"wifi":  {Kind: ranking.PrefDefault, Weight: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order[0] != "b" {
+		t.Fatalf("order = %v", res.Order)
+	}
+	if _, err := RankPlaces(&ranking.Matrix{}, ranking.Profile{}); err == nil {
+		t.Fatal("invalid matrix must error")
+	}
+}
+
+func TestRankAll(t *testing.T) {
+	profiles := []ranking.Profile{
+		{Name: "p1", Prefs: map[string]ranking.Preference{
+			"noise": {Kind: ranking.PrefMin, Weight: 5},
+		}},
+		{Name: "p2", Prefs: map[string]ranking.Preference{
+			"wifi": {Kind: ranking.PrefMax, Weight: 5},
+		}},
+	}
+	out, err := RankAll(rankingMatrix(), profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("results = %d", len(out))
+	}
+	if out["p1"].Order[0] != "b" || out["p2"].Order[0] != "b" {
+		t.Fatalf("p1=%v p2=%v", out["p1"].Order, out["p2"].Order)
+	}
+	bad := []ranking.Profile{{Name: "broken", Prefs: map[string]ranking.Preference{
+		"noise": {Kind: ranking.PrefMin, Weight: 99},
+	}}}
+	if _, err := RankAll(rankingMatrix(), bad); err == nil {
+		t.Fatal("invalid profile must error")
+	}
+}
+
+func TestScheduleEnergyAware(t *testing.T) {
+	parts := []schedule.Participant{
+		{UserID: "u1", Arrive: start, Leave: start.Add(time.Hour), Budget: 40},
+		{UserID: "u2", Arrive: start, Leave: start.Add(time.Hour), Budget: 40},
+	}
+	plan, err := ScheduleEnergyAware(SensingRequest{
+		Start: start, Period: time.Hour, Participants: parts,
+	}, 0.4, schedule.UniformEnergy{MilliJ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.TargetReached || plan.AverageCoverage < 0.4 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.EnergyMilliJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if _, err := ScheduleEnergyAware(SensingRequest{}, 0.4, schedule.UniformEnergy{MilliJ: 1}); err == nil {
+		t.Fatal("zero period must error")
+	}
+	if _, err := ScheduleEnergyAware(SensingRequest{
+		Start: start, Period: time.Second, Step: time.Minute,
+	}, 0.4, schedule.UniformEnergy{MilliJ: 1}); err == nil {
+		t.Fatal("period < step must error")
+	}
+}

@@ -1,0 +1,298 @@
+// Package feature implements SOR's Data Processor math (§IV-A): raw sensor
+// data arrive as 3-tuples (t, Δt, d) — a timestamp, a short sampling window
+// and the readings taken inside it — and are reduced to "humanly
+// understandable" feature values: averages for temperature/humidity/
+// brightness/WiFi, mean of per-window standard deviations for road-surface
+// roughness, standard deviation of per-window means for altitude change,
+// GPS-trace tortuosity for curvature, and RMS level for background noise.
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sor/internal/geo"
+	"sor/internal/stats"
+)
+
+// Sample is the paper's (t, Δt, d) tuple: multiple readings taken within
+// [t, t+Δt] to ensure sensing quality.
+type Sample struct {
+	At       time.Time
+	Window   time.Duration
+	Readings []float64
+}
+
+// Validate checks the sample.
+func (s Sample) Validate() error {
+	if s.Window < 0 {
+		return errors.New("feature: negative sample window")
+	}
+	if len(s.Readings) == 0 {
+		return errors.New("feature: sample with no readings")
+	}
+	return nil
+}
+
+// GeoSample is a GPS variant of Sample carrying located readings.
+type GeoSample struct {
+	At     time.Time
+	Window time.Duration
+	Points []geo.Point
+}
+
+// Extractor reduces a series of samples to one feature value.
+type Extractor interface {
+	// Name is the feature this extractor produces ("temperature").
+	Name() string
+	// Extract computes the feature value. It returns an error when the
+	// input is empty or malformed.
+	Extract(samples []Sample) (float64, error)
+}
+
+// MeanExtractor averages all readings of all samples — the paper's method
+// for temperature, humidity, brightness and WiFi signal strength.
+type MeanExtractor struct {
+	Feature string
+}
+
+var _ Extractor = MeanExtractor{}
+
+// Name implements Extractor.
+func (e MeanExtractor) Name() string { return e.Feature }
+
+// Extract implements Extractor.
+func (e MeanExtractor) Extract(samples []Sample) (float64, error) {
+	var w stats.Welford
+	for i, s := range samples {
+		if err := s.Validate(); err != nil {
+			return 0, fmt.Errorf("feature: %s sample %d: %w", e.Feature, i, err)
+		}
+		for _, r := range s.Readings {
+			w.Add(r)
+		}
+	}
+	if w.N() == 0 {
+		return 0, fmt.Errorf("feature: %s: no data", e.Feature)
+	}
+	return w.Mean(), nil
+}
+
+// RoughnessExtractor implements the paper's road-surface roughness: "an
+// average of the standard deviations of all accelerometer's readings
+// within Δt".
+type RoughnessExtractor struct{}
+
+var _ Extractor = RoughnessExtractor{}
+
+// Name implements Extractor.
+func (RoughnessExtractor) Name() string { return "roughness" }
+
+// Extract implements Extractor.
+func (RoughnessExtractor) Extract(samples []Sample) (float64, error) {
+	var w stats.Welford
+	for i, s := range samples {
+		if err := s.Validate(); err != nil {
+			return 0, fmt.Errorf("feature: roughness sample %d: %w", i, err)
+		}
+		sd, err := stats.StdDev(s.Readings)
+		if err != nil {
+			return 0, err
+		}
+		w.Add(sd)
+	}
+	if w.N() == 0 {
+		return 0, errors.New("feature: roughness: no data")
+	}
+	return w.Mean(), nil
+}
+
+// AltitudeChangeExtractor implements "the standard deviation of averages of
+// all altitude sensor readings within Δt".
+type AltitudeChangeExtractor struct{}
+
+var _ Extractor = AltitudeChangeExtractor{}
+
+// Name implements Extractor.
+func (AltitudeChangeExtractor) Name() string { return "altitude change" }
+
+// Extract implements Extractor.
+func (AltitudeChangeExtractor) Extract(samples []Sample) (float64, error) {
+	var w stats.Welford
+	for i, s := range samples {
+		if err := s.Validate(); err != nil {
+			return 0, fmt.Errorf("feature: altitude sample %d: %w", i, err)
+		}
+		m, err := stats.Mean(s.Readings)
+		if err != nil {
+			return 0, err
+		}
+		w.Add(m)
+	}
+	if w.N() == 0 {
+		return 0, errors.New("feature: altitude change: no data")
+	}
+	return w.StdDev(), nil
+}
+
+// NoiseRMSExtractor reduces microphone amplitude windows to an RMS level
+// per window and averages them (normalized 0..1 for full-scale input).
+type NoiseRMSExtractor struct{}
+
+var _ Extractor = NoiseRMSExtractor{}
+
+// Name implements Extractor.
+func (NoiseRMSExtractor) Name() string { return "noise" }
+
+// Extract implements Extractor.
+func (NoiseRMSExtractor) Extract(samples []Sample) (float64, error) {
+	var w stats.Welford
+	for i, s := range samples {
+		if err := s.Validate(); err != nil {
+			return 0, fmt.Errorf("feature: noise sample %d: %w", i, err)
+		}
+		rms, err := stats.RMS(s.Readings)
+		if err != nil {
+			return 0, err
+		}
+		w.Add(rms)
+	}
+	if w.N() == 0 {
+		return 0, errors.New("feature: noise: no data")
+	}
+	return w.Mean(), nil
+}
+
+// Curvature computes trail tortuosity from GPS samples: the time-ordered
+// points form a trace whose mean absolute heading change per 100 m is the
+// feature value (the stand-in for the paper's reference-[17] method).
+func Curvature(samples []GeoSample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("feature: curvature: no data")
+	}
+	ordered := make([]GeoSample, len(samples))
+	copy(ordered, samples)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].At.Before(ordered[j].At) })
+	var pts []geo.Point
+	for i, s := range ordered {
+		if len(s.Points) == 0 {
+			return 0, fmt.Errorf("feature: curvature sample %d has no points", i)
+		}
+		// Use the window centroid to suppress GPS jitter.
+		var lat, lon, alt float64
+		for _, p := range s.Points {
+			lat += p.Lat
+			lon += p.Lon
+			alt += p.Alt
+		}
+		n := float64(len(s.Points))
+		pts = append(pts, geo.Point{Lat: lat / n, Lon: lon / n, Alt: alt / n})
+	}
+	if len(pts) < 3 {
+		return 0, errors.New("feature: curvature needs at least 3 samples")
+	}
+	return geo.MeanTurnPer100m(pts), nil
+}
+
+// BurstCurvature computes tortuosity when each GeoSample is a short
+// continuous GPS *burst* (several consecutive fixes along the walk):
+// curvature is estimated within each burst and averaged across bursts.
+// Unlike Curvature, this never mixes fixes from different walkers or
+// far-apart times, so it is robust to staggered multi-phone traces.
+// Bursts with fewer than 3 points are skipped; if none qualify an error
+// is returned.
+func BurstCurvature(samples []GeoSample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("feature: curvature: no data")
+	}
+	var w stats.Welford
+	for _, s := range samples {
+		if len(s.Points) < 3 {
+			continue
+		}
+		w.Add(geo.MeanTurnPer100m(s.Points))
+	}
+	if w.N() == 0 {
+		return 0, errors.New("feature: curvature: no burst with >= 3 fixes")
+	}
+	return w.Mean(), nil
+}
+
+// Registry maps feature names to extractors; the Data Processor consults it
+// when turning raw uploads into feature rows.
+type Registry struct {
+	byName map[string]Extractor
+	names  []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Extractor)}
+}
+
+// Register adds an extractor; duplicate names are an error.
+func (r *Registry) Register(e Extractor) error {
+	if e == nil {
+		return errors.New("feature: nil extractor")
+	}
+	name := e.Name()
+	if name == "" {
+		return errors.New("feature: extractor with empty name")
+	}
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("feature: duplicate extractor %q", name)
+	}
+	r.byName[name] = e
+	r.names = append(r.names, name)
+	return nil
+}
+
+// Lookup fetches an extractor by feature name.
+func (r *Registry) Lookup(name string) (Extractor, bool) {
+	e, ok := r.byName[name]
+	return e, ok
+}
+
+// Names lists registered feature names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// DefaultTrailRegistry returns extractors for the §V-A hiking features
+// (curvature is handled separately because it consumes GeoSamples).
+func DefaultTrailRegistry() *Registry {
+	r := NewRegistry()
+	// Registration of fixed known-good extractors cannot fail.
+	for _, e := range []Extractor{
+		MeanExtractor{Feature: "temperature"},
+		MeanExtractor{Feature: "humidity"},
+		RoughnessExtractor{},
+		AltitudeChangeExtractor{},
+	} {
+		if err := r.Register(e); err != nil {
+			panic(err) // unreachable: fixed set has no duplicates
+		}
+	}
+	return r
+}
+
+// DefaultCoffeeRegistry returns extractors for the §V-B coffee-shop
+// features.
+func DefaultCoffeeRegistry() *Registry {
+	r := NewRegistry()
+	for _, e := range []Extractor{
+		MeanExtractor{Feature: "temperature"},
+		MeanExtractor{Feature: "brightness"},
+		NoiseRMSExtractor{},
+		MeanExtractor{Feature: "wifi"},
+	} {
+		if err := r.Register(e); err != nil {
+			panic(err) // unreachable: fixed set has no duplicates
+		}
+	}
+	return r
+}

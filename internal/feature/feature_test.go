@@ -1,0 +1,325 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sor/internal/geo"
+)
+
+var sampleStart = time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+
+func mkSamples(windows ...[]float64) []Sample {
+	out := make([]Sample, 0, len(windows))
+	for i, w := range windows {
+		out = append(out, Sample{
+			At:       sampleStart.Add(time.Duration(i) * time.Minute),
+			Window:   5 * time.Second,
+			Readings: w,
+		})
+	}
+	return out
+}
+
+func TestSampleValidate(t *testing.T) {
+	ok := Sample{At: sampleStart, Window: time.Second, Readings: []float64{1}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Sample{Window: -1, Readings: []float64{1}}).Validate(); err == nil {
+		t.Fatal("negative window must error")
+	}
+	if err := (Sample{Window: 1}).Validate(); err == nil {
+		t.Fatal("no readings must error")
+	}
+}
+
+func TestMeanExtractor(t *testing.T) {
+	e := MeanExtractor{Feature: "temperature"}
+	if e.Name() != "temperature" {
+		t.Fatal("name mismatch")
+	}
+	got, err := e.Extract(mkSamples([]float64{70, 72}, []float64{74}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 72 {
+		t.Fatalf("mean = %v, want 72", got)
+	}
+	if _, err := e.Extract(nil); err == nil {
+		t.Fatal("no data must error")
+	}
+	if _, err := e.Extract([]Sample{{Window: time.Second}}); err == nil {
+		t.Fatal("empty readings must error")
+	}
+}
+
+func TestRoughnessExtractor(t *testing.T) {
+	e := RoughnessExtractor{}
+	if e.Name() != "roughness" {
+		t.Fatal("name mismatch")
+	}
+	// Window 1: stddev 2 (values 2,4,4,4,5,5,7,9); window 2: stddev 0.
+	got, err := e.Extract(mkSamples(
+		[]float64{2, 4, 4, 4, 5, 5, 7, 9},
+		[]float64{3, 3, 3},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("roughness = %v, want mean(2,0)=1", got)
+	}
+	if _, err := e.Extract(nil); err == nil {
+		t.Fatal("no data must error")
+	}
+}
+
+func TestRoughnessOrdersSurfaces(t *testing.T) {
+	// A rocky surface (high within-window variance) must yield a larger
+	// roughness than a smooth one even if the smooth one has level shifts
+	// ACROSS windows.
+	rocky := mkSamples([]float64{-2, 2, -2, 2}, []float64{-2, 2, -2, 2})
+	smooth := mkSamples([]float64{5, 5, 5, 5}, []float64{9, 9, 9, 9})
+	e := RoughnessExtractor{}
+	r1, err := e.Extract(rocky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Extract(smooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 <= r2 {
+		t.Fatalf("rocky %v <= smooth %v", r1, r2)
+	}
+	if r2 != 0 {
+		t.Fatalf("smooth roughness = %v, want 0", r2)
+	}
+}
+
+func TestAltitudeChangeExtractor(t *testing.T) {
+	e := AltitudeChangeExtractor{}
+	if e.Name() != "altitude change" {
+		t.Fatal("name mismatch")
+	}
+	// Window means: 100, 104 → population stddev = 2.
+	got, err := e.Extract(mkSamples(
+		[]float64{99, 101},
+		[]float64{103, 105},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("altitude change = %v, want 2", got)
+	}
+	// Flat trail: zero.
+	flat, err := e.Extract(mkSamples([]float64{100}, []float64{100}, []float64{100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat != 0 {
+		t.Fatalf("flat altitude change = %v", flat)
+	}
+	if _, err := e.Extract(nil); err == nil {
+		t.Fatal("no data must error")
+	}
+}
+
+func TestNoiseRMSExtractor(t *testing.T) {
+	e := NoiseRMSExtractor{}
+	if e.Name() != "noise" {
+		t.Fatal("name mismatch")
+	}
+	got, err := e.Extract(mkSamples([]float64{0.3, -0.3}, []float64{0.1, -0.1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("noise = %v, want 0.2", got)
+	}
+	if _, err := e.Extract(nil); err == nil {
+		t.Fatal("no data must error")
+	}
+}
+
+func TestCurvatureStraightVsWinding(t *testing.T) {
+	start := geo.Point{Lat: 43.05, Lon: -76.14, Alt: 120}
+	mk := func(turn float64) []GeoSample {
+		var samples []GeoSample
+		p := start
+		brg := 0.0
+		for i := 0; i < 30; i++ {
+			if i%2 == 0 {
+				brg += turn
+			} else {
+				brg -= turn
+			}
+			p = geo.Offset(p, brg, 50)
+			samples = append(samples, GeoSample{
+				At:     sampleStart.Add(time.Duration(i) * 30 * time.Second),
+				Window: time.Second,
+				Points: []geo.Point{p},
+			})
+		}
+		return samples
+	}
+	straight, err := Curvature(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	winding, err := Curvature(mk(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if straight > 1 {
+		t.Fatalf("straight curvature = %v, want ~0", straight)
+	}
+	if winding < 30 {
+		t.Fatalf("winding curvature = %v, want large", winding)
+	}
+}
+
+func TestCurvatureOrdersSamplesByTime(t *testing.T) {
+	start := geo.Point{Lat: 43.05, Lon: -76.14}
+	// A straight walk delivered out of order must still look straight.
+	var samples []GeoSample
+	p := start
+	for i := 0; i < 10; i++ {
+		p = geo.Offset(p, 90, 100)
+		samples = append(samples, GeoSample{
+			At:     sampleStart.Add(time.Duration(i) * time.Minute),
+			Points: []geo.Point{p},
+		})
+	}
+	// Shuffle deterministically.
+	rng := rand.New(rand.NewSource(4))
+	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+	got, err := Curvature(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1 {
+		t.Fatalf("shuffled straight walk curvature = %v, want ~0", got)
+	}
+}
+
+func TestCurvatureErrors(t *testing.T) {
+	if _, err := Curvature(nil); err == nil {
+		t.Fatal("no data must error")
+	}
+	s := GeoSample{At: sampleStart, Points: []geo.Point{{Lat: 43, Lon: -76}}}
+	if _, err := Curvature([]GeoSample{s, s}); err == nil {
+		t.Fatal("fewer than 3 samples must error")
+	}
+	bad := []GeoSample{s, {At: sampleStart.Add(time.Minute)}, s}
+	if _, err := Curvature(bad); err == nil {
+		t.Fatal("sample without points must error")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(nil); err == nil {
+		t.Fatal("nil extractor must error")
+	}
+	if err := r.Register(MeanExtractor{Feature: ""}); err == nil {
+		t.Fatal("empty name must error")
+	}
+	if err := r.Register(MeanExtractor{Feature: "temperature"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(MeanExtractor{Feature: "temperature"}); err == nil {
+		t.Fatal("duplicate must error")
+	}
+	if _, ok := r.Lookup("temperature"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("phantom lookup")
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "temperature" {
+		t.Fatalf("names = %v", names)
+	}
+	names[0] = "mutated"
+	if r.Names()[0] != "temperature" {
+		t.Fatal("Names aliases internal slice")
+	}
+}
+
+func TestDefaultRegistries(t *testing.T) {
+	trail := DefaultTrailRegistry()
+	for _, name := range []string{"temperature", "humidity", "roughness", "altitude change"} {
+		if _, ok := trail.Lookup(name); !ok {
+			t.Fatalf("trail registry missing %q", name)
+		}
+	}
+	coffee := DefaultCoffeeRegistry()
+	for _, name := range []string{"temperature", "brightness", "noise", "wifi"} {
+		if _, ok := coffee.Lookup(name); !ok {
+			t.Fatalf("coffee registry missing %q", name)
+		}
+	}
+}
+
+// Property: the mean extractor recovers the generating mean of noisy
+// samples to within sampling error.
+func TestMeanExtractorRecoversTruthProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := rng.Float64()*100 - 50
+		var samples []Sample
+		for i := 0; i < 40; i++ {
+			var readings []float64
+			for j := 0; j < 10; j++ {
+				readings = append(readings, truth+rng.NormFloat64()*0.5)
+			}
+			samples = append(samples, Sample{
+				At: sampleStart.Add(time.Duration(i) * time.Minute), Readings: readings,
+			})
+		}
+		got, err := MeanExtractor{Feature: "x"}.Extract(samples)
+		return err == nil && math.Abs(got-truth) < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: roughness grows monotonically with the within-window noise
+// amplitude.
+func TestRoughnessMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(amp float64) []Sample {
+			var samples []Sample
+			for i := 0; i < 20; i++ {
+				var readings []float64
+				for j := 0; j < 20; j++ {
+					readings = append(readings, rng.NormFloat64()*amp)
+				}
+				samples = append(samples, Sample{
+					At: sampleStart.Add(time.Duration(i) * time.Minute), Readings: readings,
+				})
+			}
+			return samples
+		}
+		lo, err := RoughnessExtractor{}.Extract(mk(0.2))
+		if err != nil {
+			return false
+		}
+		hi, err := RoughnessExtractor{}.Extract(mk(2.0))
+		if err != nil {
+			return false
+		}
+		return hi > lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sor/internal/stats"
+)
+
+// Robust extractors: crowdsensed data comes from uncalibrated consumer
+// hardware, so a single faulty phone can poison a plain average. The paper
+// already hedges by taking "multiple (instead of one) readings within
+// [t, t+Δt] to ensure high sensing quality"; these extractors extend that
+// idea across contributors with order statistics — a natural extension the
+// ablation benchmarks quantify.
+
+// MedianExtractor reduces all readings to their median.
+type MedianExtractor struct {
+	Feature string
+}
+
+var _ Extractor = MedianExtractor{}
+
+// Name implements Extractor.
+func (e MedianExtractor) Name() string { return e.Feature }
+
+// Extract implements Extractor.
+func (e MedianExtractor) Extract(samples []Sample) (float64, error) {
+	all, err := flatten(e.Feature, samples)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Quantile(all, 0.5)
+}
+
+// TrimmedMeanExtractor drops the top and bottom TrimFrac of readings
+// before averaging.
+type TrimmedMeanExtractor struct {
+	Feature  string
+	TrimFrac float64 // per tail, in [0, 0.5)
+}
+
+var _ Extractor = TrimmedMeanExtractor{}
+
+// Name implements Extractor.
+func (e TrimmedMeanExtractor) Name() string { return e.Feature }
+
+// Extract implements Extractor.
+func (e TrimmedMeanExtractor) Extract(samples []Sample) (float64, error) {
+	if e.TrimFrac < 0 || e.TrimFrac >= 0.5 {
+		return 0, fmt.Errorf("feature: trim fraction %v outside [0, 0.5)", e.TrimFrac)
+	}
+	all, err := flatten(e.Feature, samples)
+	if err != nil {
+		return 0, err
+	}
+	sort.Float64s(all)
+	cut := int(float64(len(all)) * e.TrimFrac)
+	kept := all[cut : len(all)-cut]
+	if len(kept) == 0 {
+		return 0, errors.New("feature: trim removed all readings")
+	}
+	return stats.Mean(kept)
+}
+
+// MADFilter removes readings farther than K median-absolute-deviations
+// from the median (K ≈ 3 is customary). It returns the surviving readings
+// and how many were rejected.
+func MADFilter(readings []float64, k float64) (kept []float64, rejected int, err error) {
+	if len(readings) == 0 {
+		return nil, 0, errors.New("feature: MAD filter on empty input")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("feature: MAD threshold %v must be positive", k)
+	}
+	med, err := stats.Quantile(readings, 0.5)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev := make([]float64, len(readings))
+	for i, r := range readings {
+		dev[i] = math.Abs(r - med)
+	}
+	mad, err := stats.Quantile(dev, 0.5)
+	if err != nil {
+		return nil, 0, err
+	}
+	if mad == 0 {
+		// Degenerate spread: keep exact-median readings only when there
+		// are outliers; otherwise keep all.
+		for _, r := range readings {
+			if r == med {
+				kept = append(kept, r)
+			} else {
+				rejected++
+			}
+		}
+		if rejected == 0 {
+			return readings, 0, nil
+		}
+		return kept, rejected, nil
+	}
+	limit := k * 1.4826 * mad // 1.4826 scales MAD to σ for Gaussians
+	for _, r := range readings {
+		if math.Abs(r-med) <= limit {
+			kept = append(kept, r)
+		} else {
+			rejected++
+		}
+	}
+	if len(kept) == 0 {
+		return nil, rejected, errors.New("feature: MAD filter rejected everything")
+	}
+	return kept, rejected, nil
+}
+
+// MADMeanExtractor averages readings after MAD outlier rejection.
+type MADMeanExtractor struct {
+	Feature string
+	K       float64 // MAD multiples; <= 0 defaults to 3
+}
+
+var _ Extractor = MADMeanExtractor{}
+
+// Name implements Extractor.
+func (e MADMeanExtractor) Name() string { return e.Feature }
+
+// Extract implements Extractor.
+func (e MADMeanExtractor) Extract(samples []Sample) (float64, error) {
+	all, err := flatten(e.Feature, samples)
+	if err != nil {
+		return 0, err
+	}
+	k := e.K
+	if k <= 0 {
+		k = 3
+	}
+	kept, _, err := MADFilter(all, k)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Mean(kept)
+}
+
+// flatten validates samples and gathers all readings.
+func flatten(feat string, samples []Sample) ([]float64, error) {
+	var all []float64
+	for i, s := range samples {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("feature: %s sample %d: %w", feat, i, err)
+		}
+		all = append(all, s.Readings...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("feature: %s: no data", feat)
+	}
+	return all, nil
+}

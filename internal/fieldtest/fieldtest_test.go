@@ -1,0 +1,141 @@
+package fieldtest
+
+import (
+	"math"
+	"testing"
+
+	"sor/internal/world"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Category: "nope", PhonesPerPlace: 1, Budget: 1}); err == nil {
+		t.Fatal("unknown category must error")
+	}
+	if _, err := Run(Config{Category: world.CategoryTrail, Budget: 1}); err == nil {
+		t.Fatal("zero phones must error")
+	}
+	if _, err := Run(Config{Category: world.CategoryTrail, PhonesPerPlace: 1}); err == nil {
+		t.Fatal("zero budget must error")
+	}
+}
+
+// TestTrailFieldTestReproducesPaper runs the §V-A experiment end to end:
+// Fig. 6 feature data within tolerance of the calibrated ground truth and
+// Table I rankings exactly.
+func TestTrailFieldTestReproducesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	res, err := Run(Config{
+		Category:       world.CategoryTrail,
+		PhonesPerPlace: 7, // the paper used 7 phones per trail
+		Budget:         20,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phones != 21 || res.Uploads != 21 {
+		t.Fatalf("phones=%d uploads=%d", res.Phones, res.Uploads)
+	}
+	// Fig. 6 checks: value recovered through the full pipeline vs truth.
+	truth := map[string]map[string]float64{
+		world.GreenLakeTrail: {"temperature": 46, "humidity": 68, "roughness": 0.5, "curvature": 25, "altitude change": 5},
+		world.LongTrail:      {"temperature": 50, "humidity": 55, "roughness": 0.9, "curvature": 45, "altitude change": 15},
+		world.CliffTrail:     {"temperature": 49, "humidity": 50, "roughness": 1.4, "curvature": 70, "altitude change": 28},
+	}
+	for place, feats := range truth {
+		got, ok := res.Features[place]
+		if !ok {
+			t.Fatalf("no features for %s", place)
+		}
+		for feat, want := range feats {
+			tol := math.Max(math.Abs(want)*0.2, 2.5)
+			if math.Abs(got[feat]-want) > tol {
+				t.Errorf("%s %s = %.3g, want ~%.3g", place, feat, got[feat], want)
+			}
+		}
+	}
+	// Table I.
+	for prof, want := range ExpectedRankings(world.CategoryTrail) {
+		got := res.Rankings[prof]
+		if len(got) != len(want) {
+			t.Fatalf("%s ranking = %v", prof, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s ranking = %v, want %v (Table I)", prof, got, want)
+			}
+		}
+	}
+}
+
+// TestCoffeeFieldTestReproducesPaper runs §V-B: Fig. 10 + Table II.
+func TestCoffeeFieldTestReproducesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	res, err := Run(Config{
+		Category:             world.CategoryCoffee,
+		PhonesPerPlace:       12, // the paper used 12 phones per shop
+		Budget:               20,
+		Seed:                 2,
+		BluetoothFailureRate: 0.1, // a little Sensordrone flakiness
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phones != 36 {
+		t.Fatalf("phones = %d", res.Phones)
+	}
+	truth := map[string]map[string]float64{
+		world.TimHortons: {"temperature": 66, "brightness": 1000, "noise": 0.05, "wifi": -62},
+		world.BNCafe:     {"temperature": 71, "brightness": 400, "noise": 0.08, "wifi": -50},
+		world.Starbucks:  {"temperature": 73, "brightness": 150, "noise": 0.18, "wifi": -72},
+	}
+	for place, feats := range truth {
+		got, ok := res.Features[place]
+		if !ok {
+			t.Fatalf("no features for %s", place)
+		}
+		for feat, want := range feats {
+			tol := math.Max(math.Abs(want)*0.1, 0.02)
+			if math.Abs(got[feat]-want) > tol {
+				t.Errorf("%s %s = %.4g, want ~%.4g", place, feat, got[feat], want)
+			}
+		}
+	}
+	for prof, want := range ExpectedRankings(world.CategoryCoffee) {
+		got := res.Rankings[prof]
+		for i := range want {
+			if i >= len(got) || got[i] != want[i] {
+				t.Fatalf("%s ranking = %v, want %v (Table II)", prof, got, want)
+			}
+		}
+	}
+}
+
+func TestProfilesCoverCatalog(t *testing.T) {
+	for _, cat := range []string{world.CategoryTrail, world.CategoryCoffee} {
+		profs := Profiles(cat)
+		if len(profs) == 0 {
+			t.Fatalf("no profiles for %s", cat)
+		}
+		for _, p := range profs {
+			if p.Name == "" || len(p.Prefs) == 0 {
+				t.Fatalf("degenerate profile %+v", p)
+			}
+			for feat, pref := range p.Prefs {
+				if err := pref.Validate(); err != nil {
+					t.Fatalf("%s/%s: %v", p.Name, feat, err)
+				}
+			}
+		}
+	}
+	if len(ExpectedRankings(world.CategoryTrail)) != 3 {
+		t.Fatal("Table I has 3 rows")
+	}
+	if len(ExpectedRankings(world.CategoryCoffee)) != 2 {
+		t.Fatal("Table II has 2 rows")
+	}
+}

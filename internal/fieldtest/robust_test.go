@@ -1,0 +1,63 @@
+package fieldtest
+
+import (
+	"math"
+	"testing"
+
+	"sor/internal/world"
+)
+
+// TestRobustExtractionSurvivesFaultyPhones is the data-quality extension
+// experiment: 3 of 12 phones per shop carry a Sensordrone miscalibrated by
+// +40 units. With plain §IV-A averaging the temperature features drift by
+// roughly 40·(3/12) = 10 units — enough to corrupt rankings; with MAD
+// outlier rejection the features stay on the calibrated truth and Table II
+// still reproduces.
+func TestRobustExtractionSurvivesFaultyPhones(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	base := Config{
+		Category:       world.CategoryCoffee,
+		PhonesPerPlace: 12,
+		Budget:         15,
+		Seed:           7,
+		FaultyPhones:   3,
+	}
+
+	plain := base
+	plainRes, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust := base
+	robust.RobustExtraction = true
+	robustRes, err := Run(robust)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truth := map[string]float64{
+		world.TimHortons: 66, world.BNCafe: 71, world.Starbucks: 73,
+	}
+	for place, want := range truth {
+		plainTemp := plainRes.Features[place]["temperature"]
+		robustTemp := robustRes.Features[place]["temperature"]
+		if math.Abs(plainTemp-want) < 5 {
+			t.Fatalf("%s: plain mean %.1f unexpectedly close to %.1f — fault injection vacuous",
+				place, plainTemp, want)
+		}
+		if math.Abs(robustTemp-want) > 1.5 {
+			t.Errorf("%s: robust temperature %.1f, want ~%.1f", place, robustTemp, want)
+		}
+	}
+	// Rankings still reproduce Table II under robust extraction.
+	for prof, want := range ExpectedRankings(world.CategoryCoffee) {
+		got := robustRes.Rankings[prof]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s robust ranking = %v, want %v", prof, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,469 @@
+// Package frontend implements SOR's Mobile Frontend (Fig. 3): the Message
+// Handler that talks to the sensing server in binary-over-HTTP, the Local
+// Preference Manager that lets a user withhold sensors, the Task Manager
+// whose task instances execute the Lua sensing scripts delivered with each
+// schedule, the Script Interpreter binding that maps get_*_readings()
+// calls onto sensor Providers through the security whitelist, and a
+// wake-lock that keeps the (simulated) phone awake during communication.
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sor/internal/device"
+	"sor/internal/luascript"
+	"sor/internal/sensors"
+	"sor/internal/wire"
+)
+
+// Sender abstracts the transport used to reach the sensing server (the
+// Message Handler's outbound side). transport.Client implements it.
+type Sender interface {
+	Send(ctx context.Context, m wire.Message) (wire.Message, error)
+}
+
+// WakeLock mimics powerManager.newWakeupLock(): the frontend holds it
+// during communication and sensing so the phone cannot sleep.
+type WakeLock struct {
+	mu    sync.Mutex
+	holds int
+	peak  int
+}
+
+// Acquire takes the lock (counted).
+func (w *WakeLock) Acquire() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.holds++
+	if w.holds > w.peak {
+		w.peak = w.holds
+	}
+}
+
+// Release drops one hold; releasing an unheld lock is an error.
+func (w *WakeLock) Release() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.holds == 0 {
+		return errors.New("frontend: release of unheld wake lock")
+	}
+	w.holds--
+	return nil
+}
+
+// Held reports whether the phone is being kept awake.
+func (w *WakeLock) Held() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.holds > 0
+}
+
+// Peak reports the maximum concurrent holds (test instrumentation).
+func (w *WakeLock) Peak() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peak
+}
+
+// Preferences is the Local Preference Manager: per-acquisition-function
+// consent. The paper's example: a user refusing to expose GPS locations.
+type Preferences struct {
+	mu     sync.RWMutex
+	denied map[string]bool
+}
+
+// NewPreferences allows everything by default.
+func NewPreferences() *Preferences {
+	return &Preferences{denied: make(map[string]bool)}
+}
+
+// Deny forbids an acquisition function (e.g. device.FnLocation).
+func (p *Preferences) Deny(funcName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.denied[funcName] = true
+}
+
+// Allow re-permits a function.
+func (p *Preferences) Allow(funcName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.denied, funcName)
+}
+
+// Allowed reports consent for a function.
+func (p *Preferences) Allowed(funcName string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return !p.denied[funcName]
+}
+
+// TaskState is a task instance's lifecycle (§II-A: "running, waiting for
+// data, etc").
+type TaskState int
+
+// Task states.
+const (
+	TaskStateWaiting TaskState = iota + 1
+	TaskStateRunning
+	TaskStateDone
+	TaskStateFailed
+)
+
+// String names the state.
+func (s TaskState) String() string {
+	switch s {
+	case TaskStateWaiting:
+		return "waiting"
+	case TaskStateRunning:
+		return "running"
+	case TaskStateDone:
+		return "done"
+	case TaskStateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// TaskInfo is a snapshot of one task instance.
+type TaskInfo struct {
+	TaskID       string
+	AppID        string
+	State        TaskState
+	Measurements int
+	Err          string
+}
+
+// Frontend is the mobile application instance running on one phone.
+type Frontend struct {
+	phone  *device.Phone
+	sender Sender
+	prefs  *Preferences
+	wake   *WakeLock
+
+	mu    sync.Mutex
+	tasks map[string]*TaskInfo
+}
+
+// New builds a frontend for a phone.
+func New(phone *device.Phone, sender Sender) (*Frontend, error) {
+	if phone == nil {
+		return nil, errors.New("frontend: nil phone")
+	}
+	if sender == nil {
+		return nil, errors.New("frontend: nil sender")
+	}
+	return &Frontend{
+		phone:  phone,
+		sender: sender,
+		prefs:  NewPreferences(),
+		wake:   &WakeLock{},
+		tasks:  make(map[string]*TaskInfo),
+	}, nil
+}
+
+// Preferences exposes the Local Preference Manager.
+func (f *Frontend) Preferences() *Preferences { return f.prefs }
+
+// WakeLock exposes the wake lock (test instrumentation).
+func (f *Frontend) WakeLock() *WakeLock { return f.wake }
+
+// Phone returns the underlying device.
+func (f *Frontend) Phone() *device.Phone { return f.phone }
+
+// Tasks snapshots all task instances.
+func (f *Frontend) Tasks() []TaskInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]TaskInfo, 0, len(f.tasks))
+	for _, t := range f.tasks {
+		out = append(out, *t)
+	}
+	return out
+}
+
+// Task returns one task snapshot.
+func (f *Frontend) Task(taskID string) (TaskInfo, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t, ok := f.tasks[taskID]
+	if !ok {
+		return TaskInfo{}, false
+	}
+	return *t, true
+}
+
+// Participate scans the 2D barcode payload (appID + server already known
+// to the sender) and sends the participation request; on success the
+// server replies with an Ack embedding this phone's Schedule.
+func (f *Frontend) Participate(ctx context.Context, userID, appID string, budget int, leaveAfter time.Duration) (*wire.Schedule, error) {
+	f.wake.Acquire()
+	defer func() { _ = f.wake.Release() }()
+	pos := f.phone.Position()
+	req := &wire.Participate{
+		UserID:        userID,
+		Token:         f.phone.Token,
+		AppID:         appID,
+		Loc:           wire.Location{Lat: pos.Lat, Lon: pos.Lon, Alt: pos.Alt},
+		Budget:        budget,
+		LeaveAfterSec: int64(leaveAfter / time.Second),
+	}
+	resp, err := f.sender.Send(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: participate: %w", err)
+	}
+	ack, ok := resp.(*wire.Ack)
+	if !ok {
+		return nil, fmt.Errorf("frontend: unexpected response %s", resp.Type())
+	}
+	if !ack.OK {
+		return nil, fmt.Errorf("frontend: server refused participation: %s", ack.Message)
+	}
+	if len(ack.Payload) == 0 {
+		return nil, errors.New("frontend: ack carried no schedule")
+	}
+	inner, err := wire.Decode(ack.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: decoding schedule: %w", err)
+	}
+	sched, ok := inner.(*wire.Schedule)
+	if !ok {
+		return nil, fmt.Errorf("frontend: expected schedule, got %s", inner.Type())
+	}
+	return sched, nil
+}
+
+// Leave notifies the server the user left the place.
+func (f *Frontend) Leave(ctx context.Context, userID, appID string) error {
+	f.wake.Acquire()
+	defer func() { _ = f.wake.Release() }()
+	resp, err := f.sender.Send(ctx, &wire.Leave{UserID: userID, AppID: appID})
+	if err != nil {
+		return fmt.Errorf("frontend: leave: %w", err)
+	}
+	if ack, ok := resp.(*wire.Ack); ok && !ack.OK {
+		return fmt.Errorf("frontend: leave refused: %s", ack.Message)
+	}
+	return nil
+}
+
+// defaultWindow is the paper's Δt when the script does not override it.
+const defaultWindow = 5 * time.Second
+
+// ExecuteSchedule runs a task instance to completion: for every scheduled
+// instant it advances the phone clock, interprets the Lua script (which
+// pulls data from providers through the whitelist), and finally uploads
+// all collected samples to the server in one binary message.
+func (f *Frontend) ExecuteSchedule(ctx context.Context, sched *wire.Schedule) (*wire.DataUpload, error) {
+	if sched == nil {
+		return nil, errors.New("frontend: nil schedule")
+	}
+	info := &TaskInfo{TaskID: sched.TaskID, AppID: sched.AppID, State: TaskStateWaiting}
+	f.mu.Lock()
+	if _, dup := f.tasks[sched.TaskID]; dup {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("frontend: task %s already exists", sched.TaskID)
+	}
+	f.tasks[sched.TaskID] = info
+	f.mu.Unlock()
+
+	setState := func(s TaskState, err error) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		info.State = s
+		if err != nil {
+			info.Err = err.Error()
+		}
+	}
+	setState(TaskStateRunning, nil)
+
+	upload := &wire.DataUpload{
+		TaskID: sched.TaskID,
+		AppID:  sched.AppID,
+		UserID: sched.UserID,
+	}
+	collector := newCollector(upload)
+
+	chunk, err := luascript.Parse(sched.Script)
+	if err != nil {
+		setState(TaskStateFailed, err)
+		return nil, fmt.Errorf("frontend: task script: %w", err)
+	}
+
+	for _, atUnix := range sched.AtUnix {
+		if err := ctx.Err(); err != nil {
+			setState(TaskStateFailed, err)
+			return nil, fmt.Errorf("frontend: task cancelled: %w", err)
+		}
+		at := time.Unix(atUnix, 0).UTC()
+		f.phone.SetTime(at)
+		interp, err := f.newTaskInterp(ctx, at, collector)
+		if err != nil {
+			setState(TaskStateFailed, err)
+			return nil, err
+		}
+		if _, err := interp.RunChunk(chunk); err != nil {
+			setState(TaskStateFailed, err)
+			return nil, fmt.Errorf("frontend: task %s at %v: %w", sched.TaskID, at, err)
+		}
+		f.mu.Lock()
+		info.Measurements++
+		f.mu.Unlock()
+	}
+
+	f.wake.Acquire()
+	resp, err := f.sender.Send(ctx, upload)
+	if relErr := f.wake.Release(); relErr != nil {
+		setState(TaskStateFailed, relErr)
+		return nil, relErr
+	}
+	if err != nil {
+		setState(TaskStateFailed, err)
+		return nil, fmt.Errorf("frontend: uploading data: %w", err)
+	}
+	if ack, ok := resp.(*wire.Ack); ok && !ack.OK {
+		err := fmt.Errorf("frontend: upload refused: %s", ack.Message)
+		setState(TaskStateFailed, err)
+		return nil, err
+	}
+	setState(TaskStateDone, nil)
+	return upload, nil
+}
+
+// HandlePing answers a push-channel wake-up by pinging the server (the
+// paper's Google-Cloud-Messaging-assisted rendezvous).
+func (f *Frontend) HandlePing(ctx context.Context) error {
+	f.wake.Acquire()
+	defer func() { _ = f.wake.Release() }()
+	_, err := f.sender.Send(ctx, &wire.Ping{Token: f.phone.Token})
+	return err
+}
+
+// newTaskInterp builds the per-measurement interpreter with the sensor
+// host functions registered under the whitelist.
+func (f *Frontend) newTaskInterp(ctx context.Context, at time.Time, col *collector) (*luascript.Interp, error) {
+	whitelist := []string{
+		device.FnTemperature, device.FnHumidity, device.FnLight,
+		device.FnWiFi, device.FnNoise, device.FnAccel,
+		device.FnAltitude, device.FnLocation,
+	}
+	interp := luascript.NewInterp(
+		luascript.WithWhitelist(whitelist...),
+		luascript.WithContext(ctx),
+	)
+	mgr := f.phone.Manager()
+	for _, fn := range mgr.Functions() {
+		if err := interp.Register(fn, f.hostFunc(ctx, fn, at, col)); err != nil {
+			return nil, fmt.Errorf("frontend: binding %s: %w", fn, err)
+		}
+	}
+	return interp, nil
+}
+
+// hostFunc adapts one acquisition function into a Lua host function:
+// get_*_readings(count, window_ms) -> table of numbers;
+// get_location(count) -> table of {lat, lon, alt} tables.
+func (f *Frontend) hostFunc(ctx context.Context, fn string, at time.Time, col *collector) luascript.GoFunc {
+	return func(args []luascript.Value) ([]luascript.Value, error) {
+		if !f.prefs.Allowed(fn) {
+			return nil, fmt.Errorf("sensor %s disabled by user preference", fn)
+		}
+		count := 1
+		if len(args) > 0 {
+			if n, ok := luascript.ToNumber(args[0]); ok && n >= 1 {
+				count = int(n)
+			}
+		}
+		window := defaultWindow
+		if len(args) > 1 {
+			if ms, ok := luascript.ToNumber(args[1]); ok && ms >= 0 {
+				window = time.Duration(ms) * time.Millisecond
+			}
+		}
+		reading, err := f.phone.Manager().Acquire(ctx, fn, sensors.Request{
+			At: at, Count: count, Window: window,
+		})
+		if err != nil {
+			return nil, err
+		}
+		col.record(fn, reading)
+		if fn == device.FnLocation {
+			out := luascript.NewTable()
+			for _, pt := range reading.Points {
+				entry := luascript.NewTable()
+				if err := entry.Set("lat", pt.Lat); err != nil {
+					return nil, err
+				}
+				if err := entry.Set("lon", pt.Lon); err != nil {
+					return nil, err
+				}
+				if err := entry.Set("alt", pt.Alt); err != nil {
+					return nil, err
+				}
+				out.Append(entry)
+			}
+			return []luascript.Value{out}, nil
+		}
+		out := luascript.NewTable()
+		for _, v := range reading.Values {
+			out.Append(v)
+		}
+		return []luascript.Value{out}, nil
+	}
+}
+
+// collector accumulates readings into the pending DataUpload.
+type collector struct {
+	mu     sync.Mutex
+	upload *wire.DataUpload
+	series map[string]int // sensor name -> index in upload.Series
+}
+
+func newCollector(upload *wire.DataUpload) *collector {
+	return &collector{upload: upload, series: make(map[string]int)}
+}
+
+// sensorName maps acquisition function names to upload series names.
+var sensorName = map[string]string{
+	device.FnTemperature: "temperature",
+	device.FnHumidity:    "humidity",
+	device.FnLight:       "light",
+	device.FnWiFi:        "wifi",
+	device.FnNoise:       "microphone",
+	device.FnAccel:       "accelerometer",
+	device.FnAltitude:    "barometer",
+}
+
+func (c *collector) record(fn string, r sensors.Reading) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fn == device.FnLocation {
+		for _, pt := range r.Points {
+			c.upload.Track = append(c.upload.Track, wire.GeoPoint{
+				AtUnixMilli: r.At.UnixMilli(),
+				Lat:         pt.Lat, Lon: pt.Lon, Alt: pt.Alt,
+			})
+		}
+		return
+	}
+	name, ok := sensorName[fn]
+	if !ok {
+		name = fn
+	}
+	idx, ok := c.series[name]
+	if !ok {
+		idx = len(c.upload.Series)
+		c.upload.Series = append(c.upload.Series, wire.SensorSeries{Sensor: name})
+		c.series[name] = idx
+	}
+	c.upload.Series[idx].Samples = append(c.upload.Series[idx].Samples, wire.SensorSample{
+		AtUnixMilli: r.At.UnixMilli(),
+		WindowMilli: int64(r.Window / time.Millisecond),
+		Readings:    append([]float64(nil), r.Values...),
+	})
+}

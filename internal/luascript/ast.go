@@ -1,0 +1,180 @@
+package luascript
+
+// ---- Expressions ----
+
+type expr interface{ exprLine() int }
+
+type nilExpr struct{ line int }
+type trueExpr struct{ line int }
+type falseExpr struct{ line int }
+
+type numberExpr struct {
+	line int
+	val  float64
+}
+
+type stringExpr struct {
+	line int
+	val  string
+}
+
+type nameExpr struct {
+	line int
+	name string
+}
+
+// indexExpr is t[k] (and t.k, desugared).
+type indexExpr struct {
+	line int
+	obj  expr
+	key  expr
+}
+
+// callExpr is f(args) or obj:method(args).
+type callExpr struct {
+	line   int
+	fn     expr
+	method string // non-empty for method-call sugar
+	args   []expr
+}
+
+// funcExpr is a function literal.
+type funcExpr struct {
+	line   int
+	params []string
+	body   []stmt
+}
+
+// tableExpr is a table constructor { a, b, k = v, [e] = v }.
+type tableExpr struct {
+	line  int
+	array []expr          // positional entries
+	keyed []tableKeyEntry // keyed entries in source order
+}
+
+type tableKeyEntry struct {
+	key expr
+	val expr
+}
+
+// binExpr is a binary operation.
+type binExpr struct {
+	line int
+	op   string
+	l, r expr
+}
+
+// unExpr is a unary operation (-, not, #).
+type unExpr struct {
+	line int
+	op   string
+	e    expr
+}
+
+func (e *nilExpr) exprLine() int    { return e.line }
+func (e *trueExpr) exprLine() int   { return e.line }
+func (e *falseExpr) exprLine() int  { return e.line }
+func (e *numberExpr) exprLine() int { return e.line }
+func (e *stringExpr) exprLine() int { return e.line }
+func (e *nameExpr) exprLine() int   { return e.line }
+func (e *indexExpr) exprLine() int  { return e.line }
+func (e *callExpr) exprLine() int   { return e.line }
+func (e *funcExpr) exprLine() int   { return e.line }
+func (e *tableExpr) exprLine() int  { return e.line }
+func (e *binExpr) exprLine() int    { return e.line }
+func (e *unExpr) exprLine() int     { return e.line }
+
+// ---- Statements ----
+
+type stmt interface{ stmtLine() int }
+
+// localStmt declares local names = exprs.
+type localStmt struct {
+	line  int
+	names []string
+	exprs []expr
+}
+
+// assignStmt assigns targets = exprs (targets are nameExpr or indexExpr).
+type assignStmt struct {
+	line    int
+	targets []expr
+	exprs   []expr
+}
+
+// callStmt is an expression statement (function call).
+type callStmt struct {
+	line int
+	call *callExpr
+}
+
+// ifStmt with elseif chains flattened into nested elseBody.
+type ifStmt struct {
+	line     int
+	cond     expr
+	thenBody []stmt
+	elseBody []stmt // may be nil
+}
+
+type whileStmt struct {
+	line int
+	cond expr
+	body []stmt
+}
+
+type repeatStmt struct {
+	line int
+	body []stmt
+	cond expr
+}
+
+// numForStmt is `for v = start, stop [, step] do body end`.
+type numForStmt struct {
+	line        int
+	name        string
+	start, stop expr
+	step        expr // nil = 1
+	body        []stmt
+}
+
+// genForStmt is `for n1, n2, ... in explist do body end`.
+type genForStmt struct {
+	line  int
+	names []string
+	exprs []expr
+	body  []stmt
+}
+
+type returnStmt struct {
+	line  int
+	exprs []expr
+}
+
+type breakStmt struct{ line int }
+
+// doStmt is a `do ... end` block introducing a scope.
+type doStmt struct {
+	line int
+	body []stmt
+}
+
+// funcStmt is `function name(...)` or `local function name(...)` sugar.
+type funcStmt struct {
+	line   int
+	target expr // nameExpr or indexExpr chain
+	local  bool
+	fn     *funcExpr
+}
+
+func (s *localStmt) stmtLine() int  { return s.line }
+func (s *assignStmt) stmtLine() int { return s.line }
+func (s *callStmt) stmtLine() int   { return s.line }
+func (s *ifStmt) stmtLine() int     { return s.line }
+func (s *whileStmt) stmtLine() int  { return s.line }
+func (s *repeatStmt) stmtLine() int { return s.line }
+func (s *numForStmt) stmtLine() int { return s.line }
+func (s *genForStmt) stmtLine() int { return s.line }
+func (s *returnStmt) stmtLine() int { return s.line }
+func (s *breakStmt) stmtLine() int  { return s.line }
+func (s *doStmt) stmtLine() int     { return s.line }
+func (s *funcStmt) stmtLine() int   { return s.line }

@@ -1,0 +1,746 @@
+package luascript
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// env is a lexical scope: a frame of variables with a parent pointer.
+type env struct {
+	vars   map[string]Value
+	parent *env
+}
+
+func newEnv(parent *env) *env {
+	return &env{vars: make(map[string]Value), parent: parent}
+}
+
+func (e *env) lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// setExisting updates the innermost scope declaring name; reports whether
+// any scope declared it.
+func (e *env) setExisting(name string, v Value) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+func (e *env) declare(name string, v Value) { e.vars[name] = v }
+
+// control-flow signals used internally by the evaluator.
+type breakSignal struct{}
+
+type returnSignal struct{ vals []Value }
+
+func (breakSignal) Error() string  { return "break outside loop" }
+func (returnSignal) Error() string { return "return outside function" }
+
+// Interp executes parsed chunks against a global environment with a
+// security whitelist for host functions (the paper's "only allowing a
+// white list of unharmful functions to be called").
+type Interp struct {
+	globals   *env
+	whitelist map[string]bool // nil = everything registered is callable
+	output    strings.Builder
+	steps     int
+	maxSteps  int
+	ctx       context.Context
+}
+
+// InterpOption configures an interpreter.
+type InterpOption func(*Interp)
+
+// WithMaxSteps bounds evaluation steps (defense against runaway scripts).
+// The default is 5 million.
+func WithMaxSteps(n int) InterpOption {
+	return func(i *Interp) { i.maxSteps = n }
+}
+
+// WithWhitelist restricts callable *host* functions to the given names.
+// Script-defined functions and the sandboxed stdlib are always allowed.
+func WithWhitelist(names ...string) InterpOption {
+	return func(i *Interp) {
+		i.whitelist = make(map[string]bool, len(names))
+		for _, n := range names {
+			i.whitelist[n] = true
+		}
+	}
+}
+
+// WithContext attaches a context checked at loop back-edges and calls so
+// long scripts can be cancelled.
+func WithContext(ctx context.Context) InterpOption {
+	return func(i *Interp) { i.ctx = ctx }
+}
+
+// NewInterp creates an interpreter with the sandboxed stdlib installed.
+func NewInterp(opts ...InterpOption) *Interp {
+	in := &Interp{
+		globals:  newEnv(nil),
+		maxSteps: 5_000_000,
+		ctx:      context.Background(),
+	}
+	for _, o := range opts {
+		o(in)
+	}
+	in.installStdlib()
+	return in
+}
+
+// Register exposes a host function to scripts under the given name. When a
+// whitelist is configured the name must be on it.
+func (in *Interp) Register(name string, fn GoFunc) error {
+	if name == "" {
+		return fmt.Errorf("lua: empty host function name")
+	}
+	if fn == nil {
+		return fmt.Errorf("lua: nil host function %q", name)
+	}
+	if in.whitelist != nil && !in.whitelist[name] {
+		return fmt.Errorf("lua: host function %q not on the whitelist", name)
+	}
+	in.globals.declare(name, fn)
+	return nil
+}
+
+// SetGlobal sets a global variable (e.g. task parameters).
+func (in *Interp) SetGlobal(name string, v Value) { in.globals.declare(name, v) }
+
+// Global reads a global variable.
+func (in *Interp) Global(name string) (Value, bool) { return in.globals.lookup(name) }
+
+// Output returns everything the script print()ed.
+func (in *Interp) Output() string { return in.output.String() }
+
+// Run parses and executes src, returning the chunk's return values.
+func (in *Interp) Run(src string) ([]Value, error) {
+	chunk, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return in.RunChunk(chunk)
+}
+
+// RunChunk executes a pre-parsed chunk.
+func (in *Interp) RunChunk(chunk []stmt) ([]Value, error) {
+	in.steps = 0
+	err := in.execBlock(chunk, newEnv(in.globals))
+	if err != nil {
+		if ret, ok := err.(returnSignal); ok {
+			return ret.vals, nil
+		}
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (in *Interp) tick(line int) error {
+	in.steps++
+	if in.steps > in.maxSteps {
+		return errf(line, "step budget exhausted (%d steps)", in.maxSteps)
+	}
+	if in.steps%1024 == 0 {
+		select {
+		case <-in.ctx.Done():
+			return errf(line, "script cancelled: %v", in.ctx.Err())
+		default:
+		}
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(body []stmt, scope *env) error {
+	for _, s := range body {
+		if err := in.execStmt(s, scope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) execStmt(s stmt, scope *env) error {
+	if err := in.tick(s.stmtLine()); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *localStmt:
+		vals, err := in.evalExprList(st.exprs, scope, len(st.names))
+		if err != nil {
+			return err
+		}
+		for i, name := range st.names {
+			scope.declare(name, vals[i])
+		}
+		return nil
+
+	case *assignStmt:
+		vals, err := in.evalExprList(st.exprs, scope, len(st.targets))
+		if err != nil {
+			return err
+		}
+		for i, target := range st.targets {
+			if err := in.assign(target, vals[i], scope); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *callStmt:
+		_, err := in.evalCall(st.call, scope)
+		return err
+
+	case *ifStmt:
+		cond, err := in.eval(st.cond, scope)
+		if err != nil {
+			return err
+		}
+		if Truthy(cond) {
+			return in.execBlock(st.thenBody, newEnv(scope))
+		}
+		if st.elseBody != nil {
+			return in.execBlock(st.elseBody, newEnv(scope))
+		}
+		return nil
+
+	case *whileStmt:
+		for {
+			if err := in.tick(st.line); err != nil {
+				return err
+			}
+			cond, err := in.eval(st.cond, scope)
+			if err != nil {
+				return err
+			}
+			if !Truthy(cond) {
+				return nil
+			}
+			if err := in.execBlock(st.body, newEnv(scope)); err != nil {
+				if _, ok := err.(breakSignal); ok {
+					return nil
+				}
+				return err
+			}
+		}
+
+	case *repeatStmt:
+		for {
+			if err := in.tick(st.line); err != nil {
+				return err
+			}
+			// The until condition sees the loop body's scope.
+			bodyScope := newEnv(scope)
+			if err := in.execBlock(st.body, bodyScope); err != nil {
+				if _, ok := err.(breakSignal); ok {
+					return nil
+				}
+				return err
+			}
+			cond, err := in.eval(st.cond, bodyScope)
+			if err != nil {
+				return err
+			}
+			if Truthy(cond) {
+				return nil
+			}
+		}
+
+	case *numForStmt:
+		startV, err := in.evalNumber(st.start, scope, "for start")
+		if err != nil {
+			return err
+		}
+		stopV, err := in.evalNumber(st.stop, scope, "for limit")
+		if err != nil {
+			return err
+		}
+		stepV := 1.0
+		if st.step != nil {
+			stepV, err = in.evalNumber(st.step, scope, "for step")
+			if err != nil {
+				return err
+			}
+		}
+		if stepV == 0 {
+			return errf(st.line, "for step is zero")
+		}
+		for v := startV; (stepV > 0 && v <= stopV) || (stepV < 0 && v >= stopV); v += stepV {
+			if err := in.tick(st.line); err != nil {
+				return err
+			}
+			iterScope := newEnv(scope)
+			iterScope.declare(st.name, v)
+			if err := in.execBlock(st.body, iterScope); err != nil {
+				if _, ok := err.(breakSignal); ok {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+
+	case *genForStmt:
+		vals, err := in.evalExprList(st.exprs, scope, 3)
+		if err != nil {
+			return err
+		}
+		iter, state, control := vals[0], vals[1], vals[2]
+		for {
+			if err := in.tick(st.line); err != nil {
+				return err
+			}
+			rets, err := in.callValue(st.line, iter, []Value{state, control})
+			if err != nil {
+				return err
+			}
+			if len(rets) == 0 || rets[0] == nil {
+				return nil
+			}
+			control = rets[0]
+			iterScope := newEnv(scope)
+			for i, name := range st.names {
+				if i < len(rets) {
+					iterScope.declare(name, rets[i])
+				} else {
+					iterScope.declare(name, nil)
+				}
+			}
+			if err := in.execBlock(st.body, iterScope); err != nil {
+				if _, ok := err.(breakSignal); ok {
+					return nil
+				}
+				return err
+			}
+		}
+
+	case *returnStmt:
+		vals, err := in.evalMultiExprList(st.exprs, scope)
+		if err != nil {
+			return err
+		}
+		return returnSignal{vals: vals}
+
+	case *breakStmt:
+		return breakSignal{}
+
+	case *doStmt:
+		return in.execBlock(st.body, newEnv(scope))
+
+	case *funcStmt:
+		fn := &Function{params: st.fn.params, body: st.fn.body, env: scope}
+		if st.local {
+			name := st.target.(*nameExpr).name
+			// Declare before binding so the function can recurse.
+			scope.declare(name, nil)
+			scope.declare(name, fn)
+			return nil
+		}
+		return in.assign(st.target, fn, scope)
+
+	default:
+		return errf(s.stmtLine(), "internal: unknown statement %T", s)
+	}
+}
+
+func (in *Interp) assign(target expr, val Value, scope *env) error {
+	switch t := target.(type) {
+	case *nameExpr:
+		if !scope.setExisting(t.name, val) {
+			in.globals.declare(t.name, val)
+		}
+		return nil
+	case *indexExpr:
+		obj, err := in.eval(t.obj, scope)
+		if err != nil {
+			return err
+		}
+		tbl, ok := obj.(*Table)
+		if !ok {
+			return errf(t.line, "attempt to index a %s value", TypeName(obj))
+		}
+		key, err := in.eval(t.key, scope)
+		if err != nil {
+			return err
+		}
+		if err := tbl.Set(key, val); err != nil {
+			return errf(t.line, "%v", err)
+		}
+		return nil
+	default:
+		return errf(target.exprLine(), "cannot assign to this expression")
+	}
+}
+
+// evalExprList evaluates an expression list and adjusts it to want values
+// (expanding a trailing call's multiple results, padding with nil).
+func (in *Interp) evalExprList(exprs []expr, scope *env, want int) ([]Value, error) {
+	vals, err := in.evalMultiExprList(exprs, scope)
+	if err != nil {
+		return nil, err
+	}
+	for len(vals) < want {
+		vals = append(vals, nil)
+	}
+	return vals[:want], nil
+}
+
+// evalMultiExprList evaluates an expression list keeping the trailing
+// call's full result list.
+func (in *Interp) evalMultiExprList(exprs []expr, scope *env) ([]Value, error) {
+	var out []Value
+	for i, e := range exprs {
+		if i == len(exprs)-1 {
+			if call, ok := e.(*callExpr); ok {
+				rets, err := in.evalCall(call, scope)
+				if err != nil {
+					return nil, err
+				}
+				return append(out, rets...), nil
+			}
+		}
+		v, err := in.eval(e, scope)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (in *Interp) evalNumber(e expr, scope *env, what string) (float64, error) {
+	v, err := in.eval(e, scope)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := ToNumber(v)
+	if !ok {
+		return 0, errf(e.exprLine(), "%s must be a number, got %s", what, TypeName(v))
+	}
+	return n, nil
+}
+
+func (in *Interp) eval(e expr, scope *env) (Value, error) {
+	if err := in.tick(e.exprLine()); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *nilExpr:
+		return nil, nil
+	case *trueExpr:
+		return true, nil
+	case *falseExpr:
+		return false, nil
+	case *numberExpr:
+		return x.val, nil
+	case *stringExpr:
+		return x.val, nil
+	case *nameExpr:
+		v, _ := scope.lookup(x.name)
+		return v, nil
+	case *indexExpr:
+		obj, err := in.eval(x.obj, scope)
+		if err != nil {
+			return nil, err
+		}
+		tbl, ok := obj.(*Table)
+		if !ok {
+			return nil, errf(x.line, "attempt to index a %s value", TypeName(obj))
+		}
+		key, err := in.eval(x.key, scope)
+		if err != nil {
+			return nil, err
+		}
+		return tbl.Get(key), nil
+	case *callExpr:
+		rets, err := in.evalCall(x, scope)
+		if err != nil {
+			return nil, err
+		}
+		if len(rets) == 0 {
+			return nil, nil
+		}
+		return rets[0], nil
+	case *funcExpr:
+		return &Function{params: x.params, body: x.body, env: scope}, nil
+	case *tableExpr:
+		tbl := NewTable()
+		for i, el := range x.array {
+			if i == len(x.array)-1 {
+				if call, ok := el.(*callExpr); ok {
+					rets, err := in.evalCall(call, scope)
+					if err != nil {
+						return nil, err
+					}
+					for _, r := range rets {
+						tbl.Append(r)
+					}
+					continue
+				}
+			}
+			v, err := in.eval(el, scope)
+			if err != nil {
+				return nil, err
+			}
+			tbl.Append(v)
+		}
+		for _, kv := range x.keyed {
+			k, err := in.eval(kv.key, scope)
+			if err != nil {
+				return nil, err
+			}
+			v, err := in.eval(kv.val, scope)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.Set(k, v); err != nil {
+				return nil, errf(x.line, "%v", err)
+			}
+		}
+		return tbl, nil
+	case *unExpr:
+		return in.evalUnary(x, scope)
+	case *binExpr:
+		return in.evalBinary(x, scope)
+	default:
+		return nil, errf(e.exprLine(), "internal: unknown expression %T", e)
+	}
+}
+
+func (in *Interp) evalUnary(x *unExpr, scope *env) (Value, error) {
+	switch x.op {
+	case "not":
+		v, err := in.eval(x.e, scope)
+		if err != nil {
+			return nil, err
+		}
+		return !Truthy(v), nil
+	case "-":
+		v, err := in.eval(x.e, scope)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := ToNumber(v)
+		if !ok {
+			return nil, errf(x.line, "attempt to negate a %s value", TypeName(v))
+		}
+		return -n, nil
+	case "#":
+		v, err := in.eval(x.e, scope)
+		if err != nil {
+			return nil, err
+		}
+		switch t := v.(type) {
+		case string:
+			return float64(len(t)), nil
+		case *Table:
+			return float64(t.Len()), nil
+		default:
+			return nil, errf(x.line, "attempt to get length of a %s value", TypeName(v))
+		}
+	default:
+		return nil, errf(x.line, "internal: unknown unary op %q", x.op)
+	}
+}
+
+func (in *Interp) evalBinary(x *binExpr, scope *env) (Value, error) {
+	// Short-circuit operators first.
+	switch x.op {
+	case "and":
+		l, err := in.eval(x.l, scope)
+		if err != nil {
+			return nil, err
+		}
+		if !Truthy(l) {
+			return l, nil
+		}
+		return in.eval(x.r, scope)
+	case "or":
+		l, err := in.eval(x.l, scope)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(l) {
+			return l, nil
+		}
+		return in.eval(x.r, scope)
+	}
+	l, err := in.eval(x.l, scope)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.eval(x.r, scope)
+	if err != nil {
+		return nil, err
+	}
+	switch x.op {
+	case "==":
+		return valuesEqual(l, r), nil
+	case "~=":
+		return !valuesEqual(l, r), nil
+	case "..":
+		ls, lok := concatString(l)
+		rs, rok := concatString(r)
+		if !lok || !rok {
+			return nil, errf(x.line, "attempt to concatenate a %s value",
+				TypeName(pickNonConcat(l, r)))
+		}
+		return ls + rs, nil
+	case "<", "<=", ">", ">=":
+		return compareValues(x.line, x.op, l, r)
+	}
+	ln, lok := ToNumber(l)
+	rn, rok := ToNumber(r)
+	if !lok || !rok {
+		bad := l
+		if lok {
+			bad = r
+		}
+		return nil, errf(x.line, "attempt to perform arithmetic on a %s value", TypeName(bad))
+	}
+	switch x.op {
+	case "+":
+		return ln + rn, nil
+	case "-":
+		return ln - rn, nil
+	case "*":
+		return ln * rn, nil
+	case "/":
+		return ln / rn, nil
+	case "%":
+		// Lua modulo: result has the sign of the divisor.
+		return ln - math.Floor(ln/rn)*rn, nil
+	case "^":
+		return math.Pow(ln, rn), nil
+	default:
+		return nil, errf(x.line, "internal: unknown binary op %q", x.op)
+	}
+}
+
+func concatString(v Value) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return x, true
+	case float64:
+		return NumberToString(x), true
+	default:
+		return "", false
+	}
+}
+
+func pickNonConcat(l, r Value) Value {
+	if _, ok := concatString(l); !ok {
+		return l
+	}
+	return r
+}
+
+func compareValues(line int, op string, l, r Value) (Value, error) {
+	if ln, ok := l.(float64); ok {
+		rn, ok := r.(float64)
+		if !ok {
+			return nil, errf(line, "attempt to compare number with %s", TypeName(r))
+		}
+		switch op {
+		case "<":
+			return ln < rn, nil
+		case "<=":
+			return ln <= rn, nil
+		case ">":
+			return ln > rn, nil
+		default:
+			return ln >= rn, nil
+		}
+	}
+	if ls, ok := l.(string); ok {
+		rs, ok := r.(string)
+		if !ok {
+			return nil, errf(line, "attempt to compare string with %s", TypeName(r))
+		}
+		switch op {
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		default:
+			return ls >= rs, nil
+		}
+	}
+	return nil, errf(line, "attempt to compare two %s values", TypeName(l))
+}
+
+func (in *Interp) evalCall(call *callExpr, scope *env) ([]Value, error) {
+	var fn Value
+	var args []Value
+	if call.method != "" {
+		obj, err := in.eval(call.fn, scope)
+		if err != nil {
+			return nil, err
+		}
+		tbl, ok := obj.(*Table)
+		if !ok {
+			return nil, errf(call.line, "attempt to index a %s value", TypeName(obj))
+		}
+		fn = tbl.Get(call.method)
+		args = append(args, obj)
+	} else {
+		var err error
+		fn, err = in.eval(call.fn, scope)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rest, err := in.evalMultiExprList(call.args, scope)
+	if err != nil {
+		return nil, err
+	}
+	args = append(args, rest...)
+	return in.callValue(call.line, fn, args)
+}
+
+// callValue invokes a callable value with already-evaluated arguments.
+func (in *Interp) callValue(line int, fn Value, args []Value) ([]Value, error) {
+	switch f := fn.(type) {
+	case GoFunc:
+		rets, err := f(args)
+		if err != nil {
+			if le, ok := err.(*Error); ok {
+				return nil, le
+			}
+			return nil, errf(line, "%v", err)
+		}
+		return rets, nil
+	case *Function:
+		frame := newEnv(f.env)
+		for i, p := range f.params {
+			if i < len(args) {
+				frame.declare(p, args[i])
+			} else {
+				frame.declare(p, nil)
+			}
+		}
+		err := in.execBlock(f.body, frame)
+		if err != nil {
+			if ret, ok := err.(returnSignal); ok {
+				return ret.vals, nil
+			}
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, errf(line, "attempt to call a %s value", TypeName(fn))
+	}
+}

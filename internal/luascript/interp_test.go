@@ -1,0 +1,685 @@
+package luascript
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// run executes src and returns first return value + printed output.
+func run(t *testing.T, src string) (Value, string) {
+	t.Helper()
+	in := NewInterp()
+	vals, err := in.Run(src)
+	if err != nil {
+		t.Fatalf("run error: %v\nsource:\n%s", err, src)
+	}
+	if len(vals) == 0 {
+		return nil, in.Output()
+	}
+	return vals[0], in.Output()
+}
+
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	in := NewInterp()
+	_, err := in.Run(src)
+	if err == nil {
+		t.Fatalf("expected error for:\n%s", src)
+	}
+	return err
+}
+
+func wantNumber(t *testing.T, src string, want float64) {
+	t.Helper()
+	v, _ := run(t, src)
+	n, ok := v.(float64)
+	if !ok || n != want {
+		t.Fatalf("source %q = %v (%T), want %v", src, v, v, want)
+	}
+}
+
+func wantString(t *testing.T, src string, want string) {
+	t.Helper()
+	v, _ := run(t, src)
+	s, ok := v.(string)
+	if !ok || s != want {
+		t.Fatalf("source %q = %v (%T), want %q", src, v, v, want)
+	}
+}
+
+func wantBool(t *testing.T, src string, want bool) {
+	t.Helper()
+	v, _ := run(t, src)
+	b, ok := v.(bool)
+	if !ok || b != want {
+		t.Fatalf("source %q = %v (%T), want %v", src, v, v, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantNumber(t, "return 1 + 2 * 3", 7)
+	wantNumber(t, "return (1 + 2) * 3", 9)
+	wantNumber(t, "return 10 / 4", 2.5)
+	wantNumber(t, "return 2 ^ 10", 1024)
+	wantNumber(t, "return 2 ^ 3 ^ 2", 512) // right associative
+	wantNumber(t, "return 7 % 3", 1)
+	wantNumber(t, "return -7 % 3", 2)  // Lua modulo semantics
+	wantNumber(t, "return -2 ^ 2", -4) // ^ binds tighter than unary -
+	wantNumber(t, "return 0x10 + 1", 17)
+	wantNumber(t, "return 1.5e2", 150)
+	wantNumber(t, "return .5 * 4", 2)
+}
+
+func TestStringOps(t *testing.T) {
+	wantString(t, `return "a" .. "b" .. "c"`, "abc")
+	wantString(t, `return "n=" .. 42`, "n=42")
+	wantString(t, `return 1 .. 2`, "12")
+	wantNumber(t, `return #"hello"`, 5)
+	wantString(t, `return "tab\tnewline\n"`, "tab\tnewline\n")
+	wantString(t, `return '\65\66\67'`, "ABC")
+	wantString(t, "return [[raw\nstring]]", "raw\nstring")
+}
+
+func TestComparisons(t *testing.T) {
+	wantBool(t, "return 1 < 2", true)
+	wantBool(t, "return 2 <= 2", true)
+	wantBool(t, "return 3 > 4", false)
+	wantBool(t, "return 3 >= 3", true)
+	wantBool(t, `return "abc" < "abd"`, true)
+	wantBool(t, "return 1 == 1.0", true)
+	wantBool(t, `return 1 == "1"`, false) // no coercion on ==
+	wantBool(t, "return nil == false", false)
+	wantBool(t, "return 1 ~= 2", true)
+}
+
+func TestLogicalOperators(t *testing.T) {
+	wantNumber(t, "return 1 and 2", 2)
+	wantNumber(t, "return false or 3", 3)
+	v, _ := run(t, "return nil and true") // and yields the falsy left operand
+
+	if v != nil {
+		t.Fatalf("nil and true = %v, want nil", v)
+	}
+	wantBool(t, "return not nil", true)
+	wantBool(t, "return not 0", false) // 0 is truthy in Lua
+	// Short circuit must not evaluate the right side.
+	wantNumber(t, `
+		local called = 0
+		local function boom() called = called + 1 return true end
+		local x = false and boom()
+		return called`, 0)
+}
+
+func TestLocalsAndGlobals(t *testing.T) {
+	wantNumber(t, "local x = 5 x = x + 1 return x", 6)
+	wantNumber(t, "x = 10 return x", 10)
+	wantNumber(t, "local a, b = 1, 2 return a + b", 3)
+	// Missing initializers become nil.
+	v, _ := run(t, "local a, b = 1 return b")
+	if v != nil {
+		t.Fatalf("b = %v, want nil", v)
+	}
+	// Block scoping: a do block's local does not leak.
+	v, _ = run(t, "do local hidden = 1 end return hidden")
+	if v != nil {
+		t.Fatalf("hidden leaked: %v", v)
+	}
+	// Shadowing.
+	wantNumber(t, `
+		local x = 1
+		do local x = 2 end
+		return x`, 1)
+}
+
+func TestIfElse(t *testing.T) {
+	wantString(t, `
+		local x = 5
+		if x > 10 then return "big"
+		elseif x > 3 then return "mid"
+		else return "small" end`, "mid")
+	wantString(t, `
+		if false then return "no" end
+		return "fallthrough"`, "fallthrough")
+}
+
+func TestWhileAndBreak(t *testing.T) {
+	wantNumber(t, `
+		local sum = 0
+		local i = 1
+		while i <= 10 do sum = sum + i i = i + 1 end
+		return sum`, 55)
+	wantNumber(t, `
+		local i = 0
+		while true do
+			i = i + 1
+			if i >= 5 then break end
+		end
+		return i`, 5)
+}
+
+func TestRepeatUntil(t *testing.T) {
+	wantNumber(t, `
+		local i = 0
+		repeat i = i + 1 until i >= 3
+		return i`, 3)
+	// The until condition sees the body's locals.
+	wantNumber(t, `
+		local count = 0
+		repeat
+			local done = true
+			count = count + 1
+		until done
+		return count`, 1)
+}
+
+func TestNumericFor(t *testing.T) {
+	wantNumber(t, "local s = 0 for i = 1, 5 do s = s + i end return s", 15)
+	wantNumber(t, "local s = 0 for i = 10, 1, -2 do s = s + i end return s", 30)
+	wantNumber(t, "local s = 0 for i = 5, 1 do s = s + 1 end return s", 0)
+	if err := runErr(t, "for i = 1, 5, 0 do end"); !strings.Contains(err.Error(), "step is zero") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Loop variable is per-iteration local and does not leak.
+	v, _ := run(t, "for i = 1, 3 do end return i")
+	if v != nil {
+		t.Fatalf("loop variable leaked: %v", v)
+	}
+}
+
+func TestGenericForPairsIpairs(t *testing.T) {
+	wantNumber(t, `
+		local t = {10, 20, 30}
+		local sum = 0
+		for i, v in ipairs(t) do sum = sum + i * v end
+		return sum`, 10+40+90)
+	wantNumber(t, `
+		local t = {a = 1, b = 2, c = 3}
+		local sum = 0
+		for k, v in pairs(t) do sum = sum + v end
+		return sum`, 6)
+	// ipairs stops at first nil.
+	wantNumber(t, `
+		local t = {1, 2, 3}
+		t[2] = nil
+		local count = 0
+		for _, v in ipairs(t) do count = count + 1 end
+		return count`, 1)
+}
+
+func TestTables(t *testing.T) {
+	wantNumber(t, "local t = {1, 2, 3} return #t", 3)
+	wantNumber(t, "local t = {} t[1] = 7 return t[1]", 7)
+	wantNumber(t, `local t = {x = 4} return t.x`, 4)
+	wantNumber(t, `local t = {} t.field = 9 return t["field"]`, 9)
+	wantNumber(t, `local t = {[2+3] = 8} return t[5]`, 8)
+	wantString(t, `local t = {kind = "trail"} return t.kind`, "trail")
+	// Nested tables.
+	wantNumber(t, `
+		local cfg = {sensor = {rate = 50, name = "light"}}
+		return cfg.sensor.rate`, 50)
+	// Array growth through the hash part.
+	wantNumber(t, `
+		local t = {}
+		t[2] = 20
+		t[1] = 10
+		return #t`, 2)
+	// nil removes.
+	v, _ := run(t, `local t = {x = 1} t.x = nil return t.x`)
+	if v != nil {
+		t.Fatalf("deleted key returned %v", v)
+	}
+}
+
+func TestFunctionsAndClosures(t *testing.T) {
+	wantNumber(t, `
+		local function add(a, b) return a + b end
+		return add(2, 3)`, 5)
+	wantNumber(t, `
+		function double(x) return x * 2 end
+		return double(21)`, 42)
+	// Closures capture by reference.
+	wantNumber(t, `
+		local function counter()
+			local n = 0
+			return function() n = n + 1 return n end
+		end
+		local c = counter()
+		c() c()
+		return c()`, 3)
+	// Recursion through local function.
+	wantNumber(t, `
+		local function fib(n)
+			if n < 2 then return n end
+			return fib(n-1) + fib(n-2)
+		end
+		return fib(10)`, 55)
+	// Functions are first-class values.
+	wantNumber(t, `
+		local ops = {add = function(a,b) return a+b end}
+		return ops.add(4, 5)`, 9)
+	// Extra args dropped, missing args nil.
+	wantBool(t, `
+		local function f(a, b) return b == nil end
+		return f(1)`, true)
+}
+
+func TestMultipleReturnValues(t *testing.T) {
+	in := NewInterp()
+	vals, err := in.Run("local function two() return 1, 2 end return two()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 1.0 || vals[1] != 2.0 {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Multiple assignment from a call.
+	wantNumber(t, `
+		local function two() return 3, 4 end
+		local a, b = two()
+		return a + b`, 7)
+	// Only the last call expands.
+	wantNumber(t, `
+		local function two() return 1, 2 end
+		local a, b, c = two(), 10
+		return b`, 10)
+	// In the middle of a list a call collapses to one value.
+	v, _ := run(t, `
+		local function two() return 1, 2 end
+		local a, b, c = two(), 10
+		return c`)
+	if v != nil {
+		t.Fatalf("c = %v, want nil", v)
+	}
+	// Table constructors expand trailing calls.
+	wantNumber(t, `
+		local function two() return 5, 6 end
+		local t = {two()}
+		return #t`, 2)
+}
+
+func TestMethodCallSugar(t *testing.T) {
+	wantNumber(t, `
+		local obj = {value = 10}
+		function obj.get(self) return self.value end
+		return obj:get()`, 10)
+	wantNumber(t, `
+		local acc = {total = 0}
+		function acc:add(x) self.total = self.total + x end
+		acc:add(3)
+		acc:add(4)
+		return acc.total`, 7)
+}
+
+func TestPrintCapture(t *testing.T) {
+	_, out := run(t, `print("hello", 42, true, nil)`)
+	if out != "hello\t42\ttrue\tnil\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestMathLib(t *testing.T) {
+	wantNumber(t, "return math.floor(3.7)", 3)
+	wantNumber(t, "return math.ceil(3.2)", 4)
+	wantNumber(t, "return math.abs(-5)", 5)
+	wantNumber(t, "return math.sqrt(16)", 4)
+	wantNumber(t, "return math.max(3, 9, 2)", 9)
+	wantNumber(t, "return math.min(3, 9, 2)", 2)
+	wantNumber(t, "return math.fmod(7, 3)", 1)
+	wantBool(t, "return math.pi > 3.14 and math.pi < 3.15", true)
+	wantBool(t, "return math.huge > 1e300", true)
+}
+
+func TestStringLib(t *testing.T) {
+	wantNumber(t, `return string.len("abc")`, 3)
+	wantString(t, `return string.sub("hello", 2, 4)`, "ell")
+	wantString(t, `return string.sub("hello", -3)`, "llo")
+	wantString(t, `return string.upper("abc")`, "ABC")
+	wantString(t, `return string.lower("ABC")`, "abc")
+	wantString(t, `return string.rep("ab", 3)`, "ababab")
+	wantNumber(t, `return string.find("sensing", "sing")`, 4)
+	v, _ := run(t, `return string.find("abc", "zz")`)
+	if v != nil {
+		t.Fatalf("find miss = %v", v)
+	}
+	wantString(t, `return string.format("%d readings at %.1f Hz from %s", 10, 49.5, "light")`,
+		"10 readings at 49.5 Hz from light")
+	wantString(t, `return string.format("%05d", 42)`, "00042")
+	wantString(t, `return string.format("%x", 255)`, "ff")
+}
+
+func TestTableLib(t *testing.T) {
+	wantNumber(t, `
+		local t = {}
+		table.insert(t, 10)
+		table.insert(t, 20)
+		table.insert(t, 1, 5)
+		return t[1] + t[2] + t[3]`, 35)
+	wantNumber(t, `
+		local t = {1, 2, 3}
+		local removed = table.remove(t)
+		return removed * 10 + #t`, 32)
+	wantNumber(t, `
+		local t = {1, 2, 3}
+		table.remove(t, 1)
+		return t[1]`, 2)
+	wantString(t, `return table.concat({"a", "b", "c"}, "-")`, "a-b-c")
+	wantNumber(t, `return table.getn({7, 8})`, 2)
+}
+
+func TestAssertErrorPcall(t *testing.T) {
+	wantNumber(t, "return assert(42)", 42)
+	err := runErr(t, `assert(false, "custom message")`)
+	if !strings.Contains(err.Error(), "custom message") {
+		t.Fatalf("assert error = %v", err)
+	}
+	err = runErr(t, `error("boom")`)
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error() = %v", err)
+	}
+	wantBool(t, `
+		local ok, msg = pcall(function() error("inner") end)
+		return ok == false and string.find(msg, "inner") ~= nil`, true)
+	wantNumber(t, `
+		local ok, v = pcall(function() return 99 end)
+		return v`, 99)
+}
+
+func TestTypeAndConversions(t *testing.T) {
+	wantString(t, "return type(nil)", "nil")
+	wantString(t, "return type(true)", "boolean")
+	wantString(t, "return type(1)", "number")
+	wantString(t, `return type("s")`, "string")
+	wantString(t, "return type({})", "table")
+	wantString(t, "return type(print)", "function")
+	wantNumber(t, `return tonumber("42")`, 42)
+	wantNumber(t, `return tonumber("0x1F")`, 31)
+	v, _ := run(t, `return tonumber("nope")`)
+	if v != nil {
+		t.Fatalf("tonumber garbage = %v", v)
+	}
+	wantString(t, "return tostring(42)", "42")
+	wantString(t, "return tostring(nil)", "nil")
+	wantString(t, "return tostring(1.5)", "1.5")
+}
+
+func TestSelect(t *testing.T) {
+	wantNumber(t, `return select("#", 10, 20, 30)`, 3)
+	wantNumber(t, `return select(2, 10, 20, 30)`, 20)
+}
+
+func TestComments(t *testing.T) {
+	wantNumber(t, `
+		-- line comment
+		local x = 1 -- trailing
+		--[[ block
+		     comment ]]
+		return x`, 1)
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := map[string]string{
+		`return nil + 1`:           "arithmetic",
+		`return {} .. "x"`:         "concatenate",
+		`return #5`:                "length",
+		`local t = nil return t.x`: "index",
+		`local f = 5 f()`:          "call",
+		`return 1 < "a"`:           "compare",
+		`local t = {} t[nil] = 1`:  "nil",
+	}
+	for src, frag := range cases {
+		err := runErr(t, src)
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("source %q error = %v, want mention of %q", src, err, frag)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"local",
+		"if x then",
+		"return )",
+		"x = ",
+		"for i = 1 do end",
+		"1 + 2",
+		`local s = "unterminated`,
+		"while true",
+		"local t = {",
+		"function f( end",
+		"a.b.c",
+	}
+	for _, src := range bad {
+		in := NewInterp()
+		if _, err := in.Run(src); err == nil {
+			t.Fatalf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	err := runErr(t, "local x = 1\nlocal y = 2\nreturn nil + 1\n")
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Line != 3 {
+		t.Fatalf("error line = %d, want 3", le.Line)
+	}
+}
+
+func TestHostFunctionsAndWhitelist(t *testing.T) {
+	in := NewInterp(WithWhitelist("get_light_readings"))
+	if err := in.Register("get_light_readings", func(args []Value) ([]Value, error) {
+		return []Value{42.0}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Register("format_disk", func(args []Value) ([]Value, error) {
+		return nil, nil
+	}); err == nil {
+		t.Fatal("off-whitelist registration must fail")
+	}
+	if err := in.Register("", func(args []Value) ([]Value, error) { return nil, nil }); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := in.Register("get_light_readings", nil); err == nil {
+		t.Fatal("nil function must fail")
+	}
+	vals, err := in.Run("return get_light_readings()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != 42.0 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestHostFunctionArgumentsRoundTrip(t *testing.T) {
+	in := NewInterp()
+	var got []Value
+	if err := in.Register("capture", func(args []Value) ([]Value, error) {
+		got = args
+		tbl := NewTable()
+		tbl.Append(1.0)
+		tbl.Append(2.0)
+		return []Value{tbl}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := in.Run(`
+		local t = capture("mic", 44100, true)
+		return #t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "mic" || got[1] != 44100.0 || got[2] != true {
+		t.Fatalf("host args = %v", got)
+	}
+	if vals[0] != 2.0 {
+		t.Fatalf("table length = %v", vals[0])
+	}
+}
+
+func TestSetGlobalAndGlobal(t *testing.T) {
+	in := NewInterp()
+	in.SetGlobal("budget", 17.0)
+	vals, err := in.Run("result = budget * 2 return result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 34.0 {
+		t.Fatalf("result = %v", vals[0])
+	}
+	if v, ok := in.Global("result"); !ok || v != 34.0 {
+		t.Fatalf("Global(result) = %v, %v", v, ok)
+	}
+	if _, ok := in.Global("missing"); ok {
+		t.Fatal("phantom global")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	in := NewInterp(WithMaxSteps(10_000))
+	_, err := in.Run("while true do end")
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	in := NewInterp(WithContext(ctx), WithMaxSteps(1<<40))
+	start := time.Now()
+	_, err := in.Run("while true do end")
+	if err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation took too long")
+	}
+}
+
+// TestPaperSensingScript exercises a script shaped like the paper's Fig. 4
+// examples end to end: acquire light readings periodically, attach a
+// location, and hand back a structured result.
+func TestPaperSensingScript(t *testing.T) {
+	in := NewInterp(WithWhitelist("get_light_readings", "get_location", "submit"))
+	readCalls := 0
+	if err := in.Register("get_light_readings", func(args []Value) ([]Value, error) {
+		readCalls++
+		if len(args) != 2 {
+			t.Fatalf("get_light_readings args = %v", args)
+		}
+		tbl := NewTable()
+		for i := 0; i < int(args[0].(float64)); i++ {
+			tbl.Append(300.0 + float64(i))
+		}
+		return []Value{tbl}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Register("get_location", func(args []Value) ([]Value, error) {
+		loc := NewTable()
+		if err := loc.Set("lat", 43.0481); err != nil {
+			t.Fatal(err)
+		}
+		if err := loc.Set("lon", -76.1474); err != nil {
+			t.Fatal(err)
+		}
+		return []Value{loc}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var submitted []Value
+	if err := in.Register("submit", func(args []Value) ([]Value, error) {
+		submitted = args
+		return []Value{true}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	script := `
+		-- sense light 3 times, 5 readings per window at 10 Hz
+		local batches = {}
+		for i = 1, 3 do
+			local readings = get_light_readings(5, 10)
+			local sum = 0
+			for _, r in ipairs(readings) do sum = sum + r end
+			table.insert(batches, {mean = sum / #readings, count = #readings})
+		end
+		local loc = get_location()
+		local report = {feature = "brightness", location = loc, batches = batches}
+		assert(submit(report), "submit failed")
+		return #batches
+	`
+	vals, err := in.Run(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 3.0 {
+		t.Fatalf("batches = %v", vals[0])
+	}
+	if readCalls != 3 {
+		t.Fatalf("read calls = %d", readCalls)
+	}
+	report, ok := submitted[0].(*Table)
+	if !ok {
+		t.Fatalf("submitted %T", submitted[0])
+	}
+	if report.Get("feature") != "brightness" {
+		t.Fatal("report.feature wrong")
+	}
+	loc, ok := report.Get("location").(*Table)
+	if !ok || loc.Get("lat") != 43.0481 {
+		t.Fatal("report.location wrong")
+	}
+	batches, ok := report.Get("batches").(*Table)
+	if !ok || batches.Len() != 3 {
+		t.Fatal("report.batches wrong")
+	}
+	b1 := batches.Get(1.0).(*Table)
+	if b1.Get("mean") != 302.0 || b1.Get("count") != 5.0 {
+		t.Fatalf("batch 1 = mean %v count %v", b1.Get("mean"), b1.Get("count"))
+	}
+}
+
+func BenchmarkFib20(b *testing.B) {
+	src := `
+		local function fib(n)
+			if n < 2 then return n end
+			return fib(n-1) + fib(n-2)
+		end
+		return fib(20)`
+	chunk, err := Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := NewInterp(WithMaxSteps(1 << 40))
+		if _, err := in.RunChunk(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSensingScript(b *testing.B) {
+	src := `
+		local batches = {}
+		for i = 1, 10 do
+			local readings = get_light_readings(5, 10)
+			local sum = 0
+			for _, r in ipairs(readings) do sum = sum + r end
+			table.insert(batches, sum / #readings)
+		end
+		return batches`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

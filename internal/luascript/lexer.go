@@ -1,0 +1,286 @@
+package luascript
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.pos]
+	l.pos++
+	if b == '\n' {
+		l.line++
+	}
+	return b
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+func isHexDigit(b byte) bool {
+	return isDigit(b) || (b >= 'a' && b <= 'f') || (b >= 'A' && b <= 'F')
+}
+func isAlpha(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+func isAlnum(b byte) bool { return isAlpha(b) || isDigit(b) }
+
+// skipSpaceAndComments consumes whitespace, line comments (-- …) and block
+// comments (--[[ … ]]).
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		b := l.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '-' && l.peekByteAt(1) == '-':
+			l.advance()
+			l.advance()
+			if l.peekByte() == '[' && l.peekByteAt(1) == '[' {
+				l.advance()
+				l.advance()
+				closed := false
+				for l.pos < len(l.src) {
+					if l.peekByte() == ']' && l.peekByteAt(1) == ']' {
+						l.advance()
+						l.advance()
+						closed = true
+						break
+					}
+					l.advance()
+				}
+				if !closed {
+					return errf(l.line, "unterminated block comment")
+				}
+			} else {
+				for l.pos < len(l.src) && l.peekByte() != '\n' {
+					l.advance()
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line := l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tkEOF, line: line}, nil
+	}
+	b := l.peekByte()
+	switch {
+	case isDigit(b) || (b == '.' && isDigit(l.peekByteAt(1))):
+		return l.lexNumber()
+	case isAlpha(b):
+		start := l.pos
+		for l.pos < len(l.src) && isAlnum(l.peekByte()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if keywords[word] {
+			return token{kind: tkKeyword, text: word, line: line}, nil
+		}
+		return token{kind: tkName, text: word, line: line}, nil
+	case b == '"' || b == '\'':
+		return l.lexString(b)
+	case b == '[' && l.peekByteAt(1) == '[':
+		return l.lexLongString()
+	default:
+		return l.lexOp()
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	line := l.line
+	start := l.pos
+	if l.peekByte() == '0' && (l.peekByteAt(1) == 'x' || l.peekByteAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		hexStart := l.pos
+		for l.pos < len(l.src) && isHexDigit(l.peekByte()) {
+			l.advance()
+		}
+		if l.pos == hexStart {
+			return token{}, errf(line, "malformed hex number")
+		}
+		v, err := strconv.ParseUint(l.src[hexStart:l.pos], 16, 64)
+		if err != nil {
+			return token{}, errf(line, "malformed hex number: %v", err)
+		}
+		return token{kind: tkNumber, num: float64(v), line: line}, nil
+	}
+	for l.pos < len(l.src) && isDigit(l.peekByte()) {
+		l.advance()
+	}
+	if l.peekByte() == '.' {
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	if b := l.peekByte(); b == 'e' || b == 'E' {
+		l.advance()
+		if b := l.peekByte(); b == '+' || b == '-' {
+			l.advance()
+		}
+		expStart := l.pos
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		if l.pos == expStart {
+			return token{}, errf(line, "malformed number exponent")
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, errf(line, "malformed number %q", text)
+	}
+	return token{kind: tkNumber, num: v, line: line}, nil
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	line := l.line
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, errf(line, "unterminated string")
+		}
+		b := l.advance()
+		if b == quote {
+			return token{kind: tkString, text: sb.String(), line: line}, nil
+		}
+		if b == '\n' {
+			return token{}, errf(line, "unterminated string")
+		}
+		if b != '\\' {
+			sb.WriteByte(b)
+			continue
+		}
+		if l.pos >= len(l.src) {
+			return token{}, errf(line, "unterminated escape")
+		}
+		e := l.advance()
+		switch e {
+		case 'n':
+			sb.WriteByte('\n')
+		case 't':
+			sb.WriteByte('\t')
+		case 'r':
+			sb.WriteByte('\r')
+		case 'a':
+			sb.WriteByte(7)
+		case 'b':
+			sb.WriteByte(8)
+		case 'f':
+			sb.WriteByte(12)
+		case 'v':
+			sb.WriteByte(11)
+		case '\\', '"', '\'':
+			sb.WriteByte(e)
+		case '\n':
+			sb.WriteByte('\n')
+		default:
+			if isDigit(e) {
+				// \ddd decimal escape, up to 3 digits.
+				val := int(e - '0')
+				for k := 0; k < 2 && isDigit(l.peekByte()); k++ {
+					val = val*10 + int(l.advance()-'0')
+				}
+				if val > 255 {
+					return token{}, errf(line, "decimal escape too large")
+				}
+				sb.WriteByte(byte(val))
+			} else {
+				return token{}, errf(line, "invalid escape \\%c", e)
+			}
+		}
+	}
+}
+
+func (l *lexer) lexLongString() (token, error) {
+	line := l.line
+	l.advance()
+	l.advance() // consume [[
+	start := l.pos
+	for l.pos < len(l.src) {
+		if l.peekByte() == ']' && l.peekByteAt(1) == ']' {
+			text := l.src[start:l.pos]
+			l.advance()
+			l.advance()
+			// Lua drops a leading newline in long strings.
+			text = strings.TrimPrefix(text, "\n")
+			return token{kind: tkString, text: text, line: line}, nil
+		}
+		l.advance()
+	}
+	return token{}, errf(line, "unterminated long string")
+}
+
+// operators, longest first.
+var operators = []string{
+	"...", "..", "==", "~=", "<=", ">=",
+	"+", "-", "*", "/", "%", "^", "#",
+	"<", ">", "=", "(", ")", "{", "}", "[", "]",
+	";", ":", ",", ".",
+}
+
+func (l *lexer) lexOp() (token, error) {
+	line := l.line
+	rest := l.src[l.pos:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			for range op {
+				l.advance()
+			}
+			return token{kind: tkOp, text: op, line: line}, nil
+		}
+	}
+	return token{}, errf(line, "unexpected character %q", l.peekByte())
+}
+
+// lexAll tokenizes an entire source string (trailing EOF token included).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tkEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,698 @@
+package luascript
+
+// parser is a recursive-descent parser with precedence climbing for binary
+// operators, following the Lua 5.1 grammar for the supported subset.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles source text into a chunk (statement list).
+func Parse(src string) ([]stmt, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errf(p.cur().line, "unexpected %s", p.cur())
+	}
+	return body, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tkEOF }
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) checkOp(op string) bool {
+	t := p.cur()
+	return t.kind == tkOp && t.text == op
+}
+
+func (p *parser) checkKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tkKeyword && t.text == kw
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.checkOp(op) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.checkKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return errf(p.cur().line, "expected %q, found %s", op, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return errf(p.cur().line, "expected %q, found %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectName() (string, error) {
+	t := p.cur()
+	if t.kind != tkName {
+		return "", errf(t.line, "expected name, found %s", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// blockEnd tokens terminate a block without being consumed.
+func (p *parser) blockEnds() bool {
+	if p.atEOF() {
+		return true
+	}
+	t := p.cur()
+	if t.kind != tkKeyword {
+		return false
+	}
+	switch t.text {
+	case "end", "else", "elseif", "until":
+		return true
+	}
+	return false
+}
+
+func (p *parser) block() ([]stmt, error) {
+	var out []stmt
+	for !p.blockEnds() {
+		if p.acceptOp(";") {
+			continue
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		// return must be the last statement of a block.
+		if _, isRet := s.(*returnStmt); isRet {
+			p.acceptOp(";")
+			break
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	if t.kind == tkKeyword {
+		switch t.text {
+		case "local":
+			return p.localStatement()
+		case "if":
+			return p.ifStatement()
+		case "while":
+			return p.whileStatement()
+		case "repeat":
+			return p.repeatStatement()
+		case "for":
+			return p.forStatement()
+		case "return":
+			return p.returnStatement()
+		case "break":
+			p.advance()
+			return &breakStmt{line: t.line}, nil
+		case "do":
+			p.advance()
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("end"); err != nil {
+				return nil, err
+			}
+			return &doStmt{line: t.line, body: body}, nil
+		case "function":
+			return p.functionStatement()
+		}
+	}
+	return p.exprStatement()
+}
+
+func (p *parser) localStatement() (stmt, error) {
+	line := p.cur().line
+	p.advance() // local
+	if p.acceptKw("function") {
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		fn, err := p.functionBody(line)
+		if err != nil {
+			return nil, err
+		}
+		return &funcStmt{line: line, target: &nameExpr{line: line, name: name}, local: true, fn: fn}, nil
+	}
+	names := []string{}
+	for {
+		n, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	var exprs []expr
+	if p.acceptOp("=") {
+		var err error
+		exprs, err = p.exprList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &localStmt{line: line, names: names, exprs: exprs}, nil
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	line := p.cur().line
+	p.advance() // if / elseif
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("then"); err != nil {
+		return nil, err
+	}
+	thenBody, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &ifStmt{line: line, cond: cond, thenBody: thenBody}
+	switch {
+	case p.checkKw("elseif"):
+		elseIf, err := p.ifStatement() // consumes through matching end
+		if err != nil {
+			return nil, err
+		}
+		node.elseBody = []stmt{elseIf}
+		return node, nil
+	case p.acceptKw("else"):
+		elseBody, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		node.elseBody = elseBody
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (p *parser) whileStatement() (stmt, error) {
+	line := p.cur().line
+	p.advance()
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("do"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return &whileStmt{line: line, cond: cond, body: body}, nil
+}
+
+func (p *parser) repeatStatement() (stmt, error) {
+	line := p.cur().line
+	p.advance()
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("until"); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return &repeatStmt{line: line, body: body, cond: cond}, nil
+}
+
+func (p *parser) forStatement() (stmt, error) {
+	line := p.cur().line
+	p.advance() // for
+	first, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptOp("=") {
+		start, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(","); err != nil {
+			return nil, err
+		}
+		stop, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		var step expr
+		if p.acceptOp(",") {
+			step, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKw("do"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("end"); err != nil {
+			return nil, err
+		}
+		return &numForStmt{line: line, name: first, start: start, stop: stop, step: step, body: body}, nil
+	}
+	names := []string{first}
+	for p.acceptOp(",") {
+		n, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+	}
+	if err := p.expectKw("in"); err != nil {
+		return nil, err
+	}
+	exprs, err := p.exprList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("do"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return &genForStmt{line: line, names: names, exprs: exprs, body: body}, nil
+}
+
+func (p *parser) returnStatement() (stmt, error) {
+	line := p.cur().line
+	p.advance()
+	if p.blockEnds() || p.checkOp(";") {
+		return &returnStmt{line: line}, nil
+	}
+	exprs, err := p.exprList()
+	if err != nil {
+		return nil, err
+	}
+	return &returnStmt{line: line, exprs: exprs}, nil
+}
+
+func (p *parser) functionStatement() (stmt, error) {
+	line := p.cur().line
+	p.advance() // function
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	var target expr = &nameExpr{line: line, name: name}
+	method := false
+	for {
+		if p.acceptOp(".") {
+			field, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			target = &indexExpr{line: line, obj: target, key: &stringExpr{line: line, val: field}}
+			continue
+		}
+		if p.acceptOp(":") {
+			field, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			target = &indexExpr{line: line, obj: target, key: &stringExpr{line: line, val: field}}
+			method = true
+		}
+		break
+	}
+	fn, err := p.functionBody(line)
+	if err != nil {
+		return nil, err
+	}
+	if method {
+		fn.params = append([]string{"self"}, fn.params...)
+	}
+	return &funcStmt{line: line, target: target, fn: fn}, nil
+}
+
+// functionBody parses `(params) block end`.
+func (p *parser) functionBody(line int) (*funcExpr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.checkOp(")") {
+		for {
+			n, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, n)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return &funcExpr{line: line, params: params, body: body}, nil
+}
+
+// exprStatement parses either a call statement or an assignment.
+func (p *parser) exprStatement() (stmt, error) {
+	line := p.cur().line
+	e, err := p.suffixedExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.checkOp("=") || p.checkOp(",") {
+		targets := []expr{e}
+		for p.acceptOp(",") {
+			t, err := p.suffixedExpr()
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, t)
+		}
+		for _, t := range targets {
+			switch t.(type) {
+			case *nameExpr, *indexExpr:
+			default:
+				return nil, errf(line, "cannot assign to this expression")
+			}
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		exprs, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{line: line, targets: targets, exprs: exprs}, nil
+	}
+	call, ok := e.(*callExpr)
+	if !ok {
+		return nil, errf(line, "syntax error: expression is not a statement")
+	}
+	return &callStmt{line: line, call: call}, nil
+}
+
+func (p *parser) exprList() ([]expr, error) {
+	var out []expr
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.acceptOp(",") {
+			return out, nil
+		}
+	}
+}
+
+// binary operator precedences (Lua 5.1). Left and right binding powers
+// differ for right-associative operators (.. and ^).
+type opPrec struct{ left, right int }
+
+var binPrec = map[string]opPrec{
+	"or":  {1, 1},
+	"and": {2, 2},
+	"<":   {3, 3}, ">": {3, 3}, "<=": {3, 3}, ">=": {3, 3}, "~=": {3, 3}, "==": {3, 3},
+	"..": {9, 8}, // right associative
+	"+":  {10, 10}, "-": {10, 10},
+	"*": {11, 11}, "/": {11, 11}, "%": {11, 11},
+	"^": {14, 13}, // right associative
+}
+
+const unaryPrec = 12
+
+func (p *parser) expression() (expr, error) { return p.binaryExpr(0) }
+
+func (p *parser) binaryExpr(limit int) (expr, error) {
+	var left expr
+	var err error
+	t := p.cur()
+	if (t.kind == tkOp && (t.text == "-" || t.text == "#")) || (t.kind == tkKeyword && t.text == "not") {
+		p.advance()
+		operand, err := p.binaryExpr(unaryPrec)
+		if err != nil {
+			return nil, err
+		}
+		left = &unExpr{line: t.line, op: t.text, e: operand}
+	} else {
+		left, err = p.simpleExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		t := p.cur()
+		var op string
+		switch {
+		case t.kind == tkOp:
+			op = t.text
+		case t.kind == tkKeyword && (t.text == "and" || t.text == "or"):
+			op = t.text
+		default:
+			return left, nil
+		}
+		prec, ok := binPrec[op]
+		if !ok || prec.left <= limit {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.binaryExpr(prec.right)
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{line: t.line, op: op, l: left, r: right}
+	}
+}
+
+func (p *parser) simpleExpr() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkNumber:
+		p.advance()
+		return &numberExpr{line: t.line, val: t.num}, nil
+	case t.kind == tkString:
+		p.advance()
+		return &stringExpr{line: t.line, val: t.text}, nil
+	case t.kind == tkKeyword && t.text == "nil":
+		p.advance()
+		return &nilExpr{line: t.line}, nil
+	case t.kind == tkKeyword && t.text == "true":
+		p.advance()
+		return &trueExpr{line: t.line}, nil
+	case t.kind == tkKeyword && t.text == "false":
+		p.advance()
+		return &falseExpr{line: t.line}, nil
+	case t.kind == tkKeyword && t.text == "function":
+		p.advance()
+		return p.functionBody(t.line)
+	case t.kind == tkOp && t.text == "{":
+		return p.tableConstructor()
+	default:
+		return p.suffixedExpr()
+	}
+}
+
+// suffixedExpr parses a primary expression followed by indexing and call
+// suffixes.
+func (p *parser) suffixedExpr() (expr, error) {
+	t := p.cur()
+	var e expr
+	switch {
+	case t.kind == tkName:
+		p.advance()
+		e = &nameExpr{line: t.line, name: t.text}
+	case t.kind == tkOp && t.text == "(":
+		p.advance()
+		inner, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		e = inner
+	default:
+		return nil, errf(t.line, "unexpected %s", t)
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.acceptOp("."):
+			field, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			e = &indexExpr{line: t.line, obj: e, key: &stringExpr{line: t.line, val: field}}
+		case p.acceptOp("["):
+			key, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			e = &indexExpr{line: t.line, obj: e, key: key}
+		case p.checkOp("(") || p.cur().kind == tkString || p.checkOp("{"):
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &callExpr{line: t.line, fn: e, args: args}
+		case p.acceptOp(":"):
+			method, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &callExpr{line: t.line, fn: e, method: method, args: args}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// callArgs parses (a, b), "string" or {table} call forms.
+func (p *parser) callArgs() ([]expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkString:
+		p.advance()
+		return []expr{&stringExpr{line: t.line, val: t.text}}, nil
+	case p.checkOp("{"):
+		tbl, err := p.tableConstructor()
+		if err != nil {
+			return nil, err
+		}
+		return []expr{tbl}, nil
+	case p.acceptOp("("):
+		if p.acceptOp(")") {
+			return nil, nil
+		}
+		args, err := p.exprList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return args, nil
+	default:
+		return nil, errf(t.line, "expected call arguments, found %s", t)
+	}
+}
+
+func (p *parser) tableConstructor() (expr, error) {
+	line := p.cur().line
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	tbl := &tableExpr{line: line}
+	for !p.checkOp("}") {
+		switch {
+		case p.checkOp("["):
+			p.advance()
+			key, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("="); err != nil {
+				return nil, err
+			}
+			val, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			tbl.keyed = append(tbl.keyed, tableKeyEntry{key: key, val: val})
+		case p.cur().kind == tkName && p.toks[p.pos+1].kind == tkOp && p.toks[p.pos+1].text == "=":
+			name := p.advance().text
+			p.advance() // =
+			val, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			tbl.keyed = append(tbl.keyed, tableKeyEntry{
+				key: &stringExpr{line: line, val: name}, val: val,
+			})
+		default:
+			val, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			tbl.array = append(tbl.array, val)
+		}
+		if !p.acceptOp(",") && !p.acceptOp(";") {
+			break
+		}
+	}
+	if err := p.expectOp("}"); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}

@@ -1,0 +1,493 @@
+package luascript
+
+// Lua 5.1 pattern matching (the subset real sensing scripts use):
+// character classes (%a %c %d %l %p %s %u %w %x and their complements),
+// literal escapes, sets [...] with ranges and negation, the quantifiers
+// * + - ?, anchors ^ and $, the any-char dot, and positional/string
+// captures. Not implemented: %b (balanced match) and %f (frontier) —
+// both are rejected with a clear error rather than mis-matched.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// capInfo tracks one capture during matching.
+type capInfo struct {
+	start int
+	len   int // -1 while open; -2 for a position capture
+}
+
+const capPosition = -2
+
+// patMatcher is the backtracking matcher state.
+type patMatcher struct {
+	src  string
+	pat  string
+	caps []capInfo
+}
+
+// patternError is returned for malformed patterns.
+func patternError(format string, args ...interface{}) error {
+	return fmt.Errorf("malformed pattern: "+format, args...)
+}
+
+// classMatch reports whether byte c belongs to class cl (the byte after %).
+func classMatch(c byte, cl byte) bool {
+	var res bool
+	switch lower(cl) {
+	case 'a':
+		res = isAlphaByte(c)
+	case 'c':
+		res = c < 32 || c == 127
+	case 'd':
+		res = c >= '0' && c <= '9'
+	case 'l':
+		res = c >= 'a' && c <= 'z'
+	case 'p':
+		res = isPunct(c)
+	case 's':
+		res = c == ' ' || (c >= 9 && c <= 13)
+	case 'u':
+		res = c >= 'A' && c <= 'Z'
+	case 'w':
+		res = isAlphaByte(c) || (c >= '0' && c <= '9')
+	case 'x':
+		res = isHexDigit(c)
+	default:
+		return cl == c // escaped literal, e.g. %% or %.
+	}
+	if cl >= 'A' && cl <= 'Z' {
+		return !res
+	}
+	return res
+}
+
+func lower(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 32
+	}
+	return b
+}
+
+func isAlphaByte(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isPunct(c byte) bool {
+	return (c >= '!' && c <= '/') || (c >= ':' && c <= '@') ||
+		(c >= '[' && c <= '`') || (c >= '{' && c <= '~')
+}
+
+// singleMatch checks whether src[s] matches the pattern item at p (which
+// must be a single-char item: literal, %class, [set] or '.').
+func (m *patMatcher) singleMatch(s, p, ep int) bool {
+	if s >= len(m.src) {
+		return false
+	}
+	c := m.src[s]
+	switch m.pat[p] {
+	case '.':
+		return true
+	case '%':
+		return classMatch(c, m.pat[p+1])
+	case '[':
+		return m.matchSet(c, p, ep-1)
+	default:
+		return m.pat[p] == c
+	}
+}
+
+// matchSet evaluates [set] between p ('[') and ec (the ']').
+func (m *patMatcher) matchSet(c byte, p, ec int) bool {
+	negate := false
+	p++
+	if p <= ec && m.pat[p] == '^' {
+		negate = true
+		p++
+	}
+	for p < ec {
+		if m.pat[p] == '%' && p+1 < ec {
+			p++
+			if classMatch(c, m.pat[p]) {
+				return !negate
+			}
+			p++
+			continue
+		}
+		if p+2 < ec && m.pat[p+1] == '-' {
+			if m.pat[p] <= c && c <= m.pat[p+2] {
+				return !negate
+			}
+			p += 3
+			continue
+		}
+		if m.pat[p] == c {
+			return !negate
+		}
+		p++
+	}
+	return negate
+}
+
+// classEnd returns the pattern index just past the single-char item
+// starting at p.
+func (m *patMatcher) classEnd(p int) (int, error) {
+	switch m.pat[p] {
+	case '%':
+		if p+1 >= len(m.pat) {
+			return 0, patternError("ends with %%")
+		}
+		if b := m.pat[p+1]; b == 'b' || b == 'f' {
+			return 0, patternError("%%%c is not supported", b)
+		}
+		return p + 2, nil
+	case '[':
+		p++
+		if p < len(m.pat) && m.pat[p] == '^' {
+			p++
+		}
+		// A ']' immediately after '[' or '[^' is a literal.
+		first := true
+		for {
+			if p >= len(m.pat) {
+				return 0, patternError("missing ']'")
+			}
+			if m.pat[p] == ']' && !first {
+				return p + 1, nil
+			}
+			if m.pat[p] == '%' {
+				p++
+				if p >= len(m.pat) {
+					return 0, patternError("ends with %%")
+				}
+			}
+			first = false
+			p++
+		}
+	default:
+		return p + 1, nil
+	}
+}
+
+// match attempts to match pat[p:] against src[s:], returning the end
+// index of the match in src or -1.
+func (m *patMatcher) match(s, p int) (int, error) {
+	if p >= len(m.pat) {
+		for _, c := range m.caps {
+			if c.len == -1 {
+				return -1, patternError("unfinished capture")
+			}
+		}
+		return s, nil
+	}
+	switch m.pat[p] {
+	case '(':
+		if p+1 < len(m.pat) && m.pat[p+1] == ')' {
+			// Position capture.
+			m.caps = append(m.caps, capInfo{start: s, len: capPosition})
+			r, err := m.match(s, p+2)
+			if err != nil {
+				return -1, err
+			}
+			if r < 0 {
+				m.caps = m.caps[:len(m.caps)-1]
+			}
+			return r, nil
+		}
+		m.caps = append(m.caps, capInfo{start: s, len: -1})
+		r, err := m.match(s, p+1)
+		if err != nil {
+			return -1, err
+		}
+		if r < 0 {
+			m.caps = m.caps[:len(m.caps)-1]
+		}
+		return r, nil
+	case ')':
+		// Close the most recent open capture.
+		idx := -1
+		for i := len(m.caps) - 1; i >= 0; i-- {
+			if m.caps[i].len == -1 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return -1, patternError("unbalanced ')'")
+		}
+		m.caps[idx].len = s - m.caps[idx].start
+		r, err := m.match(s, p+1)
+		if err != nil {
+			return -1, err
+		}
+		if r < 0 {
+			m.caps[idx].len = -1
+		}
+		return r, nil
+	case '$':
+		if p+1 == len(m.pat) {
+			if s == len(m.src) {
+				return s, nil
+			}
+			return -1, nil
+		}
+		// A '$' elsewhere is a literal; fall through to default handling.
+	case '%':
+		if p+1 < len(m.pat) && m.pat[p+1] >= '1' && m.pat[p+1] <= '9' {
+			// Back-reference.
+			idx := int(m.pat[p+1] - '1')
+			if idx >= len(m.caps) || m.caps[idx].len < 0 {
+				return -1, patternError("invalid capture index %%%d", idx+1)
+			}
+			capStr := m.src[m.caps[idx].start : m.caps[idx].start+m.caps[idx].len]
+			if strings.HasPrefix(m.src[s:], capStr) {
+				return m.match(s+len(capStr), p+2)
+			}
+			return -1, nil
+		}
+	}
+	ep, err := m.classEnd(p)
+	if err != nil {
+		return -1, err
+	}
+	var quant byte
+	if ep < len(m.pat) {
+		quant = m.pat[ep]
+	}
+	switch quant {
+	case '?':
+		if m.singleMatch(s, p, ep) {
+			r, err := m.match(s+1, ep+1)
+			if err != nil || r >= 0 {
+				return r, err
+			}
+		}
+		return m.match(s, ep+1)
+	case '*':
+		return m.maxExpand(s, p, ep)
+	case '+':
+		if !m.singleMatch(s, p, ep) {
+			return -1, nil
+		}
+		return m.maxExpand(s+1, p, ep)
+	case '-':
+		return m.minExpand(s, p, ep)
+	default:
+		if !m.singleMatch(s, p, ep) {
+			return -1, nil
+		}
+		return m.match(s+1, ep)
+	}
+}
+
+// maxExpand implements greedy repetition with backtracking.
+func (m *patMatcher) maxExpand(s, p, ep int) (int, error) {
+	count := 0
+	for m.singleMatch(s+count, p, ep) {
+		count++
+	}
+	for count >= 0 {
+		r, err := m.match(s+count, ep+1)
+		if err != nil {
+			return -1, err
+		}
+		if r >= 0 {
+			return r, nil
+		}
+		count--
+	}
+	return -1, nil
+}
+
+// minExpand implements lazy repetition.
+func (m *patMatcher) minExpand(s, p, ep int) (int, error) {
+	for {
+		r, err := m.match(s, ep+1)
+		if err != nil {
+			return -1, err
+		}
+		if r >= 0 {
+			return r, nil
+		}
+		if !m.singleMatch(s, p, ep) {
+			return -1, nil
+		}
+		s++
+	}
+}
+
+// patFind locates the first match of pat in src starting at init
+// (0-based). It returns start, end (byte offsets) and the captures, or
+// start = -1 when there is no match.
+func patFind(src, pat string, init int) (start, end int, caps []capInfo, err error) {
+	if init < 0 {
+		init = 0
+	}
+	if init > len(src) {
+		return -1, 0, nil, nil
+	}
+	anchored := strings.HasPrefix(pat, "^")
+	p := 0
+	if anchored {
+		p = 1
+	}
+	for s := init; s <= len(src); s++ {
+		m := &patMatcher{src: src, pat: pat}
+		e, err := m.match(s, p)
+		if err != nil {
+			return -1, 0, nil, err
+		}
+		if e >= 0 {
+			return s, e, m.caps, nil
+		}
+		if anchored {
+			break
+		}
+	}
+	return -1, 0, nil, nil
+}
+
+// captureValues converts capture infos to Lua values (strings, or numbers
+// for position captures). When the pattern had no captures the whole
+// match is the single value.
+func captureValues(src string, start, end int, caps []capInfo) []Value {
+	if len(caps) == 0 {
+		return []Value{src[start:end]}
+	}
+	out := make([]Value, 0, len(caps))
+	for _, c := range caps {
+		if c.len == capPosition {
+			out = append(out, float64(c.start+1))
+		} else if c.len >= 0 {
+			out = append(out, src[c.start:c.start+c.len])
+		} else {
+			out = append(out, src[c.start:])
+		}
+	}
+	return out
+}
+
+// normIndex converts a 1-based Lua init index (possibly negative) into a
+// 0-based offset clamped to [0, n].
+func normIndex(i, n int) int {
+	if i > 0 {
+		i--
+	} else if i < 0 {
+		i = n + i
+		if i < 0 {
+			i = 0
+		}
+	}
+	if i > n {
+		i = n
+	}
+	return i
+}
+
+// gsub implements string.gsub: replace up to maxN matches of pat in src
+// (maxN < 0 = unlimited). repl may be a string (with %0..%9 references), a
+// table (keyed by the first capture) or a function (called with the
+// captures; falsy result keeps the original match).
+func (in *Interp) gsub(src, pat string, repl Value, maxN int) ([]Value, error) {
+	var sb strings.Builder
+	pos := 0
+	count := 0
+	for (maxN < 0 || count < maxN) && pos <= len(src) {
+		start, end, caps, err := patFind(src, pat, pos)
+		if err != nil {
+			return nil, err
+		}
+		if start < 0 {
+			break
+		}
+		sb.WriteString(src[pos:start])
+		whole := src[start:end]
+		capVals := captureValues(src, start, end, caps)
+
+		var out Value
+		switch r := repl.(type) {
+		case string:
+			expanded, err := expandReplacement(r, whole, capVals)
+			if err != nil {
+				return nil, err
+			}
+			out = expanded
+		case float64:
+			out = NumberToString(r)
+		case *Table:
+			out = r.Get(capVals[0])
+		case *Function, GoFunc:
+			rets, err := in.callValue(0, repl, capVals)
+			if err != nil {
+				return nil, err
+			}
+			if len(rets) > 0 {
+				out = rets[0]
+			}
+		default:
+			return nil, fmt.Errorf("bad argument #3 to 'string.gsub' (string/function/table expected, got %s)", TypeName(repl))
+		}
+		switch v := out.(type) {
+		case nil:
+			sb.WriteString(whole)
+		case bool:
+			if v {
+				return nil, fmt.Errorf("invalid replacement value (a boolean)")
+			}
+			sb.WriteString(whole)
+		case string:
+			sb.WriteString(v)
+		case float64:
+			sb.WriteString(NumberToString(v))
+		default:
+			return nil, fmt.Errorf("invalid replacement value (a %s)", TypeName(out))
+		}
+		count++
+		if end == start {
+			if start < len(src) {
+				sb.WriteByte(src[start])
+			}
+			pos = end + 1
+		} else {
+			pos = end
+		}
+	}
+	if pos < len(src) {
+		sb.WriteString(src[pos:])
+	}
+	return []Value{sb.String(), float64(count)}, nil
+}
+
+// expandReplacement substitutes %0 (whole match) and %1..%9 (captures) in
+// a replacement string; %% is a literal percent.
+func expandReplacement(repl, whole string, caps []Value) (string, error) {
+	var sb strings.Builder
+	for i := 0; i < len(repl); i++ {
+		c := repl[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(repl) {
+			return "", patternError("replacement ends with %%")
+		}
+		d := repl[i]
+		switch {
+		case d == '%':
+			sb.WriteByte('%')
+		case d == '0':
+			sb.WriteString(whole)
+		case d >= '1' && d <= '9':
+			idx := int(d - '1')
+			if idx >= len(caps) {
+				return "", patternError("invalid capture index %%%c in replacement", d)
+			}
+			sb.WriteString(ToString(caps[idx]))
+		default:
+			return "", patternError("invalid use of %% in replacement string")
+		}
+	}
+	return sb.String(), nil
+}

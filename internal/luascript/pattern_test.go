@@ -1,0 +1,258 @@
+package luascript
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringMatchBasics(t *testing.T) {
+	wantString(t, `return string.match("hello world", "wor%a+")`, "world")
+	wantString(t, `return string.match("temp=42.5C", "%d+%.%d+")`, "42.5")
+	wantString(t, `return string.match("abc", "^a")`, "a")
+	v, _ := run(t, `return string.match("abc", "^b")`)
+	if v != nil {
+		t.Fatalf("anchored miss = %v", v)
+	}
+	wantString(t, `return string.match("abc", "c$")`, "c")
+	v, _ = run(t, `return string.match("abcd", "c$")`)
+	if v != nil {
+		t.Fatalf("end-anchored miss = %v", v)
+	}
+	// Dot matches anything.
+	wantString(t, `return string.match("a#b", "a.b")`, "a#b")
+}
+
+func TestStringMatchCaptures(t *testing.T) {
+	wantString(t, `
+		local key, value = string.match("sensor=light", "(%w+)=(%w+)")
+		return key .. ":" .. value`, "sensor:light")
+	// Position capture returns a number.
+	wantNumber(t, `
+		local pos = string.match("abcdef", "c()d")
+		return pos`, 4)
+	// Nested captures.
+	wantString(t, `
+		local outer, inner = string.match("xABCy", "(%u(%u+)%u)")
+		return outer .. "/" .. inner`, "ABC/B")
+}
+
+func TestStringMatchClasses(t *testing.T) {
+	cases := []struct{ src, pat, want string }{
+		{"abc123", "%a+", "abc"},
+		{"abc123", "%d+", "123"},
+		{"  hi", "%s+", "  "},
+		{"Hello", "%u%l+", "Hello"},
+		{"f00d!", "%w+", "f00d"},
+		{"x;y", "%p", ";"},
+		{"0xFF", "%x+", "0"},
+		{"value: 42", "[%a]+", "value"},
+		{"a-b", "%-", "-"}, // escaped literal
+	}
+	for _, c := range cases {
+		in := NewInterp()
+		vals, err := in.Run(`return string.match("` + c.src + `", "` + c.pat + `")`)
+		if err != nil {
+			t.Fatalf("match(%q, %q): %v", c.src, c.pat, err)
+		}
+		if vals[0] != c.want {
+			t.Fatalf("match(%q, %q) = %v, want %q", c.src, c.pat, vals[0], c.want)
+		}
+	}
+}
+
+func TestStringMatchComplementClasses(t *testing.T) {
+	wantString(t, `return string.match("abc123", "%A+")`, "123")
+	wantString(t, `return string.match("123abc", "%D+")`, "abc")
+	wantString(t, `return string.match("ab 12", "%S+")`, "ab")
+}
+
+func TestStringMatchSets(t *testing.T) {
+	wantString(t, `return string.match("hello", "[el]+")`, "ell")
+	wantString(t, `return string.match("x42y", "[0-9]+")`, "42")
+	wantString(t, `return string.match("abc", "[^b]+")`, "a")
+	wantString(t, `return string.match("a.b", "[%.]")`, ".")
+	wantString(t, `return string.match("ab-cd", "[%w-]+")`, "ab-cd")
+}
+
+func TestStringMatchQuantifiers(t *testing.T) {
+	wantString(t, `return string.match("aaa", "a*")`, "aaa")
+	wantString(t, `return string.match("baa", "a*")`, "")            // matches empty at 0
+	wantString(t, `return string.match("<x><y>", "<.->")`, "<x>")    // lazy
+	wantString(t, `return string.match("<x><y>", "<.*>")`, "<x><y>") // greedy
+	wantString(t, `return string.match("color", "colou?r")`, "color")
+	wantString(t, `return string.match("colour", "colou?r")`, "colour")
+}
+
+func TestStringMatchBackReference(t *testing.T) {
+	wantString(t, `return string.match("abcabc", "(abc)%1")`, "abc")
+	v, _ := run(t, `return string.match("abcabd", "(abc)%1")`)
+	if v != nil {
+		t.Fatalf("backref miss = %v", v)
+	}
+}
+
+func TestStringFindWithPatterns(t *testing.T) {
+	wantNumber(t, `return string.find("hello world", "wor")`, 7)
+	wantNumber(t, `return string.find("a1b2", "%d")`, 2)
+	// init offset.
+	wantNumber(t, `return string.find("a1b2", "%d", 3)`, 4)
+	// plain mode ignores magic characters.
+	wantNumber(t, `return string.find("a.b", ".", 1, true)`, 2)
+	// captures come after the indices.
+	wantString(t, `
+		local s, e, cap = string.find("key=val", "(%w+)=")
+		return cap`, "key")
+	v, _ := run(t, `return string.find("abc", "%d")`)
+	if v != nil {
+		t.Fatalf("find miss = %v", v)
+	}
+}
+
+func TestStringGmatch(t *testing.T) {
+	wantNumber(t, `
+		local sum = 0
+		for n in string.gmatch("10 20 30", "%d+") do
+			sum = sum + tonumber(n)
+		end
+		return sum`, 60)
+	wantString(t, `
+		local parts = {}
+		for k, v in string.gmatch("a=1,b=2", "(%w+)=(%w+)") do
+			table.insert(parts, k .. v)
+		end
+		return table.concat(parts, "|")`, "a1|b2")
+	// Empty matches advance.
+	wantNumber(t, `
+		local count = 0
+		for _ in string.gmatch("abc", "x*") do count = count + 1 end
+		return count`, 4) // before a, b, c and at end
+}
+
+func TestStringGsub(t *testing.T) {
+	wantString(t, `return (string.gsub("hello world", "o", "0"))`, "hell0 w0rld")
+	wantNumber(t, `
+		local _, n = string.gsub("hello world", "o", "0")
+		return n`, 2)
+	// max replacements.
+	wantString(t, `return (string.gsub("aaa", "a", "b", 2))`, "bba")
+	// %1 reference in replacement.
+	wantString(t, `return (string.gsub("ab cd", "(%w+)", "<%1>"))`, "<ab> <cd>")
+	// %0 whole match.
+	wantString(t, `return (string.gsub("ab", "%w", "%0%0"))`, "aabb")
+	// function replacement.
+	wantString(t, `return (string.gsub("1 2", "%d", function(d) return tonumber(d) * 10 end))`, "10 20")
+	// table replacement.
+	wantString(t, `return (string.gsub("$name eats $food", "%$(%w+)", {name = "cat", food = "fish"}))`, "cat eats fish")
+	// function returning nil keeps the original.
+	wantString(t, `return (string.gsub("keep", "%w+", function() return nil end))`, "keep")
+}
+
+func TestGsubErrors(t *testing.T) {
+	errCases := []string{
+		`return string.gsub("x", "(", "y")`,  // malformed pattern (open paren matches? "(" alone -> unfinished capture...
+		`return string.gsub("x", "%", "y")`,  // ends with %
+		`return string.gsub("x", "x", "%9")`, // invalid capture in replacement
+		`return string.gsub("x", "x", true)`, // bad replacement type
+	}
+	for _, src := range errCases {
+		in := NewInterp()
+		if _, err := in.Run(src); err == nil {
+			t.Fatalf("expected error for %s", src)
+		}
+	}
+}
+
+func TestPatternUnsupportedFeaturesRejected(t *testing.T) {
+	for _, pat := range []string{"%bxy", "%f[%a]"} {
+		in := NewInterp()
+		_, err := in.Run(`return string.match("abc", "` + pat + `")`)
+		if err == nil || !strings.Contains(err.Error(), "not supported") {
+			t.Fatalf("pattern %q: err = %v", pat, err)
+		}
+	}
+}
+
+func TestPatternMalformedRejected(t *testing.T) {
+	for _, pat := range []string{"[abc", "%"} {
+		in := NewInterp()
+		if _, err := in.Run(`return string.match("abc", "` + pat + `")`); err == nil {
+			t.Fatalf("pattern %q should error", pat)
+		}
+	}
+}
+
+// TestSensingScriptWithPatterns shows the intended use: a sensing script
+// parsing a compound config string shipped by the server.
+func TestSensingScriptWithPatterns(t *testing.T) {
+	in := NewInterp()
+	in.SetGlobal("config", "light:count=5;mic:count=64,window=2000")
+	vals, err := in.Run(`
+		local plans = {}
+		for sensor, args in string.gmatch(config, "(%w+):([%w=,]+)") do
+			local plan = {sensor = sensor}
+			for key, value in string.gmatch(args, "(%w+)=(%d+)") do
+				plan[key] = tonumber(value)
+			end
+			table.insert(plans, plan)
+		end
+		return plans[1].sensor, plans[1].count, plans[2].sensor, plans[2].window
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != "light" || vals[1] != 5.0 || vals[2] != "mic" || vals[3] != 2000.0 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestNormIndex(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{1, 10, 0}, {5, 10, 4}, {0, 10, 0}, {-1, 10, 9}, {-20, 10, 0}, {99, 10, 10},
+	}
+	for _, c := range cases {
+		if got := normIndex(c.i, c.n); got != c.want {
+			t.Fatalf("normIndex(%d, %d) = %d, want %d", c.i, c.n, got, c.want)
+		}
+	}
+}
+
+func BenchmarkGmatchNumbers(b *testing.B) {
+	src := `
+		local sum = 0
+		for n in string.gmatch(data, "%d+") do sum = sum + tonumber(n) end
+		return sum`
+	chunk, err := Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("reading=")
+		sb.WriteString(NumberToString(float64(i)))
+		sb.WriteByte(' ')
+	}
+	data := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := NewInterp(WithMaxSteps(1 << 30))
+		in.SetGlobal("data", data)
+		if _, err := in.RunChunk(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGsubReplace(b *testing.B) {
+	in := NewInterp(WithMaxSteps(1 << 30))
+	chunk, err := Parse(`return (string.gsub(data, "(%w+)=(%w+)", "%2:%1"))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in.SetGlobal("data", strings.Repeat("key=value ", 100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.RunChunk(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package luascript
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table-driven operator precedence and coercion checks against reference
+// Lua 5.1 semantics.
+func TestOperatorSemanticsTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		// precedence
+		{"return 2 + 3 * 4 ^ 2", 50.0},
+		{"return (2 + 3) * 4", 20.0},
+		{"return 2 * 3 % 4", 2.0},
+		{"return 10 - 4 - 3", 3.0},          // left assoc
+		{"return 2 ^ 2 ^ 3", 256.0},         // right assoc
+		{`return "a" .. "b" == "ab"`, true}, // .. binds tighter than ==
+		{"return 1 + 2 < 4", true},
+		{"return not (1 == 2)", true},
+		{"return not 1 == 2", false}, // (not 1) == 2 -> false == 2
+		{"return -3 ^ 2", -9.0},
+		{"return #({1,2,3})", 3.0},
+		// string->number coercion in arithmetic
+		{`return "10" + 5`, 15.0},
+		{`return "3" * "4"`, 12.0},
+		{`return "0x10" + 0`, 16.0},
+		// number->string coercion in concat
+		{`return 1 .. ""`, "1"},
+		{"return 1.25 .. \"x\"", "1.25x"},
+		// comparison chains via and/or
+		{"return 1 < 2 and 2 < 3", true},
+		{"return 1 > 2 or 3 > 2", true},
+		// ternary idiom
+		{`return (1 < 2) and "yes" or "no"`, "yes"},
+		{`return (1 > 2) and "yes" or "no"`, "no"},
+		// modulo corner cases (Lua floor-mod)
+		{"return 5 % 3", 2.0},
+		{"return -5 % 3", 1.0},
+		{"return 5 % -3", -1.0},
+		// equality without coercion
+		{`return "1" == 1`, false},
+		{"return true ~= 1", true},
+	}
+	for _, c := range cases {
+		in := NewInterp()
+		vals, err := in.Run(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if len(vals) == 0 {
+			t.Fatalf("%q returned nothing", c.src)
+		}
+		if !valuesEqual(vals[0], c.want) {
+			t.Fatalf("%q = %v (%T), want %v", c.src, vals[0], vals[0], c.want)
+		}
+	}
+}
+
+func TestScopingRules(t *testing.T) {
+	// Numeric-for variable is fresh per iteration and invisible outside.
+	wantNumber(t, `
+		local fns = {}
+		for i = 1, 3 do
+			fns[i] = function() return i end
+		end
+		return fns[1]() + fns[2]() + fns[3]()`, 6)
+	// While body scope re-created each iteration.
+	wantNumber(t, `
+		local n = 0
+		local i = 0
+		while i < 3 do
+			local x = (x or 0) + 1  -- x resolves to outer (nil) each pass
+			n = n + x
+			i = i + 1
+		end
+		return n`, 3)
+	// Globals assigned inside functions are visible outside.
+	wantNumber(t, `
+		local function setg() g_counter = 99 end
+		setg()
+		return g_counter`, 99)
+	// Locals shadow globals.
+	wantNumber(t, `
+		value = 1
+		local value = 2
+		return value`, 2)
+}
+
+func TestClosureCapturesSharedUpvalue(t *testing.T) {
+	wantNumber(t, `
+		local function pair()
+			local n = 0
+			local inc = function() n = n + 1 end
+			local get = function() return n end
+			return inc, get
+		end
+		local inc, get = pair()
+		inc() inc() inc()
+		return get()`, 3)
+}
+
+func TestRecursionDepth(t *testing.T) {
+	// Moderately deep recursion must work (tree-walker uses Go stack).
+	wantNumber(t, `
+		local function down(n)
+			if n == 0 then return 0 end
+			return down(n - 1)
+		end
+		return down(2000)`, 0)
+}
+
+func TestStringEscapesExhaustive(t *testing.T) {
+	wantString(t, `return "\a\b\f\v\r"`, "\a\b\f\v\r")
+	wantString(t, `return "\65\066\9"`, "AB\t")
+	wantString(t, `return '\\'`, `\`)
+	wantString(t, `return "\""`, `"`)
+	in := NewInterp()
+	if _, err := in.Run(`return "\999"`); err == nil {
+		t.Fatal("escape > 255 must error")
+	}
+	if _, err := in.Run(`return "\q"`); err == nil {
+		t.Fatal("unknown escape must error")
+	}
+}
+
+func TestNumericLiterals(t *testing.T) {
+	wantNumber(t, "return 0xFF", 255)
+	wantNumber(t, "return 1e3", 1000)
+	wantNumber(t, "return 1E-2", 0.01)
+	wantNumber(t, "return 3.14159", 3.14159)
+	in := NewInterp()
+	if _, err := in.Run("return 0x"); err == nil {
+		t.Fatal("bare 0x must error")
+	}
+	if _, err := in.Run("return 1e"); err == nil {
+		t.Fatal("bare exponent must error")
+	}
+}
+
+func TestTableNilHandling(t *testing.T) {
+	// Reading missing keys yields nil; # counts the array prefix.
+	wantNumber(t, `
+		local t = {}
+		t[1] = "a"
+		t[2] = "b"
+		t[3] = "c"
+		t[3] = nil
+		return #t`, 2)
+	v, _ := run(t, `local t = {} return t.missing`)
+	if v != nil {
+		t.Fatalf("missing key = %v", v)
+	}
+	// Boolean and string keys coexist with numeric ones.
+	wantNumber(t, `
+		local t = {}
+		t[true] = 1
+		t["true"] = 2
+		t[1] = 4
+		return t[true] + t["true"] + t[1]`, 7)
+}
+
+func TestTableIntegralFloatKeysUnify(t *testing.T) {
+	// t[1] and t[1.0] are the same slot.
+	wantNumber(t, `
+		local t = {}
+		t[1.0] = 5
+		return t[1]`, 5)
+}
+
+func TestMethodOnNestedTable(t *testing.T) {
+	wantNumber(t, `
+		local app = {sensors = {}}
+		function app.sensors.count(self) return 42 end
+		return app.sensors:count()`, 42)
+}
+
+func TestMultipleAssignmentSwap(t *testing.T) {
+	wantNumber(t, `
+		local a, b = 1, 2
+		a, b = b, a
+		return a * 10 + b`, 21)
+}
+
+func TestWhitespaceAndCommentsRobustness(t *testing.T) {
+	wantNumber(t, "\t \r\n  return --[[inline]] 7 -- trailing\n", 7)
+	in := NewInterp()
+	if _, err := in.Run("--[[ never closed"); err == nil {
+		t.Fatal("unterminated block comment must error")
+	}
+}
+
+func TestLongStringCarriesBrackets(t *testing.T) {
+	wantString(t, "return [[a[1]=2]]", "a[1]=2")
+}
+
+func TestCallStringSugar(t *testing.T) {
+	// f "literal" call form.
+	in := NewInterp()
+	if err := in.Register("shout", func(args []Value) ([]Value, error) {
+		return []Value{strings.ToUpper(args[0].(string))}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := in.Run(`return shout "hello"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != "HELLO" {
+		t.Fatalf("vals = %v", vals)
+	}
+	// f {table} call form.
+	if err := in.Register("first", func(args []Value) ([]Value, error) {
+		t := args[0].(*Table)
+		return []Value{t.Get(1.0)}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = in.Run(`return first {9, 8}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 9.0 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestReturnMustEndBlock(t *testing.T) {
+	in := NewInterp()
+	if _, err := in.Run("return 1 local x = 2"); err == nil {
+		t.Fatal("statements after return must be a syntax error")
+	}
+}
+
+func TestGenericForCustomIterator(t *testing.T) {
+	// A hand-written stateless iterator following the Lua protocol.
+	wantNumber(t, `
+		local function range(n)
+			local function iter(state, ctrl)
+				ctrl = ctrl + 1
+				if ctrl > state then return nil end
+				return ctrl
+			end
+			return iter, n, 0
+		end
+		local sum = 0
+		for i in range(5) do sum = sum + i end
+		return sum`, 15)
+}
+
+func TestDeeplyNestedTables(t *testing.T) {
+	wantNumber(t, `
+		local cfg = {a = {b = {c = {d = {value = 11}}}}}
+		return cfg.a.b.c.d.value`, 11)
+}
+
+func TestInterpreterReuseIsolation(t *testing.T) {
+	// Two Run calls on one interpreter share globals (by design), but
+	// locals never leak.
+	in := NewInterp()
+	if _, err := in.Run("g = 5 local secret = 6"); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := in.Run("return g, secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 5.0 {
+		t.Fatalf("global lost: %v", vals)
+	}
+	if vals[1] != nil {
+		t.Fatalf("local leaked across runs: %v", vals)
+	}
+}
+
+// Property-style fuzz: Parse never panics on arbitrary input, and Run
+// never panics on whatever parses.
+func TestParserFuzzSafety(t *testing.T) {
+	seeds := []string{
+		"return 1", "local x = {", "for", "((((", "end end end",
+		"\"\\", "[[", "--[[", "x=", "f()g()", "0x", "a.b:c", "#",
+	}
+	for _, s := range seeds {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", s, r)
+				}
+			}()
+			chunk, err := Parse(s)
+			if err != nil {
+				return
+			}
+			in := NewInterp(WithMaxSteps(10_000))
+			_, _ = in.RunChunk(chunk)
+		}()
+	}
+}

@@ -1,0 +1,619 @@
+package luascript
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// argErr builds a consistent bad-argument error.
+func argErr(fn string, i int, want string, got Value) error {
+	return fmt.Errorf("bad argument #%d to '%s' (%s expected, got %s)",
+		i, fn, want, TypeName(got))
+}
+
+func argNumber(fn string, args []Value, i int) (float64, error) {
+	if i >= len(args) {
+		return 0, argErr(fn, i+1, "number", nil)
+	}
+	n, ok := ToNumber(args[i])
+	if !ok {
+		return 0, argErr(fn, i+1, "number", args[i])
+	}
+	return n, nil
+}
+
+func argString(fn string, args []Value, i int) (string, error) {
+	if i >= len(args) {
+		return "", argErr(fn, i+1, "string", nil)
+	}
+	switch v := args[i].(type) {
+	case string:
+		return v, nil
+	case float64:
+		return NumberToString(v), nil
+	default:
+		return "", argErr(fn, i+1, "string", args[i])
+	}
+}
+
+func argTable(fn string, args []Value, i int) (*Table, error) {
+	if i >= len(args) {
+		return nil, argErr(fn, i+1, "table", nil)
+	}
+	t, ok := args[i].(*Table)
+	if !ok {
+		return nil, argErr(fn, i+1, "table", args[i])
+	}
+	return t, nil
+}
+
+func optNumber(args []Value, i int, def float64) float64 {
+	if i >= len(args) || args[i] == nil {
+		return def
+	}
+	if n, ok := ToNumber(args[i]); ok {
+		return n
+	}
+	return def
+}
+
+// installStdlib populates the global environment with the sandboxed
+// standard library. Nothing here touches the filesystem, network, or
+// process state — the sandbox the paper's whitelist is meant to enforce.
+func (in *Interp) installStdlib() {
+	g := in.globals
+
+	g.declare("print", GoFunc(func(args []Value) ([]Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = ToString(a)
+		}
+		in.output.WriteString(strings.Join(parts, "\t"))
+		in.output.WriteByte('\n')
+		return nil, nil
+	}))
+
+	g.declare("tostring", GoFunc(func(args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return nil, argErr("tostring", 1, "value", nil)
+		}
+		return []Value{ToString(args[0])}, nil
+	}))
+
+	g.declare("tonumber", GoFunc(func(args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return []Value{nil}, nil
+		}
+		if n, ok := ToNumber(args[0]); ok {
+			return []Value{n}, nil
+		}
+		return []Value{nil}, nil
+	}))
+
+	g.declare("type", GoFunc(func(args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return nil, argErr("type", 1, "value", nil)
+		}
+		return []Value{TypeName(args[0])}, nil
+	}))
+
+	g.declare("assert", GoFunc(func(args []Value) ([]Value, error) {
+		if len(args) == 0 || !Truthy(args[0]) {
+			msg := "assertion failed!"
+			if len(args) > 1 {
+				msg = ToString(args[1])
+			}
+			return nil, fmt.Errorf("%s", msg)
+		}
+		return args, nil
+	}))
+
+	g.declare("error", GoFunc(func(args []Value) ([]Value, error) {
+		msg := "error"
+		if len(args) > 0 {
+			msg = ToString(args[0])
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}))
+
+	g.declare("pcall", GoFunc(func(args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return nil, argErr("pcall", 1, "function", nil)
+		}
+		rets, err := in.callValue(0, args[0], args[1:])
+		if err != nil {
+			return []Value{false, err.Error()}, nil
+		}
+		return append([]Value{true}, rets...), nil
+	}))
+
+	g.declare("pairs", GoFunc(func(args []Value) ([]Value, error) {
+		t, err := argTable("pairs", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		keys := t.Keys()
+		idx := 0
+		iter := GoFunc(func([]Value) ([]Value, error) {
+			for idx < len(keys) {
+				k := keys[idx]
+				idx++
+				v := t.Get(k)
+				if v != nil {
+					return []Value{k, v}, nil
+				}
+			}
+			return []Value{nil}, nil
+		})
+		return []Value{iter, t, nil}, nil
+	}))
+
+	g.declare("ipairs", GoFunc(func(args []Value) ([]Value, error) {
+		t, err := argTable("ipairs", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		i := 0
+		iter := GoFunc(func([]Value) ([]Value, error) {
+			i++
+			v := t.Get(float64(i))
+			if v == nil {
+				return []Value{nil}, nil
+			}
+			return []Value{float64(i), v}, nil
+		})
+		return []Value{iter, t, float64(0)}, nil
+	}))
+
+	g.declare("select", GoFunc(func(args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return nil, argErr("select", 1, "number or '#'", nil)
+		}
+		if s, ok := args[0].(string); ok && s == "#" {
+			return []Value{float64(len(args) - 1)}, nil
+		}
+		n, ok := ToNumber(args[0])
+		if !ok || n < 1 {
+			return nil, argErr("select", 1, "positive number", args[0])
+		}
+		i := int(n)
+		if i >= len(args) {
+			return nil, nil
+		}
+		return args[i:], nil
+	}))
+
+	in.installMathLib()
+	in.installStringLib()
+	in.installTableLib()
+}
+
+func (in *Interp) installMathLib() {
+	m := NewTable()
+	set := func(name string, v Value) {
+		// Fixed string keys can never fail Set.
+		if err := m.Set(name, v); err != nil {
+			panic(err)
+		}
+	}
+	set("pi", math.Pi)
+	set("huge", math.Inf(1))
+	unary := func(name string, f func(float64) float64) {
+		set(name, GoFunc(func(args []Value) ([]Value, error) {
+			x, err := argNumber("math."+name, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return []Value{f(x)}, nil
+		}))
+	}
+	unary("floor", math.Floor)
+	unary("ceil", math.Ceil)
+	unary("abs", math.Abs)
+	unary("sqrt", math.Sqrt)
+	unary("exp", math.Exp)
+	unary("log", math.Log)
+	unary("sin", math.Sin)
+	unary("cos", math.Cos)
+	unary("tan", math.Tan)
+	set("max", GoFunc(func(args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return nil, argErr("math.max", 1, "number", nil)
+		}
+		best, err := argNumber("math.max", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(args); i++ {
+			v, err := argNumber("math.max", args, i)
+			if err != nil {
+				return nil, err
+			}
+			if v > best {
+				best = v
+			}
+		}
+		return []Value{best}, nil
+	}))
+	set("min", GoFunc(func(args []Value) ([]Value, error) {
+		if len(args) == 0 {
+			return nil, argErr("math.min", 1, "number", nil)
+		}
+		best, err := argNumber("math.min", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(args); i++ {
+			v, err := argNumber("math.min", args, i)
+			if err != nil {
+				return nil, err
+			}
+			if v < best {
+				best = v
+			}
+		}
+		return []Value{best}, nil
+	}))
+	set("fmod", GoFunc(func(args []Value) ([]Value, error) {
+		a, err := argNumber("math.fmod", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := argNumber("math.fmod", args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{math.Mod(a, b)}, nil
+	}))
+	in.globals.declare("math", m)
+}
+
+func (in *Interp) installStringLib() {
+	s := NewTable()
+	set := func(name string, v Value) {
+		if err := s.Set(name, v); err != nil {
+			panic(err)
+		}
+	}
+	set("len", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.len", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{float64(len(str))}, nil
+	}))
+	set("sub", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.sub", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		i := int(optNumber(args, 1, 1))
+		j := int(optNumber(args, 2, -1))
+		n := len(str)
+		if i < 0 {
+			i = n + i + 1
+		}
+		if j < 0 {
+			j = n + j + 1
+		}
+		if i < 1 {
+			i = 1
+		}
+		if j > n {
+			j = n
+		}
+		if i > j {
+			return []Value{""}, nil
+		}
+		return []Value{str[i-1 : j]}, nil
+	}))
+	set("upper", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.upper", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{strings.ToUpper(str)}, nil
+	}))
+	set("lower", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.lower", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{strings.ToLower(str)}, nil
+	}))
+	set("rep", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.rep", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		n, err := argNumber("string.rep", args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			n = 0
+		}
+		if float64(len(str))*n > 1e7 {
+			return nil, fmt.Errorf("string.rep result too large")
+		}
+		return []Value{strings.Repeat(str, int(n))}, nil
+	}))
+	set("find", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.find", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := argString("string.find", args, 1)
+		if err != nil {
+			return nil, err
+		}
+		init := normIndex(int(optNumber(args, 2, 1)), len(str))
+		plain := len(args) > 3 && Truthy(args[3])
+		if plain {
+			idx := strings.Index(str[init:], pat)
+			if idx < 0 {
+				return []Value{nil}, nil
+			}
+			return []Value{float64(init + idx + 1), float64(init + idx + len(pat))}, nil
+		}
+		start, end, caps, err := patFind(str, pat, init)
+		if err != nil {
+			return nil, err
+		}
+		if start < 0 {
+			return []Value{nil}, nil
+		}
+		out := []Value{float64(start + 1), float64(end)}
+		if len(caps) > 0 {
+			out = append(out, captureValues(str, start, end, caps)...)
+		}
+		return out, nil
+	}))
+	set("match", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.match", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := argString("string.match", args, 1)
+		if err != nil {
+			return nil, err
+		}
+		init := normIndex(int(optNumber(args, 2, 1)), len(str))
+		start, end, caps, err := patFind(str, pat, init)
+		if err != nil {
+			return nil, err
+		}
+		if start < 0 {
+			return []Value{nil}, nil
+		}
+		return captureValues(str, start, end, caps), nil
+	}))
+	set("gmatch", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.gmatch", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := argString("string.gmatch", args, 1)
+		if err != nil {
+			return nil, err
+		}
+		pos := 0
+		iter := GoFunc(func([]Value) ([]Value, error) {
+			for pos <= len(str) {
+				start, end, caps, err := patFind(str, pat, pos)
+				if err != nil {
+					return nil, err
+				}
+				if start < 0 {
+					return []Value{nil}, nil
+				}
+				if end == start {
+					pos = end + 1 // avoid infinite loops on empty matches
+				} else {
+					pos = end
+				}
+				return captureValues(str, start, end, caps), nil
+			}
+			return []Value{nil}, nil
+		})
+		return []Value{iter}, nil
+	}))
+	set("gsub", GoFunc(func(args []Value) ([]Value, error) {
+		str, err := argString("string.gsub", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := argString("string.gsub", args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 3 {
+			return nil, argErr("string.gsub", 3, "string/function/table", nil)
+		}
+		repl := args[2]
+		maxN := -1 // unlimited
+		if len(args) > 3 && args[3] != nil {
+			maxN = int(optNumber(args, 3, -1))
+		}
+		return in.gsub(str, pat, repl, maxN)
+	}))
+	set("format", GoFunc(func(args []Value) ([]Value, error) {
+		format, err := argString("string.format", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		out, err := luaFormat(format, args[1:])
+		if err != nil {
+			return nil, err
+		}
+		return []Value{out}, nil
+	}))
+	in.globals.declare("string", s)
+}
+
+// luaFormat supports the common %d %i %f %g %s %x %% verbs with optional
+// width/precision flags.
+func luaFormat(format string, args []Value) (string, error) {
+	var sb strings.Builder
+	argi := 0
+	nextArg := func() (Value, error) {
+		if argi >= len(args) {
+			return nil, fmt.Errorf("bad argument #%d to 'string.format' (no value)", argi+2)
+		}
+		v := args[argi]
+		argi++
+		return v, nil
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return "", fmt.Errorf("invalid format string (trailing %%)")
+		}
+		start := i
+		for i < len(format) && strings.IndexByte("-+ #0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			return "", fmt.Errorf("invalid format string")
+		}
+		flags := format[start:i]
+		verb := format[i]
+		switch verb {
+		case '%':
+			sb.WriteByte('%')
+		case 'd', 'i':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			n, ok := ToNumber(v)
+			if !ok {
+				return "", fmt.Errorf("bad argument to string.format %%d (number expected, got %s)", TypeName(v))
+			}
+			fmt.Fprintf(&sb, "%"+flags+"d", int64(n))
+		case 'f', 'g', 'e':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			n, ok := ToNumber(v)
+			if !ok {
+				return "", fmt.Errorf("bad argument to string.format %%%c (number expected, got %s)", verb, TypeName(v))
+			}
+			fmt.Fprintf(&sb, "%"+flags+string(verb), n)
+		case 'x', 'X':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			n, ok := ToNumber(v)
+			if !ok {
+				return "", fmt.Errorf("bad argument to string.format %%x (number expected, got %s)", TypeName(v))
+			}
+			fmt.Fprintf(&sb, "%"+flags+string(verb), int64(n))
+		case 's', 'q':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			if verb == 'q' {
+				fmt.Fprintf(&sb, "%q", ToString(v))
+			} else {
+				fmt.Fprintf(&sb, "%"+flags+"s", ToString(v))
+			}
+		default:
+			return "", fmt.Errorf("invalid format verb %%%c", verb)
+		}
+	}
+	return sb.String(), nil
+}
+
+func (in *Interp) installTableLib() {
+	t := NewTable()
+	set := func(name string, v Value) {
+		if err := t.Set(name, v); err != nil {
+			panic(err)
+		}
+	}
+	set("insert", GoFunc(func(args []Value) ([]Value, error) {
+		tbl, err := argTable("table.insert", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		switch len(args) {
+		case 2:
+			tbl.Append(args[1])
+			return nil, nil
+		case 3:
+			pos, err := argNumber("table.insert", args, 1)
+			if err != nil {
+				return nil, err
+			}
+			p := int(pos)
+			if p < 1 || p > tbl.Len()+1 {
+				return nil, fmt.Errorf("bad argument #2 to 'table.insert' (position out of bounds)")
+			}
+			tbl.arr = append(tbl.arr, nil)
+			copy(tbl.arr[p:], tbl.arr[p-1:])
+			tbl.arr[p-1] = args[2]
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("wrong number of arguments to 'table.insert'")
+		}
+	}))
+	set("remove", GoFunc(func(args []Value) ([]Value, error) {
+		tbl, err := argTable("table.remove", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		n := tbl.Len()
+		if n == 0 {
+			return []Value{nil}, nil
+		}
+		p := int(optNumber(args, 1, float64(n)))
+		if p < 1 || p > n {
+			return nil, fmt.Errorf("bad argument #2 to 'table.remove' (position out of bounds)")
+		}
+		v := tbl.arr[p-1]
+		copy(tbl.arr[p-1:], tbl.arr[p:])
+		tbl.arr = tbl.arr[:n-1]
+		return []Value{v}, nil
+	}))
+	set("concat", GoFunc(func(args []Value) ([]Value, error) {
+		tbl, err := argTable("table.concat", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		sep := ""
+		if len(args) > 1 {
+			sep, err = argString("table.concat", args, 1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		parts := make([]string, 0, tbl.Len())
+		for i := 1; i <= tbl.Len(); i++ {
+			v := tbl.Get(float64(i))
+			s, ok := concatString(v)
+			if !ok {
+				return nil, fmt.Errorf("invalid value (at index %d) in table for 'concat'", i)
+			}
+			parts = append(parts, s)
+		}
+		return []Value{strings.Join(parts, sep)}, nil
+	}))
+	set("getn", GoFunc(func(args []Value) ([]Value, error) {
+		tbl, err := argTable("table.getn", args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []Value{float64(tbl.Len())}, nil
+	}))
+	in.globals.declare("table", t)
+}

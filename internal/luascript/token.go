@@ -1,0 +1,79 @@
+// Package luascript implements a small, from-scratch interpreter for the
+// subset of Lua that SOR uses to describe sensing tasks (§II-A). The paper
+// ships each sensing task to the phone as a Lua script; the Script
+// Interpreter on the mobile frontend translates it and dispatches the data-
+// acquisition functions (get_light_readings(), get_location(), …) to
+// registered providers through a security whitelist.
+//
+// Supported: numbers, strings, booleans, nil, tables, full expression
+// grammar, local/global variables, multiple assignment and multiple return
+// values, if/elseif/else, while, repeat/until, numeric and generic for,
+// break, functions and closures, method-call sugar (t:f()), Lua pattern
+// matching (string.find/match/gmatch/gsub with classes, sets, captures,
+// back-references and anchors), and a sandboxed standard library (print,
+// math.*, string.*, table.*, pairs, ipairs, tostring, tonumber, type,
+// assert, error, pcall). Not supported (not needed for sensing scripts):
+// metatables, coroutines, goto, varargs, %b/%f pattern items.
+package luascript
+
+import "fmt"
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota + 1
+	tkNumber
+	tkString
+	tkName
+	tkKeyword
+	tkOp
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string  // raw text for names/keywords/ops; decoded text for strings
+	num  float64 // value for numbers
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tkEOF:
+		return "<eof>"
+	case tkNumber:
+		return fmt.Sprintf("number(%v)", t.num)
+	case tkString:
+		return fmt.Sprintf("string(%q)", t.text)
+	default:
+		return t.text
+	}
+}
+
+// keywords of the supported subset.
+var keywords = map[string]bool{
+	"and": true, "break": true, "do": true, "else": true, "elseif": true,
+	"end": true, "false": true, "for": true, "function": true, "if": true,
+	"in": true, "local": true, "nil": true, "not": true, "or": true,
+	"repeat": true, "return": true, "then": true, "true": true,
+	"until": true, "while": true,
+}
+
+// Error is a script error carrying a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("lua: line %d: %s", e.Line, e.Msg)
+	}
+	return "lua: " + e.Msg
+}
+
+func errf(line int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,254 @@
+package luascript
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a Lua runtime value: nil, bool, float64, string, *Table,
+// *Function or GoFunc.
+type Value interface{}
+
+// GoFunc is a host function callable from scripts. Arguments arrive
+// already evaluated; multiple return values are supported.
+type GoFunc func(args []Value) ([]Value, error)
+
+// Function is a script-defined closure.
+type Function struct {
+	params []string
+	body   []stmt
+	env    *env // captured lexical environment
+}
+
+// Table is a Lua table: a hybrid array/hash map. Array elements live at
+// consecutive integer keys from 1.
+type Table struct {
+	arr  []Value
+	hash map[Value]Value
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table { return &Table{} }
+
+// normKey converts integral float keys that address the array part.
+func (t *Table) arrayIndex(key Value) (int, bool) {
+	n, ok := key.(float64)
+	if !ok {
+		return 0, false
+	}
+	i := int(n)
+	if float64(i) != n || i < 1 {
+		return 0, false
+	}
+	return i, true
+}
+
+// Get returns the value stored at key (nil Value when absent).
+func (t *Table) Get(key Value) Value {
+	if i, ok := t.arrayIndex(key); ok && i <= len(t.arr) {
+		return t.arr[i-1]
+	}
+	if t.hash == nil {
+		return nil
+	}
+	return t.hash[key]
+}
+
+// Set stores val at key; setting nil removes the key.
+func (t *Table) Set(key, val Value) error {
+	if key == nil {
+		return fmt.Errorf("table index is nil")
+	}
+	if f, ok := key.(float64); ok && math.IsNaN(f) {
+		return fmt.Errorf("table index is NaN")
+	}
+	if _, ok := key.(GoFunc); ok {
+		// Go func values are not comparable and cannot be map keys.
+		return fmt.Errorf("builtin function cannot be a table key")
+	}
+	if i, ok := t.arrayIndex(key); ok {
+		switch {
+		case i <= len(t.arr):
+			t.arr[i-1] = val
+			if val == nil && i == len(t.arr) {
+				// Shrink trailing nils.
+				for len(t.arr) > 0 && t.arr[len(t.arr)-1] == nil {
+					t.arr = t.arr[:len(t.arr)-1]
+				}
+			}
+			return nil
+		case i == len(t.arr)+1 && val != nil:
+			t.arr = append(t.arr, val)
+			// Migrate any subsequent keys from hash into array.
+			for {
+				next := float64(len(t.arr) + 1)
+				if t.hash == nil {
+					break
+				}
+				v, ok := t.hash[next]
+				if !ok {
+					break
+				}
+				delete(t.hash, next)
+				t.arr = append(t.arr, v)
+			}
+			return nil
+		}
+	}
+	if val == nil {
+		if t.hash != nil {
+			delete(t.hash, key)
+		}
+		return nil
+	}
+	if t.hash == nil {
+		t.hash = make(map[Value]Value)
+	}
+	t.hash[key] = val
+	return nil
+}
+
+// Len returns the array-part length (the # operator).
+func (t *Table) Len() int { return len(t.arr) }
+
+// Append adds a value at the end of the array part.
+func (t *Table) Append(val Value) {
+	t.arr = append(t.arr, val)
+}
+
+// Keys returns all keys (array then hash, hash keys sorted by display
+// string for determinism).
+func (t *Table) Keys() []Value {
+	keys := make([]Value, 0, len(t.arr)+len(t.hash))
+	for i := range t.arr {
+		if t.arr[i] != nil {
+			keys = append(keys, float64(i+1))
+		}
+	}
+	hkeys := make([]Value, 0, len(t.hash))
+	for k := range t.hash {
+		hkeys = append(hkeys, k)
+	}
+	sort.Slice(hkeys, func(i, j int) bool {
+		return ToString(hkeys[i]) < ToString(hkeys[j])
+	})
+	return append(keys, hkeys...)
+}
+
+// Truthy implements Lua truth: only nil and false are falsy.
+func Truthy(v Value) bool {
+	if v == nil {
+		return false
+	}
+	if b, ok := v.(bool); ok {
+		return b
+	}
+	return true
+}
+
+// TypeName returns the Lua type name of v.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Table:
+		return "table"
+	case *Function, GoFunc:
+		return "function"
+	default:
+		return "userdata"
+	}
+}
+
+// ToString renders a value the way Lua's tostring does.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return NumberToString(x)
+	case string:
+		return x
+	case *Table:
+		return fmt.Sprintf("table: %p", x)
+	case *Function:
+		return fmt.Sprintf("function: %p", x)
+	case GoFunc:
+		return "function: builtin"
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// NumberToString formats numbers like Lua: integers without a decimal
+// point, others with %.14g.
+func NumberToString(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', 14, 64)
+}
+
+// ToNumber attempts numeric coercion (numbers and numeric strings).
+func ToNumber(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case string:
+		s := strings.TrimSpace(x)
+		if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+			u, err := strconv.ParseUint(s[2:], 16, 64)
+			if err != nil {
+				return 0, false
+			}
+			return float64(u), true
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+// valuesEqual implements Lua == (no coercion between types).
+func valuesEqual(a, b Value) bool {
+	if a == nil && b == nil {
+		return true
+	}
+	switch x := a.(type) {
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case *Table:
+		y, ok := b.(*Table)
+		return ok && x == y
+	case *Function:
+		y, ok := b.(*Function)
+		return ok && x == y
+	default:
+		return false
+	}
+}

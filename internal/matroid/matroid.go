@@ -1,0 +1,236 @@
+// Package matroid implements the matroid abstraction of SOR §III
+// (Definition 1) together with the concrete matroids the scheduler needs.
+// Elements of the ground set are identified by dense integer ids 0..n−1,
+// which lets feasibility tracking run in O(1) per element — exactly the
+// "maintain a counter for each mobile user" trick the paper uses to argue
+// Algorithm 1 runs in O(N²).
+package matroid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matroid is an independence system satisfying the matroid axioms:
+//
+//  1. the empty set is independent;
+//  2. subsets of independent sets are independent (downward closure);
+//  3. the exchange property: if |X| > |Y| for independent X, Y then some
+//     x ∈ X\Y keeps Y∪{x} independent.
+//
+// Implementations are *streaming* oracles: CanAdd/Add ask whether the
+// current independent set can be extended by one element, which is the only
+// operation the greedy algorithm needs.
+type Matroid interface {
+	// GroundSize returns n, the size of the ground set.
+	GroundSize() int
+	// CanAdd reports whether the current set plus element e is independent.
+	CanAdd(e int) bool
+	// Add inserts e into the current set. It returns an error when the
+	// insertion would violate independence or e is out of range.
+	Add(e int) error
+	// Reset empties the current set.
+	Reset()
+	// Rank returns the size of the current set.
+	Rank() int
+}
+
+// ErrDependent is returned by Add when the element would make the current
+// set dependent.
+var ErrDependent = errors.New("matroid: element would violate independence")
+
+// Uniform is the uniform matroid U(n, k): any subset of size ≤ k is
+// independent.
+type Uniform struct {
+	n, k  int
+	count int
+}
+
+var _ Matroid = (*Uniform)(nil)
+
+// NewUniform builds a uniform matroid over n elements with rank bound k.
+func NewUniform(n, k int) (*Uniform, error) {
+	if n < 0 || k < 0 {
+		return nil, errors.New("matroid: uniform needs n, k >= 0")
+	}
+	return &Uniform{n: n, k: k}, nil
+}
+
+// GroundSize implements Matroid.
+func (u *Uniform) GroundSize() int { return u.n }
+
+// CanAdd implements Matroid.
+func (u *Uniform) CanAdd(e int) bool { return e >= 0 && e < u.n && u.count < u.k }
+
+// Add implements Matroid.
+func (u *Uniform) Add(e int) error {
+	if e < 0 || e >= u.n {
+		return fmt.Errorf("matroid: element %d out of range [0,%d)", e, u.n)
+	}
+	if u.count >= u.k {
+		return ErrDependent
+	}
+	u.count++
+	return nil
+}
+
+// Reset implements Matroid.
+func (u *Uniform) Reset() { u.count = 0 }
+
+// Rank implements Matroid.
+func (u *Uniform) Rank() int { return u.count }
+
+// Partition is the partition matroid: the ground set is divided into
+// disjoint parts, each with a capacity; a set is independent when it takes
+// at most capacity[p] elements from part p. The SOR scheduler instantiates
+// it with one part per mobile user (capacity = the user's sensing budget
+// NBk) over the ground set of (user, instant) pairs — see Theorem 1 and
+// the formulation note in DESIGN.md.
+type Partition struct {
+	part     []int // part[e] = part id of element e
+	capacity []int // capacity[p]
+	used     []int // used[p] = elements taken from part p so far
+	count    int
+}
+
+var _ Matroid = (*Partition)(nil)
+
+// NewPartition builds a partition matroid. part maps each ground element to
+// its part id; capacity gives each part's budget.
+func NewPartition(part []int, capacity []int) (*Partition, error) {
+	for e, p := range part {
+		if p < 0 || p >= len(capacity) {
+			return nil, fmt.Errorf("matroid: element %d has invalid part %d", e, p)
+		}
+	}
+	for p, c := range capacity {
+		if c < 0 {
+			return nil, fmt.Errorf("matroid: part %d has negative capacity %d", p, c)
+		}
+	}
+	cp := make([]int, len(part))
+	copy(cp, part)
+	cc := make([]int, len(capacity))
+	copy(cc, capacity)
+	return &Partition{part: cp, capacity: cc, used: make([]int, len(capacity))}, nil
+}
+
+// GroundSize implements Matroid.
+func (m *Partition) GroundSize() int { return len(m.part) }
+
+// CanAdd implements Matroid.
+func (m *Partition) CanAdd(e int) bool {
+	if e < 0 || e >= len(m.part) {
+		return false
+	}
+	p := m.part[e]
+	return m.used[p] < m.capacity[p]
+}
+
+// Add implements Matroid.
+func (m *Partition) Add(e int) error {
+	if e < 0 || e >= len(m.part) {
+		return fmt.Errorf("matroid: element %d out of range [0,%d)", e, len(m.part))
+	}
+	p := m.part[e]
+	if m.used[p] >= m.capacity[p] {
+		return ErrDependent
+	}
+	m.used[p]++
+	m.count++
+	return nil
+}
+
+// Reset implements Matroid.
+func (m *Partition) Reset() {
+	for i := range m.used {
+		m.used[i] = 0
+	}
+	m.count = 0
+}
+
+// Rank implements Matroid.
+func (m *Partition) Rank() int { return m.count }
+
+// Used reports how many elements of part p are in the current set.
+func (m *Partition) Used(p int) int { return m.used[p] }
+
+// CheckAxioms exhaustively verifies the three matroid axioms on small
+// ground sets (n ≤ about 16) by enumerating subsets through the streaming
+// oracle. factory must return a fresh, empty matroid each call. It is used
+// by property tests (Theorem 1 of the paper shows the scheduler's
+// independence system really is a matroid; this is the executable check).
+func CheckAxioms(factory func() Matroid) error {
+	probe := factory()
+	n := probe.GroundSize()
+	if n > 20 {
+		return errors.New("matroid: CheckAxioms is exponential; n too large")
+	}
+	indep := func(set uint32) bool {
+		m := factory()
+		for e := 0; e < n; e++ {
+			if set&(1<<e) == 0 {
+				continue
+			}
+			if err := m.Add(e); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	popcount := func(s uint32) int {
+		c := 0
+		for s != 0 {
+			s &= s - 1
+			c++
+		}
+		return c
+	}
+
+	total := uint32(1) << n
+	isIndep := make([]bool, total)
+	for s := uint32(0); s < total; s++ {
+		isIndep[s] = indep(s)
+	}
+	// Axiom 1.
+	if !isIndep[0] {
+		return errors.New("matroid: empty set is not independent")
+	}
+	// Axiom 2: downward closure (check by removing one element).
+	for s := uint32(0); s < total; s++ {
+		if !isIndep[s] {
+			continue
+		}
+		for e := 0; e < n; e++ {
+			if s&(1<<e) == 0 {
+				continue
+			}
+			if !isIndep[s&^(1<<e)] {
+				return fmt.Errorf("matroid: subset of independent set %b dependent", s)
+			}
+		}
+	}
+	// Axiom 3: exchange.
+	for x := uint32(0); x < total; x++ {
+		if !isIndep[x] {
+			continue
+		}
+		for y := uint32(0); y < total; y++ {
+			if !isIndep[y] || popcount(x) <= popcount(y) {
+				continue
+			}
+			found := false
+			for e := 0; e < n; e++ {
+				bit := uint32(1) << e
+				if x&bit != 0 && y&bit == 0 && isIndep[y|bit] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("matroid: exchange fails for X=%b Y=%b", x, y)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package matroid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewUniformValidation(t *testing.T) {
+	if _, err := NewUniform(-1, 2); err == nil {
+		t.Fatal("negative n must error")
+	}
+	if _, err := NewUniform(3, -1); err == nil {
+		t.Fatal("negative k must error")
+	}
+}
+
+func TestUniformBasics(t *testing.T) {
+	u, err := NewUniform(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.GroundSize() != 5 {
+		t.Fatalf("ground size = %d", u.GroundSize())
+	}
+	if !u.CanAdd(0) {
+		t.Fatal("empty uniform should accept element")
+	}
+	if u.CanAdd(5) || u.CanAdd(-1) {
+		t.Fatal("out-of-range element should be rejected")
+	}
+	if err := u.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if u.Rank() != 2 {
+		t.Fatalf("rank = %d", u.Rank())
+	}
+	if u.CanAdd(2) {
+		t.Fatal("rank bound reached, CanAdd must be false")
+	}
+	if err := u.Add(2); err != ErrDependent {
+		t.Fatalf("Add past bound: %v", err)
+	}
+	if err := u.Add(9); err == nil || err == ErrDependent {
+		t.Fatalf("out-of-range Add error = %v", err)
+	}
+	u.Reset()
+	if u.Rank() != 0 || !u.CanAdd(2) {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestNewPartitionValidation(t *testing.T) {
+	if _, err := NewPartition([]int{0, 1, 2}, []int{1, 1}); err == nil {
+		t.Fatal("part id out of range must error")
+	}
+	if _, err := NewPartition([]int{0, -1}, []int{1}); err == nil {
+		t.Fatal("negative part id must error")
+	}
+	if _, err := NewPartition([]int{0}, []int{-2}); err == nil {
+		t.Fatal("negative capacity must error")
+	}
+}
+
+func TestPartitionBudgets(t *testing.T) {
+	// Two users: user 0 owns elements 0-2 with budget 2; user 1 owns 3-4
+	// with budget 1.
+	m, err := NewPartition([]int{0, 0, 0, 1, 1}, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.CanAdd(2) {
+		t.Fatal("user 0 budget exhausted")
+	}
+	if err := m.Add(2); err != ErrDependent {
+		t.Fatalf("expected ErrDependent, got %v", err)
+	}
+	if !m.CanAdd(3) {
+		t.Fatal("user 1 budget still free")
+	}
+	if err := m.Add(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.CanAdd(4) {
+		t.Fatal("user 1 budget exhausted")
+	}
+	if m.Rank() != 3 || m.Used(0) != 2 || m.Used(1) != 1 {
+		t.Fatalf("rank=%d used0=%d used1=%d", m.Rank(), m.Used(0), m.Used(1))
+	}
+	m.Reset()
+	if m.Rank() != 0 || m.Used(0) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestPartitionCopiesInputs(t *testing.T) {
+	part := []int{0, 1}
+	capacity := []int{1, 1}
+	m, err := NewPartition(part, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part[0] = 1
+	capacity[0] = 0
+	if !m.CanAdd(0) {
+		t.Fatal("matroid aliases caller slices")
+	}
+}
+
+func TestPartitionOutOfRange(t *testing.T) {
+	m, err := NewPartition([]int{0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CanAdd(1) || m.CanAdd(-1) {
+		t.Fatal("out-of-range CanAdd should be false")
+	}
+	if err := m.Add(7); err == nil {
+		t.Fatal("out-of-range Add must error")
+	}
+}
+
+func TestCheckAxiomsUniform(t *testing.T) {
+	if err := CheckAxioms(func() Matroid {
+		u, err := NewUniform(6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}); err != nil {
+		t.Fatalf("uniform matroid violates axioms: %v", err)
+	}
+}
+
+func TestCheckAxiomsPartition(t *testing.T) {
+	if err := CheckAxioms(func() Matroid {
+		m, err := NewPartition([]int{0, 0, 0, 1, 1, 2}, []int{2, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}); err != nil {
+		t.Fatalf("partition matroid violates axioms: %v", err)
+	}
+}
+
+func TestCheckAxiomsRejectsLargeGroundSet(t *testing.T) {
+	if err := CheckAxioms(func() Matroid {
+		u, _ := NewUniform(25, 3)
+		return u
+	}); err == nil {
+		t.Fatal("oversized ground set should be refused")
+	}
+}
+
+// notAMatroid violates the exchange axiom: independent sets are {}, {0},
+// {1}, {0,1}, {2} but NOT {0,2},{1,2} — so X={0,1}, Y={2} has no exchange.
+type notAMatroid struct{ have []bool }
+
+func (f *notAMatroid) GroundSize() int { return 3 }
+func (f *notAMatroid) CanAdd(e int) bool {
+	if e < 0 || e > 2 {
+		return false
+	}
+	if e == 2 {
+		return !f.have[0] && !f.have[1]
+	}
+	return !f.have[2]
+}
+func (f *notAMatroid) Add(e int) error {
+	if !f.CanAdd(e) {
+		return ErrDependent
+	}
+	f.have[e] = true
+	return nil
+}
+func (f *notAMatroid) Reset() { f.have = make([]bool, 3) }
+func (f *notAMatroid) Rank() int {
+	c := 0
+	for _, h := range f.have {
+		if h {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCheckAxiomsDetectsViolation(t *testing.T) {
+	if err := CheckAxioms(func() Matroid {
+		return &notAMatroid{have: make([]bool, 3)}
+	}); err == nil {
+		t.Fatal("CheckAxioms accepted a non-matroid")
+	}
+}
+
+// Property: random partition matroids always pass the axiom check — this is
+// the executable analogue of Theorem 1 in the paper (the scheduler's
+// budget-constrained system is a matroid).
+func TestPartitionAxiomsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		parts := 1 + rng.Intn(3)
+		part := make([]int, n)
+		for i := range part {
+			part[i] = rng.Intn(parts)
+		}
+		capacity := make([]int, parts)
+		for i := range capacity {
+			capacity[i] = rng.Intn(3)
+		}
+		return CheckAxioms(func() Matroid {
+			m, err := NewPartition(part, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

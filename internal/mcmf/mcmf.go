@@ -1,0 +1,302 @@
+// Package mcmf implements minimum-cost maximum-flow and the assignment
+// (min-cost perfect matching) solver SOR's ranking aggregation needs
+// (§IV-B). The paper constructs an auxiliary flow graph — source → places
+// → ranks → sink, unit capacities, footrule costs on the middle edges —
+// and observes that a min-cost flow of value N yields the aggregated
+// ranking; with all-unit capacities the LP relaxation is integral.
+//
+// The solver is successive shortest augmenting paths with Johnson
+// potentials (Dijkstra on reduced costs), initialized by Bellman–Ford so
+// negative edge costs are accepted.
+package mcmf
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Graph is a directed flow network under construction.
+type Graph struct {
+	n     int
+	heads [][]int // adjacency: node -> arc indices (including residuals)
+	to    []int
+	cap   []int64
+	cost  []float64
+}
+
+// NewGraph creates a flow network with n nodes (0..n-1).
+func NewGraph(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, errors.New("mcmf: need at least one node")
+	}
+	return &Graph{n: n, heads: make([][]int, n)}, nil
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and per-unit
+// cost, returning its arc id (usable with Flow after solving).
+func (g *Graph) AddEdge(u, v int, capacity int64, cost float64) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, fmt.Errorf("mcmf: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("mcmf: negative capacity %d", capacity)
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return 0, fmt.Errorf("mcmf: invalid cost %v", cost)
+	}
+	id := len(g.to)
+	g.to = append(g.to, v, u)
+	g.cap = append(g.cap, capacity, 0)
+	g.cost = append(g.cost, cost, -cost)
+	g.heads[u] = append(g.heads[u], id)
+	g.heads[v] = append(g.heads[v], id^1)
+	return id, nil
+}
+
+// Result reports a solved flow.
+type Result struct {
+	// Total is the total units pushed from source to sink.
+	Total int64
+	// Cost is the total cost of the flow.
+	Cost float64
+	// arcFlow[id] = flow on the arc with that id.
+	arcFlow []int64
+}
+
+// Flow returns the flow routed over the arc with the given id.
+func (r *Result) Flow(arcID int) int64 {
+	if arcID < 0 || arcID >= len(r.arcFlow) {
+		return 0
+	}
+	return r.arcFlow[arcID]
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// MinCostFlow pushes up to maxFlow units from s to t (use math.MaxInt64 for
+// a max-flow), minimizing total cost. The graph's capacities are consumed;
+// build a fresh graph per solve.
+func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (*Result, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return nil, fmt.Errorf("mcmf: source/sink out of range")
+	}
+	if s == t {
+		return nil, errors.New("mcmf: source equals sink")
+	}
+	if maxFlow < 0 {
+		return nil, errors.New("mcmf: negative flow request")
+	}
+
+	origCap := make([]int64, len(g.cap))
+	copy(origCap, g.cap)
+
+	potential := make([]float64, g.n)
+	// Bellman–Ford to initialize potentials (handles negative costs).
+	if g.hasNegativeCost() {
+		dist := make([]float64, g.n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[s] = 0
+		for iter := 0; iter < g.n; iter++ {
+			changed := false
+			for u := 0; u < g.n; u++ {
+				if math.IsInf(dist[u], 1) {
+					continue
+				}
+				for _, id := range g.heads[u] {
+					if g.cap[id] <= 0 {
+						continue
+					}
+					v := g.to[id]
+					if nd := dist[u] + g.cost[id]; nd < dist[v]-1e-12 {
+						dist[v] = nd
+						changed = true
+						if iter == g.n-1 {
+							return nil, errors.New("mcmf: negative cycle detected")
+						}
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		for i := range potential {
+			if !math.IsInf(dist[i], 1) {
+				potential[i] = dist[i]
+			}
+		}
+	}
+
+	res := &Result{}
+	dist := make([]float64, g.n)
+	prevArc := make([]int, g.n)
+	visited := make([]bool, g.n)
+
+	for res.Total < maxFlow {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			visited[i] = false
+			prevArc[i] = -1
+		}
+		dist[s] = 0
+		q := pq{{node: s}}
+		for len(q) > 0 {
+			it := heap.Pop(&q).(pqItem)
+			u := it.node
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			for _, id := range g.heads[u] {
+				if g.cap[id] <= 0 {
+					continue
+				}
+				v := g.to[id]
+				rc := g.cost[id] + potential[u] - potential[v]
+				if rc < 0 {
+					rc = 0 // guard tiny negative residuals from float error
+				}
+				if nd := dist[u] + rc; nd < dist[v]-1e-15 {
+					dist[v] = nd
+					prevArc[v] = id
+					heap.Push(&q, pqItem{node: v, dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // no augmenting path
+		}
+		for i := 0; i < g.n; i++ {
+			if !math.IsInf(dist[i], 1) {
+				potential[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		push := maxFlow - res.Total
+		for v := t; v != s; {
+			id := prevArc[v]
+			if g.cap[id] < push {
+				push = g.cap[id]
+			}
+			v = g.to[id^1]
+		}
+		for v := t; v != s; {
+			id := prevArc[v]
+			g.cap[id] -= push
+			g.cap[id^1] += push
+			res.Cost += g.cost[id] * float64(push)
+			v = g.to[id^1]
+		}
+		res.Total += push
+	}
+
+	res.arcFlow = make([]int64, len(g.cap))
+	for id := 0; id < len(g.cap); id += 2 {
+		res.arcFlow[id] = origCap[id] - g.cap[id]
+	}
+	return res, nil
+}
+
+func (g *Graph) hasNegativeCost() bool {
+	for id := 0; id < len(g.cost); id += 2 {
+		if g.cost[id] < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Assign solves the n×n assignment problem: cost[i][j] is the cost of
+// assigning item i to slot j; the result perm satisfies perm[i] = j with
+// every slot used exactly once and total cost minimized. It reduces to
+// min-cost flow on the §IV-B auxiliary graph.
+func Assign(cost [][]float64) (perm []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, errors.New("mcmf: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("mcmf: cost matrix row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, 0, fmt.Errorf("mcmf: invalid cost[%d][%d] = %v", i, j, c)
+			}
+		}
+	}
+	// Nodes: 0 = source, 1..n = items, n+1..2n = slots, 2n+1 = sink.
+	g, err := NewGraph(2*n + 2)
+	if err != nil {
+		return nil, 0, err
+	}
+	src, sink := 0, 2*n+1
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(src, 1+i, 1, 0); err != nil {
+			return nil, 0, err
+		}
+		if _, err := g.AddEdge(n+1+i, sink, 1, 0); err != nil {
+			return nil, 0, err
+		}
+	}
+	arcID := make([][]int, n)
+	for i := 0; i < n; i++ {
+		arcID[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			id, err := g.AddEdge(1+i, n+1+j, 1, cost[i][j])
+			if err != nil {
+				return nil, 0, err
+			}
+			arcID[i][j] = id
+		}
+	}
+	res, err := g.MinCostFlow(src, sink, int64(n))
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Total != int64(n) {
+		return nil, 0, fmt.Errorf("mcmf: assignment infeasible (flow %d < %d)", res.Total, n)
+	}
+	perm = make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if res.Flow(arcID[i][j]) > 0 {
+				perm[i] = j
+			}
+		}
+	}
+	for i, j := range perm {
+		if j < 0 {
+			return nil, 0, fmt.Errorf("mcmf: item %d unassigned", i)
+		}
+	}
+	return perm, res.Cost, nil
+}

@@ -1,0 +1,511 @@
+package rankagg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randRanking draws a uniform random permutation.
+func randRanking(rng *rand.Rand, n int) Ranking {
+	r := make(Ranking, n)
+	for i := range r {
+		r[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { r[i], r[j] = r[j], r[i] })
+	return r
+}
+
+func TestRankingValidate(t *testing.T) {
+	if err := (Ranking{0, 1, 2}).Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Ranking{
+		{0, 1},     // wrong length
+		{0, 1, 3},  // out of range
+		{0, 1, 1},  // duplicate
+		{-1, 1, 2}, // negative
+	}
+	for i, r := range cases {
+		if err := r.Validate(3); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPositionsAndPosition(t *testing.T) {
+	r := Ranking{2, 0, 1}
+	pos := r.Positions()
+	if pos[2] != 0 || pos[0] != 1 || pos[1] != 2 {
+		t.Fatalf("positions = %v", pos)
+	}
+	if r.Position(1) != 2 || r.Position(2) != 0 {
+		t.Fatal("Position lookup wrong")
+	}
+	if r.Position(9) != -1 {
+		t.Fatal("missing item should be -1")
+	}
+	c := r.Clone()
+	c[0] = 0
+	if r[0] != 2 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestKemenyPaperExample(t *testing.T) {
+	// §IV-B: R1 = A,B,C and R2 = B,C,A have Kemeny distance 2
+	// (violations on pairs (A,B) and (A,C)). A=0, B=1, C=2.
+	r1 := Ranking{0, 1, 2}
+	r2 := Ranking{1, 2, 0}
+	d, err := KemenyDistance(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Fatalf("Kemeny = %d, want 2 (the paper's example)", d)
+	}
+}
+
+func TestKemenyIdentityAndReverse(t *testing.T) {
+	r := Ranking{0, 1, 2, 3}
+	if d, _ := KemenyDistance(r, r); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+	rev := Ranking{3, 2, 1, 0}
+	d, _ := KemenyDistance(r, rev)
+	if d != 6 { // all C(4,2) pairs violated
+		t.Fatalf("reverse distance = %d, want 6", d)
+	}
+}
+
+func TestDistancesErrorHandling(t *testing.T) {
+	if _, err := KemenyDistance(Ranking{0, 1}, Ranking{0, 1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := KemenyDistance(Ranking{0, 0}, Ranking{0, 1}); err == nil {
+		t.Fatal("invalid ranking must error")
+	}
+	if _, err := FootruleDistance(Ranking{0, 1}, Ranking{0, 1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := FootruleDistance(Ranking{1, 1}, Ranking{0, 1}); err == nil {
+		t.Fatal("invalid ranking must error")
+	}
+}
+
+func TestFootruleKnown(t *testing.T) {
+	a := Ranking{0, 1, 2}
+	b := Ranking{1, 2, 0}
+	// positions a: 0,1,2 ; b: item0->2, item1->0, item2->1 → |0-2|+|1-0|+|2-1| = 4
+	d, err := FootruleDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 {
+		t.Fatalf("footrule = %d, want 4", d)
+	}
+}
+
+// Property: the Diaconis–Graham sandwich dK <= df <= 2 dK (Eq. 10).
+func TestFootruleSandwichProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a, b := randRanking(rng, n), randRanking(rng, n)
+		dk, err := KemenyDistance(a, b)
+		if err != nil {
+			return false
+		}
+		df, err := FootruleDistance(a, b)
+		if err != nil {
+			return false
+		}
+		return dk <= df && df <= 2*dk || (dk == 0 && df == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: both distances are symmetric metrics (symmetry + identity +
+// triangle inequality for Kemeny).
+func TestDistanceMetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		a, b, c := randRanking(rng, n), randRanking(rng, n), randRanking(rng, n)
+		dab, _ := KemenyDistance(a, b)
+		dba, _ := KemenyDistance(b, a)
+		dbc, _ := KemenyDistance(b, c)
+		dac, _ := KemenyDistance(a, c)
+		fab, _ := FootruleDistance(a, b)
+		fba, _ := FootruleDistance(b, a)
+		if dab != dba || fab != fba {
+			return false
+		}
+		return dac <= dab+dbc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionValidate(t *testing.T) {
+	ok := Collection{
+		Rankings: []Ranking{{0, 1}, {1, 0}},
+		Weights:  []float64{1, 2},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Collection{
+		{},
+		{Rankings: []Ranking{{0, 1}}, Weights: []float64{1, 2}},
+		{Rankings: []Ranking{{0, 1}, {0, 0}}, Weights: []float64{1, 1}},
+		{Rankings: []Ranking{{0, 1}}, Weights: []float64{-1}},
+		{Rankings: []Ranking{{0, 1}}, Weights: []float64{math.NaN()}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestWeightedDistances(t *testing.T) {
+	c := Collection{
+		Rankings: []Ranking{{0, 1, 2}, {1, 2, 0}},
+		Weights:  []float64{2, 3},
+	}
+	r := Ranking{0, 1, 2}
+	wk, err := c.WeightedKemeny(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wk != 2*0+3*2 {
+		t.Fatalf("weighted Kemeny = %v, want 6", wk)
+	}
+	wf, err := c.WeightedFootrule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf != 2*0+3*4 {
+		t.Fatalf("weighted footrule = %v, want 12", wf)
+	}
+}
+
+func TestFootruleAggregateUnanimous(t *testing.T) {
+	// All rankings identical: the aggregate must be that ranking, cost 0.
+	r := Ranking{2, 0, 3, 1}
+	c := Collection{
+		Rankings: []Ranking{r, r.Clone(), r.Clone()},
+		Weights:  []float64{1, 5, 2},
+	}
+	got, cost, err := FootruleAggregate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("cost = %v", cost)
+	}
+	for i := range r {
+		if got[i] != r[i] {
+			t.Fatalf("aggregate = %v, want %v", got, r)
+		}
+	}
+}
+
+func TestFootruleAggregateWeightDominance(t *testing.T) {
+	// With one ranking carrying overwhelming weight, the aggregate follows
+	// it.
+	heavy := Ranking{3, 2, 1, 0}
+	light := Ranking{0, 1, 2, 3}
+	c := Collection{
+		Rankings: []Ranking{heavy, light},
+		Weights:  []float64{100, 1},
+	}
+	got, _, err := FootruleAggregate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range heavy {
+		if got[i] != heavy[i] {
+			t.Fatalf("aggregate = %v, want heavy %v", got, heavy)
+		}
+	}
+}
+
+func TestFootruleAggregateZeroWeightIgnored(t *testing.T) {
+	a := Ranking{0, 1, 2}
+	b := Ranking{2, 1, 0}
+	c := Collection{
+		Rankings: []Ranking{a, b},
+		Weights:  []float64{1, 0},
+	}
+	got, _, err := FootruleAggregate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if got[i] != a[i] {
+			t.Fatalf("aggregate = %v, zero-weight ranking leaked in", got)
+		}
+	}
+}
+
+// Property: FootruleAggregate returns the minimizer of weighted footrule
+// over all permutations (checked by brute force on small n).
+func TestFootruleAggregateOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		c := Collection{}
+		for j := 0; j < m; j++ {
+			c.Rankings = append(c.Rankings, randRanking(rng, n))
+			c.Weights = append(c.Weights, float64(rng.Intn(5)))
+		}
+		got, cost, err := FootruleAggregate(c)
+		if err != nil {
+			return false
+		}
+		check, err := c.WeightedFootrule(got)
+		if err != nil || math.Abs(check-cost) > 1e-9 {
+			return false
+		}
+		best := math.Inf(1)
+		permute(n, func(p Ranking) {
+			if v, err := c.WeightedFootrule(p); err == nil && v < best {
+				best = v
+			}
+		})
+		return math.Abs(cost-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// permute enumerates all permutations of 0..n-1.
+func permute(n int, visit func(Ranking)) {
+	p := make(Ranking, n)
+	for i := range p {
+		p[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			visit(p)
+			return
+		}
+		for i := k; i < n; i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(k + 1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(0)
+}
+
+func TestExactKemenySmall(t *testing.T) {
+	// Majority order should win: two votes for 0,1,2 and one for 2,1,0.
+	c := Collection{
+		Rankings: []Ranking{{0, 1, 2}, {0, 1, 2}, {2, 1, 0}},
+		Weights:  []float64{1, 1, 1},
+	}
+	got, cost, err := ExactKemeny(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Ranking{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exact = %v, want %v", got, want)
+		}
+	}
+	if cost != 3 { // the dissenting ranking contributes 3 violations
+		t.Fatalf("cost = %v, want 3", cost)
+	}
+}
+
+func TestExactKemenyRefusesLarge(t *testing.T) {
+	r := make(Ranking, 17)
+	for i := range r {
+		r[i] = i
+	}
+	c := Collection{Rankings: []Ranking{r}, Weights: []float64{1}}
+	if _, _, err := ExactKemeny(c); err == nil {
+		t.Fatal("n=17 must be refused")
+	}
+}
+
+// Property: ExactKemeny matches brute-force minimization of weighted
+// Kemeny distance.
+func TestExactKemenyMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(3)
+		c := Collection{}
+		for j := 0; j < m; j++ {
+			c.Rankings = append(c.Rankings, randRanking(rng, n))
+			c.Weights = append(c.Weights, 0.5+float64(rng.Intn(4)))
+		}
+		_, cost, err := ExactKemeny(c)
+		if err != nil {
+			return false
+		}
+		best := math.Inf(1)
+		permute(n, func(p Ranking) {
+			if v, err := c.WeightedKemeny(p); err == nil && v < best {
+				best = v
+			}
+		})
+		return math.Abs(cost-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the paper's claimed guarantee — the footrule aggregate is a
+// 2-approximation of the exact weighted Kemeny optimum (Eq. 10).
+func TestFootruleTwoApproxOfKemenyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(4)
+		c := Collection{}
+		for j := 0; j < m; j++ {
+			c.Rankings = append(c.Rankings, randRanking(rng, n))
+			c.Weights = append(c.Weights, float64(1+rng.Intn(5)))
+		}
+		approx, _, err := FootruleAggregate(c)
+		if err != nil {
+			return false
+		}
+		approxK, err := c.WeightedKemeny(approx)
+		if err != nil {
+			return false
+		}
+		_, optK, err := ExactKemeny(c)
+		if err != nil {
+			return false
+		}
+		return approxK <= 2*optK+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBordaAggregate(t *testing.T) {
+	c := Collection{
+		Rankings: []Ranking{{0, 1, 2}, {0, 2, 1}},
+		Weights:  []float64{1, 1},
+	}
+	got, err := BordaAggregate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("Borda winner = %d, want 0", got[0])
+	}
+	if err := got.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BordaAggregate(Collection{}); err == nil {
+		t.Fatal("empty collection must error")
+	}
+}
+
+func TestLocalKemenizationImproves(t *testing.T) {
+	c := Collection{
+		Rankings: []Ranking{{0, 1, 2, 3}, {0, 1, 2, 3}, {1, 0, 2, 3}},
+		Weights:  []float64{1, 1, 1},
+	}
+	// Start from the worst ranking.
+	start := Ranking{3, 2, 1, 0}
+	startCost, err := c.WeightedKemeny(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, cost, err := LocalKemenization(c, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost > startCost {
+		t.Fatalf("local Kemenization worsened: %v -> %v", startCost, cost)
+	}
+	if err := improved.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if improved[0] != 0 && improved[0] != 1 {
+		t.Fatalf("winner %d inconsistent with votes", improved[0])
+	}
+	if _, _, err := LocalKemenization(c, Ranking{0, 0, 1, 2}); err == nil {
+		t.Fatal("invalid start must error")
+	}
+}
+
+// Property: local Kemenization never increases the weighted Kemeny cost of
+// the footrule aggregate.
+func TestLocalKemenizationNeverWorseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(4)
+		c := Collection{}
+		for j := 0; j < m; j++ {
+			c.Rankings = append(c.Rankings, randRanking(rng, n))
+			c.Weights = append(c.Weights, float64(1+rng.Intn(5)))
+		}
+		base, _, err := FootruleAggregate(c)
+		if err != nil {
+			return false
+		}
+		baseK, err := c.WeightedKemeny(base)
+		if err != nil {
+			return false
+		}
+		_, polishedK, err := LocalKemenization(c, base)
+		if err != nil {
+			return false
+		}
+		return polishedK <= baseK+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFootruleAggregate20x5(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := Collection{}
+	for j := 0; j < 5; j++ {
+		c.Rankings = append(c.Rankings, randRanking(rng, 20))
+		c.Weights = append(c.Weights, float64(1+rng.Intn(5)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FootruleAggregate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactKemeny10x5(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := Collection{}
+	for j := 0; j < 5; j++ {
+		c.Rankings = append(c.Rankings, randRanking(rng, 10))
+		c.Weights = append(c.Weights, float64(1+rng.Intn(5)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExactKemeny(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

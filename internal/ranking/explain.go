@@ -1,0 +1,45 @@
+package ranking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders a human-readable account of a ranking result: the final
+// order, then per feature the individual ranking with the user's weight —
+// the "why" behind a recommendation (used by sorctl and the examples).
+func (r *Ranker) Explain(res *Result) (string, error) {
+	if res == nil {
+		return "", fmt.Errorf("ranking: nil result")
+	}
+	var sb strings.Builder
+	sb.WriteString("final ranking:\n")
+	for pos, place := range res.Order {
+		sb.WriteString(fmt.Sprintf("  No. %d  %s\n", pos+1, place))
+	}
+	sb.WriteString("per-feature individual rankings (weight in parentheses):\n")
+
+	names := make([]string, 0, len(res.Individual))
+	for name := range res.Individual {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		order := res.Individual[name]
+		weight := res.Weights[name]
+		var places []string
+		for _, idx := range order {
+			if idx < 0 || idx >= len(r.matrix.Places) {
+				return "", fmt.Errorf("ranking: explain: index %d out of range", idx)
+			}
+			places = append(places, r.matrix.Places[idx])
+		}
+		sb.WriteString(fmt.Sprintf("  %-20s (w=%d)  %s\n",
+			name, weight, strings.Join(places, " > ")))
+	}
+	sb.WriteString(fmt.Sprintf(
+		"aggregation: weighted footrule cost %.3g (weighted Kemeny distance %.3g)\n",
+		res.FootruleCost, res.KemenyCost))
+	return sb.String(), nil
+}

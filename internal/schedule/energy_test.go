@@ -1,0 +1,169 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyAwareValidation(t *testing.T) {
+	tl := smallTimeline(t, 60)
+	s := mustScheduler(t, tl)
+	parts := []Participant{
+		{UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 3},
+	}
+	if _, err := s.EnergyAware(parts, 0, UniformEnergy{MilliJ: 1}); err == nil {
+		t.Fatal("zero target must error")
+	}
+	if _, err := s.EnergyAware(parts, 1.5, UniformEnergy{MilliJ: 1}); err == nil {
+		t.Fatal("target > 1 must error")
+	}
+	if _, err := s.EnergyAware(parts, 0.5, nil); err == nil {
+		t.Fatal("nil energy model must error")
+	}
+	if _, err := s.EnergyAware(parts, 0.5, UniformEnergy{}); err == nil {
+		t.Fatal("zero cost must error")
+	}
+}
+
+func TestEnergyAwareReachesTarget(t *testing.T) {
+	tl := smallTimeline(t, 120)
+	s := mustScheduler(t, tl)
+	parts := []Participant{
+		{UserID: "a", Arrive: periodStart, Leave: tl.End(), Budget: 40},
+		{UserID: "b", Arrive: periodStart, Leave: tl.End(), Budget: 40},
+	}
+	plan, err := s.EnergyAware(parts, 0.5, UniformEnergy{MilliJ: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.TargetReached {
+		t.Fatalf("target unreached: coverage %v", plan.AverageCoverage)
+	}
+	if plan.AverageCoverage < 0.5 {
+		t.Fatalf("coverage = %v, want >= 0.5", plan.AverageCoverage)
+	}
+	// It should not wildly overshoot (the point is energy frugality).
+	if plan.AverageCoverage > 0.65 {
+		t.Fatalf("coverage = %v, overshoots a 0.5 target", plan.AverageCoverage)
+	}
+	wantEnergy := 0.0
+	for _, a := range plan.Assignments {
+		wantEnergy += 2 * float64(len(a.Instants))
+	}
+	if plan.EnergyMilliJ != wantEnergy {
+		t.Fatalf("energy ledger %v != %v", plan.EnergyMilliJ, wantEnergy)
+	}
+	if err := s.Verify(parts, plan.Plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAwareUnreachableTarget(t *testing.T) {
+	tl := smallTimeline(t, 200)
+	s := mustScheduler(t, tl)
+	// One user with a tiny budget cannot cover 90% of 200 instants.
+	parts := []Participant{
+		{UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 3},
+	}
+	plan, err := s.EnergyAware(parts, 0.9, UniformEnergy{MilliJ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TargetReached {
+		t.Fatal("target should be unreachable")
+	}
+	if got := len(plan.Assignments["u"].Instants); got != 3 {
+		t.Fatalf("should spend the whole budget trying, got %d", got)
+	}
+}
+
+func TestEnergyAwarePrefersCheapUsers(t *testing.T) {
+	tl := smallTimeline(t, 100)
+	s := mustScheduler(t, tl)
+	parts := []Participant{
+		{UserID: "cheap", Arrive: periodStart, Leave: tl.End(), Budget: 50},
+		{UserID: "expensive", Arrive: periodStart, Leave: tl.End(), Budget: 50},
+	}
+	model := PerUserEnergy{
+		MilliJ:  map[string]float64{"cheap": 1, "expensive": 10},
+		Default: 5,
+	}
+	plan, err := s.EnergyAware(parts, 0.4, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCheap := len(plan.Assignments["cheap"].Instants)
+	nExpensive := len(plan.Assignments["expensive"].Instants)
+	if nExpensive > 0 && nCheap < nExpensive*3 {
+		t.Fatalf("cheap=%d expensive=%d — energy model ignored", nCheap, nExpensive)
+	}
+	if model.CostMilliJ("stranger") != 5 {
+		t.Fatal("default cost not applied")
+	}
+}
+
+func TestEnergyAwareCheaperThanCoverageGreedy(t *testing.T) {
+	// For a modest coverage target the energy-aware plan must use fewer
+	// measurements than running full coverage greedy and taking its cost.
+	tl := smallTimeline(t, 300)
+	s := mustScheduler(t, tl)
+	rng := rand.New(rand.NewSource(5))
+	parts := randomParticipants(rng, tl, 8, 10)
+	greedyPlan, err := s.Greedy(parts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := greedyPlan.AverageCoverage * 0.5
+	if target <= 0 {
+		t.Skip("degenerate instance")
+	}
+	energyPlan, err := s.EnergyAware(parts, target, UniformEnergy{MilliJ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !energyPlan.TargetReached {
+		t.Fatalf("half of greedy's coverage must be reachable")
+	}
+	count := func(p *Plan) int {
+		n := 0
+		for _, a := range p.Assignments {
+			n += len(a.Instants)
+		}
+		return n
+	}
+	if count(energyPlan.Plan) >= count(greedyPlan) {
+		t.Fatalf("energy-aware used %d measurements vs greedy's %d for half the coverage",
+			count(energyPlan.Plan), count(greedyPlan))
+	}
+}
+
+// Property: the energy-aware plan always respects budgets/windows and its
+// ledger is consistent.
+func TestEnergyAwareInvariantsProperty(t *testing.T) {
+	tl := smallTimeline(t, 180)
+	s := mustScheduler(t, tl)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parts := randomParticipants(rng, tl, 1+rng.Intn(6), 1+rng.Intn(6))
+		target := 0.05 + rng.Float64()*0.6
+		plan, err := s.EnergyAware(parts, target, UniformEnergy{MilliJ: 1.5})
+		if err != nil {
+			return false
+		}
+		if err := s.Verify(parts, plan.Plan); err != nil {
+			return false
+		}
+		n := 0
+		for _, a := range plan.Assignments {
+			n += len(a.Instants)
+		}
+		if plan.EnergyMilliJ != 1.5*float64(n) {
+			return false
+		}
+		return !plan.TargetReached || plan.AverageCoverage >= target-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

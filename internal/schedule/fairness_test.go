@@ -1,0 +1,138 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilizationAndJain(t *testing.T) {
+	parts := []Participant{
+		{UserID: "a", Budget: 4},
+		{UserID: "b", Budget: 4},
+		{UserID: "c", Budget: 0},
+	}
+	plan := &Plan{Assignments: map[string]Assignment{
+		"a": {UserID: "a", Instants: []int{1, 2, 3, 4}},
+		"b": {UserID: "b", Instants: []int{5, 6}},
+		"c": {UserID: "c"},
+	}}
+	util, err := plan.Utilization(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if util["a"] != 1 || util["b"] != 0.5 || util["c"] != 0 {
+		t.Fatalf("utilization = %v", util)
+	}
+	jain, err := plan.JainIndex(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jain over {1, 0.5}: (1.5)^2 / (2 * 1.25) = 0.9.
+	if math.Abs(jain-0.9) > 1e-12 {
+		t.Fatalf("jain = %v, want 0.9", jain)
+	}
+}
+
+func TestJainEdgeCases(t *testing.T) {
+	if _, err := (*Plan)(nil).Utilization(nil); err == nil {
+		t.Fatal("nil plan must error")
+	}
+	empty := &Plan{Assignments: map[string]Assignment{}}
+	j, err := empty.JainIndex(nil)
+	if err != nil || j != 1 {
+		t.Fatalf("empty population jain = %v, %v", j, err)
+	}
+	// All-zero utilization.
+	j, err = empty.JainIndex([]Participant{{UserID: "x", Budget: 3}})
+	if err != nil || j != 1 {
+		t.Fatalf("all-zero jain = %v, %v", j, err)
+	}
+	// Negative budget.
+	if _, err := empty.Utilization([]Participant{{UserID: "x", Budget: -1}}); err == nil {
+		t.Fatal("negative budget must error")
+	}
+	// Zero-budget user that got scheduled anyway is a constraint bug.
+	bad := &Plan{Assignments: map[string]Assignment{
+		"x": {UserID: "x", Instants: []int{1}},
+	}}
+	if _, err := bad.Utilization([]Participant{{UserID: "x", Budget: 0}}); err == nil {
+		t.Fatal("scheduled zero-budget user must error")
+	}
+}
+
+func TestPerfectFairnessIsOne(t *testing.T) {
+	parts := []Participant{
+		{UserID: "a", Budget: 2}, {UserID: "b", Budget: 4},
+	}
+	plan := &Plan{Assignments: map[string]Assignment{
+		"a": {UserID: "a", Instants: []int{0, 1}},
+		"b": {UserID: "b", Instants: []int{2, 3, 4, 5}},
+	}}
+	j, err := plan.JainIndex(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-1) > 1e-12 {
+		t.Fatalf("jain = %v, want 1 (both at 100%% utilization)", j)
+	}
+}
+
+// Property: Jain's index is in (0, 1] for any plan/participants pair, and
+// the greedy scheduler treats statistically identical users fairly (index
+// close to 1 when everyone shares the same window and budget).
+func TestGreedyFairnessProperty(t *testing.T) {
+	tl := smallTimeline(t, 240)
+	s := mustScheduler(t, tl)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		users := 2 + rng.Intn(6)
+		budget := 1 + rng.Intn(5)
+		var parts []Participant
+		for k := 0; k < users; k++ {
+			parts = append(parts, Participant{
+				UserID: fmtUser(k),
+				Arrive: periodStart,
+				Leave:  tl.End(),
+				Budget: budget,
+			})
+		}
+		plan, err := s.Greedy(parts, nil)
+		if err != nil {
+			return false
+		}
+		j, err := plan.JainIndex(parts)
+		if err != nil {
+			return false
+		}
+		if j <= 0 || j > 1+1e-12 {
+			return false
+		}
+		// Identical users with ample room: everyone is fully scheduled.
+		return j > 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairnessAtPaperScaleWorkload(t *testing.T) {
+	// Random §V-C-style windows: fairness stays high because the budget
+	// caps each user's load.
+	tl := paperTimeline(t)
+	s := mustScheduler(t, tl)
+	rng := rand.New(rand.NewSource(10))
+	parts := randomPaperParticipants(rng, 40, 17)
+	plan, err := s.Greedy(parts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := plan.JainIndex(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j < 0.8 {
+		t.Fatalf("greedy fairness = %v, expected >= 0.8 on the paper workload", j)
+	}
+}

@@ -1,0 +1,238 @@
+package schedule
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"sor/internal/coverage"
+)
+
+func mustOnline(t *testing.T, n int) (*Online, *coverage.Timeline) {
+	t.Helper()
+	tl := smallTimeline(t, n)
+	s := mustScheduler(t, tl)
+	o, err := NewOnline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, tl
+}
+
+func TestNewOnlineNil(t *testing.T) {
+	if _, err := NewOnline(nil); err == nil {
+		t.Fatal("nil scheduler must error")
+	}
+}
+
+func TestOnlineJoinProducesPlan(t *testing.T) {
+	o, tl := mustOnline(t, 120)
+	plan, err := o.Join(periodStart, Participant{
+		UserID: "u1", Arrive: periodStart, Leave: tl.End(), Budget: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Assignments["u1"].Instants); got != 6 {
+		t.Fatalf("scheduled %d, want 6", got)
+	}
+	if o.Replans() != 1 {
+		t.Fatalf("replans = %d", o.Replans())
+	}
+	if o.Plan() != plan {
+		t.Fatal("Plan() should return last plan")
+	}
+}
+
+func TestOnlineDuplicateJoinRejected(t *testing.T) {
+	o, tl := mustOnline(t, 60)
+	p := Participant{UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 2}
+	if _, err := o.Join(periodStart, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Join(periodStart, p); err == nil {
+		t.Fatal("duplicate join must error")
+	}
+}
+
+func TestOnlineJoinClampsArrivalToNow(t *testing.T) {
+	o, tl := mustOnline(t, 120)
+	now := periodStart.Add(10 * time.Minute)
+	plan, err := o.Join(now, Participant{
+		UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := tl.Index(now)
+	for _, i := range plan.Assignments["u"].Instants {
+		if i < lo {
+			t.Fatalf("scheduled instant %d in the past (< %d)", i, lo)
+		}
+	}
+}
+
+func TestOnlineLeaveDropsFutureWork(t *testing.T) {
+	o, tl := mustOnline(t, 120)
+	if _, err := o.Join(periodStart, Participant{UserID: "u1", Arrive: periodStart, Leave: tl.End(), Budget: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Join(periodStart, Participant{UserID: "u2", Arrive: periodStart, Leave: tl.End(), Budget: 4}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := o.Leave(periodStart.Add(time.Minute), "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Assignments["u1"].Instants); got != 0 {
+		t.Fatalf("departed user still scheduled %d times", got)
+	}
+	if got := len(plan.Assignments["u2"].Instants); got != 4 {
+		t.Fatalf("remaining user scheduled %d times, want 4", got)
+	}
+	if _, err := o.Leave(periodStart, "ghost"); err == nil {
+		t.Fatal("unknown user leave must error")
+	}
+	if _, err := o.Leave(periodStart, "u1"); err == nil {
+		t.Fatal("double leave must error")
+	}
+}
+
+func TestOnlineExecutionConsumesBudget(t *testing.T) {
+	o, tl := mustOnline(t, 120)
+	if _, err := o.Join(periodStart, Participant{UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RecordExecution("u", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RecordExecution("u", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RecordExecution("u", 6); err == nil {
+		t.Fatal("third execution must exceed budget")
+	}
+	if err := o.RecordExecution("ghost", 0); err == nil {
+		t.Fatal("unknown user must error")
+	}
+	if err := o.RecordExecution("u", -1); err == nil {
+		// budget already exhausted, but range error should also trip for
+		// a fresh user; check separately below
+		t.Log("range check masked by budget; acceptable")
+	}
+	plan, err := o.Replan(periodStart.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Assignments["u"].Instants); got != 0 {
+		t.Fatalf("exhausted user scheduled %d more times", got)
+	}
+	got := o.ExecutedInstants()
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("executed = %v", got)
+	}
+}
+
+func TestOnlineRecordExecutionRangeCheck(t *testing.T) {
+	o, tl := mustOnline(t, 60)
+	if _, err := o.Join(periodStart, Participant{UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RecordExecution("u", -1); err == nil {
+		t.Fatal("negative instant must error")
+	}
+	if err := o.RecordExecution("u", 60); err == nil {
+		t.Fatal("instant past timeline must error")
+	}
+}
+
+func TestOnlineReplanAvoidsExecutedCoverage(t *testing.T) {
+	o, tl := mustOnline(t, 100)
+	if _, err := o.Join(periodStart, Participant{UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 6}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 4} {
+		if err := o.RecordExecution("u", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := o.Replan(periodStart.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := plan.Assignments["u"].Instants
+	if len(ins) != 3 {
+		t.Fatalf("remaining budget schedule = %v, want 3 instants", ins)
+	}
+	for _, i := range ins {
+		if i < 10 {
+			t.Fatalf("replanned instant %d sits in covered region", i)
+		}
+	}
+}
+
+func TestOnlineLateJoinerFillsGaps(t *testing.T) {
+	// A second user joining mid-period should be scheduled to complement —
+	// not duplicate — the first user's instants.
+	o, tl := mustOnline(t, 120)
+	p1, err := o.Join(periodStart, Participant{UserID: "early", Arrive: periodStart, Leave: tl.End(), Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := periodStart.Add(5 * time.Minute)
+	p2, err := o.Join(now, Participant{UserID: "late", Arrive: now, Leave: tl.End(), Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.TotalCoverage <= p1.TotalCoverage {
+		t.Fatalf("coverage should improve with second user: %v -> %v",
+			p1.TotalCoverage, p2.TotalCoverage)
+	}
+	early := make(map[int]bool)
+	for _, i := range p2.Assignments["early"].Instants {
+		early[i] = true
+	}
+	for _, i := range p2.Assignments["late"].Instants {
+		if early[i] {
+			t.Fatalf("late user duplicated instant %d", i)
+		}
+	}
+}
+
+func TestOnlineConcurrentEvents(t *testing.T) {
+	o, tl := mustOnline(t, 240)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmtUser(i)
+			now := periodStart.Add(time.Duration(i) * time.Minute)
+			_, err := o.Join(now, Participant{UserID: id, Arrive: now, Leave: tl.End(), Budget: 3})
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Replans() != 16 {
+		t.Fatalf("replans = %d, want 16", o.Replans())
+	}
+	plan := o.Plan()
+	var total int
+	for _, a := range plan.Assignments {
+		total += len(a.Instants)
+	}
+	if total == 0 {
+		t.Fatal("no work scheduled after concurrent joins")
+	}
+	if math.IsNaN(plan.TotalCoverage) || plan.TotalCoverage <= 0 {
+		t.Fatalf("coverage = %v", plan.TotalCoverage)
+	}
+}

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"sor/internal/ranking"
+	"sor/internal/world"
+)
+
+// DefaultCatalog returns the feature catalogs for the paper's two
+// categories, with the default preferences §IV-B describes: 73 °F for
+// temperature "based on common sense", PrefMax for the-more-the-better
+// features such as WiFi signal strength, PrefMin for nuisances such as
+// background noise.
+func DefaultCatalog() map[string][]ranking.Feature {
+	return map[string][]ranking.Feature{
+		world.CategoryTrail: {
+			{Name: "temperature", Unit: "°F",
+				Default: ranking.Preference{Kind: ranking.PrefValue, Value: 73}},
+			{Name: "humidity", Unit: "%",
+				Default: ranking.Preference{Kind: ranking.PrefValue, Value: 45}},
+			{Name: "roughness", Unit: "m/s²",
+				Default: ranking.Preference{Kind: ranking.PrefMin}},
+			{Name: "curvature", Unit: "°/100m",
+				Default: ranking.Preference{Kind: ranking.PrefMin}},
+			{Name: "altitude change", Unit: "m",
+				Default: ranking.Preference{Kind: ranking.PrefMin}},
+		},
+		world.CategoryCoffee: {
+			{Name: "temperature", Unit: "°F",
+				Default: ranking.Preference{Kind: ranking.PrefValue, Value: 73}},
+			{Name: "brightness", Unit: "lux",
+				Default: ranking.Preference{Kind: ranking.PrefMax}},
+			{Name: "noise", Unit: "",
+				Default: ranking.Preference{Kind: ranking.PrefMin}},
+			{Name: "wifi", Unit: "dBm",
+				Default: ranking.Preference{Kind: ranking.PrefMax}},
+		},
+	}
+}

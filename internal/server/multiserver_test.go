@@ -1,0 +1,101 @@
+package server
+
+import (
+	"testing"
+
+	"sor/internal/store"
+	"sor/internal/wire"
+	"sor/internal/world"
+)
+
+// TestMultipleServersShareStore exercises the paper's "one or multiple
+// sensing servers need to be deployed" deployment note: a second server
+// instance over the same database can serve the read paths (ranking,
+// visualization, ping-for-schedule) while the first owns sensing-period
+// scheduling. The store is the coordination point, exactly as PostgreSQL
+// is in the paper.
+func TestMultipleServersShareStore(t *testing.T) {
+	db := store.New()
+	clock := &virtualClock{now: t0}
+	primary, err := New(Config{DB: db, Now: clock.Now, Catalog: DefaultCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := New(Config{DB: db, Now: clock.Now, Catalog: DefaultCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Participation and upload go to the primary.
+	sched := participate(t, primary, "alice", "tok-a", 5)
+	upload := &wire.DataUpload{
+		TaskID: sched.TaskID, AppID: "app-sb", UserID: "alice",
+		Series: []wire.SensorSeries{
+			{Sensor: "temperature", Samples: []wire.SensorSample{
+				{AtUnixMilli: t0.UnixMilli(), WindowMilli: 5000, Readings: []float64{73}},
+			}},
+			{Sensor: "light", Samples: []wire.SensorSample{
+				{AtUnixMilli: t0.UnixMilli(), WindowMilli: 5000, Readings: []float64{150}},
+			}},
+			{Sensor: "microphone", Samples: []wire.SensorSample{
+				{AtUnixMilli: t0.UnixMilli(), WindowMilli: 2000, Readings: []float64{0.18, -0.18}},
+			}},
+			{Sensor: "wifi", Samples: []wire.SensorSample{
+				{AtUnixMilli: t0.UnixMilli(), WindowMilli: 1000, Readings: []float64{-72}},
+			}},
+		},
+	}
+	if resp, err := primary.Handler()(nil, upload); err != nil {
+		t.Fatal(err)
+	} else if ack := resp.(*wire.Ack); !ack.OK {
+		t.Fatalf("upload refused: %+v", ack)
+	}
+
+	// The replica's Data Processor drains the shared queue and its ranker
+	// serves the result.
+	if n := replica.Processor().Process(); n != 1 {
+		t.Fatalf("replica processed %d uploads", n)
+	}
+	resp, err := replica.Handler()(nil, &wire.RankRequest{
+		Category: world.CategoryCoffee, UserID: "anyone",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := resp.(*wire.RankResponse)
+	if !ok {
+		t.Fatalf("replica rank response = %+v", resp)
+	}
+	if len(rr.Ranked) != 1 || rr.Ranked[0].Place != world.Starbucks {
+		t.Fatalf("replica ranking = %+v", rr.Ranked)
+	}
+
+	// The replica also answers schedule pings from the shared store.
+	resp, err = replica.Handler()(nil, &wire.Ping{Token: "tok-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := resp.(*wire.Ack)
+	if !ack.OK || len(ack.Payload) == 0 {
+		t.Fatalf("replica ping = %+v", ack)
+	}
+	inner, err := wire.Decode(ack.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.(*wire.Schedule).TaskID != sched.TaskID {
+		t.Fatal("replica served a different schedule")
+	}
+
+	// Replica charts read the same feature rows.
+	charts, err := replica.Charts(world.CategoryCoffee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) == 0 {
+		t.Fatal("replica produced no charts")
+	}
+}

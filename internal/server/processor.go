@@ -1,0 +1,221 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sor/internal/feature"
+	"sor/internal/geo"
+	"sor/internal/store"
+	"sor/internal/wire"
+)
+
+// DataProcessor periodically drains raw binary uploads from the database,
+// decodes them, accumulates samples per application, and recomputes the
+// humanly understandable feature values (§IV-A). Decoded samples are kept
+// so features refine as more data arrives.
+type DataProcessor struct {
+	db     *store.Store
+	robust bool
+
+	mu    sync.Mutex
+	byApp map[string]*appData
+	// Processed counts decoded uploads; DecodeErrors counts blobs that
+	// failed to decode (they are dropped with accounting, not retried).
+	processed    int
+	decodeErrors int
+}
+
+type appData struct {
+	scalar map[string][]feature.Sample // sensor name -> samples
+	// track groups GPS fixes into bursts keyed by (user, timestamp): all
+	// fixes one phone recorded in one measurement form one burst, so the
+	// curvature estimate never mixes different walkers' traces.
+	track map[burstKey]*feature.GeoSample
+}
+
+type burstKey struct {
+	user string
+	at   int64
+}
+
+// NewDataProcessor builds a processor over the store.
+func NewDataProcessor(db *store.Store) *DataProcessor {
+	return &DataProcessor{db: db, byApp: make(map[string]*appData)}
+}
+
+// SetRobust switches between the plain §IV-A extractors and the
+// MAD-outlier-rejecting variants.
+func (d *DataProcessor) SetRobust(robust bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.robust = robust
+}
+
+// Stats reports processing counters.
+func (d *DataProcessor) Stats() (processed, decodeErrors int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.processed, d.decodeErrors
+}
+
+// Process drains pending uploads and refreshes feature rows. It returns
+// the number of uploads folded in.
+func (d *DataProcessor) Process() int {
+	uploads := d.db.DrainUploads()
+	if len(uploads) == 0 {
+		return 0
+	}
+	d.mu.Lock()
+	touched := make(map[string]bool)
+	for _, raw := range uploads {
+		msg, err := wire.Decode(raw.Body)
+		if err != nil {
+			d.decodeErrors++
+			continue
+		}
+		up, ok := msg.(*wire.DataUpload)
+		if !ok {
+			d.decodeErrors++
+			continue
+		}
+		ad, ok := d.byApp[up.AppID]
+		if !ok {
+			ad = &appData{
+				scalar: make(map[string][]feature.Sample),
+				track:  make(map[burstKey]*feature.GeoSample),
+			}
+			d.byApp[up.AppID] = ad
+		}
+		for _, series := range up.Series {
+			for _, smp := range series.Samples {
+				ad.scalar[series.Sensor] = append(ad.scalar[series.Sensor], feature.Sample{
+					At:       time.UnixMilli(smp.AtUnixMilli).UTC(),
+					Window:   time.Duration(smp.WindowMilli) * time.Millisecond,
+					Readings: append([]float64(nil), smp.Readings...),
+				})
+			}
+		}
+		for _, gp := range up.Track {
+			key := burstKey{user: up.UserID, at: gp.AtUnixMilli}
+			burst, ok := ad.track[key]
+			if !ok {
+				burst = &feature.GeoSample{At: time.UnixMilli(gp.AtUnixMilli).UTC()}
+				ad.track[key] = burst
+			}
+			burst.Points = append(burst.Points, geo.Point{Lat: gp.Lat, Lon: gp.Lon, Alt: gp.Alt})
+		}
+		d.processed++
+		touched[up.AppID] = true
+	}
+	d.mu.Unlock()
+
+	for appID := range touched {
+		// Refresh failures for one app must not block the others.
+		_ = d.refreshApp(appID)
+	}
+	return len(uploads)
+}
+
+// sensorFeature maps an upload series name to the feature it produces and
+// the extractor computing it.
+type sensorFeature struct {
+	feature   string
+	extractor feature.Extractor
+}
+
+// featurePipelines maps sensor series names to extraction pipelines
+// (§IV-A's per-feature methods).
+var featurePipelines = map[string]sensorFeature{
+	"temperature":   {"temperature", feature.MeanExtractor{Feature: "temperature"}},
+	"humidity":      {"humidity", feature.MeanExtractor{Feature: "humidity"}},
+	"light":         {"brightness", feature.MeanExtractor{Feature: "brightness"}},
+	"wifi":          {"wifi", feature.MeanExtractor{Feature: "wifi"}},
+	"microphone":    {"noise", feature.NoiseRMSExtractor{}},
+	"accelerometer": {"roughness", feature.RoughnessExtractor{}},
+	"barometer":     {"altitude change", feature.AltitudeChangeExtractor{}},
+}
+
+// robustPipelines swaps the location-estimating extractors for their
+// MAD-outlier-rejecting variants; roughness/altitude/noise keep their
+// spread semantics. Enabled via Config.RobustExtraction — the data-quality
+// extension quantified in EXPERIMENTS.md.
+var robustPipelines = map[string]sensorFeature{
+	"temperature":   {"temperature", feature.MADMeanExtractor{Feature: "temperature"}},
+	"humidity":      {"humidity", feature.MADMeanExtractor{Feature: "humidity"}},
+	"light":         {"brightness", feature.MADMeanExtractor{Feature: "brightness"}},
+	"wifi":          {"wifi", feature.MADMeanExtractor{Feature: "wifi"}},
+	"microphone":    {"noise", feature.NoiseRMSExtractor{}},
+	"accelerometer": {"roughness", feature.RoughnessExtractor{}},
+	"barometer":     {"altitude change", feature.AltitudeChangeExtractor{}},
+}
+
+// refreshApp recomputes every feature for one application.
+func (d *DataProcessor) refreshApp(appID string) error {
+	app, err := d.db.App(appID)
+	if err != nil {
+		return fmt.Errorf("server: processing upload for unknown app %s: %w", appID, err)
+	}
+	d.mu.Lock()
+	ad := d.byApp[appID]
+	var sensorsSnapshot map[string][]feature.Sample
+	var trackSnapshot []feature.GeoSample
+	if ad != nil {
+		sensorsSnapshot = make(map[string][]feature.Sample, len(ad.scalar))
+		for k, v := range ad.scalar {
+			sensorsSnapshot[k] = v
+		}
+		trackSnapshot = make([]feature.GeoSample, 0, len(ad.track))
+		for _, burst := range ad.track {
+			trackSnapshot = append(trackSnapshot, *burst)
+		}
+	}
+	d.mu.Unlock()
+	if ad == nil {
+		return nil
+	}
+	d.mu.Lock()
+	pipelines := featurePipelines
+	if d.robust {
+		pipelines = robustPipelines
+	}
+	d.mu.Unlock()
+	now := time.Now().UTC()
+	for sensor, samples := range sensorsSnapshot {
+		pipeline, ok := pipelines[sensor]
+		if !ok || len(samples) == 0 {
+			continue
+		}
+		value, err := pipeline.extractor.Extract(samples)
+		if err != nil {
+			continue
+		}
+		if err := d.db.UpsertFeature(store.FeatureRow{
+			Category: app.Category,
+			Place:    app.Place,
+			Feature:  pipeline.feature,
+			Value:    value,
+			Samples:  len(samples),
+			Updated:  now,
+		}); err != nil {
+			return err
+		}
+	}
+	if len(trackSnapshot) > 0 {
+		curv, err := feature.BurstCurvature(trackSnapshot)
+		if err == nil {
+			if err := d.db.UpsertFeature(store.FeatureRow{
+				Category: app.Category,
+				Place:    app.Place,
+				Feature:  "curvature",
+				Value:    curv,
+				Samples:  len(trackSnapshot),
+				Updated:  now,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

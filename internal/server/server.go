@@ -1,0 +1,523 @@
+// Package server implements SOR's Sensing Server (Fig. 5): the Message
+// Handler dispatching binary-over-HTTP messages, the User Info Manager,
+// the Application Manager, the Participation Manager with geofence
+// verification, the Sensing Scheduler (event-driven greedy coverage
+// maximization, §III), the Data Processor (§IV-A) and the Personalizable
+// Ranker (§IV-B), all backed by the store package standing in for
+// PostgreSQL.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"sor/internal/coverage"
+	"sor/internal/geo"
+	"sor/internal/ranking"
+	"sor/internal/schedule"
+	"sor/internal/store"
+	"sor/internal/transport"
+	"sor/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DB is the backing store (required).
+	DB *store.Store
+	// Now supplies time; tests and simulations inject a virtual clock.
+	// Defaults to time.Now.
+	Now func() time.Time
+	// Kernel is the coverage kernel (default Gaussian σ=10 s, the
+	// paper's simulation setting).
+	Kernel coverage.Kernel
+	// Step is the timeline discretization (default 10 s).
+	Step time.Duration
+	// Catalog maps a category to its ranked features with default
+	// preferences; required for ranking.
+	Catalog map[string][]ranking.Feature
+	// Push is the optional GCM-like wake-up fabric.
+	Push *transport.Push
+	// RobustExtraction enables MAD outlier rejection in the Data
+	// Processor (defends against miscalibrated phones).
+	RobustExtraction bool
+}
+
+// Server is one sensing server instance.
+type Server struct {
+	db      *store.Store
+	now     func() time.Time
+	kernel  coverage.Kernel
+	step    time.Duration
+	catalog map[string][]ranking.Feature
+	push    *transport.Push
+
+	mu      sync.Mutex
+	online  map[string]*appSchedState // appID -> scheduler state
+	taskSeq int
+
+	processor *DataProcessor
+}
+
+// appSchedState holds one application's scheduling period state.
+type appSchedState struct {
+	timeline *coverage.Timeline
+	online   *schedule.Online
+	taskOf   map[string]string // userID -> taskID
+	tokenOf  map[string]string // userID -> device token
+}
+
+// New builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: nil store")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Kernel == nil {
+		cfg.Kernel = coverage.GaussianKernel{Sigma: 10}
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 10 * time.Second
+	}
+	if len(cfg.Catalog) == 0 {
+		return nil, errors.New("server: empty feature catalog")
+	}
+	s := &Server{
+		db:      cfg.DB,
+		now:     cfg.Now,
+		kernel:  cfg.Kernel,
+		step:    cfg.Step,
+		catalog: cfg.Catalog,
+		push:    cfg.Push,
+	}
+	s.online = make(map[string]*appSchedState)
+	s.processor = NewDataProcessor(cfg.DB)
+	s.processor.SetRobust(cfg.RobustExtraction)
+	return s, nil
+}
+
+// DB exposes the backing store.
+func (s *Server) DB() *store.Store { return s.db }
+
+// Processor exposes the data processor (for periodic driving).
+func (s *Server) Processor() *DataProcessor { return s.processor }
+
+// Handler returns the transport dispatch function.
+func (s *Server) Handler() transport.Handler {
+	return func(ctx context.Context, m wire.Message) (wire.Message, error) {
+		switch msg := m.(type) {
+		case *wire.Participate:
+			return s.handleParticipate(msg)
+		case *wire.DataUpload:
+			return s.handleDataUpload(msg)
+		case *wire.Leave:
+			return s.handleLeave(msg)
+		case *wire.Ping:
+			return s.handlePing(msg)
+		case *wire.RankRequest:
+			return s.handleRankRequest(msg)
+		default:
+			return nil, fmt.Errorf("server: unsupported message %s", m.Type())
+		}
+	}
+}
+
+// CreateApp registers an application (the Application Manager's insert
+// path, used by sorctl and the harness).
+func (s *Server) CreateApp(app store.Application) error {
+	if app.PeriodSec <= 0 {
+		return errors.New("server: application needs a positive scheduling period")
+	}
+	if app.RadiusM <= 0 {
+		return errors.New("server: application needs a geofence radius")
+	}
+	if app.Script == "" {
+		return errors.New("server: application needs a sensing script")
+	}
+	return s.db.PutApp(app)
+}
+
+// schedState lazily creates the per-app scheduling state, anchoring the
+// period at the first participation.
+func (s *Server) schedState(app store.Application, anchor time.Time) (*appSchedState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.online[app.ID]
+	if ok {
+		return st, nil
+	}
+	n := int(time.Duration(app.PeriodSec)*time.Second/s.step) + 1
+	tl, err := coverage.NewTimeline(anchor.Truncate(s.step), s.step, n)
+	if err != nil {
+		return nil, fmt.Errorf("server: timeline for %s: %w", app.ID, err)
+	}
+	sched, err := schedule.NewScheduler(tl, s.kernel, schedule.WithLazyGreedy())
+	if err != nil {
+		return nil, err
+	}
+	online, err := schedule.NewOnline(sched)
+	if err != nil {
+		return nil, err
+	}
+	st = &appSchedState{
+		timeline: tl,
+		online:   online,
+		taskOf:   make(map[string]string),
+		tokenOf:  make(map[string]string),
+	}
+	s.online[app.ID] = st
+	return st, nil
+}
+
+func (s *Server) nextTaskID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.taskSeq++
+	return "task-" + strconv.Itoa(s.taskSeq)
+}
+
+// refuse builds a refusal Ack.
+func refuse(code int, format string, args ...interface{}) *wire.Ack {
+	return &wire.Ack{OK: false, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// handleParticipate is the barcode-scan path: verify the user is really at
+// the target place, create the task, re-plan, and hand back this user's
+// schedule with the app's Lua script.
+func (s *Server) handleParticipate(msg *wire.Participate) (wire.Message, error) {
+	if msg.UserID == "" || msg.Token == "" {
+		return refuse(400, "participation needs user id and token"), nil
+	}
+	if msg.Budget <= 0 {
+		return refuse(400, "participation needs a positive sensing budget"), nil
+	}
+	app, err := s.db.App(msg.AppID)
+	if err != nil {
+		return refuse(404, "unknown application %s", msg.AppID), nil
+	}
+	// Geofence verification (the Participation Manager's truthfulness
+	// check): the claimed location must be inside the app's radius.
+	claimed := geo.Point{Lat: msg.Loc.Lat, Lon: msg.Loc.Lon, Alt: msg.Loc.Alt}
+	anchor := geo.Point{Lat: app.Lat, Lon: app.Lon}
+	if d := geo.Distance(claimed, anchor); d > app.RadiusM {
+		return refuse(403, "location check failed: %.0f m from %s (limit %.0f m)",
+			d, app.Place, app.RadiusM), nil
+	}
+	// Auto-register unknown users (User Info Manager).
+	if _, err := s.db.User(msg.UserID); err != nil {
+		if putErr := s.db.PutUser(store.User{ID: msg.UserID, Name: msg.UserID, Token: msg.Token}); putErr != nil {
+			return nil, putErr
+		}
+	}
+	// Refuse double participation.
+	if _, err := s.db.ActiveParticipationByUser(msg.AppID, msg.UserID); err == nil {
+		return refuse(409, "user %s already participating in %s", msg.UserID, msg.AppID), nil
+	}
+
+	now := s.now()
+	st, err := s.schedState(app, now)
+	if err != nil {
+		return nil, err
+	}
+	leave := st.timeline.End()
+	if msg.LeaveAfterSec > 0 {
+		until := now.Add(time.Duration(msg.LeaveAfterSec) * time.Second)
+		if until.Before(leave) {
+			leave = until
+		}
+	}
+	taskID := s.nextTaskID()
+	if err := s.db.PutParticipation(store.Participation{
+		TaskID: taskID,
+		UserID: msg.UserID,
+		Token:  msg.Token,
+		AppID:  msg.AppID,
+		Budget: msg.Budget,
+		Status: store.TaskWaiting,
+		Joined: now,
+	}); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	st.taskOf[msg.UserID] = taskID
+	st.tokenOf[msg.UserID] = msg.Token
+	s.mu.Unlock()
+
+	plan, err := st.online.Join(now, schedule.Participant{
+		UserID: msg.UserID,
+		Arrive: now,
+		Leave:  leave,
+		Budget: msg.Budget,
+	})
+	if err != nil {
+		return refuse(500, "scheduling failed: %v", err), nil
+	}
+	if err := s.distributePlan(app, st, plan); err != nil {
+		return nil, err
+	}
+	if err := s.db.UpdateParticipation(taskID, func(p *store.Participation) {
+		p.Status = store.TaskRunning
+	}); err != nil {
+		return nil, err
+	}
+	sched, err := s.scheduleFor(app, st, msg.UserID)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := wire.Encode(sched)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Ack{OK: true, Code: 200, Message: "scheduled", Payload: payload}, nil
+}
+
+// distributePlan stores every user's fresh schedule and pushes wake-ups so
+// phones re-fetch (the GCM path).
+func (s *Server) distributePlan(app store.Application, st *appSchedState, plan *schedule.Plan) error {
+	s.mu.Lock()
+	taskOf := make(map[string]string, len(st.taskOf))
+	for u, t := range st.taskOf {
+		taskOf[u] = t
+	}
+	tokenOf := make(map[string]string, len(st.tokenOf))
+	for u, t := range st.tokenOf {
+		tokenOf[u] = t
+	}
+	s.mu.Unlock()
+	for userID, a := range plan.Assignments {
+		taskID, ok := taskOf[userID]
+		if !ok {
+			continue
+		}
+		row := store.ScheduleRow{TaskID: taskID, AppID: app.ID, UserID: userID}
+		for _, t := range a.Times(st.timeline) {
+			row.AtUnix = append(row.AtUnix, t.Unix())
+		}
+		if err := s.db.PutSchedule(row); err != nil {
+			return err
+		}
+		if s.push != nil {
+			// Best effort: unreachable phones will poll eventually.
+			_ = s.push.Notify(tokenOf[userID])
+		}
+	}
+	return nil
+}
+
+// scheduleFor assembles the wire.Schedule for one user from the stored
+// row plus the app's script.
+func (s *Server) scheduleFor(app store.Application, st *appSchedState, userID string) (*wire.Schedule, error) {
+	s.mu.Lock()
+	taskID, ok := st.taskOf[userID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: no task for user %s", userID)
+	}
+	row, err := s.db.Schedule(taskID)
+	if err != nil {
+		// A plan that assigned nothing still yields an empty schedule.
+		row = store.ScheduleRow{TaskID: taskID, AppID: app.ID, UserID: userID}
+	}
+	return &wire.Schedule{
+		TaskID: row.TaskID,
+		AppID:  app.ID,
+		UserID: userID,
+		Script: app.Script,
+		AtUnix: row.AtUnix,
+	}, nil
+}
+
+// handleDataUpload lands the binary blob in the database untouched (the
+// Message Handler "will directly store the binary message body into the
+// database, which will be processed later by the Data Processor") and
+// records executed measurements for budget accounting.
+func (s *Server) handleDataUpload(msg *wire.DataUpload) (wire.Message, error) {
+	p, err := s.db.Participation(msg.TaskID)
+	if err != nil {
+		return refuse(404, "unknown task %s", msg.TaskID), nil
+	}
+	if p.UserID != msg.UserID || p.AppID != msg.AppID {
+		return refuse(403, "upload does not match task %s", msg.TaskID), nil
+	}
+	raw, err := wire.Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	s.db.AppendUpload(raw, s.now())
+
+	// Budget accounting: each distinct measurement timestamp consumes one
+	// unit of the user's budget.
+	s.mu.Lock()
+	st := s.online[msg.AppID]
+	s.mu.Unlock()
+	if st != nil {
+		instants := make(map[int]bool)
+		for _, series := range msg.Series {
+			for _, smp := range series.Samples {
+				instants[st.timeline.Index(time.UnixMilli(smp.AtUnixMilli).UTC())] = true
+			}
+		}
+		for _, gp := range msg.Track {
+			instants[st.timeline.Index(time.UnixMilli(gp.AtUnixMilli).UTC())] = true
+		}
+		for instant := range instants {
+			// Exhausted budgets are refused quietly; the data is kept.
+			_ = st.online.RecordExecution(msg.UserID, instant)
+		}
+	}
+	return &wire.Ack{OK: true, Code: 200, Message: "stored"}, nil
+}
+
+// handleLeave marks the user finished and re-plans without them (§II-B: a
+// user's status becomes "finished" when they leave the target place).
+func (s *Server) handleLeave(msg *wire.Leave) (wire.Message, error) {
+	p, err := s.db.ActiveParticipationByUser(msg.AppID, msg.UserID)
+	if err != nil {
+		return refuse(404, "no active task for %s in %s", msg.UserID, msg.AppID), nil
+	}
+	if err := s.db.UpdateParticipation(p.TaskID, func(row *store.Participation) {
+		row.Status = store.TaskFinished
+		row.Left = s.now()
+	}); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	st := s.online[msg.AppID]
+	s.mu.Unlock()
+	if st != nil {
+		app, err := s.db.App(msg.AppID)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := st.online.Leave(s.now(), msg.UserID)
+		if err == nil {
+			if err := s.distributePlan(app, st, plan); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &wire.Ack{OK: true, Code: 200, Message: "goodbye"}, nil
+}
+
+// handlePing is the GCM rendezvous: a phone woken via push pings home with
+// its token; the server replies with the latest schedule for the phone's
+// active task.
+func (s *Server) handlePing(msg *wire.Ping) (wire.Message, error) {
+	user, err := s.db.UserByToken(msg.Token)
+	if err != nil {
+		return refuse(404, "unknown device token"), nil
+	}
+	// Find the user's active participation (any app). The schedule row is
+	// read from the database so it survives server restarts.
+	for _, app := range s.db.Apps() {
+		p, err := s.db.ActiveParticipationByUser(app.ID, user.ID)
+		if err != nil {
+			continue
+		}
+		row, err := s.db.Schedule(p.TaskID)
+		if err != nil {
+			row = store.ScheduleRow{TaskID: p.TaskID, AppID: app.ID, UserID: p.UserID}
+		}
+		sched := &wire.Schedule{
+			TaskID: row.TaskID,
+			AppID:  app.ID,
+			UserID: p.UserID,
+			Script: app.Script,
+			AtUnix: row.AtUnix,
+		}
+		payload, err := wire.Encode(sched)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Ack{OK: true, Code: 200, Message: "schedule", Payload: payload}, nil
+	}
+	return &wire.Ack{OK: true, Code: 204, Message: "no active task"}, nil
+}
+
+// handleRankRequest runs the Personalizable Ranker over the category's
+// feature matrix.
+func (s *Server) handleRankRequest(msg *wire.RankRequest) (wire.Message, error) {
+	s.processor.Process() // fold in any pending uploads first
+	matrix, err := s.FeatureMatrix(msg.Category)
+	if err != nil {
+		return refuse(404, "no data for category %s: %v", msg.Category, err), nil
+	}
+	ranker, err := ranking.NewRanker(matrix)
+	if err != nil {
+		return nil, err
+	}
+	prof := ranking.Profile{Name: msg.UserID, Prefs: make(map[string]ranking.Preference, len(msg.Prefs))}
+	for _, p := range msg.Prefs {
+		prof.Prefs[p.Feature] = ranking.Preference{
+			Kind:   ranking.PrefKind(p.Kind),
+			Value:  p.Value,
+			Weight: p.Weight,
+		}
+	}
+	res, err := ranker.Rank(prof)
+	if err != nil {
+		return refuse(400, "ranking failed: %v", err), nil
+	}
+	resp := &wire.RankResponse{Category: msg.Category}
+	for _, f := range matrix.Features {
+		resp.Features = append(resp.Features, f.Name)
+	}
+	for _, idx := range res.OrderIdx {
+		resp.Ranked = append(resp.Ranked, wire.RankedPlace{
+			Place:         matrix.Places[idx],
+			FeatureValues: append([]float64(nil), matrix.Values[idx]...),
+		})
+	}
+	return resp, nil
+}
+
+// FeatureMatrix assembles the ranking matrix H for a category from the
+// feature table (the Personalizable Ranker's read path).
+func (s *Server) FeatureMatrix(category string) (*ranking.Matrix, error) {
+	catalog, ok := s.catalog[category]
+	if !ok {
+		return nil, fmt.Errorf("server: no feature catalog for category %q", category)
+	}
+	apps := s.db.AppsByCategory(category)
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("server: no applications in category %q", category)
+	}
+	m := &ranking.Matrix{Features: catalog}
+	for _, app := range apps {
+		row := make([]float64, len(catalog))
+		complete := true
+		for j, f := range catalog {
+			fr, err := s.db.Feature(category, app.Place, f.Name)
+			if err != nil {
+				complete = false
+				break
+			}
+			row[j] = fr.Value
+		}
+		if !complete {
+			continue // place not fully sensed yet
+		}
+		m.Places = append(m.Places, app.Place)
+		m.Values = append(m.Values, row)
+	}
+	if len(m.Places) == 0 {
+		return nil, fmt.Errorf("server: no fully sensed places in category %q", category)
+	}
+	return m, nil
+}
+
+// PlanSnapshot returns the current plan coverage for an app (diagnostics).
+func (s *Server) PlanSnapshot(appID string) (*schedule.Plan, error) {
+	s.mu.Lock()
+	st := s.online[appID]
+	s.mu.Unlock()
+	if st == nil {
+		return nil, fmt.Errorf("server: no scheduling state for %s", appID)
+	}
+	return st.online.Plan(), nil
+}

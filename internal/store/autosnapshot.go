@@ -1,0 +1,82 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// AutoSnapshot periodically serializes the store to path (atomic rename)
+// until ctx is cancelled, then writes one final snapshot. It returns a
+// done channel that closes when the loop has exited. This is the
+// durability loop cmd/sord runs — the stand-in for PostgreSQL's own
+// persistence.
+func (s *Store) AutoSnapshot(ctx context.Context, path string, interval time.Duration) (<-chan struct{}, error) {
+	if path == "" {
+		return nil, errors.New("store: empty snapshot path")
+	}
+	if interval <= 0 {
+		return nil, errors.New("store: snapshot interval must be positive")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				_ = s.WriteSnapshot(path) // best-effort final write
+				return
+			case <-ticker.C:
+				_ = s.WriteSnapshot(path)
+			}
+		}
+	}()
+	return done, nil
+}
+
+// WriteSnapshot serializes the store to path atomically (write to a temp
+// file in the same directory, then rename).
+func (s *Store) WriteSnapshot(path string) error {
+	data, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".sor-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load restores a store from a snapshot file; a missing file yields a
+// fresh, empty store (first boot).
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return New(), nil
+		}
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	return Restore(data)
+}

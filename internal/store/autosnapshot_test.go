@@ -1,0 +1,108 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteSnapshotAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sor.json")
+	s := New()
+	if err := s.PutUser(User{ID: "u1", Token: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.User("u1"); err != nil {
+		t.Fatal("user lost across snapshot")
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestLoadMissingFileGivesFreshStore(t *testing.T) {
+	s, err := Load(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Users()) != 0 {
+		t.Fatal("fresh store not empty")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupt snapshot must error")
+	}
+}
+
+func TestAutoSnapshotValidation(t *testing.T) {
+	s := New()
+	if _, err := s.AutoSnapshot(context.Background(), "", time.Second); err == nil {
+		t.Fatal("empty path must error")
+	}
+	if _, err := s.AutoSnapshot(context.Background(), "x.json", 0); err == nil {
+		t.Fatal("zero interval must error")
+	}
+}
+
+func TestAutoSnapshotWritesPeriodicallyAndOnShutdown(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "auto.json")
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	done, err := s.AutoSnapshot(ctx, path, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutUser(User{ID: "periodic", Token: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("periodic snapshot never appeared")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Mutate, cancel, and verify the final snapshot includes the change.
+	if err := s.PutUser(User{ID: "final", Token: "t2"}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot loop did not stop")
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.User("final"); err != nil {
+		t.Fatal("final snapshot missing last mutation")
+	}
+}

@@ -1,0 +1,503 @@
+// Package store is SOR's datastore — the stand-in for the PostgreSQL
+// instance the paper deploys (§II-B). It provides typed, concurrency-safe
+// tables for users, applications, participations, raw binary uploads,
+// processed feature data and distributed schedules, mirroring how the
+// paper's server uses the database:
+//
+//   - the Message Handler lands raw binary sensed-data blobs directly into
+//     the database without decoding them;
+//   - the Data Processor later drains pending blobs, decodes them, and
+//     writes feature rows;
+//   - the Personalizable Ranker reads the feature matrix H from the
+//     feature table;
+//   - the Scheduler persists distributed schedules.
+//
+// Snapshot/Restore give JSON durability so a server can restart without
+// losing state.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound  = errors.New("store: not found")
+	ErrDuplicate = errors.New("store: duplicate key")
+)
+
+// User is a registered mobile user (User Info Manager).
+type User struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Token string `json:"token"` // uniquely identifies the device
+}
+
+// Application is a sensing procedure for one target place (Application
+// Manager): who created it, where the place is, and the Lua scripts that
+// define data acquisition.
+type Application struct {
+	ID       string  `json:"id"`
+	Creator  string  `json:"creator"`
+	Category string  `json:"category"` // e.g. "hiking-trail"
+	Place    string  `json:"place"`    // display name of the target place
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	// RadiusM is the geofence radius used to verify participants.
+	RadiusM float64 `json:"radius_m"`
+	// Script is the Lua data-acquisition procedure.
+	Script string `json:"script"`
+	// PeriodSec is the scheduling period duration chosen by the creator.
+	PeriodSec int64 `json:"period_sec"`
+}
+
+// TaskStatus is a participation's lifecycle state (§II-B lists "running,
+// waiting for sensing schedule, finished, error").
+type TaskStatus int
+
+// Task statuses.
+const (
+	TaskWaiting TaskStatus = iota + 1
+	TaskRunning
+	TaskFinished
+	TaskError
+)
+
+// String names the status.
+func (s TaskStatus) String() string {
+	switch s {
+	case TaskWaiting:
+		return "waiting"
+	case TaskRunning:
+		return "running"
+	case TaskFinished:
+		return "finished"
+	case TaskError:
+		return "error"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(s))
+	}
+}
+
+// Participation is one user's sensing task for one application
+// (Participation Manager).
+type Participation struct {
+	TaskID  string     `json:"task_id"`
+	UserID  string     `json:"user_id"`
+	Token   string     `json:"token"`
+	AppID   string     `json:"app_id"`
+	Budget  int        `json:"budget"` // remaining sensing budget
+	Status  TaskStatus `json:"status"`
+	Joined  time.Time  `json:"joined"`
+	Left    time.Time  `json:"left,omitempty"`
+	LastErr string     `json:"last_err,omitempty"`
+}
+
+// RawUpload is an undecoded binary sensed-data message, exactly as
+// received.
+type RawUpload struct {
+	Seq      int64     `json:"seq"`
+	Received time.Time `json:"received"`
+	Body     []byte    `json:"body"`
+}
+
+// FeatureRow is one processed feature value for one place.
+type FeatureRow struct {
+	Category string    `json:"category"`
+	Place    string    `json:"place"`
+	Feature  string    `json:"feature"`
+	Value    float64   `json:"value"`
+	Samples  int       `json:"samples"` // how many raw readings backed it
+	Updated  time.Time `json:"updated"`
+}
+
+// ScheduleRow records a schedule distributed to a phone.
+type ScheduleRow struct {
+	TaskID string  `json:"task_id"`
+	AppID  string  `json:"app_id"`
+	UserID string  `json:"user_id"`
+	AtUnix []int64 `json:"at_unix"`
+}
+
+// Store is the whole database. The zero value is not usable; call New.
+type Store struct {
+	mu             sync.RWMutex
+	users          map[string]User
+	apps           map[string]Application
+	participations map[string]Participation
+	uploads        []RawUpload
+	uploadSeq      int64
+	features       map[featureKey]FeatureRow
+	schedules      map[string]ScheduleRow
+}
+
+type featureKey struct {
+	Category, Place, Feature string
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		users:          make(map[string]User),
+		apps:           make(map[string]Application),
+		participations: make(map[string]Participation),
+		features:       make(map[featureKey]FeatureRow),
+		schedules:      make(map[string]ScheduleRow),
+	}
+}
+
+// ---- Users ----
+
+// PutUser inserts a user; duplicate IDs are an error.
+func (s *Store) PutUser(u User) error {
+	if u.ID == "" {
+		return errors.New("store: user needs an id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[u.ID]; ok {
+		return fmt.Errorf("%w: user %s", ErrDuplicate, u.ID)
+	}
+	s.users[u.ID] = u
+	return nil
+}
+
+// User fetches a user by ID.
+func (s *Store) User(id string) (User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[id]
+	if !ok {
+		return User{}, fmt.Errorf("%w: user %s", ErrNotFound, id)
+	}
+	return u, nil
+}
+
+// UserByToken finds the user owning a device token.
+func (s *Store) UserByToken(token string) (User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, u := range s.users {
+		if u.Token == token {
+			return u, nil
+		}
+	}
+	return User{}, fmt.Errorf("%w: token", ErrNotFound)
+}
+
+// Users lists all users sorted by ID.
+func (s *Store) Users() []User {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]User, 0, len(s.users))
+	for _, u := range s.users {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ---- Applications ----
+
+// PutApp inserts an application.
+func (s *Store) PutApp(a Application) error {
+	if a.ID == "" {
+		return errors.New("store: application needs an id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.apps[a.ID]; ok {
+		return fmt.Errorf("%w: app %s", ErrDuplicate, a.ID)
+	}
+	s.apps[a.ID] = a
+	return nil
+}
+
+// App fetches an application.
+func (s *Store) App(id string) (Application, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.apps[id]
+	if !ok {
+		return Application{}, fmt.Errorf("%w: app %s", ErrNotFound, id)
+	}
+	return a, nil
+}
+
+// AppsByCategory lists applications in a category sorted by ID.
+func (s *Store) AppsByCategory(category string) []Application {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Application
+	for _, a := range s.apps {
+		if a.Category == category {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Apps lists all applications sorted by ID.
+func (s *Store) Apps() []Application {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Application, 0, len(s.apps))
+	for _, a := range s.apps {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ---- Participations ----
+
+// PutParticipation inserts a task.
+func (s *Store) PutParticipation(p Participation) error {
+	if p.TaskID == "" {
+		return errors.New("store: participation needs a task id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.participations[p.TaskID]; ok {
+		return fmt.Errorf("%w: task %s", ErrDuplicate, p.TaskID)
+	}
+	s.participations[p.TaskID] = p
+	return nil
+}
+
+// UpdateParticipation applies fn to the stored row under the write lock.
+func (s *Store) UpdateParticipation(taskID string, fn func(*Participation)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.participations[taskID]
+	if !ok {
+		return fmt.Errorf("%w: task %s", ErrNotFound, taskID)
+	}
+	fn(&p)
+	s.participations[taskID] = p
+	return nil
+}
+
+// Participation fetches a task.
+func (s *Store) Participation(taskID string) (Participation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.participations[taskID]
+	if !ok {
+		return Participation{}, fmt.Errorf("%w: task %s", ErrNotFound, taskID)
+	}
+	return p, nil
+}
+
+// ParticipationsByApp lists tasks for an application sorted by task ID.
+func (s *Store) ParticipationsByApp(appID string) []Participation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Participation
+	for _, p := range s.participations {
+		if p.AppID == appID {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TaskID < out[j].TaskID })
+	return out
+}
+
+// ActiveParticipationByUser finds a user's non-finished task for an app.
+func (s *Store) ActiveParticipationByUser(appID, userID string) (Participation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.participations {
+		if p.AppID == appID && p.UserID == userID &&
+			p.Status != TaskFinished && p.Status != TaskError {
+			return p, nil
+		}
+	}
+	return Participation{}, fmt.Errorf("%w: active task for %s/%s", ErrNotFound, appID, userID)
+}
+
+// ---- Raw uploads ----
+
+// AppendUpload lands a raw binary blob and returns its sequence number.
+func (s *Store) AppendUpload(body []byte, received time.Time) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.uploadSeq++
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	s.uploads = append(s.uploads, RawUpload{Seq: s.uploadSeq, Received: received, Body: cp})
+	return s.uploadSeq
+}
+
+// DrainUploads removes and returns all pending uploads (oldest first) —
+// the Data Processor's periodic poll.
+func (s *Store) DrainUploads() []RawUpload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.uploads
+	s.uploads = nil
+	return out
+}
+
+// PendingUploads reports how many blobs await processing.
+func (s *Store) PendingUploads() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.uploads)
+}
+
+// ---- Feature rows ----
+
+// UpsertFeature inserts or replaces a feature row.
+func (s *Store) UpsertFeature(row FeatureRow) error {
+	if row.Category == "" || row.Place == "" || row.Feature == "" {
+		return errors.New("store: feature row needs category, place and feature")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.features[featureKey{row.Category, row.Place, row.Feature}] = row
+	return nil
+}
+
+// Feature fetches one feature row.
+func (s *Store) Feature(category, place, feature string) (FeatureRow, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	row, ok := s.features[featureKey{category, place, feature}]
+	if !ok {
+		return FeatureRow{}, fmt.Errorf("%w: feature %s/%s/%s", ErrNotFound, category, place, feature)
+	}
+	return row, nil
+}
+
+// FeaturesByCategory returns all rows of a category sorted by place then
+// feature.
+func (s *Store) FeaturesByCategory(category string) []FeatureRow {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []FeatureRow
+	for _, row := range s.features {
+		if row.Category == category {
+			out = append(out, row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Place != out[j].Place {
+			return out[i].Place < out[j].Place
+		}
+		return out[i].Feature < out[j].Feature
+	})
+	return out
+}
+
+// ---- Schedules ----
+
+// PutSchedule records a distributed schedule (replacing any prior one for
+// the task).
+func (s *Store) PutSchedule(row ScheduleRow) error {
+	if row.TaskID == "" {
+		return errors.New("store: schedule needs a task id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.schedules[row.TaskID] = row
+	return nil
+}
+
+// Schedule fetches a schedule by task ID.
+func (s *Store) Schedule(taskID string) (ScheduleRow, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	row, ok := s.schedules[taskID]
+	if !ok {
+		return ScheduleRow{}, fmt.Errorf("%w: schedule %s", ErrNotFound, taskID)
+	}
+	return row, nil
+}
+
+// ---- Durability ----
+
+// snapshot is the JSON image of the whole store.
+type snapshot struct {
+	Users          []User          `json:"users"`
+	Apps           []Application   `json:"apps"`
+	Participations []Participation `json:"participations"`
+	Uploads        []RawUpload     `json:"uploads"`
+	UploadSeq      int64           `json:"upload_seq"`
+	Features       []FeatureRow    `json:"features"`
+	Schedules      []ScheduleRow   `json:"schedules"`
+}
+
+// Snapshot serializes the store to JSON.
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{UploadSeq: s.uploadSeq, Uploads: s.uploads}
+	for _, u := range s.users {
+		snap.Users = append(snap.Users, u)
+	}
+	for _, a := range s.apps {
+		snap.Apps = append(snap.Apps, a)
+	}
+	for _, p := range s.participations {
+		snap.Participations = append(snap.Participations, p)
+	}
+	for _, f := range s.features {
+		snap.Features = append(snap.Features, f)
+	}
+	for _, r := range s.schedules {
+		snap.Schedules = append(snap.Schedules, r)
+	}
+	sort.Slice(snap.Users, func(i, j int) bool { return snap.Users[i].ID < snap.Users[j].ID })
+	sort.Slice(snap.Apps, func(i, j int) bool { return snap.Apps[i].ID < snap.Apps[j].ID })
+	sort.Slice(snap.Participations, func(i, j int) bool {
+		return snap.Participations[i].TaskID < snap.Participations[j].TaskID
+	})
+	sort.Slice(snap.Features, func(i, j int) bool {
+		a, b := snap.Features[i], snap.Features[j]
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		if a.Place != b.Place {
+			return a.Place < b.Place
+		}
+		return a.Feature < b.Feature
+	})
+	sort.Slice(snap.Schedules, func(i, j int) bool {
+		return snap.Schedules[i].TaskID < snap.Schedules[j].TaskID
+	})
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// Restore loads a snapshot into a fresh store.
+func Restore(data []byte) (*Store, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: restore: %w", err)
+	}
+	s := New()
+	s.uploadSeq = snap.UploadSeq
+	s.uploads = snap.Uploads
+	for _, u := range snap.Users {
+		s.users[u.ID] = u
+	}
+	for _, a := range snap.Apps {
+		s.apps[a.ID] = a
+	}
+	for _, p := range snap.Participations {
+		s.participations[p.TaskID] = p
+	}
+	for _, f := range snap.Features {
+		s.features[featureKey{f.Category, f.Place, f.Feature}] = f
+	}
+	for _, r := range snap.Schedules {
+		s.schedules[r.TaskID] = r
+	}
+	return s, nil
+}

@@ -1,0 +1,326 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var now = time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+
+func TestUsersCRUD(t *testing.T) {
+	s := New()
+	if err := s.PutUser(User{}); err == nil {
+		t.Fatal("empty id must error")
+	}
+	u := User{ID: "u1", Name: "Alice", Token: "tok1"}
+	if err := s.PutUser(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutUser(u); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	got, err := s.User("u1")
+	if err != nil || got != u {
+		t.Fatalf("User = %+v, %v", got, err)
+	}
+	if _, err := s.User("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing user err = %v", err)
+	}
+	byTok, err := s.UserByToken("tok1")
+	if err != nil || byTok.ID != "u1" {
+		t.Fatalf("UserByToken = %+v, %v", byTok, err)
+	}
+	if _, err := s.UserByToken("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing token should be ErrNotFound")
+	}
+	if err := s.PutUser(User{ID: "u0"}); err != nil {
+		t.Fatal(err)
+	}
+	users := s.Users()
+	if len(users) != 2 || users[0].ID != "u0" || users[1].ID != "u1" {
+		t.Fatalf("Users = %+v", users)
+	}
+}
+
+func TestAppsCRUD(t *testing.T) {
+	s := New()
+	if err := s.PutApp(Application{}); err == nil {
+		t.Fatal("empty id must error")
+	}
+	a := Application{ID: "app1", Category: "coffee-shop", Place: "Starbucks",
+		Lat: 43.04, Lon: -76.13, RadiusM: 50, Script: "return 1", PeriodSec: 10800}
+	if err := s.PutApp(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutApp(a); !errors.Is(err, ErrDuplicate) {
+		t.Fatal("duplicate app must error")
+	}
+	got, err := s.App("app1")
+	if err != nil || got != a {
+		t.Fatalf("App = %+v, %v", got, err)
+	}
+	if _, err := s.App("x"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing app should be ErrNotFound")
+	}
+	if err := s.PutApp(Application{ID: "app2", Category: "hiking-trail"}); err != nil {
+		t.Fatal(err)
+	}
+	coffee := s.AppsByCategory("coffee-shop")
+	if len(coffee) != 1 || coffee[0].ID != "app1" {
+		t.Fatalf("AppsByCategory = %+v", coffee)
+	}
+	if len(s.Apps()) != 2 {
+		t.Fatal("Apps should list both")
+	}
+}
+
+func TestParticipationLifecycle(t *testing.T) {
+	s := New()
+	if err := s.PutParticipation(Participation{}); err == nil {
+		t.Fatal("empty task id must error")
+	}
+	p := Participation{TaskID: "t1", UserID: "u1", AppID: "a1",
+		Budget: 17, Status: TaskWaiting, Joined: now}
+	if err := s.PutParticipation(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutParticipation(p); !errors.Is(err, ErrDuplicate) {
+		t.Fatal("duplicate task must error")
+	}
+	if err := s.UpdateParticipation("t1", func(p *Participation) {
+		p.Status = TaskRunning
+		p.Budget--
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Participation("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != TaskRunning || got.Budget != 16 {
+		t.Fatalf("after update: %+v", got)
+	}
+	if err := s.UpdateParticipation("ghost", func(*Participation) {}); !errors.Is(err, ErrNotFound) {
+		t.Fatal("update of missing task should be ErrNotFound")
+	}
+	if _, err := s.Participation("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing task should be ErrNotFound")
+	}
+
+	// Active lookup skips finished tasks.
+	if _, err := s.ActiveParticipationByUser("a1", "u1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateParticipation("t1", func(p *Participation) { p.Status = TaskFinished }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ActiveParticipationByUser("a1", "u1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("finished task must not be active")
+	}
+
+	if err := s.PutParticipation(Participation{TaskID: "t2", UserID: "u2", AppID: "a1"}); err != nil {
+		t.Fatal(err)
+	}
+	byApp := s.ParticipationsByApp("a1")
+	if len(byApp) != 2 || byApp[0].TaskID != "t1" {
+		t.Fatalf("ParticipationsByApp = %+v", byApp)
+	}
+}
+
+func TestTaskStatusString(t *testing.T) {
+	for st, want := range map[TaskStatus]string{
+		TaskWaiting: "waiting", TaskRunning: "running",
+		TaskFinished: "finished", TaskError: "error", TaskStatus(9): "unknown(9)",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q", st, st.String())
+		}
+	}
+}
+
+func TestUploadsDrain(t *testing.T) {
+	s := New()
+	body := []byte{1, 2, 3}
+	seq1 := s.AppendUpload(body, now)
+	body[0] = 99 // caller mutation must not leak in
+	seq2 := s.AppendUpload([]byte{4}, now.Add(time.Second))
+	if seq1 != 1 || seq2 != 2 {
+		t.Fatalf("seqs = %d, %d", seq1, seq2)
+	}
+	if s.PendingUploads() != 2 {
+		t.Fatalf("pending = %d", s.PendingUploads())
+	}
+	got := s.DrainUploads()
+	if len(got) != 2 || got[0].Seq != 1 || got[0].Body[0] != 1 {
+		t.Fatalf("drained = %+v", got)
+	}
+	if s.PendingUploads() != 0 {
+		t.Fatal("drain did not clear")
+	}
+	if len(s.DrainUploads()) != 0 {
+		t.Fatal("second drain should be empty")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	s := New()
+	if err := s.UpsertFeature(FeatureRow{}); err == nil {
+		t.Fatal("empty feature row must error")
+	}
+	row := FeatureRow{Category: "coffee-shop", Place: "Starbucks",
+		Feature: "temperature", Value: 73, Samples: 120, Updated: now}
+	if err := s.UpsertFeature(row); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Feature("coffee-shop", "Starbucks", "temperature")
+	if err != nil || got.Value != 73 {
+		t.Fatalf("Feature = %+v, %v", got, err)
+	}
+	// Upsert replaces.
+	row.Value = 74
+	if err := s.UpsertFeature(row); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Feature("coffee-shop", "Starbucks", "temperature")
+	if err != nil || got.Value != 74 {
+		t.Fatalf("after upsert: %+v, %v", got, err)
+	}
+	if _, err := s.Feature("x", "y", "z"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing feature should be ErrNotFound")
+	}
+	for _, f := range []FeatureRow{
+		{Category: "coffee-shop", Place: "B&N", Feature: "noise", Value: 0.08},
+		{Category: "coffee-shop", Place: "B&N", Feature: "brightness", Value: 400},
+		{Category: "hiking-trail", Place: "Cliff", Feature: "roughness", Value: 1.4},
+	} {
+		if err := s.UpsertFeature(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := s.FeaturesByCategory("coffee-shop")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Sorted by place, then feature.
+	if rows[0].Place != "B&N" || rows[0].Feature != "brightness" {
+		t.Fatalf("sort order wrong: %+v", rows[0])
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	s := New()
+	if err := s.PutSchedule(ScheduleRow{}); err == nil {
+		t.Fatal("empty task id must error")
+	}
+	row := ScheduleRow{TaskID: "t1", AppID: "a", UserID: "u", AtUnix: []int64{10, 20}}
+	if err := s.PutSchedule(row); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Schedule("t1")
+	if err != nil || len(got.AtUnix) != 2 {
+		t.Fatalf("Schedule = %+v, %v", got, err)
+	}
+	// Replacement is allowed (re-plans).
+	row.AtUnix = []int64{30}
+	if err := s.PutSchedule(row); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Schedule("t1")
+	if err != nil || len(got.AtUnix) != 1 || got.AtUnix[0] != 30 {
+		t.Fatalf("after replace: %+v", got)
+	}
+	if _, err := s.Schedule("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing schedule should be ErrNotFound")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.PutUser(User{ID: "u1", Name: "Alice", Token: "tok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutApp(Application{ID: "a1", Category: "coffee-shop", Place: "B&N"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutParticipation(Participation{TaskID: "t1", UserID: "u1", AppID: "a1", Status: TaskRunning, Joined: now}); err != nil {
+		t.Fatal(err)
+	}
+	s.AppendUpload([]byte{9, 9}, now)
+	if err := s.UpsertFeature(FeatureRow{Category: "c", Place: "p", Feature: "f", Value: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSchedule(ScheduleRow{TaskID: "t1", AppID: "a1", UserID: "u1", AtUnix: []int64{5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, err := restored.User("u1"); err != nil || u.Name != "Alice" {
+		t.Fatalf("restored user: %+v, %v", u, err)
+	}
+	if a, err := restored.App("a1"); err != nil || a.Place != "B&N" {
+		t.Fatalf("restored app: %+v, %v", a, err)
+	}
+	if p, err := restored.Participation("t1"); err != nil || p.Status != TaskRunning {
+		t.Fatalf("restored task: %+v, %v", p, err)
+	}
+	if restored.PendingUploads() != 1 {
+		t.Fatal("restored uploads missing")
+	}
+	if f, err := restored.Feature("c", "p", "f"); err != nil || f.Value != 1.5 {
+		t.Fatalf("restored feature: %+v, %v", f, err)
+	}
+	if r, err := restored.Schedule("t1"); err != nil || r.AtUnix[0] != 5 {
+		t.Fatalf("restored schedule: %+v, %v", r, err)
+	}
+	// New uploads continue the sequence.
+	if seq := restored.AppendUpload([]byte{1}, now); seq != 2 {
+		t.Fatalf("restored seq = %d, want 2", seq)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore([]byte("{not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := string(rune('a' + i))
+			if err := s.PutUser(User{ID: id, Token: id}); err != nil {
+				t.Error(err)
+			}
+			for j := 0; j < 100; j++ {
+				s.AppendUpload([]byte{byte(j)}, now)
+				if err := s.UpsertFeature(FeatureRow{
+					Category: "c", Place: id, Feature: "f", Value: float64(j),
+				}); err != nil {
+					t.Error(err)
+				}
+				s.Users()
+				s.FeaturesByCategory("c")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.PendingUploads() != 800 {
+		t.Fatalf("pending = %d, want 800", s.PendingUploads())
+	}
+	if len(s.Users()) != 8 {
+		t.Fatalf("users = %d", len(s.Users()))
+	}
+}

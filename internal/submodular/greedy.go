@@ -1,0 +1,176 @@
+// Package submodular implements greedy maximization of a monotone
+// submodular set function subject to a matroid constraint — the engine
+// behind Algorithm 1 in SOR §III. For this class of problems the greedy
+// algorithm is a 1/2-approximation (Fisher–Nemhauser–Wolsey; the paper
+// cites Gargano & Hammar [10]).
+//
+// Two variants are provided: the textbook greedy that re-scans all
+// candidates each round (the paper's Algorithm 1, O(n²) oracle calls) and a
+// lazy greedy that exploits diminishing returns with a max-heap of stale
+// upper bounds (identical output for submodular objectives, far fewer
+// oracle calls — measured by the ablation benchmarks).
+package submodular
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"sor/internal/matroid"
+)
+
+// Objective is the oracle for a set function being maximized. The greedy
+// algorithms only ever extend the current set by single elements, so the
+// oracle is stateful: Gain reports the marginal value of adding e to the
+// current set, Add commits it.
+type Objective interface {
+	// Gain returns f(S ∪ {e}) − f(S) for the current set S.
+	Gain(e int) float64
+	// Add commits element e to the current set.
+	Add(e int)
+}
+
+// Result reports the outcome of a greedy run.
+type Result struct {
+	// Chosen lists the selected elements in selection order.
+	Chosen []int
+	// Value is the accumulated objective value Σ of realized gains.
+	Value float64
+	// OracleCalls counts Gain evaluations (for the lazy-greedy ablation).
+	OracleCalls int
+}
+
+// ErrNilArgs is returned when the objective or matroid is nil.
+var ErrNilArgs = errors.New("submodular: nil objective or matroid")
+
+// Greedy runs the paper's Algorithm 1: repeatedly add the feasible element
+// with the maximum marginal gain until no feasible element remains or the
+// best gain drops below minGain (use 0 to emulate the paper exactly; gains
+// of a monotone function are never negative).
+func Greedy(obj Objective, m matroid.Matroid, minGain float64) (*Result, error) {
+	if obj == nil || m == nil {
+		return nil, ErrNilArgs
+	}
+	n := m.GroundSize()
+	taken := make([]bool, n)
+	res := &Result{}
+	for {
+		best, bestGain := -1, minGain
+		for e := 0; e < n; e++ {
+			if taken[e] || !m.CanAdd(e) {
+				continue
+			}
+			res.OracleCalls++
+			if g := obj.Gain(e); g > bestGain {
+				best, bestGain = e, g
+			}
+		}
+		if best < 0 {
+			return res, nil
+		}
+		if err := m.Add(best); err != nil {
+			return nil, fmt.Errorf("submodular: matroid rejected feasible element %d: %w", best, err)
+		}
+		obj.Add(best)
+		taken[best] = true
+		res.Chosen = append(res.Chosen, best)
+		res.Value += bestGain
+	}
+}
+
+// lazyItem is a heap entry carrying a possibly stale upper bound on an
+// element's marginal gain.
+type lazyItem struct {
+	elem  int
+	bound float64
+	round int // selection round at which bound was computed
+}
+
+type lazyHeap []lazyItem
+
+func (h lazyHeap) Len() int { return len(h) }
+
+// Less orders by bound descending, breaking ties by element index so the
+// lazy variant replicates the eager greedy's deterministic tie-breaking.
+func (h lazyHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound > h[j].bound
+	}
+	return h[i].elem < h[j].elem
+}
+func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyItem)) }
+func (h *lazyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// LazyGreedy produces the same selection as Greedy for monotone submodular
+// objectives (diminishing returns make cached gains valid upper bounds) but
+// re-evaluates only elements whose cached bound could still win.
+func LazyGreedy(obj Objective, m matroid.Matroid, minGain float64) (*Result, error) {
+	if obj == nil || m == nil {
+		return nil, ErrNilArgs
+	}
+	n := m.GroundSize()
+	res := &Result{}
+	h := make(lazyHeap, 0, n)
+	for e := 0; e < n; e++ {
+		if !m.CanAdd(e) {
+			continue
+		}
+		res.OracleCalls++
+		if g := obj.Gain(e); g > minGain {
+			h = append(h, lazyItem{elem: e, bound: g, round: 0})
+		}
+	}
+	heap.Init(&h)
+	round := 0
+	for h.Len() > 0 {
+		top := h[0]
+		if !m.CanAdd(top.elem) {
+			heap.Pop(&h)
+			continue
+		}
+		if top.round != round {
+			// Stale bound: refresh and reconsider.
+			res.OracleCalls++
+			g := obj.Gain(top.elem)
+			if g <= minGain {
+				heap.Pop(&h)
+				continue
+			}
+			h[0].bound = g
+			h[0].round = round
+			heap.Fix(&h, 0)
+			continue
+		}
+		heap.Pop(&h)
+		if err := m.Add(top.elem); err != nil {
+			return nil, fmt.Errorf("submodular: matroid rejected feasible element %d: %w", top.elem, err)
+		}
+		obj.Add(top.elem)
+		res.Chosen = append(res.Chosen, top.elem)
+		res.Value += top.bound
+		round++
+	}
+	return res, nil
+}
+
+// FuncObjective adapts plain functions to the Objective interface; handy in
+// tests.
+type FuncObjective struct {
+	GainFunc func(e int) float64
+	AddFunc  func(e int)
+}
+
+var _ Objective = (*FuncObjective)(nil)
+
+// Gain implements Objective.
+func (f *FuncObjective) Gain(e int) float64 { return f.GainFunc(e) }
+
+// Add implements Objective.
+func (f *FuncObjective) Add(e int) { f.AddFunc(e) }

@@ -1,0 +1,238 @@
+// Package transport binds the SOR wire protocol to HTTP (§II-A: "HTTP is
+// used as the communication protocol; all SOR-specific information is
+// encoded as binary data and stored in the message body"). It provides the
+// server-side handler, a client with retry/backoff that the mobile
+// frontend uses, and a simulated push channel standing in for Google Cloud
+// Messaging wake-ups.
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"sor/internal/wire"
+)
+
+// Path is the single SOR endpoint.
+const Path = "/sor"
+
+// contentType marks SOR binary bodies.
+const contentType = "application/x-sor"
+
+// maxBodyBytes bounds request bodies.
+const maxBodyBytes = 16 << 20
+
+// Handler is the server-side message dispatcher.
+type Handler func(ctx context.Context, m wire.Message) (wire.Message, error)
+
+// NewHTTPHandler wraps a Handler into an http.Handler serving Path.
+func NewHTTPHandler(h Handler) (http.Handler, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(Path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxBodyBytes {
+			http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		msg, err := wire.Decode(body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad message: %v", err), http.StatusBadRequest)
+			return
+		}
+		resp, err := h(r.Context(), msg)
+		if err != nil {
+			// Application errors still travel as Acks so the client can
+			// decode them uniformly.
+			resp = &wire.Ack{OK: false, Code: 500, Message: err.Error()}
+		}
+		if resp == nil {
+			resp = &wire.Ack{OK: true, Code: 200}
+		}
+		out, err := wire.Encode(resp)
+		if err != nil {
+			http.Error(w, "encode error", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(out)
+	})
+	return mux, nil
+}
+
+// Client sends SOR messages to a server URL. It implements the frontend's
+// Sender interface.
+type Client struct {
+	url     string
+	http    *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetries sets how many times transport-level failures are retried
+// (default 2).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the base backoff between retries (default 50 ms,
+// doubling per attempt).
+func WithBackoff(d time.Duration) ClientOption {
+	return func(c *Client) { c.backoff = d }
+}
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
+}
+
+// NewClient creates a client for a server base URL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	if baseURL == "" {
+		return nil, errors.New("transport: empty base URL")
+	}
+	c := &Client{
+		url:     baseURL + Path,
+		http:    &http.Client{Timeout: 10 * time.Second},
+		retries: 2,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Send encodes m, POSTs it, and decodes the response message.
+func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error) {
+	body, err := wire.Encode(m)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	var lastErr error
+	backoff := c.backoff
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("transport: cancelled: %w", ctx.Err())
+			}
+			backoff *= 2
+		}
+		resp, err := c.post(ctx, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("transport: giving up after %d attempts: %w", c.retries+1, lastErr)
+}
+
+func (c *Client) post(ctx context.Context, body []byte) (wire.Message, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("transport: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(respBody))
+	}
+	msg, err := wire.Decode(respBody)
+	if err != nil {
+		return nil, fmt.Errorf("transport: decoding response: %w", err)
+	}
+	return msg, nil
+}
+
+// Push simulates the Google Cloud Messaging channel: the server uses it to
+// wake a phone it has lost track of, asking it to ping home. Phones
+// subscribe by device token.
+type Push struct {
+	mu   sync.Mutex
+	subs map[string]chan struct{}
+	sent int
+}
+
+// NewPush creates an empty push fabric.
+func NewPush() *Push {
+	return &Push{subs: make(map[string]chan struct{})}
+}
+
+// Subscribe registers a device token and returns its wake-up channel
+// (capacity 1; duplicate wake-ups coalesce).
+func (p *Push) Subscribe(token string) (<-chan struct{}, error) {
+	if token == "" {
+		return nil, errors.New("transport: empty token")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.subs[token]; dup {
+		return nil, fmt.Errorf("transport: token %q already subscribed", token)
+	}
+	ch := make(chan struct{}, 1)
+	p.subs[token] = ch
+	return ch, nil
+}
+
+// Unsubscribe removes a token.
+func (p *Push) Unsubscribe(token string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.subs, token)
+}
+
+// Notify wakes a device; unknown tokens are an error (the phone is truly
+// unreachable).
+func (p *Push) Notify(token string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch, ok := p.subs[token]
+	if !ok {
+		return fmt.Errorf("transport: token %q not reachable via push", token)
+	}
+	select {
+	case ch <- struct{}{}:
+	default: // already pending; coalesce
+	}
+	p.sent++
+	return nil
+}
+
+// Sent reports how many notifications were delivered.
+func (p *Push) Sent() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}

@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sor/internal/wire"
+)
+
+func echoHandler(_ context.Context, m wire.Message) (wire.Message, error) {
+	switch msg := m.(type) {
+	case *wire.Ping:
+		return &wire.Ack{OK: true, Code: 200, Message: "pong:" + msg.Token}, nil
+	case *wire.Leave:
+		return nil, errors.New("leave rejected for test")
+	default:
+		return &wire.Ack{OK: true, Code: 200}, nil
+	}
+}
+
+func newServerAndClient(t *testing.T, h Handler, opts ...ClientOption) (*httptest.Server, *Client) {
+	t.Helper()
+	hh, err := NewHTTPHandler(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(hh)
+	t.Cleanup(srv.Close)
+	c, err := NewClient(srv.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, c
+}
+
+func TestNewHTTPHandlerNil(t *testing.T) {
+	if _, err := NewHTTPHandler(nil); err == nil {
+		t.Fatal("nil handler must error")
+	}
+}
+
+func TestNewClientEmptyURL(t *testing.T) {
+	if _, err := NewClient(""); err == nil {
+		t.Fatal("empty URL must error")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	_, c := newServerAndClient(t, echoHandler)
+	resp, err := c.Send(context.Background(), &wire.Ping{Token: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := resp.(*wire.Ack)
+	if !ok || !ack.OK || ack.Message != "pong:abc" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestHandlerErrorBecomesAck(t *testing.T) {
+	_, c := newServerAndClient(t, echoHandler)
+	resp, err := c.Send(context.Background(), &wire.Leave{UserID: "u", AppID: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := resp.(*wire.Ack)
+	if !ok || ack.OK || !strings.Contains(ack.Message, "rejected") {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestNilHandlerResponseBecomesOKAck(t *testing.T) {
+	_, c := newServerAndClient(t, func(context.Context, wire.Message) (wire.Message, error) {
+		return nil, nil
+	})
+	resp, err := c.Send(context.Background(), &wire.Ping{Token: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestServerRejectsGET(t *testing.T) {
+	hh, err := NewHTTPHandler(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(hh)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsGarbageBody(t *testing.T) {
+	hh, err := NewHTTPHandler(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(hh)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+Path, contentType, strings.NewReader("not a sor frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int32
+	hh, err := NewHTTPHandler(echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			// Kill the connection mid-flight.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = conn.Close()
+			return
+		}
+		hh.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+	c, err := NewClient(srv.URL, WithRetries(3), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Send(context.Background(), &wire.Ping{Token: "zz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); ack.Message != "pong:zz" {
+		t.Fatalf("resp = %+v", ack)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestClientGivesUpAfterRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj := w.(http.Hijacker)
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.Close()
+	}))
+	defer srv.Close()
+	c, err := NewClient(srv.URL, WithRetries(1), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Send(context.Background(), &wire.Ping{Token: "x"})
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(5 * time.Second)
+	}))
+	defer srv.Close()
+	c, err := NewClient(srv.URL, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Send(ctx, &wire.Ping{Token: "x"})
+	if err == nil {
+		t.Fatal("expected cancellation")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation too slow")
+	}
+}
+
+func TestPushSubscribeNotify(t *testing.T) {
+	p := NewPush()
+	if _, err := p.Subscribe(""); err == nil {
+		t.Fatal("empty token must error")
+	}
+	ch, err := p.Subscribe("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Subscribe("tok"); err == nil {
+		t.Fatal("duplicate subscribe must error")
+	}
+	if err := p.Notify("tok"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("notification not delivered")
+	}
+	// Coalescing: two notifies, one pending signal.
+	if err := p.Notify("tok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Notify("tok"); err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	select {
+	case <-ch:
+		t.Fatal("notifications did not coalesce")
+	default:
+	}
+	if p.Sent() != 3 {
+		t.Fatalf("sent = %d", p.Sent())
+	}
+	p.Unsubscribe("tok")
+	if err := p.Notify("tok"); err == nil {
+		t.Fatal("unsubscribed token must error")
+	}
+	if err := p.Notify("ghost"); err == nil {
+		t.Fatal("unknown token must error")
+	}
+}

@@ -1,0 +1,501 @@
+package wire
+
+import "fmt"
+
+// Location is a geographic coordinate used in messages.
+type Location struct {
+	Lat, Lon, Alt float64
+}
+
+func (w *Writer) putLocation(l Location) {
+	w.PutFloat(l.Lat)
+	w.PutFloat(l.Lon)
+	w.PutFloat(l.Alt)
+}
+
+func (r *Reader) location() (Location, error) {
+	var l Location
+	var err error
+	if l.Lat, err = r.Float(); err != nil {
+		return l, err
+	}
+	if l.Lon, err = r.Float(); err != nil {
+		return l, err
+	}
+	if l.Alt, err = r.Float(); err != nil {
+		return l, err
+	}
+	return l, nil
+}
+
+// Participate is sent by a phone after scanning a 2D barcode: it asks the
+// sensing server to include the user in the current scheduling period.
+type Participate struct {
+	UserID string
+	Token  string // uniquely identifies the mobile device
+	AppID  string
+	Loc    Location // claimed location, verified against the target place
+	Budget int      // NBk: max measurements this user will take
+	// LeaveAfterSec is how long the user expects to stay (0 = until the
+	// period ends).
+	LeaveAfterSec int64
+}
+
+var _ Message = (*Participate)(nil)
+
+// Type implements Message.
+func (*Participate) Type() MsgType { return TypeParticipate }
+
+func (m *Participate) encodePayload(w *Writer) {
+	w.PutString(m.UserID)
+	w.PutString(m.Token)
+	w.PutString(m.AppID)
+	w.putLocation(m.Loc)
+	w.PutVarint(int64(m.Budget))
+	w.PutVarint(m.LeaveAfterSec)
+}
+
+func (m *Participate) decodePayload(r *Reader) error {
+	var err error
+	if m.UserID, err = r.String(); err != nil {
+		return err
+	}
+	if m.Token, err = r.String(); err != nil {
+		return err
+	}
+	if m.AppID, err = r.String(); err != nil {
+		return err
+	}
+	if m.Loc, err = r.location(); err != nil {
+		return err
+	}
+	budget, err := r.Varint()
+	if err != nil {
+		return err
+	}
+	if budget < 0 || budget > 1<<20 {
+		return fmt.Errorf("%w: budget %d", ErrBadPayload, budget)
+	}
+	m.Budget = int(budget)
+	if m.LeaveAfterSec, err = r.Varint(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Schedule carries one user's sensing schedule plus the Lua script that
+// describes how to sense (the paper's "schedules along with the
+// corresponding Lua scripts").
+type Schedule struct {
+	TaskID string
+	AppID  string
+	UserID string
+	Script string  // Lua source
+	AtUnix []int64 // measurement times (unix seconds)
+}
+
+var _ Message = (*Schedule)(nil)
+
+// Type implements Message.
+func (*Schedule) Type() MsgType { return TypeSchedule }
+
+func (m *Schedule) encodePayload(w *Writer) {
+	w.PutString(m.TaskID)
+	w.PutString(m.AppID)
+	w.PutString(m.UserID)
+	w.PutString(m.Script)
+	w.PutUvarint(uint64(len(m.AtUnix)))
+	for _, t := range m.AtUnix {
+		w.PutVarint(t)
+	}
+}
+
+func (m *Schedule) decodePayload(r *Reader) error {
+	var err error
+	if m.TaskID, err = r.String(); err != nil {
+		return err
+	}
+	if m.AppID, err = r.String(); err != nil {
+		return err
+	}
+	if m.UserID, err = r.String(); err != nil {
+		return err
+	}
+	if m.Script, err = r.String(); err != nil {
+		return err
+	}
+	n, err := r.sliceLen()
+	if err != nil {
+		return err
+	}
+	m.AtUnix = make([]int64, n)
+	for i := range m.AtUnix {
+		if m.AtUnix[i], err = r.Varint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SensorSample is one (t, Δt, d) tuple for a scalar sensor.
+type SensorSample struct {
+	AtUnixMilli int64
+	WindowMilli int64
+	Readings    []float64
+}
+
+// GeoPoint is a located reading for GPS traces.
+type GeoPoint struct {
+	AtUnixMilli   int64
+	Lat, Lon, Alt float64
+}
+
+// SensorSeries groups one sensor's samples inside an upload.
+type SensorSeries struct {
+	Sensor  string // e.g. "temperature", "accelerometer"
+	Samples []SensorSample
+}
+
+// DataUpload carries sensed data from the phone back to the server
+// ("encodes data obtained from sensors in a message and sends it to a
+// sensing server"). Scalar series and GPS points travel together.
+type DataUpload struct {
+	TaskID string
+	AppID  string
+	UserID string
+	Series []SensorSeries
+	Track  []GeoPoint
+}
+
+var _ Message = (*DataUpload)(nil)
+
+// Type implements Message.
+func (*DataUpload) Type() MsgType { return TypeDataUpload }
+
+func (m *DataUpload) encodePayload(w *Writer) {
+	w.PutString(m.TaskID)
+	w.PutString(m.AppID)
+	w.PutString(m.UserID)
+	w.PutUvarint(uint64(len(m.Series)))
+	for _, s := range m.Series {
+		w.PutString(s.Sensor)
+		w.PutUvarint(uint64(len(s.Samples)))
+		for _, smp := range s.Samples {
+			w.PutVarint(smp.AtUnixMilli)
+			w.PutVarint(smp.WindowMilli)
+			w.PutUvarint(uint64(len(smp.Readings)))
+			for _, v := range smp.Readings {
+				w.PutFloat(v)
+			}
+		}
+	}
+	w.PutUvarint(uint64(len(m.Track)))
+	for _, p := range m.Track {
+		w.PutVarint(p.AtUnixMilli)
+		w.PutFloat(p.Lat)
+		w.PutFloat(p.Lon)
+		w.PutFloat(p.Alt)
+	}
+}
+
+func (m *DataUpload) decodePayload(r *Reader) error {
+	var err error
+	if m.TaskID, err = r.String(); err != nil {
+		return err
+	}
+	if m.AppID, err = r.String(); err != nil {
+		return err
+	}
+	if m.UserID, err = r.String(); err != nil {
+		return err
+	}
+	nSeries, err := r.sliceLen()
+	if err != nil {
+		return err
+	}
+	m.Series = make([]SensorSeries, nSeries)
+	for i := range m.Series {
+		if m.Series[i].Sensor, err = r.String(); err != nil {
+			return err
+		}
+		nSamples, err := r.sliceLen()
+		if err != nil {
+			return err
+		}
+		m.Series[i].Samples = make([]SensorSample, nSamples)
+		for j := range m.Series[i].Samples {
+			smp := &m.Series[i].Samples[j]
+			if smp.AtUnixMilli, err = r.Varint(); err != nil {
+				return err
+			}
+			if smp.WindowMilli, err = r.Varint(); err != nil {
+				return err
+			}
+			nReadings, err := r.sliceLen()
+			if err != nil {
+				return err
+			}
+			smp.Readings = make([]float64, nReadings)
+			for k := range smp.Readings {
+				if smp.Readings[k], err = r.Float(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	nTrack, err := r.sliceLen()
+	if err != nil {
+		return err
+	}
+	m.Track = make([]GeoPoint, nTrack)
+	for i := range m.Track {
+		p := &m.Track[i]
+		if p.AtUnixMilli, err = r.Varint(); err != nil {
+			return err
+		}
+		if p.Lat, err = r.Float(); err != nil {
+			return err
+		}
+		if p.Lon, err = r.Float(); err != nil {
+			return err
+		}
+		if p.Alt, err = r.Float(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ack is the generic server response.
+type Ack struct {
+	OK      bool
+	Code    int
+	Message string
+	// Payload optionally carries a nested encoded message (e.g. the
+	// Schedule handed back on participation).
+	Payload []byte
+}
+
+var _ Message = (*Ack)(nil)
+
+// Type implements Message.
+func (*Ack) Type() MsgType { return TypeAck }
+
+func (m *Ack) encodePayload(w *Writer) {
+	w.PutBool(m.OK)
+	w.PutVarint(int64(m.Code))
+	w.PutString(m.Message)
+	w.PutBytes(m.Payload)
+}
+
+func (m *Ack) decodePayload(r *Reader) error {
+	var err error
+	if m.OK, err = r.Bool(); err != nil {
+		return err
+	}
+	code, err := r.Varint()
+	if err != nil {
+		return err
+	}
+	m.Code = int(code)
+	if m.Message, err = r.String(); err != nil {
+		return err
+	}
+	if m.Payload, err = r.Bytes(); err != nil {
+		return err
+	}
+	if len(m.Payload) == 0 {
+		m.Payload = nil
+	}
+	return nil
+}
+
+// Leave notifies the server that a user departed the target place.
+type Leave struct {
+	UserID string
+	AppID  string
+}
+
+var _ Message = (*Leave)(nil)
+
+// Type implements Message.
+func (*Leave) Type() MsgType { return TypeLeave }
+
+func (m *Leave) encodePayload(w *Writer) {
+	w.PutString(m.UserID)
+	w.PutString(m.AppID)
+}
+
+func (m *Leave) decodePayload(r *Reader) error {
+	var err error
+	if m.UserID, err = r.String(); err != nil {
+		return err
+	}
+	if m.AppID, err = r.String(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Ping is the keep-alive a phone sends when asked via the push channel
+// (the paper's Google Cloud Messaging fallback).
+type Ping struct {
+	Token string
+}
+
+var _ Message = (*Ping)(nil)
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return TypePing }
+
+func (m *Ping) encodePayload(w *Writer) { w.PutString(m.Token) }
+
+func (m *Ping) decodePayload(r *Reader) error {
+	var err error
+	m.Token, err = r.String()
+	return err
+}
+
+// PrefEntry is one feature preference inside a ranking request.
+type PrefEntry struct {
+	Feature string
+	// Kind: 1 = value, 2 = min, 3 = max, 4 = default (mirrors
+	// ranking.PrefKind; wire stays decoupled from that package).
+	Kind   int
+	Value  float64
+	Weight int
+}
+
+// RankRequest asks the server for a personalized ranking.
+type RankRequest struct {
+	Category string // "hiking-trail", "coffee-shop"
+	UserID   string
+	Prefs    []PrefEntry
+}
+
+var _ Message = (*RankRequest)(nil)
+
+// Type implements Message.
+func (*RankRequest) Type() MsgType { return TypeRankRequest }
+
+func (m *RankRequest) encodePayload(w *Writer) {
+	w.PutString(m.Category)
+	w.PutString(m.UserID)
+	w.PutUvarint(uint64(len(m.Prefs)))
+	for _, p := range m.Prefs {
+		w.PutString(p.Feature)
+		w.PutVarint(int64(p.Kind))
+		w.PutFloat(p.Value)
+		w.PutVarint(int64(p.Weight))
+	}
+}
+
+func (m *RankRequest) decodePayload(r *Reader) error {
+	var err error
+	if m.Category, err = r.String(); err != nil {
+		return err
+	}
+	if m.UserID, err = r.String(); err != nil {
+		return err
+	}
+	n, err := r.sliceLen()
+	if err != nil {
+		return err
+	}
+	m.Prefs = make([]PrefEntry, n)
+	for i := range m.Prefs {
+		p := &m.Prefs[i]
+		if p.Feature, err = r.String(); err != nil {
+			return err
+		}
+		kind, err := r.Varint()
+		if err != nil {
+			return err
+		}
+		p.Kind = int(kind)
+		if p.Value, err = r.Float(); err != nil {
+			return err
+		}
+		weight, err := r.Varint()
+		if err != nil {
+			return err
+		}
+		p.Weight = int(weight)
+	}
+	return nil
+}
+
+// RankedPlace is one row of a ranking response.
+type RankedPlace struct {
+	Place string
+	// FeatureValues lists the feature data backing the rank, aligned
+	// with RankResponse.Features.
+	FeatureValues []float64
+}
+
+// RankResponse returns the personalized ranking plus the feature matrix
+// rows so clients can display why.
+type RankResponse struct {
+	Category string
+	Features []string
+	Ranked   []RankedPlace
+}
+
+var _ Message = (*RankResponse)(nil)
+
+// Type implements Message.
+func (*RankResponse) Type() MsgType { return TypeRankResponse }
+
+func (m *RankResponse) encodePayload(w *Writer) {
+	w.PutString(m.Category)
+	w.PutUvarint(uint64(len(m.Features)))
+	for _, f := range m.Features {
+		w.PutString(f)
+	}
+	w.PutUvarint(uint64(len(m.Ranked)))
+	for _, p := range m.Ranked {
+		w.PutString(p.Place)
+		w.PutUvarint(uint64(len(p.FeatureValues)))
+		for _, v := range p.FeatureValues {
+			w.PutFloat(v)
+		}
+	}
+}
+
+func (m *RankResponse) decodePayload(r *Reader) error {
+	var err error
+	if m.Category, err = r.String(); err != nil {
+		return err
+	}
+	nf, err := r.sliceLen()
+	if err != nil {
+		return err
+	}
+	m.Features = make([]string, nf)
+	for i := range m.Features {
+		if m.Features[i], err = r.String(); err != nil {
+			return err
+		}
+	}
+	np, err := r.sliceLen()
+	if err != nil {
+		return err
+	}
+	m.Ranked = make([]RankedPlace, np)
+	for i := range m.Ranked {
+		if m.Ranked[i].Place, err = r.String(); err != nil {
+			return err
+		}
+		nv, err := r.sliceLen()
+		if err != nil {
+			return err
+		}
+		m.Ranked[i].FeatureValues = make([]float64, nv)
+		for j := range m.Ranked[i].FeatureValues {
+			if m.Ranked[i].FeatureValues[j], err = r.Float(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+// Package wire implements SOR's binary message encoding. The paper (§II-A)
+// sends all SOR-specific information as opaque binary data in the body of
+// HTTP messages "to minimize traffic load and enhance security"; this
+// package defines that format:
+//
+//	magic "SOR\x01" | message type (1 byte) | payload | CRC-32 (4 bytes)
+//
+// Payload primitives are little-endian IEEE-754 float64s, unsigned varints
+// and length-prefixed UTF-8 strings. Every message type implements Message
+// and round-trips exactly.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// magic prefixes every frame (includes format version 1).
+var magic = []byte{'S', 'O', 'R', 1}
+
+// MsgType identifies a message.
+type MsgType byte
+
+// Message types.
+const (
+	TypeParticipate MsgType = iota + 1
+	TypeSchedule
+	TypeDataUpload
+	TypeAck
+	TypeLeave
+	TypePing
+	TypeRankRequest
+	TypeRankResponse
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeParticipate:
+		return "participate"
+	case TypeSchedule:
+		return "schedule"
+	case TypeDataUpload:
+		return "data-upload"
+	case TypeAck:
+		return "ack"
+	case TypeLeave:
+		return "leave"
+	case TypePing:
+		return "ping"
+	case TypeRankRequest:
+		return "rank-request"
+	case TypeRankResponse:
+		return "rank-response"
+	default:
+		return fmt.Sprintf("unknown(%d)", byte(t))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic or unsupported version")
+	ErrBadCRC     = errors.New("wire: checksum mismatch")
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrBadPayload = errors.New("wire: malformed payload")
+)
+
+// limits guard against hostile inputs.
+const (
+	maxStringLen = 1 << 20 // 1 MiB
+	maxSliceLen  = 1 << 22 // 4M elements
+)
+
+// Message is any SOR wire message.
+type Message interface {
+	// Type returns the message's type tag.
+	Type() MsgType
+	// encodePayload appends the payload to w.
+	encodePayload(w *Writer)
+	// decodePayload parses the payload from r.
+	decodePayload(r *Reader) error
+}
+
+// Writer builds a payload.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// PutUvarint appends an unsigned varint.
+func (w *Writer) PutUvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// PutVarint appends a signed varint.
+func (w *Writer) PutVarint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// PutFloat appends a float64.
+func (w *Writer) PutFloat(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// PutString appends a length-prefixed string.
+func (w *Writer) PutString(s string) {
+	w.PutUvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// PutBool appends a boolean byte.
+func (w *Writer) PutBool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (w *Writer) PutBytes(b []byte) {
+	w.PutUvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Reader parses a payload.
+type Reader struct {
+	buf []byte
+	pos int
+}
+
+// NewReader wraps a buffer.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Remaining reports unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+// Float reads a float64.
+func (r *Reader) Float() (float64, error) {
+	if r.Remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	bits := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return math.Float64frombits(bits), nil
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string of %d bytes", ErrBadPayload, n)
+	}
+	if uint64(r.Remaining()) < n {
+		return "", ErrTruncated
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() (bool, error) {
+	if r.Remaining() < 1 {
+		return false, ErrTruncated
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	if b > 1 {
+		return false, fmt.Errorf("%w: bool byte %d", ErrBadPayload, b)
+	}
+	return b == 1, nil
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSliceLen {
+		return nil, fmt.Errorf("%w: byte slice of %d", ErrBadPayload, n)
+	}
+	if uint64(r.Remaining()) < n {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.pos:r.pos+int(n)])
+	r.pos += int(n)
+	return out, nil
+}
+
+// sliceLen validates a declared element count.
+func (r *Reader) sliceLen() (int, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxSliceLen {
+		return 0, fmt.Errorf("%w: slice of %d elements", ErrBadPayload, n)
+	}
+	// Cheap sanity: each element needs at least one byte.
+	if uint64(r.Remaining()) < n {
+		return 0, ErrTruncated
+	}
+	return int(n), nil
+}
+
+// Encode frames a message: magic | type | payload | crc32(payload+type).
+func Encode(m Message) ([]byte, error) {
+	if m == nil {
+		return nil, errors.New("wire: nil message")
+	}
+	var w Writer
+	w.buf = append(w.buf, magic...)
+	w.buf = append(w.buf, byte(m.Type()))
+	m.encodePayload(&w)
+	sum := crc32.ChecksumIEEE(w.buf[len(magic):])
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, sum)
+	return w.buf, nil
+}
+
+// Decode parses a framed message.
+func Decode(b []byte) (Message, error) {
+	if len(b) < len(magic)+1+4 {
+		return nil, ErrTruncated
+	}
+	for i, c := range magic {
+		if b[i] != c {
+			return nil, ErrBadMagic
+		}
+	}
+	body := b[len(magic) : len(b)-4]
+	wantSum := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != wantSum {
+		return nil, ErrBadCRC
+	}
+	t := MsgType(body[0])
+	m, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	r := NewReader(body[1:])
+	if err := m.decodePayload(r); err != nil {
+		return nil, fmt.Errorf("wire: decoding %s: %w", t, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in %s", ErrBadPayload, r.Remaining(), t)
+	}
+	return m, nil
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeParticipate:
+		return &Participate{}, nil
+	case TypeSchedule:
+		return &Schedule{}, nil
+	case TypeDataUpload:
+		return &DataUpload{}, nil
+	case TypeAck:
+		return &Ack{}, nil
+	case TypeLeave:
+		return &Leave{}, nil
+	case TypePing:
+		return &Ping{}, nil
+	case TypeRankRequest:
+		return &RankRequest{}, nil
+	case TypeRankResponse:
+		return &RankResponse{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", byte(t))
+	}
+}

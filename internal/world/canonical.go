@@ -1,0 +1,193 @@
+package world
+
+import (
+	"fmt"
+
+	"sor/internal/geo"
+)
+
+// Canonical place names — the six §V field-test sites.
+const (
+	GreenLakeTrail = "Green Lake Trail"
+	LongTrail      = "Long Trail"
+	CliffTrail     = "Cliff Trail"
+
+	TimHortons = "Tim Hortons"
+	BNCafe     = "B&N Cafe"
+	Starbucks  = "Starbucks"
+)
+
+// Categories.
+const (
+	CategoryTrail  = "hiking-trail"
+	CategoryCoffee = "coffee-shop"
+)
+
+// trailSpec carries the calibration for one trail (values chosen to match
+// Fig. 6; see DESIGN.md).
+type trailSpec struct {
+	name           string
+	loc            geo.Point
+	temperature    float64 // °F
+	humidity       float64 // %
+	roughness      float64 // m/s² within-window stddev
+	curvature      float64 // °/100 m target
+	altChange      float64 // m target (stddev of window means)
+	altBase        float64
+	segments       int
+	initialBearing float64
+}
+
+// sqrt2 converts an altitude-change stddev target into a sine amplitude
+// (population stddev of a sine over whole cycles is amp/√2).
+const sqrt2 = 1.4142135623730951
+
+func trailPlaces() ([]*Place, error) {
+	specs := []trailSpec{
+		{
+			name:        GreenLakeTrail,
+			loc:         geo.Point{Lat: 43.0553, Lon: -75.9700, Alt: 150},
+			temperature: 46, humidity: 68,
+			roughness: 0.5, curvature: 25, altChange: 5,
+			altBase: 150, segments: 120, initialBearing: 70,
+		},
+		{
+			name:        LongTrail,
+			loc:         geo.Point{Lat: 42.9990, Lon: -76.0910, Alt: 180},
+			temperature: 50, humidity: 55,
+			roughness: 0.9, curvature: 45, altChange: 15,
+			altBase: 180, segments: 100, initialBearing: 160,
+		},
+		{
+			name:        CliffTrail,
+			loc:         geo.Point{Lat: 42.9975, Lon: -76.0885, Alt: 200},
+			temperature: 49, humidity: 50,
+			roughness: 1.4, curvature: 70, altChange: 28,
+			altBase: 200, segments: 90, initialBearing: 245,
+		},
+	}
+	const segmentM = 25.0
+	places := make([]*Place, 0, len(specs))
+	for _, s := range specs {
+		path, err := BuildTrailPath(s.loc, s.initialBearing, s.segments,
+			segmentM, s.curvature*segmentM/100)
+		if err != nil {
+			return nil, fmt.Errorf("world: building %s: %w", s.name, err)
+		}
+		places = append(places, &Place{
+			Name:     s.name,
+			Category: CategoryTrail,
+			Loc:      s.loc,
+			RadiusM:  3500, // the whole trail sits inside the geofence
+			Fields: map[string]FieldSpec{
+				FieldTemperature: {Base: s.temperature, DiurnalAmp: 0.8, NoiseSigma: 0.4},
+				FieldHumidity:    {Base: s.humidity, DiurnalAmp: 1.2, NoiseSigma: 0.8},
+			},
+			RoughnessSigma: s.roughness,
+			Trail: &Trail{
+				Path:    path,
+				AltBase: s.altBase,
+				AltAmp:  s.altChange * sqrt2,
+				Cycles:  2,
+			},
+		})
+	}
+	return places, nil
+}
+
+// coffeeSpec carries the calibration for one coffee shop (Fig. 10).
+type coffeeSpec struct {
+	name        string
+	loc         geo.Point
+	temperature float64 // °F
+	brightness  float64 // lux
+	noise       float64 // normalized RMS
+	wifi        float64 // dBm
+}
+
+func coffeePlaces() []*Place {
+	specs := []coffeeSpec{
+		{
+			// 985 East Brighton Avenue — bright big window, a bit cold.
+			name:        TimHortons,
+			loc:         geo.Point{Lat: 43.0166, Lon: -76.1316, Alt: 140},
+			temperature: 66, brightness: 1000, noise: 0.05, wifi: -62,
+		},
+		{
+			// 3454 E. Erie Blvd — quiet, warm, strong WiFi.
+			name:        BNCafe,
+			loc:         geo.Point{Lat: 43.0486, Lon: -76.0731, Alt: 130},
+			temperature: 71, brightness: 400, noise: 0.08, wifi: -50,
+		},
+		{
+			// 177 Marshall St — crowded, noisy, dark, warm.
+			name:        Starbucks,
+			loc:         geo.Point{Lat: 43.0413, Lon: -76.1350, Alt: 150},
+			temperature: 73, brightness: 150, noise: 0.18, wifi: -72,
+		},
+	}
+	places := make([]*Place, 0, len(specs))
+	for _, s := range specs {
+		places = append(places, &Place{
+			Name:     s.name,
+			Category: CategoryCoffee,
+			Loc:      s.loc,
+			RadiusM:  60,
+			Fields: map[string]FieldSpec{
+				FieldTemperature: {Base: s.temperature, DiurnalAmp: 0.4, NoiseSigma: 0.3},
+				FieldBrightness:  {Base: s.brightness, DiurnalAmp: 4, NoiseSigma: 6},
+				FieldNoise:       {Base: s.noise, NoiseSigma: 0.004},
+				FieldWiFi:        {Base: s.wifi, NoiseSigma: 1.2},
+			},
+			RoughnessSigma: 0.05, // phones rest on tables
+		})
+	}
+	return places
+}
+
+// Canonical builds the world containing the six §V field-test places.
+func Canonical() (*World, error) {
+	w := New()
+	trails, err := trailPlaces()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range trails {
+		if err := w.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range coffeePlaces() {
+		if err := w.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// GroundTruth returns the calibrated base value for a place/field pair —
+// what the feature pipeline should recover. Altitude change, roughness and
+// curvature are handled specially since they are not scalar fields.
+func GroundTruth(place *Place, feature string) (float64, bool) {
+	switch feature {
+	case "roughness":
+		return place.RoughnessSigma, true
+	case "altitude change":
+		if place.Trail == nil {
+			return 0, false
+		}
+		return place.Trail.AltAmp / sqrt2, true
+	case "curvature":
+		if place.Trail == nil {
+			return 0, false
+		}
+		pts := place.Trail.Path.Points()
+		return geo.MeanTurnPer100m(pts), true
+	default:
+		spec, ok := place.Fields[feature]
+		if !ok {
+			return 0, false
+		}
+		return spec.Base, true
+	}
+}

@@ -1,0 +1,135 @@
+package sor_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sor"
+	"sor/internal/fieldtest"
+	"sor/internal/world"
+)
+
+var apiStart = time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+
+func TestPublicScheduleSensing(t *testing.T) {
+	plan, err := sor.ScheduleSensing(sor.SensingRequest{
+		Start:  apiStart,
+		Period: time.Hour,
+		Participants: []sor.Participant{
+			{UserID: "u1", Arrive: apiStart, Leave: apiStart.Add(time.Hour), Budget: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Plan.Assignments["u1"].Instants) != 5 {
+		t.Fatalf("assignments = %+v", plan.Plan.Assignments)
+	}
+	if plan.Plan.AverageCoverage < plan.Baseline.AverageCoverage {
+		t.Fatal("greedy below baseline")
+	}
+}
+
+func TestPublicOnlineScheduler(t *testing.T) {
+	online, tl, err := sor.NewOnlineScheduler(apiStart, time.Hour, 0, sor.GaussianKernel{Sigma: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := online.Join(apiStart, sor.Participant{
+		UserID: "u", Arrive: apiStart, Leave: tl.End(), Budget: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments["u"].Instants) != 4 {
+		t.Fatalf("plan = %+v", plan.Assignments)
+	}
+}
+
+func TestPublicRanking(t *testing.T) {
+	m := &sor.Matrix{
+		Places: []string{"a", "b"},
+		Features: []sor.Feature{
+			{Name: "x", Default: sor.Preference{Kind: sor.PrefMin}},
+		},
+		Values: [][]float64{{2}, {1}},
+	}
+	res, err := sor.RankPlaces(m, sor.Profile{Name: "p", Prefs: map[string]sor.Preference{
+		"x": {Kind: sor.PrefMin, Weight: sor.MaxWeight},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order[0] != "b" {
+		t.Fatalf("order = %v", res.Order)
+	}
+	all, err := sor.RankAll(m, []sor.Profile{{Name: "p"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("RankAll = %v", all)
+	}
+}
+
+func TestPublicSim(t *testing.T) {
+	o, err := sor.RunSim(sor.SimConfig{
+		Users: 6, Budget: 4, Runs: 2, Seed: 1,
+		Period: 20 * time.Minute, Lazy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.GreedyMean <= 0 || o.GreedyMean > 1 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	up, err := sor.SweepUsers([]int{3, 6}, 4, sor.SimConfig{Runs: 1, Seed: 1, Period: 20 * time.Minute, Lazy: true})
+	if err != nil || len(up) != 2 {
+		t.Fatalf("sweep = %v, %v", up, err)
+	}
+	bp, err := sor.SweepBudget([]int{2, 4}, 5, sor.SimConfig{Runs: 1, Seed: 1, Period: 20 * time.Minute, Lazy: true})
+	if err != nil || len(bp) != 2 {
+		t.Fatalf("sweep = %v, %v", bp, err)
+	}
+}
+
+// TestPublicFieldTestSmall is a fast smoke of the end-to-end pipeline via
+// the public API (full-size runs live in internal/fieldtest tests).
+func TestPublicFieldTestSmall(t *testing.T) {
+	res, err := sor.RunFieldTest(sor.FieldTestConfig{
+		Category:       world.CategoryCoffee,
+		PhonesPerPlace: 2,
+		Budget:         6,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phones != 6 || res.Uploads != 6 {
+		t.Fatalf("phones=%d uploads=%d", res.Phones, res.Uploads)
+	}
+	for _, shop := range []string{world.TimHortons, world.BNCafe, world.Starbucks} {
+		if _, ok := res.Features[shop]; !ok {
+			t.Fatalf("no features for %s", shop)
+		}
+	}
+	for _, prof := range []string{"David", "Emma"} {
+		if len(res.Rankings[prof]) != 3 {
+			t.Fatalf("%s ranking = %v", prof, res.Rankings[prof])
+		}
+	}
+}
+
+func TestExpectedRankingsShape(t *testing.T) {
+	for _, cat := range []string{world.CategoryTrail, world.CategoryCoffee} {
+		for prof, order := range fieldtest.ExpectedRankings(cat) {
+			if len(order) != 3 {
+				t.Fatalf("%s/%s ranking rows = %v", cat, prof, order)
+			}
+			if strings.TrimSpace(prof) == "" {
+				t.Fatal("empty profile name")
+			}
+		}
+	}
+}
