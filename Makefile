@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench fuzz-smoke ci experiments fieldtest sim clean
 
 all: build test
 
@@ -23,6 +23,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# 10-second fuzz smoke over the wire decoder (the open-network surface).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
+
+# Everything CI runs (.github/workflows/ci.yml mirrors this).
+ci: vet build test
+	$(GO) test -race -short ./...
+	$(MAKE) fuzz-smoke
 
 # Regenerate every paper table and figure.
 experiments: fieldtest sim

@@ -1,0 +1,275 @@
+// Ingest-path benchmarks: how fast the sensing server absorbs report
+// uploads under concurrent load, and how rank queries behave while ingest
+// is running. These back the sharding work (see DESIGN.md "Concurrency
+// model"): BenchmarkIngestParallel is the number quoted in CHANGES.md.
+//
+//	go test -bench=Ingest -benchtime=2s .
+package sor_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sor/internal/ranking"
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/wire"
+)
+
+// benchEnv is an in-process server with apps and joined uploaders, driven
+// through the same transport.Handler the HTTP layer uses (no sockets, so
+// the benchmark measures the server, not the loopback stack).
+type benchEnv struct {
+	srv     *server.Server
+	handle  func(m wire.Message) (wire.Message, error)
+	start   time.Time
+	userIDs []string // userIDs[u] is joined to apps[u % apps]
+	taskIDs []string
+	appIDs  []string
+}
+
+const benchPeriodSec = 3 * 60 * 60
+
+func newBenchEnv(b *testing.B, apps, users int) *benchEnv {
+	b.Helper()
+	start := time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+	catalog := map[string][]ranking.Feature{
+		"bench": {
+			{Name: "temperature", Unit: "°F",
+				Default: ranking.Preference{Kind: ranking.PrefValue, Value: 73}},
+			{Name: "noise", Unit: "",
+				Default: ranking.Preference{Kind: ranking.PrefMin}},
+		},
+	}
+	srv, err := server.New(server.Config{
+		DB:      store.New(),
+		Now:     func() time.Time { return start },
+		Catalog: catalog,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &benchEnv{srv: srv, start: start}
+	h := srv.Handler()
+	env.handle = func(m wire.Message) (wire.Message, error) {
+		return h(context.Background(), m)
+	}
+	for a := 0; a < apps; a++ {
+		appID := fmt.Sprintf("bench-app-%d", a)
+		if err := srv.CreateApp(store.Application{
+			ID:        appID,
+			Creator:   "bench",
+			Category:  "bench",
+			Place:     fmt.Sprintf("bench-place-%d", a),
+			Lat:       43.0 + float64(a),
+			Lon:       -76.0,
+			RadiusM:   500,
+			Script:    "return 1",
+			PeriodSec: benchPeriodSec,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		env.appIDs = append(env.appIDs, appID)
+	}
+	for u := 0; u < users; u++ {
+		appID := env.appIDs[u%apps]
+		userID := fmt.Sprintf("bench-user-%d", u)
+		resp, err := env.handle(&wire.Participate{
+			UserID: userID,
+			Token:  "bench-token-" + userID,
+			AppID:  appID,
+			Loc:    wire.Location{Lat: 43.0 + float64(u%apps), Lon: -76.0},
+			Budget: 17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ack, ok := resp.(*wire.Ack)
+		if !ok || !ack.OK {
+			b.Fatalf("participate %s refused: %+v", userID, resp)
+		}
+		inner, err := wire.Decode(ack.Payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched, ok := inner.(*wire.Schedule)
+		if !ok {
+			b.Fatalf("participate payload was %s", inner.Type())
+		}
+		env.userIDs = append(env.userIDs, userID)
+		env.taskIDs = append(env.taskIDs, sched.TaskID)
+	}
+	return env
+}
+
+// report builds one small sensed-data report (the overhead-dominated
+// regime bursty phones actually produce: a couple of samples per upload).
+func (e *benchEnv) report(u int, seq int64) *wire.DataUpload {
+	at := e.start.Add(time.Duration(seq%1000) * 10 * time.Second).UnixMilli()
+	return &wire.DataUpload{
+		TaskID: e.taskIDs[u],
+		AppID:  e.appIDs[u%len(e.appIDs)],
+		UserID: e.userIDs[u],
+		Series: []wire.SensorSeries{
+			{Sensor: "temperature", Samples: []wire.SensorSample{
+				{AtUnixMilli: at, WindowMilli: 5000, Readings: []float64{70.1, 70.3, 70.2, 70.4}},
+			}},
+			{Sensor: "microphone", Samples: []wire.SensorSample{
+				{AtUnixMilli: at, WindowMilli: 2000, Readings: []float64{0.1, 0.12, 0.11, 0.13}},
+			}},
+		},
+	}
+}
+
+// benchUploaders drives total reports through fn from `workers` goroutines
+// and fails the benchmark on any refused upload.
+func benchUploaders(b *testing.B, workers int, total int, fn func(worker, seq int) error) {
+	b.Helper()
+	var next atomic.Int64
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for {
+				seq := int(next.Add(1)) - 1
+				if seq >= total {
+					errCh <- nil
+					return
+				}
+				if err := fn(w, seq); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const ingestWorkers = 8
+
+// benchBatchSize is how many reports a store-and-forward phone coalesces
+// into one DataUploadBatch message.
+const benchBatchSize = 32
+
+// BenchmarkIngestParallel measures ingest throughput with 8 uploader
+// goroutines spread over 4 applications. The "single" variant sends one
+// report per message (the paper's phone behaviour and the pre-shard
+// baseline workload); the "batched" variant coalesces benchBatchSize
+// reports per message through HandleReportBatch. b.N counts reports in
+// both variants, so ns/op is ns per report and the two are comparable.
+func BenchmarkIngestParallel(b *testing.B) {
+	b.Run("single", func(b *testing.B) {
+		env := newBenchEnv(b, 4, ingestWorkers)
+		b.ResetTimer()
+		benchUploaders(b, ingestWorkers, b.N, func(w, seq int) error {
+			resp, err := env.handle(env.report(w, int64(seq)))
+			if err != nil {
+				return err
+			}
+			if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
+				return fmt.Errorf("upload refused: %+v", resp)
+			}
+			return nil
+		})
+		b.StopTimer()
+		reportIngested(b, env)
+	})
+	b.Run("batched", func(b *testing.B) {
+		env := newBenchEnv(b, 4, ingestWorkers)
+		batches := (b.N + benchBatchSize - 1) / benchBatchSize
+		b.ResetTimer()
+		benchUploaders(b, ingestWorkers, batches, func(w, seq int) error {
+			n := benchBatchSize
+			if seq == batches-1 && b.N%benchBatchSize != 0 {
+				n = b.N % benchBatchSize // last batch carries the remainder
+			}
+			batch := &wire.DataUploadBatch{Uploads: make([]wire.DataUpload, n)}
+			for i := 0; i < n; i++ {
+				batch.Uploads[i] = *env.report(w, int64(seq*benchBatchSize+i))
+			}
+			resp, err := env.handle(batch)
+			if err != nil {
+				return err
+			}
+			if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
+				return fmt.Errorf("batch refused: %+v", resp)
+			}
+			return nil
+		})
+		b.StopTimer()
+		reportIngested(b, env)
+	})
+}
+
+// BenchmarkRankDuringIngest measures rank-query latency while 8 uploader
+// goroutines land batched reports in the background — the
+// reader-under-writer regime the sharding work targets. Uploaders are
+// paced (one batch per 5 ms each) so the backlog a rank query drains stays
+// bounded and ns/op measures contention, not backlog size. b.N counts rank
+// queries.
+func BenchmarkRankDuringIngest(b *testing.B) {
+	env := newBenchEnv(b, 4, ingestWorkers)
+	// Pre-sense every place so queries rank instead of refusing.
+	for u := 0; u < ingestWorkers; u++ {
+		if _, err := env.handle(env.report(u, int64(u))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env.srv.Processor().Process()
+	stop := make(chan struct{})
+	done := make(chan struct{}, ingestWorkers)
+	for w := 0; w < ingestWorkers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			var seq int64
+			ticker := time.NewTicker(5 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				batch := &wire.DataUploadBatch{Uploads: make([]wire.DataUpload, benchBatchSize)}
+				for i := range batch.Uploads {
+					batch.Uploads[i] = *env.report(w, seq)
+					seq++
+				}
+				if _, err := env.handle(batch); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := env.handle(&wire.RankRequest{UserID: "bench-ranker", Category: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := resp.(*wire.RankResponse); !ok {
+			b.Fatalf("rank refused: %+v", resp)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	for w := 0; w < ingestWorkers; w++ {
+		<-done
+	}
+}
+
+// reportIngested sanity-checks that the benchmark actually landed data.
+func reportIngested(b *testing.B, env *benchEnv) {
+	b.Helper()
+	if pending := env.srv.DB().PendingUploads(); pending == 0 && b.N > 0 {
+		b.Fatalf("no uploads pending after %d reports", b.N)
+	}
+}

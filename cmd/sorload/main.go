@@ -3,9 +3,15 @@
 // walks each through the full participation → schedule → sense → upload
 // loop, and reports latency and throughput statistics.
 //
+// With -concurrency > 0 it then runs a burst-ingest phase: that many
+// workers hammer the server with coalesced DataUploadBatch messages on
+// behalf of the joined phones, and each worker prints its own latency
+// histogram — the client-side view of the server's sharded ingest path.
+//
 // Usage (with sord running on :8080):
 //
 //	sorload -server http://localhost:8080 -app coffee-shop-3 -phones 25 -budget 10
+//	sorload -phones 8 -concurrency 4 -batch 32 -batches 50
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"sor/internal/frontend"
 	"sor/internal/stats"
 	"sor/internal/transport"
+	"sor/internal/wire"
 	"sor/internal/world"
 )
 
@@ -38,6 +45,9 @@ func run() error {
 	budget := flag.Int("budget", 10, "per-phone sensing budget")
 	seed := flag.Int64("seed", 1, "random seed")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	concurrency := flag.Int("concurrency", 0, "burst-phase workers sending batched uploads (0 disables the phase)")
+	batchSize := flag.Int("batch", 32, "reports per coalesced upload batch in the burst phase")
+	batches := flag.Int("batches", 25, "batches each burst worker sends")
 	flag.Parse()
 
 	w, err := world.Canonical()
@@ -61,6 +71,8 @@ func run() error {
 		participateMs float64
 		executeMs     float64
 		measurements  int
+		taskID        string
+		userID        string
 		err           error
 	}
 	results := make([]result, *phones)
@@ -102,6 +114,8 @@ func run() error {
 			}
 			r.executeMs = float64(time.Since(t1)) / float64(time.Millisecond)
 			r.measurements = len(sched.AtUnix)
+			r.taskID = sched.TaskID
+			r.userID = userID
 		}(i)
 	}
 	wg.Wait()
@@ -127,9 +141,106 @@ func run() error {
 		printLatency("execute+upload", execLat)
 		fmt.Printf("  throughput: %.1f uploads/s\n", float64(ok)/elapsed.Seconds())
 	}
+	if *concurrency > 0 && ok > 0 {
+		var targets []burstTarget
+		for _, r := range results {
+			if r.err == nil {
+				targets = append(targets, burstTarget{taskID: r.taskID, userID: r.userID})
+			}
+		}
+		if err := runBurstPhase(ctx, client, *appID, targets, *concurrency, *batchSize, *batches); err != nil {
+			return err
+		}
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d phones failed", failures)
 	}
+	return nil
+}
+
+// burstTarget identifies a joined phone the burst phase uploads for.
+type burstTarget struct {
+	taskID, userID string
+}
+
+// burstReport builds one small report in the burst target's name.
+func burstReport(appID string, tgt burstTarget, at time.Time) wire.DataUpload {
+	return wire.DataUpload{
+		TaskID: tgt.taskID,
+		AppID:  appID,
+		UserID: tgt.userID,
+		Series: []wire.SensorSeries{
+			{Sensor: "temperature", Samples: []wire.SensorSample{
+				{AtUnixMilli: at.UnixMilli(), WindowMilli: 5000, Readings: []float64{70.2, 70.4, 70.3}},
+			}},
+		},
+	}
+}
+
+// runBurstPhase hammers the batched ingest path with `workers` concurrent
+// senders, each recording a per-worker latency histogram of SendBatch
+// round-trips.
+func runBurstPhase(ctx context.Context, client *transport.Client, appID string,
+	targets []burstTarget, workers, batchSize, batches int) error {
+	if batchSize < 1 || batchSize > wire.MaxBatchReports {
+		return fmt.Errorf("batch size %d out of [1,%d]", batchSize, wire.MaxBatchReports)
+	}
+	hists := make([]*stats.Histogram, workers)
+	errs := make([]error, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		hists[w] = stats.NewLatencyHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < batches; n++ {
+				ups := make([]*wire.DataUpload, batchSize)
+				for i := range ups {
+					tgt := targets[(w*batches+n+i)%len(targets)]
+					up := burstReport(appID, tgt, start.Add(time.Duration(n*batchSize+i)*time.Second))
+					ups[i] = &up
+				}
+				t0 := time.Now()
+				ack, err := client.SendBatch(ctx, ups)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				hists[w].Add(float64(time.Since(t0)) / float64(time.Millisecond))
+				if !ack.OK {
+					errs[w] = fmt.Errorf("batch refused: %s", ack.Message)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	merged := stats.NewLatencyHistogram()
+	sent := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return fmt.Errorf("burst worker %d: %w", w, errs[w])
+		}
+		sent += hists[w].N() * batchSize
+		fmt.Printf("burst worker %d: %d batches, mean %.1f ms\n%s\n",
+			w, hists[w].N(), hists[w].Mean(), hists[w].Render(40, "ms"))
+		if err := merged.Merge(hists[w]); err != nil {
+			return err
+		}
+	}
+	p50, err := merged.Quantile(0.5)
+	if err != nil {
+		return err
+	}
+	p99, err := merged.Quantile(0.99)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("burst phase: %d workers, %d reports in %v (%.0f reports/s), batch p50 ≤%g ms p99 ≤%g ms\n",
+		workers, sent, elapsed.Round(time.Millisecond),
+		float64(sent)/elapsed.Seconds(), p50, p99)
 	return nil
 }
 

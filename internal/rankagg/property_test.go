@@ -1,0 +1,124 @@
+package rankagg
+
+// Property test for the min-cost-flow footrule aggregation: for every
+// n ≤ 6 the permutation space is small enough to enumerate, so the flow
+// solver's answer (via internal/mcmf) is cross-checked against the
+// brute-force minimum of the weighted Spearman footrule objective over all
+// n! permutations, with random ranking collections and random weights.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// permutations yields every permutation of [0..n) via Heap's algorithm.
+func permutations(n int, visit func(Ranking)) {
+	perm := make(Ranking, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var heap func(k int)
+	heap = func(k int) {
+		if k == 1 {
+			visit(perm)
+			return
+		}
+		for i := 0; i < k; i++ {
+			heap(k - 1)
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+	}
+	heap(n)
+}
+
+// bruteForceFootrule enumerates all permutations and returns the minimum
+// weighted footrule cost.
+func bruteForceFootrule(t *testing.T, c Collection) float64 {
+	t.Helper()
+	best := math.Inf(1)
+	permutations(c.N(), func(r Ranking) {
+		cost, err := c.WeightedFootrule(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost < best {
+			best = cost
+		}
+	})
+	return best
+}
+
+func TestFootruleAggregateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140701))
+	const trialsPerSize = 40
+	for n := 1; n <= 6; n++ {
+		for trial := 0; trial < trialsPerSize; trial++ {
+			m := 1 + rng.Intn(4) // rankings in the collection
+			c := Collection{}
+			for j := 0; j < m; j++ {
+				c.Rankings = append(c.Rankings, randRanking(rng, n))
+				// Random weights in [0.1, 5); occasionally exactly zero
+				// (a feature the user does not care about).
+				w := 0.1 + 4.9*rng.Float64()
+				if rng.Intn(8) == 0 {
+					w = 0
+				}
+				c.Weights = append(c.Weights, w)
+			}
+			got, gotCost, err := FootruleAggregate(c)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			if err := got.Validate(n); err != nil {
+				t.Fatalf("n=%d trial=%d: result not a permutation: %v", n, trial, err)
+			}
+			// The reported cost must equal the objective evaluated at the
+			// reported ranking...
+			check, err := c.WeightedFootrule(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(check-gotCost) > 1e-9 {
+				t.Fatalf("n=%d trial=%d: reported cost %v but objective at result is %v",
+					n, trial, gotCost, check)
+			}
+			// ...and match the enumerated optimum exactly.
+			want := bruteForceFootrule(t, c)
+			if math.Abs(gotCost-want) > 1e-9 {
+				t.Fatalf("n=%d trial=%d: flow solver found cost %v, brute force %v (collection %+v)",
+					n, trial, gotCost, want, c)
+			}
+		}
+	}
+}
+
+// TestFootruleAggregateIdentityCollection pins the degenerate case: when
+// every ranking in the collection is identical, the aggregate must be that
+// ranking with zero cost.
+func TestFootruleAggregateIdentityCollection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 2; n <= 6; n++ {
+		r := randRanking(rng, n)
+		c := Collection{
+			Rankings: []Ranking{r.Clone(), r.Clone(), r.Clone()},
+			Weights:  []float64{1, 2, 3},
+		}
+		got, cost, err := FootruleAggregate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != 0 {
+			t.Fatalf("n=%d: identical rankings should cost 0, got %v", n, cost)
+		}
+		for i := range r {
+			if got[i] != r[i] {
+				t.Fatalf("n=%d: aggregate %v differs from unanimous ranking %v", n, got, r)
+			}
+		}
+	}
+}

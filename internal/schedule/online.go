@@ -95,6 +95,34 @@ func (o *Online) RecordExecution(userID string, instant int) error {
 	return nil
 }
 
+// RecordExecutions is the batched form of RecordExecution: it notes all
+// instants under one lock acquisition (the server's coalesced ingest path
+// uses it so a burst of reports does not take the scheduler lock per
+// measurement). Instants past the user's budget or out of range are
+// skipped; it returns how many were recorded.
+func (o *Online) RecordExecutions(userID string, instants []int) (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	u, ok := o.parts[userID]
+	if !ok {
+		return 0, fmt.Errorf("schedule: unknown user %s", userID)
+	}
+	n := o.sched.Timeline().N()
+	recorded := 0
+	for _, instant := range instants {
+		if u.consumed >= u.p.Budget {
+			break
+		}
+		if instant < 0 || instant >= n {
+			continue
+		}
+		u.consumed++
+		o.executed = append(o.executed, instant)
+		recorded++
+	}
+	return recorded, nil
+}
+
 // Plan returns the current plan (recomputed at the time of the last event).
 func (o *Online) Plan() *Plan {
 	o.mu.Lock()

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sor/internal/feature"
@@ -15,19 +16,27 @@ import (
 // decodes them, accumulates samples per application, and recomputes the
 // humanly understandable feature values (§IV-A). Decoded samples are kept
 // so features refine as more data arrives.
+//
+// Accumulators are per-application, each behind its own lock, so two
+// concurrent Process calls (or a Process racing a feature refresh) only
+// contend when they touch the same app.
 type DataProcessor struct {
 	db     *store.Store
-	robust bool
+	robust atomic.Bool
 
-	mu    sync.Mutex
+	mu    sync.RWMutex // guards the byApp map only, not the appData within
 	byApp map[string]*appData
-	// Processed counts decoded uploads; DecodeErrors counts blobs that
+
+	// processed counts decoded uploads; decodeErrors counts blobs that
 	// failed to decode (they are dropped with accounting, not retried).
-	processed    int
-	decodeErrors int
+	processed    atomic.Int64
+	decodeErrors atomic.Int64
 }
 
+// appData is one application's decoded-sample accumulator. Its lock
+// serializes appends and snapshot reads for this app only.
 type appData struct {
+	mu     sync.Mutex
 	scalar map[string][]feature.Sample // sensor name -> samples
 	// track groups GPS fixes into bursts keyed by (user, timestamp): all
 	// fixes one phone recorded in one measurement form one burst, so the
@@ -48,46 +57,55 @@ func NewDataProcessor(db *store.Store) *DataProcessor {
 // SetRobust switches between the plain §IV-A extractors and the
 // MAD-outlier-rejecting variants.
 func (d *DataProcessor) SetRobust(robust bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.robust = robust
+	d.robust.Store(robust)
 }
 
 // Stats reports processing counters.
 func (d *DataProcessor) Stats() (processed, decodeErrors int) {
+	return int(d.processed.Load()), int(d.decodeErrors.Load())
+}
+
+// appData returns the app's accumulator, creating it on first use.
+func (d *DataProcessor) appData(appID string) *appData {
+	d.mu.RLock()
+	ad := d.byApp[appID]
+	d.mu.RUnlock()
+	if ad != nil {
+		return ad
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.processed, d.decodeErrors
+	if ad = d.byApp[appID]; ad == nil {
+		ad = &appData{
+			scalar: make(map[string][]feature.Sample),
+			track:  make(map[burstKey]*feature.GeoSample),
+		}
+		d.byApp[appID] = ad
+	}
+	return ad
 }
 
 // Process drains pending uploads and refreshes feature rows. It returns
-// the number of uploads folded in.
+// the number of uploads folded in. Safe for concurrent use.
 func (d *DataProcessor) Process() int {
 	uploads := d.db.DrainUploads()
 	if len(uploads) == 0 {
 		return 0
 	}
-	d.mu.Lock()
 	touched := make(map[string]bool)
 	for _, raw := range uploads {
 		msg, err := wire.Decode(raw.Body)
 		if err != nil {
-			d.decodeErrors++
+			d.decodeErrors.Add(1)
 			continue
 		}
 		up, ok := msg.(*wire.DataUpload)
 		if !ok {
-			d.decodeErrors++
+			d.decodeErrors.Add(1)
 			continue
 		}
-		ad, ok := d.byApp[up.AppID]
-		if !ok {
-			ad = &appData{
-				scalar: make(map[string][]feature.Sample),
-				track:  make(map[burstKey]*feature.GeoSample),
-			}
-			d.byApp[up.AppID] = ad
-		}
+		ad := d.appData(up.AppID)
+		ad.mu.Lock()
 		for _, series := range up.Series {
 			for _, smp := range series.Samples {
 				ad.scalar[series.Sensor] = append(ad.scalar[series.Sensor], feature.Sample{
@@ -106,10 +124,10 @@ func (d *DataProcessor) Process() int {
 			}
 			burst.Points = append(burst.Points, geo.Point{Lat: gp.Lat, Lon: gp.Lon, Alt: gp.Alt})
 		}
-		d.processed++
+		ad.mu.Unlock()
+		d.processed.Add(1)
 		touched[up.AppID] = true
 	}
-	d.mu.Unlock()
 
 	for appID := range touched {
 		// Refresh failures for one app must not block the others.
@@ -157,30 +175,32 @@ func (d *DataProcessor) refreshApp(appID string) error {
 	if err != nil {
 		return fmt.Errorf("server: processing upload for unknown app %s: %w", appID, err)
 	}
-	d.mu.Lock()
+	d.mu.RLock()
 	ad := d.byApp[appID]
-	var sensorsSnapshot map[string][]feature.Sample
-	var trackSnapshot []feature.GeoSample
-	if ad != nil {
-		sensorsSnapshot = make(map[string][]feature.Sample, len(ad.scalar))
-		for k, v := range ad.scalar {
-			sensorsSnapshot[k] = v
-		}
-		trackSnapshot = make([]feature.GeoSample, 0, len(ad.track))
-		for _, burst := range ad.track {
-			trackSnapshot = append(trackSnapshot, *burst)
-		}
-	}
-	d.mu.Unlock()
+	d.mu.RUnlock()
 	if ad == nil {
 		return nil
 	}
-	d.mu.Lock()
+	// Snapshot under the app lock: slice headers are copied at their
+	// current length, and sample elements are never mutated after append,
+	// so the extractors can run on the snapshot without holding the lock.
+	ad.mu.Lock()
+	sensorsSnapshot := make(map[string][]feature.Sample, len(ad.scalar))
+	for k, v := range ad.scalar {
+		sensorsSnapshot[k] = v
+	}
+	trackSnapshot := make([]feature.GeoSample, 0, len(ad.track))
+	for _, burst := range ad.track {
+		trackSnapshot = append(trackSnapshot, feature.GeoSample{
+			At:     burst.At,
+			Points: burst.Points[:len(burst.Points):len(burst.Points)],
+		})
+	}
+	ad.mu.Unlock()
 	pipelines := featurePipelines
-	if d.robust {
+	if d.robust.Load() {
 		pipelines = robustPipelines
 	}
-	d.mu.Unlock()
 	now := time.Now().UTC()
 	for sensor, samples := range sensorsSnapshot {
 		pipeline, ok := pipelines[sensor]

@@ -108,6 +108,21 @@ func TestRestartFromSnapshot(t *testing.T) {
 	if ack := resp.(*wire.Ack); ack.OK {
 		t.Fatal("double join across restart should be refused")
 	}
+
+	// A brand-new user CAN join after restart: the restarted server's
+	// in-memory task counter lags the persisted task IDs, so the server
+	// must skip over them instead of colliding.
+	resp, err = s2.Handler()(nil, &wire.Participate{
+		UserID: "bob", Token: "tok-b", AppID: "app-sb",
+		Loc:    wire.Location{Lat: 43.0413, Lon: -76.1350},
+		Budget: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK {
+		t.Fatalf("new join after restart refused: %s", ack.Message)
+	}
 }
 
 // TestProcessorCountsDecodeErrors injects a corrupt blob directly into the
@@ -118,14 +133,14 @@ func TestProcessorCountsDecodeErrors(t *testing.T) {
 	if err := s.CreateApp(starbucksApp()); err != nil {
 		t.Fatal(err)
 	}
-	s.DB().AppendUpload([]byte("corrupt garbage"), t0)
+	s.DB().AppendUpload("coffee-shop-3", []byte("corrupt garbage"), t0)
 	// A well-formed frame of the wrong type is also a decode error for
 	// the processor.
 	wrongType, err := wire.Encode(&wire.Ping{Token: "x"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.DB().AppendUpload(wrongType, t0)
+	s.DB().AppendUpload("coffee-shop-3", wrongType, t0)
 	if n := s.Processor().Process(); n != 2 {
 		t.Fatalf("drained %d", n)
 	}
@@ -155,7 +170,7 @@ func TestUploadForUnknownAppSkipsRefresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.DB().AppendUpload(raw, t0)
+	s.DB().AppendUpload("ghost-app", raw, t0)
 	if n := s.Processor().Process(); n != 1 {
 		t.Fatalf("drained %d", n)
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sor/internal/coverage"
@@ -46,7 +47,10 @@ type Config struct {
 	RobustExtraction bool
 }
 
-// Server is one sensing server instance.
+// Server is one sensing server instance. Its mutable scheduling state is
+// sharded per application (see shards.go and DESIGN.md "Concurrency
+// model"): there is no server-global lock on the upload or scheduling hot
+// paths.
 type Server struct {
 	db      *store.Store
 	now     func() time.Time
@@ -55,19 +59,22 @@ type Server struct {
 	catalog map[string][]ranking.Feature
 	push    *transport.Push
 
-	mu      sync.Mutex
-	online  map[string]*appSchedState // appID -> scheduler state
-	taskSeq int
+	states  *shardedStates // appID -> scheduler state, sharded
+	taskSeq atomic.Int64
 
 	processor *DataProcessor
 }
 
-// appSchedState holds one application's scheduling period state.
+// appSchedState holds one application's scheduling period state. The
+// timeline is immutable after creation and online is internally
+// synchronized; mu guards only the task/token maps.
 type appSchedState struct {
 	timeline *coverage.Timeline
 	online   *schedule.Online
-	taskOf   map[string]string // userID -> taskID
-	tokenOf  map[string]string // userID -> device token
+
+	mu      sync.Mutex
+	taskOf  map[string]string // userID -> taskID
+	tokenOf map[string]string // userID -> device token
 }
 
 // New builds a server.
@@ -95,7 +102,7 @@ func New(cfg Config) (*Server, error) {
 		catalog: cfg.Catalog,
 		push:    cfg.Push,
 	}
-	s.online = make(map[string]*appSchedState)
+	s.states = newShardedStates()
 	s.processor = NewDataProcessor(cfg.DB)
 	s.processor.SetRobust(cfg.RobustExtraction)
 	return s, nil
@@ -115,6 +122,8 @@ func (s *Server) Handler() transport.Handler {
 			return s.handleParticipate(msg)
 		case *wire.DataUpload:
 			return s.handleDataUpload(msg)
+		case *wire.DataUploadBatch:
+			return s.HandleReportBatch(msg)
 		case *wire.Leave:
 			return s.handleLeave(msg)
 		case *wire.Ping:
@@ -143,42 +152,33 @@ func (s *Server) CreateApp(app store.Application) error {
 }
 
 // schedState lazily creates the per-app scheduling state, anchoring the
-// period at the first participation.
+// period at the first participation. Only the app's own shard is locked.
 func (s *Server) schedState(app store.Application, anchor time.Time) (*appSchedState, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.online[app.ID]
-	if ok {
-		return st, nil
-	}
-	n := int(time.Duration(app.PeriodSec)*time.Second/s.step) + 1
-	tl, err := coverage.NewTimeline(anchor.Truncate(s.step), s.step, n)
-	if err != nil {
-		return nil, fmt.Errorf("server: timeline for %s: %w", app.ID, err)
-	}
-	sched, err := schedule.NewScheduler(tl, s.kernel, schedule.WithLazyGreedy())
-	if err != nil {
-		return nil, err
-	}
-	online, err := schedule.NewOnline(sched)
-	if err != nil {
-		return nil, err
-	}
-	st = &appSchedState{
-		timeline: tl,
-		online:   online,
-		taskOf:   make(map[string]string),
-		tokenOf:  make(map[string]string),
-	}
-	s.online[app.ID] = st
-	return st, nil
+	return s.states.getOrCreate(app.ID, func() (*appSchedState, error) {
+		n := int(time.Duration(app.PeriodSec)*time.Second/s.step) + 1
+		tl, err := coverage.NewTimeline(anchor.Truncate(s.step), s.step, n)
+		if err != nil {
+			return nil, fmt.Errorf("server: timeline for %s: %w", app.ID, err)
+		}
+		sched, err := schedule.NewScheduler(tl, s.kernel, schedule.WithLazyGreedy())
+		if err != nil {
+			return nil, err
+		}
+		online, err := schedule.NewOnline(sched)
+		if err != nil {
+			return nil, err
+		}
+		return &appSchedState{
+			timeline: tl,
+			online:   online,
+			taskOf:   make(map[string]string),
+			tokenOf:  make(map[string]string),
+		}, nil
+	})
 }
 
 func (s *Server) nextTaskID() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.taskSeq++
-	return "task-" + strconv.Itoa(s.taskSeq)
+	return "task-" + strconv.FormatInt(s.taskSeq.Add(1), 10)
 }
 
 // refuse builds a refusal Ack.
@@ -231,22 +231,32 @@ func (s *Server) handleParticipate(msg *wire.Participate) (wire.Message, error) 
 			leave = until
 		}
 	}
-	taskID := s.nextTaskID()
-	if err := s.db.PutParticipation(store.Participation{
-		TaskID: taskID,
-		UserID: msg.UserID,
-		Token:  msg.Token,
-		AppID:  msg.AppID,
-		Budget: msg.Budget,
-		Status: store.TaskWaiting,
-		Joined: now,
-	}); err != nil {
-		return nil, err
+	// The task counter is in-memory; after a restart (or when several
+	// servers share one store) it can lag the IDs already persisted, so
+	// skip over duplicates until an unused ID is found.
+	var taskID string
+	for {
+		taskID = s.nextTaskID()
+		err := s.db.PutParticipation(store.Participation{
+			TaskID: taskID,
+			UserID: msg.UserID,
+			Token:  msg.Token,
+			AppID:  msg.AppID,
+			Budget: msg.Budget,
+			Status: store.TaskWaiting,
+			Joined: now,
+		})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, store.ErrDuplicate) {
+			return nil, err
+		}
 	}
-	s.mu.Lock()
+	st.mu.Lock()
 	st.taskOf[msg.UserID] = taskID
 	st.tokenOf[msg.UserID] = msg.Token
-	s.mu.Unlock()
+	st.mu.Unlock()
 
 	plan, err := st.online.Join(now, schedule.Participant{
 		UserID: msg.UserID,
@@ -279,7 +289,7 @@ func (s *Server) handleParticipate(msg *wire.Participate) (wire.Message, error) 
 // distributePlan stores every user's fresh schedule and pushes wake-ups so
 // phones re-fetch (the GCM path).
 func (s *Server) distributePlan(app store.Application, st *appSchedState, plan *schedule.Plan) error {
-	s.mu.Lock()
+	st.mu.Lock()
 	taskOf := make(map[string]string, len(st.taskOf))
 	for u, t := range st.taskOf {
 		taskOf[u] = t
@@ -288,7 +298,7 @@ func (s *Server) distributePlan(app store.Application, st *appSchedState, plan *
 	for u, t := range st.tokenOf {
 		tokenOf[u] = t
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	for userID, a := range plan.Assignments {
 		taskID, ok := taskOf[userID]
 		if !ok {
@@ -312,9 +322,9 @@ func (s *Server) distributePlan(app store.Application, st *appSchedState, plan *
 // scheduleFor assembles the wire.Schedule for one user from the stored
 // row plus the app's script.
 func (s *Server) scheduleFor(app store.Application, st *appSchedState, userID string) (*wire.Schedule, error) {
-	s.mu.Lock()
+	st.mu.Lock()
 	taskID, ok := st.taskOf[userID]
-	s.mu.Unlock()
+	st.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("server: no task for user %s", userID)
 	}
@@ -348,29 +358,105 @@ func (s *Server) handleDataUpload(msg *wire.DataUpload) (wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.db.AppendUpload(raw, s.now())
+	s.db.AppendUpload(msg.AppID, raw, s.now())
 
 	// Budget accounting: each distinct measurement timestamp consumes one
 	// unit of the user's budget.
-	s.mu.Lock()
-	st := s.online[msg.AppID]
-	s.mu.Unlock()
-	if st != nil {
-		instants := make(map[int]bool)
-		for _, series := range msg.Series {
-			for _, smp := range series.Samples {
-				instants[st.timeline.Index(time.UnixMilli(smp.AtUnixMilli).UTC())] = true
-			}
-		}
-		for _, gp := range msg.Track {
-			instants[st.timeline.Index(time.UnixMilli(gp.AtUnixMilli).UTC())] = true
-		}
-		for instant := range instants {
-			// Exhausted budgets are refused quietly; the data is kept.
-			_ = st.online.RecordExecution(msg.UserID, instant)
-		}
+	if st := s.states.get(msg.AppID); st != nil {
+		// Exhausted budgets are refused quietly; the data is kept.
+		_, _ = st.online.RecordExecutions(msg.UserID, uploadInstants(st.timeline, msg))
 	}
 	return &wire.Ack{OK: true, Code: 200, Message: "stored"}, nil
+}
+
+// uploadInstants collapses a report's measurement timestamps onto distinct
+// timeline instants (each distinct instant consumes one unit of budget).
+func uploadInstants(tl *coverage.Timeline, msg *wire.DataUpload) []int {
+	seen := make(map[int]bool)
+	for _, series := range msg.Series {
+		for _, smp := range series.Samples {
+			seen[tl.Index(time.UnixMilli(smp.AtUnixMilli).UTC())] = true
+		}
+	}
+	for _, gp := range msg.Track {
+		seen[tl.Index(time.UnixMilli(gp.AtUnixMilli).UTC())] = true
+	}
+	instants := make([]int, 0, len(seen))
+	for instant := range seen {
+		instants = append(instants, instant)
+	}
+	return instants
+}
+
+// HandleReportBatch is the coalesced ingest path: it lands a burst of
+// reports with per-app amortization — one participation check per distinct
+// task, one upload-bucket lock acquisition per app, one scheduler-lock
+// acquisition per (user, app) for budget accounting. Reports for different
+// apps inside one batch still land in their own shards, so two batches for
+// different apps never contend. Individual bad reports are skipped, not
+// fatal: the Ack reports accepted/total (Code 200 all accepted, 207
+// partial, 400 none).
+func (s *Server) HandleReportBatch(msg *wire.DataUploadBatch) (wire.Message, error) {
+	if len(msg.Uploads) == 0 {
+		return refuse(400, "empty report batch"), nil
+	}
+	if len(msg.Uploads) > wire.MaxBatchReports {
+		return refuse(413, "batch of %d exceeds %d reports", len(msg.Uploads), wire.MaxBatchReports), nil
+	}
+	now := s.now()
+	// Group report indices per app, preserving arrival order within an app.
+	byApp := make(map[string][]int)
+	for i := range msg.Uploads {
+		byApp[msg.Uploads[i].AppID] = append(byApp[msg.Uploads[i].AppID], i)
+	}
+	accepted := 0
+	taskOK := make(map[string]bool, len(msg.Uploads))
+	for appID, idxs := range byApp {
+		st := s.states.get(appID)
+		bodies := make([][]byte, 0, len(idxs))
+		// instantsOf accumulates budget instants per user across the
+		// app's reports so the scheduler lock is taken once per user.
+		instantsOf := make(map[string][]int)
+		for _, i := range idxs {
+			up := &msg.Uploads[i]
+			// Cache keyed on the full claimed identity so a batch cannot
+			// smuggle a second user onto an already-verified task.
+			key := up.TaskID + "\x00" + up.UserID + "\x00" + up.AppID
+			ok, seen := taskOK[key]
+			if !seen {
+				p, err := s.db.Participation(up.TaskID)
+				ok = err == nil && p.UserID == up.UserID && p.AppID == up.AppID
+				taskOK[key] = ok
+			}
+			if !ok {
+				continue
+			}
+			raw, err := wire.Encode(up)
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, raw)
+			if st != nil {
+				instantsOf[up.UserID] = append(instantsOf[up.UserID], uploadInstants(st.timeline, up)...)
+			}
+		}
+		s.db.AppendUploads(appID, bodies, now)
+		accepted += len(bodies)
+		for userID, instants := range instantsOf {
+			// Exhausted budgets are refused quietly; the data is kept.
+			_, _ = st.online.RecordExecutions(userID, instants)
+		}
+	}
+	switch {
+	case accepted == 0:
+		return refuse(400, "no report in batch of %d matched an active task", len(msg.Uploads)), nil
+	case accepted < len(msg.Uploads):
+		return &wire.Ack{OK: true, Code: 207,
+			Message: fmt.Sprintf("stored %d/%d", accepted, len(msg.Uploads))}, nil
+	default:
+		return &wire.Ack{OK: true, Code: 200,
+			Message: fmt.Sprintf("stored %d/%d", accepted, len(msg.Uploads))}, nil
+	}
 }
 
 // handleLeave marks the user finished and re-plans without them (§II-B: a
@@ -386,10 +472,7 @@ func (s *Server) handleLeave(msg *wire.Leave) (wire.Message, error) {
 	}); err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	st := s.online[msg.AppID]
-	s.mu.Unlock()
-	if st != nil {
+	if st := s.states.get(msg.AppID); st != nil {
 		app, err := s.db.App(msg.AppID)
 		if err != nil {
 			return nil, err
@@ -513,9 +596,7 @@ func (s *Server) FeatureMatrix(category string) (*ranking.Matrix, error) {
 
 // PlanSnapshot returns the current plan coverage for an app (diagnostics).
 func (s *Server) PlanSnapshot(appID string) (*schedule.Plan, error) {
-	s.mu.Lock()
-	st := s.online[appID]
-	s.mu.Unlock()
+	st := s.states.get(appID)
 	if st == nil {
 		return nil, fmt.Errorf("server: no scheduling state for %s", appID)
 	}

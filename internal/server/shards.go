@@ -1,0 +1,66 @@
+package server
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// numStateShards is the bucket count of the per-app scheduling-state map.
+// Events for apps in different buckets never contend on a lock; events for
+// one app serialize only on that app's own state.
+const numStateShards = 32
+
+// stateShard is one bucket of the app-state map. The shard lock guards
+// only the map itself (lookup + lazy creation); each appSchedState carries
+// its own lock for its mutable fields.
+type stateShard struct {
+	mu   sync.Mutex
+	apps map[string]*appSchedState
+}
+
+// shardedStates is the sharded replacement for the old global
+// Server.mu + online map: uploads, joins, leaves and schedule queries for
+// different applications proceed in parallel.
+type shardedStates struct {
+	shards [numStateShards]stateShard
+}
+
+func newShardedStates() *shardedStates {
+	s := &shardedStates{}
+	for i := range s.shards {
+		s.shards[i].apps = make(map[string]*appSchedState)
+	}
+	return s
+}
+
+func (s *shardedStates) shard(appID string) *stateShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(appID))
+	return &s.shards[h.Sum32()%numStateShards]
+}
+
+// get returns the app's state, or nil if it has no scheduling state yet.
+func (s *shardedStates) get(appID string) *appSchedState {
+	sh := s.shard(appID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.apps[appID]
+}
+
+// getOrCreate returns the app's state, lazily building it via create. The
+// shard lock is held across create so exactly one caller constructs the
+// state; create must not call back into shardedStates.
+func (s *shardedStates) getOrCreate(appID string, create func() (*appSchedState, error)) (*appSchedState, error) {
+	sh := s.shard(appID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st, ok := sh.apps[appID]; ok {
+		return st, nil
+	}
+	st, err := create()
+	if err != nil {
+		return nil, err
+	}
+	sh.apps[appID] = st
+	return st, nil
+}

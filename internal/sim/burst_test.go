@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDrawBurstyParticipantsShape(t *testing.T) {
+	start := time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(7))
+	cfg := BurstConfig{Users: 40, Bursts: 4, Budget: 17}
+	parts, err := DrawBurstyParticipants(rng, cfg, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 40 {
+		t.Fatalf("got %d participants", len(parts))
+	}
+	end := start.Add(3 * time.Hour)
+	ids := make(map[string]bool)
+	for _, p := range parts {
+		if ids[p.UserID] {
+			t.Fatalf("duplicate user %s", p.UserID)
+		}
+		ids[p.UserID] = true
+		if p.Arrive.Before(start) || !p.Arrive.Before(end) {
+			t.Fatalf("arrival %v outside period", p.Arrive)
+		}
+		if !p.Leave.After(p.Arrive) || p.Leave.After(end) {
+			t.Fatalf("departure %v invalid for arrival %v", p.Leave, p.Arrive)
+		}
+		if p.Budget != 17 {
+			t.Fatalf("budget = %d", p.Budget)
+		}
+	}
+	// Arrivals must actually cluster: with 4 bursts and 10 s spread, the
+	// distinct arrival minutes are far fewer than the user count.
+	minutes := make(map[int]bool)
+	for _, p := range parts {
+		minutes[int(p.Arrive.Sub(start)/time.Minute)] = true
+	}
+	if len(minutes) > 8 {
+		t.Fatalf("arrivals spread over %d minutes; want clustered bursts", len(minutes))
+	}
+}
+
+func TestDrawBurstyParticipantsValidation(t *testing.T) {
+	start := time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := DrawBurstyParticipants(rng, BurstConfig{Users: 0, Budget: 1}, start); err == nil {
+		t.Fatal("zero users must error")
+	}
+	if _, err := DrawBurstyParticipants(rng, BurstConfig{Users: 5, Budget: 0}, start); err == nil {
+		t.Fatal("zero budget must error")
+	}
+	// More bursts than users clamps rather than failing.
+	parts, err := DrawBurstyParticipants(rng, BurstConfig{Users: 3, Bursts: 10, Budget: 2}, start)
+	if err != nil || len(parts) != 3 {
+		t.Fatalf("parts=%d err=%v", len(parts), err)
+	}
+}

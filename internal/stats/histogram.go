@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bound bucket histogram for latency-style
+// measurements. Bounds are upper edges; one implicit overflow bucket
+// catches everything past the last bound. It is not safe for concurrent
+// use — the load generator keeps one per worker and merges at the end.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds
+	counts []int     // len(bounds)+1; last is overflow
+	n      int
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over strictly increasing upper bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, errors.New("stats: histogram needs at least one bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("stats: invalid bound %v", b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: bounds not increasing at %d (%v after %v)",
+				i, b, bounds[i-1])
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}, nil
+}
+
+// NewLatencyHistogram returns the canonical millisecond-latency histogram
+// (0.5 ms … 5 s, roughly 1-2-5 per decade).
+func NewLatencyHistogram() *Histogram {
+	h, err := NewHistogram([]float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000})
+	if err != nil {
+		panic(err) // bounds are a compile-time constant
+	}
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.counts[h.bucket(x)]++
+	h.n++
+	h.sum += x
+	h.min = math.Min(h.min, x)
+	h.max = math.Max(h.max, x)
+}
+
+// bucket returns the index of the first bucket whose bound is >= x (binary
+// search; the overflow bucket if none is).
+func (h *Histogram) bucket(x float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int { return h.n }
+
+// Mean returns the exact mean of all observations (tracked outside the
+// buckets, so it carries no quantization error).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min and Max return the exact extremes (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile approximates the q-quantile as the upper bound of the bucket
+// where the cumulative count crosses q·n (the exact maximum for the
+// overflow bucket). Error is bounded by the bucket width.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.n == 0 {
+		return 0, errors.New("stats: quantile of empty histogram")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	rank := int(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i], nil
+			}
+			return h.max, nil
+		}
+	}
+	return h.max, nil
+}
+
+// Merge folds another histogram with identical bounds into this one.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(o.bounds) != len(h.bounds) {
+		return fmt.Errorf("stats: merging %d-bucket histogram into %d buckets",
+			len(o.bounds), len(h.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("stats: bound mismatch at %d: %v vs %v", i, o.bounds[i], b)
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.min = math.Min(h.min, o.min)
+	h.max = math.Max(h.max, o.max)
+	return nil
+}
+
+// Render draws the histogram as ASCII bars of at most width characters,
+// skipping empty leading/trailing buckets. Unit labels the bounds.
+func (h *Histogram) Render(width int, unit string) string {
+	if h.n == 0 {
+		return "  (no observations)"
+	}
+	if width < 1 {
+		width = 40
+	}
+	first, last, peak := len(h.counts), -1, 0
+	for i, c := range h.counts {
+		if c > 0 {
+			if i < first {
+				first = i
+			}
+			last = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	var sb strings.Builder
+	for i := first; i <= last; i++ {
+		label := fmt.Sprintf(">%g%s", h.bounds[len(h.bounds)-1], unit)
+		if i < len(h.bounds) {
+			label = fmt.Sprintf("≤%g%s", h.bounds[i], unit)
+		}
+		bar := strings.Repeat("█", (h.counts[i]*width+peak-1)/peak)
+		if h.counts[i] == 0 {
+			bar = ""
+		}
+		fmt.Fprintf(&sb, "  %10s %6d %s\n", label, h.counts[i], bar)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

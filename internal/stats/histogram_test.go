@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Fatal("empty bounds must error")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("non-increasing bounds must error")
+	}
+	if _, err := NewHistogram([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN bound must error")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1} { // both land in ≤1
+		h.Add(x)
+	}
+	h.Add(5)    // ≤10
+	h.Add(50)   // ≤100
+	h.Add(5000) // overflow
+	h.Add(math.NaN())
+	if h.N() != 5 {
+		t.Fatalf("N = %d, want 5 (NaN dropped)", h.N())
+	}
+	want := []int{2, 1, 1, 1}
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d: count %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Min() != 0.5 || h.Max() != 5000 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	wantMean := (0.5 + 1 + 5 + 50 + 5000) / 5
+	if math.Abs(h.Mean()-wantMean) > 1e-12 {
+		t.Fatalf("mean %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewLatencyHistogram()
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Fatal("quantile of empty histogram must error")
+	}
+	for i := 0; i < 90; i++ {
+		h.Add(3) // ≤5 bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(150) // ≤200 bucket
+	}
+	if _, err := h.Quantile(1.5); err == nil {
+		t.Fatal("quantile > 1 must error")
+	}
+	p50, err := h.Quantile(0.5)
+	if err != nil || p50 != 5 {
+		t.Fatalf("p50 = %v (err %v), want bucket bound 5", p50, err)
+	}
+	p99, err := h.Quantile(0.99)
+	if err != nil || p99 != 200 {
+		t.Fatalf("p99 = %v (err %v), want bucket bound 200", p99, err)
+	}
+	h.Add(99999) // overflow: quantile falls back to the exact max
+	p100, err := h.Quantile(1)
+	if err != nil || p100 != 99999 {
+		t.Fatalf("p100 = %v (err %v), want exact max", p100, err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	a.Add(1)
+	b.Add(100)
+	b.Add(3000)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 3 || a.Min() != 1 || a.Max() != 3000 {
+		t.Fatalf("merged N/min/max = %d/%v/%v", a.N(), a.Min(), a.Max())
+	}
+	other, err := NewHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merging mismatched bounds must error")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewLatencyHistogram()
+	if got := h.Render(40, "ms"); !strings.Contains(got, "no observations") {
+		t.Fatalf("empty render = %q", got)
+	}
+	for i := 0; i < 8; i++ {
+		h.Add(4)
+	}
+	h.Add(40)
+	h.Add(9000) // overflow bucket
+	got := h.Render(20, "ms")
+	if !strings.Contains(got, "≤5ms") || !strings.Contains(got, ">5000ms") {
+		t.Fatalf("render missing labels:\n%s", got)
+	}
+	if !strings.Contains(got, "█") {
+		t.Fatalf("render has no bars:\n%s", got)
+	}
+	lines := strings.Split(got, "\n")
+	// Buckets between ≤50 and the overflow are empty but inside the
+	// rendered range, so they appear with zero counts.
+	if len(lines) < 3 {
+		t.Fatalf("render too short:\n%s", got)
+	}
+}

@@ -20,8 +20,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,9 +101,12 @@ type Participation struct {
 }
 
 // RawUpload is an undecoded binary sensed-data message, exactly as
-// received.
+// received. AppID is the routing hint the Message Handler knows at ingest
+// time; it picks the upload bucket so concurrent uploads for different
+// applications do not contend on one lock.
 type RawUpload struct {
 	Seq      int64     `json:"seq"`
+	AppID    string    `json:"app_id"`
 	Received time.Time `json:"received"`
 	Body     []byte    `json:"body"`
 }
@@ -124,16 +129,75 @@ type ScheduleRow struct {
 	AtUnix []int64 `json:"at_unix"`
 }
 
+// numShards is the bucket count for the sharded hot tables (uploads and
+// schedules). A modest power of two: enough that concurrent apps rarely
+// collide, small enough that draining every bucket stays cheap.
+const numShards = 32
+
+// shardIndex hashes a key onto a bucket (FNV-1a, stable across runs).
+func shardIndex(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % numShards)
+}
+
+// uploadChunkSize is the fixed capacity of one pending-upload chunk.
+const uploadChunkSize = 512
+
+// uploadShard is one bucket of the pending-upload table. Uploads for one
+// application always land in the same bucket, so the per-bucket lock
+// serializes only same-app writers. Pending rows are kept in fixed-size
+// chunks instead of one growing slice: between drains a burst can pile up
+// hundreds of thousands of rows, and chunking writes each row exactly once
+// instead of re-copying the whole backlog on every slice growth.
+type uploadShard struct {
+	mu     sync.Mutex
+	chunks [][]RawUpload // all full except possibly the last
+	count  int
+}
+
+// put appends one row, opening a new chunk when the tail is full. Caller
+// holds sh.mu.
+func (sh *uploadShard) put(row RawUpload) {
+	if n := len(sh.chunks); n == 0 || len(sh.chunks[n-1]) == uploadChunkSize {
+		sh.chunks = append(sh.chunks, make([]RawUpload, 0, uploadChunkSize))
+	}
+	tail := len(sh.chunks) - 1
+	sh.chunks[tail] = append(sh.chunks[tail], row)
+	sh.count++
+}
+
+// take removes and returns all pending rows. Caller holds sh.mu.
+func (sh *uploadShard) take() [][]RawUpload {
+	chunks := sh.chunks
+	sh.chunks = nil
+	sh.count = 0
+	return chunks
+}
+
+// schedShard is one bucket of the schedules table, keyed by task ID.
+type schedShard struct {
+	mu   sync.RWMutex
+	rows map[string]ScheduleRow
+}
+
 // Store is the whole database. The zero value is not usable; call New.
+//
+// The cold tables (users, apps, participations, features) share one
+// RWMutex; the hot tables written on every report upload (raw uploads,
+// schedules) are sharded into per-app / per-task buckets so concurrent
+// ingest for different applications proceeds in parallel (see DESIGN.md,
+// "Concurrency model").
 type Store struct {
 	mu             sync.RWMutex
 	users          map[string]User
 	apps           map[string]Application
 	participations map[string]Participation
-	uploads        []RawUpload
-	uploadSeq      int64
 	features       map[featureKey]FeatureRow
-	schedules      map[string]ScheduleRow
+
+	uploadSeq    atomic.Int64
+	uploadShards [numShards]uploadShard
+	schedShards  [numShards]schedShard
 }
 
 type featureKey struct {
@@ -142,13 +206,16 @@ type featureKey struct {
 
 // New creates an empty store.
 func New() *Store {
-	return &Store{
+	s := &Store{
 		users:          make(map[string]User),
 		apps:           make(map[string]Application),
 		participations: make(map[string]Participation),
 		features:       make(map[featureKey]FeatureRow),
-		schedules:      make(map[string]ScheduleRow),
 	}
+	for i := range s.schedShards {
+		s.schedShards[i].rows = make(map[string]ScheduleRow)
+	}
+	return s
 }
 
 // ---- Users ----
@@ -324,32 +391,72 @@ func (s *Store) ActiveParticipationByUser(appID, userID string) (Participation, 
 
 // ---- Raw uploads ----
 
-// AppendUpload lands a raw binary blob and returns its sequence number.
-func (s *Store) AppendUpload(body []byte, received time.Time) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.uploadSeq++
+// AppendUpload lands a raw binary blob in the appID's bucket and returns
+// its sequence number. Sequence numbers are globally unique and monotonic;
+// ordering across buckets is reconstructed at drain time.
+func (s *Store) AppendUpload(appID string, body []byte, received time.Time) int64 {
+	seq := s.uploadSeq.Add(1)
 	cp := make([]byte, len(body))
 	copy(cp, body)
-	s.uploads = append(s.uploads, RawUpload{Seq: s.uploadSeq, Received: received, Body: cp})
-	return s.uploadSeq
+	sh := &s.uploadShards[shardIndex(appID)]
+	sh.mu.Lock()
+	sh.put(RawUpload{Seq: seq, AppID: appID, Received: received, Body: cp})
+	sh.mu.Unlock()
+	return seq
 }
 
-// DrainUploads removes and returns all pending uploads (oldest first) —
-// the Data Processor's periodic poll.
+// AppendUploads lands a burst of blobs for one application under a single
+// bucket-lock acquisition (the batched ingest path). It takes ownership of
+// the body slices — callers must not reuse them afterwards; the server's
+// batch handler encodes each accepted report into a fresh buffer and hands
+// it straight over, so the burst path pays no copy per report. It returns
+// the sequence number of the last blob appended, or 0 for an empty burst.
+func (s *Store) AppendUploads(appID string, bodies [][]byte, received time.Time) int64 {
+	if len(bodies) == 0 {
+		return 0
+	}
+	base := s.uploadSeq.Add(int64(len(bodies))) - int64(len(bodies))
+	sh := &s.uploadShards[shardIndex(appID)]
+	sh.mu.Lock()
+	for i, body := range bodies {
+		sh.put(RawUpload{Seq: base + int64(i) + 1, AppID: appID, Received: received, Body: body})
+	}
+	sh.mu.Unlock()
+	return base + int64(len(bodies))
+}
+
+// DrainUploads removes and returns all pending uploads (oldest first,
+// across every bucket) — the Data Processor's periodic poll.
 func (s *Store) DrainUploads() []RawUpload {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.uploads
-	s.uploads = nil
+	var chunks [][]RawUpload
+	total := 0
+	for i := range s.uploadShards {
+		sh := &s.uploadShards[i]
+		sh.mu.Lock()
+		for _, c := range sh.take() {
+			chunks = append(chunks, c)
+			total += len(c)
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]RawUpload, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
 // PendingUploads reports how many blobs await processing.
 func (s *Store) PendingUploads() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.uploads)
+	n := 0
+	for i := range s.uploadShards {
+		sh := &s.uploadShards[i]
+		sh.mu.Lock()
+		n += sh.count
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ---- Feature rows ----
@@ -404,17 +511,19 @@ func (s *Store) PutSchedule(row ScheduleRow) error {
 	if row.TaskID == "" {
 		return errors.New("store: schedule needs a task id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.schedules[row.TaskID] = row
+	sh := &s.schedShards[shardIndex(row.TaskID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.rows[row.TaskID] = row
 	return nil
 }
 
 // Schedule fetches a schedule by task ID.
 func (s *Store) Schedule(taskID string) (ScheduleRow, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	row, ok := s.schedules[taskID]
+	sh := &s.schedShards[shardIndex(taskID)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	row, ok := sh.rows[taskID]
 	if !ok {
 		return ScheduleRow{}, fmt.Errorf("%w: schedule %s", ErrNotFound, taskID)
 	}
@@ -434,11 +543,31 @@ type snapshot struct {
 	Schedules      []ScheduleRow   `json:"schedules"`
 }
 
-// Snapshot serializes the store to JSON.
+// Snapshot serializes the store to JSON. Each table is internally
+// consistent; with writers racing the snapshot, the tables may be captured
+// at slightly different moments (same guarantee a per-table dump of the
+// paper's PostgreSQL instance would give).
 func (s *Store) Snapshot() ([]byte, error) {
+	snap := snapshot{UploadSeq: s.uploadSeq.Load()}
+	for i := range s.uploadShards {
+		sh := &s.uploadShards[i]
+		sh.mu.Lock()
+		for _, c := range sh.chunks {
+			snap.Uploads = append(snap.Uploads, c...)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.Uploads, func(i, j int) bool { return snap.Uploads[i].Seq < snap.Uploads[j].Seq })
+	for i := range s.schedShards {
+		sh := &s.schedShards[i]
+		sh.mu.RLock()
+		for _, r := range sh.rows {
+			snap.Schedules = append(snap.Schedules, r)
+		}
+		sh.mu.RUnlock()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	snap := snapshot{UploadSeq: s.uploadSeq, Uploads: s.uploads}
 	for _, u := range s.users {
 		snap.Users = append(snap.Users, u)
 	}
@@ -450,9 +579,6 @@ func (s *Store) Snapshot() ([]byte, error) {
 	}
 	for _, f := range s.features {
 		snap.Features = append(snap.Features, f)
-	}
-	for _, r := range s.schedules {
-		snap.Schedules = append(snap.Schedules, r)
 	}
 	sort.Slice(snap.Users, func(i, j int) bool { return snap.Users[i].ID < snap.Users[j].ID })
 	sort.Slice(snap.Apps, func(i, j int) bool { return snap.Apps[i].ID < snap.Apps[j].ID })
@@ -482,8 +608,10 @@ func Restore(data []byte) (*Store, error) {
 		return nil, fmt.Errorf("store: restore: %w", err)
 	}
 	s := New()
-	s.uploadSeq = snap.UploadSeq
-	s.uploads = snap.Uploads
+	s.uploadSeq.Store(snap.UploadSeq)
+	for _, up := range snap.Uploads {
+		s.uploadShards[shardIndex(up.AppID)].put(up)
+	}
 	for _, u := range snap.Users {
 		s.users[u.ID] = u
 	}
@@ -497,7 +625,7 @@ func Restore(data []byte) (*Store, error) {
 		s.features[featureKey{f.Category, f.Place, f.Feature}] = f
 	}
 	for _, r := range snap.Schedules {
-		s.schedules[r.TaskID] = r
+		s.schedShards[shardIndex(r.TaskID)].rows[r.TaskID] = r
 	}
 	return s, nil
 }

@@ -143,9 +143,9 @@ func TestTaskStatusString(t *testing.T) {
 func TestUploadsDrain(t *testing.T) {
 	s := New()
 	body := []byte{1, 2, 3}
-	seq1 := s.AppendUpload(body, now)
+	seq1 := s.AppendUpload("app-a", body, now)
 	body[0] = 99 // caller mutation must not leak in
-	seq2 := s.AppendUpload([]byte{4}, now.Add(time.Second))
+	seq2 := s.AppendUpload("app-b", []byte{4}, now.Add(time.Second))
 	if seq1 != 1 || seq2 != 2 {
 		t.Fatalf("seqs = %d, %d", seq1, seq2)
 	}
@@ -247,7 +247,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	if err := s.PutParticipation(Participation{TaskID: "t1", UserID: "u1", AppID: "a1", Status: TaskRunning, Joined: now}); err != nil {
 		t.Fatal(err)
 	}
-	s.AppendUpload([]byte{9, 9}, now)
+	s.AppendUpload("a1", []byte{9, 9}, now)
 	if err := s.UpsertFeature(FeatureRow{Category: "c", Place: "p", Feature: "f", Value: 1.5}); err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 		t.Fatalf("restored schedule: %+v, %v", r, err)
 	}
 	// New uploads continue the sequence.
-	if seq := restored.AppendUpload([]byte{1}, now); seq != 2 {
+	if seq := restored.AppendUpload("a1", []byte{1}, now); seq != 2 {
 		t.Fatalf("restored seq = %d, want 2", seq)
 	}
 }
@@ -305,7 +305,7 @@ func TestConcurrentAccess(t *testing.T) {
 				t.Error(err)
 			}
 			for j := 0; j < 100; j++ {
-				s.AppendUpload([]byte{byte(j)}, now)
+				s.AppendUpload(id, []byte{byte(j)}, now)
 				if err := s.UpsertFeature(FeatureRow{
 					Category: "c", Place: id, Feature: "f", Value: float64(j),
 				}); err != nil {

@@ -151,6 +151,35 @@ func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error)
 	return nil, fmt.Errorf("transport: giving up after %d attempts: %w", c.retries+1, lastErr)
 }
 
+// SendBatch coalesces up to wire.MaxBatchReports reports into one
+// DataUploadBatch message — the burst-ingest path load generators and
+// store-and-forward phones use. It returns the server's batch Ack.
+func (c *Client) SendBatch(ctx context.Context, uploads []*wire.DataUpload) (*wire.Ack, error) {
+	if len(uploads) == 0 {
+		return nil, errors.New("transport: empty upload batch")
+	}
+	if len(uploads) > wire.MaxBatchReports {
+		return nil, fmt.Errorf("transport: batch of %d exceeds %d reports",
+			len(uploads), wire.MaxBatchReports)
+	}
+	batch := &wire.DataUploadBatch{Uploads: make([]wire.DataUpload, len(uploads))}
+	for i, up := range uploads {
+		if up == nil {
+			return nil, fmt.Errorf("transport: nil upload at %d", i)
+		}
+		batch.Uploads[i] = *up
+	}
+	resp, err := c.Send(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	ack, ok := resp.(*wire.Ack)
+	if !ok {
+		return nil, fmt.Errorf("transport: batch response was %s, want ack", resp.Type())
+	}
+	return ack, nil
+}
+
 func (c *Client) post(ctx context.Context, body []byte) (wire.Message, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, bytes.NewReader(body))
 	if err != nil {

@@ -247,3 +247,42 @@ func TestPushSubscribeNotify(t *testing.T) {
 		t.Fatal("unknown token must error")
 	}
 }
+
+func TestSendBatch(t *testing.T) {
+	var got atomic.Int64
+	h := func(_ context.Context, m wire.Message) (wire.Message, error) {
+		batch, ok := m.(*wire.DataUploadBatch)
+		if !ok {
+			return nil, errors.New("want a batch")
+		}
+		got.Store(int64(len(batch.Uploads)))
+		return &wire.Ack{OK: true, Code: 200, Message: "stored"}, nil
+	}
+	_, c := newServerAndClient(t, h)
+	uploads := []*wire.DataUpload{
+		{TaskID: "t1", AppID: "a", UserID: "u1"},
+		{TaskID: "t2", AppID: "a", UserID: "u2"},
+		{TaskID: "t3", AppID: "b", UserID: "u3"},
+	}
+	ack, err := c.SendBatch(context.Background(), uploads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.OK || got.Load() != 3 {
+		t.Fatalf("ack=%+v, server saw %d uploads", ack, got.Load())
+	}
+}
+
+func TestSendBatchRejectsEmptyAndOversized(t *testing.T) {
+	_, c := newServerAndClient(t, echoHandler)
+	if _, err := c.SendBatch(context.Background(), nil); err == nil {
+		t.Fatal("empty batch must error")
+	}
+	big := make([]*wire.DataUpload, wire.MaxBatchReports+1)
+	for i := range big {
+		big[i] = &wire.DataUpload{TaskID: "t", AppID: "a", UserID: "u"}
+	}
+	if _, err := c.SendBatch(context.Background(), big); err == nil {
+		t.Fatal("oversized batch must error")
+	}
+}

@@ -1,0 +1,97 @@
+package wire
+
+// FuzzDecode throws arbitrary bytes at the frame decoder. The decoder
+// faces the open network (phones upload over plain HTTP), so it must
+// never panic, never allocate proportionally to a hostile length prefix,
+// and round-trip every frame it does accept.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns one well-formed instance of every message type, so the
+// fuzzer starts from frames that reach deep into each decodePayload.
+func fuzzSeeds() []Message {
+	return []Message{
+		&Participate{
+			UserID: "alice", Token: "tok-1", AppID: "app-sb",
+			Loc:    Location{Lat: 43.0413, Lon: -76.1350, Alt: 120},
+			Budget: 17, LeaveAfterSec: 3600,
+		},
+		&Schedule{
+			TaskID: "task-1", AppID: "app-sb", UserID: "alice",
+			Script: "return 1", AtUnix: []int64{1384513200, 1384513800},
+		},
+		&DataUpload{
+			TaskID: "task-1", AppID: "app-sb", UserID: "alice",
+			Series: []SensorSeries{
+				{Sensor: "temperature", Samples: []SensorSample{
+					{AtUnixMilli: 1384513200000, WindowMilli: 5000, Readings: []float64{70.5, 71}},
+				}},
+			},
+			Track: []GeoPoint{{AtUnixMilli: 1384513200000, Lat: 43.04, Lon: -76.13, Alt: 120}},
+		},
+		&DataUploadBatch{Uploads: []DataUpload{
+			{TaskID: "task-1", AppID: "app-sb", UserID: "alice"},
+			{TaskID: "task-2", AppID: "app-th", UserID: "bob",
+				Series: []SensorSeries{{Sensor: "wifi", Samples: []SensorSample{
+					{AtUnixMilli: 1384513260000, WindowMilli: 1000, Readings: []float64{-52}},
+				}}}},
+		}},
+		&Ack{OK: true, Code: 200, Message: "stored", Payload: []byte{1, 2, 3}},
+		&Leave{UserID: "alice", AppID: "app-sb"},
+		&Ping{Token: "tok-1"},
+		&RankRequest{UserID: "alice", Category: "coffee-shop",
+			Prefs: []PrefEntry{{Feature: "noise", Kind: 2, Weight: 2}}},
+		&RankResponse{Category: "coffee-shop",
+			Features: []string{"temperature", "noise"},
+			Ranked: []RankedPlace{
+				{Place: "Starbucks", FeatureValues: []float64{72.5, 0.2}},
+			}},
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, m := range fuzzSeeds() {
+		frame, err := Encode(m)
+		if err != nil {
+			f.Fatalf("seeding %s: %v", m.Type(), err)
+		}
+		f.Add(frame)
+		// Mutated variants: flipped type byte and truncated tail give the
+		// fuzzer a head start on the framing checks.
+		if len(frame) > 8 {
+			bad := append([]byte(nil), frame...)
+			bad[4] ^= 0xff
+			f.Add(bad)
+			f.Add(frame[:len(frame)-3])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("Decode returned both a message and error %v", err)
+			}
+			return
+		}
+		// Anything accepted must re-encode, and the re-encoded frame must
+		// decode to an identical frame again (full round-trip fixpoint).
+		out, err := Encode(m)
+		if err != nil {
+			t.Fatalf("re-encoding accepted %s: %v", m.Type(), err)
+		}
+		m2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decoding %s: %v", m.Type(), err)
+		}
+		out2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second re-encode of %s: %v", m.Type(), err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("%s is not a round-trip fixpoint:\n first %x\nsecond %x", m.Type(), out, out2)
+		}
+	})
+}

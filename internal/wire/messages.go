@@ -266,6 +266,49 @@ func (m *DataUpload) decodePayload(r *Reader) error {
 	return nil
 }
 
+// MaxBatchReports bounds how many reports one DataUploadBatch may carry
+// (both a codec sanity limit against hostile bodies and the contract the
+// server's batched ingest path relies on).
+const MaxBatchReports = 4096
+
+// DataUploadBatch coalesces several reports into one message so bursty
+// phones (and load generators) amortize the per-message transport and
+// dispatch cost. Reports may target different tasks and applications; the
+// server acknowledges the batch as a whole, reporting how many reports
+// were accepted.
+type DataUploadBatch struct {
+	Uploads []DataUpload
+}
+
+var _ Message = (*DataUploadBatch)(nil)
+
+// Type implements Message.
+func (*DataUploadBatch) Type() MsgType { return TypeDataUploadBatch }
+
+func (m *DataUploadBatch) encodePayload(w *Writer) {
+	w.PutUvarint(uint64(len(m.Uploads)))
+	for i := range m.Uploads {
+		m.Uploads[i].encodePayload(w)
+	}
+}
+
+func (m *DataUploadBatch) decodePayload(r *Reader) error {
+	n, err := r.sliceLen()
+	if err != nil {
+		return err
+	}
+	if n > MaxBatchReports {
+		return fmt.Errorf("%w: batch of %d reports", ErrBadPayload, n)
+	}
+	m.Uploads = make([]DataUpload, n)
+	for i := range m.Uploads {
+		if err := m.Uploads[i].decodePayload(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Ack is the generic server response.
 type Ack struct {
 	OK      bool

@@ -34,6 +34,7 @@ const (
 	TypePing
 	TypeRankRequest
 	TypeRankResponse
+	TypeDataUploadBatch
 )
 
 // String names the message type.
@@ -55,6 +56,8 @@ func (t MsgType) String() string {
 		return "rank-request"
 	case TypeRankResponse:
 		return "rank-response"
+	case TypeDataUploadBatch:
+		return "data-upload-batch"
 	default:
 		return fmt.Sprintf("unknown(%d)", byte(t))
 	}
@@ -240,6 +243,9 @@ func Encode(m Message) ([]byte, error) {
 		return nil, errors.New("wire: nil message")
 	}
 	var w Writer
+	// Typical messages are well under 256 bytes; pre-sizing keeps the hot
+	// ingest path from growing the buffer several times per report.
+	w.buf = make([]byte, 0, 256)
 	w.buf = append(w.buf, magic...)
 	w.buf = append(w.buf, byte(m.Type()))
 	m.encodePayload(&w)
@@ -296,6 +302,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &RankRequest{}, nil
 	case TypeRankResponse:
 		return &RankResponse{}, nil
+	case TypeDataUploadBatch:
+		return &DataUploadBatch{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", byte(t))
 	}

@@ -276,7 +276,8 @@ func TestEncodeNil(t *testing.T) {
 func TestMsgTypeStrings(t *testing.T) {
 	types := []MsgType{
 		TypeParticipate, TypeSchedule, TypeDataUpload, TypeAck,
-		TypeLeave, TypePing, TypeRankRequest, TypeRankResponse, MsgType(99),
+		TypeLeave, TypePing, TypeRankRequest, TypeRankResponse,
+		TypeDataUploadBatch, MsgType(99),
 	}
 	seen := make(map[string]bool)
 	for _, ty := range types {
@@ -478,6 +479,12 @@ func TestAllMessageTypesRoundTripProperty(t *testing.T) {
 				Ranked: []RankedPlace{{Place: randString(rng),
 					FeatureValues: []float64{rng.NormFloat64()}}},
 			},
+			&DataUploadBatch{Uploads: []DataUpload{
+				{TaskID: randString(rng), AppID: randString(rng), UserID: randString(rng)},
+				{TaskID: randString(rng), AppID: randString(rng), UserID: randString(rng),
+					Track: []GeoPoint{{AtUnixMilli: rng.Int63n(1 << 41),
+						Lat: rng.Float64(), Lon: rng.Float64(), Alt: rng.Float64()}}},
+			}},
 		}
 		for _, m := range msgs {
 			b, err := Encode(m)
@@ -501,5 +508,48 @@ func TestAllMessageTypesRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDataUploadBatchRoundTrip(t *testing.T) {
+	m := &DataUploadBatch{Uploads: []DataUpload{
+		{
+			TaskID: "task-1", AppID: "app-1", UserID: "alice",
+			Series: []SensorSeries{{Sensor: "temperature", Samples: []SensorSample{
+				{AtUnixMilli: 1000, WindowMilli: 5000, Readings: []float64{70.5, 71.5}},
+			}}},
+		},
+		{
+			TaskID: "task-2", AppID: "app-2", UserID: "bob",
+			Track: []GeoPoint{{AtUnixMilli: 2000, Lat: 43.0, Lon: -76.1, Alt: 120}},
+		},
+		{TaskID: "task-3", AppID: "app-1", UserID: "chris"},
+	}}
+	got := roundTrip(t, m).(*DataUploadBatch)
+	if len(got.Uploads) != 3 {
+		t.Fatalf("got %d uploads", len(got.Uploads))
+	}
+	if got.Uploads[0].Series[0].Samples[0].Readings[1] != 71.5 {
+		t.Fatalf("sample readings corrupted: %+v", got.Uploads[0])
+	}
+	if got.Uploads[1].Track[0].Lon != -76.1 {
+		t.Fatalf("track corrupted: %+v", got.Uploads[1])
+	}
+	if got.Uploads[2].TaskID != "task-3" || len(got.Uploads[2].Series) != 0 {
+		t.Fatalf("empty upload corrupted: %+v", got.Uploads[2])
+	}
+}
+
+func TestDataUploadBatchRejectsOversizedCount(t *testing.T) {
+	// Hand-build a payload declaring more reports than MaxBatchReports:
+	// the decoder must refuse before allocating.
+	var w Writer
+	w.PutUvarint(MaxBatchReports + 1)
+	for i := 0; i < 8; i++ {
+		w.buf = append(w.buf, 0) // a few empty-string bytes as filler
+	}
+	var m DataUploadBatch
+	if err := m.decodePayload(NewReader(w.Bytes())); err == nil {
+		t.Fatal("oversized batch count must be rejected")
 	}
 }
