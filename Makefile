@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench fuzz-smoke ci experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke ci experiments fieldtest sim clean
 
 all: build test
 
@@ -24,6 +24,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# One iteration of every benchmark — catches bit-rot without the cost of
+# a real measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
 # 10-second fuzz smoke over the wire decoder (the open-network surface).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
@@ -31,6 +36,7 @@ fuzz-smoke:
 # Everything CI runs (.github/workflows/ci.yml mirrors this).
 ci: vet build test
 	$(GO) test -race -short ./...
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
 
 # Regenerate every paper table and figure.

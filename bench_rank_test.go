@@ -1,0 +1,303 @@
+// Rank-serving benchmarks: ns per rank query under concurrent query load
+// with live batched ingest. These back the epoch-snapshot read path (see
+// DESIGN.md "Read path & caching"): BenchmarkRankThroughput is the number
+// quoted in CHANGES.md and BENCH_rank.json — "legacy" reproduces the
+// pre-snapshot per-query pipeline (process, per-cell matrix assembly,
+// column sorts, a fresh flow graph per solve, row copies), "snapshot" goes
+// through the server's serving layer.
+//
+//	go test -bench=RankThroughput -benchtime=2s .
+package sor_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sor/internal/ranking"
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/wire"
+)
+
+const (
+	rankBenchCategory = "rankbench"
+	rankBenchPlaces   = 200
+	rankQueryWorkers  = 8
+	// rankBenchRefresh is the staleness bound the snapshot variant serves
+	// under; live ingest then costs at most one rebuild per bound instead
+	// of one processor run per query. Each epoch advance also re-solves
+	// every cached profile on first touch (an n=200 matching is tens of
+	// ms), so the bound must be wide enough to amortize those misses —
+	// 1 s of staleness for a crowdsensed ranking is far fresher than the
+	// minutes-scale sensing cadence that feeds it.
+	rankBenchRefresh = time.Second
+	// rankBenchProfiles is how many distinct preference profiles the query
+	// mix rotates through (each is one result-cache slot per epoch).
+	rankBenchProfiles = 16
+)
+
+// rankBenchEnv is an in-process server with a fully sensed ≥200-place
+// category and 8 joined uploaders for live ingest. It runs on the real
+// clock so the staleness bound behaves as in production.
+type rankBenchEnv struct {
+	*benchEnv
+}
+
+func newRankBenchEnv(b *testing.B, refresh time.Duration) *rankBenchEnv {
+	b.Helper()
+	catalog := map[string][]ranking.Feature{
+		rankBenchCategory: {
+			{Name: "temperature", Unit: "°F",
+				Default: ranking.Preference{Kind: ranking.PrefValue, Value: 73, Weight: 3}},
+			{Name: "brightness", Unit: "lux",
+				Default: ranking.Preference{Kind: ranking.PrefMax, Weight: 2}},
+			{Name: "noise", Unit: "",
+				Default: ranking.Preference{Kind: ranking.PrefMin, Weight: 4}},
+			{Name: "wifi", Unit: "dBm",
+				Default: ranking.Preference{Kind: ranking.PrefMax, Weight: 1}},
+		},
+	}
+	db := store.New()
+	srv, err := server.New(server.Config{
+		DB:          db,
+		Catalog:     catalog,
+		RankRefresh: refresh,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &rankBenchEnv{benchEnv: &benchEnv{srv: srv, start: time.Now().UTC()}}
+	h := srv.Handler()
+	env.handle = func(m wire.Message) (wire.Message, error) { return h(nil, m) }
+	for p := 0; p < rankBenchPlaces; p++ {
+		appID := fmt.Sprintf("rank-app-%d", p)
+		place := fmt.Sprintf("rank-place-%03d", p)
+		if err := srv.CreateApp(store.Application{
+			ID: appID, Creator: "bench", Category: rankBenchCategory,
+			Place: place, Lat: 43.0 + float64(p)*0.01, Lon: -76.0,
+			RadiusM: 500, Script: "return 1", PeriodSec: benchPeriodSec,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		env.appIDs = append(env.appIDs, appID)
+		// Seed every feature directly so the whole category is rankable
+		// without simulating 200 participants.
+		for j, f := range catalog[rankBenchCategory] {
+			if err := db.UpsertFeature(store.FeatureRow{
+				Category: rankBenchCategory, Place: place, Feature: f.Name,
+				Value:   float64((p*7+j*13)%97) + float64(p%5)/10,
+				Samples: 3, Updated: env.start,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Join one uploader per ingest worker (first 8 apps) for live ingest.
+	for u := 0; u < ingestWorkers; u++ {
+		userID := fmt.Sprintf("rank-user-%d", u)
+		resp, err := env.handle(&wire.Participate{
+			UserID: userID, Token: "rank-token-" + userID,
+			AppID:  env.appIDs[u],
+			Loc:    wire.Location{Lat: 43.0 + float64(u)*0.01, Lon: -76.0},
+			Budget: 1 << 19,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ack, ok := resp.(*wire.Ack)
+		if !ok || !ack.OK {
+			b.Fatalf("participate %s refused: %+v", userID, resp)
+		}
+		inner, err := wire.Decode(ack.Payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.userIDs = append(env.userIDs, userID)
+		env.taskIDs = append(env.taskIDs, inner.(*wire.Schedule).TaskID)
+	}
+	return env
+}
+
+// rankReport carries all four category sensors so processed ingest keeps
+// every place fully sensed.
+func (e *rankBenchEnv) rankReport(u int, seq int64) *wire.DataUpload {
+	at := e.start.Add(time.Duration(seq%1000) * 10 * time.Second).UnixMilli()
+	series := make([]wire.SensorSeries, 0, 4)
+	for _, sensor := range []string{"temperature", "light", "microphone", "wifi"} {
+		series = append(series, wire.SensorSeries{
+			Sensor: sensor,
+			Samples: []wire.SensorSample{
+				{AtUnixMilli: at, WindowMilli: 5000, Readings: []float64{70.1, 70.3, 70.2}},
+			},
+		})
+	}
+	return &wire.DataUpload{
+		TaskID: e.taskIDs[u], AppID: e.appIDs[u], UserID: e.userIDs[u],
+		Series: series,
+	}
+}
+
+// startLiveIngest launches paced batched uploaders (one batch per 5 ms per
+// worker) and returns a stop function that joins them.
+func (e *rankBenchEnv) startLiveIngest(b *testing.B) func() {
+	b.Helper()
+	stop := make(chan struct{})
+	done := make(chan struct{}, ingestWorkers)
+	for w := 0; w < ingestWorkers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			var seq int64
+			ticker := time.NewTicker(5 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				batch := &wire.DataUploadBatch{Uploads: make([]wire.DataUpload, benchBatchSize)}
+				for i := range batch.Uploads {
+					batch.Uploads[i] = *e.rankReport(w, seq)
+					seq++
+				}
+				if _, err := e.handle(batch); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	return func() {
+		close(stop)
+		for w := 0; w < ingestWorkers; w++ {
+			<-done
+		}
+	}
+}
+
+// rankBenchPrefs builds the (i mod rankBenchProfiles)-th profile of the
+// query mix: a rotating temperature preference plus rotating weights, so
+// the mix exercises several cache slots instead of one.
+func rankBenchPrefs(i int) []wire.PrefEntry {
+	i %= rankBenchProfiles
+	return []wire.PrefEntry{
+		{Feature: "temperature", Kind: int(ranking.PrefValue),
+			Value: 60 + float64(i), Weight: 1 + i%5},
+		{Feature: "noise", Kind: int(ranking.PrefMin), Weight: 1 + (i/4)%5},
+	}
+}
+
+// legacyRank reproduces the pre-snapshot handleRankRequest at the library
+// level: fold pending uploads, assemble the matrix cell by cell from the
+// store, construct a ranker, solve, and copy out the rows.
+func legacyRank(env *rankBenchEnv, prefs []wire.PrefEntry) (*wire.RankResponse, error) {
+	env.srv.Processor().Process()
+	matrix, err := env.srv.FeatureMatrix(rankBenchCategory)
+	if err != nil {
+		return nil, err
+	}
+	ranker, err := ranking.NewRanker(matrix)
+	if err != nil {
+		return nil, err
+	}
+	prof := ranking.Profile{Name: "bench", Prefs: make(map[string]ranking.Preference, len(prefs))}
+	for _, p := range prefs {
+		prof.Prefs[p.Feature] = ranking.Preference{
+			Kind: ranking.PrefKind(p.Kind), Value: p.Value, Weight: p.Weight,
+		}
+	}
+	res, err := ranker.Rank(prof)
+	if err != nil {
+		return nil, err
+	}
+	resp := &wire.RankResponse{Category: rankBenchCategory}
+	for _, f := range matrix.Features {
+		resp.Features = append(resp.Features, f.Name)
+	}
+	for _, idx := range res.OrderIdx {
+		resp.Ranked = append(resp.Ranked, wire.RankedPlace{
+			Place:         matrix.Places[idx],
+			FeatureValues: append([]float64(nil), matrix.Values[idx]...),
+		})
+	}
+	return resp, nil
+}
+
+// BenchmarkRankThroughput measures ns per rank query with 8 parallel query
+// goroutines over a 200-place category while batched ingest runs live.
+// "legacy" is the pre-snapshot pipeline; "snapshot" serves from the
+// epoch-versioned snapshot and profile cache. b.N counts queries in both,
+// so ns/op is directly comparable (the ≥3× acceptance bar in ISSUE 2).
+func BenchmarkRankThroughput(b *testing.B) {
+	run := func(b *testing.B, query func(env *rankBenchEnv, seq int) error) {
+		env := newRankBenchEnv(b, rankBenchRefresh)
+		// Warm: settle the initial snapshot/matrix and touch every profile
+		// in the query mix once, so the timed region measures steady-state
+		// serving (epoch refreshes still happen live inside it).
+		for i := 0; i < rankBenchProfiles; i++ {
+			if err := query(env, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stopIngest := env.startLiveIngest(b)
+		b.ResetTimer()
+		var next atomic.Int64
+		errCh := make(chan error, rankQueryWorkers)
+		for w := 0; w < rankQueryWorkers; w++ {
+			go func() {
+				for {
+					seq := int(next.Add(1)) - 1
+					if seq >= b.N {
+						errCh <- nil
+						return
+					}
+					if err := query(env, seq); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		for w := 0; w < rankQueryWorkers; w++ {
+			if err := <-errCh; err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		stopIngest()
+	}
+	b.Run("legacy", func(b *testing.B) {
+		run(b, func(env *rankBenchEnv, seq int) error {
+			resp, err := legacyRank(env, rankBenchPrefs(seq))
+			if err != nil {
+				return err
+			}
+			if len(resp.Ranked) < rankBenchPlaces {
+				return fmt.Errorf("ranked %d places, want >= %d", len(resp.Ranked), rankBenchPlaces)
+			}
+			return nil
+		})
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		run(b, func(env *rankBenchEnv, seq int) error {
+			resp, err := env.handle(&wire.RankRequest{
+				UserID:   fmt.Sprintf("bench-ranker-%d", seq%rankQueryWorkers),
+				Category: rankBenchCategory,
+				Prefs:    rankBenchPrefs(seq),
+			})
+			if err != nil {
+				return err
+			}
+			ranked, ok := resp.(*wire.RankResponse)
+			if !ok {
+				return fmt.Errorf("rank refused: %+v", resp)
+			}
+			if len(ranked.Ranked) < rankBenchPlaces {
+				return fmt.Errorf("ranked %d places, want >= %d", len(ranked.Ranked), rankBenchPlaces)
+			}
+			return nil
+		})
+	})
+}

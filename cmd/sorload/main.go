@@ -8,10 +8,18 @@
 // behalf of the joined phones, and each worker prints its own latency
 // histogram — the client-side view of the server's sharded ingest path.
 //
+// With -rankers > 0 the burst phase becomes a mixed read/write phase:
+// that many additional workers issue RankRequests for the app's category
+// (rotating through distinct preference profiles) while the writers are
+// hammering ingest, reporting rank latency and the span of snapshot
+// epochs each worker observed — the client-side view of the server's
+// epoch-versioned rank-serving path.
+//
 // Usage (with sord running on :8080):
 //
 //	sorload -server http://localhost:8080 -app coffee-shop-3 -phones 25 -budget 10
 //	sorload -phones 8 -concurrency 4 -batch 32 -batches 50
+//	sorload -phones 8 -concurrency 4 -rankers 4 -ranks 200
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 
 	"sor/internal/device"
 	"sor/internal/frontend"
+	"sor/internal/ranking"
 	"sor/internal/stats"
 	"sor/internal/transport"
 	"sor/internal/wire"
@@ -48,6 +57,8 @@ func run() error {
 	concurrency := flag.Int("concurrency", 0, "burst-phase workers sending batched uploads (0 disables the phase)")
 	batchSize := flag.Int("batch", 32, "reports per coalesced upload batch in the burst phase")
 	batches := flag.Int("batches", 25, "batches each burst worker sends")
+	rankers := flag.Int("rankers", 0, "rank-query workers running alongside the burst phase (0 disables)")
+	ranks := flag.Int("ranks", 100, "rank requests each ranker worker sends")
 	flag.Parse()
 
 	w, err := world.Canonical()
@@ -141,14 +152,26 @@ func run() error {
 		printLatency("execute+upload", execLat)
 		fmt.Printf("  throughput: %.1f uploads/s\n", float64(ok)/elapsed.Seconds())
 	}
-	if *concurrency > 0 && ok > 0 {
+	if (*concurrency > 0 || *rankers > 0) && ok > 0 {
 		var targets []burstTarget
 		for _, r := range results {
 			if r.err == nil {
 				targets = append(targets, burstTarget{taskID: r.taskID, userID: r.userID})
 			}
 		}
-		if err := runBurstPhase(ctx, client, *appID, targets, *concurrency, *batchSize, *batches); err != nil {
+		// With both writers and rankers, the two phases run concurrently:
+		// the rankers read through the epoch-snapshot path while the
+		// writers churn ingest underneath it.
+		joinRankers := func() error { return nil }
+		if *rankers > 0 {
+			joinRankers = startRankPhase(ctx, client, place.Category, *rankers, *ranks, *seed)
+		}
+		if *concurrency > 0 {
+			if err := runBurstPhase(ctx, client, *appID, targets, *concurrency, *batchSize, *batches); err != nil {
+				return err
+			}
+		}
+		if err := joinRankers(); err != nil {
 			return err
 		}
 	}
@@ -242,6 +265,117 @@ func runBurstPhase(ctx context.Context, client *transport.Client, appID string,
 		workers, sent, elapsed.Round(time.Millisecond),
 		float64(sent)/elapsed.Seconds(), p50, p99)
 	return nil
+}
+
+// rankPrefs builds the i-th preference profile of the rank-phase query
+// mix: a rotating temperature target plus rotating weights, giving the
+// server's profile cache a handful of distinct slots to serve.
+func rankPrefs(i int) []wire.PrefEntry {
+	i %= 16
+	return []wire.PrefEntry{
+		{Feature: "temperature", Kind: int(ranking.PrefValue),
+			Value: 60 + float64(i), Weight: 1 + i%5},
+	}
+}
+
+// startRankPhase launches `workers` rank-query goroutines, each sending
+// `ranks` RankRequests for the category with a rotating profile mix. It
+// returns a join function that waits for them and prints per-worker and
+// merged latency plus the span of snapshot epochs observed — under
+// concurrent ingest the epochs should advance, and within one worker
+// they must never go backwards.
+func startRankPhase(ctx context.Context, client *transport.Client, category string,
+	workers, ranks int, seed int64) func() error {
+	type rankStats struct {
+		hist     *stats.Histogram
+		loEpoch  int64
+		hiEpoch  int64
+		nonMono  int
+		refusals int
+		err      error
+	}
+	res := make([]rankStats, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		res[w].hist = stats.NewLatencyHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &res[w]
+			var lastEpoch int64
+			for n := 0; n < ranks; n++ {
+				req := &wire.RankRequest{
+					Category: category,
+					UserID:   fmt.Sprintf("rank-user-%d-%d", seed, w),
+					Prefs:    rankPrefs(w*ranks + n),
+				}
+				t0 := time.Now()
+				resp, err := client.Send(ctx, req)
+				if err != nil {
+					r.err = err
+					return
+				}
+				r.hist.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+				ranked, ok := resp.(*wire.RankResponse)
+				if !ok {
+					r.refusals++
+					continue
+				}
+				if ranked.Epoch < lastEpoch {
+					r.nonMono++
+				}
+				lastEpoch = ranked.Epoch
+				if r.loEpoch == 0 || ranked.Epoch < r.loEpoch {
+					r.loEpoch = ranked.Epoch
+				}
+				if ranked.Epoch > r.hiEpoch {
+					r.hiEpoch = ranked.Epoch
+				}
+			}
+		}(w)
+	}
+	return func() error {
+		wg.Wait()
+		elapsed := time.Since(start)
+		merged := stats.NewLatencyHistogram()
+		sent, refusals := 0, 0
+		loEpoch, hiEpoch := int64(0), int64(0)
+		for w := 0; w < workers; w++ {
+			r := &res[w]
+			if r.err != nil {
+				return fmt.Errorf("rank worker %d: %w", w, r.err)
+			}
+			if r.nonMono > 0 {
+				return fmt.Errorf("rank worker %d: epoch went backwards %d times", w, r.nonMono)
+			}
+			sent += r.hist.N()
+			refusals += r.refusals
+			fmt.Printf("rank worker %d: %d ranks, mean %.1f ms, epochs %d→%d\n",
+				w, r.hist.N(), r.hist.Mean(), r.loEpoch, r.hiEpoch)
+			if err := merged.Merge(r.hist); err != nil {
+				return err
+			}
+			if loEpoch == 0 || (r.loEpoch > 0 && r.loEpoch < loEpoch) {
+				loEpoch = r.loEpoch
+			}
+			if r.hiEpoch > hiEpoch {
+				hiEpoch = r.hiEpoch
+			}
+		}
+		p50, err := merged.Quantile(0.5)
+		if err != nil {
+			return err
+		}
+		p99, err := merged.Quantile(0.99)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rank phase: %d workers, %d ranks in %v (%.0f ranks/s, %d refused), p50 ≤%g ms p99 ≤%g ms, epochs %d→%d\n",
+			workers, sent, elapsed.Round(time.Millisecond),
+			float64(sent)/elapsed.Seconds(), refusals, p50, p99, loEpoch, hiEpoch)
+		return nil
+	}
 }
 
 func printLatency(label string, ms []float64) {

@@ -11,7 +11,6 @@
 package mcmf
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -32,6 +31,24 @@ func NewGraph(n int) (*Graph, error) {
 		return nil, errors.New("mcmf: need at least one node")
 	}
 	return &Graph{n: n, heads: make([][]int, n)}, nil
+}
+
+// reset re-initializes the graph to n empty nodes, keeping every backing
+// array (including the per-node adjacency slices) for reuse. Arc append
+// order after a reset is identical to a freshly built graph, so solves on
+// a recycled graph produce byte-identical results.
+func (g *Graph) reset(n int) {
+	if cap(g.heads) < n {
+		g.heads = append(g.heads[:cap(g.heads)], make([][]int, n-cap(g.heads))...)
+	}
+	g.heads = g.heads[:n]
+	for i := range g.heads {
+		g.heads[i] = g.heads[i][:0]
+	}
+	g.n = n
+	g.to = g.to[:0]
+	g.cap = g.cap[:0]
+	g.cost = g.cost[:0]
 }
 
 // N returns the node count.
@@ -81,24 +98,83 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a binary min-heap on dist. It mirrors container/heap's sift
+// algorithms exactly (same swaps, same pop order on ties) but with a
+// concrete element type, so pushes don't box through interface{} — the
+// boxing was one allocation per relaxed edge on the hot path.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	h := *q
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *pq) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*q = h[:n]
 	return it
+}
+
+// scratch holds every per-solve buffer MinCostFlow needs. A fresh zero
+// value works; a recycled one (via Solver) avoids the allocations.
+type scratch struct {
+	origCap   []int64
+	potential []float64
+	dist      []float64
+	prevArc   []int
+	visited   []bool
+	q         pq
+	arcFlow   []int64
+}
+
+// grow resizes a slice to n elements, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // MinCostFlow pushes up to maxFlow units from s to t (use math.MaxInt64 for
 // a max-flow), minimizing total cost. The graph's capacities are consumed;
-// build a fresh graph per solve.
+// build a fresh graph per solve (or solve through a Solver, which recycles
+// both graph and scratch buffers).
 func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (*Result, error) {
+	return g.minCostFlow(&scratch{}, s, t, maxFlow)
+}
+
+// minCostFlow is MinCostFlow running over caller-supplied scratch buffers.
+// The returned Result references sc.arcFlow, so the Result must be consumed
+// before sc is reused.
+func (g *Graph) minCostFlow(sc *scratch, s, t int, maxFlow int64) (*Result, error) {
 	if s < 0 || s >= g.n || t < 0 || t >= g.n {
 		return nil, fmt.Errorf("mcmf: source/sink out of range")
 	}
@@ -109,13 +185,19 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (*Result, error) {
 		return nil, errors.New("mcmf: negative flow request")
 	}
 
-	origCap := make([]int64, len(g.cap))
+	sc.origCap = grow(sc.origCap, len(g.cap))
+	origCap := sc.origCap
 	copy(origCap, g.cap)
 
-	potential := make([]float64, g.n)
+	sc.potential = grow(sc.potential, g.n)
+	potential := sc.potential
+	for i := range potential {
+		potential[i] = 0
+	}
+	sc.dist = grow(sc.dist, g.n)
 	// Bellman–Ford to initialize potentials (handles negative costs).
 	if g.hasNegativeCost() {
-		dist := make([]float64, g.n)
+		dist := sc.dist
 		for i := range dist {
 			dist[i] = math.Inf(1)
 		}
@@ -152,9 +234,11 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (*Result, error) {
 	}
 
 	res := &Result{}
-	dist := make([]float64, g.n)
-	prevArc := make([]int, g.n)
-	visited := make([]bool, g.n)
+	dist := sc.dist
+	sc.prevArc = grow(sc.prevArc, g.n)
+	prevArc := sc.prevArc
+	sc.visited = grow(sc.visited, g.n)
+	visited := sc.visited
 
 	for res.Total < maxFlow {
 		// Dijkstra on reduced costs.
@@ -164,9 +248,10 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (*Result, error) {
 			prevArc[i] = -1
 		}
 		dist[s] = 0
-		q := pq{{node: s}}
-		for len(q) > 0 {
-			it := heap.Pop(&q).(pqItem)
+		sc.q = append(sc.q[:0], pqItem{node: s})
+		q := &sc.q
+		for len(*q) > 0 {
+			it := q.pop()
 			u := it.node
 			if visited[u] {
 				continue
@@ -184,7 +269,7 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (*Result, error) {
 				if nd := dist[u] + rc; nd < dist[v]-1e-15 {
 					dist[v] = nd
 					prevArc[v] = id
-					heap.Push(&q, pqItem{node: v, dist: nd})
+					q.push(pqItem{node: v, dist: nd})
 				}
 			}
 		}
@@ -215,9 +300,11 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow int64) (*Result, error) {
 		res.Total += push
 	}
 
-	res.arcFlow = make([]int64, len(g.cap))
+	sc.arcFlow = grow(sc.arcFlow, len(g.cap))
+	res.arcFlow = sc.arcFlow
 	for id := 0; id < len(g.cap); id += 2 {
 		res.arcFlow[id] = origCap[id] - g.cap[id]
+		res.arcFlow[id^1] = 0
 	}
 	return res, nil
 }
@@ -234,69 +321,10 @@ func (g *Graph) hasNegativeCost() bool {
 // Assign solves the n×n assignment problem: cost[i][j] is the cost of
 // assigning item i to slot j; the result perm satisfies perm[i] = j with
 // every slot used exactly once and total cost minimized. It reduces to
-// min-cost flow on the §IV-B auxiliary graph.
+// min-cost flow on the §IV-B auxiliary graph. Solves run on a pooled
+// Solver, so steady-state callers pay no graph allocation.
 func Assign(cost [][]float64) (perm []int, total float64, err error) {
-	n := len(cost)
-	if n == 0 {
-		return nil, 0, errors.New("mcmf: empty cost matrix")
-	}
-	for i, row := range cost {
-		if len(row) != n {
-			return nil, 0, fmt.Errorf("mcmf: cost matrix row %d has %d entries, want %d", i, len(row), n)
-		}
-		for j, c := range row {
-			if math.IsNaN(c) || math.IsInf(c, 0) {
-				return nil, 0, fmt.Errorf("mcmf: invalid cost[%d][%d] = %v", i, j, c)
-			}
-		}
-	}
-	// Nodes: 0 = source, 1..n = items, n+1..2n = slots, 2n+1 = sink.
-	g, err := NewGraph(2*n + 2)
-	if err != nil {
-		return nil, 0, err
-	}
-	src, sink := 0, 2*n+1
-	for i := 0; i < n; i++ {
-		if _, err := g.AddEdge(src, 1+i, 1, 0); err != nil {
-			return nil, 0, err
-		}
-		if _, err := g.AddEdge(n+1+i, sink, 1, 0); err != nil {
-			return nil, 0, err
-		}
-	}
-	arcID := make([][]int, n)
-	for i := 0; i < n; i++ {
-		arcID[i] = make([]int, n)
-		for j := 0; j < n; j++ {
-			id, err := g.AddEdge(1+i, n+1+j, 1, cost[i][j])
-			if err != nil {
-				return nil, 0, err
-			}
-			arcID[i][j] = id
-		}
-	}
-	res, err := g.MinCostFlow(src, sink, int64(n))
-	if err != nil {
-		return nil, 0, err
-	}
-	if res.Total != int64(n) {
-		return nil, 0, fmt.Errorf("mcmf: assignment infeasible (flow %d < %d)", res.Total, n)
-	}
-	perm = make([]int, n)
-	for i := range perm {
-		perm[i] = -1
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if res.Flow(arcID[i][j]) > 0 {
-				perm[i] = j
-			}
-		}
-	}
-	for i, j := range perm {
-		if j < 0 {
-			return nil, 0, fmt.Errorf("mcmf: item %d unassigned", i)
-		}
-	}
-	return perm, res.Cost, nil
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
+	return s.Assign(cost)
 }

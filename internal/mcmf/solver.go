@@ -1,0 +1,94 @@
+package mcmf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Solver runs assignment solves over reusable buffers: the flow graph's
+// adjacency arrays, the Johnson potentials, the Dijkstra heap and every
+// other per-solve scratch slice survive across Assign calls, so a
+// steady-state caller (the rank-serving hot path aggregates one matching
+// per cache-miss query) allocates only the returned permutation. A Solver
+// is not safe for concurrent use; the package-level Assign hands out
+// Solvers from a sync.Pool.
+//
+// A recycled Solver rebuilds its graph in exactly the arc order a fresh
+// one would use, so results are byte-identical to solving on a new Graph.
+type Solver struct {
+	g  Graph
+	sc scratch
+}
+
+// NewSolver returns an empty Solver. The zero value is also ready to use.
+func NewSolver() *Solver { return &Solver{} }
+
+// solverPool recycles Solvers for the package-level Assign.
+var solverPool = sync.Pool{New: func() interface{} { return &Solver{} }}
+
+// Assign solves the n×n assignment problem exactly as the package-level
+// Assign does, reusing the Solver's buffers.
+func (s *Solver) Assign(cost [][]float64) (perm []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, errors.New("mcmf: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("mcmf: cost matrix row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, 0, fmt.Errorf("mcmf: invalid cost[%d][%d] = %v", i, j, c)
+			}
+		}
+	}
+	// Nodes: 0 = source, 1..n = items, n+1..2n = slots, 2n+1 = sink.
+	g := &s.g
+	g.reset(2*n + 2)
+	src, sink := 0, 2*n+1
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(src, 1+i, 1, 0); err != nil {
+			return nil, 0, err
+		}
+		if _, err := g.AddEdge(n+1+i, sink, 1, 0); err != nil {
+			return nil, 0, err
+		}
+	}
+	// The arc id of cost edge (i,j) is fixed by construction order: the 2n
+	// unit edges above consume ids 0..4n-1 (each AddEdge takes an id pair),
+	// so edge (i,j) — the (i·n+j)-th cost edge — gets id 4n + 2(i·n+j).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if _, err := g.AddEdge(1+i, n+1+j, 1, cost[i][j]); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	res, err := g.minCostFlow(&s.sc, src, sink, int64(n))
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Total != int64(n) {
+		return nil, 0, fmt.Errorf("mcmf: assignment infeasible (flow %d < %d)", res.Total, n)
+	}
+	perm = make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if res.Flow(4*n+2*(i*n+j)) > 0 {
+				perm[i] = j
+			}
+		}
+	}
+	for i, j := range perm {
+		if j < 0 {
+			return nil, 0, fmt.Errorf("mcmf: item %d unassigned", i)
+		}
+	}
+	return perm, res.Cost, nil
+}

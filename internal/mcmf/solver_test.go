@@ -1,0 +1,140 @@
+package mcmf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// legacyAssign rebuilds the §IV-B auxiliary graph from scratch per solve —
+// the pre-Solver reference the pooled path must match exactly.
+func legacyAssign(t *testing.T, cost [][]float64) ([]int, float64) {
+	t.Helper()
+	n := len(cost)
+	g, err := NewGraph(2*n + 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, sink := 0, 2*n+1
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(src, 1+i, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.AddEdge(n+1+i, sink, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arcID := make([][]int, n)
+	for i := 0; i < n; i++ {
+		arcID[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			id, err := g.AddEdge(1+i, n+1+j, 1, cost[i][j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			arcID[i][j] = id
+		}
+	}
+	res, err := g.MinCostFlow(src, sink, int64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if res.Flow(arcID[i][j]) > 0 {
+				perm[i] = j
+			}
+		}
+	}
+	return perm, res.Cost
+}
+
+// TestSolverMatchesFreshGraph reuses one Solver across many solves of
+// varying sizes and checks every solve equals the fresh-graph reference —
+// buffer recycling must never leak state between solves.
+func TestSolverMatchesFreshGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSolver()
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(12)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				// Small integer costs force plenty of ties, the regime
+				// where iteration order could diverge.
+				cost[i][j] = float64(rng.Intn(4))
+			}
+		}
+		wantPerm, wantCost := legacyAssign(t, cost)
+		gotPerm, gotCost, err := s.Assign(cost)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if gotCost != wantCost {
+			t.Fatalf("trial %d (n=%d): cost %v, want %v", trial, n, gotCost, wantCost)
+		}
+		for i := range wantPerm {
+			if gotPerm[i] != wantPerm[i] {
+				t.Fatalf("trial %d (n=%d): perm %v, want %v", trial, n, gotPerm, wantPerm)
+			}
+		}
+	}
+}
+
+// TestPooledAssignMatchesSolver checks the package-level Assign (pool path)
+// agrees with a private Solver.
+func TestPooledAssignMatchesSolver(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	s := NewSolver()
+	wantPerm, wantCost, err := s.Assign(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		perm, total, err := Assign(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != wantCost {
+			t.Fatalf("pooled cost %v, want %v", total, wantCost)
+		}
+		for i := range wantPerm {
+			if perm[i] != wantPerm[i] {
+				t.Fatalf("pooled perm %v, want %v", perm, wantPerm)
+			}
+		}
+	}
+}
+
+// TestSolverSteadyStateAllocs pins the point of the Solver: after warm-up,
+// a same-size solve allocates only the returned permutation and result
+// shell, not the graph or scratch buffers.
+func TestSolverSteadyStateAllocs(t *testing.T) {
+	n := 16
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = float64((i*7 + j*3) % 11)
+		}
+	}
+	s := NewSolver()
+	if _, _, err := s.Assign(cost); err != nil { // warm-up sizes the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := s.Assign(cost); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// perm + Result + a little heap headroom; the legacy path allocated the
+	// whole graph (~n² arcs) per solve.
+	if allocs > 8 {
+		t.Fatalf("steady-state Assign made %.0f allocations, want ≤ 8", allocs)
+	}
+}

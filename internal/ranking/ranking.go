@@ -161,17 +161,103 @@ type Result struct {
 	Weights map[string]int
 }
 
-// Ranker ranks the places of one category.
+// Ranker ranks the places of one category. Construction presorts every
+// feature column once, so each Rank call derives its per-feature
+// individual rankings with an O(n) two-pointer merge instead of an
+// O(n log n) sort. A Ranker is immutable after NewRanker and safe for
+// concurrent use; the matrix must not be mutated while the Ranker lives.
 type Ranker struct {
 	matrix *Matrix
+	// sortedIdx[j] lists place indices with column j's values ascending
+	// (ties by place index); sortedVal[j][k] = Values[sortedIdx[j][k]][j].
+	sortedIdx [][]int
+	sortedVal [][]float64
+	// colLo/colHi are each column's min/max, for MIN/MAX sentinel prefs.
+	colLo []float64
+	colHi []float64
 }
 
-// NewRanker validates H and returns a ranker over it.
+// NewRanker validates H, presorts its feature columns, and returns a
+// ranker over it.
 func NewRanker(m *Matrix) (*Ranker, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return &Ranker{matrix: m}, nil
+	n, mFeat := len(m.Places), len(m.Features)
+	r := &Ranker{
+		matrix:    m,
+		sortedIdx: make([][]int, mFeat),
+		sortedVal: make([][]float64, mFeat),
+		colLo:     make([]float64, mFeat),
+		colHi:     make([]float64, mFeat),
+	}
+	idxFlat := make([]int, n*mFeat)
+	valFlat := make([]float64, n*mFeat)
+	for j := 0; j < mFeat; j++ {
+		idx := idxFlat[j*n : (j+1)*n : (j+1)*n]
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			va, vb := m.Values[idx[a]][j], m.Values[idx[b]][j]
+			if va != vb {
+				return va < vb
+			}
+			return idx[a] < idx[b]
+		})
+		vals := valFlat[j*n : (j+1)*n : (j+1)*n]
+		for k, i := range idx {
+			vals[k] = m.Values[i][j]
+		}
+		r.sortedIdx[j] = idx
+		r.sortedVal[j] = vals
+		r.colLo[j] = vals[0]
+		r.colHi[j] = vals[n-1]
+	}
+	return r, nil
+}
+
+// individualOrder computes Step 2's individual ranking for feature column
+// j under preferred value u: place indices by ascending Γ_ij = |h_ij − u|,
+// ties by place index. It merges outward from u's insertion point in the
+// presorted column, O(n) plus the cost of sorting tie groups.
+//
+// Ties are detected on the computed gamma, not the raw value: for extreme
+// u the subtraction can absorb distinct values into equal gammas, and the
+// legacy sort ordered those by place index across both sides of u.
+func (r *Ranker) individualOrder(j int, u float64, order, tie []int) []int {
+	idx := r.sortedIdx[j]
+	vals := r.sortedVal[j]
+	n := len(idx)
+	order = order[:0]
+	rp := sort.SearchFloat64s(vals, u) // first k with vals[k] >= u
+	l := rp - 1
+	for len(order) < n {
+		var g float64
+		switch {
+		case l < 0:
+			g = math.Abs(vals[rp] - u)
+		case rp >= n:
+			g = math.Abs(vals[l] - u)
+		default:
+			gl, gr := math.Abs(vals[l]-u), math.Abs(vals[rp]-u)
+			g = math.Min(gl, gr)
+		}
+		// Gamma grows (weakly) monotonically outward on each side, so a
+		// tie group is contiguous on both runs.
+		tie = tie[:0]
+		for l >= 0 && math.Abs(vals[l]-u) == g {
+			tie = append(tie, idx[l])
+			l--
+		}
+		for rp < n && math.Abs(vals[rp]-u) == g {
+			tie = append(tie, idx[rp])
+			rp++
+		}
+		sort.Ints(tie)
+		order = append(order, tie...)
+	}
+	return order
 }
 
 // resolve maps a user preference (possibly absent or PrefDefault) to a
@@ -208,17 +294,7 @@ func (r *Ranker) resolve(j int, prof Profile) (value float64, weight int, err er
 }
 
 func (r *Ranker) columnRange(j int) (lo, hi float64) {
-	lo, hi = math.Inf(1), math.Inf(-1)
-	for i := range r.matrix.Values {
-		v := r.matrix.Values[i][j]
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	return lo, hi
+	return r.colLo[j], r.colHi[j]
 }
 
 // Rank runs Algorithm 2 for the given profile.
@@ -226,19 +302,27 @@ func (r *Ranker) Rank(prof Profile) (*Result, error) {
 	n := len(r.matrix.Places)
 	mFeat := len(r.matrix.Features)
 
-	// Step 1: Γ_ij = |h_ij − u_j|.
+	// Step 1: Γ_ij = |h_ij − u_j|, with the degenerate all-weights-zero
+	// case detected in the same pass.
+	gammaFlat := make([]float64, n*mFeat)
 	gamma := make([][]float64, n)
 	for i := range gamma {
-		gamma[i] = make([]float64, mFeat)
+		gamma[i] = gammaFlat[i*mFeat : (i+1)*mFeat : (i+1)*mFeat]
 	}
+	prefVals := make([]float64, mFeat)
 	weights := make([]float64, mFeat)
 	weightByName := make(map[string]int, mFeat)
+	allZero := true
 	for j := 0; j < mFeat; j++ {
 		u, w, err := r.resolve(j, prof)
 		if err != nil {
 			return nil, err
 		}
+		prefVals[j] = u
 		weights[j] = float64(w)
+		if w > 0 {
+			allZero = false
+		}
 		weightByName[r.matrix.Features[j].Name] = w
 		for i := 0; i < n; i++ {
 			gamma[i][j] = math.Abs(r.matrix.Values[i][j] - u)
@@ -246,21 +330,18 @@ func (r *Ranker) Rank(prof Profile) (*Result, error) {
 	}
 
 	// Step 2: per-feature individual rankings (ascending Γ — closest to
-	// the preferred value first). Ties break by place index for
-	// determinism.
+	// the preferred value first; ties break by place index). Derived from
+	// the presorted columns by an O(n) outward merge — proven equivalent
+	// to the legacy per-query sort by TestIndividualOrderMatchesSort.
 	individual := make(map[string][]int, mFeat)
-	collection := rankagg.Collection{}
+	collection := rankagg.Collection{
+		Rankings: make([]rankagg.Ranking, 0, mFeat),
+		Weights:  make([]float64, 0, mFeat),
+	}
+	orderFlat := make([]int, n*mFeat)
+	tie := make([]int, 0, n)
 	for j := 0; j < mFeat; j++ {
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			if gamma[order[a]][j] != gamma[order[b]][j] {
-				return gamma[order[a]][j] < gamma[order[b]][j]
-			}
-			return order[a] < order[b]
-		})
+		order := r.individualOrder(j, prefVals[j], orderFlat[j*n:j*n:(j+1)*n], tie)
 		individual[r.matrix.Features[j].Name] = order
 		collection.Rankings = append(collection.Rankings, rankagg.Ranking(order))
 		collection.Weights = append(collection.Weights, weights[j])
@@ -269,13 +350,6 @@ func (r *Ranker) Rank(prof Profile) (*Result, error) {
 	// Degenerate but legal: all weights zero → any ranking is optimal;
 	// return the identity order explicitly rather than an arbitrary
 	// matching.
-	allZero := true
-	for _, w := range weights {
-		if w > 0 {
-			allZero = false
-			break
-		}
-	}
 
 	var final rankagg.Ranking
 	var footCost float64

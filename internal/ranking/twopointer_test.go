@@ -1,0 +1,176 @@
+package ranking
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// legacyIndividualOrder is the pre-presort Step 2: index sort by
+// (Γ ascending, place index ascending) via sort.SliceStable, exactly as
+// Rank used to do per query. The two-pointer merge must reproduce it
+// byte-for-byte.
+func legacyIndividualOrder(m *Matrix, j int, u float64) []int {
+	n := len(m.Places)
+	gamma := make([]float64, n)
+	for i := 0; i < n; i++ {
+		gamma[i] = math.Abs(m.Values[i][j] - u)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if gamma[order[a]] != gamma[order[b]] {
+			return gamma[order[a]] < gamma[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// randomTieHeavyMatrix builds a matrix whose columns mix a coarse value
+// grid (forcing exact duplicates), negatives, and occasional huge
+// magnitudes (forcing float absorption ties where distinct values yield
+// equal gammas).
+func randomTieHeavyMatrix(rng *rand.Rand, n, mFeat int) *Matrix {
+	m := &Matrix{
+		Places:   make([]string, n),
+		Features: make([]Feature, mFeat),
+		Values:   make([][]float64, n),
+	}
+	for i := range m.Places {
+		m.Places[i] = fmt.Sprintf("p%03d", i)
+		m.Values[i] = make([]float64, mFeat)
+	}
+	for j := range m.Features {
+		m.Features[j] = Feature{
+			Name:    fmt.Sprintf("f%d", j),
+			Unit:    "u",
+			Default: Preference{Kind: PrefValue, Value: rng.NormFloat64() * 10, Weight: rng.Intn(MaxWeight + 1)},
+		}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0: // coarse grid — exact value ties
+				m.Values[i][j] = float64(rng.Intn(5))
+			case 1:
+				m.Values[i][j] = -float64(rng.Intn(5)) / 2
+			case 2: // fine-grained
+				m.Values[i][j] = rng.NormFloat64() * 100
+			default: // large magnitude — absorption regime
+				m.Values[i][j] = rng.NormFloat64() * 1e15
+			}
+		}
+	}
+	return m
+}
+
+func randomPreferredValue(rng *rand.Rand, m *Matrix, j int) float64 {
+	switch rng.Intn(5) {
+	case 0: // exact hit on an existing cell
+		return m.Values[rng.Intn(len(m.Places))][j]
+	case 1:
+		return float64(rng.Intn(6)) - 0.5
+	case 2: // far outside the column — every gamma dominated by u
+		return 1e16
+	case 3:
+		return -1e16
+	default:
+		return rng.NormFloat64() * 50
+	}
+}
+
+// TestIndividualOrderMatchesSort is the equivalence property test for the
+// presorted-column merge: for random tie-heavy matrices and preferred
+// values, the O(n) two-pointer order equals the legacy sort order exactly.
+func TestIndividualOrderMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		mFeat := 1 + rng.Intn(4)
+		m := randomTieHeavyMatrix(rng, n, mFeat)
+		r, err := NewRanker(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for j := 0; j < mFeat; j++ {
+			for rep := 0; rep < 4; rep++ {
+				u := randomPreferredValue(rng, m, j)
+				want := legacyIndividualOrder(m, j, u)
+				got := r.individualOrder(j, u, make([]int, 0, n), make([]int, 0, n))
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("trial %d col %d u=%v:\n got %v\nwant %v", trial, j, u, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRankMatchesLegacyPipeline checks end-to-end Rank equivalence: the
+// full Result (order, individual rankings, gamma, costs) must be
+// byte-identical to a reference pipeline that re-sorts per query, across
+// every PrefKind including absent prefs and zero weights.
+func TestRankMatchesLegacyPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	kinds := []PrefKind{PrefValue, PrefMin, PrefMax, PrefDefault}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		mFeat := 1 + rng.Intn(4)
+		m := randomTieHeavyMatrix(rng, n, mFeat)
+		r, err := NewRanker(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := Profile{Name: "prop", Prefs: map[string]Preference{}}
+		for j := range m.Features {
+			if rng.Intn(4) == 0 {
+				continue // absent → falls back to the feature default
+			}
+			k := kinds[rng.Intn(len(kinds))]
+			prof.Prefs[m.Features[j].Name] = Preference{
+				Kind:   k,
+				Value:  randomPreferredValue(rng, m, j),
+				Weight: rng.Intn(MaxWeight + 1),
+			}
+		}
+		res, err := r.Rank(prof)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Reference: recompute each individual ranking with the legacy
+		// sort using the same resolved preferred values.
+		for j, f := range m.Features {
+			u, _, err := r.resolve(j, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := legacyIndividualOrder(m, j, u)
+			got := res.Individual[f.Name]
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d feature %s: individual %v, want %v", trial, f.Name, got, want)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if g := math.Abs(m.Values[i][j] - u); res.Gamma[i][j] != g {
+					t.Fatalf("trial %d: Gamma[%d][%d] = %v, want %v", trial, i, j, res.Gamma[i][j], g)
+				}
+			}
+		}
+		// The final order must be a permutation consistent with OrderIdx.
+		seen := make([]bool, n)
+		for pos, idx := range res.OrderIdx {
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("trial %d: OrderIdx %v is not a permutation", trial, res.OrderIdx)
+			}
+			seen[idx] = true
+			if res.Order[pos] != m.Places[idx] {
+				t.Fatalf("trial %d: Order[%d] = %q, want %q", trial, pos, res.Order[pos], m.Places[idx])
+			}
+		}
+	}
+}

@@ -42,8 +42,8 @@ func concJoin(t *testing.T, s *Server, app int, userID string) string {
 	t.Helper()
 	resp, err := s.Handler()(nil, &wire.Participate{
 		UserID: userID, Token: "tok-" + userID,
-		AppID: fmt.Sprintf("conc-app-%d", app),
-		Loc:   wire.Location{Lat: 43.0 + float64(app), Lon: -76.0},
+		AppID:  fmt.Sprintf("conc-app-%d", app),
+		Loc:    wire.Location{Lat: 43.0 + float64(app), Lon: -76.0},
 		Budget: 1000,
 	})
 	if err != nil {
@@ -312,6 +312,114 @@ func TestRankDuringIngest(t *testing.T) {
 	}
 }
 
+// TestSnapshotEpochsUnderConcurrentIngest hammers the rank-serving
+// snapshot layer: batched ingest keeps bumping dirty counters and
+// triggering rebuilds while many rankers query. Each ranker asserts it
+// never observes a torn matrix read — every response is internally
+// consistent (row widths match the features header, places are distinct,
+// values are finite) — and that the epoch tag is monotone non-decreasing
+// from its point of view.
+func TestSnapshotEpochsUnderConcurrentIngest(t *testing.T) {
+	const apps, rankers, roundsPerRanker, batchesPerWriter = 3, 4, 25, 40
+	s, clock := newTestServer(t)
+	for a := 0; a < apps; a++ {
+		if err := s.CreateApp(concApp(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tasks := make([]string, apps)
+	for a := 0; a < apps; a++ {
+		tasks[a] = concJoin(t, s, a, fmt.Sprintf("epoch-u%d", a))
+	}
+	h := s.Handler()
+	// Seed every place so rankers get full responses from the start.
+	for a := 0; a < apps; a++ {
+		if _, err := h(nil, concReport(tasks[a], fmt.Sprintf("conc-app-%d", a),
+			fmt.Sprintf("epoch-u%d", a), clock.Now())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, apps+rankers)
+	for a := 0; a < apps; a++ { // batched ingest writers
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			appID := fmt.Sprintf("conc-app-%d", a)
+			userID := fmt.Sprintf("epoch-u%d", a)
+			for i := 0; i < batchesPerWriter; i++ {
+				at := clock.Now().Add(time.Duration(i) * 10 * time.Second)
+				batch := &wire.DataUploadBatch{Uploads: []wire.DataUpload{
+					*concReport(tasks[a], appID, userID, at),
+					*concReport(tasks[a], appID, userID, at.Add(5*time.Second)),
+				}}
+				if _, err := h(nil, batch); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(a)
+	}
+	for r := 0; r < rankers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lastEpoch := int64(-1)
+			for i := 0; i < roundsPerRanker; i++ {
+				resp, err := h(nil, &wire.RankRequest{
+					UserID: fmt.Sprintf("epoch-ranker-%d", r), Category: world.CategoryCoffee,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				ranked, ok := resp.(*wire.RankResponse)
+				if !ok {
+					errs <- fmt.Errorf("rank refused mid-ingest: %+v", resp)
+					return
+				}
+				if ranked.Epoch < lastEpoch {
+					errs <- fmt.Errorf("epoch regressed %d -> %d", lastEpoch, ranked.Epoch)
+					return
+				}
+				lastEpoch = ranked.Epoch
+				seen := make(map[string]bool, len(ranked.Ranked))
+				for _, row := range ranked.Ranked {
+					if len(row.FeatureValues) != len(ranked.Features) {
+						errs <- fmt.Errorf("torn row: %d values for %d features",
+							len(row.FeatureValues), len(ranked.Features))
+						return
+					}
+					if seen[row.Place] {
+						errs <- fmt.Errorf("place %s ranked twice", row.Place)
+						return
+					}
+					seen[row.Place] = true
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Coherence epilogue: with ingest quiesced, one more rank folds
+	// everything and serves all places.
+	s.Processor().Process()
+	resp, err := h(nil, &wire.RankRequest{UserID: "epoch-final", Category: world.CategoryCoffee})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, ok := resp.(*wire.RankResponse)
+	if !ok {
+		t.Fatalf("final rank refused: %+v", resp)
+	}
+	if len(ranked.Ranked) != apps {
+		t.Fatalf("ranked %d places, want %d", len(ranked.Ranked), apps)
+	}
+}
+
 // TestSchedulerChurnUnderVirtualClock interleaves bursty join/upload/leave
 // traffic for one app while a driver advances the virtual clock — the
 // field-test pattern of clusters of users arriving together. Every replan,
@@ -356,8 +464,8 @@ func TestSchedulerChurnUnderVirtualClock(t *testing.T) {
 				}
 				resp, err := h(nil, &wire.Participate{
 					UserID: p.UserID, Token: "tok-" + p.UserID,
-					AppID: "conc-app-0",
-					Loc:   wire.Location{Lat: 43.0, Lon: -76.0},
+					AppID:  "conc-app-0",
+					Loc:    wire.Location{Lat: 43.0, Lon: -76.0},
 					Budget: p.Budget,
 				})
 				if err != nil {

@@ -45,6 +45,12 @@ type Config struct {
 	// RobustExtraction enables MAD outlier rejection in the Data
 	// Processor (defends against miscalibrated phones).
 	RobustExtraction bool
+	// RankRefresh bounds rank-serving staleness: a matrix snapshot with
+	// pending ingest keeps serving until it is this old, then rebuilds
+	// lazily on the next rank request. Zero (the default) means rank
+	// requests always observe every prior ingest, like the legacy path
+	// that re-processed per query.
+	RankRefresh time.Duration
 }
 
 // Server is one sensing server instance. Its mutable scheduling state is
@@ -63,6 +69,13 @@ type Server struct {
 	taskSeq atomic.Int64
 
 	processor *DataProcessor
+
+	// Rank-serving state (snapshots.go): per-category epoch snapshots and
+	// result caches, plus the appID→category cache ingest uses to bump
+	// dirty counters without a store lookup.
+	rankRefresh  time.Duration
+	servingByCat sync.Map // category -> *categoryServing
+	appCats      sync.Map // appID -> category string
 }
 
 // appSchedState holds one application's scheduling period state. The
@@ -95,12 +108,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: empty feature catalog")
 	}
 	s := &Server{
-		db:      cfg.DB,
-		now:     cfg.Now,
-		kernel:  cfg.Kernel,
-		step:    cfg.Step,
-		catalog: cfg.Catalog,
-		push:    cfg.Push,
+		db:          cfg.DB,
+		now:         cfg.Now,
+		kernel:      cfg.Kernel,
+		step:        cfg.Step,
+		catalog:     cfg.Catalog,
+		push:        cfg.Push,
+		rankRefresh: cfg.RankRefresh,
 	}
 	s.states = newShardedStates()
 	s.processor = NewDataProcessor(cfg.DB)
@@ -359,6 +373,7 @@ func (s *Server) handleDataUpload(msg *wire.DataUpload) (wire.Message, error) {
 		return nil, err
 	}
 	s.db.AppendUpload(msg.AppID, raw, s.now())
+	s.markDirty(msg.AppID)
 
 	// Budget accounting: each distinct measurement timestamp consumes one
 	// unit of the user's budget.
@@ -441,6 +456,9 @@ func (s *Server) HandleReportBatch(msg *wire.DataUploadBatch) (wire.Message, err
 			}
 		}
 		s.db.AppendUploads(appID, bodies, now)
+		if len(bodies) > 0 {
+			s.markDirty(appID)
+		}
 		accepted += len(bodies)
 		for userID, instants := range instantsOf {
 			// Exhausted budgets are refused quietly; the data is kept.
@@ -523,15 +541,15 @@ func (s *Server) handlePing(msg *wire.Ping) (wire.Message, error) {
 }
 
 // handleRankRequest runs the Personalizable Ranker over the category's
-// feature matrix.
+// current matrix snapshot (snapshots.go). The hot path — fresh snapshot,
+// cached profile — is an atomic load, a few counter compares, one key
+// build, and a map hit; no processor run, no store reads, no solver.
 func (s *Server) handleRankRequest(msg *wire.RankRequest) (wire.Message, error) {
-	s.processor.Process() // fold in any pending uploads first
-	matrix, err := s.FeatureMatrix(msg.Category)
+	snap, err := s.freshSnapshot(msg.Category)
 	if err != nil {
-		return refuse(404, "no data for category %s: %v", msg.Category, err), nil
-	}
-	ranker, err := ranking.NewRanker(matrix)
-	if err != nil {
+		if errors.Is(err, errNoRankData) {
+			return refuse(404, "no data for category %s: %v", msg.Category, err), nil
+		}
 		return nil, err
 	}
 	prof := ranking.Profile{Name: msg.UserID, Prefs: make(map[string]ranking.Preference, len(msg.Prefs))}
@@ -542,21 +560,14 @@ func (s *Server) handleRankRequest(msg *wire.RankRequest) (wire.Message, error) 
 			Weight: p.Weight,
 		}
 	}
-	res, err := ranker.Rank(prof)
+	cs := s.serving(msg.Category)
+	res, err := cs.cache.getOrCompute(snap.epoch, snap.profileKey(prof.Prefs), func() (*ranking.Result, error) {
+		return snap.ranker.Rank(prof)
+	})
 	if err != nil {
 		return refuse(400, "ranking failed: %v", err), nil
 	}
-	resp := &wire.RankResponse{Category: msg.Category}
-	for _, f := range matrix.Features {
-		resp.Features = append(resp.Features, f.Name)
-	}
-	for _, idx := range res.OrderIdx {
-		resp.Ranked = append(resp.Ranked, wire.RankedPlace{
-			Place:         matrix.Places[idx],
-			FeatureValues: append([]float64(nil), matrix.Values[idx]...),
-		})
-	}
-	return resp, nil
+	return buildRankResponse(msg.Category, snap, res), nil
 }
 
 // FeatureMatrix assembles the ranking matrix H for a category from the

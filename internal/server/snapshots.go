@@ -1,0 +1,293 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sor/internal/ranking"
+	"sor/internal/wire"
+)
+
+// This file is the rank-serving read path (see DESIGN.md, "Read path &
+// caching"). Each category serves queries from an immutable epoch-versioned
+// snapshot of its feature matrix held behind an atomic pointer; ingest only
+// bumps counters, and the snapshot rebuilds lazily when a rank request
+// observes staleness. Rank results are cached per (epoch, canonical
+// profile), so the common repeated-profile query is a map hit that never
+// touches the store, the processor, or the mcmf solver.
+
+// rankCacheSize bounds each category's profile-keyed result cache. Results
+// for a 200-place category are a few KB each, so 256 distinct profiles per
+// category is cheap and far beyond what real query mixes need.
+const rankCacheSize = 256
+
+// errNoRankData distinguishes "category has no servable data" (a 404 to
+// the client) from internal failures.
+var errNoRankData = errors.New("server: no rank data")
+
+// rankSnapshot is one immutable epoch of a category's rank-serving state.
+// Everything in it is read-only after construction: concurrent rankers
+// share the matrix rows, the presorted Ranker, and the features header
+// without copying or locking.
+type rankSnapshot struct {
+	epoch    int64
+	matrix   *ranking.Matrix
+	ranker   *ranking.Ranker
+	features []string // response header, aligned with matrix.Features
+
+	// Staleness signals captured at build time; the snapshot is stale once
+	// any of them moves (see snapStale).
+	builtDirty     int64 // this server's ingest counter for the category
+	builtFeatVer   int64 // store-level feature version (cross-server writes)
+	builtUploadSeq int64 // store-level raw-upload sequence (pending blobs)
+	builtAt        time.Time
+}
+
+// categoryServing is one category's serving state: the current snapshot,
+// the ingest dirty counter, and the profile-keyed result cache.
+type categoryServing struct {
+	snap  atomic.Pointer[rankSnapshot]
+	dirty atomic.Int64
+	// rebuildMu serializes snapshot rebuilds. Rankers that lose the
+	// TryLock race serve the previous snapshot instead of blocking.
+	rebuildMu sync.Mutex
+	cache     profileCache
+}
+
+// serving returns (creating on first use) a category's serving state.
+func (s *Server) serving(category string) *categoryServing {
+	if v, ok := s.servingByCat.Load(category); ok {
+		return v.(*categoryServing)
+	}
+	cs := &categoryServing{}
+	cs.cache.init(rankCacheSize)
+	v, _ := s.servingByCat.LoadOrStore(category, cs)
+	return v.(*categoryServing)
+}
+
+// markDirty records that ingest touched an application, bumping its
+// category's dirty counter. The appID→category mapping is cached so the
+// ingest hot path pays one sync.Map hit, not a store lookup.
+func (s *Server) markDirty(appID string) {
+	cat, ok := s.appCats.Load(appID)
+	if !ok {
+		app, err := s.db.App(appID)
+		if err != nil {
+			return // unknown app: nothing to invalidate
+		}
+		cat, _ = s.appCats.LoadOrStore(appID, app.Category)
+	}
+	if c := cat.(string); c != "" {
+		s.serving(c).dirty.Add(1)
+	}
+}
+
+// snapStale reports whether the snapshot no longer reflects the data. With
+// RankRefresh == 0 (the default) any movement of the ingest counters makes
+// it stale — rank-after-ingest coherence identical to the legacy path that
+// re-processed per query. With RankRefresh > 0 a stale-data snapshot keeps
+// serving until it is older than the refresh bound, so a query burst under
+// live ingest rebuilds at most once per bound.
+func (s *Server) snapStale(cs *categoryServing, category string, snap *rankSnapshot) bool {
+	moved := cs.dirty.Load() != snap.builtDirty ||
+		s.db.FeatureVersion(category) != snap.builtFeatVer ||
+		s.db.UploadSeq() != snap.builtUploadSeq
+	if !moved {
+		return false
+	}
+	if s.rankRefresh <= 0 {
+		return true
+	}
+	return s.now().Sub(snap.builtAt) >= s.rankRefresh
+}
+
+// freshSnapshot returns a servable snapshot for the category, rebuilding
+// if the current one is stale. The fast path is one atomic load plus three
+// counter comparisons.
+func (s *Server) freshSnapshot(category string) (*rankSnapshot, error) {
+	cs := s.serving(category)
+	snap := cs.snap.Load()
+	if snap != nil && !s.snapStale(cs, category, snap) {
+		return snap, nil
+	}
+	return s.rebuildSnapshot(cs, category, snap)
+}
+
+// rebuildSnapshot folds pending uploads and builds the next epoch. Only
+// one goroutine rebuilds at a time; concurrent rankers that already have a
+// snapshot serve it stale rather than block (first build must wait — there
+// is nothing to serve yet).
+func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *rankSnapshot) (*rankSnapshot, error) {
+	if !cs.rebuildMu.TryLock() {
+		if prev != nil {
+			return prev, nil
+		}
+		cs.rebuildMu.Lock()
+	}
+	defer cs.rebuildMu.Unlock()
+	// The rebuild this goroutine raced may have done the work already.
+	if snap := cs.snap.Load(); snap != nil && !s.snapStale(cs, category, snap) {
+		return snap, nil
+	}
+	// Capture the ingest signals before folding: anything arriving during
+	// the rebuild re-marks the next query stale (conservative, never lost).
+	dirty := cs.dirty.Load()
+	uploadSeq := s.db.UploadSeq()
+	s.processor.Process()
+	featVer := s.db.FeatureVersion(category)
+
+	matrix, err := s.FeatureMatrix(category)
+	if err != nil {
+		return nil, errors.Join(errNoRankData, err)
+	}
+	ranker, err := ranking.NewRanker(matrix)
+	if err != nil {
+		return nil, err
+	}
+	features := make([]string, len(matrix.Features))
+	for j, f := range matrix.Features {
+		features[j] = f.Name
+	}
+	var epoch int64 = 1
+	if cur := cs.snap.Load(); cur != nil {
+		epoch = cur.epoch + 1
+	}
+	snap := &rankSnapshot{
+		epoch:          epoch,
+		matrix:         matrix,
+		ranker:         ranker,
+		features:       features,
+		builtDirty:     dirty,
+		builtFeatVer:   featVer,
+		builtUploadSeq: uploadSeq,
+		builtAt:        s.now(),
+	}
+	cs.snap.Store(snap)
+	return snap, nil
+}
+
+// profileKey canonicalizes a preference profile against the snapshot's
+// feature order into an injective cache key: per feature, one presence
+// byte, then — if present — the kind, the value's IEEE-754 bits, and the
+// weight, each fixed width and full precision (no truncation, so even
+// out-of-range kinds/weights — which Rank will reject — cannot collide
+// with a valid cached profile). Two profiles with the same preference per
+// catalog feature produce the same key; any differing (kind, value,
+// weight) produces a different one (FuzzProfileKey). The requesting
+// user's ID is deliberately excluded: rank results do not depend on it.
+// Preferences for features outside the catalog are ignored, exactly as
+// Ranker.resolve ignores them.
+func (snap *rankSnapshot) profileKey(prefs map[string]ranking.Preference) string {
+	buf := make([]byte, 0, len(snap.features)*25)
+	var scratch [25]byte
+	for _, name := range snap.features {
+		p, ok := prefs[name]
+		if !ok {
+			buf = append(buf, 0)
+			continue
+		}
+		scratch[0] = 1
+		binary.BigEndian.PutUint64(scratch[1:], uint64(p.Kind))
+		binary.BigEndian.PutUint64(scratch[9:], math.Float64bits(p.Value))
+		binary.BigEndian.PutUint64(scratch[17:], uint64(p.Weight))
+		buf = append(buf, scratch[:]...)
+	}
+	return string(buf)
+}
+
+// cacheEntry is one cached (or in-flight) rank result. done closes when
+// res/err are final, giving duplicate concurrent queries for the same
+// profile a single mcmf solve to wait on instead of one each.
+type cacheEntry struct {
+	key  string
+	done chan struct{}
+	res  *ranking.Result
+	err  error
+}
+
+// profileCache is a bounded LRU of rank results for one category and one
+// epoch. An epoch advance clears it wholesale — every cached ranking was
+// computed from the superseded matrix.
+type profileCache struct {
+	mu    sync.Mutex
+	max   int
+	epoch int64
+	items map[string]*list.Element
+	lru   *list.List // front = most recent; values are *cacheEntry
+}
+
+func (c *profileCache) init(max int) {
+	c.max = max
+	c.items = make(map[string]*list.Element, max)
+	c.lru = list.New()
+}
+
+// getOrCompute returns the cached result for (epoch, key), computing and
+// caching it via fill on a miss. Concurrent misses on one key share a
+// single fill. A fill for a superseded epoch runs uncached — its result is
+// still correct for the snapshot the caller is serving, but must not
+// poison the newer epoch's cache.
+func (c *profileCache) getOrCompute(epoch int64, key string, fill func() (*ranking.Result, error)) (*ranking.Result, error) {
+	c.mu.Lock()
+	if epoch > c.epoch {
+		c.epoch = epoch
+		c.items = make(map[string]*list.Element, c.max)
+		c.lru.Init()
+	} else if epoch < c.epoch {
+		c.mu.Unlock()
+		return fill()
+	}
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	el := c.lru.PushFront(e)
+	c.items[key] = el
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.lru.Remove(back)
+	}
+	c.mu.Unlock()
+
+	e.res, e.err = fill()
+	close(e.done)
+	if e.err != nil {
+		// Failed fills are evicted so the profile can be retried.
+		c.mu.Lock()
+		if cur, ok := c.items[key]; ok && cur == el {
+			delete(c.items, key)
+			c.lru.Remove(el)
+		}
+		c.mu.Unlock()
+	}
+	return e.res, e.err
+}
+
+// buildRankResponse assembles the wire response from a snapshot and a
+// (possibly cached) result. The features header and each row's feature
+// values alias the immutable snapshot matrix — no per-request copies.
+func buildRankResponse(category string, snap *rankSnapshot, res *ranking.Result) *wire.RankResponse {
+	resp := &wire.RankResponse{
+		Category: category,
+		Epoch:    snap.epoch,
+		Features: snap.features,
+		Ranked:   make([]wire.RankedPlace, len(res.OrderIdx)),
+	}
+	for k, idx := range res.OrderIdx {
+		resp.Ranked[k] = wire.RankedPlace{
+			Place:         snap.matrix.Places[idx],
+			FeatureValues: snap.matrix.Values[idx],
+		}
+	}
+	return resp
+}

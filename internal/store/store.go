@@ -198,6 +198,13 @@ type Store struct {
 	uploadSeq    atomic.Int64
 	uploadShards [numShards]uploadShard
 	schedShards  [numShards]schedShard
+
+	// featVers holds one *atomic.Int64 per category, bumped whenever a
+	// feature row in that category materially changes (or an application
+	// joins the category). The rank-serving layer polls it to decide
+	// whether its matrix snapshot is stale — including changes written by
+	// other server instances sharing this store.
+	featVers sync.Map
 }
 
 type featureKey struct {
@@ -271,17 +278,22 @@ func (s *Store) Users() []User {
 
 // ---- Applications ----
 
-// PutApp inserts an application.
+// PutApp inserts an application. A new app can add a place to its
+// category's ranking matrix, so the category's feature version is bumped.
 func (s *Store) PutApp(a Application) error {
 	if a.ID == "" {
 		return errors.New("store: application needs an id")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.apps[a.ID]; ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: app %s", ErrDuplicate, a.ID)
 	}
 	s.apps[a.ID] = a
+	s.mu.Unlock()
+	if a.Category != "" {
+		s.bumpFeatureVersion(a.Category)
+	}
 	return nil
 }
 
@@ -461,16 +473,44 @@ func (s *Store) PendingUploads() int {
 
 // ---- Feature rows ----
 
-// UpsertFeature inserts or replaces a feature row.
+// UpsertFeature inserts or replaces a feature row. The category's feature
+// version is bumped only when the row's Value or Samples actually change,
+// so re-deriving identical features from duplicate data does not churn
+// rank-serving snapshots.
 func (s *Store) UpsertFeature(row FeatureRow) error {
 	if row.Category == "" || row.Place == "" || row.Feature == "" {
 		return errors.New("store: feature row needs category, place and feature")
 	}
+	key := featureKey{row.Category, row.Place, row.Feature}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.features[featureKey{row.Category, row.Place, row.Feature}] = row
+	old, existed := s.features[key]
+	s.features[key] = row
+	s.mu.Unlock()
+	if !existed || old.Value != row.Value || old.Samples != row.Samples {
+		s.bumpFeatureVersion(row.Category)
+	}
 	return nil
 }
+
+// FeatureVersion returns the category's monotone feature-change counter.
+func (s *Store) FeatureVersion(category string) int64 {
+	if v, ok := s.featVers.Load(category); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+func (s *Store) bumpFeatureVersion(category string) {
+	v, ok := s.featVers.Load(category)
+	if !ok {
+		v, _ = s.featVers.LoadOrStore(category, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+}
+
+// UploadSeq returns the sequence number of the most recent raw upload; it
+// moves on every ingest, so comparing values detects pending raw data.
+func (s *Store) UploadSeq() int64 { return s.uploadSeq.Load() }
 
 // Feature fetches one feature row.
 func (s *Store) Feature(category, place, feature string) (FeatureRow, error) {

@@ -480,6 +480,10 @@ type RankedPlace struct {
 // rows so clients can display why.
 type RankResponse struct {
 	Category string
+	// Epoch identifies the matrix snapshot the ranking was served from
+	// (monotone per category on one server); clients use it to observe
+	// staleness across responses.
+	Epoch    int64
 	Features []string
 	Ranked   []RankedPlace
 }
@@ -491,6 +495,7 @@ func (*RankResponse) Type() MsgType { return TypeRankResponse }
 
 func (m *RankResponse) encodePayload(w *Writer) {
 	w.PutString(m.Category)
+	w.PutVarint(m.Epoch)
 	w.PutUvarint(uint64(len(m.Features)))
 	for _, f := range m.Features {
 		w.PutString(f)
@@ -508,6 +513,9 @@ func (m *RankResponse) encodePayload(w *Writer) {
 func (m *RankResponse) decodePayload(r *Reader) error {
 	var err error
 	if m.Category, err = r.String(); err != nil {
+		return err
+	}
+	if m.Epoch, err = r.Varint(); err != nil {
 		return err
 	}
 	nf, err := r.sliceLen()
