@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke ci experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke chaos chaos-short ci experiments fieldtest sim clean
 
 all: build test
 
@@ -33,11 +33,22 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
 
+# Full exactly-once chaos soak under the race detector: a fleet of phones
+# over a network dropping requests, acks and partitioning mid-upload must
+# converge to server state byte-identical to a fault-free run.
+chaos:
+	$(GO) test -race -count=1 -v ./internal/chaos/
+
+# Trimmed chaos soak for CI (smaller fleet, shorter partition).
+chaos-short:
+	$(GO) test -race -short -count=1 ./internal/chaos/
+
 # Everything CI runs (.github/workflows/ci.yml mirrors this).
 ci: vet build test
 	$(GO) test -race -short ./...
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) chaos-short
 
 # Regenerate every paper table and figure.
 experiments: fieldtest sim

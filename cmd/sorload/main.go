@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -59,6 +60,12 @@ func run() error {
 	batches := flag.Int("batches", 25, "batches each burst worker sends")
 	rankers := flag.Int("rankers", 0, "rank-query workers running alongside the burst phase (0 disables)")
 	ranks := flag.Int("ranks", 100, "rank requests each ranker worker sends")
+	chaosRequestLoss := flag.Float64("chaos-request-loss", 0, "probability a request is dropped before the server sees it")
+	chaosAckLoss := flag.Float64("chaos-ack-loss", 0, "probability a request is processed but its ack is dropped")
+	chaosSpike := flag.Duration("chaos-spike", 0, "injected latency per spike")
+	chaosSpikeProb := flag.Float64("chaos-spike-prob", 0, "probability a surviving request pays -chaos-spike of latency")
+	chaosPartition := flag.Duration("chaos-partition", 0, "cut the network for this long once every phone has joined")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the fault schedule")
 	flag.Parse()
 
 	w, err := world.Canonical()
@@ -71,17 +78,61 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	client, err := transport.NewClient(*serverURL)
+	// With any chaos flag set, the client's RoundTripper goes through a
+	// FaultInjector: the load run then doubles as an exactly-once soak
+	// against a real server — lost requests and lost acks force the device
+	// outboxes to retransmit, and the server's ReportID dedup keeps the
+	// stored data identical to a clean run.
+	var fi *transport.FaultInjector
+	clientOpts := []transport.ClientOption{}
+	if *chaosRequestLoss > 0 || *chaosAckLoss > 0 || *chaosSpikeProb > 0 || *chaosPartition > 0 {
+		fi = transport.NewFaultInjector(transport.FaultConfig{
+			Seed:         *chaosSeed,
+			RequestLoss:  *chaosRequestLoss,
+			ResponseLoss: *chaosAckLoss,
+			SpikeProb:    *chaosSpikeProb,
+			Spike:        *chaosSpike,
+		})
+		// Joins run clean so every phone gets a schedule; the injector arms
+		// once the fleet is in (see the barrier below).
+		fi.SetEnabled(false)
+		clientOpts = append(clientOpts,
+			transport.WithHTTPClient(&http.Client{
+				Transport: fi.Transport(nil),
+				Timeout:   10 * time.Second,
+			}),
+			transport.WithRetries(5),
+			transport.WithRetrySeed(*chaosSeed))
+	}
+	client, err := transport.NewClient(*serverURL, clientOpts...)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// joinBarrier trips once every phone has joined (or failed to); the
+	// chaos is armed only then, so participation is never chaotic.
+	var joinBarrier sync.WaitGroup
+	joinBarrier.Add(*phones)
+	chaosArmed := make(chan struct{})
+	go func() {
+		joinBarrier.Wait()
+		if fi != nil {
+			fi.SetEnabled(true)
+			if *chaosPartition > 0 {
+				fi.PartitionFor(*chaosPartition)
+			}
+		}
+		close(chaosArmed)
+	}()
+
 	type result struct {
 		participateMs float64
 		executeMs     float64
 		measurements  int
+		drainPasses   int
+		delivered     int
 		taskID        string
 		userID        string
 		err           error
@@ -93,6 +144,9 @@ func run() error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			var joinOnce sync.Once
+			markJoined := func() { joinOnce.Do(joinBarrier.Done) }
+			defer markJoined()
 			r := &results[i]
 			now := time.Now().UTC()
 			phone, err := device.New(device.Config{
@@ -118,8 +172,17 @@ func run() error {
 				r.err = err
 				return
 			}
+			markJoined()
+			<-chaosArmed
 			t1 := time.Now()
 			if _, err := fe.ExecuteSchedule(ctx, sched); err != nil {
+				r.err = err
+				return
+			}
+			// Under chaos the report may be parked in the outbox; flush
+			// until the server has acked it so the run's numbers count
+			// delivered work, not queued work.
+			if err := fe.FlushOutbox(ctx); err != nil {
 				r.err = err
 				return
 			}
@@ -127,13 +190,16 @@ func run() error {
 			r.measurements = len(sched.AtUnix)
 			r.taskID = sched.TaskID
 			r.userID = userID
+			ob := fe.Outbox().Stats()
+			r.drainPasses = ob.DrainPasses
+			r.delivered = ob.Delivered
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	var partLat, execLat []float64
-	measurements, failures := 0, 0
+	measurements, failures, drainPasses, delivered := 0, 0, 0, 0
 	for _, r := range results {
 		if r.err != nil {
 			failures++
@@ -143,14 +209,24 @@ func run() error {
 		partLat = append(partLat, r.participateMs)
 		execLat = append(execLat, r.executeMs)
 		measurements += r.measurements
+		drainPasses += r.drainPasses
+		delivered += r.delivered
 	}
 	ok := *phones - failures
 	fmt.Printf("sorload: %d/%d phones completed in %v (%d scheduled measurements)\n",
 		ok, *phones, elapsed.Round(time.Millisecond), measurements)
 	if ok > 0 {
 		printLatency("participate (schedule computation)", partLat)
-		printLatency("execute+upload", execLat)
+		printLatency("execute+upload+flush", execLat)
 		fmt.Printf("  throughput: %.1f uploads/s\n", float64(ok)/elapsed.Seconds())
+	}
+	if fi != nil {
+		fs := fi.Stats()
+		cs := client.Stats()
+		fmt.Printf("chaos: %d/%d requests lost, %d acks lost, %d refused by partition, %d spikes; "+
+			"client retried %d times; outbox: %d delivered in %d drain passes\n",
+			fs.RequestsLost, fs.Requests, fs.ResponsesLost, fs.Partitioned, fs.Spikes,
+			cs.Retries, delivered, drainPasses)
 	}
 	if (*concurrency > 0 || *rankers > 0) && ok > 0 {
 		var targets []burstTarget
@@ -186,12 +262,15 @@ type burstTarget struct {
 	taskID, userID string
 }
 
-// burstReport builds one small report in the burst target's name.
-func burstReport(appID string, tgt burstTarget, at time.Time) wire.DataUpload {
+// burstReport builds one small report in the burst target's name. Every
+// report carries a unique ReportID so a retried batch (chaos flags, flaky
+// networks) is deduplicated by the server instead of stored twice.
+func burstReport(appID string, tgt burstTarget, at time.Time, reportID string) wire.DataUpload {
 	return wire.DataUpload{
-		TaskID: tgt.taskID,
-		AppID:  appID,
-		UserID: tgt.userID,
+		TaskID:   tgt.taskID,
+		AppID:    appID,
+		UserID:   tgt.userID,
+		ReportID: reportID,
 		Series: []wire.SensorSeries{
 			{Sensor: "temperature", Samples: []wire.SensorSample{
 				{AtUnixMilli: at.UnixMilli(), WindowMilli: 5000, Readings: []float64{70.2, 70.4, 70.3}},
@@ -221,7 +300,8 @@ func runBurstPhase(ctx context.Context, client *transport.Client, appID string,
 				ups := make([]*wire.DataUpload, batchSize)
 				for i := range ups {
 					tgt := targets[(w*batches+n+i)%len(targets)]
-					up := burstReport(appID, tgt, start.Add(time.Duration(n*batchSize+i)*time.Second))
+					reportID := fmt.Sprintf("burst/%s/%d-%d", tgt.userID, w, n*batchSize+i)
+					up := burstReport(appID, tgt, start.Add(time.Duration(n*batchSize+i)*time.Second), reportID)
 					ups[i] = &up
 				}
 				t0 := time.Now()

@@ -11,7 +11,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sor/internal/device"
@@ -112,6 +114,9 @@ const (
 	TaskStateRunning
 	TaskStateDone
 	TaskStateFailed
+	// TaskStateUploadPending means sensing finished and the report sits in
+	// the outbox waiting for the network to come back.
+	TaskStateUploadPending
 )
 
 // String names the state.
@@ -125,6 +130,8 @@ func (s TaskState) String() string {
 		return "done"
 	case TaskStateFailed:
 		return "failed"
+	case TaskStateUploadPending:
+		return "upload-pending"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -137,6 +144,10 @@ type TaskInfo struct {
 	State        TaskState
 	Measurements int
 	Err          string
+	// Gaps lists acquisitions that failed even after bounded retries and
+	// were skipped, leaving a hole in the uploaded series instead of
+	// failing the whole task.
+	Gaps []string
 }
 
 // Frontend is the mobile application instance running on one phone.
@@ -145,26 +156,90 @@ type Frontend struct {
 	sender Sender
 	prefs  *Preferences
 	wake   *WakeLock
+	outbox *Outbox
+
+	acquireRetries int
+	reportSeq      atomic.Int64
+
+	// outbox construction knobs, consumed by New.
+	outboxCapacity   int
+	outboxBackoff    time.Duration
+	outboxBackoffMax time.Duration
+	outboxSeed       int64
 
 	mu    sync.Mutex
 	tasks map[string]*TaskInfo
 }
 
+// defaultAcquireRetries is how many times a failed sensor acquisition is
+// retried before the instant is skipped as a gap.
+const defaultAcquireRetries = 2
+
+// Option configures a Frontend.
+type Option func(*Frontend)
+
+// WithOutboxCapacity bounds the store-and-forward queue (default 256;
+// overflow drops the oldest report).
+func WithOutboxCapacity(n int) Option {
+	return func(f *Frontend) { f.outboxCapacity = n }
+}
+
+// WithOutboxBackoff sets FlushOutbox's backoff base and cap.
+func WithOutboxBackoff(base, max time.Duration) Option {
+	return func(f *Frontend) { f.outboxBackoff, f.outboxBackoffMax = base, max }
+}
+
+// WithOutboxSeed overrides the outbox jitter seed (tests; the default is
+// derived from the device token so each phone jitters differently but
+// deterministically).
+func WithOutboxSeed(seed int64) Option {
+	return func(f *Frontend) { f.outboxSeed = seed }
+}
+
+// WithAcquireRetries sets how many times a failed acquisition is retried
+// before being skipped as a gap (default 2).
+func WithAcquireRetries(n int) Option {
+	return func(f *Frontend) { f.acquireRetries = n }
+}
+
+// tokenSeed derives a stable per-phone jitter seed.
+func tokenSeed(token string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(token))
+	return int64(h.Sum64())
+}
+
 // New builds a frontend for a phone.
-func New(phone *device.Phone, sender Sender) (*Frontend, error) {
+func New(phone *device.Phone, sender Sender, opts ...Option) (*Frontend, error) {
 	if phone == nil {
 		return nil, errors.New("frontend: nil phone")
 	}
 	if sender == nil {
 		return nil, errors.New("frontend: nil sender")
 	}
-	return &Frontend{
-		phone:  phone,
-		sender: sender,
-		prefs:  NewPreferences(),
-		wake:   &WakeLock{},
-		tasks:  make(map[string]*TaskInfo),
-	}, nil
+	f := &Frontend{
+		phone:            phone,
+		sender:           sender,
+		prefs:            NewPreferences(),
+		wake:             &WakeLock{},
+		tasks:            make(map[string]*TaskInfo),
+		acquireRetries:   defaultAcquireRetries,
+		outboxCapacity:   defaultOutboxCapacity,
+		outboxBackoff:    defaultOutboxBackoff,
+		outboxBackoffMax: defaultOutboxBackoffCap,
+		outboxSeed:       tokenSeed(phone.Token),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	if f.outboxCapacity < 1 {
+		return nil, errors.New("frontend: outbox capacity must be positive")
+	}
+	if f.acquireRetries < 0 {
+		f.acquireRetries = 0
+	}
+	f.outbox = newOutbox(f.outboxCapacity, f.outboxBackoff, f.outboxBackoffMax, f.outboxSeed)
+	return f, nil
 }
 
 // Preferences exposes the Local Preference Manager.
@@ -176,13 +251,28 @@ func (f *Frontend) WakeLock() *WakeLock { return f.wake }
 // Phone returns the underlying device.
 func (f *Frontend) Phone() *device.Phone { return f.phone }
 
+// Outbox exposes the store-and-forward queue (stats, pending count).
+func (f *Frontend) Outbox() *Outbox { return f.outbox }
+
+// FlushOutbox drains pending uploads with backoff until empty or ctx ends.
+func (f *Frontend) FlushOutbox(ctx context.Context) error {
+	return f.outbox.Flush(ctx, f.sender)
+}
+
+// cloneInfo deep-copies a task snapshot (Gaps is a shared slice otherwise).
+func cloneInfo(t *TaskInfo) TaskInfo {
+	c := *t
+	c.Gaps = append([]string(nil), t.Gaps...)
+	return c
+}
+
 // Tasks snapshots all task instances.
 func (f *Frontend) Tasks() []TaskInfo {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	out := make([]TaskInfo, 0, len(f.tasks))
 	for _, t := range f.tasks {
-		out = append(out, *t)
+		out = append(out, cloneInfo(t))
 	}
 	return out
 }
@@ -195,7 +285,14 @@ func (f *Frontend) Task(taskID string) (TaskInfo, bool) {
 	if !ok {
 		return TaskInfo{}, false
 	}
-	return *t, true
+	return cloneInfo(t), true
+}
+
+// nextReportID mints a ReportID unique across this device's lifetime:
+// token + task + a monotonically increasing sequence number. The server's
+// dedup window keys on it to make retransmissions idempotent.
+func (f *Frontend) nextReportID(taskID string) string {
+	return fmt.Sprintf("%s/%s/%d", f.phone.Token, taskID, f.reportSeq.Add(1))
 }
 
 // Participate scans the 2D barcode payload (appID + server already known
@@ -302,7 +399,7 @@ func (f *Frontend) ExecuteSchedule(ctx context.Context, sched *wire.Schedule) (*
 		}
 		at := time.Unix(atUnix, 0).UTC()
 		f.phone.SetTime(at)
-		interp, err := f.newTaskInterp(ctx, at, collector)
+		interp, err := f.newTaskInterp(ctx, sched.TaskID, at, collector)
 		if err != nil {
 			setState(TaskStateFailed, err)
 			return nil, err
@@ -316,37 +413,57 @@ func (f *Frontend) ExecuteSchedule(ctx context.Context, sched *wire.Schedule) (*
 		f.mu.Unlock()
 	}
 
+	// Sensing is done: hand the report to the store-and-forward outbox.
+	// The task's fate now depends only on delivery — a dead network parks
+	// it in upload-pending instead of failing it; the outbox retries on
+	// every drain trigger (ping wake-ups, later tasks, explicit flush).
+	upload.ReportID = f.nextReportID(sched.TaskID)
+	setState(TaskStateUploadPending, nil)
+	f.outbox.Enqueue(upload, func(delivered bool, reason string) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if delivered {
+			info.State = TaskStateDone
+			return
+		}
+		info.State = TaskStateFailed
+		info.Err = fmt.Sprintf("upload refused: %s", reason)
+	})
 	f.wake.Acquire()
-	resp, err := f.sender.Send(ctx, upload)
+	drainErr := f.outbox.drainOnce(ctx, f.sender)
 	if relErr := f.wake.Release(); relErr != nil {
 		setState(TaskStateFailed, relErr)
 		return nil, relErr
 	}
-	if err != nil {
-		setState(TaskStateFailed, err)
-		return nil, fmt.Errorf("frontend: uploading data: %w", err)
+	_ = drainErr // transport failure: report stays queued, task stays pending
+	f.mu.Lock()
+	state, errMsg := info.State, info.Err
+	f.mu.Unlock()
+	if state == TaskStateFailed {
+		return nil, fmt.Errorf("frontend: %s", errMsg)
 	}
-	if ack, ok := resp.(*wire.Ack); ok && !ack.OK {
-		err := fmt.Errorf("frontend: upload refused: %s", ack.Message)
-		setState(TaskStateFailed, err)
-		return nil, err
-	}
-	setState(TaskStateDone, nil)
 	return upload, nil
 }
 
 // HandlePing answers a push-channel wake-up by pinging the server (the
-// paper's Google-Cloud-Messaging-assisted rendezvous).
+// paper's Google-Cloud-Messaging-assisted rendezvous) and then drains any
+// reports stranded in the outbox — the wake-up doubles as the signal that
+// the network is back.
 func (f *Frontend) HandlePing(ctx context.Context) error {
 	f.wake.Acquire()
 	defer func() { _ = f.wake.Release() }()
-	_, err := f.sender.Send(ctx, &wire.Ping{Token: f.phone.Token})
-	return err
+	if _, err := f.sender.Send(ctx, &wire.Ping{Token: f.phone.Token}); err != nil {
+		return err
+	}
+	if f.outbox.Pending() > 0 {
+		return f.outbox.drainOnce(ctx, f.sender)
+	}
+	return nil
 }
 
 // newTaskInterp builds the per-measurement interpreter with the sensor
 // host functions registered under the whitelist.
-func (f *Frontend) newTaskInterp(ctx context.Context, at time.Time, col *collector) (*luascript.Interp, error) {
+func (f *Frontend) newTaskInterp(ctx context.Context, taskID string, at time.Time, col *collector) (*luascript.Interp, error) {
 	whitelist := []string{
 		device.FnTemperature, device.FnHumidity, device.FnLight,
 		device.FnWiFi, device.FnNoise, device.FnAccel,
@@ -358,17 +475,45 @@ func (f *Frontend) newTaskInterp(ctx context.Context, at time.Time, col *collect
 	)
 	mgr := f.phone.Manager()
 	for _, fn := range mgr.Functions() {
-		if err := interp.Register(fn, f.hostFunc(ctx, fn, at, col)); err != nil {
+		if err := interp.Register(fn, f.hostFunc(ctx, taskID, fn, at, col)); err != nil {
 			return nil, fmt.Errorf("frontend: binding %s: %w", fn, err)
 		}
 	}
 	return interp, nil
 }
 
+// recordGap notes a skipped acquisition on the task (sensor@instant).
+func (f *Frontend) recordGap(taskID, fn string, at time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if info, ok := f.tasks[taskID]; ok {
+		info.Gaps = append(info.Gaps, fmt.Sprintf("%s@%s", fn, at.UTC().Format(time.RFC3339)))
+	}
+}
+
+// acquireWithRetry retries a failed acquisition up to acquireRetries times
+// (on top of whatever retries the provider itself does — e.g. the
+// Bluetooth link's own transient-failure loop). Cancellation stops the
+// loop immediately.
+func (f *Frontend) acquireWithRetry(ctx context.Context, fn string, req sensors.Request) (sensors.Reading, error) {
+	var lastErr error
+	for attempt := 0; attempt <= f.acquireRetries; attempt++ {
+		reading, err := f.phone.Manager().Acquire(ctx, fn, req)
+		if err == nil {
+			return reading, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return sensors.Reading{}, lastErr
+}
+
 // hostFunc adapts one acquisition function into a Lua host function:
 // get_*_readings(count, window_ms) -> table of numbers;
 // get_location(count) -> table of {lat, lon, alt} tables.
-func (f *Frontend) hostFunc(ctx context.Context, fn string, at time.Time, col *collector) luascript.GoFunc {
+func (f *Frontend) hostFunc(ctx context.Context, taskID, fn string, at time.Time, col *collector) luascript.GoFunc {
 	return func(args []luascript.Value) ([]luascript.Value, error) {
 		if !f.prefs.Allowed(fn) {
 			return nil, fmt.Errorf("sensor %s disabled by user preference", fn)
@@ -385,11 +530,19 @@ func (f *Frontend) hostFunc(ctx context.Context, fn string, at time.Time, col *c
 				window = time.Duration(ms) * time.Millisecond
 			}
 		}
-		reading, err := f.phone.Manager().Acquire(ctx, fn, sensors.Request{
+		reading, err := f.acquireWithRetry(ctx, fn, sensors.Request{
 			At: at, Count: count, Window: window,
 		})
 		if err != nil {
-			return nil, err
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			// The sensor kept failing after bounded retries (e.g. a flaky
+			// Bluetooth multisensor). Degrade gracefully: record the gap,
+			// hand the script an empty table, and let the task's other
+			// sensors still produce a partial upload.
+			f.recordGap(taskID, fn, at)
+			return []luascript.Value{luascript.NewTable()}, nil
 		}
 		col.record(fn, reading)
 		if fn == device.FnLocation {

@@ -135,6 +135,7 @@ func TestTaskStateString(t *testing.T) {
 	for s, want := range map[TaskState]string{
 		TaskStateWaiting: "waiting", TaskStateRunning: "running",
 		TaskStateDone: "done", TaskStateFailed: "failed",
+		TaskStateUploadPending: "upload-pending",
 	} {
 		if s.String() != want {
 			t.Fatalf("%d = %q", s, s.String())

@@ -1,0 +1,87 @@
+package schedule
+
+import (
+	"testing"
+)
+
+// TestRecordExecutionIdempotentPerInstant pins the budget-dedup audit: the
+// same (user, instant) recorded twice — overlapping reports or a replay —
+// charges the budget exactly once and adds exactly one prior-coverage
+// entry.
+func TestRecordExecutionIdempotentPerInstant(t *testing.T) {
+	o, tl := mustOnline(t, 60)
+	if _, err := o.Join(periodStart, Participant{
+		UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RecordExecution("u", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RecordExecution("u", 5); err != nil {
+		t.Fatalf("duplicate instant must be a no-op, got %v", err)
+	}
+	if got := o.ExecutedInstants(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("executed = %v, want [5]", got)
+	}
+	led := o.Ledger()["u"]
+	if led.Consumed != 1 || led.Budget != 3 {
+		t.Fatalf("ledger = %+v, want consumed 1 of 3", led)
+	}
+	// A different user at the same instant is a distinct measurement.
+	if _, err := o.Join(periodStart, Participant{
+		UserID: "v", Arrive: periodStart, Leave: tl.End(), Budget: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RecordExecution("v", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.ExecutedInstants(); len(got) != 2 {
+		t.Fatalf("executed = %v, want two entries (one per user)", got)
+	}
+}
+
+// TestRecordExecutionsSkipsAlreadyChargedInstants pins the batched path:
+// duplicate instants inside one call and across calls are skipped without
+// consuming budget, and the skip does not burn budget headroom for fresh
+// instants later in the slice.
+func TestRecordExecutionsSkipsAlreadyChargedInstants(t *testing.T) {
+	o, tl := mustOnline(t, 60)
+	if _, err := o.Join(periodStart, Participant{
+		UserID: "u", Arrive: periodStart, Leave: tl.End(), Budget: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := o.RecordExecutions("u", []int{2, 2, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("recorded %d, want 2 (instants 2 and 7)", n)
+	}
+	// Replay of the whole slice: nothing new.
+	n, err = o.RecordExecutions("u", []int{2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replay recorded %d, want 0", n)
+	}
+	led := o.Ledger()["u"]
+	if led.Consumed != 2 {
+		t.Fatalf("ledger = %+v, want consumed 2", led)
+	}
+	// One unit of budget left: a fresh instant still fits even after the
+	// replayed duplicates earlier in the slice.
+	n, err = o.RecordExecutions("u", []int{2, 7, 9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recorded %d, want 1 (only instant 9 fits the budget)", n)
+	}
+	if got := o.Ledger()["u"].Consumed; got != 3 {
+		t.Fatalf("consumed = %d, want 3", got)
+	}
+}

@@ -31,6 +31,12 @@ type onlineUser struct {
 	p        Participant
 	consumed int  // measurements already executed
 	left     bool // user departed (geofence exit)
+	// charged marks timeline instants this user has already been billed
+	// for. A schedule asks for at most one measurement per user per
+	// instant, so a second report of the same (user, instant) — overlapping
+	// reports, or a replay that slipped past transport dedup — must not
+	// consume budget or inflate prior coverage again.
+	charged map[int]bool
 }
 
 // NewOnline wraps a Scheduler for event-driven use.
@@ -55,7 +61,7 @@ func (o *Online) Join(now time.Time, p Participant) (*Plan, error) {
 	if p.Arrive.Before(now) {
 		p.Arrive = now
 	}
-	o.parts[p.UserID] = &onlineUser{p: p}
+	o.parts[p.UserID] = &onlineUser{p: p, charged: make(map[int]bool)}
 	return o.replanLocked(now)
 }
 
@@ -77,6 +83,8 @@ func (o *Online) Leave(now time.Time, userID string) (*Plan, error) {
 
 // RecordExecution notes that userID actually sensed at the given timeline
 // instant; the measurement becomes prior coverage and consumes budget.
+// Recording the same (user, instant) twice is an idempotent no-op: budget
+// is charged per distinct instant, exactly once.
 func (o *Online) RecordExecution(userID string, instant int) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -84,13 +92,17 @@ func (o *Online) RecordExecution(userID string, instant int) error {
 	if !ok {
 		return fmt.Errorf("schedule: unknown user %s", userID)
 	}
-	if u.consumed >= u.p.Budget {
-		return fmt.Errorf("schedule: user %s exceeded budget %d", userID, u.p.Budget)
-	}
 	if instant < 0 || instant >= o.sched.Timeline().N() {
 		return fmt.Errorf("schedule: instant %d out of range", instant)
 	}
+	if u.charged[instant] {
+		return nil
+	}
+	if u.consumed >= u.p.Budget {
+		return fmt.Errorf("schedule: user %s exceeded budget %d", userID, u.p.Budget)
+	}
 	u.consumed++
+	u.charged[instant] = true
 	o.executed = append(o.executed, instant)
 	return nil
 }
@@ -99,7 +111,8 @@ func (o *Online) RecordExecution(userID string, instant int) error {
 // instants under one lock acquisition (the server's coalesced ingest path
 // uses it so a burst of reports does not take the scheduler lock per
 // measurement). Instants past the user's budget or out of range are
-// skipped; it returns how many were recorded.
+// skipped, and instants the user was already charged for are idempotent
+// no-ops; it returns how many were newly recorded.
 func (o *Online) RecordExecutions(userID string, instants []int) (int, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -110,17 +123,37 @@ func (o *Online) RecordExecutions(userID string, instants []int) (int, error) {
 	n := o.sched.Timeline().N()
 	recorded := 0
 	for _, instant := range instants {
+		if instant < 0 || instant >= n || u.charged[instant] {
+			continue
+		}
 		if u.consumed >= u.p.Budget {
 			break
 		}
-		if instant < 0 || instant >= n {
-			continue
-		}
 		u.consumed++
+		u.charged[instant] = true
 		o.executed = append(o.executed, instant)
 		recorded++
 	}
 	return recorded, nil
+}
+
+// UserLedger is one user's budget accounting snapshot.
+type UserLedger struct {
+	Budget   int
+	Consumed int
+	Left     bool
+}
+
+// Ledger snapshots every participant's budget state (observability; the
+// chaos suite compares faulty-run ledgers against fault-free ones).
+func (o *Online) Ledger() map[string]UserLedger {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]UserLedger, len(o.parts))
+	for id, u := range o.parts {
+		out[id] = UserLedger{Budget: u.p.Budget, Consumed: u.consumed, Left: u.left}
+	}
+	return out
 }
 
 // Plan returns the current plan (recomputed at the time of the last event).

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sor/internal/wire"
+)
+
+// uploadFor builds a small two-instant report for a scheduled task.
+func uploadFor(sched *wire.Schedule, reportID string) *wire.DataUpload {
+	return &wire.DataUpload{
+		TaskID: sched.TaskID, AppID: sched.AppID, UserID: sched.UserID,
+		ReportID: reportID,
+		Series: []wire.SensorSeries{{
+			Sensor: "temperature",
+			Samples: []wire.SensorSample{
+				{AtUnixMilli: t0.UnixMilli(), WindowMilli: 5000, Readings: []float64{72.5}},
+				{AtUnixMilli: t0.Add(time.Minute).UnixMilli(), WindowMilli: 5000, Readings: []float64{73.5}},
+			},
+		}},
+	}
+}
+
+// TestDuplicateReplaySingleUploadPath pins exactly-once ingest on the
+// single-report path: a retransmission whose first ack was lost is acked
+// OK again but stored once and budget-charged once.
+func TestDuplicateReplaySingleUploadPath(t *testing.T) {
+	s, _ := newTestServer(t)
+	if err := s.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, s, "alice", "tok-a", 6)
+	up := uploadFor(sched, "tok-a/"+sched.TaskID+"/1")
+
+	resp, err := s.Handler()(nil, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK || ack.Code != 200 {
+		t.Fatalf("first upload ack = %+v", ack)
+	}
+	executed := len(s.ExecutedInstants("app-sb"))
+	consumed := s.BudgetLedger("app-sb")["alice"].Consumed
+	if executed != 2 || consumed != 2 {
+		t.Fatalf("first upload: executed=%d consumed=%d, want 2/2", executed, consumed)
+	}
+
+	// Replay: the phone never saw the ack and resends the same ReportID.
+	for i := 0; i < 3; i++ {
+		resp, err = s.Handler()(nil, up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack := resp.(*wire.Ack)
+		if !ack.OK || ack.Code != 200 {
+			t.Fatalf("replay %d must be acked OK so the phone stops resending: %+v", i, ack)
+		}
+		if !strings.Contains(ack.Message, "duplicate") {
+			t.Fatalf("replay %d ack message = %q", i, ack.Message)
+		}
+	}
+	if got := s.DB().PendingUploads(); got != 1 {
+		t.Fatalf("pending uploads = %d, want 1 (replays must not re-store)", got)
+	}
+	if got := len(s.ExecutedInstants("app-sb")); got != executed {
+		t.Fatalf("executed instants grew to %d on replay", got)
+	}
+	if got := s.BudgetLedger("app-sb")["alice"].Consumed; got != consumed {
+		t.Fatalf("budget consumed grew to %d on replay", got)
+	}
+}
+
+// TestDuplicateReplayBatchPath pins exactly-once ingest on the coalesced
+// path: a replayed batch (and duplicates inside one batch) ack fully
+// accepted yet store and charge nothing new.
+func TestDuplicateReplayBatchPath(t *testing.T) {
+	s, _ := newTestServer(t)
+	if err := s.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, s, "alice", "tok-a", 6)
+	r1 := uploadFor(sched, "tok-a/"+sched.TaskID+"/1")
+	r2 := uploadFor(sched, "tok-a/"+sched.TaskID+"/2")
+	batch := &wire.DataUploadBatch{Uploads: []wire.DataUpload{*r1, *r2}}
+
+	resp, err := s.Handler()(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK || ack.Code != 200 {
+		t.Fatalf("first batch ack = %+v", ack)
+	}
+	if got := s.DB().PendingUploads(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	consumed := s.BudgetLedger("app-sb")["alice"].Consumed
+
+	// Whole-batch replay (the phone's batch ack was lost).
+	resp, err = s.Handler()(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All duplicates still count as accepted: a 200 tells the outbox to
+	// drop them; anything less would make it resend forever.
+	if ack := resp.(*wire.Ack); !ack.OK || ack.Code != 200 {
+		t.Fatalf("replayed batch ack = %+v, want full acceptance", ack)
+	}
+	if got := s.DB().PendingUploads(); got != 2 {
+		t.Fatalf("pending = %d after replay, want 2", got)
+	}
+	if got := s.BudgetLedger("app-sb")["alice"].Consumed; got != consumed {
+		t.Fatalf("budget consumed grew to %d on batch replay", got)
+	}
+
+	// A batch mixing one fresh and one replayed report is fully accepted
+	// and stores only the fresh one.
+	r3 := uploadFor(sched, "tok-a/"+sched.TaskID+"/3")
+	mixed := &wire.DataUploadBatch{Uploads: []wire.DataUpload{*r2, *r3}}
+	resp, err = s.Handler()(nil, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK || ack.Code != 200 {
+		t.Fatalf("mixed batch ack = %+v", ack)
+	}
+	if got := s.DB().PendingUploads(); got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+}
+
+// TestDuplicateReplayAcrossPaths pins that the dedup window is shared by
+// both ingest paths: a report stored via the single path replayed inside a
+// batch (and vice versa) is not stored again.
+func TestDuplicateReplayAcrossPaths(t *testing.T) {
+	s, _ := newTestServer(t)
+	if err := s.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, s, "alice", "tok-a", 6)
+	r1 := uploadFor(sched, "tok-a/"+sched.TaskID+"/1")
+	if _, err := s.Handler()(nil, r1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Handler()(nil, &wire.DataUploadBatch{Uploads: []wire.DataUpload{*r1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK || ack.Code != 200 {
+		t.Fatalf("cross-path replay ack = %+v", ack)
+	}
+	if got := s.DB().PendingUploads(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+
+	r2 := uploadFor(sched, "tok-a/"+sched.TaskID+"/2")
+	if _, err := s.Handler()(nil, &wire.DataUploadBatch{Uploads: []wire.DataUpload{*r2}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = s.Handler()(nil, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK || !strings.Contains(ack.Message, "duplicate") {
+		t.Fatalf("batch-then-single replay ack = %+v", ack)
+	}
+	if got := s.DB().PendingUploads(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+}
+
+// TestEmptyReportIDNotDeduplicated pins legacy behavior: senders that do
+// not mint ReportIDs keep at-least-once semantics (every copy stored).
+func TestEmptyReportIDNotDeduplicated(t *testing.T) {
+	s, _ := newTestServer(t)
+	if err := s.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, s, "alice", "tok-a", 6)
+	up := uploadFor(sched, "")
+	for i := 0; i < 2; i++ {
+		resp, err := s.Handler()(nil, up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack := resp.(*wire.Ack); !ack.OK {
+			t.Fatalf("ack = %+v", ack)
+		}
+	}
+	if got := s.DB().PendingUploads(); got != 2 {
+		t.Fatalf("pending = %d, want 2 (no ReportID, no dedup)", got)
+	}
+}

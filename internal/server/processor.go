@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -169,6 +170,35 @@ var robustPipelines = map[string]sensorFeature{
 	"barometer":     {"altitude change", feature.AltitudeChangeExtractor{}},
 }
 
+// canonicalizeSamples copies samples into a canonical order independent of
+// ingest arrival order. Float accumulation is not associative, so feeding
+// extractors in drain order would make feature values depend on which
+// retransmission won a race; sorting first makes the whole pipeline a pure
+// function of the sample *set*, which is what lets the chaos suite demand
+// byte-identical features from a faulty and a fault-free run.
+func canonicalizeSamples(samples []feature.Sample) []feature.Sample {
+	out := append([]feature.Sample(nil), samples...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.At.Equal(b.At) {
+			return a.At.Before(b.At)
+		}
+		if a.Window != b.Window {
+			return a.Window < b.Window
+		}
+		if len(a.Readings) != len(b.Readings) {
+			return len(a.Readings) < len(b.Readings)
+		}
+		for k := range a.Readings {
+			if a.Readings[k] != b.Readings[k] {
+				return a.Readings[k] < b.Readings[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
 // refreshApp recomputes every feature for one application.
 func (d *DataProcessor) refreshApp(appID string) error {
 	app, err := d.db.App(appID)
@@ -189,14 +219,31 @@ func (d *DataProcessor) refreshApp(appID string) error {
 	for k, v := range ad.scalar {
 		sensorsSnapshot[k] = v
 	}
-	trackSnapshot := make([]feature.GeoSample, 0, len(ad.track))
-	for _, burst := range ad.track {
-		trackSnapshot = append(trackSnapshot, feature.GeoSample{
+	type keyedBurst struct {
+		key burstKey
+		gs  feature.GeoSample
+	}
+	bursts := make([]keyedBurst, 0, len(ad.track))
+	for key, burst := range ad.track {
+		bursts = append(bursts, keyedBurst{key: key, gs: feature.GeoSample{
 			At:     burst.At,
 			Points: burst.Points[:len(burst.Points):len(burst.Points)],
-		})
+		}})
 	}
 	ad.mu.Unlock()
+	// Canonical burst order: (instant, user). Points inside one burst keep
+	// their recorded sequence — that is the walker's path; only the order
+	// *between* bursts is arrival-dependent and must be normalized.
+	sort.Slice(bursts, func(i, j int) bool {
+		if bursts[i].key.at != bursts[j].key.at {
+			return bursts[i].key.at < bursts[j].key.at
+		}
+		return bursts[i].key.user < bursts[j].key.user
+	})
+	trackSnapshot := make([]feature.GeoSample, len(bursts))
+	for i, kb := range bursts {
+		trackSnapshot[i] = kb.gs
+	}
 	pipelines := featurePipelines
 	if d.robust.Load() {
 		pipelines = robustPipelines
@@ -207,7 +254,7 @@ func (d *DataProcessor) refreshApp(appID string) error {
 		if !ok || len(samples) == 0 {
 			continue
 		}
-		value, err := pipeline.extractor.Extract(samples)
+		value, err := pipeline.extractor.Extract(canonicalizeSamples(samples))
 		if err != nil {
 			continue
 		}

@@ -372,6 +372,12 @@ func (s *Server) handleDataUpload(msg *wire.DataUpload) (wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Idempotent ingest: a ReportID already in the app's dedup window is a
+	// retransmission of a report whose ack got lost. Ack it again so the
+	// phone stops resending, but store and budget-charge nothing.
+	if !s.db.MarkReport(msg.AppID, msg.ReportID) {
+		return &wire.Ack{OK: true, Code: 200, Message: "duplicate"}, nil
+	}
 	s.db.AppendUpload(msg.AppID, raw, s.now())
 	s.markDirty(msg.AppID)
 
@@ -449,6 +455,13 @@ func (s *Server) HandleReportBatch(msg *wire.DataUploadBatch) (wire.Message, err
 			raw, err := wire.Encode(up)
 			if err != nil {
 				return nil, err
+			}
+			// Replays (lost-ack retransmissions) count as accepted — the
+			// phone needs an OK to stop resending — but are not re-stored
+			// and not re-charged.
+			if !s.db.MarkReport(appID, up.ReportID) {
+				accepted++
+				continue
 			}
 			bodies = append(bodies, raw)
 			if st != nil {
@@ -603,6 +616,25 @@ func (s *Server) FeatureMatrix(category string) (*ranking.Matrix, error) {
 		return nil, fmt.Errorf("server: no fully sensed places in category %q", category)
 	}
 	return m, nil
+}
+
+// ExecutedInstants returns the app's recorded measurement instants, sorted
+// (diagnostics; the chaos suite compares faulty vs fault-free coverage).
+func (s *Server) ExecutedInstants(appID string) []int {
+	st := s.states.get(appID)
+	if st == nil {
+		return nil
+	}
+	return st.online.ExecutedInstants()
+}
+
+// BudgetLedger returns the app's per-user budget accounting (diagnostics).
+func (s *Server) BudgetLedger(appID string) map[string]schedule.UserLedger {
+	st := s.states.get(appID)
+	if st == nil {
+		return nil
+	}
+	return st.online.Ledger()
 }
 
 // PlanSnapshot returns the current plan coverage for an app (diagnostics).

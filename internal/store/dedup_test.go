@@ -1,0 +1,107 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMarkReportDedups(t *testing.T) {
+	s := New()
+	if !s.MarkReport("app", "r1") {
+		t.Fatal("first mark must be new")
+	}
+	if s.MarkReport("app", "r1") {
+		t.Fatal("second mark must report a duplicate")
+	}
+	if !s.ReportSeen("app", "r1") {
+		t.Fatal("ReportSeen lost the mark")
+	}
+	// Windows are per-application: the same ID under another app is new.
+	if !s.MarkReport("other-app", "r1") {
+		t.Fatal("dedup windows must not be shared across apps")
+	}
+	// Empty IDs (legacy senders without dedup support) are never deduped.
+	if !s.MarkReport("app", "") || !s.MarkReport("app", "") {
+		t.Fatal("empty ReportIDs must always pass")
+	}
+	if s.ReportSeen("app", "") {
+		t.Fatal("empty ReportID must not be recorded")
+	}
+}
+
+func TestMarkReportWindowEvictsOldest(t *testing.T) {
+	s := New()
+	for i := 0; i < reportWindowSize+1; i++ {
+		if !s.MarkReport("app", fmt.Sprintf("r%d", i)) {
+			t.Fatalf("r%d spuriously deduped", i)
+		}
+	}
+	// r0 was evicted when r8192 entered; it reads as new again.
+	if s.ReportSeen("app", "r0") {
+		t.Fatal("oldest ID still in a full window")
+	}
+	// Re-marking r0 into the full window evicts the then-oldest r1.
+	if !s.MarkReport("app", "r0") {
+		t.Fatal("evicted ID must be acceptable again")
+	}
+	if s.ReportSeen("app", "r1") {
+		t.Fatal("r1 should have been evicted by r0's re-entry")
+	}
+	// r2 survived both evictions and must still dedup.
+	if s.MarkReport("app", "r2") {
+		t.Fatal("recent ID evicted too early")
+	}
+}
+
+func TestDedupWindowSurvivesSnapshotRestore(t *testing.T) {
+	s := New()
+	s.MarkReport("app-a", "r1")
+	s.MarkReport("app-a", "r2")
+	s.MarkReport("app-b", "r1")
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ app, id string }{
+		{"app-a", "r1"}, {"app-a", "r2"}, {"app-b", "r1"},
+	} {
+		if restored.MarkReport(tc.app, tc.id) {
+			t.Fatalf("replay of %s/%s accepted after restart", tc.app, tc.id)
+		}
+	}
+	if !restored.MarkReport("app-a", "r3") {
+		t.Fatal("fresh ID refused after restore")
+	}
+}
+
+func TestMarkReportConcurrent(t *testing.T) {
+	s := New()
+	const goroutines, ids = 8, 200
+	var wg sync.WaitGroup
+	newCount := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ids; i++ {
+				if s.MarkReport("app", fmt.Sprintf("r%d", i)) {
+					newCount[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range newCount {
+		total += n
+	}
+	// Every distinct ID is accepted exactly once across all racers.
+	if total != ids {
+		t.Fatalf("accepted %d, want %d", total, ids)
+	}
+}

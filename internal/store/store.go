@@ -181,6 +181,41 @@ type schedShard struct {
 	rows map[string]ScheduleRow
 }
 
+// reportWindowSize bounds each application's ReportID dedup window. Phones
+// mint monotonically increasing IDs and retransmit only until acked, so a
+// replay arriving after 8192 newer reports for the same app is effectively
+// impossible; bounding the window keeps memory proportional to recent
+// traffic, not lifetime traffic.
+const reportWindowSize = 8192
+
+// reportWindow is one application's seen-ReportID set with FIFO eviction.
+type reportWindow struct {
+	seen  map[string]struct{}
+	order []string // insertion order, oldest first
+}
+
+// mark records an ID; it reports whether the ID was new. Evicts the oldest
+// entry when the window is full.
+func (w *reportWindow) mark(id string) bool {
+	if _, dup := w.seen[id]; dup {
+		return false
+	}
+	if len(w.order) >= reportWindowSize {
+		oldest := w.order[0]
+		w.order = w.order[1:]
+		delete(w.seen, oldest)
+	}
+	w.seen[id] = struct{}{}
+	w.order = append(w.order, id)
+	return true
+}
+
+// dedupShard is one bucket of the per-app dedup windows.
+type dedupShard struct {
+	mu   sync.Mutex
+	apps map[string]*reportWindow
+}
+
 // Store is the whole database. The zero value is not usable; call New.
 //
 // The cold tables (users, apps, participations, features) share one
@@ -198,6 +233,7 @@ type Store struct {
 	uploadSeq    atomic.Int64
 	uploadShards [numShards]uploadShard
 	schedShards  [numShards]schedShard
+	dedupShards  [numShards]dedupShard
 
 	// featVers holds one *atomic.Int64 per category, bumped whenever a
 	// feature row in that category materially changes (or an application
@@ -221,6 +257,9 @@ func New() *Store {
 	}
 	for i := range s.schedShards {
 		s.schedShards[i].rows = make(map[string]ScheduleRow)
+	}
+	for i := range s.dedupShards {
+		s.dedupShards[i].apps = make(map[string]*reportWindow)
 	}
 	return s
 }
@@ -437,6 +476,44 @@ func (s *Store) AppendUploads(appID string, bodies [][]byte, received time.Time)
 	return base + int64(len(bodies))
 }
 
+// MarkReport records a ReportID in appID's dedup window and reports
+// whether it was new. A false return means the report was already
+// ingested — the Message Handler acks it without storing or charging
+// budget again, which turns the device outbox's at-least-once
+// retransmission into exactly-once storage. Empty ReportIDs (legacy
+// senders) are never deduplicated.
+func (s *Store) MarkReport(appID, reportID string) bool {
+	if reportID == "" {
+		return true
+	}
+	sh := &s.dedupShards[shardIndex(appID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	w, ok := sh.apps[appID]
+	if !ok {
+		w = &reportWindow{seen: make(map[string]struct{})}
+		sh.apps[appID] = w
+	}
+	return w.mark(reportID)
+}
+
+// ReportSeen reports whether a ReportID is in appID's dedup window
+// (read-only; observability and tests).
+func (s *Store) ReportSeen(appID, reportID string) bool {
+	if reportID == "" {
+		return false
+	}
+	sh := &s.dedupShards[shardIndex(appID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	w, ok := sh.apps[appID]
+	if !ok {
+		return false
+	}
+	_, seen := w.seen[reportID]
+	return seen
+}
+
 // DrainUploads removes and returns all pending uploads (oldest first,
 // across every bucket) — the Data Processor's periodic poll.
 func (s *Store) DrainUploads() []RawUpload {
@@ -572,15 +649,23 @@ func (s *Store) Schedule(taskID string) (ScheduleRow, error) {
 
 // ---- Durability ----
 
+// ReportWindowRow is one application's dedup window in a snapshot (IDs
+// oldest first, so Restore rebuilds the same eviction order).
+type ReportWindowRow struct {
+	AppID string   `json:"app_id"`
+	IDs   []string `json:"ids"`
+}
+
 // snapshot is the JSON image of the whole store.
 type snapshot struct {
-	Users          []User          `json:"users"`
-	Apps           []Application   `json:"apps"`
-	Participations []Participation `json:"participations"`
-	Uploads        []RawUpload     `json:"uploads"`
-	UploadSeq      int64           `json:"upload_seq"`
-	Features       []FeatureRow    `json:"features"`
-	Schedules      []ScheduleRow   `json:"schedules"`
+	Users          []User            `json:"users"`
+	Apps           []Application     `json:"apps"`
+	Participations []Participation   `json:"participations"`
+	Uploads        []RawUpload       `json:"uploads"`
+	UploadSeq      int64             `json:"upload_seq"`
+	Features       []FeatureRow      `json:"features"`
+	Schedules      []ScheduleRow     `json:"schedules"`
+	SeenReports    []ReportWindowRow `json:"seen_reports,omitempty"`
 }
 
 // Snapshot serializes the store to JSON. Each table is internally
@@ -606,6 +691,19 @@ func (s *Store) Snapshot() ([]byte, error) {
 		}
 		sh.mu.RUnlock()
 	}
+	for i := range s.dedupShards {
+		sh := &s.dedupShards[i]
+		sh.mu.Lock()
+		for appID, w := range sh.apps {
+			snap.SeenReports = append(snap.SeenReports, ReportWindowRow{
+				AppID: appID, IDs: append([]string(nil), w.order...),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.SeenReports, func(i, j int) bool {
+		return snap.SeenReports[i].AppID < snap.SeenReports[j].AppID
+	})
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, u := range s.users {
@@ -666,6 +764,11 @@ func Restore(data []byte) (*Store, error) {
 	}
 	for _, r := range snap.Schedules {
 		s.schedShards[shardIndex(r.TaskID)].rows[r.TaskID] = r
+	}
+	for _, row := range snap.SeenReports {
+		for _, id := range row.IDs {
+			s.MarkReport(row.AppID, id)
+		}
 	}
 	return s, nil
 }

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Fault-injection errors. Both unwrap to ErrInjected so callers can tell
+// synthetic chaos failures from real transport trouble.
+var (
+	// ErrInjected is the common ancestor of every injected failure.
+	ErrInjected = errors.New("transport: injected fault")
+	// ErrRequestLost marks a request dropped before it reached the server.
+	ErrRequestLost = fmt.Errorf("%w: request lost", ErrInjected)
+	// ErrResponseLost marks the nasty case: the server received and fully
+	// processed the request, but the response never made it back, so the
+	// client cannot tell delivery from loss.
+	ErrResponseLost = fmt.Errorf("%w: response lost", ErrInjected)
+	// ErrPartitioned marks a request refused while the network is
+	// partitioned.
+	ErrPartitioned = fmt.Errorf("%w: network partitioned", ErrInjected)
+)
+
+// FaultConfig parameterizes a FaultInjector. All probabilities are in
+// [0, 1]; zero values inject nothing of that kind.
+type FaultConfig struct {
+	// Seed makes the fault schedule reproducible.
+	Seed int64
+	// RequestLoss is the probability a request is dropped before the
+	// server sees it (the phone's packet never arrives).
+	RequestLoss float64
+	// ResponseLoss is the probability a request is delivered and handled
+	// but its response is dropped (delivered-but-unacked). Retrying such a
+	// request redelivers it, which is exactly what the server's dedup
+	// window must absorb.
+	ResponseLoss float64
+	// SpikeProb is the probability a surviving request pays Spike of extra
+	// latency before being forwarded.
+	SpikeProb float64
+	// Spike is the injected latency per spike.
+	Spike time.Duration
+}
+
+// FaultStats counts what the injector did.
+type FaultStats struct {
+	Requests      int // requests that entered the injector
+	RequestsLost  int // dropped before the server
+	ResponsesLost int // delivered but the ack was dropped
+	Partitioned   int // refused during a partition
+	Spikes        int // latency spikes injected
+}
+
+// FaultInjector simulates a faulty network between phones and the sensing
+// server: seeded random request loss, response (ack) loss, latency spikes
+// and timed partitions. It wraps either side of the HTTP exchange — wrap
+// the client's http.RoundTripper with Transport, or the server's
+// http.Handler with Handler — and both wrappers share one seeded schedule
+// and one stats block. While disabled (SetEnabled(false)) it forwards
+// everything untouched, so a harness can bring a fleet up cleanly and
+// then pull the network out from under it.
+type FaultInjector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	cfg         FaultConfig
+	enabled     bool
+	partitioned bool
+	stats       FaultStats
+}
+
+// NewFaultInjector builds an enabled injector with a deterministic
+// schedule drawn from cfg.Seed.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		enabled: true,
+	}
+}
+
+// SetEnabled switches fault injection on or off; while off, traffic flows
+// untouched (partitions included).
+func (fi *FaultInjector) SetEnabled(on bool) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.enabled = on
+}
+
+// StartPartition cuts the network: every request fails until HealPartition.
+func (fi *FaultInjector) StartPartition() {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.partitioned = true
+}
+
+// HealPartition restores the network.
+func (fi *FaultInjector) HealPartition() {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.partitioned = false
+}
+
+// PartitionFor cuts the network now and heals it after d (a timed
+// partition). It returns a timer so callers can cancel the healing.
+func (fi *FaultInjector) PartitionFor(d time.Duration) *time.Timer {
+	fi.StartPartition()
+	return time.AfterFunc(d, fi.HealPartition)
+}
+
+// Partitioned reports whether the network is currently cut.
+func (fi *FaultInjector) Partitioned() bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.partitioned
+}
+
+// Stats snapshots the injection counters.
+func (fi *FaultInjector) Stats() FaultStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}
+
+// verdict is one request's fate, drawn under the injector lock.
+type verdict struct {
+	dropRequest  bool
+	dropResponse bool
+	partitioned  bool
+	spike        time.Duration
+}
+
+// decide draws one request's fate from the seeded schedule.
+func (fi *FaultInjector) decide() verdict {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if !fi.enabled {
+		fi.stats.Requests++
+		return verdict{}
+	}
+	var v verdict
+	fi.stats.Requests++
+	switch {
+	case fi.partitioned:
+		v.partitioned = true
+		fi.stats.Partitioned++
+	case fi.rng.Float64() < fi.cfg.RequestLoss:
+		v.dropRequest = true
+		fi.stats.RequestsLost++
+	case fi.rng.Float64() < fi.cfg.ResponseLoss:
+		v.dropResponse = true
+		fi.stats.ResponsesLost++
+	}
+	if !v.partitioned && !v.dropRequest &&
+		fi.cfg.Spike > 0 && fi.rng.Float64() < fi.cfg.SpikeProb {
+		v.spike = fi.cfg.Spike
+		fi.stats.Spikes++
+	}
+	return v
+}
+
+// faultTransport is the client-side wrapper.
+type faultTransport struct {
+	fi    *FaultInjector
+	inner http.RoundTripper
+}
+
+// Transport wraps a client-side http.RoundTripper. A nil inner uses
+// http.DefaultTransport.
+func (fi *FaultInjector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &faultTransport{fi: fi, inner: inner}
+}
+
+// RoundTrip implements http.RoundTripper: a dropped request never reaches
+// the wire; a dropped response lets the server process the request fully,
+// then discards the reply on the way back.
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	v := t.fi.decide()
+	if v.partitioned || v.dropRequest {
+		// Per the RoundTripper contract the body is consumed even on error.
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		if v.partitioned {
+			return nil, ErrPartitioned
+		}
+		return nil, ErrRequestLost
+	}
+	if v.spike > 0 {
+		select {
+		case <-time.After(v.spike):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if v.dropResponse {
+		// The server has already committed the request's effects; make the
+		// client experience a network failure after the fact.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, ErrResponseLost
+	}
+	return resp, nil
+}
+
+// faultHandler is the server-side wrapper.
+type faultHandler struct {
+	fi    *FaultInjector
+	inner http.Handler
+}
+
+// Handler wraps a server-side http.Handler with the same fault schedule:
+// a lost request aborts the connection before the handler runs; a lost
+// response runs the handler to completion (all state changes commit) and
+// then aborts the connection instead of writing the reply.
+func (fi *FaultInjector) Handler(inner http.Handler) http.Handler {
+	return &faultHandler{fi: fi, inner: inner}
+}
+
+func (h *faultHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	v := h.fi.decide()
+	if v.partitioned || v.dropRequest {
+		panic(http.ErrAbortHandler)
+	}
+	if v.spike > 0 {
+		select {
+		case <-time.After(v.spike):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if v.dropResponse {
+		h.inner.ServeHTTP(&discardResponseWriter{header: make(http.Header)}, r)
+		panic(http.ErrAbortHandler)
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// discardResponseWriter swallows the handler's reply so its side effects
+// commit while the client sees nothing.
+type discardResponseWriter struct {
+	header http.Header
+}
+
+func (d *discardResponseWriter) Header() http.Header         { return d.header }
+func (d *discardResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}

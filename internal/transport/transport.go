@@ -12,8 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sor/internal/wire"
@@ -77,13 +79,40 @@ func NewHTTPHandler(h Handler) (http.Handler, error) {
 	return mux, nil
 }
 
+// HTTPError is a non-200 HTTP status from the server. 4xx statuses are
+// refusals — the request itself is defective — so Send does not retry
+// them; 5xx and transport-level failures are retried.
+type HTTPError struct {
+	Status int
+	Body   string
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("transport: HTTP %d: %s", e.Status, e.Body)
+}
+
+// Retryable reports whether the status may succeed on resend.
+func (e *HTTPError) Retryable() bool {
+	return e.Status < 400 || e.Status >= 500
+}
+
 // Client sends SOR messages to a server URL. It implements the frontend's
-// Sender interface.
+// Sender interface. Safe for concurrent use.
 type Client struct {
-	url     string
-	http    *http.Client
-	retries int
-	backoff time.Duration
+	url        string
+	http       *http.Client
+	retries    int
+	backoff    time.Duration
+	backoffCap time.Duration
+	onRetry    func(attempt int, delay time.Duration, err error)
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	sends       atomic.Int64
+	retryCount  atomic.Int64
+	nonRetrying atomic.Int64
 }
 
 // ClientOption configures a Client.
@@ -96,9 +125,26 @@ func WithRetries(n int) ClientOption {
 }
 
 // WithBackoff sets the base backoff between retries (default 50 ms,
-// doubling per attempt).
+// doubling per attempt before jitter).
 func WithBackoff(d time.Duration) ClientOption {
 	return func(c *Client) { c.backoff = d }
+}
+
+// WithBackoffCap bounds the exponential backoff growth (default 2 s).
+func WithBackoffCap(d time.Duration) ClientOption {
+	return func(c *Client) { c.backoffCap = d }
+}
+
+// WithRetrySeed makes the retry jitter deterministic (tests).
+func WithRetrySeed(seed int64) ClientOption {
+	return func(c *Client) { c.jitter = rand.New(rand.NewSource(seed)) }
+}
+
+// WithRetryObserver installs a hook called before every retry sleep with
+// the upcoming attempt number (1-based), the jittered delay about to be
+// slept, and the error that caused the retry (test instrumentation).
+func WithRetryObserver(fn func(attempt int, delay time.Duration, err error)) ClientOption {
+	return func(c *Client) { c.onRetry = fn }
 }
 
 // WithHTTPClient substitutes the underlying *http.Client.
@@ -113,36 +159,92 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 		return nil, errors.New("transport: empty base URL")
 	}
 	c := &Client{
-		url:     baseURL + Path,
-		http:    &http.Client{Timeout: 10 * time.Second},
-		retries: 2,
-		backoff: 50 * time.Millisecond,
+		url:        baseURL + Path,
+		http:       &http.Client{Timeout: 10 * time.Second},
+		retries:    2,
+		backoff:    50 * time.Millisecond,
+		backoffCap: 2 * time.Second,
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if c.jitter == nil {
+		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
 	return c, nil
 }
 
-// Send encodes m, POSTs it, and decodes the response message.
+// ClientStats are the client's send/retry counters.
+type ClientStats struct {
+	// Sends counts Send calls.
+	Sends int64
+	// Retries counts resends beyond each call's first attempt.
+	Retries int64
+	// NonRetryable counts sends abandoned without retry (4xx refusals).
+	NonRetryable int64
+}
+
+// Stats snapshots the retry counters (observability for tests and load
+// tools).
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Sends:        c.sends.Load(),
+		Retries:      c.retryCount.Load(),
+		NonRetryable: c.nonRetrying.Load(),
+	}
+}
+
+// retryDelay computes the attempt's backoff with full jitter: a uniform
+// draw from [0, min(cap, base·2^(attempt-1))]. Full jitter decorrelates a
+// fleet of phones that all lost the same server, so the retry storm does
+// not arrive in synchronized waves.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	ceil := c.backoff
+	for i := 1; i < attempt && ceil < c.backoffCap; i++ {
+		ceil *= 2
+	}
+	if ceil > c.backoffCap {
+		ceil = c.backoffCap
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	return time.Duration(c.jitter.Int63n(int64(ceil) + 1))
+}
+
+// Send encodes m, POSTs it, and decodes the response message. Transport
+// failures and 5xx statuses are retried with capped, fully jittered
+// exponential backoff; encode errors and 4xx refusals are returned
+// immediately (resending an already-refused frame cannot succeed).
 func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error) {
 	body, err := wire.Encode(m)
 	if err != nil {
 		return nil, fmt.Errorf("transport: encode: %w", err)
 	}
+	c.sends.Add(1)
 	var lastErr error
-	backoff := c.backoff
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			delay := c.retryDelay(attempt)
+			if c.onRetry != nil {
+				c.onRetry(attempt, delay, lastErr)
+			}
+			c.retryCount.Add(1)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(delay):
 			case <-ctx.Done():
 				return nil, fmt.Errorf("transport: cancelled: %w", ctx.Err())
 			}
-			backoff *= 2
 		}
 		resp, err := c.post(ctx, body)
 		if err != nil {
+			var httpErr *HTTPError
+			if errors.As(err, &httpErr) && !httpErr.Retryable() {
+				c.nonRetrying.Add(1)
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -196,7 +298,7 @@ func (c *Client) post(ctx context.Context, body []byte) (wire.Message, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("transport: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(respBody))
+		return nil, &HTTPError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(respBody))}
 	}
 	msg, err := wire.Decode(respBody)
 	if err != nil {

@@ -25,6 +25,7 @@ func fuzzSeeds() []Message {
 		},
 		&DataUpload{
 			TaskID: "task-1", AppID: "app-sb", UserID: "alice",
+			ReportID: "tok-1/task-1/1",
 			Series: []SensorSeries{
 				{Sensor: "temperature", Samples: []SensorSample{
 					{AtUnixMilli: 1384513200000, WindowMilli: 5000, Readings: []float64{70.5, 71}},
@@ -33,7 +34,7 @@ func fuzzSeeds() []Message {
 			Track: []GeoPoint{{AtUnixMilli: 1384513200000, Lat: 43.04, Lon: -76.13, Alt: 120}},
 		},
 		&DataUploadBatch{Uploads: []DataUpload{
-			{TaskID: "task-1", AppID: "app-sb", UserID: "alice"},
+			{TaskID: "task-1", AppID: "app-sb", UserID: "alice", ReportID: "tok-1/task-1/2"},
 			{TaskID: "task-2", AppID: "app-th", UserID: "bob",
 				Series: []SensorSeries{{Sensor: "wifi", Samples: []SensorSample{
 					{AtUnixMilli: 1384513260000, WindowMilli: 1000, Readings: []float64{-52}},

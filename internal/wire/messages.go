@@ -163,8 +163,14 @@ type DataUpload struct {
 	TaskID string
 	AppID  string
 	UserID string
-	Series []SensorSeries
-	Track  []GeoPoint
+	// ReportID uniquely identifies this report across retransmissions.
+	// Devices assign it once when the report enters their outbox and keep
+	// it across resends, so the server can ack a replayed report OK while
+	// storing and budget-charging it exactly once. Empty means the sender
+	// does not participate in deduplication (every arrival is stored).
+	ReportID string
+	Series   []SensorSeries
+	Track    []GeoPoint
 }
 
 var _ Message = (*DataUpload)(nil)
@@ -176,6 +182,7 @@ func (m *DataUpload) encodePayload(w *Writer) {
 	w.PutString(m.TaskID)
 	w.PutString(m.AppID)
 	w.PutString(m.UserID)
+	w.PutString(m.ReportID)
 	w.PutUvarint(uint64(len(m.Series)))
 	for _, s := range m.Series {
 		w.PutString(s.Sensor)
@@ -207,6 +214,9 @@ func (m *DataUpload) decodePayload(r *Reader) error {
 		return err
 	}
 	if m.UserID, err = r.String(); err != nil {
+		return err
+	}
+	if m.ReportID, err = r.String(); err != nil {
 		return err
 	}
 	nSeries, err := r.sliceLen()

@@ -76,9 +76,10 @@ func TestScheduleEmptyInstants(t *testing.T) {
 
 func TestDataUploadRoundTrip(t *testing.T) {
 	m := &DataUpload{
-		TaskID: "task-1",
-		AppID:  "app-1",
-		UserID: "chris",
+		TaskID:   "task-1",
+		AppID:    "app-1",
+		UserID:   "chris",
+		ReportID: "tok-1/task-1/7",
 		Series: []SensorSeries{
 			{
 				Sensor: "temperature",
@@ -295,6 +296,7 @@ func TestDataUploadRoundTripProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		m := &DataUpload{
 			TaskID: randString(rng), AppID: randString(rng), UserID: randString(rng),
+			ReportID: randString(rng),
 		}
 		for i := 0; i < rng.Intn(4); i++ {
 			s := SensorSeries{Sensor: randString(rng)}
@@ -335,7 +337,8 @@ func TestDataUploadRoundTripProperty(t *testing.T) {
 
 // deepEqualUpload compares treating nil and empty slices as equal.
 func deepEqualUpload(a, b *DataUpload) bool {
-	if a.TaskID != b.TaskID || a.AppID != b.AppID || a.UserID != b.UserID {
+	if a.TaskID != b.TaskID || a.AppID != b.AppID || a.UserID != b.UserID ||
+		a.ReportID != b.ReportID {
 		return false
 	}
 	if len(a.Series) != len(b.Series) || len(a.Track) != len(b.Track) {
