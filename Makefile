@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke chaos chaos-short ci experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short ci experiments fieldtest sim clean
 
 all: build test
 
@@ -33,6 +33,11 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
 
+# Boot a real sord, scrape /debug/metrics via sorctl, assert every
+# promised series is present and that traffic moves the counters.
+obs-smoke:
+	bash scripts/obs_smoke.sh
+
 # Full exactly-once chaos soak under the race detector: a fleet of phones
 # over a network dropping requests, acks and partitioning mid-upload must
 # converge to server state byte-identical to a fault-free run.
@@ -48,6 +53,7 @@ ci: vet build test
 	$(GO) test -race -short ./...
 	$(MAKE) bench-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) obs-smoke
 	$(MAKE) chaos-short
 
 # Regenerate every paper table and figure.

@@ -1,0 +1,276 @@
+package sor
+
+// This file is the system-construction half of the public API: functional
+// options for standing up the sensing server, the wire client, and the
+// simulated phone frontend without importing any internal package, plus
+// the observability surface (metrics registry, request tracer, debug
+// endpoints) that instruments all three. The algorithmic half (§III
+// scheduling, §IV ranking) lives in sor.go.
+
+import (
+	"net/http"
+	"time"
+
+	"sor/internal/device"
+	"sor/internal/fieldtest"
+	"sor/internal/frontend"
+	"sor/internal/obs"
+	"sor/internal/ranking"
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/transport"
+)
+
+// ---- Observability ----
+
+// Observer bundles a metrics registry and a request tracer behind one
+// nil-safe handle; passing the same observer to the server, client, and
+// frontends stitches one request's spans across every hop.
+type Observer = obs.Observer
+
+// ObserverOption customises NewObserver.
+type ObserverOption = obs.ObserverOption
+
+// Registry is a sharded metrics registry: counters, gauges, and striped
+// histograms behind constant-label handles.
+type Registry = obs.Registry
+
+// MetricsSnapshot is a point-in-time read of every series in a registry.
+type MetricsSnapshot = obs.Snapshot
+
+// Tracer keeps the most recent completed spans in a bounded ring.
+type Tracer = obs.Tracer
+
+// SpanRecord is one completed span.
+type SpanRecord = obs.SpanRecord
+
+// RequestID names one logical request end to end — minted by the client,
+// carried in the wire envelope, stamped on every span it produces.
+type RequestID = obs.RequestID
+
+// NewObserver returns an observer with a fresh registry and tracer.
+func NewObserver(opts ...ObserverOption) *Observer { return obs.NewObserver(opts...) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer holding up to capacity spans.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// WithTracer substitutes a caller-owned tracer into NewObserver.
+func WithTracer(t *Tracer) ObserverOption { return obs.WithTracer(t) }
+
+// RegisterDebug mounts the ops surface — MetricsPath, TracePath, and
+// net/http/pprof — onto mux.
+func RegisterDebug(mux *http.ServeMux, o *Observer) { obs.RegisterDebug(mux, o) }
+
+// Debug endpoint paths served by RegisterDebug.
+const (
+	MetricsPath = obs.MetricsPath
+	TracePath   = obs.TracePath
+)
+
+// ---- Sensing server ----
+
+// Server is one sensing server instance (Fig. 5).
+type Server = server.Server
+
+// Store is the backing database standing in for PostgreSQL.
+type Store = store.Store
+
+// Application is one registered sensing application.
+type Application = store.Application
+
+// Push is the simulated GCM-like wake-up fabric.
+type Push = transport.Push
+
+// DataProcessor is the server's §IV-A feature pipeline.
+type DataProcessor = server.DataProcessor
+
+// NewStore returns an empty store.
+func NewStore() *Store { return store.New() }
+
+// LoadStore restores a store from a JSON snapshot file.
+func LoadStore(path string) (*Store, error) { return store.Load(path) }
+
+// NewPush returns an empty push fabric.
+func NewPush() *Push { return transport.NewPush() }
+
+// DefaultCatalog is the paper's feature catalog: coffee shops and hiking
+// trails with their §IV default preferences.
+func DefaultCatalog() map[string][]Feature { return server.DefaultCatalog() }
+
+// ServerOption configures NewServer.
+type ServerOption func(*server.Config)
+
+// WithStore sets the backing store (default: a fresh empty store).
+func WithStore(db *Store) ServerOption {
+	return func(cfg *server.Config) { cfg.DB = db }
+}
+
+// WithCatalog sets the category→features catalog (default DefaultCatalog).
+func WithCatalog(catalog map[string][]ranking.Feature) ServerOption {
+	return func(cfg *server.Config) { cfg.Catalog = catalog }
+}
+
+// WithNow injects a clock (tests and simulations).
+func WithNow(now func() time.Time) ServerOption {
+	return func(cfg *server.Config) { cfg.Now = now }
+}
+
+// WithKernel sets the coverage kernel (default Gaussian σ=10 s).
+func WithKernel(k Kernel) ServerOption {
+	return func(cfg *server.Config) { cfg.Kernel = k }
+}
+
+// WithStep sets the timeline discretization (default 10 s).
+func WithStep(step time.Duration) ServerOption {
+	return func(cfg *server.Config) { cfg.Step = step }
+}
+
+// WithPush attaches the wake-up fabric.
+func WithPush(p *Push) ServerOption {
+	return func(cfg *server.Config) { cfg.Push = p }
+}
+
+// WithRobustExtraction enables MAD outlier rejection in the Data
+// Processor.
+func WithRobustExtraction(on bool) ServerOption {
+	return func(cfg *server.Config) { cfg.RobustExtraction = on }
+}
+
+// WithRankRefresh bounds rank-serving staleness (zero: every rank request
+// observes every prior ingest).
+func WithRankRefresh(d time.Duration) ServerOption {
+	return func(cfg *server.Config) { cfg.RankRefresh = d }
+}
+
+// WithObserver instruments the server (and its processor): ingest,
+// scheduling, snapshot, and cache metrics plus handler/dedup spans.
+func WithObserver(o *Observer) ServerOption {
+	return func(cfg *server.Config) { cfg.Observer = o }
+}
+
+// WithMetricsRegistry is WithObserver for callers that only want metrics
+// into an existing registry: the server gets a fresh observer writing its
+// series there.
+func WithMetricsRegistry(reg *Registry) ServerOption {
+	return func(cfg *server.Config) {
+		cfg.Observer = obs.NewObserver(obs.WithRegistry(reg))
+	}
+}
+
+// NewServer builds a sensing server. With no options it serves a fresh
+// in-memory store with the paper's default catalog.
+func NewServer(opts ...ServerOption) (*Server, error) {
+	cfg := server.Config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.DB == nil {
+		cfg.DB = store.New()
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = server.DefaultCatalog()
+	}
+	return server.New(cfg)
+}
+
+// ---- Transport ----
+
+// Client sends SOR wire messages to a server with retry/backoff.
+type Client = transport.Client
+
+// ClientOption configures NewClient.
+type ClientOption = transport.ClientOption
+
+// Handler is the server-side message dispatcher NewHTTPHandler wraps.
+type Handler = transport.Handler
+
+// HandlerOption configures NewHTTPHandler.
+type HandlerOption = transport.HandlerOption
+
+// ServerPath is the single SOR wire endpoint.
+const ServerPath = transport.Path
+
+// NewClient creates a wire client for a server base URL.
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	return transport.NewClient(baseURL, opts...)
+}
+
+// WithClientRetries sets the retry budget for transport failures.
+func WithClientRetries(n int) ClientOption { return transport.WithRetries(n) }
+
+// WithClientBackoff sets the base retry backoff.
+func WithClientBackoff(d time.Duration) ClientOption { return transport.WithBackoff(d) }
+
+// WithClientBackoffCap bounds the exponential backoff.
+func WithClientBackoffCap(d time.Duration) ClientOption { return transport.WithBackoffCap(d) }
+
+// WithClientSeed makes retry jitter deterministic.
+func WithClientSeed(seed int64) ClientOption { return transport.WithRetrySeed(seed) }
+
+// WithClientHTTP substitutes the underlying *http.Client.
+func WithClientHTTP(h *http.Client) ClientOption { return transport.WithHTTPClient(h) }
+
+// WithClientObserver instruments the client: send/retry metrics and a
+// "client.send" span per attempt, all under one minted RequestID.
+func WithClientObserver(o *Observer) ClientOption { return transport.WithObserver(o) }
+
+// NewHTTPHandler binds a server's Handler to HTTP at ServerPath.
+func NewHTTPHandler(h Handler, opts ...HandlerOption) (http.Handler, error) {
+	return transport.NewHTTPHandler(h, opts...)
+}
+
+// WithHandlerObserver instruments the HTTP endpoint and propagates the
+// wire envelope's trace RequestID onto the request context.
+func WithHandlerObserver(o *Observer) HandlerOption {
+	return transport.WithHandlerObserver(o)
+}
+
+// ---- Mobile frontend ----
+
+// Frontend is the simulated phone-side system frontend.
+type Frontend = frontend.Frontend
+
+// FrontendOption configures NewFrontend.
+type FrontendOption = frontend.Option
+
+// Sender is the frontend's transport dependency (Client implements it).
+type Sender = frontend.Sender
+
+// Phone is one simulated handset.
+type Phone = device.Phone
+
+// PhoneConfig parameterizes NewPhone.
+type PhoneConfig = device.Config
+
+// Trajectory is a phone's simulated movement through a place.
+type Trajectory = device.Trajectory
+
+// NewPhone builds a simulated handset.
+func NewPhone(cfg PhoneConfig) (*Phone, error) { return device.New(cfg) }
+
+// NewFrontend builds the frontend for a phone.
+func NewFrontend(phone *Phone, sender Sender, opts ...FrontendOption) (*Frontend, error) {
+	return frontend.New(phone, sender, opts...)
+}
+
+// WithOutboxCapacity bounds the store-and-forward queue.
+func WithOutboxCapacity(n int) FrontendOption { return frontend.WithOutboxCapacity(n) }
+
+// WithOutboxBackoff sets outbox flush backoff base and cap.
+func WithOutboxBackoff(base, max time.Duration) FrontendOption {
+	return frontend.WithOutboxBackoff(base, max)
+}
+
+// WithOutboxSeed makes outbox jitter deterministic.
+func WithOutboxSeed(seed int64) FrontendOption { return frontend.WithOutboxSeed(seed) }
+
+// WithFrontendObserver instruments the frontend's outbox (fleet-aggregate
+// depth gauge, delivery counters).
+func WithFrontendObserver(o *Observer) FrontendOption { return frontend.WithObserver(o) }
+
+// BuiltinProfiles returns the paper's five named preference profiles for
+// a category (Table II) — the profiles sorctl's rank subcommand offers.
+func BuiltinProfiles(category string) []Profile { return fieldtest.Profiles(category) }

@@ -9,10 +9,12 @@ package sor_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"sor/internal/obs"
 	"sor/internal/ranking"
 	"sor/internal/server"
 	"sor/internal/store"
@@ -33,6 +35,17 @@ type benchEnv struct {
 
 const benchPeriodSec = 3 * 60 * 60
 
+// benchObserver returns the observer the benchmark servers run with: a
+// live one by default (the numbers must hold with metrics enabled), nil
+// when SOR_BENCH_BASELINE=1 (the uninstrumented baseline side of the
+// BENCH_obs.json comparison).
+func benchObserver() *obs.Observer {
+	if os.Getenv("SOR_BENCH_BASELINE") == "1" {
+		return nil
+	}
+	return obs.NewObserver()
+}
+
 func newBenchEnv(b *testing.B, apps, users int) *benchEnv {
 	b.Helper()
 	start := time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
@@ -44,10 +57,16 @@ func newBenchEnv(b *testing.B, apps, users int) *benchEnv {
 				Default: ranking.Preference{Kind: ranking.PrefMin}},
 		},
 	}
+	// Metrics stay on in the benchmarks: the acceptance bar for the
+	// observability layer is that the instrumented hot path holds the
+	// uninstrumented numbers (BENCH_obs.json records the comparison;
+	// SOR_BENCH_BASELINE=1 turns the observer off to measure the
+	// baseline side on the same machine).
 	srv, err := server.New(server.Config{
-		DB:      store.New(),
-		Now:     func() time.Time { return start },
-		Catalog: catalog,
+		DB:       store.New(),
+		Now:      func() time.Time { return start },
+		Catalog:  catalog,
+		Observer: benchObserver(),
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -60,10 +60,14 @@ func newRankBenchEnv(b *testing.B, refresh time.Duration) *rankBenchEnv {
 		},
 	}
 	db := store.New()
+	// Metrics-enabled, like the ingest benchmarks: the rank numbers must
+	// hold with the cache/snapshot counters live (SOR_BENCH_BASELINE=1
+	// measures the uninstrumented side).
 	srv, err := server.New(server.Config{
 		DB:          db,
 		Catalog:     catalog,
 		RankRefresh: refresh,
+		Observer:    benchObserver(),
 	})
 	if err != nil {
 		b.Fatal(err)

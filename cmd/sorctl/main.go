@@ -1,24 +1,29 @@
 // Command sorctl is the SOR client CLI: it talks the binary wire protocol
-// to a running sensing server (see cmd/sord).
+// to a running sensing server (see cmd/sord) and scrapes its ops surface.
 //
 // Usage:
 //
 //	sorctl -server http://localhost:8080 rank -category coffee-shop -profile emma
-//	sorctl -server http://localhost:8080 rank -category hiking-trail -profile alice
 //	sorctl -server http://localhost:8080 ping -token token-0-1
+//	sorctl -server http://localhost:8080 metrics [-json] [-require a,b,c]
+//	sorctl -server http://localhost:8080 trace [-request ID] [-limit 50]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
-	"sor/internal/fieldtest"
-	"sor/internal/transport"
+	"sor"
 	"sor/internal/wire"
 	"sor/internal/world"
 )
@@ -35,35 +40,43 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sorctl [-server URL] rank|ping [flags]")
-	}
-	client, err := transport.NewClient(*serverURL)
-	if err != nil {
-		return err
+		return fmt.Errorf("usage: sorctl [-server URL] rank|ping|metrics|trace [flags]")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	switch args[0] {
 	case "rank":
-		return rank(ctx, client, args[1:])
+		return rank(ctx, *serverURL, args[1:])
 	case "ping":
-		return ping(ctx, client, args[1:])
+		return ping(ctx, *serverURL, args[1:])
+	case "metrics":
+		return metrics(ctx, *serverURL, args[1:])
+	case "trace":
+		return trace(ctx, *serverURL, args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 }
 
-func rank(ctx context.Context, client *transport.Client, args []string) error {
+func newClient(serverURL string) (*sor.Client, error) {
+	return sor.NewClient(serverURL)
+}
+
+func rank(ctx context.Context, serverURL string, args []string) error {
 	fs := flag.NewFlagSet("rank", flag.ContinueOnError)
 	category := fs.String("category", world.CategoryCoffee, "place category")
 	profileName := fs.String("profile", "", "built-in profile name (alice|bob|chris|david|emma) or empty for defaults")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	client, err := newClient(serverURL)
+	if err != nil {
+		return err
+	}
 	req := &wire.RankRequest{Category: *category, UserID: *profileName}
 	if *profileName != "" {
 		found := false
-		for _, p := range fieldtest.Profiles(*category) {
+		for _, p := range sor.BuiltinProfiles(*category) {
 			if strings.EqualFold(p.Name, *profileName) {
 				for feat, pref := range p.Prefs {
 					req.Prefs = append(req.Prefs, wire.PrefEntry{
@@ -104,7 +117,7 @@ func rank(ctx context.Context, client *transport.Client, args []string) error {
 	}
 }
 
-func ping(ctx context.Context, client *transport.Client, args []string) error {
+func ping(ctx context.Context, serverURL string, args []string) error {
 	fs := flag.NewFlagSet("ping", flag.ContinueOnError)
 	token := fs.String("token", "", "device token (required)")
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +125,10 @@ func ping(ctx context.Context, client *transport.Client, args []string) error {
 	}
 	if *token == "" {
 		return fmt.Errorf("ping needs -token")
+	}
+	client, err := newClient(serverURL)
+	if err != nil {
+		return err
 	}
 	resp, err := client.Send(ctx, &wire.Ping{Token: *token})
 	if err != nil {
@@ -141,9 +158,145 @@ func ping(ctx context.Context, client *transport.Client, args []string) error {
 	return nil
 }
 
+// getJSON fetches a debug endpoint and decodes it into out.
+func getJSON(ctx context.Context, rawURL string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: HTTP %d: %s", rawURL, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// metrics scrapes /debug/metrics. With -json it relays the raw snapshot;
+// otherwise it prints sorted "series value" lines. -require takes a
+// comma-separated list of series names that must be present (counters,
+// gauges, or histograms) — the obs-smoke CI check exits non-zero through
+// it when a series is missing.
+func metrics(ctx context.Context, serverURL string, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
+	require := fs.String("require", "", "comma-separated series that must exist (exit 1 otherwise)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var snap sor.MetricsSnapshot
+	if err := getJSON(ctx, serverURL+sor.MetricsPath, &snap); err != nil {
+		return err
+	}
+	if *require != "" {
+		var missing []string
+		for _, series := range strings.Split(*require, ",") {
+			series = strings.TrimSpace(series)
+			if series == "" {
+				continue
+			}
+			_, c := snap.Counters[series]
+			_, g := snap.Gauges[series]
+			_, h := snap.Histograms[series]
+			if !c && !g && !h {
+				missing = append(missing, series)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("missing series: %s", strings.Join(missing, ", "))
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	printSorted := func(kind string, m map[string]int64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-8s %-56s %d\n", kind, k, m[k])
+		}
+	}
+	printSorted("counter", snap.Counters)
+	printSorted("gauge", snap.Gauges)
+	hkeys := make([]string, 0, len(snap.Histograms))
+	for k := range snap.Histograms {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := snap.Histograms[k]
+		fmt.Printf("%-8s %-56s n=%d p50=%.3g p99=%.3g max=%.3g\n",
+			"histo", k, h.Count, h.P50, h.P99, h.Max)
+	}
+	return nil
+}
+
+// trace scrapes /debug/trace: recent spans, optionally filtered to one
+// RequestID — the way to follow a single upload through retries, the
+// handler, dedup, and the processor fold.
+func trace(ctx context.Context, serverURL string, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	requestID := fs.String("request", "", "only spans for this RequestID")
+	limit := fs.Int("limit", 0, "at most this many spans (most recent; 0 = all buffered)")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q := url.Values{}
+	if *requestID != "" {
+		q.Set("request_id", *requestID)
+	}
+	if *limit > 0 {
+		q.Set("limit", fmt.Sprint(*limit))
+	}
+	traceURL := serverURL + sor.TracePath
+	if len(q) > 0 {
+		traceURL += "?" + q.Encode()
+	}
+	var resp struct {
+		Total   int64            `json:"total"`
+		Dropped int64            `json:"dropped"`
+		Spans   []sor.SpanRecord `json:"spans"`
+	}
+	if err := getJSON(ctx, traceURL, &resp); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+	fmt.Printf("%d spans buffered (%d recorded, %d evicted)\n", len(resp.Spans), resp.Total, resp.Dropped)
+	for _, s := range resp.Spans {
+		fmt.Printf("%s  %-16s %8.3fms  req=%s", s.Start.Format("15:04:05.000"), s.Name,
+			float64(s.Duration)/float64(time.Millisecond), orDash(string(s.RequestID)))
+		for _, a := range s.Attrs {
+			fmt.Printf("  %s=%s", a.Key, a.Value)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
 func orAnon(name string) string {
 	if name == "" {
 		return "(default preferences)"
 	}
 	return name
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

@@ -1,10 +1,12 @@
 // Command sord runs a SOR sensing server: it registers the six canonical
 // Syracuse target places as applications, prints their 2D barcodes'
-// payloads, and serves the binary-over-HTTP protocol on -addr.
+// payloads, and serves the binary-over-HTTP protocol on -addr, plus the
+// ops surface: /debug/metrics (JSON metrics snapshot), /debug/trace
+// (recent request spans), and /debug/pprof.
 //
 // Usage:
 //
-//	sord -addr :8080 [-snapshot sor.json] [-barcodes]
+//	sord -addr :8080 [-snapshot sor.json] [-barcodes] [-span-buffer 4096]
 package main
 
 import (
@@ -15,11 +17,9 @@ import (
 	"net/http"
 	"time"
 
+	"sor"
 	"sor/internal/barcode"
 	"sor/internal/fieldtest"
-	"sor/internal/server"
-	"sor/internal/store"
-	"sor/internal/transport"
 	"sor/internal/world"
 )
 
@@ -35,11 +35,12 @@ func run() error {
 	snapshot := flag.String("snapshot", "", "optional JSON snapshot file to load and periodically save")
 	showBarcodes := flag.Bool("barcodes", false, "print each place's 2D barcode as ASCII art")
 	public := flag.String("public-url", "", "base URL phones should use (default http://<addr>)")
+	spanBuffer := flag.Int("span-buffer", 0, "trace ring capacity (default 4096)")
 	flag.Parse()
 
-	db := store.New()
+	db := sor.NewStore()
 	if *snapshot != "" {
-		loaded, err := store.Load(*snapshot)
+		loaded, err := sor.LoadStore(*snapshot)
 		if err != nil {
 			return fmt.Errorf("loading snapshot: %w", err)
 		}
@@ -47,11 +48,13 @@ func run() error {
 		log.Printf("state loaded from %s", *snapshot)
 	}
 
-	srv, err := server.New(server.Config{
-		DB:      db,
-		Catalog: server.DefaultCatalog(),
-		Push:    transport.NewPush(),
-	})
+	obsv := sor.NewObserver(sor.WithTracer(sor.NewTracer(*spanBuffer)))
+	srv, err := sor.NewServer(
+		sor.WithStore(db),
+		sor.WithCatalog(sor.DefaultCatalog()),
+		sor.WithPush(sor.NewPush()),
+		sor.WithObserver(obsv),
+	)
 	if err != nil {
 		return err
 	}
@@ -80,7 +83,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		err = srv.CreateApp(store.Application{
+		err = srv.CreateApp(sor.Application{
 			ID:        a.id,
 			Creator:   "sord",
 			Category:  a.category,
@@ -106,12 +109,13 @@ func run() error {
 		}
 	}
 
-	sorHandler, err := transport.NewHTTPHandler(srv.Handler())
+	sorHandler, err := sor.NewHTTPHandler(srv.Handler(), sor.WithHandlerObserver(obsv))
 	if err != nil {
 		return err
 	}
 	mux := http.NewServeMux()
-	mux.Handle(transport.Path, sorHandler)
+	mux.Handle(sor.ServerPath, sorHandler)
+	sor.RegisterDebug(mux, obsv)
 	// The Visualization module (§II-B): /charts?category=coffee-shop
 	// renders the current feature data as inline SVG bar charts.
 	mux.HandleFunc("/charts", func(w http.ResponseWriter, r *http.Request) {
@@ -146,7 +150,8 @@ func run() error {
 		}
 	}
 
-	log.Printf("sensing server listening on %s (endpoints %s, /charts)", *addr, transport.Path)
+	log.Printf("sensing server listening on %s (endpoints %s, /charts, %s, %s, /debug/pprof)",
+		*addr, sor.ServerPath, sor.MetricsPath, sor.TracePath)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

@@ -32,8 +32,7 @@ import (
 	"sync"
 	"time"
 
-	"sor/internal/device"
-	"sor/internal/frontend"
+	"sor"
 	"sor/internal/ranking"
 	"sor/internal/stats"
 	"sor/internal/transport"
@@ -84,7 +83,7 @@ func run() error {
 	// outboxes to retransmit, and the server's ReportID dedup keeps the
 	// stored data identical to a clean run.
 	var fi *transport.FaultInjector
-	clientOpts := []transport.ClientOption{}
+	clientOpts := []sor.ClientOption{}
 	if *chaosRequestLoss > 0 || *chaosAckLoss > 0 || *chaosSpikeProb > 0 || *chaosPartition > 0 {
 		fi = transport.NewFaultInjector(transport.FaultConfig{
 			Seed:         *chaosSeed,
@@ -97,14 +96,14 @@ func run() error {
 		// once the fleet is in (see the barrier below).
 		fi.SetEnabled(false)
 		clientOpts = append(clientOpts,
-			transport.WithHTTPClient(&http.Client{
+			sor.WithClientHTTP(&http.Client{
 				Transport: fi.Transport(nil),
 				Timeout:   10 * time.Second,
 			}),
-			transport.WithRetries(5),
-			transport.WithRetrySeed(*chaosSeed))
+			sor.WithClientRetries(5),
+			sor.WithClientSeed(*chaosSeed))
 	}
-	client, err := transport.NewClient(*serverURL, clientOpts...)
+	client, err := sor.NewClient(*serverURL, clientOpts...)
 	if err != nil {
 		return err
 	}
@@ -149,17 +148,17 @@ func run() error {
 			defer markJoined()
 			r := &results[i]
 			now := time.Now().UTC()
-			phone, err := device.New(device.Config{
+			phone, err := sor.NewPhone(sor.PhoneConfig{
 				ID:    fmt.Sprintf("load-phone-%d", i),
 				Token: fmt.Sprintf("load-token-%d-%d", *seed, i),
-				Traj:  device.Trajectory{Place: place, Enter: now, Leave: now.Add(3 * time.Hour)},
+				Traj:  sor.Trajectory{Place: place, Enter: now, Leave: now.Add(3 * time.Hour)},
 				Seed:  *seed + int64(i),
 			})
 			if err != nil {
 				r.err = err
 				return
 			}
-			fe, err := frontend.New(phone, client)
+			fe, err := sor.NewFrontend(phone, client)
 			if err != nil {
 				r.err = err
 				return
@@ -282,7 +281,7 @@ func burstReport(appID string, tgt burstTarget, at time.Time, reportID string) w
 // runBurstPhase hammers the batched ingest path with `workers` concurrent
 // senders, each recording a per-worker latency histogram of SendBatch
 // round-trips.
-func runBurstPhase(ctx context.Context, client *transport.Client, appID string,
+func runBurstPhase(ctx context.Context, client *sor.Client, appID string,
 	targets []burstTarget, workers, batchSize, batches int) error {
 	if batchSize < 1 || batchSize > wire.MaxBatchReports {
 		return fmt.Errorf("batch size %d out of [1,%d]", batchSize, wire.MaxBatchReports)
@@ -364,7 +363,7 @@ func rankPrefs(i int) []wire.PrefEntry {
 // merged latency plus the span of snapshot epochs observed — under
 // concurrent ingest the epochs should advance, and within one worker
 // they must never go backwards.
-func startRankPhase(ctx context.Context, client *transport.Client, category string,
+func startRankPhase(ctx context.Context, client *sor.Client, category string,
 	workers, ranks int, seed int64) func() error {
 	type rankStats struct {
 		hist     *stats.Histogram

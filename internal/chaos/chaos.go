@@ -20,6 +20,7 @@ import (
 
 	"sor/internal/device"
 	"sor/internal/frontend"
+	"sor/internal/obs"
 	"sor/internal/schedule"
 	"sor/internal/server"
 	"sor/internal/store"
@@ -70,6 +71,10 @@ type Config struct {
 	Partition time.Duration
 	// Timeout bounds the whole run (default 60 s).
 	Timeout time.Duration
+	// Observer, when set, instruments the whole run — server, client, and
+	// every phone's outbox share it, so its registry aggregates the fleet
+	// and its tracer sees one request's spans across all hops.
+	Observer *obs.Observer
 }
 
 // Result is one soak run's converged state plus its delivery telemetry.
@@ -122,9 +127,10 @@ func RunSoak(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	srv, err := server.New(server.Config{
-		DB:      store.New(),
-		Now:     func() time.Time { return soakEpoch },
-		Catalog: server.DefaultCatalog(),
+		DB:       store.New(),
+		Now:      func() time.Time { return soakEpoch },
+		Catalog:  server.DefaultCatalog(),
+		Observer: cfg.Observer,
 	})
 	if err != nil {
 		return nil, err
@@ -141,7 +147,11 @@ func RunSoak(cfg Config) (*Result, error) {
 	}); err != nil {
 		return nil, err
 	}
-	httpHandler, err := transport.NewHTTPHandler(srv.Handler())
+	var handlerOpts []transport.HandlerOption
+	if cfg.Observer != nil {
+		handlerOpts = append(handlerOpts, transport.WithHandlerObserver(cfg.Observer))
+	}
+	httpHandler, err := transport.NewHTTPHandler(srv.Handler(), handlerOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -157,11 +167,16 @@ func RunSoak(cfg Config) (*Result, error) {
 
 	// Tight client retry budget: the soak wants the *outbox* to absorb the
 	// faults, so individual sends give up fast and park the report.
-	client, err := transport.NewClient(ts.URL,
+	clientOpts := []transport.ClientOption{
 		transport.WithRetries(3),
 		transport.WithBackoff(time.Millisecond),
-		transport.WithBackoffCap(20*time.Millisecond),
-		transport.WithRetrySeed(cfg.Seed))
+		transport.WithBackoffCap(20 * time.Millisecond),
+		transport.WithRetrySeed(cfg.Seed),
+	}
+	if cfg.Observer != nil {
+		clientOpts = append(clientOpts, transport.WithObserver(cfg.Observer))
+	}
+	client, err := transport.NewClient(ts.URL, clientOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -187,9 +202,14 @@ func RunSoak(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		fe, err := frontend.New(phone, client,
+		feOpts := []frontend.Option{
 			frontend.WithOutboxBackoff(time.Millisecond, 20*time.Millisecond),
-			frontend.WithOutboxSeed(cfg.Seed+int64(i)))
+			frontend.WithOutboxSeed(cfg.Seed + int64(i)),
+		}
+		if cfg.Observer != nil {
+			feOpts = append(feOpts, frontend.WithObserver(cfg.Observer))
+		}
+		fe, err := frontend.New(phone, client, feOpts...)
 		if err != nil {
 			return nil, err
 		}

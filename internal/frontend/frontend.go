@@ -18,6 +18,7 @@ import (
 
 	"sor/internal/device"
 	"sor/internal/luascript"
+	"sor/internal/obs"
 	"sor/internal/sensors"
 	"sor/internal/wire"
 )
@@ -166,6 +167,7 @@ type Frontend struct {
 	outboxBackoff    time.Duration
 	outboxBackoffMax time.Duration
 	outboxSeed       int64
+	obsv             *obs.Observer
 
 	mu    sync.Mutex
 	tasks map[string]*TaskInfo
@@ -200,6 +202,13 @@ func WithOutboxSeed(seed int64) Option {
 // before being skipped as a gap (default 2).
 func WithAcquireRetries(n int) Option {
 	return func(f *Frontend) { f.acquireRetries = n }
+}
+
+// WithObserver instruments the frontend's outbox (depth, deliveries,
+// drops). Passing the same observer to a fleet of frontends aggregates
+// their series — the depth gauge then reads as fleet-wide backlog.
+func WithObserver(o *obs.Observer) Option {
+	return func(f *Frontend) { f.obsv = o }
 }
 
 // tokenSeed derives a stable per-phone jitter seed.
@@ -239,6 +248,9 @@ func New(phone *device.Phone, sender Sender, opts ...Option) (*Frontend, error) 
 		f.acquireRetries = 0
 	}
 	f.outbox = newOutbox(f.outboxCapacity, f.outboxBackoff, f.outboxBackoffMax, f.outboxSeed)
+	if f.obsv != nil {
+		f.outbox.met = newOutboxMetrics(f.obsv.Metrics())
+	}
 	return f, nil
 }
 

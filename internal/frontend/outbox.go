@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sor/internal/obs"
 	"sor/internal/wire"
 )
 
@@ -65,6 +66,33 @@ type Outbox struct {
 
 	backoffBase time.Duration
 	backoffCap  time.Duration
+
+	met outboxMetrics
+}
+
+// outboxMetrics mirror OutboxStats into a shared registry (all nil
+// without an observer). The depth gauge is updated with deltas, so a
+// fleet of frontends sharing one registry reads as aggregate depth.
+type outboxMetrics struct {
+	depth           *obs.Gauge
+	enqueued        *obs.Counter
+	delivered       *obs.Counter
+	droppedOverflow *obs.Counter
+	droppedRefused  *obs.Counter
+	drainPasses     *obs.Counter
+	batches         *obs.Counter
+}
+
+func newOutboxMetrics(reg *obs.Registry) outboxMetrics {
+	return outboxMetrics{
+		depth:           reg.Gauge("sor_outbox_depth"),
+		enqueued:        reg.Counter("sor_outbox_enqueued_total"),
+		delivered:       reg.Counter("sor_outbox_delivered_total"),
+		droppedOverflow: reg.Counter("sor_outbox_dropped_overflow_total"),
+		droppedRefused:  reg.Counter("sor_outbox_dropped_refused_total"),
+		drainPasses:     reg.Counter("sor_outbox_drain_passes_total"),
+		batches:         reg.Counter("sor_outbox_batches_total"),
+	}
 }
 
 // Outbox defaults.
@@ -92,9 +120,13 @@ func (o *Outbox) Enqueue(up *wire.DataUpload, onResult func(delivered bool, reas
 	if len(o.queue) >= o.cap {
 		o.queue = o.queue[1:]
 		o.stats.DroppedOverflow++
+		o.met.droppedOverflow.Inc()
+		o.met.depth.Add(-1)
 	}
 	o.queue = append(o.queue, &outboxEntry{up: up, onResult: onResult})
 	o.stats.Enqueued++
+	o.met.enqueued.Inc()
+	o.met.depth.Add(1)
 }
 
 // Pending reports how many uploads await delivery.
@@ -136,6 +168,7 @@ func (o *Outbox) snapshotPending() []*outboxEntry {
 func (o *Outbox) remove(done map[*outboxEntry]bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	before := len(o.queue)
 	kept := o.queue[:0]
 	for _, e := range o.queue {
 		if !done[e] {
@@ -146,6 +179,7 @@ func (o *Outbox) remove(done map[*outboxEntry]bool) {
 		o.queue[i] = nil
 	}
 	o.queue = kept
+	o.met.depth.Add(int64(len(kept) - before))
 }
 
 func (o *Outbox) noteErr(err error) {
@@ -177,6 +211,7 @@ func (o *Outbox) drainOnce(ctx context.Context, sender Sender) error {
 		o.mu.Lock()
 		o.stats.DrainPasses++
 		o.mu.Unlock()
+		o.met.drainPasses.Inc()
 		bs, canBatch := sender.(BatchSender)
 		if canBatch && len(pending) > 1 {
 			ups := make([]*wire.DataUpload, len(pending))
@@ -186,6 +221,7 @@ func (o *Outbox) drainOnce(ctx context.Context, sender Sender) error {
 			o.mu.Lock()
 			o.stats.BatchesSent++
 			o.mu.Unlock()
+			o.met.batches.Inc()
 			ack, err := bs.SendBatch(ctx, ups)
 			if err != nil {
 				o.noteErr(err)
@@ -196,6 +232,7 @@ func (o *Outbox) drainOnce(ctx context.Context, sender Sender) error {
 				o.mu.Lock()
 				o.stats.Delivered += len(pending)
 				o.mu.Unlock()
+				o.met.delivered.Add(int64(len(pending)))
 				for _, e := range pending {
 					done[e] = true
 					if e.onResult != nil {
@@ -237,6 +274,7 @@ func (o *Outbox) drainSingles(ctx context.Context, sender Sender, pending []*out
 			o.mu.Lock()
 			o.stats.Delivered++
 			o.mu.Unlock()
+			o.met.delivered.Inc()
 			if e.onResult != nil {
 				e.onResult(true, ack.Message)
 			}
@@ -245,6 +283,7 @@ func (o *Outbox) drainSingles(ctx context.Context, sender Sender, pending []*out
 		o.mu.Lock()
 		o.stats.DroppedRefused++
 		o.mu.Unlock()
+		o.met.droppedRefused.Inc()
 		if e.onResult != nil {
 			e.onResult(false, ack.Message)
 		}

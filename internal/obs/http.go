@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// MetricsPath, TracePath, and PprofPrefix are the debug endpoints
+// RegisterDebug mounts; sorctl scrapes the first two.
+const (
+	MetricsPath = "/debug/metrics"
+	TracePath   = "/debug/trace"
+	PprofPrefix = "/debug/pprof/"
+)
+
+// MetricsHandler serves a /debug/vars-style JSON snapshot of reg.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+}
+
+// traceResponse is the JSON shape of the trace endpoint.
+type traceResponse struct {
+	Total   int64        `json:"total"`
+	Dropped int64        `json:"dropped"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// TraceHandler serves buffered spans as JSON. Query parameters:
+// request_id filters to one request; limit caps the span count
+// (most recent kept).
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var spans []SpanRecord
+		if id := r.URL.Query().Get("request_id"); id != "" {
+			spans = t.SpansFor(RequestID(id))
+		} else {
+			spans = t.Spans()
+		}
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		total, dropped := t.Stats()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traceResponse{Total: total, Dropped: dropped, Spans: spans})
+	})
+}
+
+// RegisterDebug mounts the ops surface on mux: JSON metrics at
+// MetricsPath, the span buffer at TracePath, and the standard pprof
+// handlers under PprofPrefix.
+func RegisterDebug(mux *http.ServeMux, o *Observer) {
+	mux.Handle(MetricsPath, MetricsHandler(o.Metrics()))
+	mux.Handle(TracePath, TraceHandler(o.Tracer()))
+	mux.HandleFunc(PprofPrefix, pprof.Index)
+	mux.HandleFunc(PprofPrefix+"cmdline", pprof.Cmdline)
+	mux.HandleFunc(PprofPrefix+"profile", pprof.Profile)
+	mux.HandleFunc(PprofPrefix+"symbol", pprof.Symbol)
+	mux.HandleFunc(PprofPrefix+"trace", pprof.Trace)
+}

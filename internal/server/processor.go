@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"sor/internal/feature"
 	"sor/internal/geo"
+	"sor/internal/obs"
 	"sor/internal/store"
 	"sor/internal/wire"
 )
@@ -32,6 +34,18 @@ type DataProcessor struct {
 	// failed to decode (they are dropped with accounting, not retried).
 	processed    atomic.Int64
 	decodeErrors atomic.Int64
+
+	obsv *obs.Observer
+	met  processorMetrics
+}
+
+// processorMetrics are the processor's constant-label handles (all nil
+// without an observer).
+type processorMetrics struct {
+	processed  *obs.Counter
+	decodeErrs *obs.Counter
+	refreshes  *obs.Counter
+	processMs  *obs.Histogram
 }
 
 // appData is one application's decoded-sample accumulator. Its lock
@@ -59,6 +73,21 @@ func NewDataProcessor(db *store.Store) *DataProcessor {
 // MAD-outlier-rejecting variants.
 func (d *DataProcessor) SetRobust(robust bool) {
 	d.robust.Store(robust)
+}
+
+// SetObserver instruments the processor: fold counts and durations
+// become metrics, and each folded upload that arrived with a trace
+// RequestID records a "processor.fold" span under that id. Call before
+// the first Process; not synchronized against concurrent processing.
+func (d *DataProcessor) SetObserver(o *obs.Observer) {
+	d.obsv = o
+	reg := o.Metrics()
+	d.met = processorMetrics{
+		processed:  reg.Counter("sor_processor_uploads_total"),
+		decodeErrs: reg.Counter("sor_processor_decode_errors_total"),
+		refreshes:  reg.Counter("sor_processor_refreshes_total"),
+		processMs:  reg.LatencyHistogram("sor_processor_process_ms"),
+	}
 }
 
 // Stats reports processing counters.
@@ -89,52 +118,87 @@ func (d *DataProcessor) appData(appID string) *appData {
 // Process drains pending uploads and refreshes feature rows. It returns
 // the number of uploads folded in. Safe for concurrent use.
 func (d *DataProcessor) Process() int {
+	return d.ProcessContext(context.Background())
+}
+
+// ProcessContext is Process honoring cancellation: the context is
+// checked before the drain and between per-app feature refreshes. Once
+// blobs are drained they are always folded — aborting mid-fold would
+// drop data the store no longer holds, breaking exactly-once — so
+// cancellation can only stop work that has not yet been claimed.
+func (d *DataProcessor) ProcessContext(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	t0 := time.Now()
 	uploads := d.db.DrainUploads()
 	if len(uploads) == 0 {
 		return 0
 	}
 	touched := make(map[string]bool)
 	for _, raw := range uploads {
-		msg, err := wire.Decode(raw.Body)
-		if err != nil {
-			d.decodeErrors.Add(1)
-			continue
+		// With tracing on, each upload that arrived under a RequestID gets
+		// a fold span carrying the same id the client minted — the final
+		// hop of the ingest trace.
+		var span *obs.Span
+		if d.obsv != nil && raw.RequestID != "" {
+			span = d.obsv.StartSpanID(obs.RequestID(raw.RequestID), "processor.fold")
+			span.Annotate("app", raw.AppID)
 		}
-		up, ok := msg.(*wire.DataUpload)
-		if !ok {
-			d.decodeErrors.Add(1)
-			continue
-		}
-		ad := d.appData(up.AppID)
-		ad.mu.Lock()
-		for _, series := range up.Series {
-			for _, smp := range series.Samples {
-				ad.scalar[series.Sensor] = append(ad.scalar[series.Sensor], feature.Sample{
-					At:       time.UnixMilli(smp.AtUnixMilli).UTC(),
-					Window:   time.Duration(smp.WindowMilli) * time.Millisecond,
-					Readings: append([]float64(nil), smp.Readings...),
-				})
-			}
-		}
-		for _, gp := range up.Track {
-			key := burstKey{user: up.UserID, at: gp.AtUnixMilli}
-			burst, ok := ad.track[key]
-			if !ok {
-				burst = &feature.GeoSample{At: time.UnixMilli(gp.AtUnixMilli).UTC()}
-				ad.track[key] = burst
-			}
-			burst.Points = append(burst.Points, geo.Point{Lat: gp.Lat, Lon: gp.Lon, Alt: gp.Alt})
-		}
-		ad.mu.Unlock()
-		d.processed.Add(1)
-		touched[up.AppID] = true
+		d.foldUpload(raw, touched)
+		span.End()
 	}
 
 	for appID := range touched {
+		if ctx.Err() != nil {
+			break
+		}
 		// Refresh failures for one app must not block the others.
 		_ = d.refreshApp(appID)
+		d.met.refreshes.Inc()
 	}
+	d.met.processMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 	return len(uploads)
+}
+
+// foldUpload decodes one raw blob and accumulates its samples.
+func (d *DataProcessor) foldUpload(raw store.RawUpload, touched map[string]bool) {
+	msg, err := wire.Decode(raw.Body)
+	if err != nil {
+		d.decodeErrors.Add(1)
+		d.met.decodeErrs.Inc()
+		return
+	}
+	up, ok := msg.(*wire.DataUpload)
+	if !ok {
+		d.decodeErrors.Add(1)
+		d.met.decodeErrs.Inc()
+		return
+	}
+	ad := d.appData(up.AppID)
+	ad.mu.Lock()
+	for _, series := range up.Series {
+		for _, smp := range series.Samples {
+			ad.scalar[series.Sensor] = append(ad.scalar[series.Sensor], feature.Sample{
+				At:       time.UnixMilli(smp.AtUnixMilli).UTC(),
+				Window:   time.Duration(smp.WindowMilli) * time.Millisecond,
+				Readings: append([]float64(nil), smp.Readings...),
+			})
+		}
+	}
+	for _, gp := range up.Track {
+		key := burstKey{user: up.UserID, at: gp.AtUnixMilli}
+		burst, ok := ad.track[key]
+		if !ok {
+			burst = &feature.GeoSample{At: time.UnixMilli(gp.AtUnixMilli).UTC()}
+			ad.track[key] = burst
+		}
+		burst.Points = append(burst.Points, geo.Point{Lat: gp.Lat, Lon: gp.Lon, Alt: gp.Alt})
+	}
+	ad.mu.Unlock()
+	d.processed.Add(1)
+	d.met.processed.Inc()
+	touched[up.AppID] = true
 }
 
 // sensorFeature maps an upload series name to the feature it produces and

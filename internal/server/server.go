@@ -18,6 +18,7 @@ import (
 
 	"sor/internal/coverage"
 	"sor/internal/geo"
+	"sor/internal/obs"
 	"sor/internal/ranking"
 	"sor/internal/schedule"
 	"sor/internal/store"
@@ -51,6 +52,9 @@ type Config struct {
 	// requests always observe every prior ingest, like the legacy path
 	// that re-processed per query.
 	RankRefresh time.Duration
+	// Observer enables metrics and request tracing (nil = observability
+	// off; every instrumentation point degrades to a no-op).
+	Observer *obs.Observer
 }
 
 // Server is one sensing server instance. Its mutable scheduling state is
@@ -76,6 +80,64 @@ type Server struct {
 	rankRefresh  time.Duration
 	servingByCat sync.Map // category -> *categoryServing
 	appCats      sync.Map // appID -> category string
+
+	obsv *obs.Observer
+	met  serverMetrics
+}
+
+// serverMetrics are the server's constant-label handles, created once at
+// construction so the hot paths never touch the registry. All fields are
+// nil (no-op) when the server has no observer. Per-type handles live in
+// small arrays indexed by the wire type byte — an indexed load, not a
+// map lookup, on the dispatch path.
+type serverMetrics struct {
+	requests  [16]*obs.Counter
+	handlerMs [16]*obs.Histogram
+
+	ingestReports    *obs.Counter // upload arrivals that matched an active task (pre-dedup)
+	ingestAccepted   *obs.Counter // reports stored exactly once
+	ingestDuplicates *obs.Counter // dedup-window hits (lost-ack retransmissions)
+	ingestRejected   *obs.Counter // reports refused (unknown task / identity mismatch)
+
+	replans           *obs.Counter
+	snapshotRebuilds  *obs.Counter
+	snapshotRebuildMs *obs.Histogram
+	rankCacheHits     *obs.Counter
+	rankCacheMisses   *obs.Counter
+}
+
+// handlerLatencySampleShift makes the handler latency histogram time one
+// request in every 8, per type. The sampling decision rides the per-type
+// request counter (obs.Counter.IncSample), so it costs no extra atomic;
+// what it saves is the clock-read pair, which dwarfs the rest of the
+// per-request instrumentation.
+const handlerLatencySampleShift = 3
+
+// requestTypes are the message types phones and rank clients send; their
+// per-type series are registered eagerly so the ops surface shows every
+// expected series from boot, not only after first traffic.
+var requestTypes = []wire.MsgType{
+	wire.TypeParticipate, wire.TypeDataUpload, wire.TypeDataUploadBatch,
+	wire.TypeLeave, wire.TypePing, wire.TypeRankRequest,
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	m := serverMetrics{
+		ingestReports:     reg.Counter("sor_ingest_reports_total"),
+		ingestAccepted:    reg.Counter("sor_ingest_accepted_total"),
+		ingestDuplicates:  reg.Counter("sor_ingest_duplicate_total"),
+		ingestRejected:    reg.Counter("sor_ingest_rejected_total"),
+		replans:           reg.Counter("sor_sched_replans_total"),
+		snapshotRebuilds:  reg.Counter("sor_snapshot_rebuilds_total"),
+		snapshotRebuildMs: reg.LatencyHistogram("sor_snapshot_rebuild_ms"),
+		rankCacheHits:     reg.Counter("sor_rank_cache_hits_total"),
+		rankCacheMisses:   reg.Counter("sor_rank_cache_misses_total"),
+	}
+	for _, t := range requestTypes {
+		m.requests[byte(t)&0xf] = reg.Counter("sor_server_requests_total", obs.L("type", t.String()))
+		m.handlerMs[byte(t)&0xf] = reg.LatencyHistogram("sor_server_handler_ms", obs.L("type", t.String()))
+	}
+	return m
 }
 
 // appSchedState holds one application's scheduling period state. The
@@ -119,8 +181,16 @@ func New(cfg Config) (*Server, error) {
 	s.states = newShardedStates()
 	s.processor = NewDataProcessor(cfg.DB)
 	s.processor.SetRobust(cfg.RobustExtraction)
+	if cfg.Observer != nil {
+		s.obsv = cfg.Observer
+		s.met = newServerMetrics(cfg.Observer.Metrics())
+		s.processor.SetObserver(cfg.Observer)
+	}
 	return s, nil
 }
+
+// Observer exposes the server's observer (nil when observability is off).
+func (s *Server) Observer() *obs.Observer { return s.obsv }
 
 // DB exposes the backing store.
 func (s *Server) DB() *store.Store { return s.db }
@@ -128,25 +198,59 @@ func (s *Server) DB() *store.Store { return s.db }
 // Processor exposes the data processor (for periodic driving).
 func (s *Server) Processor() *DataProcessor { return s.processor }
 
-// Handler returns the transport dispatch function.
+// Handler returns the transport dispatch function. The context flows
+// from the HTTP layer through every handler into the store and
+// processor calls: cancellation is honored before side effects, and the
+// trace RequestID it carries stamps the handler span and the stored
+// upload. With an observer, dispatch counts every request and times a
+// uniform 1-in-8 sample of them into the per-type latency histogram.
 func (s *Server) Handler() transport.Handler {
 	return func(ctx context.Context, m wire.Message) (wire.Message, error) {
-		switch msg := m.(type) {
-		case *wire.Participate:
-			return s.handleParticipate(msg)
-		case *wire.DataUpload:
-			return s.handleDataUpload(msg)
-		case *wire.DataUploadBatch:
-			return s.HandleReportBatch(msg)
-		case *wire.Leave:
-			return s.handleLeave(msg)
-		case *wire.Ping:
-			return s.handlePing(msg)
-		case *wire.RankRequest:
-			return s.handleRankRequest(msg)
-		default:
-			return nil, fmt.Errorf("server: unsupported message %s", m.Type())
+		if ctx == nil {
+			ctx = context.Background()
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if s.obsv == nil {
+			return s.dispatch(ctx, m)
+		}
+		span := s.obsv.StartSpanID(obs.RequestIDFrom(ctx), "server.handle")
+		span.Annotate("type", m.Type().String())
+		idx := byte(m.Type()) & 0xf
+		sampled := s.met.requests[idx].IncSample(handlerLatencySampleShift)
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
+		}
+		resp, err := s.dispatch(ctx, m)
+		if err != nil {
+			span.Annotate("error", err.Error())
+		}
+		span.End()
+		if sampled {
+			s.met.handlerMs[idx].Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		}
+		return resp, err
+	}
+}
+
+func (s *Server) dispatch(ctx context.Context, m wire.Message) (wire.Message, error) {
+	switch msg := m.(type) {
+	case *wire.Participate:
+		return s.handleParticipate(ctx, msg)
+	case *wire.DataUpload:
+		return s.handleDataUpload(ctx, msg)
+	case *wire.DataUploadBatch:
+		return s.HandleReportBatch(ctx, msg)
+	case *wire.Leave:
+		return s.handleLeave(ctx, msg)
+	case *wire.Ping:
+		return s.handlePing(ctx, msg)
+	case *wire.RankRequest:
+		return s.handleRankRequest(ctx, msg)
+	default:
+		return nil, fmt.Errorf("server: unsupported message %s", m.Type())
 	}
 }
 
@@ -203,7 +307,10 @@ func refuse(code int, format string, args ...interface{}) *wire.Ack {
 // handleParticipate is the barcode-scan path: verify the user is really at
 // the target place, create the task, re-plan, and hand back this user's
 // schedule with the app's Lua script.
-func (s *Server) handleParticipate(msg *wire.Participate) (wire.Message, error) {
+func (s *Server) handleParticipate(ctx context.Context, msg *wire.Participate) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if msg.UserID == "" || msg.Token == "" {
 		return refuse(400, "participation needs user id and token"), nil
 	}
@@ -281,6 +388,7 @@ func (s *Server) handleParticipate(msg *wire.Participate) (wire.Message, error) 
 	if err != nil {
 		return refuse(500, "scheduling failed: %v", err), nil
 	}
+	s.met.replans.Inc()
 	if err := s.distributePlan(app, st, plan); err != nil {
 		return nil, err
 	}
@@ -360,25 +468,43 @@ func (s *Server) scheduleFor(app store.Application, st *appSchedState, userID st
 // Message Handler "will directly store the binary message body into the
 // database, which will be processed later by the Data Processor") and
 // records executed measurements for budget accounting.
-func (s *Server) handleDataUpload(msg *wire.DataUpload) (wire.Message, error) {
+func (s *Server) handleDataUpload(ctx context.Context, msg *wire.DataUpload) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := s.db.Participation(msg.TaskID)
 	if err != nil {
+		s.met.ingestRejected.Inc()
 		return refuse(404, "unknown task %s", msg.TaskID), nil
 	}
 	if p.UserID != msg.UserID || p.AppID != msg.AppID {
+		s.met.ingestRejected.Inc()
 		return refuse(403, "upload does not match task %s", msg.TaskID), nil
 	}
+	s.met.ingestReports.Inc()
 	raw, err := wire.Encode(msg)
 	if err != nil {
 		return nil, err
 	}
 	// Idempotent ingest: a ReportID already in the app's dedup window is a
 	// retransmission of a report whose ack got lost. Ack it again so the
-	// phone stops resending, but store and budget-charge nothing.
-	if !s.db.MarkReport(msg.AppID, msg.ReportID) {
+	// phone stops resending, but store and budget-charge nothing. The
+	// dedup decision gets its own span so a trace shows whether a given
+	// attempt stored the report or hit the window.
+	requestID := obs.RequestIDFrom(ctx)
+	fresh := s.db.MarkReport(msg.AppID, msg.ReportID)
+	if s.obsv != nil {
+		sp := s.obsv.StartSpanID(requestID, "server.dedup")
+		sp.Annotate("report_id", msg.ReportID)
+		sp.Annotate("duplicate", strconv.FormatBool(!fresh))
+		sp.End()
+	}
+	if !fresh {
+		s.met.ingestDuplicates.Inc()
 		return &wire.Ack{OK: true, Code: 200, Message: "duplicate"}, nil
 	}
-	s.db.AppendUpload(msg.AppID, raw, s.now())
+	s.met.ingestAccepted.Inc()
+	s.db.AppendUploadTraced(msg.AppID, raw, s.now(), string(requestID))
 	s.markDirty(msg.AppID)
 
 	// Budget accounting: each distinct measurement timestamp consumes one
@@ -417,19 +543,32 @@ func uploadInstants(tl *coverage.Timeline, msg *wire.DataUpload) []int {
 // different apps never contend. Individual bad reports are skipped, not
 // fatal: the Ack reports accepted/total (Code 200 all accepted, 207
 // partial, 400 none).
-func (s *Server) HandleReportBatch(msg *wire.DataUploadBatch) (wire.Message, error) {
+func (s *Server) HandleReportBatch(ctx context.Context, msg *wire.DataUploadBatch) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(msg.Uploads) == 0 {
 		return refuse(400, "empty report batch"), nil
 	}
 	if len(msg.Uploads) > wire.MaxBatchReports {
 		return refuse(413, "batch of %d exceeds %d reports", len(msg.Uploads), wire.MaxBatchReports), nil
 	}
+	requestID := string(obs.RequestIDFrom(ctx))
 	now := s.now()
 	// Group report indices per app, preserving arrival order within an app.
 	byApp := make(map[string][]int)
 	for i := range msg.Uploads {
 		byApp[msg.Uploads[i].AppID] = append(byApp[msg.Uploads[i].AppID], i)
 	}
+	// Ingest counters accumulate locally and flush once per batch: a
+	// 4096-report burst pays three atomic adds, not thousands. The defer
+	// keeps the flush on the encode-error exit too.
+	var nReports, nRejected, nDuplicates int64
+	defer func() {
+		s.met.ingestReports.Add(nReports)
+		s.met.ingestRejected.Add(nRejected)
+		s.met.ingestDuplicates.Add(nDuplicates)
+	}()
 	accepted := 0
 	taskOK := make(map[string]bool, len(msg.Uploads))
 	for appID, idxs := range byApp {
@@ -450,16 +589,21 @@ func (s *Server) HandleReportBatch(msg *wire.DataUploadBatch) (wire.Message, err
 				taskOK[key] = ok
 			}
 			if !ok {
+				nRejected++
 				continue
 			}
+			nReports++
 			raw, err := wire.Encode(up)
 			if err != nil {
 				return nil, err
 			}
 			// Replays (lost-ack retransmissions) count as accepted — the
 			// phone needs an OK to stop resending — but are not re-stored
-			// and not re-charged.
+			// and not re-charged. The batch path counts dedup hits but
+			// records no per-report span: a 4096-report burst must stay a
+			// few atomic adds, not thousands of ring-buffer writes.
 			if !s.db.MarkReport(appID, up.ReportID) {
+				nDuplicates++
 				accepted++
 				continue
 			}
@@ -468,11 +612,12 @@ func (s *Server) HandleReportBatch(msg *wire.DataUploadBatch) (wire.Message, err
 				instantsOf[up.UserID] = append(instantsOf[up.UserID], uploadInstants(st.timeline, up)...)
 			}
 		}
-		s.db.AppendUploads(appID, bodies, now)
+		s.db.AppendUploadsTraced(appID, bodies, now, requestID)
 		if len(bodies) > 0 {
 			s.markDirty(appID)
 		}
 		accepted += len(bodies)
+		s.met.ingestAccepted.Add(int64(len(bodies)))
 		for userID, instants := range instantsOf {
 			// Exhausted budgets are refused quietly; the data is kept.
 			_, _ = st.online.RecordExecutions(userID, instants)
@@ -492,7 +637,10 @@ func (s *Server) HandleReportBatch(msg *wire.DataUploadBatch) (wire.Message, err
 
 // handleLeave marks the user finished and re-plans without them (§II-B: a
 // user's status becomes "finished" when they leave the target place).
-func (s *Server) handleLeave(msg *wire.Leave) (wire.Message, error) {
+func (s *Server) handleLeave(ctx context.Context, msg *wire.Leave) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, err := s.db.ActiveParticipationByUser(msg.AppID, msg.UserID)
 	if err != nil {
 		return refuse(404, "no active task for %s in %s", msg.UserID, msg.AppID), nil
@@ -510,6 +658,7 @@ func (s *Server) handleLeave(msg *wire.Leave) (wire.Message, error) {
 		}
 		plan, err := st.online.Leave(s.now(), msg.UserID)
 		if err == nil {
+			s.met.replans.Inc()
 			if err := s.distributePlan(app, st, plan); err != nil {
 				return nil, err
 			}
@@ -521,7 +670,10 @@ func (s *Server) handleLeave(msg *wire.Leave) (wire.Message, error) {
 // handlePing is the GCM rendezvous: a phone woken via push pings home with
 // its token; the server replies with the latest schedule for the phone's
 // active task.
-func (s *Server) handlePing(msg *wire.Ping) (wire.Message, error) {
+func (s *Server) handlePing(ctx context.Context, msg *wire.Ping) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	user, err := s.db.UserByToken(msg.Token)
 	if err != nil {
 		return refuse(404, "unknown device token"), nil
@@ -557,7 +709,10 @@ func (s *Server) handlePing(msg *wire.Ping) (wire.Message, error) {
 // current matrix snapshot (snapshots.go). The hot path — fresh snapshot,
 // cached profile — is an atomic load, a few counter compares, one key
 // build, and a map hit; no processor run, no store reads, no solver.
-func (s *Server) handleRankRequest(msg *wire.RankRequest) (wire.Message, error) {
+func (s *Server) handleRankRequest(ctx context.Context, msg *wire.RankRequest) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	snap, err := s.freshSnapshot(msg.Category)
 	if err != nil {
 		if errors.Is(err, errNoRankData) {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sor/internal/obs"
 	"sor/internal/ranking"
 	"sor/internal/wire"
 )
@@ -66,6 +67,10 @@ func (s *Server) serving(category string) *categoryServing {
 	}
 	cs := &categoryServing{}
 	cs.cache.init(rankCacheSize)
+	// The hit/miss handles are shared across categories: the ratio is a
+	// server-level serving-health signal.
+	cs.cache.hits = s.met.rankCacheHits
+	cs.cache.misses = s.met.rankCacheMisses
 	v, _ := s.servingByCat.LoadOrStore(category, cs)
 	return v.(*categoryServing)
 }
@@ -136,6 +141,9 @@ func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *ran
 	}
 	// Capture the ingest signals before folding: anything arriving during
 	// the rebuild re-marks the next query stale (conservative, never lost).
+	// Rebuild duration is measured on the wall clock — s.now may be a
+	// frozen virtual clock in tests and simulations.
+	t0 := time.Now()
 	dirty := cs.dirty.Load()
 	uploadSeq := s.db.UploadSeq()
 	s.processor.Process()
@@ -168,6 +176,8 @@ func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *ran
 		builtAt:        s.now(),
 	}
 	cs.snap.Store(snap)
+	s.met.snapshotRebuilds.Inc()
+	s.met.snapshotRebuildMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 	return snap, nil
 }
 
@@ -219,6 +229,11 @@ type profileCache struct {
 	epoch int64
 	items map[string]*list.Element
 	lru   *list.List // front = most recent; values are *cacheEntry
+
+	// hits/misses are nil-safe metric handles (nil without an observer).
+	// Stale-epoch fills count as misses: they run the solver.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 func (c *profileCache) init(max int) {
@@ -240,15 +255,18 @@ func (c *profileCache) getOrCompute(epoch int64, key string, fill func() (*ranki
 		c.lru.Init()
 	} else if epoch < c.epoch {
 		c.mu.Unlock()
+		c.misses.Inc()
 		return fill()
 	}
 	if el, ok := c.items[key]; ok {
 		c.lru.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.mu.Unlock()
+		c.hits.Inc()
 		<-e.done
 		return e.res, e.err
 	}
+	c.misses.Inc()
 	e := &cacheEntry{key: key, done: make(chan struct{})}
 	el := c.lru.PushFront(e)
 	c.items[key] = el

@@ -69,10 +69,12 @@ func (s *Server) StartProcessing(ctx context.Context, interval time.Duration) (<
 		for {
 			select {
 			case <-ctx.Done():
-				s.processor.Process() // final drain
+				// Final drain: the poll context is gone, but drained blobs
+				// must still be folded (exactly-once), so run uncancelled.
+				s.processor.Process()
 				return
 			case <-ticker.C:
-				s.processor.Process()
+				s.processor.ProcessContext(ctx)
 			}
 		}
 	}()

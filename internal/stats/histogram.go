@@ -107,6 +107,13 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Counts returns a copy of the per-bucket counts; the last entry is the
+// overflow bucket past the final bound.
+func (h *Histogram) Counts() []int { return append([]int(nil), h.counts...) }
+
 // Quantile approximates the q-quantile as the upper bound of the bucket
 // where the cumulative count crosses q·n (the exact maximum for the
 // overflow bucket). Error is bounded by the bucket width.

@@ -109,6 +109,11 @@ type RawUpload struct {
 	AppID    string    `json:"app_id"`
 	Received time.Time `json:"received"`
 	Body     []byte    `json:"body"`
+	// RequestID is the trace id of the wire request that delivered the
+	// blob (empty for untraced peers). It lets the asynchronous processor
+	// stamp its fold span with the same id the client minted, stitching
+	// ingest and processing into one trace.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // FeatureRow is one processed feature value for one place.
@@ -446,12 +451,18 @@ func (s *Store) ActiveParticipationByUser(appID, userID string) (Participation, 
 // its sequence number. Sequence numbers are globally unique and monotonic;
 // ordering across buckets is reconstructed at drain time.
 func (s *Store) AppendUpload(appID string, body []byte, received time.Time) int64 {
+	return s.AppendUploadTraced(appID, body, received, "")
+}
+
+// AppendUploadTraced is AppendUpload carrying the trace id of the wire
+// request that delivered the blob.
+func (s *Store) AppendUploadTraced(appID string, body []byte, received time.Time, requestID string) int64 {
 	seq := s.uploadSeq.Add(1)
 	cp := make([]byte, len(body))
 	copy(cp, body)
 	sh := &s.uploadShards[shardIndex(appID)]
 	sh.mu.Lock()
-	sh.put(RawUpload{Seq: seq, AppID: appID, Received: received, Body: cp})
+	sh.put(RawUpload{Seq: seq, AppID: appID, Received: received, Body: cp, RequestID: requestID})
 	sh.mu.Unlock()
 	return seq
 }
@@ -463,6 +474,13 @@ func (s *Store) AppendUpload(appID string, body []byte, received time.Time) int6
 // it straight over, so the burst path pays no copy per report. It returns
 // the sequence number of the last blob appended, or 0 for an empty burst.
 func (s *Store) AppendUploads(appID string, bodies [][]byte, received time.Time) int64 {
+	return s.AppendUploadsTraced(appID, bodies, received, "")
+}
+
+// AppendUploadsTraced is AppendUploads carrying the trace id of the
+// batch request that delivered the blobs (one id for the whole burst —
+// a batch is one wire frame).
+func (s *Store) AppendUploadsTraced(appID string, bodies [][]byte, received time.Time, requestID string) int64 {
 	if len(bodies) == 0 {
 		return 0
 	}
@@ -470,7 +488,7 @@ func (s *Store) AppendUploads(appID string, bodies [][]byte, received time.Time)
 	sh := &s.uploadShards[shardIndex(appID)]
 	sh.mu.Lock()
 	for i, body := range bodies {
-		sh.put(RawUpload{Seq: base + int64(i) + 1, AppID: appID, Received: received, Body: body})
+		sh.put(RawUpload{Seq: base + int64(i) + 1, AppID: appID, Received: received, Body: body, RequestID: requestID})
 	}
 	sh.mu.Unlock()
 	return base + int64(len(bodies))

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sor/internal/obs"
 	"sor/internal/wire"
 )
 
@@ -33,13 +34,38 @@ const maxBodyBytes = 16 << 20
 // Handler is the server-side message dispatcher.
 type Handler func(ctx context.Context, m wire.Message) (wire.Message, error)
 
-// NewHTTPHandler wraps a Handler into an http.Handler serving Path.
-func NewHTTPHandler(h Handler) (http.Handler, error) {
+// HandlerOption configures NewHTTPHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	obsv *obs.Observer
+}
+
+// WithHandlerObserver instruments the HTTP endpoint: decode failures are
+// counted and the trace RequestID carried by v2 frames is placed on the
+// request context before dispatch.
+func WithHandlerObserver(o *obs.Observer) HandlerOption {
+	return func(cfg *handlerConfig) { cfg.obsv = o }
+}
+
+// NewHTTPHandler wraps a Handler into an http.Handler serving Path. The
+// trace RequestID of version-2 frames is always propagated onto the
+// handler's context; an observer (WithHandlerObserver) additionally
+// counts endpoint-level requests and decode rejections.
+func NewHTTPHandler(h Handler, opts ...HandlerOption) (http.Handler, error) {
 	if h == nil {
 		return nil, errors.New("transport: nil handler")
 	}
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reg := cfg.obsv.Metrics()
+	httpRequests := reg.Counter("sor_http_requests_total")
+	httpDecodeErrs := reg.Counter("sor_http_decode_errors_total")
 	mux := http.NewServeMux()
 	mux.HandleFunc(Path, func(w http.ResponseWriter, r *http.Request) {
+		httpRequests.Inc()
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -53,12 +79,17 @@ func NewHTTPHandler(h Handler) (http.Handler, error) {
 			http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
 			return
 		}
-		msg, err := wire.Decode(body)
+		msg, requestID, err := wire.DecodeTraced(body)
 		if err != nil {
+			httpDecodeErrs.Inc()
 			http.Error(w, fmt.Sprintf("bad message: %v", err), http.StatusBadRequest)
 			return
 		}
-		resp, err := h(r.Context(), msg)
+		ctx := r.Context()
+		if requestID != "" {
+			ctx = obs.WithRequestID(ctx, obs.RequestID(requestID))
+		}
+		resp, err := h(ctx, msg)
 		if err != nil {
 			// Application errors still travel as Acks so the client can
 			// decode them uniformly.
@@ -113,6 +144,31 @@ type Client struct {
 	sends       atomic.Int64
 	retryCount  atomic.Int64
 	nonRetrying atomic.Int64
+
+	obsv *obs.Observer
+	met  clientMetrics
+}
+
+// clientMetrics are the client's constant-label handles; all nil (no-op)
+// without an observer.
+type clientMetrics struct {
+	sends        *obs.Counter
+	retries      *obs.Counter
+	nonRetryable *obs.Counter
+	exhausted    *obs.Counter
+	sendMs       *obs.Histogram
+	backoffMs    *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		sends:        reg.Counter("sor_client_sends_total"),
+		retries:      reg.Counter("sor_client_retries_total"),
+		nonRetryable: reg.Counter("sor_client_non_retryable_total"),
+		exhausted:    reg.Counter("sor_client_exhausted_total"),
+		sendMs:       reg.LatencyHistogram("sor_client_send_ms"),
+		backoffMs:    reg.LatencyHistogram("sor_client_backoff_ms"),
+	}
 }
 
 // ClientOption configures a Client.
@@ -152,6 +208,13 @@ func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
 }
 
+// WithObserver instruments the client: sends/retries/backoff become
+// metrics series and every attempt records a "client.send" span carrying
+// the request's trace id.
+func WithObserver(o *obs.Observer) ClientOption {
+	return func(c *Client) { c.obsv = o }
+}
+
 // NewClient creates a client for a server base URL (e.g.
 // "http://127.0.0.1:8080").
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -170,6 +233,9 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	}
 	if c.jitter == nil {
 		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if c.obsv != nil {
+		c.met = newClientMetrics(c.obsv.Metrics())
 	}
 	return c, nil
 }
@@ -219,11 +285,22 @@ func (c *Client) retryDelay(attempt int) time.Duration {
 // exponential backoff; encode errors and 4xx refusals are returned
 // immediately (resending an already-refused frame cannot succeed).
 func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error) {
-	body, err := wire.Encode(m)
+	// Each Send is one logical request: mint a trace RequestID unless the
+	// caller brought one on the context. The id is encoded into the frame
+	// once, before the retry loop, so every retransmission of this request
+	// carries the same id — that is what lets the server-side spans of all
+	// attempts stitch into one trace.
+	requestID := obs.RequestIDFrom(ctx)
+	if requestID == "" {
+		requestID = obs.NewRequestID()
+		ctx = obs.WithRequestID(ctx, requestID)
+	}
+	body, err := wire.EncodeTraced(m, string(requestID))
 	if err != nil {
 		return nil, fmt.Errorf("transport: encode: %w", err)
 	}
 	c.sends.Add(1)
+	c.met.sends.Inc()
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
@@ -232,17 +309,35 @@ func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error)
 				c.onRetry(attempt, delay, lastErr)
 			}
 			c.retryCount.Add(1)
+			c.met.retries.Inc()
+			c.met.backoffMs.Observe(float64(delay) / float64(time.Millisecond))
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
 				return nil, fmt.Errorf("transport: cancelled: %w", ctx.Err())
 			}
 		}
+		var span *obs.Span
+		var t0 time.Time
+		if c.obsv != nil {
+			t0 = time.Now()
+			span = c.obsv.StartSpan(ctx, "client.send")
+			span.Annotate("type", m.Type().String())
+			span.Annotate("attempt", fmt.Sprintf("%d", attempt+1))
+		}
 		resp, err := c.post(ctx, body)
+		if c.obsv != nil {
+			c.met.sendMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+			if err != nil {
+				span.Annotate("error", err.Error())
+			}
+			span.End()
+		}
 		if err != nil {
 			var httpErr *HTTPError
 			if errors.As(err, &httpErr) && !httpErr.Retryable() {
 				c.nonRetrying.Add(1)
+				c.met.nonRetryable.Inc()
 				return nil, err
 			}
 			lastErr = err
@@ -250,6 +345,7 @@ func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error)
 		}
 		return resp, nil
 	}
+	c.met.exhausted.Inc()
 	return nil, fmt.Errorf("transport: giving up after %d attempts: %w", c.retries+1, lastErr)
 }
 

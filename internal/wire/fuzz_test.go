@@ -60,6 +60,13 @@ func FuzzDecode(f *testing.F) {
 			f.Fatalf("seeding %s: %v", m.Type(), err)
 		}
 		f.Add(frame)
+		// Version-2 (traced) variant of every seed, so the fuzzer reaches
+		// the request-id branch of the decoder from the first corpus.
+		traced, err := EncodeTraced(m, "fuzz-req-1")
+		if err != nil {
+			f.Fatalf("seeding traced %s: %v", m.Type(), err)
+		}
+		f.Add(traced)
 		// Mutated variants: flipped type byte and truncated tail give the
 		// fuzzer a head start on the framing checks.
 		if len(frame) > 8 {
@@ -67,27 +74,35 @@ func FuzzDecode(f *testing.F) {
 			bad[4] ^= 0xff
 			f.Add(bad)
 			f.Add(frame[:len(frame)-3])
+			f.Add(traced[:len(traced)-3])
 		}
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := Decode(data)
+		m, requestID, err := DecodeTraced(data)
 		if err != nil {
 			if m != nil {
-				t.Fatalf("Decode returned both a message and error %v", err)
+				t.Fatalf("DecodeTraced returned both a message and error %v", err)
 			}
 			return
 		}
-		// Anything accepted must re-encode, and the re-encoded frame must
-		// decode to an identical frame again (full round-trip fixpoint).
-		out, err := Encode(m)
+		if len(requestID) > MaxRequestIDLen {
+			t.Fatalf("accepted oversized request id (%d bytes)", len(requestID))
+		}
+		// Anything accepted must re-encode — carrying its request id — and
+		// the re-encoded frame must decode to an identical frame again
+		// (full round-trip fixpoint, both envelope versions).
+		out, err := EncodeTraced(m, requestID)
 		if err != nil {
 			t.Fatalf("re-encoding accepted %s: %v", m.Type(), err)
 		}
-		m2, err := Decode(out)
+		m2, id2, err := DecodeTraced(out)
 		if err != nil {
 			t.Fatalf("re-decoding %s: %v", m.Type(), err)
 		}
-		out2, err := Encode(m2)
+		if id2 != requestID {
+			t.Fatalf("request id changed across round trip: %q vs %q", requestID, id2)
+		}
+		out2, err := EncodeTraced(m2, id2)
 		if err != nil {
 			t.Fatalf("second re-encode of %s: %v", m.Type(), err)
 		}

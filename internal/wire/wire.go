@@ -5,6 +5,15 @@
 //
 //	magic "SOR\x01" | message type (1 byte) | payload | CRC-32 (4 bytes)
 //
+// Version 2 frames ("SOR\x02") insert a length-prefixed trace RequestID
+// between the type byte and the payload:
+//
+//	magic "SOR\x02" | type (1 byte) | request-id (string) | payload | CRC-32
+//
+// Encode always emits version 1 (bit-stable with older builds);
+// EncodeTraced emits version 2 when a RequestID is present. Decode and
+// DecodeTraced accept both versions, so old and new peers interoperate.
+//
 // Payload primitives are little-endian IEEE-754 float64s, unsigned varints
 // and length-prefixed UTF-8 strings. Every message type implements Message
 // and round-trips exactly.
@@ -20,6 +29,17 @@ import (
 
 // magic prefixes every frame (includes format version 1).
 var magic = []byte{'S', 'O', 'R', 1}
+
+// Frame versions: version 1 is the original envelope, version 2 carries
+// a trace RequestID between the type byte and the payload.
+const (
+	version1 = 1
+	version2 = 2
+)
+
+// MaxRequestIDLen bounds the trace id in a v2 frame; anything longer is
+// hostile or broken.
+const MaxRequestIDLen = 256
 
 // MsgType identifies a message.
 type MsgType byte
@@ -238,50 +258,89 @@ func (r *Reader) sliceLen() (int, error) {
 }
 
 // Encode frames a message: magic | type | payload | crc32(payload+type).
+// The output is a version-1 frame, byte-identical to older builds.
 func Encode(m Message) ([]byte, error) {
+	return EncodeTraced(m, "")
+}
+
+// EncodeTraced frames a message carrying a trace RequestID. An empty id
+// produces a version-1 frame (exactly Encode); a non-empty id produces a
+// version-2 frame with the id between the type byte and the payload.
+func EncodeTraced(m Message, requestID string) ([]byte, error) {
 	if m == nil {
 		return nil, errors.New("wire: nil message")
+	}
+	if len(requestID) > MaxRequestIDLen {
+		return nil, fmt.Errorf("%w: request id of %d bytes", ErrBadPayload, len(requestID))
 	}
 	var w Writer
 	// Typical messages are well under 256 bytes; pre-sizing keeps the hot
 	// ingest path from growing the buffer several times per report.
 	w.buf = make([]byte, 0, 256)
-	w.buf = append(w.buf, magic...)
+	w.buf = append(w.buf, 'S', 'O', 'R')
+	if requestID == "" {
+		w.buf = append(w.buf, version1)
+	} else {
+		w.buf = append(w.buf, version2)
+	}
 	w.buf = append(w.buf, byte(m.Type()))
+	if requestID != "" {
+		w.PutString(requestID)
+	}
 	m.encodePayload(&w)
 	sum := crc32.ChecksumIEEE(w.buf[len(magic):])
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, sum)
 	return w.buf, nil
 }
 
-// Decode parses a framed message.
+// Decode parses a framed message (either version), discarding any trace
+// RequestID.
 func Decode(b []byte) (Message, error) {
+	m, _, err := DecodeTraced(b)
+	return m, err
+}
+
+// DecodeTraced parses a framed message and returns the trace RequestID a
+// version-2 frame carries ("" for version-1 frames).
+func DecodeTraced(b []byte) (Message, string, error) {
 	if len(b) < len(magic)+1+4 {
-		return nil, ErrTruncated
+		return nil, "", ErrTruncated
 	}
-	for i, c := range magic {
-		if b[i] != c {
-			return nil, ErrBadMagic
-		}
+	if b[0] != 'S' || b[1] != 'O' || b[2] != 'R' {
+		return nil, "", ErrBadMagic
+	}
+	version := b[3]
+	if version != version1 && version != version2 {
+		return nil, "", ErrBadMagic
 	}
 	body := b[len(magic) : len(b)-4]
 	wantSum := binary.LittleEndian.Uint32(b[len(b)-4:])
 	if crc32.ChecksumIEEE(body) != wantSum {
-		return nil, ErrBadCRC
+		return nil, "", ErrBadCRC
 	}
 	t := MsgType(body[0])
 	m, err := newMessage(t)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	r := NewReader(body[1:])
+	requestID := ""
+	if version == version2 {
+		requestID, err = r.String()
+		if err != nil {
+			return nil, "", fmt.Errorf("wire: decoding request id: %w", err)
+		}
+		if len(requestID) > MaxRequestIDLen {
+			return nil, "", fmt.Errorf("%w: request id of %d bytes", ErrBadPayload, len(requestID))
+		}
+	}
 	if err := m.decodePayload(r); err != nil {
-		return nil, fmt.Errorf("wire: decoding %s: %w", t, err)
+		return nil, "", fmt.Errorf("wire: decoding %s: %w", t, err)
 	}
 	if r.Remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes in %s", ErrBadPayload, r.Remaining(), t)
+		return nil, "", fmt.Errorf("%w: %d trailing bytes in %s", ErrBadPayload, r.Remaining(), t)
 	}
-	return m, nil
+	return m, requestID, nil
 }
 
 func newMessage(t MsgType) (Message, error) {
