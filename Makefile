@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short ci experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak ci experiments fieldtest sim clean
 
 all: build test
 
@@ -29,9 +29,12 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# 10-second fuzz smoke over the wire decoder (the open-network surface).
+# 10-second fuzz smokes over the two decoders that face untrusted bytes:
+# the wire decoder (open network) and the WAL record decoder (disk after
+# a crash).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal/
 
 # Boot a real sord, scrape /debug/metrics via sorctl, assert every
 # promised series is present and that traffic moves the counters.
@@ -48,6 +51,13 @@ chaos:
 chaos-short:
 	$(GO) test -race -short -count=1 ./internal/chaos/
 
+# Crash-restart soak under the race detector: kill a durable server at
+# random points under the PR-3 fault schedule, recover from the newest
+# snapshot plus the WAL tail, and require converged state bit-identical
+# to the same seed never crashing.
+crash-soak:
+	$(GO) test -race -count=1 -run CrashSoak -v ./internal/chaos/
+
 # Everything CI runs (.github/workflows/ci.yml mirrors this).
 ci: vet build test
 	$(GO) test -race -short ./...
@@ -55,6 +65,7 @@ ci: vet build test
 	$(MAKE) fuzz-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-short
+	$(MAKE) crash-soak
 
 # Regenerate every paper table and figure.
 experiments: fieldtest sim

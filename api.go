@@ -19,6 +19,7 @@ import (
 	"sor/internal/server"
 	"sor/internal/store"
 	"sor/internal/transport"
+	"sor/internal/wal"
 )
 
 // ---- Observability ----
@@ -81,6 +82,9 @@ type Store = store.Store
 // Application is one registered sensing application.
 type Application = store.Application
 
+// User is one registered participant.
+type User = store.User
+
 // Push is the simulated GCM-like wake-up fabric.
 type Push = transport.Push
 
@@ -93,6 +97,64 @@ func NewStore() *Store { return store.New() }
 // LoadStore restores a store from a JSON snapshot file.
 func LoadStore(path string) (*Store, error) { return store.Load(path) }
 
+// ---- Storage backends ----
+
+// Storage abstracts where a server's state lives: Open builds or
+// recovers the store, Close shuts it down with whatever durability the
+// backend promises, Kill abandons it the way a crash would.
+type Storage = store.Backend
+
+// DurableOption tunes Durable.
+type DurableOption = store.DurableOption
+
+// WALSyncPolicy selects when a durable backend acknowledges a write:
+// once the record is in the kernel page cache (WALSyncOS, the default),
+// after a group fsync (WALSyncGrouped), or after a per-record fsync
+// (WALSyncEach).
+type WALSyncPolicy = wal.SyncPolicy
+
+// WAL acknowledgement policies for WithWALSync.
+const (
+	WALSyncOS      = wal.SyncOS
+	WALSyncGrouped = wal.SyncGrouped
+	WALSyncEach    = wal.SyncEach
+)
+
+// Memory returns an in-memory storage backend: no files, no recovery,
+// state dies with the process.
+func Memory() Storage { return store.NewMemoryBackend(nil) }
+
+// Durable returns a disk-backed storage backend rooted at dir: a
+// periodically checkpointed snapshot plus a write-ahead log of every
+// mutation since, replayed on Open after a crash.
+func Durable(dir string, opts ...DurableOption) Storage {
+	return store.NewDurableBackend(dir, opts...)
+}
+
+// WithSnapshotInterval sets a durable backend's checkpoint cadence
+// (default 30s).
+func WithSnapshotInterval(d time.Duration) DurableOption {
+	return store.WithSnapshotInterval(d)
+}
+
+// WithSnapshotPath overrides where a durable backend keeps its snapshot
+// file (default <dir>/snapshot.json).
+func WithSnapshotPath(path string) DurableOption { return store.WithSnapshotPath(path) }
+
+// WithoutWAL degrades a durable backend to periodic snapshots only (the
+// old sord -snapshot behavior): mutations since the last checkpoint are
+// lost on a crash.
+func WithoutWAL() DurableOption { return store.WithoutWAL() }
+
+// WithWALSync selects the WAL acknowledgement policy.
+func WithWALSync(p WALSyncPolicy) DurableOption { return store.WithWALSync(p) }
+
+// WithWALSegmentBytes sets the WAL segment rotation threshold.
+func WithWALSegmentBytes(n int64) DurableOption { return store.WithSegmentBytes(n) }
+
+// WithStorageMetrics publishes WAL and checkpoint series into reg.
+func WithStorageMetrics(reg *Registry) DurableOption { return store.WithMetrics(reg) }
+
 // NewPush returns an empty push fabric.
 func NewPush() *Push { return transport.NewPush() }
 
@@ -103,9 +165,17 @@ func DefaultCatalog() map[string][]Feature { return server.DefaultCatalog() }
 // ServerOption configures NewServer.
 type ServerOption func(*server.Config)
 
-// WithStore sets the backing store (default: a fresh empty store).
+// WithStore sets an already-open backing store (default: a fresh empty
+// store). Mutually exclusive with WithStorage.
 func WithStore(db *Store) ServerOption {
 	return func(cfg *server.Config) { cfg.DB = db }
+}
+
+// WithStorage hands the server a storage backend (Memory, Durable). The
+// server must then be Opened before serving — Open recovers the store
+// and rebuilds scheduling state — and Closed on shutdown.
+func WithStorage(b Storage) ServerOption {
+	return func(cfg *server.Config) { cfg.Storage = b }
 }
 
 // WithCatalog sets the category→features catalog (default DefaultCatalog).
@@ -167,7 +237,7 @@ func NewServer(opts ...ServerOption) (*Server, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.DB == nil {
+	if cfg.DB == nil && cfg.Storage == nil {
 		cfg.DB = store.New()
 	}
 	if cfg.Catalog == nil {

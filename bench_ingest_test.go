@@ -47,6 +47,17 @@ func benchObserver() *obs.Observer {
 }
 
 func newBenchEnv(b *testing.B, apps, users int) *benchEnv {
+	return newStorageBenchEnv(b, apps, users, nil)
+}
+
+// newDurableBenchEnv is newBenchEnv on the WAL-backed durable store with
+// its default sync policy — the configuration whose ingest overhead the
+// durability work is accountable for (within 25% of in-memory).
+func newDurableBenchEnv(b *testing.B, apps, users int) *benchEnv {
+	return newStorageBenchEnv(b, apps, users, store.NewDurableBackend(b.TempDir()))
+}
+
+func newStorageBenchEnv(b *testing.B, apps, users int, backend store.Backend) *benchEnv {
 	b.Helper()
 	start := time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
 	catalog := map[string][]ranking.Feature{
@@ -62,14 +73,25 @@ func newBenchEnv(b *testing.B, apps, users int) *benchEnv {
 	// uninstrumented numbers (BENCH_obs.json records the comparison;
 	// SOR_BENCH_BASELINE=1 turns the observer off to measure the
 	// baseline side on the same machine).
-	srv, err := server.New(server.Config{
-		DB:       store.New(),
+	cfg := server.Config{
 		Now:      func() time.Time { return start },
 		Catalog:  catalog,
 		Observer: benchObserver(),
-	})
+	}
+	if backend != nil {
+		cfg.Storage = backend
+	} else {
+		cfg.DB = store.New()
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if backend != nil {
+		if err := srv.Open(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = srv.Close() })
 	}
 	env := &benchEnv{srv: srv, start: start}
 	h := srv.Handler()
@@ -184,47 +206,55 @@ const benchBatchSize = 32
 // reports per message through HandleReportBatch. b.N counts reports in
 // both variants, so ns/op is ns per report and the two are comparable.
 func BenchmarkIngestParallel(b *testing.B) {
-	b.Run("single", func(b *testing.B) {
-		env := newBenchEnv(b, 4, ingestWorkers)
-		b.ResetTimer()
-		benchUploaders(b, ingestWorkers, b.N, func(w, seq int) error {
-			resp, err := env.handle(env.report(w, int64(seq)))
-			if err != nil {
-				return err
-			}
-			if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
-				return fmt.Errorf("upload refused: %+v", resp)
-			}
-			return nil
-		})
-		b.StopTimer()
-		reportIngested(b, env)
-	})
-	b.Run("batched", func(b *testing.B) {
-		env := newBenchEnv(b, 4, ingestWorkers)
-		batches := (b.N + benchBatchSize - 1) / benchBatchSize
-		b.ResetTimer()
-		benchUploaders(b, ingestWorkers, batches, func(w, seq int) error {
-			n := benchBatchSize
-			if seq == batches-1 && b.N%benchBatchSize != 0 {
-				n = b.N % benchBatchSize // last batch carries the remainder
-			}
-			batch := &wire.DataUploadBatch{Uploads: make([]wire.DataUpload, n)}
-			for i := 0; i < n; i++ {
-				batch.Uploads[i] = *env.report(w, int64(seq*benchBatchSize+i))
-			}
-			resp, err := env.handle(batch)
-			if err != nil {
-				return err
-			}
-			if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
-				return fmt.Errorf("batch refused: %+v", resp)
-			}
-			return nil
-		})
-		b.StopTimer()
-		reportIngested(b, env)
-	})
+	single := func(env *benchEnv) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ResetTimer()
+			benchUploaders(b, ingestWorkers, b.N, func(w, seq int) error {
+				resp, err := env.handle(env.report(w, int64(seq)))
+				if err != nil {
+					return err
+				}
+				if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
+					return fmt.Errorf("upload refused: %+v", resp)
+				}
+				return nil
+			})
+			b.StopTimer()
+			reportIngested(b, env)
+		}
+	}
+	batched := func(env *benchEnv) func(b *testing.B) {
+		return func(b *testing.B) {
+			batches := (b.N + benchBatchSize - 1) / benchBatchSize
+			b.ResetTimer()
+			benchUploaders(b, ingestWorkers, batches, func(w, seq int) error {
+				n := benchBatchSize
+				if seq == batches-1 && b.N%benchBatchSize != 0 {
+					n = b.N % benchBatchSize // last batch carries the remainder
+				}
+				batch := &wire.DataUploadBatch{Uploads: make([]wire.DataUpload, n)}
+				for i := 0; i < n; i++ {
+					batch.Uploads[i] = *env.report(w, int64(seq*benchBatchSize+i))
+				}
+				resp, err := env.handle(batch)
+				if err != nil {
+					return err
+				}
+				if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
+					return fmt.Errorf("batch refused: %+v", resp)
+				}
+				return nil
+			})
+			b.StopTimer()
+			reportIngested(b, env)
+		}
+	}
+	b.Run("single", func(b *testing.B) { single(newBenchEnv(b, 4, ingestWorkers))(b) })
+	b.Run("batched", func(b *testing.B) { batched(newBenchEnv(b, 4, ingestWorkers))(b) })
+	// The durable variants write-ahead-log every report before the ack
+	// (WAL on tmpfs-or-disk at b.TempDir(), default SyncOS policy).
+	b.Run("durable-single", func(b *testing.B) { single(newDurableBenchEnv(b, 4, ingestWorkers))(b) })
+	b.Run("durable-batched", func(b *testing.B) { batched(newDurableBenchEnv(b, 4, ingestWorkers))(b) })
 }
 
 // BenchmarkRankDuringIngest measures rank-query latency while 8 uploader

@@ -7,6 +7,7 @@
 //	sorctl -server http://localhost:8080 ping -token token-0-1
 //	sorctl -server http://localhost:8080 metrics [-json] [-require a,b,c]
 //	sorctl -server http://localhost:8080 trace [-request ID] [-limit 50]
+//	sorctl wal inspect <data-dir|wal-dir>
 package main
 
 import (
@@ -19,11 +20,13 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"sor"
+	"sor/internal/wal"
 	"sor/internal/wire"
 	"sor/internal/world"
 )
@@ -40,7 +43,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sorctl [-server URL] rank|ping|metrics|trace [flags]")
+		return fmt.Errorf("usage: sorctl [-server URL] rank|ping|metrics|trace|wal [flags]")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -53,9 +56,69 @@ func run() error {
 		return metrics(ctx, *serverURL, args[1:])
 	case "trace":
 		return trace(ctx, *serverURL, args[1:])
+	case "wal":
+		return walCmd(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// walCmd is the offline WAL toolbox; `wal inspect <dir>` dumps segment
+// headers, record counts, and the offset of any torn or corrupt record.
+// It accepts either the wal directory itself or a sord -data-dir (it
+// looks for a wal/ subdirectory).
+func walCmd(args []string) error {
+	if len(args) < 1 || args[0] != "inspect" {
+		return fmt.Errorf("usage: sorctl wal inspect <data-dir|wal-dir>")
+	}
+	fs := flag.NewFlagSet("wal inspect", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the segment list as JSON")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sorctl wal inspect <data-dir|wal-dir>")
+	}
+	dir := fs.Arg(0)
+	// A sord -data-dir holds the log under wal/.
+	if sub := filepath.Join(dir, "wal"); dirExists(sub) {
+		dir = sub
+	}
+	segs, err := wal.Inspect(dir)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(segs)
+	}
+	if len(segs) == 0 {
+		fmt.Printf("no WAL segments in %s\n", dir)
+		return nil
+	}
+	var records int
+	var bytes int64
+	fmt.Printf("%-24s %12s %10s %12s  %s\n", "SEGMENT", "FIRST-LSN", "RECORDS", "BYTES", "STATUS")
+	for _, s := range segs {
+		status := "ok"
+		switch {
+		case s.Corrupt != nil:
+			status = fmt.Sprintf("CORRUPT at offset %d: %v", s.Corrupt.Offset, s.Corrupt.Err)
+		case s.Torn:
+			status = fmt.Sprintf("torn tail at offset %d", s.TornAt)
+		}
+		fmt.Printf("%-24s %12d %10d %12d  %s\n", s.Name, s.FirstLSN, s.Records, s.Bytes, status)
+		records += s.Records
+		bytes += s.Bytes
+	}
+	fmt.Printf("%d segments, %d records, %d bytes\n", len(segs), records, bytes)
+	return nil
+}
+
+func dirExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
 }
 
 func newClient(serverURL string) (*sor.Client, error) {

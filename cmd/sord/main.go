@@ -6,15 +6,24 @@
 //
 // Usage:
 //
-//	sord -addr :8080 [-snapshot sor.json] [-barcodes] [-span-buffer 4096]
+//	sord -addr :8080 [-data-dir sor-data] [-barcodes] [-span-buffer 4096]
+//
+// With -data-dir the server is durable: a checkpointed snapshot plus a
+// write-ahead log of every mutation since, recovered on startup. Without
+// it state is in-memory and dies with the process.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"sor"
@@ -30,27 +39,44 @@ func main() {
 	}
 }
 
+// storageFromFlags picks the backend: -data-dir is the supported knob;
+// -snapshot is the deprecated pre-WAL flag, kept as an alias for a
+// snapshot-only backend rooted at the file it names.
+func storageFromFlags(dataDir, snapshot string) (sor.Storage, string, error) {
+	switch {
+	case dataDir != "" && snapshot != "":
+		return nil, "", errors.New("-data-dir and -snapshot are mutually exclusive")
+	case dataDir != "":
+		return sor.Durable(dataDir), fmt.Sprintf("durable state in %s (snapshot + WAL)", dataDir), nil
+	case snapshot != "":
+		// Deprecated path: same file, same periodic-snapshot-only
+		// durability as before the WAL existed.
+		return sor.Durable(filepath.Dir(snapshot),
+			sor.WithSnapshotPath(snapshot),
+			sor.WithoutWAL(),
+		), fmt.Sprintf("deprecated -snapshot: periodic snapshots in %s, no WAL (use -data-dir)", snapshot), nil
+	default:
+		return sor.Memory(), "in-memory state (set -data-dir for durability)", nil
+	}
+}
+
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
-	snapshot := flag.String("snapshot", "", "optional JSON snapshot file to load and periodically save")
+	dataDir := flag.String("data-dir", "", "directory for durable state (snapshot + write-ahead log)")
+	snapshot := flag.String("snapshot", "", "deprecated: JSON snapshot file to load and periodically save (use -data-dir)")
 	showBarcodes := flag.Bool("barcodes", false, "print each place's 2D barcode as ASCII art")
 	public := flag.String("public-url", "", "base URL phones should use (default http://<addr>)")
 	spanBuffer := flag.Int("span-buffer", 0, "trace ring capacity (default 4096)")
 	flag.Parse()
 
-	db := sor.NewStore()
-	if *snapshot != "" {
-		loaded, err := sor.LoadStore(*snapshot)
-		if err != nil {
-			return fmt.Errorf("loading snapshot: %w", err)
-		}
-		db = loaded
-		log.Printf("state loaded from %s", *snapshot)
+	storage, storageDesc, err := storageFromFlags(*dataDir, *snapshot)
+	if err != nil {
+		return err
 	}
 
 	obsv := sor.NewObserver(sor.WithTracer(sor.NewTracer(*spanBuffer)))
 	srv, err := sor.NewServer(
-		sor.WithStore(db),
+		sor.WithStorage(storage),
 		sor.WithCatalog(sor.DefaultCatalog()),
 		sor.WithPush(sor.NewPush()),
 		sor.WithObserver(obsv),
@@ -58,6 +84,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if err := srv.Open(); err != nil {
+		return fmt.Errorf("opening storage: %w", err)
+	}
+	log.Print(storageDesc)
 
 	w, err := world.Canonical()
 	if err != nil {
@@ -95,7 +125,7 @@ func run() error {
 			PeriodSec: 10800,
 		})
 		if err != nil {
-			// Snapshot restores may already contain the apps.
+			// Recovered state may already contain the apps.
 			log.Printf("app %s: %v (continuing)", a.id, err)
 			continue
 		}
@@ -141,13 +171,10 @@ func run() error {
 		fmt.Fprintln(w, "</body></html>")
 	})
 
-	if _, err := srv.StartProcessing(context.Background(), 30*time.Second); err != nil {
+	processingCtx, stopProcessing := context.WithCancel(context.Background())
+	defer stopProcessing()
+	if _, err := srv.StartProcessing(processingCtx, 30*time.Second); err != nil {
 		return err
-	}
-	if *snapshot != "" {
-		if _, err := db.AutoSnapshot(context.Background(), *snapshot, 30*time.Second); err != nil {
-			return err
-		}
 	}
 
 	log.Printf("sensing server listening on %s (endpoints %s, /charts, %s, %s, /debug/pprof)",
@@ -157,5 +184,25 @@ func run() error {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	return httpServer.ListenAndServe()
+	// Graceful shutdown: stop accepting, then close the storage backend so
+	// the final checkpoint and WAL close happen before exit.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		_ = srv.Close()
+		return err
+	case sig := <-sigCh:
+		log.Printf("received %s, shutting down", sig)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpServer.Shutdown(shutdownCtx)
+		stopProcessing()
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("closing storage: %w", err)
+		}
+		return nil
+	}
 }

@@ -94,6 +94,13 @@ type Result struct {
 	// Pending counts reports still stranded in device outboxes (0 on a
 	// converged run).
 	Pending int
+	// SeenReports is the app's dedup window (sorted ReportIDs): two runs
+	// that stored the same reports must have marked the same IDs.
+	SeenReports []string
+	// UploadsStored counts raw uploads the store holds (pending plus
+	// archived) — the store-level exactly-once check, immune to the
+	// processor re-counting refolds after a crash recovery.
+	UploadsStored int
 	// Fault, Client, Outbox are the run's delivery counters.
 	Fault  transport.FaultStats
 	Client transport.ClientStats
@@ -275,11 +282,13 @@ func RunSoak(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Executed: srv.ExecutedInstants(soakAppID),
-		Ledger:   srv.BudgetLedger(soakAppID),
-		Stored:   stored,
-		Fault:    fi.Stats(),
-		Client:   client.Stats(),
+		Executed:      srv.ExecutedInstants(soakAppID),
+		Ledger:        srv.BudgetLedger(soakAppID),
+		Stored:        stored,
+		SeenReports:   srv.DB().SeenReportIDs(soakAppID),
+		UploadsStored: srv.DB().UploadCount(),
+		Fault:         fi.Stats(),
+		Client:        client.Stats(),
 	}
 	for _, row := range srv.DB().FeaturesByCategory(world.CategoryCoffee) {
 		row.Updated = time.Time{}
@@ -343,6 +352,17 @@ func DiffState(a, b *Result) string {
 		if la != lb {
 			return fmt.Sprintf("ledger %s: %+v vs %+v", user, la, lb)
 		}
+	}
+	if len(a.SeenReports) != len(b.SeenReports) {
+		return fmt.Sprintf("dedup window: %d vs %d report ids", len(a.SeenReports), len(b.SeenReports))
+	}
+	for i := range a.SeenReports {
+		if a.SeenReports[i] != b.SeenReports[i] {
+			return fmt.Sprintf("dedup window[%d]: %s vs %s", i, a.SeenReports[i], b.SeenReports[i])
+		}
+	}
+	if a.UploadsStored != b.UploadsStored {
+		return fmt.Sprintf("stored uploads: %d vs %d", a.UploadsStored, b.UploadsStored)
 	}
 	return ""
 }

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// crashConfig is the PR-3 fault schedule pointed at a durable server:
+// 30% request loss, 30% ack loss, latency spikes, and a partition
+// dropping on the fleet mid-upload — plus kills injected by the caller.
+func crashConfig(t *testing.T, seed int64, kills int) CrashConfig {
+	t.Helper()
+	return CrashConfig{
+		Config: Config{
+			Phones:      4,
+			Budget:      4,
+			Seed:        seed,
+			RequestLoss: 0.30,
+			AckLoss:     0.30,
+			SpikeProb:   0.10,
+			Spike:       2 * time.Millisecond,
+			Partition:   30 * time.Millisecond,
+			Timeout:     120 * time.Second,
+		},
+		DataDir: t.TempDir(),
+		Kills:   kills,
+	}
+}
+
+// TestCrashSoakRecoversIdenticalState is the tentpole proof: a durable
+// server killed at random points mid-run — under the PR-3 fault schedule —
+// recovers to converged state bit-identical to the same seed never
+// crashing. Feature matrix, coverage timeline, budget ledger, dedup
+// window, and stored-upload count must all match; no acked report may be
+// lost or double-charged no matter where the kills landed.
+func TestCrashSoakRecoversIdenticalState(t *testing.T) {
+	kills := 10
+	seeds := []int64{1, 42}
+	if testing.Short() {
+		kills = 3
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		baseline, err := RunCrashSoak(crashConfig(t, seed, 0))
+		if err != nil {
+			t.Fatalf("seed %d baseline: %v", seed, err)
+		}
+		if baseline.Pending != 0 {
+			t.Fatalf("seed %d baseline left %d reports pending", seed, baseline.Pending)
+		}
+
+		crashed, err := RunCrashSoak(crashConfig(t, seed, kills))
+		if err != nil {
+			t.Fatalf("seed %d crashed run: %v", seed, err)
+		}
+		if crashed.Pending != 0 {
+			t.Fatalf("seed %d: %d reports still pending after recovery", seed, crashed.Pending)
+		}
+		if diff := DiffState(baseline, crashed); diff != "" {
+			t.Fatalf("seed %d: state diverged after %d kills: %s\nbaseline: %s\ncrashed:  %s",
+				seed, kills, diff, baseline.Summary(), crashed.Summary())
+		}
+		if crashed.Stored != baseline.Stored {
+			t.Fatalf("seed %d: stored %d reports, baseline %d", seed, crashed.Stored, baseline.Stored)
+		}
+		t.Logf("seed %d survived %d kills: %s", seed, kills, crashed.Summary())
+	}
+}
+
+// TestCrashSoakDurableMatchesMemory pins that moving the soak onto the
+// durable backend (zero kills) does not change the converged state the
+// in-memory PR-3 soak produces for the same seed and fault schedule.
+func TestCrashSoakDurableMatchesMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the full crash soak")
+	}
+	cfg := crashConfig(t, 7, 0)
+	durable, err := RunCrashSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory, err := RunSoak(cfg.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The one sanctioned difference: in-memory stores discard drained
+	// uploads, durable stores archive them for refold-on-recovery.
+	if memory.UploadsStored != 0 {
+		t.Fatalf("in-memory store retained %d uploads after drain", memory.UploadsStored)
+	}
+	memory.UploadsStored = durable.UploadsStored
+	if diff := DiffState(memory, durable); diff != "" {
+		t.Fatalf("durable backend changed soak semantics: %s", diff)
+	}
+}

@@ -194,8 +194,9 @@ func (o *Outbox) noteErr(err error) {
 
 // drainOnce makes one delivery pass: pending reports are coalesced into a
 // single batch when the sender supports it, otherwise sent one by one.
-// Transport failures leave everything queued for the next pass; server
-// refusals are permanent (the server judged the report's content) and drop
+// Transport failures and 5xx acks (the server failing, not judging) leave
+// everything queued for the next pass; 4xx refusals are permanent (the
+// server judged the report's content) and drop
 // the report with its callback told why. Returns the transport error that
 // stopped the pass, or nil when the pass ran to completion (the queue may
 // still be non-empty only if reports arrived meanwhile).
@@ -242,6 +243,13 @@ func (o *Outbox) drainOnce(ctx context.Context, sender Sender) error {
 				o.remove(done)
 				continue
 			}
+			if !ack.OK && ack.Code >= 500 {
+				// Server failure, not a judgment on the batch: retry later
+				// rather than probing a dying server report by report.
+				err := fmt.Errorf("frontend: server error %d: %s", ack.Code, ack.Message)
+				o.noteErr(err)
+				return err
+			}
 			// Partial or total refusal: the batch ack cannot say which
 			// reports were at fault, so fall through to individual sends —
 			// the server's ReportID dedup makes re-sending the accepted
@@ -266,6 +274,14 @@ func (o *Outbox) drainSingles(ctx context.Context, sender Sender, pending []*out
 		ack, ok := resp.(*wire.Ack)
 		if !ok {
 			err := fmt.Errorf("frontend: upload response was %s, want ack", resp.Type())
+			o.noteErr(err)
+			return err
+		}
+		if !ack.OK && ack.Code >= 500 {
+			// A 5xx ack is the server failing, not judging the report — a
+			// recovering server mid-shutdown answers "wal: log killed" this
+			// way. Keep the report queued like any transport fault.
+			err := fmt.Errorf("frontend: server error %d: %s", ack.Code, ack.Message)
 			o.noteErr(err)
 			return err
 		}

@@ -183,6 +183,61 @@ func TestOutboxBatchPartialFallsBackToSingles(t *testing.T) {
 	}
 }
 
+// dyingSender answers 5xx for the first dieN sends — a server erroring
+// mid-shutdown — then accepts.
+type dyingSender struct {
+	mu   sync.Mutex
+	dieN int
+}
+
+func (s *dyingSender) Send(_ context.Context, m wire.Message) (wire.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dieN > 0 {
+		s.dieN--
+		return &wire.Ack{OK: false, Code: 500, Message: "store: wal append: wal: log killed"}, nil
+	}
+	return &wire.Ack{OK: true, Code: 200}, nil
+}
+
+func TestOutboxServerErrorKeepsReportQueued(t *testing.T) {
+	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1)
+	o.Enqueue(up("r1"), nil)
+	o.Enqueue(up("r2"), nil)
+	s := &dyingSender{dieN: 1}
+	if err := o.drainOnce(context.Background(), s); err == nil {
+		t.Fatal("a 5xx ack must surface as a retryable error")
+	}
+	if o.Pending() != 2 {
+		t.Fatalf("pending = %d after 5xx ack, want 2 (nothing dropped)", o.Pending())
+	}
+	if err := o.drainOnce(context.Background(), s); err != nil {
+		t.Fatal(err)
+	}
+	if o.Pending() != 0 {
+		t.Fatalf("pending = %d after recovery", o.Pending())
+	}
+	if st := o.Stats(); st.Delivered != 2 || st.DroppedRefused != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOutboxBatchServerErrorSkipsSinglesProbe(t *testing.T) {
+	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1)
+	o.Enqueue(up("r1"), nil)
+	o.Enqueue(up("r2"), nil)
+	s := &batchingSender{batchAck: &wire.Ack{OK: false, Code: 500, Message: "recovering"}}
+	if err := o.drainOnce(context.Background(), s); err == nil {
+		t.Fatal("a 5xx batch ack must surface as a retryable error")
+	}
+	if o.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (nothing dropped)", o.Pending())
+	}
+	if got := s.uploadsSent(); len(got) != 0 {
+		t.Fatalf("singles probe sent %d reports at a failing server, want 0", len(got))
+	}
+}
+
 func TestExecuteScheduleParksUploadWhenNetworkDown(t *testing.T) {
 	s := &flakySender{failN: 1 << 30} // network down for now
 	f, err := New(newPhone(t, world.Starbucks), s, WithOutboxBackoff(time.Millisecond, 5*time.Millisecond))

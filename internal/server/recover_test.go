@@ -1,0 +1,186 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sor/internal/store"
+	"sor/internal/wire"
+	"sor/internal/world"
+)
+
+// openDurable builds a server over a durable backend rooted at dir and
+// recovers it. Each call is one server incarnation.
+func openDurable(t *testing.T, dir string, clock *virtualClock) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Storage: store.NewDurableBackend(dir),
+		Now:     clock.Now,
+		Catalog: DefaultCatalog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDurableServerCrashRecovery is the server-level recovery contract:
+// after a kill (no checkpoint, no WAL flush beyond acked writes), a new
+// incarnation over the same data dir serves the same schedules, keeps the
+// budget ledger and dedup window, refolds the feature matrix, and never
+// reissues a persisted task ID.
+func TestDurableServerCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clock := &virtualClock{now: t0}
+
+	s1 := openDurable(t, dir, clock)
+	if err := s1.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, s1, "alice", "tok-a", 6)
+	up := uploadFor(sched, "tok-a/"+sched.TaskID+"/1")
+	if resp, err := s1.Handler()(nil, up); err != nil {
+		t.Fatal(err)
+	} else if ack := resp.(*wire.Ack); !ack.OK {
+		t.Fatalf("upload refused: %+v", ack)
+	}
+	wantExecuted := len(s1.ExecutedInstants("app-sb"))
+	wantConsumed := s1.BudgetLedger("app-sb")["alice"].Consumed
+
+	// A participation row whose scheduler join never committed (crash
+	// mid-participate): recovery must orphan it, not resurrect it.
+	if err := s1.DB().PutParticipation(store.Participation{
+		TaskID: "task-999", AppID: "app-sb", UserID: "carol", Token: "tok-c",
+		Status: store.TaskWaiting, Joined: clock.Now(), Budget: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s1.Kill() // crash: no checkpoint, acked writes only
+
+	s2 := openDurable(t, dir, clock)
+	defer s2.Close()
+
+	// The phone's schedule survives and is re-served on ping.
+	resp, err := s2.Handler()(nil, &wire.Ping{Token: "tok-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := resp.(*wire.Ack)
+	if !ack.OK || len(ack.Payload) == 0 {
+		t.Fatalf("ping after recovery = %+v", ack)
+	}
+	inner, err := wire.Decode(ack.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored := inner.(*wire.Schedule); restored.TaskID != sched.TaskID ||
+		len(restored.AtUnix) != len(sched.AtUnix) {
+		t.Fatalf("schedule changed across crash: %+v vs %+v", restored, sched)
+	}
+
+	// Budget ledger and coverage replayed from the stored uploads.
+	if got := s2.BudgetLedger("app-sb")["alice"].Consumed; got != wantConsumed {
+		t.Fatalf("consumed after recovery = %d, want %d", got, wantConsumed)
+	}
+	if got := len(s2.ExecutedInstants("app-sb")); got != wantExecuted {
+		t.Fatalf("executed after recovery = %d, want %d", got, wantExecuted)
+	}
+
+	// Feature matrix refolded during Open — no manual Process needed.
+	if _, err := s2.DB().Feature(world.CategoryCoffee, world.Starbucks, "temperature"); err != nil {
+		t.Fatalf("features not refolded on recovery: %v", err)
+	}
+
+	// The dedup window survives: a pre-crash report retransmitted to the
+	// new incarnation acks OK but is a duplicate — stored and charged once.
+	resp, err = s2.Handler()(nil, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK || !strings.Contains(ack.Message, "duplicate") {
+		t.Fatalf("replay across crash = %+v, want duplicate ack", ack)
+	}
+	if got := s2.BudgetLedger("app-sb")["alice"].Consumed; got != wantConsumed {
+		t.Fatalf("replay across crash double-charged: %d", got)
+	}
+
+	// The orphaned Waiting row was flipped to TaskError, and carol can
+	// join for real now.
+	if p, err := s2.DB().Participation("task-999"); err != nil || p.Status != store.TaskError {
+		t.Fatalf("waiting row after recovery = %+v, %v (want TaskError)", p, err)
+	}
+	carolSched := participate(t, s2, "carol", "tok-c2", 3)
+
+	// taskSeq recovered past every persisted ID: new tasks collide with
+	// neither alice's nor the orphaned task-999.
+	for _, taken := range []string{sched.TaskID, "task-999"} {
+		if carolSched.TaskID == taken {
+			t.Fatalf("task ID %s reissued after crash", taken)
+		}
+	}
+	if n := taskNumber(carolSched.TaskID); n <= 999 {
+		t.Fatalf("task counter not recovered: issued %s after task-999", carolSched.TaskID)
+	}
+
+	// Post-recovery uploads for the surviving task keep working.
+	up2 := uploadFor(sched, "tok-a/"+sched.TaskID+"/2")
+	up2.Series[0].Samples = up2.Series[0].Samples[:1]
+	up2.Series[0].Samples[0].AtUnixMilli = t0.Add(2 * time.Minute).UnixMilli()
+	if resp, err := s2.Handler()(nil, up2); err != nil {
+		t.Fatal(err)
+	} else if ack := resp.(*wire.Ack); !ack.OK || strings.Contains(ack.Message, "duplicate") {
+		t.Fatalf("fresh post-recovery upload = %+v", ack)
+	}
+}
+
+// TestDurableServerOpenClose pins the Open/Close lifecycle errors: a
+// Config.DB server is born open, a Storage server must be opened exactly
+// once, and dispatch before Open refuses cleanly instead of panicking.
+func TestDurableServerOpenClose(t *testing.T) {
+	clock := &virtualClock{now: t0}
+	s, err := New(Config{
+		Storage: store.NewDurableBackend(t.TempDir()),
+		Now:     clock.Now,
+		Catalog: DefaultCatalog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Handler()(nil, &wire.Ping{Token: "tok"}); err == nil {
+		t.Fatal("dispatch before Open must error")
+	}
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Open(); err == nil {
+		t.Fatal("double Open must error")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	memory, err := New(Config{DB: store.New(), Now: clock.Now, Catalog: DefaultCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := memory.Open(); err == nil {
+		t.Fatal("Open without a storage backend must error")
+	}
+	if err := memory.Close(); err != nil {
+		t.Fatalf("Close on a Config.DB server must be a no-op: %v", err)
+	}
+
+	if _, err := New(Config{
+		DB:      store.New(),
+		Storage: store.NewDurableBackend(t.TempDir()),
+		Now:     clock.Now,
+		Catalog: DefaultCatalog(),
+	}); err == nil {
+		t.Fatal("DB and Storage together must be rejected")
+	}
+}

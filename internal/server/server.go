@@ -28,8 +28,14 @@ import (
 
 // Config parameterizes a Server.
 type Config struct {
-	// DB is the backing store (required).
+	// DB is an already-open backing store. Exactly one of DB and Storage
+	// must be set. A server built on DB is ready immediately (the legacy
+	// construction path); a server built on Storage must be Opened first.
 	DB *store.Store
+	// Storage is the pluggable persistence backend (store.NewMemoryBackend,
+	// store.NewDurableBackend). Server.Open recovers the store from it and
+	// rebuilds the scheduling state; Server.Close shuts it down.
+	Storage store.Backend
 	// Now supplies time; tests and simulations inject a virtual clock.
 	// Defaults to time.Now.
 	Now func() time.Time
@@ -63,6 +69,7 @@ type Config struct {
 // paths.
 type Server struct {
 	db      *store.Store
+	storage store.Backend
 	now     func() time.Time
 	kernel  coverage.Kernel
 	step    time.Duration
@@ -152,10 +159,14 @@ type appSchedState struct {
 	tokenOf map[string]string // userID -> device token
 }
 
-// New builds a server.
+// New builds a server. With cfg.DB the server is usable immediately;
+// with cfg.Storage it must be Opened to recover the store first.
 func New(cfg Config) (*Server, error) {
-	if cfg.DB == nil {
+	if cfg.DB == nil && cfg.Storage == nil {
 		return nil, errors.New("server: nil store")
+	}
+	if cfg.DB != nil && cfg.Storage != nil {
+		return nil, errors.New("server: DB and Storage are mutually exclusive")
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -171,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		db:          cfg.DB,
+		storage:     cfg.Storage,
 		now:         cfg.Now,
 		kernel:      cfg.Kernel,
 		step:        cfg.Step,
@@ -236,6 +248,9 @@ func (s *Server) Handler() transport.Handler {
 }
 
 func (s *Server) dispatch(ctx context.Context, m wire.Message) (wire.Message, error) {
+	if s.db == nil {
+		return nil, errors.New("server: not open")
+	}
 	switch msg := m.(type) {
 	case *wire.Participate:
 		return s.handleParticipate(ctx, msg)
@@ -257,6 +272,9 @@ func (s *Server) dispatch(ctx context.Context, m wire.Message) (wire.Message, er
 // CreateApp registers an application (the Application Manager's insert
 // path, used by sorctl and the harness).
 func (s *Server) CreateApp(app store.Application) error {
+	if s.db == nil {
+		return errors.New("server: not open")
+	}
 	if app.PeriodSec <= 0 {
 		return errors.New("server: application needs a positive scheduling period")
 	}
@@ -345,6 +363,11 @@ func (s *Server) handleParticipate(ctx context.Context, msg *wire.Participate) (
 	if err != nil {
 		return nil, err
 	}
+	// Persist the period anchor so a restarted server rebuilds this app's
+	// timeline on the same grid (idempotent after the first participant).
+	if err := s.db.PutAnchor(app.ID, st.timeline.Start()); err != nil {
+		return nil, err
+	}
 	leave := st.timeline.End()
 	if msg.LeaveAfterSec > 0 {
 		until := now.Add(time.Duration(msg.LeaveAfterSec) * time.Second)
@@ -359,13 +382,14 @@ func (s *Server) handleParticipate(ctx context.Context, msg *wire.Participate) (
 	for {
 		taskID = s.nextTaskID()
 		err := s.db.PutParticipation(store.Participation{
-			TaskID: taskID,
-			UserID: msg.UserID,
-			Token:  msg.Token,
-			AppID:  msg.AppID,
-			Budget: msg.Budget,
-			Status: store.TaskWaiting,
-			Joined: now,
+			TaskID:  taskID,
+			UserID:  msg.UserID,
+			Token:   msg.Token,
+			AppID:   msg.AppID,
+			Budget:  msg.Budget,
+			Status:  store.TaskWaiting,
+			Joined:  now,
+			LeaveBy: leave,
 		})
 		if err == nil {
 			break
@@ -488,11 +512,22 @@ func (s *Server) handleDataUpload(ctx context.Context, msg *wire.DataUpload) (wi
 	}
 	// Idempotent ingest: a ReportID already in the app's dedup window is a
 	// retransmission of a report whose ack got lost. Ack it again so the
-	// phone stops resending, but store and budget-charge nothing. The
-	// dedup decision gets its own span so a trace shows whether a given
-	// attempt stored the report or hit the window.
+	// phone stops resending, but store and budget-charge nothing. Ingest
+	// decides freshness, logs the mark and the body as one WAL record on
+	// durable stores, and applies both — so a crash can never ack this
+	// report without having persisted it. The dedup decision gets its own
+	// span so a trace shows whether a given attempt stored the report or
+	// hit the window.
 	requestID := obs.RequestIDFrom(ctx)
-	fresh := s.db.MarkReport(msg.AppID, msg.ReportID)
+	res, err := s.db.Ingest(msg.AppID, [][]byte{raw}, store.IngestOptions{
+		Received:  s.now(),
+		RequestID: string(requestID),
+		ReportIDs: []string{msg.ReportID},
+	})
+	if err != nil {
+		return nil, err
+	}
+	fresh := res.Stored == 1
 	if s.obsv != nil {
 		sp := s.obsv.StartSpanID(requestID, "server.dedup")
 		sp.Annotate("report_id", msg.ReportID)
@@ -504,7 +539,6 @@ func (s *Server) handleDataUpload(ctx context.Context, msg *wire.DataUpload) (wi
 		return &wire.Ack{OK: true, Code: 200, Message: "duplicate"}, nil
 	}
 	s.met.ingestAccepted.Inc()
-	s.db.AppendUploadTraced(msg.AppID, raw, s.now(), string(requestID))
 	s.markDirty(msg.AppID)
 
 	// Budget accounting: each distinct measurement timestamp consumes one
@@ -574,9 +608,8 @@ func (s *Server) HandleReportBatch(ctx context.Context, msg *wire.DataUploadBatc
 	for appID, idxs := range byApp {
 		st := s.states.get(appID)
 		bodies := make([][]byte, 0, len(idxs))
-		// instantsOf accumulates budget instants per user across the
-		// app's reports so the scheduler lock is taken once per user.
-		instantsOf := make(map[string][]int)
+		ids := make([]string, 0, len(idxs))
+		ups := make([]*wire.DataUpload, 0, len(idxs))
 		for _, i := range idxs {
 			up := &msg.Uploads[i]
 			// Cache keyed on the full claimed identity so a batch cannot
@@ -597,27 +630,41 @@ func (s *Server) HandleReportBatch(ctx context.Context, msg *wire.DataUploadBatc
 			if err != nil {
 				return nil, err
 			}
+			bodies = append(bodies, raw)
+			ids = append(ids, up.ReportID)
+			ups = append(ups, up)
+		}
+		// One Ingest per app: dedup decisions, window marks and stored
+		// bodies land atomically (one WAL record on durable stores), under
+		// one dedup-lock plus one bucket-lock acquisition.
+		res, err := s.db.Ingest(appID, bodies, store.IngestOptions{
+			Received: now, RequestID: requestID, ReportIDs: ids,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// instantsOf accumulates budget instants per user across the
+		// app's reports so the scheduler lock is taken once per user.
+		instantsOf := make(map[string][]int)
+		for k, up := range ups {
+			accepted++
 			// Replays (lost-ack retransmissions) count as accepted — the
 			// phone needs an OK to stop resending — but are not re-stored
 			// and not re-charged. The batch path counts dedup hits but
 			// records no per-report span: a 4096-report burst must stay a
 			// few atomic adds, not thousands of ring-buffer writes.
-			if !s.db.MarkReport(appID, up.ReportID) {
+			if !res.Fresh[k] {
 				nDuplicates++
-				accepted++
 				continue
 			}
-			bodies = append(bodies, raw)
 			if st != nil {
 				instantsOf[up.UserID] = append(instantsOf[up.UserID], uploadInstants(st.timeline, up)...)
 			}
 		}
-		s.db.AppendUploadsTraced(appID, bodies, now, requestID)
-		if len(bodies) > 0 {
+		if res.Stored > 0 {
 			s.markDirty(appID)
 		}
-		accepted += len(bodies)
-		s.met.ingestAccepted.Add(int64(len(bodies)))
+		s.met.ingestAccepted.Add(int64(res.Stored))
 		for userID, instants := range instantsOf {
 			// Exhausted budgets are refused quietly; the data is kept.
 			_, _ = st.online.RecordExecutions(userID, instants)

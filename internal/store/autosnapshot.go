@@ -40,12 +40,20 @@ func (s *Store) AutoSnapshot(ctx context.Context, path string, interval time.Dur
 }
 
 // WriteSnapshot serializes the store to path atomically (write to a temp
-// file in the same directory, then rename).
+// file in the same directory, fsync, then rename). The fsync matters for
+// the durable backend: snapshot installation is what licenses WAL
+// truncation, so the bytes must be on disk before the rename lands.
 func (s *Store) WriteSnapshot(path string) error {
 	data, err := s.Snapshot()
 	if err != nil {
 		return err
 	}
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic installs data at path via temp file + fsync + rename,
+// then fsyncs the directory so the rename itself survives a power cut.
+func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".sor-snapshot-*")
 	if err != nil {
@@ -57,6 +65,11 @@ func (s *Store) WriteSnapshot(path string) error {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("store: closing snapshot: %w", err)
@@ -64,6 +77,10 @@ func (s *Store) WriteSnapshot(path string) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }

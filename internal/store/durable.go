@@ -1,0 +1,280 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sor/internal/obs"
+	"sor/internal/wal"
+)
+
+// Backend abstracts where a server's state lives. Open builds (or
+// recovers) the store; Close shuts it down flushing whatever durability
+// the backend promises; Kill abandons it without flushing, simulating a
+// crash — recovery must cope with whatever Kill leaves on disk.
+type Backend interface {
+	Open() (*Store, error)
+	Close() error
+	Kill()
+}
+
+// MemoryBackend serves a plain in-memory store: no files, no recovery,
+// state dies with the process. This is the old default behavior.
+type MemoryBackend struct {
+	st *Store
+}
+
+// NewMemoryBackend wraps st, or a fresh empty store when st is nil.
+func NewMemoryBackend(st *Store) *MemoryBackend {
+	return &MemoryBackend{st: st}
+}
+
+func (b *MemoryBackend) Open() (*Store, error) {
+	if b.st == nil {
+		b.st = New()
+	}
+	return b.st, nil
+}
+
+func (b *MemoryBackend) Close() error { return nil }
+func (b *MemoryBackend) Kill()        {}
+
+type durableOptions struct {
+	snapshotInterval time.Duration
+	snapshotPath     string
+	walEnabled       bool
+	sync             wal.SyncPolicy
+	segmentBytes     int64
+	metrics          *obs.Registry
+}
+
+// DurableOption tunes a DurableBackend.
+type DurableOption func(*durableOptions)
+
+// WithSnapshotInterval sets the checkpoint cadence (default 30s).
+func WithSnapshotInterval(d time.Duration) DurableOption {
+	return func(o *durableOptions) { o.snapshotInterval = d }
+}
+
+// WithSnapshotPath overrides where the snapshot file lives (default
+// <dir>/snapshot.json). Exists for the deprecated sord -snapshot flag,
+// which named the file rather than the directory.
+func WithSnapshotPath(path string) DurableOption {
+	return func(o *durableOptions) { o.snapshotPath = path }
+}
+
+// WithoutWAL disables write-ahead logging: durability degrades to
+// periodic snapshots only (the pre-WAL sord behavior). Mutations between
+// the last checkpoint and a crash are lost.
+func WithoutWAL() DurableOption {
+	return func(o *durableOptions) { o.walEnabled = false }
+}
+
+// WithWALSync selects the WAL acknowledgement policy (default
+// wal.SyncOS: ack once the record is in the kernel page cache, fsync on
+// a background cadence).
+func WithWALSync(p wal.SyncPolicy) DurableOption {
+	return func(o *durableOptions) { o.sync = p }
+}
+
+// WithSegmentBytes sets the WAL segment rotation threshold.
+func WithSegmentBytes(n int64) DurableOption {
+	return func(o *durableOptions) { o.segmentBytes = n }
+}
+
+// WithMetrics publishes WAL and checkpoint series into reg.
+func WithMetrics(reg *obs.Registry) DurableOption {
+	return func(o *durableOptions) { o.metrics = reg }
+}
+
+// DurableBackend persists the store under one directory:
+//
+//	<dir>/snapshot.json   periodic checkpoint (atomic rename, fsynced)
+//	<dir>/wal/            write-ahead log segments since that checkpoint
+//
+// Open recovers by loading the newest snapshot and replaying the WAL
+// tail past its watermark; each checkpoint truncates the segments it
+// made redundant.
+type DurableBackend struct {
+	dir  string
+	opts durableOptions
+
+	st   *Store
+	log  *wal.Log
+	stop chan struct{} // graceful: final checkpoint, close WAL
+	kill chan struct{} // crash: stop the loop, abandon the WAL fd
+	done chan struct{}
+	end  sync.Once
+
+	recovered    *obs.Counter
+	checkpoints  *obs.Counter
+	checkpointMS *obs.Histogram
+}
+
+// NewDurableBackend stores everything under dir, creating it on Open.
+func NewDurableBackend(dir string, opts ...DurableOption) *DurableBackend {
+	o := durableOptions{
+		snapshotInterval: 30 * time.Second,
+		walEnabled:       true,
+		sync:             wal.SyncOS,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.snapshotPath == "" {
+		o.snapshotPath = filepath.Join(dir, "snapshot.json")
+	}
+	b := &DurableBackend{dir: dir, opts: o}
+	if reg := o.metrics; reg != nil {
+		b.recovered = reg.Counter("sor_wal_recovered_records_total")
+		b.checkpoints = reg.Counter("sor_store_checkpoints_total")
+		b.checkpointMS = reg.LatencyHistogram("sor_store_checkpoint_ms")
+	}
+	return b
+}
+
+// WALDir is where the backend keeps its log segments.
+func (b *DurableBackend) WALDir() string { return filepath.Join(b.dir, "wal") }
+
+// Open recovers the store from disk and starts the checkpoint loop.
+func (b *DurableBackend) Open() (*Store, error) {
+	if b.st != nil {
+		return nil, errors.New("store: backend already open")
+	}
+	if err := os.MkdirAll(b.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	st, err := Load(b.opts.snapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	if b.opts.walEnabled {
+		stats, err := wal.Replay(b.WALDir(), st.restoredLSN, func(lsn uint64, payload []byte) error {
+			return st.applyWALRecord(payload)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: wal replay: %w", err)
+		}
+		b.recovered.Add(int64(stats.Records))
+		log, err := wal.Open(b.WALDir(), wal.Options{
+			Sync:         b.opts.sync,
+			SegmentBytes: b.opts.segmentBytes,
+			Metrics:      walObsMetrics(b.opts.metrics),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: wal open: %w", err)
+		}
+		b.log = log
+		st.attachWAL(log)
+	}
+	b.st = st
+	b.stop = make(chan struct{})
+	b.kill = make(chan struct{})
+	b.done = make(chan struct{})
+	go b.run()
+	return st, nil
+}
+
+func (b *DurableBackend) run() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.opts.snapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.kill:
+			return
+		case <-b.stop:
+			_ = b.Checkpoint() // flush the final state before Close returns
+			return
+		case <-ticker.C:
+			_ = b.Checkpoint()
+		}
+	}
+}
+
+// Checkpoint writes a snapshot and truncates the WAL segments it covers.
+// Holding snapMu exclusively parks every mutator (each holds the read
+// side across its log+apply pair), so the snapshot plus the records
+// above its watermark are an exact partition of history.
+func (b *DurableBackend) Checkpoint() error {
+	start := time.Now()
+	st := b.st
+	st.snapMu.Lock()
+	var watermark uint64
+	if b.log != nil {
+		watermark = b.log.LastLSN()
+	}
+	data, err := st.Snapshot()
+	st.snapMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(b.opts.snapshotPath, data); err != nil {
+		return err
+	}
+	if b.log != nil {
+		// Best-effort: a failed truncation only leaves extra segments,
+		// which the watermark makes harmless on replay.
+		_ = b.log.TruncateThrough(watermark)
+	}
+	b.checkpoints.Inc()
+	b.checkpointMS.Observe(float64(time.Since(start).Milliseconds()))
+	return nil
+}
+
+// Close checkpoints one final time and closes the WAL cleanly.
+func (b *DurableBackend) Close() error {
+	if b.st == nil {
+		return nil
+	}
+	var err error
+	b.end.Do(func() {
+		close(b.stop)
+		<-b.done
+		if b.log != nil {
+			err = b.log.Close()
+		}
+	})
+	return err
+}
+
+// Kill abandons the backend the way a crash would: the checkpoint loop
+// stops without a final snapshot and the WAL mapping is dropped without
+// flushing. Every record already memcpy'd into the segment mapping
+// survives in the kernel page cache; the rest is the torn tail recovery
+// must tolerate.
+func (b *DurableBackend) Kill() {
+	if b.st == nil {
+		return
+	}
+	b.end.Do(func() {
+		close(b.kill)
+		<-b.done
+		if b.log != nil {
+			b.log.Kill()
+		}
+	})
+}
+
+// walObsMetrics adapts an obs registry to the wal package's callbacks.
+func walObsMetrics(reg *obs.Registry) wal.Metrics {
+	if reg == nil {
+		return wal.Metrics{}
+	}
+	appends := reg.Counter("sor_wal_appends_total")
+	bytes := reg.Counter("sor_wal_append_bytes_total")
+	fsyncs := reg.Counter("sor_wal_fsyncs_total")
+	seals := reg.Counter("sor_wal_segment_seals_total")
+	truncates := reg.Counter("sor_wal_truncated_segments_total")
+	return wal.Metrics{
+		Appends:   func(n int) { appends.Add(int64(n)) },
+		Bytes:     func(n int) { bytes.Add(int64(n)) },
+		Fsyncs:    fsyncs.Inc,
+		Seals:     seals.Inc,
+		Truncates: func(n int) { truncates.Add(int64(n)) },
+	}
+}

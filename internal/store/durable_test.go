@@ -1,0 +1,334 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"sor/internal/wal"
+)
+
+// populate writes one row into every table, plus a deduped ingest, so
+// recovery tests exercise every WAL op kind.
+func populate(t *testing.T, s *Store) {
+	t.Helper()
+	if err := s.PutUser(User{ID: "u1", Name: "Alice", Token: "tok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutApp(Application{ID: "a1", Category: "coffee-shop", Place: "B&N", PeriodSec: 10800}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutParticipation(Participation{TaskID: "t1", UserID: "u1", AppID: "a1",
+		Budget: 17, Status: TaskRunning, Joined: now, LeaveBy: now.Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpsertFeature(FeatureRow{Category: "coffee-shop", Place: "B&N",
+		Feature: "temperature", Value: 73, Samples: 12, Updated: now}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSchedule(ScheduleRow{TaskID: "t1", AppID: "a1", UserID: "u1", AtUnix: []int64{10, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutAnchor("a1", now); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Ingest("a1", [][]byte{{1}, {2}, {1}}, IngestOptions{
+		Received: now, RequestID: "req-1", ReportIDs: []string{"r1", "r2", "r1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stored != 2 || !res.Fresh[0] || !res.Fresh[1] || res.Fresh[2] {
+		t.Fatalf("ingest result = %+v", res)
+	}
+}
+
+// verifyPopulated asserts everything populate wrote is present.
+func verifyPopulated(t *testing.T, s *Store) {
+	t.Helper()
+	if u, err := s.User("u1"); err != nil || u.Name != "Alice" {
+		t.Fatalf("user: %+v, %v", u, err)
+	}
+	if a, err := s.App("a1"); err != nil || a.Place != "B&N" {
+		t.Fatalf("app: %+v, %v", a, err)
+	}
+	p, err := s.Participation("t1")
+	if err != nil || p.Budget != 17 || !p.LeaveBy.Equal(now.Add(time.Hour)) {
+		t.Fatalf("participation: %+v, %v", p, err)
+	}
+	if f, err := s.Feature("coffee-shop", "B&N", "temperature"); err != nil || f.Value != 73 {
+		t.Fatalf("feature: %+v, %v", f, err)
+	}
+	if r, err := s.Schedule("t1"); err != nil || len(r.AtUnix) != 2 {
+		t.Fatalf("schedule: %+v, %v", r, err)
+	}
+	if anchor, ok := s.Anchor("a1"); !ok || !anchor.Equal(now) {
+		t.Fatalf("anchor: %v, %v", anchor, ok)
+	}
+	if ids := s.SeenReportIDs("a1"); len(ids) != 2 || ids[0] != "r1" || ids[1] != "r2" {
+		t.Fatalf("seen report ids: %v", ids)
+	}
+	if n := s.UploadCount(); n != 2 {
+		t.Fatalf("upload count = %d", n)
+	}
+}
+
+func TestDurableBackendCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	b := NewDurableBackend(dir, WithSnapshotInterval(time.Hour))
+	st, err := b.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, st)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("second close must be a no-op, got", err)
+	}
+	if _, err := b.Open(); err == nil {
+		t.Fatal("reopening a used backend must error")
+	}
+
+	b2 := NewDurableBackend(dir, WithSnapshotInterval(time.Hour))
+	st2, err := b2.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	verifyPopulated(t, st2)
+	// The sequence continues where the first process stopped.
+	if seq := st2.AppendUpload("a1", []byte{9}, now); seq != 3 {
+		t.Fatalf("seq after restart = %d, want 3", seq)
+	}
+	// A replayed ReportID is still a duplicate after restart.
+	res, err := st2.Ingest("a1", [][]byte{{1}}, IngestOptions{Received: now, ReportIDs: []string{"r1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stored != 0 {
+		t.Fatal("dedup window lost across restart")
+	}
+}
+
+func TestDurableBackendKillRecoversFromWALAlone(t *testing.T) {
+	dir := t.TempDir()
+	b := NewDurableBackend(dir, WithSnapshotInterval(time.Hour))
+	st, err := b.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, st)
+	want, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Kill()
+	b.Kill() // idempotent
+
+	// No checkpoint ever ran: the snapshot file must not exist, so the
+	// entire state below comes from WAL replay.
+	if _, err := os.Stat(b.opts.snapshotPath); !os.IsNotExist(err) {
+		t.Fatalf("snapshot file unexpectedly present: %v", err)
+	}
+	b2 := NewDurableBackend(dir, WithSnapshotInterval(time.Hour))
+	st2, err := b2.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	verifyPopulated(t, st2)
+	got, err := st2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recovered snapshot differs from pre-kill snapshot:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+func TestDurableBackendCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so the log rotates often and truncation has segments
+	// to delete.
+	b := NewDurableBackend(dir, WithSnapshotInterval(time.Hour), WithSegmentBytes(512))
+	st, err := b.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 128)
+	for i := 0; i < 50; i++ {
+		st.AppendUpload("a1", body, now)
+	}
+	segs, err := wal.Inspect(b.WALDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several sealed segments, got %d", len(segs))
+	}
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := wal.Inspect(b.WALDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(segs) {
+		t.Fatalf("checkpoint did not truncate: %d segments before, %d after", len(segs), len(after))
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery = snapshot + surviving tail; nothing lost, nothing doubled.
+	b2 := NewDurableBackend(dir)
+	st2, err := b2.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if n := st2.UploadCount(); n != 50 {
+		t.Fatalf("upload count after truncated recovery = %d, want 50", n)
+	}
+}
+
+func TestDurableBackendWithoutWAL(t *testing.T) {
+	dir := t.TempDir()
+	b := NewDurableBackend(dir, WithoutWAL(), WithSnapshotInterval(time.Hour))
+	st, err := b.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, st)
+	if err := b.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations after the checkpoint are the window WithoutWAL gives up.
+	if err := st.PutUser(User{ID: "u2", Token: "tok2"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Kill()
+	if _, err := os.Stat(b.WALDir()); !os.IsNotExist(err) {
+		t.Fatalf("WithoutWAL backend created a wal dir: %v", err)
+	}
+
+	b2 := NewDurableBackend(dir, WithoutWAL(), WithSnapshotInterval(time.Hour))
+	st2, err := b2.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	verifyPopulated(t, st2)
+	if _, err := st2.User("u2"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("post-checkpoint mutation survived a kill without a WAL")
+	}
+}
+
+// TestIngestRefusalLeavesNoTrace pins the write-ahead contract: when the
+// WAL refuses the append, the dedup window and the upload buckets are
+// exactly as before the call.
+func TestIngestRefusalLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	b := NewDurableBackend(dir, WithSnapshotInterval(time.Hour))
+	st, err := b.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, st)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The store still points at the now-closed log; every append fails.
+	res, err := st.Ingest("a1", [][]byte{{7}}, IngestOptions{Received: now, ReportIDs: []string{"r9"}})
+	if err == nil {
+		t.Fatal("ingest against a closed WAL must error")
+	}
+	if res.Stored != 0 || len(res.Fresh) != 1 && res.Fresh[0] {
+		t.Fatalf("refused ingest reported progress: %+v", res)
+	}
+	if n := st.UploadCount(); n != 2 {
+		t.Fatalf("refused ingest stored a body: count = %d", n)
+	}
+	if ids := st.SeenReportIDs("a1"); len(ids) != 2 {
+		t.Fatalf("refused ingest marked its ReportID: %v", ids)
+	}
+	if err := st.PutUser(User{ID: "u9"}); err == nil {
+		t.Fatal("mutation against a closed WAL must error")
+	}
+}
+
+func TestMemoryBackend(t *testing.T) {
+	b := NewMemoryBackend(nil)
+	st, err := b.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutUser(User{ID: "u1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b.Kill()
+
+	seeded := New()
+	if err := seeded.PutUser(User{ID: "pre"}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := NewMemoryBackend(seeded).Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != seeded {
+		t.Fatal("memory backend must serve the seeded store")
+	}
+}
+
+// TestDurableDrainArchivesUploads pins archive-on-drain: a durable store
+// keeps drained uploads so recovery can refold history, while an
+// in-memory store keeps the old discard behavior.
+func TestDurableDrainArchivesUploads(t *testing.T) {
+	dir := t.TempDir()
+	b := NewDurableBackend(dir, WithSnapshotInterval(time.Hour))
+	st, err := b.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	st.AppendUpload("a1", []byte{1}, now)
+	st.AppendUpload("a1", []byte{2}, now)
+	if got := st.DrainUploads(); len(got) != 2 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if st.PendingUploads() != 0 {
+		t.Fatal("drain left pending rows")
+	}
+	if st.UploadCount() != 2 {
+		t.Fatalf("archived count = %d", st.UploadCount())
+	}
+	all := st.AllUploads()
+	if len(all) != 2 || all[0].Seq != 1 || all[1].Seq != 2 {
+		t.Fatalf("AllUploads = %+v", all)
+	}
+	st.AppendUpload("a1", []byte{3}, now)
+	st.RequeueUploads()
+	if st.PendingUploads() != 3 {
+		t.Fatalf("requeued pending = %d, want 3", st.PendingUploads())
+	}
+	// Requeued history drains in global sequence order.
+	redrained := st.DrainUploads()
+	if len(redrained) != 3 || redrained[0].Seq != 1 || redrained[2].Seq != 3 {
+		t.Fatalf("redrained = %+v", redrained)
+	}
+
+	mem := New()
+	mem.AppendUpload("a1", []byte{1}, now)
+	mem.DrainUploads()
+	if mem.UploadCount() != 0 {
+		t.Fatal("in-memory store must not archive drained uploads")
+	}
+}

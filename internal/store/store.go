@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sor/internal/wal"
 )
 
 // Sentinel errors.
@@ -89,15 +91,20 @@ func (s TaskStatus) String() string {
 // Participation is one user's sensing task for one application
 // (Participation Manager).
 type Participation struct {
-	TaskID  string     `json:"task_id"`
-	UserID  string     `json:"user_id"`
-	Token   string     `json:"token"`
-	AppID   string     `json:"app_id"`
-	Budget  int        `json:"budget"` // remaining sensing budget
-	Status  TaskStatus `json:"status"`
-	Joined  time.Time  `json:"joined"`
-	Left    time.Time  `json:"left,omitempty"`
-	LastErr string     `json:"last_err,omitempty"`
+	TaskID string     `json:"task_id"`
+	UserID string     `json:"user_id"`
+	Token  string     `json:"token"`
+	AppID  string     `json:"app_id"`
+	Budget int        `json:"budget"` // remaining sensing budget
+	Status TaskStatus `json:"status"`
+	Joined time.Time  `json:"joined"`
+	// LeaveBy is the departure deadline the scheduler was given at join
+	// time (the earlier of the period end and the user's declared stay).
+	// Persisted so crash recovery can re-seed the online scheduler with
+	// the same participant window the live join used.
+	LeaveBy time.Time `json:"leave_by,omitempty"`
+	Left    time.Time `json:"left,omitempty"`
+	LastErr string    `json:"last_err,omitempty"`
 }
 
 // RawUpload is an undecoded binary sensed-data message, exactly as
@@ -159,6 +166,12 @@ type uploadShard struct {
 	mu     sync.Mutex
 	chunks [][]RawUpload // all full except possibly the last
 	count  int
+	// done holds drained chunks on archiving (durable) stores: the data
+	// processor's decoded accumulators die with the process, so recovery
+	// must refold the full upload history. Chunks move wholesale from
+	// chunks to done at drain time — bodies are never copied.
+	done      [][]RawUpload
+	doneCount int
 }
 
 // put appends one row, opening a new chunk when the tail is full. Caller
@@ -172,10 +185,26 @@ func (sh *uploadShard) put(row RawUpload) {
 	sh.count++
 }
 
-// take removes and returns all pending rows. Caller holds sh.mu.
-func (sh *uploadShard) take() [][]RawUpload {
+// putArchived appends one row to the archived (already-drained) side.
+// Caller holds sh.mu (or owns the shard exclusively, as Restore does).
+func (sh *uploadShard) putArchived(row RawUpload) {
+	if n := len(sh.done); n == 0 || len(sh.done[n-1]) == uploadChunkSize {
+		sh.done = append(sh.done, make([]RawUpload, 0, uploadChunkSize))
+	}
+	tail := len(sh.done) - 1
+	sh.done[tail] = append(sh.done[tail], row)
+	sh.doneCount++
+}
+
+// take removes and returns all pending rows, archiving them when the
+// store is durable. Caller holds sh.mu.
+func (sh *uploadShard) take(archive bool) [][]RawUpload {
 	chunks := sh.chunks
 	sh.chunks = nil
+	if archive {
+		sh.done = append(sh.done, chunks...)
+		sh.doneCount += sh.count
+	}
 	sh.count = 0
 	return chunks
 }
@@ -229,11 +258,29 @@ type dedupShard struct {
 // ingest for different applications proceeds in parallel (see DESIGN.md,
 // "Concurrency model").
 type Store struct {
+	// snapMu is the checkpoint gate (durable.go): every mutator holds it
+	// for read around its table lock and WAL append, a checkpoint holds it
+	// for write, so the snapshot plus the WAL watermark captured under it
+	// form an exact cut of the mutation log. Purely in-memory stores pay
+	// one uncontended RLock per mutation for it.
+	snapMu sync.RWMutex
+	// wal, when attached, receives one record per mutation *before* the
+	// mutation is applied (write-ahead). Nil for in-memory stores.
+	wal *wal.Log
+	// archive makes DrainUploads keep drained chunks instead of dropping
+	// them, so crash recovery can refold the full upload history. Set once
+	// at attach time, before the store is shared.
+	archive bool
+	// restoredLSN is the WAL position the loaded snapshot covers; replay
+	// after restore starts just past it.
+	restoredLSN uint64
+
 	mu             sync.RWMutex
 	users          map[string]User
 	apps           map[string]Application
 	participations map[string]Participation
 	features       map[featureKey]FeatureRow
+	anchors        map[string]int64 // appID -> scheduling-period anchor (unix seconds)
 
 	uploadSeq    atomic.Int64
 	uploadShards [numShards]uploadShard
@@ -259,6 +306,7 @@ func New() *Store {
 		apps:           make(map[string]Application),
 		participations: make(map[string]Participation),
 		features:       make(map[featureKey]FeatureRow),
+		anchors:        make(map[string]int64),
 	}
 	for i := range s.schedShards {
 		s.schedShards[i].rows = make(map[string]ScheduleRow)
@@ -276,10 +324,15 @@ func (s *Store) PutUser(u User) error {
 	if u.ID == "" {
 		return errors.New("store: user needs an id")
 	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.users[u.ID]; ok {
 		return fmt.Errorf("%w: user %s", ErrDuplicate, u.ID)
+	}
+	if err := s.logOp(&walOp{Op: opUser, User: &u}); err != nil {
+		return err
 	}
 	s.users[u.ID] = u
 	return nil
@@ -328,10 +381,16 @@ func (s *Store) PutApp(a Application) error {
 	if a.ID == "" {
 		return errors.New("store: application needs an id")
 	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	s.mu.Lock()
 	if _, ok := s.apps[a.ID]; ok {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: app %s", ErrDuplicate, a.ID)
+	}
+	if err := s.logOp(&walOp{Op: opApp, App: &a}); err != nil {
+		s.mu.Unlock()
+		return err
 	}
 	s.apps[a.ID] = a
 	s.mu.Unlock()
@@ -385,10 +444,15 @@ func (s *Store) PutParticipation(p Participation) error {
 	if p.TaskID == "" {
 		return errors.New("store: participation needs a task id")
 	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.participations[p.TaskID]; ok {
 		return fmt.Errorf("%w: task %s", ErrDuplicate, p.TaskID)
+	}
+	if err := s.logOp(&walOp{Op: opPart, Part: &p}); err != nil {
+		return err
 	}
 	s.participations[p.TaskID] = p
 	return nil
@@ -396,6 +460,8 @@ func (s *Store) PutParticipation(p Participation) error {
 
 // UpdateParticipation applies fn to the stored row under the write lock.
 func (s *Store) UpdateParticipation(taskID string, fn func(*Participation)) error {
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.participations[taskID]
@@ -403,6 +469,9 @@ func (s *Store) UpdateParticipation(taskID string, fn func(*Participation)) erro
 		return fmt.Errorf("%w: task %s", ErrNotFound, taskID)
 	}
 	fn(&p)
+	if err := s.logOp(&walOp{Op: opPart, Part: &p}); err != nil {
+		return err
+	}
 	s.participations[taskID] = p
 	return nil
 }
@@ -447,9 +516,179 @@ func (s *Store) ActiveParticipationByUser(appID, userID string) (Participation, 
 
 // ---- Raw uploads ----
 
+// IngestOptions parameterizes Store.Ingest.
+type IngestOptions struct {
+	// Received stamps every stored row.
+	Received time.Time
+	// RequestID is the trace id of the wire request that delivered the
+	// blobs (one id per call — a batch is one wire frame).
+	RequestID string
+	// ReportIDs, when non-nil, must parallel the bodies: each non-empty id
+	// is checked against (and then recorded in) the app's dedup window, so
+	// a retransmission is acked without being stored twice. Empty ids
+	// (legacy senders) are never deduplicated.
+	ReportIDs []string
+	// CopyBodies makes Ingest copy each stored body instead of taking
+	// ownership of the caller's slices.
+	CopyBodies bool
+}
+
+// IngestResult reports what one Ingest call did.
+type IngestResult struct {
+	// Fresh parallels the input bodies: false marks a dedup-window hit
+	// that was acknowledged but not stored.
+	Fresh []bool
+	// Stored is the number of bodies actually stored.
+	Stored int
+	// LastSeq is the sequence number of the last stored body (0 if none).
+	LastSeq int64
+}
+
+// Ingest is the Message Handler's one write path: it checks each report
+// against the app's dedup window, logs the surviving bodies and their
+// window marks as a single WAL record, and only then applies both — so a
+// crash can never ack a report without persisting it, nor remember a
+// ReportID whose body was lost. The dedup-shard and upload-shard locks are
+// held across the log enqueue and the apply, which keeps WAL order equal
+// to apply order for everything the record touches; the durability wait
+// happens after the locks release (group commit), so concurrent ingests
+// share one fsync instead of serializing on it.
+func (s *Store) Ingest(appID string, bodies [][]byte, opt IngestOptions) (IngestResult, error) {
+	if len(bodies) == 0 {
+		return IngestResult{}, nil
+	}
+	if opt.ReportIDs != nil && len(opt.ReportIDs) != len(bodies) {
+		return IngestResult{}, errors.New("store: ingest ReportIDs must parallel bodies")
+	}
+	res, lsn, err := s.ingestLocked(appID, bodies, opt)
+	if err != nil {
+		return res, err
+	}
+	if lsn != 0 {
+		// The record is ordered and applied but possibly not yet durable.
+		// A Wait failure means the log died mid-flight: the caller must
+		// not ack — same contract as crashing before the ack.
+		if err := s.wal.Wait(lsn); err != nil {
+			return IngestResult{Fresh: make([]bool, len(bodies))}, fmt.Errorf("store: wal append: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// ingestLocked is Ingest under the locks; it returns the enqueued WAL
+// record's LSN (0 when nothing was logged) for the caller to Wait on.
+func (s *Store) ingestLocked(appID string, bodies [][]byte, opt IngestOptions) (IngestResult, uint64, error) {
+	res := IngestResult{Fresh: make([]bool, len(bodies))}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
+
+	var dsh *dedupShard
+	var w *reportWindow
+	if opt.ReportIDs != nil {
+		dsh = &s.dedupShards[shardIndex(appID)]
+		dsh.mu.Lock()
+		defer dsh.mu.Unlock()
+		w = dsh.apps[appID]
+	}
+	// First pass: decide freshness without mutating the window, so a WAL
+	// refusal leaves no trace. A repeated id within one call is a
+	// duplicate too (the sequential-mark semantics of the old path).
+	var batchSeen map[string]struct{}
+	stored := 0
+	for i := range bodies {
+		if opt.ReportIDs != nil && opt.ReportIDs[i] != "" {
+			id := opt.ReportIDs[i]
+			if w != nil {
+				if _, dup := w.seen[id]; dup {
+					continue
+				}
+			}
+			// Intra-call duplicates only exist when there are multiple
+			// bodies; the single-report path skips the map entirely.
+			if len(bodies) > 1 {
+				if _, dup := batchSeen[id]; dup {
+					continue
+				}
+				if batchSeen == nil {
+					batchSeen = make(map[string]struct{}, len(bodies))
+				}
+				batchSeen[id] = struct{}{}
+			}
+		}
+		res.Fresh[i] = true
+		stored++
+	}
+	if stored == 0 {
+		return res, 0, nil
+	}
+
+	// The sequence range is claimed atomically and the record encoded
+	// before the upload shard lock: only the enqueue and the apply need
+	// to be inside it.
+	base := s.uploadSeq.Add(int64(stored)) - int64(stored)
+	rows := make([]RawUpload, 0, stored)
+	var ids []string
+	if opt.ReportIDs != nil {
+		ids = make([]string, 0, stored)
+	}
+	for i, body := range bodies {
+		if !res.Fresh[i] {
+			continue
+		}
+		if opt.CopyBodies {
+			body = append([]byte(nil), body...)
+		}
+		rows = append(rows, RawUpload{
+			Seq: base + int64(len(rows)) + 1, AppID: appID,
+			Received: opt.Received, Body: body, RequestID: opt.RequestID,
+		})
+		if opt.ReportIDs != nil {
+			ids = append(ids, opt.ReportIDs[i])
+		}
+	}
+	var payload []byte
+	var encBuf *[]byte
+	if s.wal != nil {
+		encBuf = ingestEncPool.Get().(*[]byte)
+		payload = appendIngestRecord((*encBuf)[:0], appID, base, opt.Received, opt.RequestID, rows, ids)
+	}
+
+	sh := &s.uploadShards[shardIndex(appID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var lsn uint64
+	if s.wal != nil {
+		var err error
+		lsn, err = s.wal.Enqueue(payload)
+		*encBuf = payload[:0] // Enqueue copied the payload
+		ingestEncPool.Put(encBuf)
+		if err != nil {
+			return IngestResult{Fresh: make([]bool, len(bodies))}, 0, fmt.Errorf("store: wal append: %w", err)
+		}
+	}
+	for i := range rows {
+		sh.put(rows[i])
+	}
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		if w == nil {
+			w = &reportWindow{seen: make(map[string]struct{})}
+			dsh.apps[appID] = w
+		}
+		w.mark(id)
+	}
+	res.Stored = stored
+	res.LastSeq = base + int64(stored)
+	return res, lsn, nil
+}
+
 // AppendUpload lands a raw binary blob in the appID's bucket and returns
 // its sequence number. Sequence numbers are globally unique and monotonic;
-// ordering across buckets is reconstructed at drain time.
+// ordering across buckets is reconstructed at drain time. It is a thin
+// wrapper over Ingest (no dedup, body copied); durable callers that need
+// the WAL error should call Ingest directly.
 func (s *Store) AppendUpload(appID string, body []byte, received time.Time) int64 {
 	return s.AppendUploadTraced(appID, body, received, "")
 }
@@ -457,22 +696,16 @@ func (s *Store) AppendUpload(appID string, body []byte, received time.Time) int6
 // AppendUploadTraced is AppendUpload carrying the trace id of the wire
 // request that delivered the blob.
 func (s *Store) AppendUploadTraced(appID string, body []byte, received time.Time, requestID string) int64 {
-	seq := s.uploadSeq.Add(1)
-	cp := make([]byte, len(body))
-	copy(cp, body)
-	sh := &s.uploadShards[shardIndex(appID)]
-	sh.mu.Lock()
-	sh.put(RawUpload{Seq: seq, AppID: appID, Received: received, Body: cp, RequestID: requestID})
-	sh.mu.Unlock()
-	return seq
+	res, _ := s.Ingest(appID, [][]byte{body},
+		IngestOptions{Received: received, RequestID: requestID, CopyBodies: true})
+	return res.LastSeq
 }
 
 // AppendUploads lands a burst of blobs for one application under a single
 // bucket-lock acquisition (the batched ingest path). It takes ownership of
-// the body slices — callers must not reuse them afterwards; the server's
-// batch handler encodes each accepted report into a fresh buffer and hands
-// it straight over, so the burst path pays no copy per report. It returns
+// the body slices — callers must not reuse them afterwards. It returns
 // the sequence number of the last blob appended, or 0 for an empty burst.
+// Like AppendUpload it wraps Ingest without dedup.
 func (s *Store) AppendUploads(appID string, bodies [][]byte, received time.Time) int64 {
 	return s.AppendUploadsTraced(appID, bodies, received, "")
 }
@@ -481,17 +714,9 @@ func (s *Store) AppendUploads(appID string, bodies [][]byte, received time.Time)
 // batch request that delivered the blobs (one id for the whole burst —
 // a batch is one wire frame).
 func (s *Store) AppendUploadsTraced(appID string, bodies [][]byte, received time.Time, requestID string) int64 {
-	if len(bodies) == 0 {
-		return 0
-	}
-	base := s.uploadSeq.Add(int64(len(bodies))) - int64(len(bodies))
-	sh := &s.uploadShards[shardIndex(appID)]
-	sh.mu.Lock()
-	for i, body := range bodies {
-		sh.put(RawUpload{Seq: base + int64(i) + 1, AppID: appID, Received: received, Body: body, RequestID: requestID})
-	}
-	sh.mu.Unlock()
-	return base + int64(len(bodies))
+	res, _ := s.Ingest(appID, bodies,
+		IngestOptions{Received: received, RequestID: requestID})
+	return res.LastSeq
 }
 
 // MarkReport records a ReportID in appID's dedup window and reports
@@ -500,10 +725,15 @@ func (s *Store) AppendUploadsTraced(appID string, bodies [][]byte, received time
 // budget again, which turns the device outbox's at-least-once
 // retransmission into exactly-once storage. Empty ReportIDs (legacy
 // senders) are never deduplicated.
+//
+// The mark is logged best-effort on durable stores; the atomic
+// mark-plus-store path is Ingest, which is what the server uses.
 func (s *Store) MarkReport(appID, reportID string) bool {
 	if reportID == "" {
 		return true
 	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	sh := &s.dedupShards[shardIndex(appID)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -512,6 +742,10 @@ func (s *Store) MarkReport(appID, reportID string) bool {
 		w = &reportWindow{seen: make(map[string]struct{})}
 		sh.apps[appID] = w
 	}
+	if _, dup := w.seen[reportID]; dup {
+		return false
+	}
+	_ = s.logOp(&walOp{Op: opMark, AppID: appID, ReportID: reportID})
 	return w.mark(reportID)
 }
 
@@ -532,6 +766,22 @@ func (s *Store) ReportSeen(appID, reportID string) bool {
 	return seen
 }
 
+// SeenReportIDs returns a sorted copy of appID's dedup-window contents
+// (recovery checks and tests compare windows as sets; eviction order is
+// not exposed).
+func (s *Store) SeenReportIDs(appID string) []string {
+	sh := &s.dedupShards[shardIndex(appID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	w, ok := sh.apps[appID]
+	if !ok {
+		return nil
+	}
+	out := append([]string(nil), w.order...)
+	sort.Strings(out)
+	return out
+}
+
 // DrainUploads removes and returns all pending uploads (oldest first,
 // across every bucket) — the Data Processor's periodic poll.
 func (s *Store) DrainUploads() []RawUpload {
@@ -540,7 +790,7 @@ func (s *Store) DrainUploads() []RawUpload {
 	for i := range s.uploadShards {
 		sh := &s.uploadShards[i]
 		sh.mu.Lock()
-		for _, c := range sh.take() {
+		for _, c := range sh.take(s.archive) {
 			chunks = append(chunks, c)
 			total += len(c)
 		}
@@ -566,6 +816,58 @@ func (s *Store) PendingUploads() int {
 	return n
 }
 
+// UploadCount reports how many raw uploads the store holds in total —
+// pending plus archived. On a durable store this is the lifetime
+// exactly-once ingest count a crash-recovery check compares; in-memory
+// stores discard drained uploads, so there it equals PendingUploads.
+func (s *Store) UploadCount() int {
+	n := 0
+	for i := range s.uploadShards {
+		sh := &s.uploadShards[i]
+		sh.mu.Lock()
+		n += sh.count + sh.doneCount
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// AllUploads returns every upload the store holds (archived then pending)
+// in sequence order. Crash recovery replays budget charges from it.
+func (s *Store) AllUploads() []RawUpload {
+	var out []RawUpload
+	for i := range s.uploadShards {
+		sh := &s.uploadShards[i]
+		sh.mu.Lock()
+		for _, c := range sh.done {
+			out = append(out, c...)
+		}
+		for _, c := range sh.chunks {
+			out = append(out, c...)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// RequeueUploads moves archived uploads back to pending, so the next
+// DrainUploads hands the data processor the full history (crash recovery:
+// the processor's in-memory accumulators died with the process, and
+// features must stay a pure function of the complete sample set).
+func (s *Store) RequeueUploads() {
+	for i := range s.uploadShards {
+		sh := &s.uploadShards[i]
+		sh.mu.Lock()
+		if sh.doneCount > 0 {
+			sh.chunks = append(sh.done, sh.chunks...)
+			sh.count += sh.doneCount
+			sh.done = nil
+			sh.doneCount = 0
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // ---- Feature rows ----
 
 // UpsertFeature inserts or replaces a feature row. The category's feature
@@ -577,8 +879,14 @@ func (s *Store) UpsertFeature(row FeatureRow) error {
 		return errors.New("store: feature row needs category, place and feature")
 	}
 	key := featureKey{row.Category, row.Place, row.Feature}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	s.mu.Lock()
 	old, existed := s.features[key]
+	if err := s.logOp(&walOp{Op: opFeat, Feat: &row}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	s.features[key] = row
 	s.mu.Unlock()
 	if !existed || old.Value != row.Value || old.Samples != row.Samples {
@@ -646,11 +954,74 @@ func (s *Store) PutSchedule(row ScheduleRow) error {
 	if row.TaskID == "" {
 		return errors.New("store: schedule needs a task id")
 	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	sh := &s.schedShards[shardIndex(row.TaskID)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if err := s.logOp(&walOp{Op: opSched, Sched: &row}); err != nil {
+		return err
+	}
 	sh.rows[row.TaskID] = row
 	return nil
+}
+
+// ---- Scheduling anchors ----
+
+// AnchorRow is one application's persisted period anchor.
+type AnchorRow struct {
+	AppID      string `json:"app_id"`
+	AnchorUnix int64  `json:"anchor_unix"`
+}
+
+// PutAnchor persists an application's scheduling-period anchor (the
+// truncated first-participation instant). Re-putting the same value is a
+// no-op; changing an existing anchor is refused, because schedules and
+// executed instants are only meaningful relative to it.
+func (s *Store) PutAnchor(appID string, anchor time.Time) error {
+	if appID == "" {
+		return errors.New("store: anchor needs an app id")
+	}
+	unix := anchor.Unix()
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.anchors[appID]; ok {
+		if cur == unix {
+			return nil
+		}
+		return fmt.Errorf("%w: anchor for %s", ErrDuplicate, appID)
+	}
+	if err := s.logOp(&walOp{Op: opAnchor, AppID: appID, AnchorUnix: unix}); err != nil {
+		return err
+	}
+	s.anchors[appID] = unix
+	return nil
+}
+
+// Anchor returns an application's persisted period anchor.
+func (s *Store) Anchor(appID string) (time.Time, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	unix, ok := s.anchors[appID]
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.Unix(unix, 0).UTC(), true
+}
+
+// Anchors lists every persisted anchor sorted by app ID (crash recovery
+// rebuilds the per-app scheduling timelines from them).
+func (s *Store) Anchors() []AnchorRow {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]AnchorRow, 0, len(s.anchors))
+	for appID, unix := range s.anchors {
+		out = append(out, AnchorRow{AppID: appID, AnchorUnix: unix})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AppID < out[j].AppID })
+	return out
 }
 
 // Schedule fetches a schedule by task ID.
@@ -674,7 +1045,9 @@ type ReportWindowRow struct {
 	IDs   []string `json:"ids"`
 }
 
-// snapshot is the JSON image of the whole store.
+// snapshot is the JSON image of the whole store. The durability fields
+// (Archived, Anchors, WalLSN) are additive and omitempty, so snapshots
+// written by older builds load unchanged.
 type snapshot struct {
 	Users          []User            `json:"users"`
 	Apps           []Application     `json:"apps"`
@@ -684,6 +1057,13 @@ type snapshot struct {
 	Features       []FeatureRow      `json:"features"`
 	Schedules      []ScheduleRow     `json:"schedules"`
 	SeenReports    []ReportWindowRow `json:"seen_reports,omitempty"`
+	// Archived holds already-processed uploads (durable stores archive on
+	// drain so recovery can refold the full history).
+	Archived []RawUpload `json:"archived,omitempty"`
+	Anchors  []AnchorRow `json:"anchors,omitempty"`
+	// WalLSN is the WAL position this snapshot covers: recovery replays
+	// only records past it.
+	WalLSN uint64 `json:"wal_lsn,omitempty"`
 }
 
 // Snapshot serializes the store to JSON. Each table is internally
@@ -692,15 +1072,25 @@ type snapshot struct {
 // paper's PostgreSQL instance would give).
 func (s *Store) Snapshot() ([]byte, error) {
 	snap := snapshot{UploadSeq: s.uploadSeq.Load()}
+	if s.wal != nil {
+		// Under a checkpoint's write-lock on snapMu this is an exact cut:
+		// every mutation at or below this LSN is in the snapshot, every
+		// one above it is not.
+		snap.WalLSN = s.wal.LastLSN()
+	}
 	for i := range s.uploadShards {
 		sh := &s.uploadShards[i]
 		sh.mu.Lock()
 		for _, c := range sh.chunks {
 			snap.Uploads = append(snap.Uploads, c...)
 		}
+		for _, c := range sh.done {
+			snap.Archived = append(snap.Archived, c...)
+		}
 		sh.mu.Unlock()
 	}
 	sort.Slice(snap.Uploads, func(i, j int) bool { return snap.Uploads[i].Seq < snap.Uploads[j].Seq })
+	sort.Slice(snap.Archived, func(i, j int) bool { return snap.Archived[i].Seq < snap.Archived[j].Seq })
 	for i := range s.schedShards {
 		sh := &s.schedShards[i]
 		sh.mu.RLock()
@@ -724,6 +1114,10 @@ func (s *Store) Snapshot() ([]byte, error) {
 	})
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	for appID, unix := range s.anchors {
+		snap.Anchors = append(snap.Anchors, AnchorRow{AppID: appID, AnchorUnix: unix})
+	}
+	sort.Slice(snap.Anchors, func(i, j int) bool { return snap.Anchors[i].AppID < snap.Anchors[j].AppID })
 	for _, u := range s.users {
 		snap.Users = append(snap.Users, u)
 	}
@@ -765,8 +1159,15 @@ func Restore(data []byte) (*Store, error) {
 	}
 	s := New()
 	s.uploadSeq.Store(snap.UploadSeq)
+	s.restoredLSN = snap.WalLSN
 	for _, up := range snap.Uploads {
 		s.uploadShards[shardIndex(up.AppID)].put(up)
+	}
+	for _, up := range snap.Archived {
+		s.uploadShards[shardIndex(up.AppID)].putArchived(up)
+	}
+	for _, ar := range snap.Anchors {
+		s.anchors[ar.AppID] = ar.AnchorUnix
 	}
 	for _, u := range snap.Users {
 		s.users[u.ID] = u

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"sync"
 	"testing"
@@ -290,6 +291,94 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 func TestRestoreRejectsGarbage(t *testing.T) {
 	if _, err := Restore([]byte("{not json")); err == nil {
 		t.Fatal("garbage must error")
+	}
+}
+
+// TestAppendWrappersMatchIngest pins the collapse of the four historical
+// append entry points onto Ingest: same sequence numbers, same stored
+// rows, same ownership semantics (single-report wrappers copy, batch
+// wrappers take ownership).
+func TestAppendWrappersMatchIngest(t *testing.T) {
+	viaWrappers := New()
+	body := []byte{1, 2, 3}
+	seq := viaWrappers.AppendUpload("a", body, now)
+	body[0] = 99 // single-report path must have copied
+	viaWrappers.AppendUploadTraced("a", []byte{4}, now, "req-1")
+	viaWrappers.AppendUploads("b", [][]byte{{5}, {6}}, now)
+	last := viaWrappers.AppendUploadsTraced("b", [][]byte{{7}}, now, "req-2")
+	if seq != 1 || last != 5 {
+		t.Fatalf("wrapper seqs = %d, %d", seq, last)
+	}
+
+	viaIngest := New()
+	body2 := []byte{1, 2, 3}
+	r1, err := viaIngest.Ingest("a", [][]byte{body2}, IngestOptions{Received: now, CopyBodies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2[0] = 99
+	if _, err := viaIngest.Ingest("a", [][]byte{{4}}, IngestOptions{Received: now, RequestID: "req-1", CopyBodies: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := viaIngest.Ingest("b", [][]byte{{5}, {6}}, IngestOptions{Received: now}); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := viaIngest.Ingest("b", [][]byte{{7}}, IngestOptions{Received: now, RequestID: "req-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LastSeq != seq || r4.LastSeq != last {
+		t.Fatalf("ingest seqs = %d, %d; wrappers gave %d, %d", r1.LastSeq, r4.LastSeq, seq, last)
+	}
+
+	a, b := viaWrappers.DrainUploads(), viaIngest.DrainUploads()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || a[i].AppID != b[i].AppID ||
+			a[i].RequestID != b[i].RequestID || !bytes.Equal(a[i].Body, b[i].Body) {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if a[0].Body[0] != 1 {
+		t.Fatal("caller mutation leaked into stored body")
+	}
+}
+
+// TestIngestDedup pins Ingest's window semantics: a marked id is acked
+// but not stored, an id repeated within one call stores once, empty ids
+// never deduplicate, and a mismatched ReportIDs slice is an error.
+func TestIngestDedup(t *testing.T) {
+	s := New()
+	if !s.MarkReport("a", "old") {
+		t.Fatal("first mark must be new")
+	}
+	res, err := s.Ingest("a", [][]byte{{1}, {2}, {3}, {4}, {5}}, IngestOptions{
+		Received:  now,
+		ReportIDs: []string{"old", "new", "new", "", ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, true, true}
+	for i, fresh := range want {
+		if res.Fresh[i] != fresh {
+			t.Fatalf("Fresh = %v, want %v", res.Fresh, want)
+		}
+	}
+	if res.Stored != 3 || res.LastSeq != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	if s.PendingUploads() != 3 {
+		t.Fatalf("pending = %d", s.PendingUploads())
+	}
+	// The fresh id is now marked; the empty ids are not.
+	if res, _ := s.Ingest("a", [][]byte{{9}}, IngestOptions{Received: now, ReportIDs: []string{"new"}}); res.Stored != 0 {
+		t.Fatal("second ingest of a marked id must not store")
+	}
+	if _, err := s.Ingest("a", [][]byte{{1}, {2}}, IngestOptions{ReportIDs: []string{"x"}}); err == nil {
+		t.Fatal("mismatched ReportIDs must error")
 	}
 }
 

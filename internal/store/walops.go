@@ -1,0 +1,289 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sor/internal/wal"
+)
+
+// WAL op codes. One record is written per mutation, before the mutation
+// is applied; replay (applyWALRecord) re-applies them in LSN order onto a
+// restored snapshot. Drains and reads are operational, not state, and are
+// never logged.
+const (
+	opUser   = "user"   // PutUser
+	opApp    = "app"    // PutApp
+	opPart   = "part"   // PutParticipation / UpdateParticipation (full row)
+	opFeat   = "feat"   // UpsertFeature
+	opSched  = "sched"  // PutSchedule
+	opAnchor = "anchor" // PutAnchor
+	opMark   = "mark"   // standalone MarkReport (the server's atomic path is opIngest)
+	opIngest = "ingest" // Ingest: dedup marks + stored bodies, one atomic record
+)
+
+// walOp is one logged mutation. Exactly one payload field matching Op is
+// set; the rest stay nil/zero and are elided from the JSON.
+type walOp struct {
+	Op         string         `json:"op"`
+	User       *User          `json:"user,omitempty"`
+	App        *Application   `json:"app,omitempty"`
+	Part       *Participation `json:"part,omitempty"`
+	Feat       *FeatureRow    `json:"feat,omitempty"`
+	Sched      *ScheduleRow   `json:"sched,omitempty"`
+	AppID      string         `json:"app_id,omitempty"`
+	ReportID   string         `json:"report_id,omitempty"`
+	AnchorUnix int64          `json:"anchor_unix,omitempty"`
+	Ingest     *ingestOp      `json:"ingest,omitempty"`
+}
+
+// ingestOp is the atomic image of one Ingest call: only the bodies that
+// survived dedup, their window marks, and the first sequence number. A
+// crash between ack and anything else cannot split the mark from the
+// body — both ride one CRC-framed record.
+type ingestOp struct {
+	AppID     string    `json:"app_id"`
+	BaseSeq   int64     `json:"base_seq"` // Seq of Bodies[i] is BaseSeq+i+1
+	Received  time.Time `json:"received"`
+	RequestID string    `json:"request_id,omitempty"`
+	Bodies    [][]byte  `json:"bodies"`
+	ReportIDs []string  `json:"report_ids,omitempty"` // parallel to Bodies; "" = unmarked
+}
+
+// Ingest records — the only high-rate op — use a compact binary encoding
+// instead of JSON: raw bodies (no base64), no reflection, half the write
+// volume. The first payload byte disambiguates: JSON records start with
+// '{', binary ingest records with ingestTag.
+const ingestTag = 0x01
+
+// appendIngestRecord renders one Ingest call into buf as:
+//
+//	tag | appID | requestID | received unixnano | baseSeq | nbodies |
+//	   bodies... | nids | ids...
+//
+// where strings and bodies are uvarint-length-prefixed and integers are
+// varint. It appends (callers recycle the buffer through ingestEncPool;
+// wal.Enqueue copies the payload before returning).
+func appendIngestRecord(buf []byte, appID string, baseSeq int64, received time.Time, requestID string, rows []RawUpload, ids []string) []byte {
+	buf = append(buf, ingestTag)
+	buf = appendBytes(buf, appID)
+	buf = appendBytes(buf, requestID)
+	buf = binary.AppendVarint(buf, received.UnixNano())
+	buf = binary.AppendVarint(buf, baseSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for i := range rows {
+		buf = binary.AppendUvarint(buf, uint64(len(rows[i].Body)))
+		buf = append(buf, rows[i].Body...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = appendBytes(buf, id)
+	}
+	return buf
+}
+
+// ingestEncPool recycles ingest-record encode buffers: the ingest hot
+// path runs per report, and per-op buffer churn is pure GC pressure.
+var ingestEncPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+func appendBytes(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+var errIngestRecord = errors.New("store: malformed binary ingest record")
+
+func decodeIngestOp(payload []byte) (*ingestOp, error) {
+	r := payload[1:] // caller checked the tag
+	next := func() ([]byte, error) {
+		n, used := binary.Uvarint(r)
+		if used <= 0 || uint64(len(r)-used) < n {
+			return nil, errIngestRecord
+		}
+		b := r[used : used+int(n)]
+		r = r[used+int(n):]
+		return b, nil
+	}
+	nextInt := func() (int64, error) {
+		v, used := binary.Varint(r)
+		if used <= 0 {
+			return 0, errIngestRecord
+		}
+		r = r[used:]
+		return v, nil
+	}
+	in := &ingestOp{}
+	appID, err := next()
+	if err != nil {
+		return nil, err
+	}
+	in.AppID = string(appID)
+	reqID, err := next()
+	if err != nil {
+		return nil, err
+	}
+	in.RequestID = string(reqID)
+	recv, err := nextInt()
+	if err != nil {
+		return nil, err
+	}
+	in.Received = time.Unix(0, recv).UTC()
+	if in.BaseSeq, err = nextInt(); err != nil {
+		return nil, err
+	}
+	nb, used := binary.Uvarint(r)
+	if used <= 0 || nb > uint64(len(r)) {
+		return nil, errIngestRecord
+	}
+	r = r[used:]
+	in.Bodies = make([][]byte, nb)
+	for i := range in.Bodies {
+		b, err := next()
+		if err != nil {
+			return nil, err
+		}
+		in.Bodies[i] = append([]byte(nil), b...)
+	}
+	ni, used := binary.Uvarint(r)
+	if used <= 0 || ni > uint64(len(r)) {
+		return nil, errIngestRecord
+	}
+	r = r[used:]
+	in.ReportIDs = make([]string, ni)
+	for i := range in.ReportIDs {
+		id, err := next()
+		if err != nil {
+			return nil, err
+		}
+		in.ReportIDs[i] = string(id)
+	}
+	if len(r) != 0 {
+		return nil, errIngestRecord
+	}
+	if ni == 0 {
+		in.ReportIDs = nil
+	}
+	return in, nil
+}
+
+// attachWAL binds a log to the store: subsequent mutations are logged
+// write-ahead, and drained uploads are archived instead of discarded so
+// recovery can refold them. Must run before the store is shared.
+func (s *Store) attachWAL(l *wal.Log) {
+	s.wal = l
+	s.archive = true
+}
+
+// logOp appends one record, or no-ops for in-memory stores. Callers hold
+// the table lock serializing the keys the op touches across the append
+// and the apply, so per-key WAL order equals apply order.
+func (s *Store) logOp(op *walOp) error {
+	if s.wal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("store: encoding wal op: %w", err)
+	}
+	if _, err := s.wal.Append(payload); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	return nil
+}
+
+// markLocked records an id in appID's window, creating the window on
+// first use. Caller holds the dedup shard's lock (or owns the store
+// exclusively, as replay does).
+func (s *Store) markLocked(appID, id string) {
+	sh := &s.dedupShards[shardIndex(appID)]
+	w, ok := sh.apps[appID]
+	if !ok {
+		w = &reportWindow{seen: make(map[string]struct{})}
+		sh.apps[appID] = w
+	}
+	w.mark(id)
+}
+
+// applyWALRecord applies one replayed op. Recovery runs single-threaded,
+// before the store is shared, so it writes the tables directly.
+func (s *Store) applyWALRecord(payload []byte) error {
+	if len(payload) > 0 && payload[0] == ingestTag {
+		in, err := decodeIngestOp(payload)
+		if err != nil {
+			return err
+		}
+		s.applyIngestOp(in)
+		return nil
+	}
+	var op walOp
+	if err := json.Unmarshal(payload, &op); err != nil {
+		return fmt.Errorf("store: decoding wal record: %w", err)
+	}
+	switch op.Op {
+	case opUser:
+		if op.User == nil {
+			return fmt.Errorf("store: wal %s record without payload", op.Op)
+		}
+		s.users[op.User.ID] = *op.User
+	case opApp:
+		if op.App == nil {
+			return fmt.Errorf("store: wal %s record without payload", op.Op)
+		}
+		s.apps[op.App.ID] = *op.App
+		if op.App.Category != "" {
+			s.bumpFeatureVersion(op.App.Category)
+		}
+	case opPart:
+		if op.Part == nil {
+			return fmt.Errorf("store: wal %s record without payload", op.Op)
+		}
+		s.participations[op.Part.TaskID] = *op.Part
+	case opFeat:
+		if op.Feat == nil {
+			return fmt.Errorf("store: wal %s record without payload", op.Op)
+		}
+		f := *op.Feat
+		s.features[featureKey{f.Category, f.Place, f.Feature}] = f
+		s.bumpFeatureVersion(f.Category)
+	case opSched:
+		if op.Sched == nil {
+			return fmt.Errorf("store: wal %s record without payload", op.Op)
+		}
+		s.schedShards[shardIndex(op.Sched.TaskID)].rows[op.Sched.TaskID] = *op.Sched
+	case opAnchor:
+		s.anchors[op.AppID] = op.AnchorUnix
+	case opMark:
+		if op.ReportID != "" {
+			s.markLocked(op.AppID, op.ReportID)
+		}
+	case opIngest:
+		if op.Ingest == nil {
+			return fmt.Errorf("store: wal %s record without payload", op.Op)
+		}
+		s.applyIngestOp(op.Ingest)
+	default:
+		return fmt.Errorf("store: unknown wal op %q", op.Op)
+	}
+	return nil
+}
+
+// applyIngestOp replays one Ingest record (binary or legacy JSON framing).
+func (s *Store) applyIngestOp(in *ingestOp) {
+	sh := &s.uploadShards[shardIndex(in.AppID)]
+	for i, body := range in.Bodies {
+		sh.put(RawUpload{
+			Seq: in.BaseSeq + int64(i) + 1, AppID: in.AppID,
+			Received: in.Received, Body: body, RequestID: in.RequestID,
+		})
+		if i < len(in.ReportIDs) && in.ReportIDs[i] != "" {
+			s.markLocked(in.AppID, in.ReportIDs[i])
+		}
+	}
+	if last := in.BaseSeq + int64(len(in.Bodies)); last > s.uploadSeq.Load() {
+		s.uploadSeq.Store(last)
+	}
+}

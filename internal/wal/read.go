@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CorruptInfo reports a record the scanner refused: where it sits and why.
+type CorruptInfo struct {
+	Offset int64 // byte offset of the bad record within the segment file
+	Err    error
+}
+
+// zeroFrom reports whether b[off:] is entirely zero bytes — the clean
+// tail of a preallocated segment.
+func zeroFrom(b []byte, off int64) bool {
+	for _, c := range b[off:] {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dataEnd returns the offset just past the last nonzero byte of b.
+func dataEnd(b []byte) int64 {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0 {
+			return int64(i + 1)
+		}
+	}
+	return 0
+}
+
+// tornTail reports whether the undecodable bytes at off look like the
+// residue of one append cut short by a crash: a frame that claims more
+// than was ever memcpy'd, with nothing but zeros after its claimed
+// extent. Anything decodable-but-wrong that is FOLLOWED by more data is
+// bit rot instead — a crash never writes past the record it tore.
+// decodeErr is the DecodeRecord failure at off; nil means a zero-length
+// frame decoded even though nonzero bytes follow it, which no writer
+// produces (empty records are refused at Enqueue).
+func tornTail(b []byte, off int64, decodeErr error) bool {
+	if errors.Is(decodeErr, ErrTorn) {
+		return true // frame runs past the end of the file
+	}
+	if !errors.Is(decodeErr, ErrCorrupt) {
+		return false // stray data after a zero frame
+	}
+	length := int64(binary.LittleEndian.Uint32(b[off : off+4]))
+	if length > MaxRecord {
+		// A garbage length field: a tear only if nothing was written
+		// beyond the header it mangled.
+		return zeroFrom(b, off+recHdrSize)
+	}
+	end := off + recHdrSize + length
+	return end >= int64(len(b)) || zeroFrom(b, end)
+}
+
+// scanErr names the error for a record the scanner stopped at.
+func scanErr(decodeErr error) error {
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return fmt.Errorf("%w: stray data after zero-length frame", ErrCorrupt)
+}
+
+// segScan is the result of walking one segment file to its end.
+type segScan struct {
+	FirstLSN  uint64
+	Records   int
+	GoodBytes int64 // offset just past the last valid record
+	FileBytes int64
+	Torn      bool         // tail record torn by a crash (see tornTail)
+	Corrupt   *CorruptInfo // CRC mismatch, insane length, or stray data
+}
+
+// scanSegment reads a whole segment and walks its records. A short or
+// bad header is reported as corruption at offset 0.
+func scanSegment(path string) (segScan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return segScan{}, err
+	}
+	s := segScan{FileBytes: int64(len(b))}
+	first, err := decodeHeader(b)
+	if err != nil {
+		s.Corrupt = &CorruptInfo{Offset: 0, Err: err}
+		return s, nil
+	}
+	s.FirstLSN = first
+	off := int64(headerSize)
+	for off < int64(len(b)) {
+		payload, n, err := DecodeRecord(b[off:])
+		if err == nil && len(payload) > 0 {
+			off += int64(n)
+			s.Records++
+			continue
+		}
+		if zeroFrom(b, off) {
+			break // clean preallocated tail
+		}
+		if tornTail(b, off, err) {
+			s.Torn = true
+		} else {
+			s.Corrupt = &CorruptInfo{Offset: off, Err: scanErr(err)}
+		}
+		break
+	}
+	s.GoodBytes = off
+	return s, nil
+}
+
+// ReplayStats summarizes a Replay pass.
+type ReplayStats struct {
+	Segments  int
+	Records   int   // records delivered to fn (after the `after` filter)
+	Scanned   int   // records decoded, including skipped ones
+	TornBytes int64 // residue bytes of the torn record on the last segment
+}
+
+// Replay walks every record in dir in LSN order, calling fn for records
+// with lsn > after. A torn record at the tail of the newest segment — a
+// crash mid-append leaves one — is tolerated; a torn or corrupt record
+// anywhere else aborts with an error naming the segment and byte offset,
+// without calling fn for it or anything after it.
+func Replay(dir string, after uint64, fn func(lsn uint64, payload []byte) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := listSegments(dir)
+	if os.IsNotExist(err) {
+		return stats, nil
+	}
+	if err != nil {
+		return stats, err
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			return stats, err
+		}
+		first, err := decodeHeader(b)
+		if err != nil {
+			return stats, fmt.Errorf("wal: segment %s: %w", filepath.Base(seg.path), err)
+		}
+		stats.Segments++
+		off := int64(headerSize)
+		lsn := first
+		for off < int64(len(b)) {
+			payload, n, err := DecodeRecord(b[off:])
+			if err == nil && len(payload) > 0 {
+				stats.Scanned++
+				if lsn > after {
+					if err := fn(lsn, payload); err != nil {
+						return stats, err
+					}
+					stats.Records++
+				}
+				off += int64(n)
+				lsn++
+				continue
+			}
+			if zeroFrom(b, off) {
+				break // clean preallocated tail
+			}
+			if last && tornTail(b, off, err) {
+				stats.TornBytes = dataEnd(b) - off
+				break
+			}
+			return stats, fmt.Errorf("wal: segment %s: %w at offset %d",
+				filepath.Base(seg.path), scanErr(err), off)
+		}
+	}
+	return stats, nil
+}
+
+// SegmentInfo describes one segment for inspection tooling.
+type SegmentInfo struct {
+	Name     string
+	FirstLSN uint64
+	Records  int
+	Bytes    int64
+	Torn     bool
+	TornAt   int64 // offset of the torn record, if Torn
+	Corrupt  *CorruptInfo
+}
+
+// Inspect scans every segment in dir and reports headers, record counts,
+// and the offset of any torn or corrupt record. Unlike Replay it never
+// aborts: damage is recorded per segment so an operator sees all of it.
+func Inspect(dir string) ([]SegmentInfo, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]SegmentInfo, 0, len(segs))
+	for _, seg := range segs {
+		scan, err := scanSegment(seg.path)
+		if err != nil {
+			return infos, err
+		}
+		info := SegmentInfo{
+			Name:     filepath.Base(seg.path),
+			FirstLSN: scan.FirstLSN,
+			Records:  scan.Records,
+			Bytes:    scan.FileBytes,
+			Torn:     scan.Torn,
+			Corrupt:  scan.Corrupt,
+		}
+		if scan.Torn {
+			info.TornAt = scan.GoodBytes
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}

@@ -1,0 +1,348 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, dir string, after uint64) map[uint64]string {
+	t.Helper()
+	got := map[uint64]string{}
+	_, err := Replay(dir, after, func(lsn uint64, payload []byte) error {
+		got[lsn] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("rec-%03d", i)))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := collect(t, dir, 0)
+	if len(got) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(got))
+	}
+	if got[1] != "rec-000" || got[100] != "rec-099" {
+		t.Fatalf("unexpected payloads: %q %q", got[1], got[100])
+	}
+	if after := collect(t, dir, 60); len(after) != 40 {
+		t.Fatalf("replay after 60: %d records, want 40", len(after))
+	}
+}
+
+func TestConcurrentAppendAssignsDenseLSNs(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncOS, SyncGrouped} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Sync: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers, per = 8, 50
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			seen := map[uint64]string{}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						p := fmt.Sprintf("w%d-%d", w, i)
+						lsn, err := l.Append([]byte(p))
+						if err != nil {
+							t.Errorf("append: %v", err)
+							return
+						}
+						mu.Lock()
+						seen[lsn] = p
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != workers*per {
+				t.Fatalf("got %d distinct LSNs, want %d", len(seen), workers*per)
+			}
+			got := collect(t, dir, 0)
+			for lsn, p := range seen {
+				if got[lsn] != p {
+					t.Fatalf("lsn %d: replayed %q, want %q", lsn, got[lsn], p)
+				}
+			}
+		})
+	}
+}
+
+func TestRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %d", len(segs))
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Records
+	}
+	if total != 40 {
+		t.Fatalf("segments hold %d records, want 40", total)
+	}
+
+	// Truncating through LSN 20 must drop only segments fully covered.
+	if err := l.TruncateThrough(20); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir, 20)
+	if len(got) != 20 {
+		t.Fatalf("replay after truncate: %d records beyond LSN 20, want 20", len(got))
+	}
+	// Everything still on disk replays without error from 0 too (records
+	// below the cut may be gone, but none may be damaged).
+	if _, err := Replay(dir, 0, func(uint64, []byte) error { return nil }); err != nil {
+		t.Fatalf("full replay after truncate: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen continues the LSN sequence.
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.Append([]byte("after-reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 41 {
+		t.Fatalf("lsn after reopen = %d, want 41", lsn)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record the way a crash mid-memcpy does: its frame
+	// is in place but the payload never fully landed, so the tail of the
+	// record is still the segment's preallocated zeros. Each record here
+	// is recHdrSize+4 bytes; zero the last 3 payload bytes of the fifth.
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornEnd := int64(headerSize + 5*(recHdrSize+4))
+	if _, err := f.WriteAt(make([]byte, 3), tornEnd-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay tolerates the torn tail.
+	var stats ReplayStats
+	if stats, err = Replay(dir, 0, func(uint64, []byte) error { return nil }); err != nil {
+		t.Fatalf("replay over torn tail: %v", err)
+	}
+	if stats.Records != 4 || stats.TornBytes == 0 {
+		t.Fatalf("stats = %+v, want 4 records and a torn tail", stats)
+	}
+
+	// Open truncates it away and appends continue from LSN 5.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.Append([]byte("rec4b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 5 {
+		t.Fatalf("lsn after torn-tail open = %d, want 5", lsn)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir, 0)
+	if got[5] != "rec4b" || len(got) != 5 {
+		t.Fatalf("replay after repair: %v", got)
+	}
+}
+
+func TestCorruptMidSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("payload-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the second record's payload.
+	path := filepath.Join(dir, segName(1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recHdrSize + len("payload-payload")
+	b[headerSize+rec+recHdrSize+2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var delivered int
+	_, err = Replay(dir, 0, func(uint64, []byte) error { delivered++; return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay error = %v, want ErrCorrupt", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d records before corruption, want 1", delivered)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corruption = %v, want ErrCorrupt", err)
+	}
+	infos, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos[0].Corrupt == nil || infos[0].Corrupt.Offset != int64(headerSize+rec) {
+		t.Fatalf("Inspect corrupt info = %+v, want offset %d", infos[0].Corrupt, headerSize+rec)
+	}
+}
+
+func TestKillLosesOnlyUnackedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []uint64
+	for i := 0; i < 20; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("r%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, lsn)
+	}
+	l.Kill()
+	if _, err := l.Append([]byte("late")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("append after kill = %v, want ErrKilled", err)
+	}
+	// Every acked record survives a process kill: Append under SyncOS
+	// returns only after the memcpy into the MAP_SHARED segment, and
+	// the kernel owns those dirty pages.
+	got := collect(t, dir, 0)
+	for _, lsn := range acked {
+		if _, ok := got[lsn]; !ok {
+			t.Fatalf("acked LSN %d lost after Kill", lsn)
+		}
+	}
+}
+
+func TestCloseIsIdempotentAndSyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMetricsFire(t *testing.T) {
+	dir := t.TempDir()
+	var appends, bytes, fsyncs, seals int
+	l, err := Open(dir, Options{
+		SegmentBytes: 128,
+		Sync:         SyncGrouped,
+		Metrics: Metrics{
+			Appends: func(n int) { appends += n },
+			Bytes:   func(n int) { bytes += n },
+			Fsyncs:  func() { fsyncs++ },
+			Seals:   func() { seals++ },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(make([]byte, 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if appends != 10 || bytes == 0 || fsyncs == 0 || seals == 0 {
+		t.Fatalf("metrics appends=%d bytes=%d fsyncs=%d seals=%d", appends, bytes, fsyncs, seals)
+	}
+}
