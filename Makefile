@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak ci experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak fleet-soak fleet-soak-short ci experiments fieldtest sim clean
 
 all: build test
 
@@ -58,6 +58,18 @@ chaos-short:
 crash-soak:
 	$(GO) test -race -count=1 -run CrashSoak -v ./internal/chaos/
 
+# Discrete-event fleet soak on virtual time: deterministic, fixed-seed,
+# race-enabled. The determinism gate runs the same seed twice and diffs
+# the end-state digests (a divergence prints the first differing
+# canonical line plus a one-line SOR_SOAK_SEED replay command).
+fleet-soak:
+	$(GO) test -race -count=1 -v ./internal/fleetsim/
+	$(GO) run ./cmd/sorsim -fleet -phones 20000 -per-app 50 -verify
+
+fleet-soak-short:
+	$(GO) test -race -short -count=1 ./internal/fleetsim/
+	$(GO) run ./cmd/sorsim -fleet -phones 1000 -per-app 50 -verify
+
 # Everything CI runs (.github/workflows/ci.yml mirrors this).
 ci: vet build test
 	$(GO) test -race -short ./...
@@ -66,6 +78,7 @@ ci: vet build test
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-short
 	$(MAKE) crash-soak
+	$(MAKE) fleet-soak-short
 
 # Regenerate every paper table and figure.
 experiments: fieldtest sim

@@ -93,13 +93,20 @@ func walCmd(args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(segs)
 	}
+	renderSegments(os.Stdout, dir, segs)
+	return nil
+}
+
+// renderSegments writes the human `wal inspect` table. Split from walCmd
+// so the golden-output test drives it against a bytes.Buffer.
+func renderSegments(w io.Writer, dir string, segs []wal.SegmentInfo) {
 	if len(segs) == 0 {
-		fmt.Printf("no WAL segments in %s\n", dir)
-		return nil
+		fmt.Fprintf(w, "no WAL segments in %s\n", dir)
+		return
 	}
 	var records int
 	var bytes int64
-	fmt.Printf("%-24s %12s %10s %12s  %s\n", "SEGMENT", "FIRST-LSN", "RECORDS", "BYTES", "STATUS")
+	fmt.Fprintf(w, "%-24s %12s %10s %12s  %s\n", "SEGMENT", "FIRST-LSN", "RECORDS", "BYTES", "STATUS")
 	for _, s := range segs {
 		status := "ok"
 		switch {
@@ -108,12 +115,11 @@ func walCmd(args []string) error {
 		case s.Torn:
 			status = fmt.Sprintf("torn tail at offset %d", s.TornAt)
 		}
-		fmt.Printf("%-24s %12d %10d %12d  %s\n", s.Name, s.FirstLSN, s.Records, s.Bytes, status)
+		fmt.Fprintf(w, "%-24s %12d %10d %12d  %s\n", s.Name, s.FirstLSN, s.Records, s.Bytes, status)
 		records += s.Records
 		bytes += s.Bytes
 	}
-	fmt.Printf("%d segments, %d records, %d bytes\n", len(segs), records, bytes)
-	return nil
+	fmt.Fprintf(w, "%d segments, %d records, %d bytes\n", len(segs), records, bytes)
 }
 
 func dirExists(path string) bool {
@@ -278,6 +284,13 @@ func metrics(ctx context.Context, serverURL string, args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(snap)
 	}
+	renderMetrics(os.Stdout, snap)
+	return nil
+}
+
+// renderMetrics writes the sorted human metrics listing. Split from
+// metrics so the golden-output test drives it against a bytes.Buffer.
+func renderMetrics(w io.Writer, snap sor.MetricsSnapshot) {
 	printSorted := func(kind string, m map[string]int64) {
 		keys := make([]string, 0, len(m))
 		for k := range m {
@@ -285,7 +298,7 @@ func metrics(ctx context.Context, serverURL string, args []string) error {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("%-8s %-56s %d\n", kind, k, m[k])
+			fmt.Fprintf(w, "%-8s %-56s %d\n", kind, k, m[k])
 		}
 	}
 	printSorted("counter", snap.Counters)
@@ -297,10 +310,9 @@ func metrics(ctx context.Context, serverURL string, args []string) error {
 	sort.Strings(hkeys)
 	for _, k := range hkeys {
 		h := snap.Histograms[k]
-		fmt.Printf("%-8s %-56s n=%d p50=%.3g p99=%.3g max=%.3g\n",
+		fmt.Fprintf(w, "%-8s %-56s n=%d p50=%.3g p99=%.3g max=%.3g\n",
 			"histo", k, h.Count, h.P50, h.P99, h.Max)
 	}
-	return nil
 }
 
 // trace scrapes /debug/trace: recent spans, optionally filtered to one

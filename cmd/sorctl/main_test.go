@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sor"
+	"sor/internal/obs"
+	"sor/internal/wal"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// checkGolden compares got against testdata/<name> (rewriting it under
+// -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./cmd/sorctl -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// walSegment builds a segment image from the documented framing: the
+// 16-byte header (magic + firstLSN) followed by length|crc32c|payload
+// records.
+func walSegment(firstLSN uint64, payloads ...string) []byte {
+	b := append([]byte(nil), []byte("SORWAL1\n")...)
+	b = binary.LittleEndian.AppendUint64(b, firstLSN)
+	table := crc32.MakeTable(crc32.Castagnoli)
+	for _, p := range payloads {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+		b = binary.LittleEndian.AppendUint32(b, crc32.Checksum([]byte(p), table))
+		b = append(b, p...)
+	}
+	return b
+}
+
+// TestWALInspectGolden pins the human `sorctl wal inspect` rendering over
+// a fixture holding a sealed segment, a torn segment, and a corrupt one.
+func TestWALInspectGolden(t *testing.T) {
+	dir := t.TempDir()
+	// Sealed: ends exactly at a record boundary.
+	if err := os.WriteFile(filepath.Join(dir, "000001.wal"),
+		walSegment(1, "participate", "upload", "upload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Torn: the last record's payload is cut short.
+	torn := walSegment(4, "upload", "a-longer-final-record")
+	torn = torn[:len(torn)-8]
+	if err := os.WriteFile(filepath.Join(dir, "000002.wal"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: one payload byte of the first record flipped.
+	rot := walSegment(6, "upload", "upload")
+	rot[16+8] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, "000003.wal"), rot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := wal.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	renderSegments(&buf, dir, segs)
+	checkGolden(t, "wal_inspect.golden", buf.Bytes())
+
+	var empty bytes.Buffer
+	renderSegments(&empty, "data/wal", nil)
+	checkGolden(t, "wal_inspect_empty.golden", empty.Bytes())
+}
+
+// TestMetricsGolden pins the human `sorctl metrics` rendering: counters,
+// gauges, then histograms, each sorted by series name.
+func TestMetricsGolden(t *testing.T) {
+	snap := sor.MetricsSnapshot{
+		Counters: map[string]int64{
+			"sor_requests_total{type=data-upload}": 128,
+			"sor_requests_total{type=participate}": 32,
+			"sor_dedup_hits_total":                 7,
+		},
+		Gauges: map[string]int64{
+			"sor_outbox_pending": 3,
+		},
+		Histograms: map[string]obs.HistogramSnapshot{
+			"sor_handler_ms{type=data-upload}": {
+				Count: 16, Mean: 1.5, Min: 0.25, Max: 12.5, P50: 1.0, P99: 9.75,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	renderMetrics(&buf, snap)
+	checkGolden(t, "metrics.golden", buf.Bytes())
+}

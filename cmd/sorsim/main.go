@@ -10,6 +10,7 @@
 //	sorsim -sweep both -svg out/     # both, plus SVG plots
 //	sorsim -sweep online             # online vs clairvoyant offline
 //	sorsim -sweep chaos              # exactly-once ingest under a faulty network
+//	sorsim -fleet -phones 100000     # deterministic virtual-day fleet simulation
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"sor/internal/chaos"
+	"sor/internal/fleetsim"
 	"sor/internal/sim"
 	"sor/internal/viz"
 )
@@ -39,7 +41,34 @@ func run() error {
 	budget := flag.Int("budget", 17, "per-user budget for the users sweep (paper: 17)")
 	users := flag.Int("users", 40, "user count for the budget sweep (paper: 40)")
 	svgDir := flag.String("svg", "", "optional directory for SVG plots")
+	fleet := flag.Bool("fleet", false, "run the deterministic discrete-event fleet simulation instead of a sweep")
+	phones := flag.Int("phones", 10000, "fleet size for -fleet")
+	perApp := flag.Int("per-app", 100, "phones per application shard for -fleet")
+	fleetBudget := flag.Int("fleet-budget", 2, "per-phone budget for -fleet")
+	step := flag.Duration("step", 5*time.Minute, "timeline step for -fleet")
+	period := flag.Duration("period", 24*time.Hour, "scheduling period for -fleet")
+	loss := flag.Float64("loss", 0.05, "request loss probability for -fleet")
+	ackLoss := flag.Float64("ack-loss", 0.05, "ack loss probability for -fleet")
+	partition := flag.Duration("partition", time.Hour, "partition duration for -fleet (0 = none)")
+	verify := flag.Bool("verify", false, "with -fleet: run the same seed twice and require identical digests")
+	coverageCurve := flag.Bool("coverage", false, "with -fleet: print the hourly coverage curve")
 	flag.Parse()
+
+	if *fleet {
+		return runFleet(fleetsim.Config{
+			Phones:       *phones,
+			PhonesPerApp: *perApp,
+			Budget:       *fleetBudget,
+			Seed:         *seed,
+			Period:       *period,
+			Step:         *step,
+			RequestLoss:  *loss,
+			AckLoss:      *ackLoss,
+			SpikeProb:    0.02,
+			Spike:        time.Second,
+			PartitionFor: *partition,
+		}, *verify, *coverageCurve)
+	}
 
 	base := sim.Config{Runs: *runs, Seed: *seed, Lazy: true}
 
@@ -90,6 +119,40 @@ func run() error {
 	}
 	if *sweep != "users" && *sweep != "budget" && *sweep != "both" && *sweep != "online" && *sweep != "chaos" {
 		return fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	return nil
+}
+
+// runFleet drives the discrete-event fleet simulation: a whole virtual
+// day of joins, uploads, retries and faults in one deterministic pass.
+// With -verify it runs the identical seed a second time and fails unless
+// the end-state digests match byte for byte.
+func runFleet(cfg fleetsim.Config, verify, coverage bool) error {
+	wall := time.Now()
+	res, err := fleetsim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary())
+	fmt.Printf("virtual span %s, wall time %s\n",
+		res.VirtualEnd.Sub(fleetsim.Epoch), time.Since(wall).Round(time.Millisecond))
+	if coverage {
+		fmt.Println("\nhourly coverage (acked measurement instants):")
+		fmt.Print(res.CoverageTable())
+	}
+	if verify {
+		again, err := fleetsim.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("verification run: %w", err)
+		}
+		if again.Digest != res.Digest {
+			return fmt.Errorf("NON-DETERMINISTIC: same seed, different digests\n%s",
+				fleetsim.FirstDiff(res, again))
+		}
+		fmt.Println("verified: second run of the same seed is byte-identical")
+	}
+	if res.Abandoned > 0 {
+		return fmt.Errorf("%d reports abandoned; replay with -seed %d", res.Abandoned, cfg.Seed)
 	}
 	return nil
 }

@@ -40,28 +40,35 @@ func TestCrashSoakRecoversIdenticalState(t *testing.T) {
 		kills = 3
 		seeds = seeds[:1]
 	}
+	if replay := soakSeed(t, 0); replay != 0 {
+		// SOR_SOAK_SEED narrows the sweep to the seed being replayed.
+		seeds = []int64{replay}
+	}
 	for _, seed := range seeds {
 		baseline, err := RunCrashSoak(crashConfig(t, seed, 0))
 		if err != nil {
-			t.Fatalf("seed %d baseline: %v", seed, err)
+			t.Fatalf("seed %d baseline: %v\n%s", seed, err, repro(t, seed))
 		}
 		if baseline.Pending != 0 {
-			t.Fatalf("seed %d baseline left %d reports pending", seed, baseline.Pending)
+			t.Fatalf("seed %d baseline left %d reports pending\n%s",
+				seed, baseline.Pending, repro(t, seed))
 		}
 
 		crashed, err := RunCrashSoak(crashConfig(t, seed, kills))
 		if err != nil {
-			t.Fatalf("seed %d crashed run: %v", seed, err)
+			t.Fatalf("seed %d crashed run: %v\n%s", seed, err, repro(t, seed))
 		}
 		if crashed.Pending != 0 {
-			t.Fatalf("seed %d: %d reports still pending after recovery", seed, crashed.Pending)
+			t.Fatalf("seed %d: %d reports still pending after recovery\n%s",
+				seed, crashed.Pending, repro(t, seed))
 		}
 		if diff := DiffState(baseline, crashed); diff != "" {
-			t.Fatalf("seed %d: state diverged after %d kills: %s\nbaseline: %s\ncrashed:  %s",
-				seed, kills, diff, baseline.Summary(), crashed.Summary())
+			t.Fatalf("seed %d: state diverged after %d kills: %s\nbaseline: %s\ncrashed:  %s\n%s",
+				seed, kills, diff, baseline.Summary(), crashed.Summary(), repro(t, seed))
 		}
 		if crashed.Stored != baseline.Stored {
-			t.Fatalf("seed %d: stored %d reports, baseline %d", seed, crashed.Stored, baseline.Stored)
+			t.Fatalf("seed %d: stored %d reports, baseline %d\n%s",
+				seed, crashed.Stored, baseline.Stored, repro(t, seed))
 		}
 		t.Logf("seed %d survived %d kills: %s", seed, kills, crashed.Summary())
 	}

@@ -20,7 +20,7 @@ import (
 // one for -short CI runs.
 func soakConfig(t *testing.T) Config {
 	t.Helper()
-	cfg := Config{Phones: 6, Budget: 4, Seed: 42}
+	cfg := Config{Phones: 6, Budget: 4, Seed: soakSeed(t, 42)}
 	if testing.Short() {
 		cfg.Phones = 3
 		cfg.Budget = 3
@@ -78,15 +78,18 @@ func TestSoakConvergesByteIdenticalUnderChaos(t *testing.T) {
 	}
 
 	if chaotic.Pending != 0 {
-		t.Fatalf("%d reports still stranded in outboxes after flush", chaotic.Pending)
+		t.Fatalf("%d reports still stranded in outboxes after flush\n%s",
+			chaotic.Pending, repro(t, base.Seed))
 	}
 	// Exactly once: however many retransmissions the loss forced, the
 	// server stored one report per phone.
 	if chaotic.Stored != base.Phones {
-		t.Fatalf("chaotic run stored %d reports, want exactly %d", chaotic.Stored, base.Phones)
+		t.Fatalf("chaotic run stored %d reports, want exactly %d\n%s",
+			chaotic.Stored, base.Phones, repro(t, base.Seed))
 	}
 	if diff := DiffState(clean, chaotic); diff != "" {
-		t.Fatalf("chaotic run diverged from fault-free run: %s", diff)
+		t.Fatalf("chaotic run diverged from fault-free run: %s\n%s",
+			diff, repro(t, base.Seed))
 	}
 }
 
@@ -246,7 +249,7 @@ func TestSoakDeterministicAcrossRepeats(t *testing.T) {
 		t.Fatal(err)
 	}
 	if diff := DiffState(a, b); diff != "" {
-		t.Fatalf("two same-seed chaotic runs diverged: %s", diff)
+		t.Fatalf("two same-seed chaotic runs diverged: %s\n%s", diff, repro(t, cfg.Seed))
 	}
 }
 

@@ -1,0 +1,228 @@
+package fleetsim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"sor/internal/obs"
+	"sor/internal/schedule"
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/world"
+)
+
+// EndState is the server's converged state after a run — everything a
+// determinism check compares. Feature values are compared bit-for-bit
+// (IEEE-754), and the Updated stamps are virtual time, so they too must
+// match across same-seed runs.
+type EndState struct {
+	Apps     []AppState
+	Features []store.FeatureRow
+	// UploadsStored counts raw uploads the store holds; Folded is how
+	// many the processor decoded into the feature matrix.
+	UploadsStored int
+	Folded        int
+	// Counters and Gauges are the observer's metric values. Histograms
+	// are deliberately excluded: handler latency is measured on the wall
+	// clock and is the one legitimately nondeterministic signal.
+	Counters map[string]int64
+	Gauges   map[string]int64
+}
+
+// AppState is one application's scheduling outcome.
+type AppState struct {
+	ID       string
+	Executed []int
+	Ledger   []LedgerEntry
+	// SeenReports is the dedup window size; SeenDigest hashes the sorted
+	// report ids so the window's contents are compared without retaining
+	// every id in the result.
+	SeenReports int
+	SeenDigest  string
+}
+
+// LedgerEntry is one user's budget accounting, ordered by user id.
+type LedgerEntry struct {
+	User   string
+	Ledger schedule.UserLedger
+}
+
+// captureState snapshots the converged server.
+func captureState(srv *server.Server, obsv *obs.Observer, apps []*appShard) (*EndState, error) {
+	st := &EndState{}
+	for _, a := range apps {
+		as := AppState{ID: a.id, Executed: srv.ExecutedInstants(a.id)}
+		ledger := srv.BudgetLedger(a.id)
+		users := make([]string, 0, len(ledger))
+		for u := range ledger {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		for _, u := range users {
+			as.Ledger = append(as.Ledger, LedgerEntry{User: u, Ledger: ledger[u]})
+		}
+		seen := srv.DB().SeenReportIDs(a.id)
+		sort.Strings(seen)
+		h := sha256.New()
+		for _, id := range seen {
+			io.WriteString(h, id)
+			h.Write([]byte{0})
+		}
+		as.SeenReports = len(seen)
+		as.SeenDigest = hex.EncodeToString(h.Sum(nil))[:16]
+		st.Apps = append(st.Apps, as)
+	}
+	st.Features = srv.DB().FeaturesByCategory(world.CategoryCoffee)
+	sort.Slice(st.Features, func(i, j int) bool {
+		a, b := st.Features[i], st.Features[j]
+		if a.Place != b.Place {
+			return a.Place < b.Place
+		}
+		return a.Feature < b.Feature
+	})
+	stored, decodeErrs := srv.Processor().Stats()
+	if decodeErrs > 0 {
+		return nil, fmt.Errorf("fleetsim: %d uploads failed to decode", decodeErrs)
+	}
+	st.Folded = stored
+	snap := obsv.Metrics().Snapshot()
+	st.Counters = snap.Counters
+	st.Gauges = snap.Gauges
+	return st, nil
+}
+
+// writeCanonical emits the run as a stable line-oriented text: every
+// float as its IEEE-754 bits, every map sorted, every time in UTC. The
+// digest is a hash of exactly these bytes, so "byte-identical run" and
+// "equal digest" are the same statement.
+func (r *Result) writeCanonical(w io.Writer) {
+	fmt.Fprintf(w, "fleetsim-state v1\n")
+	c := r.Cfg
+	fmt.Fprintf(w, "cfg phones=%d perapp=%d budget=%d seed=%d period=%s step=%s\n",
+		c.Phones, c.PhonesPerApp, c.Budget, c.Seed, c.Period, c.Step)
+	fmt.Fprintf(w, "cfg faults reqloss=%016x ackloss=%016x spikep=%016x spike=%s partat=%s partfor=%s\n",
+		math.Float64bits(c.RequestLoss), math.Float64bits(c.AckLoss),
+		math.Float64bits(c.SpikeProb), c.Spike, c.PartitionAt, c.PartitionFor)
+	fmt.Fprintf(w, "run apps=%d joined=%d scheduled=%d attempts=%d delivered=%d acked=%d dup=%d abandoned=%d end=%s\n",
+		r.Apps, r.Joined, r.Scheduled, r.Attempts, r.DeliveredReqs,
+		r.Acked, r.DuplicateAcks, r.Abandoned, r.VirtualEnd.UTC().Format(time.RFC3339Nano))
+	f := r.Fault
+	fmt.Fprintf(w, "fault requests=%d reqlost=%d acklost=%d partitioned=%d spikes=%d\n",
+		f.Requests, f.RequestsLost, f.ResponsesLost, f.Partitioned, f.Spikes)
+	l := r.Latency
+	fmt.Fprintf(w, "latency count=%d p50=%d p95=%d p99=%d max=%d meanatt=%016x\n",
+		l.Count, l.P50, l.P95, l.P99, l.Max, math.Float64bits(l.MeanAttemptsPerAcked))
+	for _, p := range r.Coverage {
+		fmt.Fprintf(w, "coverage hour=%d acked=%d cum=%d\n", p.Hour, p.Acked, p.CumAcked)
+	}
+	if r.State == nil {
+		return
+	}
+	for _, a := range r.State.Apps {
+		fmt.Fprintf(w, "app %s executed=%v\n", a.ID, a.Executed)
+		for _, e := range a.Ledger {
+			fmt.Fprintf(w, "app %s ledger user=%s budget=%d consumed=%d left=%t\n",
+				a.ID, e.User, e.Ledger.Budget, e.Ledger.Consumed, e.Ledger.Left)
+		}
+		fmt.Fprintf(w, "app %s seen n=%d digest=%s\n", a.ID, a.SeenReports, a.SeenDigest)
+	}
+	for _, row := range r.State.Features {
+		fmt.Fprintf(w, "feature place=%s name=%s value=%016x samples=%d updated=%s\n",
+			row.Place, row.Feature, math.Float64bits(row.Value), row.Samples,
+			row.Updated.UTC().Format(time.RFC3339Nano))
+	}
+	fmt.Fprintf(w, "uploads stored=%d folded=%d\n", r.State.UploadsStored, r.State.Folded)
+	writeSortedInt64s(w, "counter", r.State.Counters)
+	writeSortedInt64s(w, "gauge", r.State.Gauges)
+}
+
+func writeSortedInt64s(w io.Writer, kind string, m map[string]int64) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %s=%d\n", kind, n, m[n])
+	}
+}
+
+// digest hashes the canonical dump.
+func (r *Result) digest() string {
+	h := sha256.New()
+	r.writeCanonical(h)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Summary renders the run one-per-line for humans (sorsim -fleet).
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d phones across %d apps, budget %d, period %s, step %s, seed %d\n",
+		r.Cfg.Phones, r.Apps, r.Cfg.Budget, r.Cfg.Period, r.Cfg.Step, r.Cfg.Seed)
+	fmt.Fprintf(&b, "joined %d  scheduled %d  acked %d  duplicates %d  abandoned %d\n",
+		r.Joined, r.Scheduled, r.Acked, r.DuplicateAcks, r.Abandoned)
+	f := r.Fault
+	fmt.Fprintf(&b, "network: %d attempts, %d delivered, %d req lost, %d acks lost, %d refused by partition, %d spikes\n",
+		r.Attempts, r.DeliveredReqs, f.RequestsLost, f.ResponsesLost, f.Partitioned, f.Spikes)
+	l := r.Latency
+	fmt.Fprintf(&b, "report latency (virtual): p50 %s  p95 %s  p99 %s  max %s  (%.2f attempts/report)\n",
+		l.P50, l.P95, l.P99, l.Max, l.MeanAttemptsPerAcked)
+	if r.State != nil {
+		fmt.Fprintf(&b, "state: %d uploads stored, %d folded, %d feature rows\n",
+			r.State.UploadsStored, r.State.Folded, len(r.State.Features))
+	}
+	fmt.Fprintf(&b, "digest %s\n", r.Digest)
+	return b.String()
+}
+
+// CoverageTable renders the hourly coverage curve as aligned text.
+func (r *Result) CoverageTable() string {
+	var b strings.Builder
+	total := 0
+	for _, p := range r.Coverage {
+		total = p.CumAcked
+	}
+	fmt.Fprintf(&b, "%6s  %9s  %10s  %8s\n", "hour", "acked", "cumulative", "fraction")
+	for _, p := range r.Coverage {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(p.CumAcked) / float64(total)
+		}
+		fmt.Fprintf(&b, "%6d  %9d  %10d  %7.1f%%\n", p.Hour, p.Acked, p.CumAcked, frac*100)
+	}
+	return b.String()
+}
+
+// FirstDiff returns the first line where two runs' canonical dumps
+// disagree ("" when identical) — the debugging companion to comparing
+// digests.
+func FirstDiff(a, b *Result) string {
+	var ab, bb bytes.Buffer
+	a.writeCanonical(&ab)
+	b.writeCanonical(&bb)
+	if bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		return ""
+	}
+	al := strings.Split(ab.String(), "\n")
+	bl := strings.Split(bb.String(), "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var la, lb string
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, la, lb)
+		}
+	}
+	return "dumps differ but no line does (length mismatch)"
+}

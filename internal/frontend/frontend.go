@@ -20,6 +20,7 @@ import (
 	"sor/internal/luascript"
 	"sor/internal/obs"
 	"sor/internal/sensors"
+	"sor/internal/vclock"
 	"sor/internal/wire"
 )
 
@@ -167,6 +168,7 @@ type Frontend struct {
 	outboxBackoff    time.Duration
 	outboxBackoffMax time.Duration
 	outboxSeed       int64
+	clock            vclock.Clock
 	obsv             *obs.Observer
 
 	mu    sync.Mutex
@@ -211,6 +213,13 @@ func WithObserver(o *obs.Observer) Option {
 	return func(f *Frontend) { f.obsv = o }
 }
 
+// WithClock substitutes the clock backing the outbox's flush backoff.
+// Simulations pass a *vclock.Virtual so FlushOutbox waits consume
+// virtual, not wall, time; the default is the wall clock.
+func WithClock(clk vclock.Clock) Option {
+	return func(f *Frontend) { f.clock = clk }
+}
+
 // tokenSeed derives a stable per-phone jitter seed.
 func tokenSeed(token string) int64 {
 	h := fnv.New64a()
@@ -247,7 +256,7 @@ func New(phone *device.Phone, sender Sender, opts ...Option) (*Frontend, error) 
 	if f.acquireRetries < 0 {
 		f.acquireRetries = 0
 	}
-	f.outbox = newOutbox(f.outboxCapacity, f.outboxBackoff, f.outboxBackoffMax, f.outboxSeed)
+	f.outbox = newOutbox(f.outboxCapacity, f.outboxBackoff, f.outboxBackoffMax, f.outboxSeed, f.clock)
 	if f.obsv != nil {
 		f.outbox.met = newOutboxMetrics(f.obsv.Metrics())
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sor/internal/obs"
+	"sor/internal/vclock"
 	"sor/internal/wire"
 )
 
@@ -66,6 +67,7 @@ type Outbox struct {
 
 	backoffBase time.Duration
 	backoffCap  time.Duration
+	clock       vclock.Clock
 
 	met outboxMetrics
 }
@@ -103,12 +105,13 @@ const (
 	maxOutboxBatch          = wire.MaxBatchReports
 )
 
-func newOutbox(capacity int, base, cap time.Duration, seed int64) *Outbox {
+func newOutbox(capacity int, base, cap time.Duration, seed int64, clk vclock.Clock) *Outbox {
 	return &Outbox{
 		cap:         capacity,
 		rng:         rand.New(rand.NewSource(seed)),
 		backoffBase: base,
 		backoffCap:  cap,
+		clock:       vclock.Or(clk),
 	}
 }
 
@@ -317,9 +320,11 @@ func (o *Outbox) Flush(ctx context.Context, sender Sender) error {
 			return nil
 		}
 		delay := o.flushDelay(attempt)
+		wake := o.clock.NewTimer(delay)
 		select {
-		case <-time.After(delay):
+		case <-wake.C():
 		case <-ctx.Done():
+			wake.Stop()
 			if err == nil {
 				err = errors.New("frontend: outbox not drained")
 			}

@@ -68,7 +68,7 @@ func up(id string) *wire.DataUpload {
 }
 
 func TestOutboxOverflowDropsOldest(t *testing.T) {
-	o := newOutbox(2, time.Millisecond, 10*time.Millisecond, 1)
+	o := newOutbox(2, time.Millisecond, 10*time.Millisecond, 1, nil)
 	o.Enqueue(up("r1"), nil)
 	o.Enqueue(up("r2"), nil)
 	o.Enqueue(up("r3"), nil)
@@ -89,7 +89,7 @@ func TestOutboxOverflowDropsOldest(t *testing.T) {
 }
 
 func TestOutboxTransportFailureLeavesQueue(t *testing.T) {
-	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1)
+	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1, nil)
 	var delivered []string
 	var mu sync.Mutex
 	note := func(id string) func(bool, string) {
@@ -130,7 +130,7 @@ func TestOutboxTransportFailureLeavesQueue(t *testing.T) {
 }
 
 func TestOutboxBatchCoalescing(t *testing.T) {
-	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1)
+	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1, nil)
 	for _, id := range []string{"r1", "r2", "r3"} {
 		o.Enqueue(up(id), nil)
 	}
@@ -153,7 +153,7 @@ func TestOutboxBatchCoalescing(t *testing.T) {
 }
 
 func TestOutboxBatchPartialFallsBackToSingles(t *testing.T) {
-	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1)
+	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1, nil)
 	var refusedReason string
 	o.Enqueue(up("good-1"), nil)
 	o.Enqueue(up("bad"), func(ok bool, reason string) {
@@ -201,7 +201,7 @@ func (s *dyingSender) Send(_ context.Context, m wire.Message) (wire.Message, err
 }
 
 func TestOutboxServerErrorKeepsReportQueued(t *testing.T) {
-	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1)
+	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1, nil)
 	o.Enqueue(up("r1"), nil)
 	o.Enqueue(up("r2"), nil)
 	s := &dyingSender{dieN: 1}
@@ -223,7 +223,7 @@ func TestOutboxServerErrorKeepsReportQueued(t *testing.T) {
 }
 
 func TestOutboxBatchServerErrorSkipsSinglesProbe(t *testing.T) {
-	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1)
+	o := newOutbox(8, time.Millisecond, 10*time.Millisecond, 1, nil)
 	o.Enqueue(up("r1"), nil)
 	o.Enqueue(up("r2"), nil)
 	s := &batchingSender{batchAck: &wire.Ack{OK: false, Code: 500, Message: "recovering"}}

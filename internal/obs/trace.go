@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sor/internal/vclock"
 )
 
 // RequestID names one logical request end to end: minted once by the
@@ -79,7 +81,7 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.rec.Duration = time.Since(s.rec.Start)
+	s.rec.Duration = s.tracer.now().Sub(s.rec.Start)
 	s.tracer.record(s.rec)
 }
 
@@ -94,6 +96,29 @@ type Tracer struct {
 	next    int   // ring index of the next write
 	total   int64 // spans ever recorded
 	dropped int64 // spans overwritten before being read
+
+	// clock stamps span start times and durations; nil means the wall
+	// clock. Written once before spans flow (SetClock), read per span.
+	clock vclock.Clock
+}
+
+// SetClock substitutes the clock stamping span times. Call before any
+// spans are started; a simulation passes its *vclock.Virtual so trace
+// timestamps are virtual — and therefore identical across same-seed
+// runs.
+func (t *Tracer) SetClock(clk vclock.Clock) {
+	if t == nil {
+		return
+	}
+	t.clock = clk
+}
+
+// now reads the tracer's clock; nil tracer or nil clock means wall time.
+func (t *Tracer) now() time.Time {
+	if t == nil || t.clock == nil {
+		return time.Now()
+	}
+	return t.clock.Now()
 }
 
 // NewTracer returns a tracer holding up to capacity completed spans
@@ -125,7 +150,7 @@ func (t *Tracer) StartID(id RequestID, name string) *Span {
 	if t == nil || id == "" {
 		return nil
 	}
-	return &Span{tracer: t, rec: SpanRecord{RequestID: id, Name: name, Start: time.Now()}}
+	return &Span{tracer: t, rec: SpanRecord{RequestID: id, Name: name, Start: t.now()}}
 }
 
 func (t *Tracer) record(rec SpanRecord) {
@@ -181,6 +206,7 @@ func (t *Tracer) Stats() (total, dropped int64) {
 type Observer struct {
 	reg    *Registry
 	tracer *Tracer
+	clock  vclock.Clock // pending tracer clock, installed by NewObserver
 }
 
 // ObserverOption customises NewObserver.
@@ -197,12 +223,22 @@ func WithTracer(t *Tracer) ObserverOption {
 	return func(o *Observer) { o.tracer = t }
 }
 
+// WithClock stamps this observer's spans from clk instead of the wall
+// clock (simulations pass a *vclock.Virtual). Applied after WithTracer,
+// so it configures whichever tracer the observer ends up with.
+func WithClock(clk vclock.Clock) ObserverOption {
+	return func(o *Observer) { o.clock = clk }
+}
+
 // NewObserver returns an observer with a fresh registry and a
 // default-sized tracer unless options substitute either.
 func NewObserver(opts ...ObserverOption) *Observer {
 	o := &Observer{reg: NewRegistry(), tracer: NewTracer(DefaultSpanBuffer)}
 	for _, opt := range opts {
 		opt(o)
+	}
+	if o.clock != nil {
+		o.tracer.SetClock(o.clock)
 	}
 	return o
 }

@@ -26,6 +26,7 @@ import (
 type DataProcessor struct {
 	db     *store.Store
 	robust atomic.Bool
+	now    func() time.Time // stamps FeatureRow.Updated; injectable
 
 	mu    sync.RWMutex // guards the byApp map only, not the appData within
 	byApp map[string]*appData
@@ -66,7 +67,17 @@ type burstKey struct {
 
 // NewDataProcessor builds a processor over the store.
 func NewDataProcessor(db *store.Store) *DataProcessor {
-	return &DataProcessor{db: db, byApp: make(map[string]*appData)}
+	return &DataProcessor{db: db, now: time.Now, byApp: make(map[string]*appData)}
+}
+
+// SetNow substitutes the clock stamping FeatureRow.Updated (the server
+// passes its own injected clock through, so a simulation's feature rows
+// carry virtual timestamps and same-seed runs match byte for byte).
+// Call before the first Process; not synchronized against processing.
+func (d *DataProcessor) SetNow(now func() time.Time) {
+	if now != nil {
+		d.now = now
+	}
 }
 
 // SetRobust switches between the plain §IV-A extractors and the
@@ -312,7 +323,7 @@ func (d *DataProcessor) refreshApp(appID string) error {
 	if d.robust.Load() {
 		pipelines = robustPipelines
 	}
-	now := time.Now().UTC()
+	now := d.now().UTC()
 	for sensor, samples := range sensorsSnapshot {
 		pipeline, ok := pipelines[sensor]
 		if !ok || len(samples) == 0 {

@@ -192,6 +192,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.states = newShardedStates()
 	s.processor = NewDataProcessor(cfg.DB)
+	s.processor.SetNow(cfg.Now)
 	s.processor.SetRobust(cfg.RobustExtraction)
 	if cfg.Observer != nil {
 		s.obsv = cfg.Observer

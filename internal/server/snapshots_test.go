@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -166,7 +167,17 @@ func TestProfileCacheSingleFlight(t *testing.T) {
 	res := &ranking.Result{}
 	fill := func() (*ranking.Result, error) {
 		fills.Add(1)
-		time.Sleep(5 * time.Millisecond) // widen the in-flight window
+		return res, nil
+	}
+	// The concurrent phase needs the first fill to stay in flight until
+	// every other goroutine has reached getOrCompute — a condition, not a
+	// timed sleep: the fill parks on release, and the main goroutine only
+	// releases it after all callers have announced themselves.
+	var arrived atomic.Int64
+	release := make(chan struct{})
+	concFill := func() (*ranking.Result, error) {
+		fills.Add(1)
+		<-release
 		return res, nil
 	}
 	var wg sync.WaitGroup
@@ -174,12 +185,17 @@ func TestProfileCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, err := c.getOrCompute(1, "profile-a", fill)
+			arrived.Add(1)
+			got, err := c.getOrCompute(1, "profile-a", concFill)
 			if err != nil || got != res {
 				t.Errorf("got (%v, %v), want (%p, nil)", got, err, res)
 			}
 		}()
 	}
+	for arrived.Load() < 8 {
+		runtime.Gosched()
+	}
+	close(release)
 	wg.Wait()
 	if n := fills.Load(); n != 1 {
 		t.Fatalf("%d fills for one profile, want 1 (single-flight)", n)

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"sor/internal/vclock"
 )
 
 // AutoSnapshot periodically serializes the store to path (atomic rename)
@@ -15,23 +17,31 @@ import (
 // durability loop cmd/sord runs — the stand-in for PostgreSQL's own
 // persistence.
 func (s *Store) AutoSnapshot(ctx context.Context, path string, interval time.Duration) (<-chan struct{}, error) {
+	return s.AutoSnapshotClock(ctx, path, interval, nil)
+}
+
+// AutoSnapshotClock is AutoSnapshot with the pacing clock injected; a
+// nil clock means the wall clock. Tests pass a *vclock.Virtual and
+// advance it instead of sleeping through real ticker intervals.
+func (s *Store) AutoSnapshotClock(ctx context.Context, path string, interval time.Duration, clk vclock.Clock) (<-chan struct{}, error) {
 	if path == "" {
 		return nil, errors.New("store: empty snapshot path")
 	}
 	if interval <= 0 {
 		return nil, errors.New("store: snapshot interval must be positive")
 	}
+	clock := vclock.Or(clk)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		ticker := time.NewTicker(interval)
+		ticker := clock.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-ctx.Done():
 				_ = s.WriteSnapshot(path) // best-effort final write
 				return
-			case <-ticker.C:
+			case <-ticker.C():
 				_ = s.WriteSnapshot(path)
 			}
 		}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
+
+	"sor/internal/vclock"
 )
 
 func TestWriteSnapshotAndLoad(t *testing.T) {
@@ -69,14 +72,29 @@ func TestAutoSnapshotWritesPeriodicallyAndOnShutdown(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "auto.json")
 	s := New()
+	// Pace the loop with a virtual clock: one Advance fires exactly one
+	// tick regardless of machine load, so the test never depends on a
+	// real 10ms ticker landing on time.
+	clk := vclock.NewVirtual(time.Unix(0, 0))
 	ctx, cancel := context.WithCancel(context.Background())
-	done, err := s.AutoSnapshot(ctx, path, 10*time.Millisecond)
+	done, err := s.AutoSnapshotClock(ctx, path, time.Minute, clk)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.PutUser(User{ID: "periodic", Token: "t"}); err != nil {
 		t.Fatal(err)
 	}
+	// The loop goroutine creates its ticker asynchronously; advancing
+	// before that would leave the first tick scheduled past our target.
+	for {
+		if _, ok := clk.NextFire(); ok {
+			break
+		}
+		runtime.Gosched()
+	}
+	clk.Advance(time.Minute)
+	// The tick is delivered to the loop goroutine asynchronously; the
+	// write itself is the condition we wait on.
 	deadline := time.After(5 * time.Second)
 	for {
 		if _, err := os.Stat(path); err == nil {
@@ -85,7 +103,7 @@ func TestAutoSnapshotWritesPeriodicallyAndOnShutdown(t *testing.T) {
 		select {
 		case <-deadline:
 			t.Fatal("periodic snapshot never appeared")
-		case <-time.After(5 * time.Millisecond):
+		case <-time.After(time.Millisecond):
 		}
 	}
 	// Mutate, cancel, and verify the final snapshot includes the change.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sor/internal/obs"
+	"sor/internal/vclock"
 	"sor/internal/wal"
 )
 
@@ -50,6 +51,7 @@ type durableOptions struct {
 	sync             wal.SyncPolicy
 	segmentBytes     int64
 	metrics          *obs.Registry
+	clock            vclock.Clock
 }
 
 // DurableOption tunes a DurableBackend.
@@ -91,6 +93,13 @@ func WithMetrics(reg *obs.Registry) DurableOption {
 	return func(o *durableOptions) { o.metrics = reg }
 }
 
+// WithClock substitutes the clock pacing the checkpoint loop and the
+// WAL's background flusher (default: wall clock). Simulations pass a
+// *vclock.Virtual so checkpoints ride virtual time.
+func WithClock(clk vclock.Clock) DurableOption {
+	return func(o *durableOptions) { o.clock = clk }
+}
+
 // DurableBackend persists the store under one directory:
 //
 //	<dir>/snapshot.json   periodic checkpoint (atomic rename, fsynced)
@@ -125,6 +134,7 @@ func NewDurableBackend(dir string, opts ...DurableOption) *DurableBackend {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	o.clock = vclock.Or(o.clock)
 	if o.snapshotPath == "" {
 		o.snapshotPath = filepath.Join(dir, "snapshot.json")
 	}
@@ -164,6 +174,7 @@ func (b *DurableBackend) Open() (*Store, error) {
 			Sync:         b.opts.sync,
 			SegmentBytes: b.opts.segmentBytes,
 			Metrics:      walObsMetrics(b.opts.metrics),
+			Clock:        b.opts.clock,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("store: wal open: %w", err)
@@ -181,7 +192,7 @@ func (b *DurableBackend) Open() (*Store, error) {
 
 func (b *DurableBackend) run() {
 	defer close(b.done)
-	ticker := time.NewTicker(b.opts.snapshotInterval)
+	ticker := b.opts.clock.NewTicker(b.opts.snapshotInterval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -190,7 +201,7 @@ func (b *DurableBackend) run() {
 		case <-b.stop:
 			_ = b.Checkpoint() // flush the final state before Close returns
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			_ = b.Checkpoint()
 		}
 	}

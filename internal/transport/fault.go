@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"sor/internal/vclock"
 )
 
 // Fault-injection errors. Both unwrap to ErrInjected so callers can tell
@@ -44,6 +46,11 @@ type FaultConfig struct {
 	SpikeProb float64
 	// Spike is the injected latency per spike.
 	Spike time.Duration
+	// Clock backs timed partitions (PartitionFor) and latency spikes.
+	// Nil means the wall clock; a discrete-event simulation passes its
+	// *vclock.Virtual so spikes and partition healing consume virtual
+	// time.
+	Clock vclock.Clock
 }
 
 // FaultStats counts what the injector did.
@@ -60,13 +67,15 @@ type FaultStats struct {
 // and timed partitions. It wraps either side of the HTTP exchange — wrap
 // the client's http.RoundTripper with Transport, or the server's
 // http.Handler with Handler — and both wrappers share one seeded schedule
-// and one stats block. While disabled (SetEnabled(false)) it forwards
-// everything untouched, so a harness can bring a fleet up cleanly and
-// then pull the network out from under it.
+// and one stats block. A discrete-event harness skips HTTP entirely and
+// draws from the same schedule via Decide. While disabled
+// (SetEnabled(false)) it forwards everything untouched, so a harness can
+// bring a fleet up cleanly and then pull the network out from under it.
 type FaultInjector struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	cfg         FaultConfig
+	clock       vclock.Clock
 	enabled     bool
 	partitioned bool
 	stats       FaultStats
@@ -78,6 +87,7 @@ func NewFaultInjector(cfg FaultConfig) *FaultInjector {
 	return &FaultInjector{
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		cfg:     cfg,
+		clock:   vclock.Or(cfg.Clock),
 		enabled: true,
 	}
 }
@@ -104,11 +114,11 @@ func (fi *FaultInjector) HealPartition() {
 	fi.partitioned = false
 }
 
-// PartitionFor cuts the network now and heals it after d (a timed
-// partition). It returns a timer so callers can cancel the healing.
-func (fi *FaultInjector) PartitionFor(d time.Duration) *time.Timer {
+// PartitionFor cuts the network now and heals it after d of clock time (a
+// timed partition). It returns the healing timer so callers can cancel it.
+func (fi *FaultInjector) PartitionFor(d time.Duration) vclock.Timer {
 	fi.StartPartition()
-	return time.AfterFunc(d, fi.HealPartition)
+	return fi.clock.AfterFunc(d, fi.HealPartition)
 }
 
 // Partitioned reports whether the network is currently cut.
@@ -125,38 +135,49 @@ func (fi *FaultInjector) Stats() FaultStats {
 	return fi.stats
 }
 
-// verdict is one request's fate, drawn under the injector lock.
-type verdict struct {
-	dropRequest  bool
-	dropResponse bool
-	partitioned  bool
-	spike        time.Duration
+// Verdict is one request's fate, drawn from the seeded schedule. At most
+// one of DropRequest, DropResponse, Partitioned is set; Spike may
+// accompany DropResponse or a clean delivery.
+type Verdict struct {
+	DropRequest  bool
+	DropResponse bool
+	Partitioned  bool
+	Spike        time.Duration
 }
 
-// decide draws one request's fate from the seeded schedule.
-func (fi *FaultInjector) decide() verdict {
+// Delivered reports whether the request reaches the server (its effects
+// commit), regardless of whether the response makes it back.
+func (v Verdict) Delivered() bool { return !v.DropRequest && !v.Partitioned }
+
+// Acked reports whether the client sees a response.
+func (v Verdict) Acked() bool { return v.Delivered() && !v.DropResponse }
+
+// Decide draws one request's fate. The HTTP wrappers call this per
+// request; a discrete-event simulation calls it directly per simulated
+// message, so fleet runs and HTTP runs consume the identical schedule.
+func (fi *FaultInjector) Decide() Verdict {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	if !fi.enabled {
 		fi.stats.Requests++
-		return verdict{}
+		return Verdict{}
 	}
-	var v verdict
+	var v Verdict
 	fi.stats.Requests++
 	switch {
 	case fi.partitioned:
-		v.partitioned = true
+		v.Partitioned = true
 		fi.stats.Partitioned++
 	case fi.rng.Float64() < fi.cfg.RequestLoss:
-		v.dropRequest = true
+		v.DropRequest = true
 		fi.stats.RequestsLost++
 	case fi.rng.Float64() < fi.cfg.ResponseLoss:
-		v.dropResponse = true
+		v.DropResponse = true
 		fi.stats.ResponsesLost++
 	}
-	if !v.partitioned && !v.dropRequest &&
+	if !v.Partitioned && !v.DropRequest &&
 		fi.cfg.Spike > 0 && fi.rng.Float64() < fi.cfg.SpikeProb {
-		v.spike = fi.cfg.Spike
+		v.Spike = fi.cfg.Spike
 		fi.stats.Spikes++
 	}
 	return v
@@ -181,21 +202,23 @@ func (fi *FaultInjector) Transport(inner http.RoundTripper) http.RoundTripper {
 // the wire; a dropped response lets the server process the request fully,
 // then discards the reply on the way back.
 func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
-	v := t.fi.decide()
-	if v.partitioned || v.dropRequest {
+	v := t.fi.Decide()
+	if v.Partitioned || v.DropRequest {
 		// Per the RoundTripper contract the body is consumed even on error.
 		if req.Body != nil {
 			_ = req.Body.Close()
 		}
-		if v.partitioned {
+		if v.Partitioned {
 			return nil, ErrPartitioned
 		}
 		return nil, ErrRequestLost
 	}
-	if v.spike > 0 {
+	if v.Spike > 0 {
+		spike := t.fi.clock.NewTimer(v.Spike)
 		select {
-		case <-time.After(v.spike):
+		case <-spike.C():
 		case <-req.Context().Done():
+			spike.Stop()
 			return nil, req.Context().Err()
 		}
 	}
@@ -203,7 +226,7 @@ func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v.dropResponse {
+	if v.DropResponse {
 		// The server has already committed the request's effects; make the
 		// client experience a network failure after the fact.
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -228,18 +251,20 @@ func (fi *FaultInjector) Handler(inner http.Handler) http.Handler {
 }
 
 func (h *faultHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	v := h.fi.decide()
-	if v.partitioned || v.dropRequest {
+	v := h.fi.Decide()
+	if v.Partitioned || v.DropRequest {
 		panic(http.ErrAbortHandler)
 	}
-	if v.spike > 0 {
+	if v.Spike > 0 {
+		spike := h.fi.clock.NewTimer(v.Spike)
 		select {
-		case <-time.After(v.spike):
+		case <-spike.C():
 		case <-r.Context().Done():
+			spike.Stop()
 			return
 		}
 	}
-	if v.dropResponse {
+	if v.DropResponse {
 		h.inner.ServeHTTP(&discardResponseWriter{header: make(http.Header)}, r)
 		panic(http.ErrAbortHandler)
 	}

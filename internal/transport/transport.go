@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sor/internal/obs"
+	"sor/internal/vclock"
 	"sor/internal/wire"
 )
 
@@ -137,6 +138,7 @@ type Client struct {
 	backoff    time.Duration
 	backoffCap time.Duration
 	onRetry    func(attempt int, delay time.Duration, err error)
+	clock      vclock.Clock
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
@@ -215,6 +217,13 @@ func WithObserver(o *obs.Observer) ClientOption {
 	return func(c *Client) { c.obsv = o }
 }
 
+// WithClock substitutes the clock backing retry backoff sleeps and send
+// latency measurement. Simulations pass a *vclock.Virtual so backoff
+// consumes virtual, not wall, time; the default is the wall clock.
+func WithClock(clk vclock.Clock) ClientOption {
+	return func(c *Client) { c.clock = clk }
+}
+
 // NewClient creates a client for a server base URL (e.g.
 // "http://127.0.0.1:8080").
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -231,6 +240,7 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	c.clock = vclock.Or(c.clock)
 	if c.jitter == nil {
 		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
@@ -311,23 +321,25 @@ func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error)
 			c.retryCount.Add(1)
 			c.met.retries.Inc()
 			c.met.backoffMs.Observe(float64(delay) / float64(time.Millisecond))
+			wake := c.clock.NewTimer(delay)
 			select {
-			case <-time.After(delay):
+			case <-wake.C():
 			case <-ctx.Done():
+				wake.Stop()
 				return nil, fmt.Errorf("transport: cancelled: %w", ctx.Err())
 			}
 		}
 		var span *obs.Span
 		var t0 time.Time
 		if c.obsv != nil {
-			t0 = time.Now()
+			t0 = c.clock.Now()
 			span = c.obsv.StartSpan(ctx, "client.send")
 			span.Annotate("type", m.Type().String())
 			span.Annotate("attempt", fmt.Sprintf("%d", attempt+1))
 		}
 		resp, err := c.post(ctx, body)
 		if c.obsv != nil {
-			c.met.sendMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+			c.met.sendMs.Observe(float64(c.clock.Since(t0)) / float64(time.Millisecond))
 			if err != nil {
 				span.Annotate("error", err.Error())
 			}

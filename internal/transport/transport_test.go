@@ -183,24 +183,34 @@ func TestClientGivesUpAfterRetries(t *testing.T) {
 }
 
 func TestClientContextCancellation(t *testing.T) {
+	// The handler parks on a test-owned channel — a condition, not a
+	// timed sleep, so the test never races a timer. (Parking on
+	// r.Context().Done() would deadlock: the server only watches for the
+	// client disconnect once the request body has been consumed.)
+	arrived := make(chan struct{})
+	release := make(chan struct{})
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		time.Sleep(5 * time.Second)
+		close(arrived) // single attempt (WithRetries(0)), so this runs once
+		<-release
 	}))
 	defer srv.Close()
 	c, err := NewClient(srv.URL, WithRetries(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	start := time.Now()
-	_, err = c.Send(ctx, &wire.Ping{Token: "x"})
-	if err == nil {
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Send(ctx, &wire.Ping{Token: "x"})
+		done <- err
+	}()
+	<-arrived // the request is in flight on the server before we cancel
+	cancel()
+	if err := <-done; err == nil {
 		t.Fatal("expected cancellation")
 	}
-	if time.Since(start) > 2*time.Second {
-		t.Fatal("cancellation too slow")
-	}
+	close(release) // unpark the handler so srv.Close can reap the connection
 }
 
 func TestPushSubscribeNotify(t *testing.T) {

@@ -1,0 +1,84 @@
+// Package vclock provides an injectable clock: a Real implementation
+// backed by the time package, and a deterministic Virtual implementation
+// for discrete-event simulation where time advances only when the test
+// or simulation driver says so.
+//
+// Components that sleep, tick, or timestamp take a Clock instead of
+// calling the time package directly. Production wiring passes Real{}
+// (or leaves the option unset — every constructor defaults to Real);
+// simulations and tests pass a *Virtual and drive it explicitly with
+// Advance/AdvanceTo, or let blocked Sleepers auto-advance it (see
+// Virtual).
+package vclock
+
+import "time"
+
+// Timer mirrors the parts of *time.Timer components use: a channel that
+// delivers the fire time, and Stop to cancel. Reset is deliberately
+// omitted — every call site in this codebase creates fresh timers.
+type Timer interface {
+	// C returns the channel on which the fire time is delivered.
+	C() <-chan time.Time
+	// Stop cancels the timer. It reports whether the call stopped the
+	// timer before it fired, with the same caveats as time.Timer.Stop.
+	Stop() bool
+}
+
+// Ticker mirrors the parts of *time.Ticker components use.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Clock abstracts the time package for injection. All methods match the
+// semantics of their time-package counterparts.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+	NewTimer(d time.Duration) Timer
+	NewTicker(d time.Duration) Ticker
+	// AfterFunc runs f on its own goroutine (Real) or synchronously on
+	// the advancing goroutine (Virtual) once d has elapsed.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Since is Now().Sub(t), for duration measurement.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the production Clock: every method delegates to the time
+// package. The zero value is ready to use.
+type Real struct{}
+
+func (Real) Now() time.Time                         { return time.Now() }
+func (Real) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (Real) Since(t time.Time) time.Duration        { return time.Since(t) }
+
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }
+
+// Or returns c unless it is nil, in which case it returns Real{}. Every
+// constructor that accepts an optional Clock funnels through this so a
+// nil option means "wall clock".
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real{}
+	}
+	return c
+}

@@ -39,6 +39,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"sor/internal/vclock"
 )
 
 // SyncPolicy selects when Append acknowledges durability.
@@ -120,6 +122,12 @@ type Options struct {
 	GroupWindow time.Duration
 	// Metrics receives counter callbacks.
 	Metrics Metrics
+	// Clock backs the SyncOS background flusher's cadence. Nil means the
+	// wall clock; simulations pass a *vclock.Virtual so flush ticks ride
+	// virtual time. The group-commit linger window deliberately stays on
+	// the wall clock — it is a sub-millisecond performance window paced
+	// against real disk latency, not simulated event time.
+	Clock vclock.Clock
 }
 
 const (
@@ -217,6 +225,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.GroupWindow <= 0 && opts.Sync == SyncGrouped {
 		opts.GroupWindow = defaultGroupWindow
 	}
+	opts.Clock = vclock.Or(opts.Clock)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -547,13 +556,13 @@ func (l *Log) setErr(err error) {
 // runFlusher periodically fsyncs under SyncOS, bounding the machine-crash
 // window to roughly one FlushInterval.
 func (l *Log) runFlusher() {
-	t := time.NewTicker(l.opts.FlushInterval)
+	t := l.opts.Clock.NewTicker(l.opts.FlushInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-l.flushStop:
 			return
-		case <-t.C:
+		case <-t.C():
 			if l.Sync() != nil {
 				return
 			}
