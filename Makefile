@@ -24,10 +24,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# One iteration of every benchmark — catches bit-rot without the cost of
-# a real measurement run.
+# One iteration of every benchmark (catches bit-rot, including the
+# 200/2k/10k columnar scaling table) plus the rank hot-path allocation
+# gate — a cached-hit rank query must stay O(1) allocations. -short
+# skips only the ~4-minute 2 000-place monolithic-baseline solve; the
+# 200-place baseline point still runs.
 bench-smoke:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x -short ./...
+	$(GO) test -count=1 -run 'TestRankCachedHitAllocs|TestRankTopKBoundsResponse' -v ./internal/server/
 
 # 10-second fuzz smokes over the two decoders that face untrusted bytes:
 # the wire decoder (open network) and the WAL record decoder (disk after

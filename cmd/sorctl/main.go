@@ -135,14 +135,18 @@ func rank(ctx context.Context, serverURL string, args []string) error {
 	fs := flag.NewFlagSet("rank", flag.ContinueOnError)
 	category := fs.String("category", world.CategoryCoffee, "place category")
 	profileName := fs.String("profile", "", "built-in profile name (alice|bob|chris|david|emma) or empty for defaults")
+	topK := fs.Int("topk", 0, "return only the best K places (0 = full ranking)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *topK < 0 {
+		return fmt.Errorf("-topk must be >= 0, got %d", *topK)
 	}
 	client, err := newClient(serverURL)
 	if err != nil {
 		return err
 	}
-	req := &wire.RankRequest{Category: *category, UserID: *profileName}
+	req := &wire.RankRequest{Category: *category, UserID: *profileName, TopK: *topK}
 	if *profileName != "" {
 		found := false
 		for _, p := range sor.BuiltinProfiles(*category) {

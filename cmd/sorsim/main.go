@@ -52,6 +52,9 @@ func run() error {
 	partition := flag.Duration("partition", time.Hour, "partition duration for -fleet (0 = none)")
 	verify := flag.Bool("verify", false, "with -fleet: run the same seed twice and require identical digests")
 	coverageCurve := flag.Bool("coverage", false, "with -fleet: print the hourly coverage curve")
+	rankPlaces := flag.Int("rank-places", 0, "with -fleet: seed a static rank category of this many places and serve bounded rank queries across the virtual day (0 = off; the columnar read-path soak uses 10000)")
+	rankQueries := flag.Int("rank-queries", 96, "with -fleet -rank-places: rank queries spread over the period")
+	rankTopK := flag.Int("rank-topk", 10, "with -fleet -rank-places: response bound per rank query")
 	flag.Parse()
 
 	if *fleet {
@@ -67,6 +70,9 @@ func run() error {
 			SpikeProb:    0.02,
 			Spike:        time.Second,
 			PartitionFor: *partition,
+			RankPlaces:   *rankPlaces,
+			RankQueries:  *rankQueries,
+			RankTopK:     *rankTopK,
 		}, *verify, *coverageCurve)
 	}
 
@@ -139,6 +145,10 @@ func runFleet(cfg fleetsim.Config, verify, coverage bool) error {
 	if coverage {
 		fmt.Println("\nhourly coverage (acked measurement instants):")
 		fmt.Print(res.CoverageTable())
+	}
+	if len(res.Rank) > 0 {
+		fmt.Println("\nrank-latency curve (virtual hour → wall serving latency):")
+		fmt.Print(res.RankTable())
 	}
 	if verify {
 		again, err := fleetsim.Run(cfg)

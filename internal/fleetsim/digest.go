@@ -122,6 +122,16 @@ func (r *Result) writeCanonical(w io.Writer) {
 	for _, p := range r.Coverage {
 		fmt.Fprintf(w, "coverage hour=%d acked=%d cum=%d\n", p.Hour, p.Acked, p.CumAcked)
 	}
+	if c.RankPlaces > 0 {
+		fmt.Fprintf(w, "cfg rank places=%d queries=%d topk=%d\n",
+			c.RankPlaces, c.RankQueries, c.RankTopK)
+	}
+	// Rank orders are digested; the wall-clock latency deliberately is not
+	// (it is the one nondeterministic field, like the latency histograms).
+	for _, s := range r.Rank {
+		fmt.Fprintf(w, "rank hour=%d places=%d order=%s\n",
+			s.Hour, s.Places, strings.Join(s.Order, ","))
+	}
 	if r.State == nil {
 		return
 	}
@@ -178,7 +188,45 @@ func (r *Result) Summary() string {
 		fmt.Fprintf(&b, "state: %d uploads stored, %d folded, %d feature rows\n",
 			r.State.UploadsStored, r.State.Folded, len(r.State.Features))
 	}
+	if len(r.Rank) > 0 {
+		w := rankWallStats(r.Rank)
+		fmt.Fprintf(&b, "rank: %d top-%d queries over %d places, wall p50 %s  p95 %s  max %s\n",
+			len(r.Rank), r.Cfg.RankTopK, r.Cfg.RankPlaces,
+			w.P50, w.P95, w.Max)
+	}
 	fmt.Fprintf(&b, "digest %s\n", r.Digest)
+	return b.String()
+}
+
+// rankWallStats summarizes the rank samples' wall latencies.
+func rankWallStats(samples []RankSample) LatencyStats {
+	lat := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		lat[i] = s.Wall
+	}
+	return summarizeLatency(lat, 0, 0)
+}
+
+// RankTable renders the virtual-time rank-latency curve: for each virtual
+// hour with queries, the wall-clock serving latency range. Virtual time
+// places the queries; the latencies themselves are wall measurements of
+// the real read path (and are therefore not part of the digest).
+func (r *Result) RankTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s  %7s  %12s  %12s  %12s\n", "hour", "queries", "min", "median", "max")
+	i := 0
+	for i < len(r.Rank) {
+		j := i
+		var lats []time.Duration
+		for j < len(r.Rank) && r.Rank[j].Hour == r.Rank[i].Hour {
+			lats = append(lats, r.Rank[j].Wall)
+			j++
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		fmt.Fprintf(&b, "%6d  %7d  %12s  %12s  %12s\n",
+			r.Rank[i].Hour, len(lats), lats[0], lats[len(lats)/2], lats[len(lats)-1])
+		i = j
+	}
 	return b.String()
 }
 

@@ -95,6 +95,20 @@ type Config struct {
 	// up (default 60 — with half-jitter backoff the retry budget then
 	// provably outlasts the default one-hour partition).
 	MaxAttempts int
+
+	// RankPlaces, when > 0, seeds a dedicated fully-sensed rank category
+	// of that many places at the epoch and schedules RankQueries bounded
+	// rank queries spread across the virtual period — the read-path
+	// counterpart of the ingest soak. The ranked orders join the
+	// determinism digest; the wall-clock serving latencies are reported as
+	// a virtual-time curve but excluded from the digest (wall time is the
+	// one legitimately nondeterministic signal, as with histograms).
+	RankPlaces int
+	// RankQueries is how many rank queries the run schedules (default 96 —
+	// one per quarter hour of a virtual day).
+	RankQueries int
+	// RankTopK bounds each query's response (default 10).
+	RankTopK int
 }
 
 func (c *Config) applyDefaults() {
@@ -128,6 +142,26 @@ func (c *Config) applyDefaults() {
 	if c.PartitionFor > 0 && c.PartitionAt <= 0 {
 		c.PartitionAt = c.Period / 4
 	}
+	if c.RankPlaces > 0 {
+		if c.RankQueries <= 0 {
+			c.RankQueries = 96
+		}
+		if c.RankTopK <= 0 {
+			c.RankTopK = 10
+		}
+	}
+}
+
+// RankSample is one scheduled rank query's outcome.
+type RankSample struct {
+	// Hour is the query's virtual hour since the epoch.
+	Hour int
+	// Places is the response length (min(TopK, category size)).
+	Places int
+	// Order is the ranked place list, best first — deterministic, digested.
+	Order []string
+	// Wall is the wall-clock serving latency, excluded from the digest.
+	Wall time.Duration
 }
 
 // CoveragePoint is one bucket of the coverage timeline: how many
@@ -164,6 +198,8 @@ type Result struct {
 	Fault    transport.FaultStats
 	Latency  LatencyStats
 	Coverage []CoveragePoint
+	// Rank is the rank-scenario sample list, empty unless RankPlaces > 0.
+	Rank []RankSample
 
 	// VirtualEnd is the clock reading when the run finished.
 	VirtualEnd time.Time
@@ -189,7 +225,7 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() interface{} {
 	old := *h
@@ -236,9 +272,103 @@ type driver struct {
 
 	res       Result
 	latencies []time.Duration
-	ackedAtts int            // attempts summed over acked reports
-	coverage  map[int]int    // hour → instants acked
+	ackedAtts int         // attempts summed over acked reports
+	coverage  map[int]int // hour → instants acked
 	apps      []*appShard
+}
+
+// fleetRankCategory is the rank scenario's dedicated category — its
+// places are seeded once at the epoch and never written by the fleet, so
+// the ranked orders are a pure function of the seed.
+const fleetRankCategory = "fleet-rank"
+
+// rankPlaceName names the rank category's places.
+func rankPlaceName(p int) string { return fmt.Sprintf("rank-place-%05d", p) }
+
+// seedRankCategory creates the rank category's applications and fully
+// sensed feature rows from a latent-quality model: each place has an
+// underlying quality and every feature observes it with noise of a couple
+// of ranks, the correlated regime the columnar read path's clean-cut
+// decomposition feeds on (mirrors the data model of the columnar
+// benchmarks).
+func (d *driver) seedRankCategory() error {
+	n := d.cfg.RankPlaces
+	rng := rand.New(rand.NewSource(d.cfg.Seed + 2))
+	features := fleetRankFeatures()
+	for p := 0; p < n; p++ {
+		place := rankPlaceName(p)
+		if err := d.srv.CreateApp(store.Application{
+			ID:        fmt.Sprintf("rank-app-%05d", p),
+			Creator:   "fleetsim",
+			Category:  fleetRankCategory,
+			Place:     place,
+			Lat:       41.0 + float64(p%1000)*0.01,
+			Lon:       -80.0 + float64(p/1000)*0.01,
+			RadiusM:   100,
+			Script:    fleetScript,
+			PeriodSec: int64(d.cfg.Period / time.Second),
+		}); err != nil {
+			return err
+		}
+		u := float64(p) / float64(n)
+		const jitterRanks = 2.0
+		noise := func(spread float64) float64 {
+			return (rng.Float64()*2 - 1) * jitterRanks * spread / float64(n)
+		}
+		vals := [4]float64{
+			73 + u*20 + noise(20),
+			1000 - u*500 + noise(500),
+			30 + u*40 + noise(40),
+			-40 - u*30 + noise(30),
+		}
+		for j, f := range features {
+			if err := d.srv.DB().UpsertFeature(store.FeatureRow{
+				Category: fleetRankCategory, Place: place, Feature: f.Name,
+				Value: vals[j], Samples: 3, Updated: Epoch,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rankQuery issues one bounded rank query through the wire codec and
+// records its outcome.
+func (d *driver) rankQuery(q int) {
+	req := &wire.RankRequest{
+		UserID:   "fleet-ranker",
+		Category: fleetRankCategory,
+		TopK:     d.cfg.RankTopK,
+		Prefs: []wire.PrefEntry{
+			// Tiny per-query perturbation of the preferred temperature:
+			// ranked order is stable but the profile-cache key rotates, so
+			// the curve measures real bounded solves, not only cache hits.
+			{Feature: "temperature", Kind: int(ranking.PrefValue),
+				Value: 73 + float64(q%16)*1e-9, Weight: 3},
+			{Feature: "noise", Kind: int(ranking.PrefMin), Weight: 4},
+		},
+	}
+	wall := time.Now()
+	resp, err := d.roundTrip(req)
+	elapsed := time.Since(wall)
+	if err != nil {
+		panic(fmt.Sprintf("fleetsim: rank query %d: %v", q, err))
+	}
+	ranked, ok := resp.(*wire.RankResponse)
+	if !ok {
+		panic(fmt.Sprintf("fleetsim: rank query %d refused: %+v", q, resp))
+	}
+	sample := RankSample{
+		Hour:   int(d.clk.Now().Sub(Epoch) / time.Hour),
+		Places: len(ranked.Ranked),
+		Order:  make([]string, len(ranked.Ranked)),
+		Wall:   elapsed,
+	}
+	for i, rp := range ranked.Ranked {
+		sample.Order[i] = rp.Place
+	}
+	d.res.Rank = append(d.res.Rank, sample)
 }
 
 func (d *driver) push(at time.Time, fn func()) {
@@ -431,12 +561,16 @@ func Run(cfg Config) (*Result, error) {
 
 	d.obsv = obs.NewObserver(obs.WithClock(d.clk))
 	srv, err := server.New(server.Config{
-		DB:      store.New(),
-		Now:     d.clk.Now,
-		Step:    cfg.Step,
-		Kernel:  coverage.GaussianKernel{Sigma: cfg.Step.Seconds() / 2},
-		Catalog: fleetCatalog(),
-		Observer: d.obsv,
+		DB:     store.New(),
+		Now:    d.clk.Now,
+		Step:   cfg.Step,
+		Kernel: coverage.GaussianKernel{Sigma: cfg.Step.Seconds() / 2},
+		// Rank snapshots may serve up to a quarter hour of virtual
+		// staleness before re-reading the store — the rank category is
+		// static after seeding, so this only bounds rebuild frequency.
+		RankRefresh: 15 * time.Minute,
+		Catalog:     fleetCatalog(),
+		Observer:    d.obsv,
 	})
 	if err != nil {
 		return nil, err
@@ -510,6 +644,19 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// The rank scenario: seed the static category at the epoch and spread
+	// the bounded queries evenly across the period.
+	if cfg.RankPlaces > 0 {
+		if err := d.seedRankCategory(); err != nil {
+			return nil, err
+		}
+		for q := 0; q < cfg.RankQueries; q++ {
+			q := q
+			at := Epoch.Add(time.Duration(q+1) * cfg.Period / time.Duration(cfg.RankQueries+1))
+			d.push(at, func() { d.rankQuery(q) })
+		}
+	}
+
 	// The event loop: strictly ordered by (virtual time, creation seq).
 	// AdvanceTo fires any clock timers due first (the partition's heal),
 	// so timer effects and event effects interleave deterministically.
@@ -553,7 +700,9 @@ func Run(cfg Config) (*Result, error) {
 	return &d.res, nil
 }
 
-// fleetCatalog ranks the two features the fleet's phones report.
+// fleetCatalog ranks the two features the fleet's phones report, plus the
+// rank scenario's dedicated category (harmless when unused — it has no
+// applications unless RankPlaces > 0).
 func fleetCatalog() map[string][]ranking.Feature {
 	return map[string][]ranking.Feature{
 		world.CategoryCoffee: {
@@ -562,6 +711,22 @@ func fleetCatalog() map[string][]ranking.Feature {
 			{Name: "wifi", Unit: "dBm",
 				Default: ranking.Preference{Kind: ranking.PrefMax}},
 		},
+		fleetRankCategory: fleetRankFeatures(),
+	}
+}
+
+// fleetRankFeatures is the rank category's four-feature catalog, matching
+// the columnar benchmarks' shape.
+func fleetRankFeatures() []ranking.Feature {
+	return []ranking.Feature{
+		{Name: "temperature", Unit: "°F",
+			Default: ranking.Preference{Kind: ranking.PrefValue, Value: 73, Weight: 3}},
+		{Name: "brightness", Unit: "lux",
+			Default: ranking.Preference{Kind: ranking.PrefMax, Weight: 2}},
+		{Name: "noise", Unit: "",
+			Default: ranking.Preference{Kind: ranking.PrefMin, Weight: 4}},
+		{Name: "wifi", Unit: "dBm",
+			Default: ranking.Preference{Kind: ranking.PrefMax, Weight: 1}},
 	}
 }
 

@@ -254,3 +254,57 @@ func TestFleetPartitionShowsInLatency(t *testing.T) {
 			calm.Latency.Max, repro(t, seed))
 	}
 }
+
+// TestFleetRankScenario runs the rank read-path soak alongside the
+// chaotic ingest fleet: bounded rank queries over a seeded category,
+// deterministic ranked orders (same seed ⇒ same digest, including the
+// rank lines), and a sane latency curve shape.
+func TestFleetRankScenario(t *testing.T) {
+	seed := soakSeed(t, 11)
+	cfg := chaoticConfig(seed, 100)
+	cfg.RankPlaces = 400
+	cfg.RankQueries = 24
+	cfg.RankTopK = 10
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run A: %v\n%s", err, repro(t, seed))
+	}
+	if len(a.Rank) != cfg.RankQueries {
+		t.Fatalf("got %d rank samples, want %d", len(a.Rank), cfg.RankQueries)
+	}
+	hours := map[int]bool{}
+	for i, s := range a.Rank {
+		if s.Places != cfg.RankTopK {
+			t.Fatalf("sample %d returned %d places, want %d", i, s.Places, cfg.RankTopK)
+		}
+		if len(s.Order) != s.Places {
+			t.Fatalf("sample %d order has %d entries, places=%d", i, len(s.Order), s.Places)
+		}
+		if s.Wall <= 0 {
+			t.Fatalf("sample %d has non-positive wall latency %v", i, s.Wall)
+		}
+		hours[s.Hour] = true
+	}
+	if len(hours) < 12 {
+		t.Fatalf("queries landed in only %d virtual hours — not spread over the day", len(hours))
+	}
+	// The category is static and the profile rotation is tiny, so the
+	// ranked leader must be stable across the day.
+	for i := 1; i < len(a.Rank); i++ {
+		if a.Rank[i].Order[0] != a.Rank[0].Order[0] {
+			t.Fatalf("sample %d leader %s != sample 0 leader %s over a static category",
+				i, a.Rank[i].Order[0], a.Rank[0].Order[0])
+		}
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run B: %v\n%s", err, repro(t, seed))
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different digests with rank scenario:\n%s\n%s",
+			FirstDiff(a, b), repro(t, seed))
+	}
+	if a.RankTable() == "" {
+		t.Fatal("empty rank table")
+	}
+}

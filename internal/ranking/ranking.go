@@ -20,9 +20,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"sor/internal/rankagg"
 )
+
+// tiePool recycles the tie-group scratch slice Rank needs per call; the
+// groups never outlive the call, so pooling removes one per-query alloc.
+var tiePool = sync.Pool{New: func() interface{} { s := make([]int, 0, 64); return &s }}
 
 // PrefKind states how a user's preference for a feature is expressed.
 type PrefKind int
@@ -159,6 +164,14 @@ type Result struct {
 	KemenyCost float64
 	// Weights are the effective per-feature weights used.
 	Weights map[string]int
+	// Solved is how many leading ranks of Order/OrderIdx were exactly
+	// determined. The full Rank path always solves everything; the
+	// columnar top-k path stops at the first clean cut covering the
+	// requested k (so Solved ≥ min(k, n)).
+	Solved int
+	// WarmBlocks counts aggregation blocks served from a certified
+	// warm-start hint (columnar path diagnostics).
+	WarmBlocks int
 }
 
 // Ranker ranks the places of one category. Construction presorts every
@@ -339,13 +352,17 @@ func (r *Ranker) Rank(prof Profile) (*Result, error) {
 		Weights:  make([]float64, 0, mFeat),
 	}
 	orderFlat := make([]int, n*mFeat)
-	tie := make([]int, 0, n)
+	tie := tiePool.Get().(*[]int)
+	if cap(*tie) < n {
+		*tie = make([]int, 0, n)
+	}
 	for j := 0; j < mFeat; j++ {
-		order := r.individualOrder(j, prefVals[j], orderFlat[j*n:j*n:(j+1)*n], tie)
+		order := r.individualOrder(j, prefVals[j], orderFlat[j*n:j*n:(j+1)*n], *tie)
 		individual[r.matrix.Features[j].Name] = order
 		collection.Rankings = append(collection.Rankings, rankagg.Ranking(order))
 		collection.Weights = append(collection.Weights, weights[j])
 	}
+	tiePool.Put(tie)
 
 	// Degenerate but legal: all weights zero → any ranking is optimal;
 	// return the identity order explicitly rather than an arbitrary
@@ -359,8 +376,13 @@ func (r *Ranker) Rank(prof Profile) (*Result, error) {
 			final[i] = i
 		}
 	} else {
+		// Step 3 runs the clean-cut block decomposition — the same exact
+		// optimum as rankagg.FootruleAggregate, but solving one matching
+		// per clean-cut block so the columnar top-k path (which solves
+		// only the prefix blocks) is bit-identical to this full path over
+		// the ranks it serves.
 		var err error
-		final, footCost, err = rankagg.FootruleAggregate(collection)
+		final, footCost, err = rankagg.FootruleAggregateBlocks(collection)
 		if err != nil {
 			return nil, err
 		}
@@ -377,6 +399,7 @@ func (r *Ranker) Rank(prof Profile) (*Result, error) {
 		FootruleCost: footCost,
 		KemenyCost:   kemeny,
 		Weights:      weightByName,
+		Solved:       n,
 	}
 	res.Order = make([]string, n)
 	for pos, idx := range final {

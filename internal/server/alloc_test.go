@@ -1,0 +1,113 @@
+package server
+
+// Allocation gate for the rank hot path. A cached-hit rank query must
+// cost a small constant number of allocations — the profile map, the
+// canonical key string, and the wire response — independent of category
+// size. The scratch that used to dominate (order/tie slices in the
+// ranker, the profileKey buffer) is pooled; a regression that
+// reintroduces per-place allocation on the hit path fails this gate
+// loudly rather than showing up as a latency drift in a benchmark
+// nobody reruns.
+
+import (
+	"testing"
+	"time"
+
+	"sor/internal/wire"
+	"sor/internal/world"
+)
+
+// rankCachedHitAllocBudget is the gate. The measured cost today is ~5
+// allocations (request profile map, key string, response struct, ranked
+// slice); the budget leaves headroom for innocuous churn while still
+// catching any O(places) regression.
+const rankCachedHitAllocBudget = 16
+
+func TestRankCachedHitAllocs(t *testing.T) {
+	s, clock := newTestServer(t)
+	for i := 0; i < 4; i++ {
+		if err := s.CreateApp(concApp(i)); err != nil {
+			t.Fatal(err)
+		}
+		task := concJoin(t, s, i, "alloc-user")
+		up := reportWithReadings(task, concApp(i).ID, "alloc-user", clock.Now(), float64(10+i))
+		if _, err := s.Handler()(nil, up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := s.Handler()
+	req := &wire.RankRequest{
+		UserID: "alloc-user", Category: world.CategoryCoffee, TopK: 2,
+		Prefs: []wire.PrefEntry{
+			{Feature: "temperature", Kind: 1, Value: 11, Weight: 3},
+			{Feature: "noise", Kind: 2, Weight: 2},
+		},
+	}
+	// Prime the snapshot and the profile cache.
+	if _, err := h(nil, req); err != nil {
+		t.Fatal(err)
+	}
+	_ = clock // virtual clock frozen: the snapshot stays fresh throughout
+
+	avg := testing.AllocsPerRun(200, func() {
+		resp, err := h(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, ok := resp.(*wire.RankResponse); !ok || len(r.Ranked) != 2 {
+			t.Fatalf("unexpected response %+v", resp)
+		}
+	})
+	if avg > rankCachedHitAllocBudget {
+		t.Fatalf("cached-hit rank query costs %.1f allocs, budget %d", avg, rankCachedHitAllocBudget)
+	}
+	t.Logf("cached-hit rank query: %.1f allocs (budget %d)", avg, rankCachedHitAllocBudget)
+}
+
+// TestRankTopKBoundsResponse pins the wire-visible contract of the TopK
+// knob: the response is truncated to k places, and k larger than the
+// category degrades to the full ranking.
+func TestRankTopKBoundsResponse(t *testing.T) {
+	s, clock := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		if err := s.CreateApp(concApp(i)); err != nil {
+			t.Fatal(err)
+		}
+		task := concJoin(t, s, i, "topk-user")
+		up := reportWithReadings(task, concApp(i).ID, "topk-user", clock.Now().Add(time.Duration(i)*time.Second), float64(50-i))
+		if _, err := s.Handler()(nil, up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := s.Handler()
+	full, err := h(nil, &wire.RankRequest{UserID: "topk-user", Category: world.CategoryCoffee,
+		Prefs: []wire.PrefEntry{{Feature: "temperature", Kind: 2, Weight: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullResp := full.(*wire.RankResponse)
+	if len(fullResp.Ranked) != 5 {
+		t.Fatalf("full rank returned %d places, want 5", len(fullResp.Ranked))
+	}
+	for _, k := range []int{1, 3, 9} {
+		resp, err := h(nil, &wire.RankRequest{UserID: "topk-user", Category: world.CategoryCoffee, TopK: k,
+			Prefs: []wire.PrefEntry{{Feature: "temperature", Kind: 2, Weight: 3}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := resp.(*wire.RankResponse)
+		want := k
+		if want > 5 {
+			want = 5
+		}
+		if len(r.Ranked) != want {
+			t.Fatalf("TopK=%d returned %d places, want %d", k, len(r.Ranked), want)
+		}
+		// The bounded prefix must agree with the full ranking.
+		for i := range r.Ranked {
+			if r.Ranked[i].Place != fullResp.Ranked[i].Place {
+				t.Fatalf("TopK=%d rank %d: %s != full %s", k, i, r.Ranked[i].Place, fullResp.Ranked[i].Place)
+			}
+		}
+	}
+}

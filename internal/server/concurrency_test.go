@@ -9,6 +9,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -366,8 +367,15 @@ func TestSnapshotEpochsUnderConcurrentIngest(t *testing.T) {
 			defer wg.Done()
 			lastEpoch := int64(-1)
 			for i := 0; i < roundsPerRanker; i++ {
+				// Alternate bounded and unbounded queries so incremental
+				// (column-merged) epochs serve the top-k path under fire.
+				topK := 0
+				if i%3 == 1 {
+					topK = 1 + r%apps
+				}
 				resp, err := h(nil, &wire.RankRequest{
 					UserID: fmt.Sprintf("epoch-ranker-%d", r), Category: world.CategoryCoffee,
+					TopK: topK,
 				})
 				if err != nil {
 					errs <- err
@@ -383,12 +391,24 @@ func TestSnapshotEpochsUnderConcurrentIngest(t *testing.T) {
 					return
 				}
 				lastEpoch = ranked.Epoch
+				if topK > 0 && len(ranked.Ranked) > topK {
+					errs <- fmt.Errorf("TopK=%d returned %d places", topK, len(ranked.Ranked))
+					return
+				}
 				seen := make(map[string]bool, len(ranked.Ranked))
 				for _, row := range ranked.Ranked {
 					if len(row.FeatureValues) != len(ranked.Features) {
 						errs <- fmt.Errorf("torn row: %d values for %d features",
 							len(row.FeatureValues), len(ranked.Features))
 						return
+					}
+					for _, v := range row.FeatureValues {
+						// A freed or torn column arena would surface as
+						// garbage here; every served value must be finite.
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							errs <- fmt.Errorf("non-finite feature value %v for %s", v, row.Place)
+							return
+						}
 					}
 					if seen[row.Place] {
 						errs <- fmt.Errorf("place %s ranked twice", row.Place)
@@ -417,6 +437,17 @@ func TestSnapshotEpochsUnderConcurrentIngest(t *testing.T) {
 	}
 	if len(ranked.Ranked) != apps {
 		t.Fatalf("ranked %d places, want %d", len(ranked.Ranked), apps)
+	}
+	// Quiesced coherence for the bounded path: the top-1 prefix of the
+	// final (possibly column-merged) snapshot must agree with the full
+	// ranking it aliases.
+	bounded, err := h(nil, &wire.RankRequest{UserID: "epoch-final", Category: world.CategoryCoffee, TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bounded.(*wire.RankResponse)
+	if len(b.Ranked) != 1 || b.Ranked[0].Place != ranked.Ranked[0].Place {
+		t.Fatalf("bounded top-1 %+v disagrees with full leader %s", b.Ranked, ranked.Ranked[0].Place)
 	}
 }
 

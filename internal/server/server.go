@@ -106,11 +106,14 @@ type serverMetrics struct {
 	ingestDuplicates *obs.Counter // dedup-window hits (lost-ack retransmissions)
 	ingestRejected   *obs.Counter // reports refused (unknown task / identity mismatch)
 
-	replans           *obs.Counter
-	snapshotRebuilds  *obs.Counter
-	snapshotRebuildMs *obs.Histogram
-	rankCacheHits     *obs.Counter
-	rankCacheMisses   *obs.Counter
+	replans               *obs.Counter
+	snapshotRebuilds      *obs.Counter
+	snapshotDeltaRebuilds *obs.Counter // rebuilds served by an incremental column merge
+	snapshotRearms        *obs.Counter // stale signals that re-armed the epoch without a rebuild
+	snapshotRebuildMs     *obs.Histogram
+	rankCacheHits         *obs.Counter
+	rankCacheMisses       *obs.Counter
+	rankWarmBlocks        *obs.Counter // aggregation blocks served from a certified warm-start hint
 }
 
 // handlerLatencySampleShift makes the handler latency histogram time one
@@ -130,15 +133,18 @@ var requestTypes = []wire.MsgType{
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
 	m := serverMetrics{
-		ingestReports:     reg.Counter("sor_ingest_reports_total"),
-		ingestAccepted:    reg.Counter("sor_ingest_accepted_total"),
-		ingestDuplicates:  reg.Counter("sor_ingest_duplicate_total"),
-		ingestRejected:    reg.Counter("sor_ingest_rejected_total"),
-		replans:           reg.Counter("sor_sched_replans_total"),
-		snapshotRebuilds:  reg.Counter("sor_snapshot_rebuilds_total"),
-		snapshotRebuildMs: reg.LatencyHistogram("sor_snapshot_rebuild_ms"),
-		rankCacheHits:     reg.Counter("sor_rank_cache_hits_total"),
-		rankCacheMisses:   reg.Counter("sor_rank_cache_misses_total"),
+		ingestReports:         reg.Counter("sor_ingest_reports_total"),
+		ingestAccepted:        reg.Counter("sor_ingest_accepted_total"),
+		ingestDuplicates:      reg.Counter("sor_ingest_duplicate_total"),
+		ingestRejected:        reg.Counter("sor_ingest_rejected_total"),
+		replans:               reg.Counter("sor_sched_replans_total"),
+		snapshotRebuilds:      reg.Counter("sor_snapshot_rebuilds_total"),
+		snapshotDeltaRebuilds: reg.Counter("sor_snapshot_delta_rebuilds_total"),
+		snapshotRearms:        reg.Counter("sor_snapshot_rearms_total"),
+		snapshotRebuildMs:     reg.LatencyHistogram("sor_snapshot_rebuild_ms"),
+		rankCacheHits:         reg.Counter("sor_rank_cache_hits_total"),
+		rankCacheMisses:       reg.Counter("sor_rank_cache_misses_total"),
+		rankWarmBlocks:        reg.Counter("sor_rank_warm_blocks_total"),
 	}
 	for _, t := range requestTypes {
 		m.requests[byte(t)&0xf] = reg.Counter("sor_server_requests_total", obs.L("type", t.String()))
@@ -754,9 +760,12 @@ func (s *Server) handlePing(ctx context.Context, msg *wire.Ping) (wire.Message, 
 }
 
 // handleRankRequest runs the Personalizable Ranker over the category's
-// current matrix snapshot (snapshots.go). The hot path — fresh snapshot,
-// cached profile — is an atomic load, a few counter compares, one key
-// build, and a map hit; no processor run, no store reads, no solver.
+// current columnar snapshot (snapshots.go). The hot path — fresh
+// snapshot, cached profile — is an atomic load, a few counter compares,
+// one key build, and a map hit; no processor run, no store reads, no
+// solver. A bounded request (TopK > 0) solves only the leading clean-cut
+// blocks of the aggregation; uncached solves reuse the superseded epoch's
+// assignment whenever the mcmf optimality certificate still accepts it.
 func (s *Server) handleRankRequest(ctx context.Context, msg *wire.RankRequest) (wire.Message, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -776,14 +785,19 @@ func (s *Server) handleRankRequest(ctx context.Context, msg *wire.RankRequest) (
 			Weight: p.Weight,
 		}
 	}
+	k := msg.TopK
 	cs := s.serving(msg.Category)
-	res, err := cs.cache.getOrCompute(snap.epoch, snap.profileKey(prof.Prefs), func() (*ranking.Result, error) {
-		return snap.ranker.Rank(prof)
+	res, err := cs.cache.getOrCompute(snap.epoch, snap.profileKey(prof.Prefs, k), func(hint []int) (*ranking.Result, error) {
+		r, err := snap.cranker.RankTopK(prof, k, hint)
+		if err == nil && r.WarmBlocks > 0 {
+			s.met.rankWarmBlocks.Add(int64(r.WarmBlocks))
+		}
+		return r, err
 	})
 	if err != nil {
 		return refuse(400, "ranking failed: %v", err), nil
 	}
-	return buildRankResponse(msg.Category, snap, res), nil
+	return buildRankResponse(msg.Category, snap, res, k), nil
 }
 
 // FeatureMatrix assembles the ranking matrix H for a category from the
@@ -814,6 +828,57 @@ func (s *Server) FeatureMatrix(category string) (*ranking.Matrix, error) {
 		}
 		m.Places = append(m.Places, app.Place)
 		m.Values = append(m.Values, row)
+	}
+	if len(m.Places) == 0 {
+		return nil, fmt.Errorf("server: no fully sensed places in category %q", category)
+	}
+	return m, nil
+}
+
+// rankMatrix is FeatureMatrix's bulk twin for the snapshot rebuild path:
+// one FeaturesByCategory pass instead of places×features store lookups,
+// which matters at 10k places. Row order and semantics are identical to
+// FeatureMatrix — applications in ID order, places without every catalog
+// feature skipped — so snapshots built either way are interchangeable.
+func (s *Server) rankMatrix(category string) (*ranking.Matrix, error) {
+	catalog, ok := s.catalog[category]
+	if !ok {
+		return nil, fmt.Errorf("server: no feature catalog for category %q", category)
+	}
+	apps := s.db.AppsByCategory(category)
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("server: no applications in category %q", category)
+	}
+	colIdx := make(map[string]int, len(catalog))
+	for j, f := range catalog {
+		colIdx[f.Name] = j
+	}
+	type rowState struct {
+		vals []float64
+		have int
+	}
+	byPlace := make(map[string]*rowState, len(apps))
+	for _, row := range s.db.FeaturesByCategory(category) {
+		j, ok := colIdx[row.Feature]
+		if !ok {
+			continue // stale feature outside the current catalog
+		}
+		rs := byPlace[row.Place]
+		if rs == nil {
+			rs = &rowState{vals: make([]float64, len(catalog))}
+			byPlace[row.Place] = rs
+		}
+		rs.vals[j] = row.Value
+		rs.have++
+	}
+	m := &ranking.Matrix{Features: catalog}
+	for _, app := range apps {
+		rs := byPlace[app.Place]
+		if rs == nil || rs.have != len(catalog) {
+			continue // place not fully sensed yet
+		}
+		m.Places = append(m.Places, app.Place)
+		m.Values = append(m.Values, rs.vals)
 	}
 	if len(m.Places) == 0 {
 		return nil, fmt.Errorf("server: no fully sensed places in category %q", category)

@@ -33,12 +33,15 @@ var errNoRankData = errors.New("server: no rank data")
 
 // rankSnapshot is one immutable epoch of a category's rank-serving state.
 // Everything in it is read-only after construction: concurrent rankers
-// share the matrix rows, the presorted Ranker, and the features header
-// without copying or locking.
+// share the matrix rows, the columnar ranker (whose unchanged columns
+// alias the previous epoch's arena — see ranking.ColumnSet), and the
+// features header without copying or locking. Superseded epochs stay
+// fully readable until the last query drops them; the garbage collector
+// is the arena lifecycle, so a torn or freed column is unrepresentable.
 type rankSnapshot struct {
 	epoch    int64
 	matrix   *ranking.Matrix
-	ranker   *ranking.Ranker
+	cranker  *ranking.ColumnarRanker
 	features []string // response header, aligned with matrix.Features
 
 	// Staleness signals captured at build time; the snapshot is stale once
@@ -139,6 +142,9 @@ func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *ran
 	if snap := cs.snap.Load(); snap != nil && !s.snapStale(cs, category, snap) {
 		return snap, nil
 	}
+	// Merge against the snapshot actually installed, not the caller's
+	// (possibly superseded) view.
+	prev = cs.snap.Load()
 	// Capture the ingest signals before folding: anything arriving during
 	// the rebuild re-marks the next query stale (conservative, never lost).
 	// Rebuild duration is measured on the wall clock — s.now may be a
@@ -149,13 +155,44 @@ func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *ran
 	s.processor.Process()
 	featVer := s.db.FeatureVersion(category)
 
-	matrix, err := s.FeatureMatrix(category)
+	// Re-arm fast path: UploadSeq is store-global, so traffic to OTHER
+	// categories re-marks this snapshot stale. If folding moved nothing in
+	// this category — PutApp and every feature write bump its version, so
+	// an unchanged version means identical matrix rows — keep the epoch
+	// (and with it the warm profile cache) and only refresh the captured
+	// signals, skipping the O(places×features) matrix reassembly.
+	if prev != nil && featVer == prev.builtFeatVer {
+		snap := *prev
+		snap.builtDirty = dirty
+		snap.builtUploadSeq = uploadSeq
+		snap.builtAt = s.now()
+		cs.snap.Store(&snap)
+		s.met.snapshotRearms.Inc()
+		return &snap, nil
+	}
+
+	matrix, err := s.rankMatrix(category)
 	if err != nil {
 		return nil, errors.Join(errNoRankData, err)
 	}
-	ranker, err := ranking.NewRanker(matrix)
-	if err != nil {
-		return nil, err
+	// Incremental epoch: when a previous snapshot exists, merge only the
+	// store-reported dirty rows into its columns; any contract violation
+	// (place/feature membership changed, out-of-range row) falls back to
+	// a full columnar build.
+	var cranker *ranking.ColumnarRanker
+	if prev != nil && prev.cranker != nil {
+		if dirtyIdx, ok := dirtyRowIndexes(prev.matrix, s.db.ChangedPlaces(category, prev.builtFeatVer)); ok {
+			if merged, err := prev.cranker.Merge(matrix, dirtyIdx); err == nil {
+				cranker = merged
+				s.met.snapshotDeltaRebuilds.Inc()
+			}
+		}
+	}
+	if cranker == nil {
+		cranker, err = ranking.NewColumnarRanker(matrix)
+		if err != nil {
+			return nil, err
+		}
 	}
 	features := make([]string, len(matrix.Features))
 	for j, f := range matrix.Features {
@@ -168,7 +205,7 @@ func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *ran
 	snap := &rankSnapshot{
 		epoch:          epoch,
 		matrix:         matrix,
-		ranker:         ranker,
+		cranker:        cranker,
 		features:       features,
 		builtDirty:     dirty,
 		builtFeatVer:   featVer,
@@ -181,19 +218,57 @@ func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *ran
 	return snap, nil
 }
 
+// dirtyRowIndexes maps the store's changed-place names onto the previous
+// matrix's row indices. A changed place missing from the previous matrix
+// (it just completed its catalog, so the membership is about to change)
+// reports !ok and forces a full rebuild; changed places that are simply
+// not ranked rows never appear in prev.Places and were never rows to
+// merge — but since ChangedPlaces only returns places with feature rows,
+// absence here almost always means membership change, so the
+// conservative full build is the right call.
+func dirtyRowIndexes(prev *ranking.Matrix, changed []string) ([]int, bool) {
+	if len(changed) == 0 {
+		return nil, true
+	}
+	rowOf := make(map[string]int, len(prev.Places))
+	for i, p := range prev.Places {
+		rowOf[p] = i
+	}
+	idx := make([]int, 0, len(changed))
+	for _, place := range changed {
+		i, ok := rowOf[place]
+		if !ok {
+			return nil, false
+		}
+		idx = append(idx, i)
+	}
+	return idx, true
+}
+
+// profileKeyBufPool recycles the append buffer profileKey builds into;
+// only the final string escapes, so a cached-hit query pays exactly one
+// key allocation.
+var profileKeyBufPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
 // profileKey canonicalizes a preference profile against the snapshot's
 // feature order into an injective cache key: per feature, one presence
 // byte, then — if present — the kind, the value's IEEE-754 bits, and the
 // weight, each fixed width and full precision (no truncation, so even
 // out-of-range kinds/weights — which Rank will reject — cannot collide
-// with a valid cached profile). Two profiles with the same preference per
-// catalog feature produce the same key; any differing (kind, value,
-// weight) produces a different one (FuzzProfileKey). The requesting
-// user's ID is deliberately excluded: rank results do not depend on it.
-// Preferences for features outside the catalog are ignored, exactly as
-// Ranker.resolve ignores them.
-func (snap *rankSnapshot) profileKey(prefs map[string]ranking.Preference) string {
-	buf := make([]byte, 0, len(snap.features)*25)
+// with a valid cached profile); then the requested top-k as a fixed
+// trailing 8 bytes, since a bounded result must not serve a broader
+// query. Two (profile, k) pairs with the same preference per catalog
+// feature and the same k produce the same key; any difference produces a
+// different one (FuzzProfileKey). The requesting user's ID is
+// deliberately excluded: rank results do not depend on it. Preferences
+// for features outside the catalog are ignored, exactly as resolve
+// ignores them.
+func (snap *rankSnapshot) profileKey(prefs map[string]ranking.Preference, topK int) string {
+	bp := profileKeyBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
 	var scratch [25]byte
 	for _, name := range snap.features {
 		p, ok := prefs[name]
@@ -207,7 +282,12 @@ func (snap *rankSnapshot) profileKey(prefs map[string]ranking.Preference) string
 		binary.BigEndian.PutUint64(scratch[17:], uint64(p.Weight))
 		buf = append(buf, scratch[:]...)
 	}
-	return string(buf)
+	binary.BigEndian.PutUint64(scratch[:8], uint64(topK))
+	buf = append(buf, scratch[:8]...)
+	key := string(buf)
+	*bp = buf
+	profileKeyBufPool.Put(bp)
+	return key
 }
 
 // cacheEntry is one cached (or in-flight) rank result. done closes when
@@ -222,13 +302,21 @@ type cacheEntry struct {
 
 // profileCache is a bounded LRU of rank results for one category and one
 // epoch. An epoch advance clears it wholesale — every cached ranking was
-// computed from the superseded matrix.
+// computed from the superseded matrix — but first harvests the completed
+// results as warm-start hints: the next epoch's fill for the same
+// (profile, k) key gets the superseded assignment, which the aggregation
+// reuses when (and only when) the mcmf optimality certificate still
+// holds.
 type profileCache struct {
 	mu    sync.Mutex
 	max   int
 	epoch int64
 	items map[string]*list.Element
 	lru   *list.List // front = most recent; values are *cacheEntry
+	// hints maps the previous epoch's keys to their solved prefixes
+	// (ranking.Result.OrderIdx). Replaced wholesale at each epoch
+	// advance, so it is bounded by the cache size.
+	hints map[string][]int
 
 	// hits/misses are nil-safe metric handles (nil without an observer).
 	// Stale-epoch fills count as misses: they run the solver.
@@ -246,17 +334,20 @@ func (c *profileCache) init(max int) {
 // caching it via fill on a miss. Concurrent misses on one key share a
 // single fill. A fill for a superseded epoch runs uncached — its result is
 // still correct for the snapshot the caller is serving, but must not
-// poison the newer epoch's cache.
-func (c *profileCache) getOrCompute(epoch int64, key string, fill func() (*ranking.Result, error)) (*ranking.Result, error) {
+// poison the newer epoch's cache. fill receives the previous epoch's
+// solved prefix for the same key (nil when there is none) as a warm-start
+// hint.
+func (c *profileCache) getOrCompute(epoch int64, key string, fill func(hint []int) (*ranking.Result, error)) (*ranking.Result, error) {
 	c.mu.Lock()
 	if epoch > c.epoch {
 		c.epoch = epoch
+		c.hints = harvestHints(c.items)
 		c.items = make(map[string]*list.Element, c.max)
 		c.lru.Init()
 	} else if epoch < c.epoch {
 		c.mu.Unlock()
 		c.misses.Inc()
-		return fill()
+		return fill(nil)
 	}
 	if el, ok := c.items[key]; ok {
 		c.lru.MoveToFront(el)
@@ -267,6 +358,7 @@ func (c *profileCache) getOrCompute(epoch int64, key string, fill func() (*ranki
 		return e.res, e.err
 	}
 	c.misses.Inc()
+	hint := c.hints[key]
 	e := &cacheEntry{key: key, done: make(chan struct{})}
 	el := c.lru.PushFront(e)
 	c.items[key] = el
@@ -277,7 +369,7 @@ func (c *profileCache) getOrCompute(epoch int64, key string, fill func() (*ranki
 	}
 	c.mu.Unlock()
 
-	e.res, e.err = fill()
+	e.res, e.err = fill(hint)
 	close(e.done)
 	if e.err != nil {
 		// Failed fills are evicted so the profile can be retried.
@@ -291,17 +383,41 @@ func (c *profileCache) getOrCompute(epoch int64, key string, fill func() (*ranki
 	return e.res, e.err
 }
 
+// harvestHints extracts the solved prefix of every completed cache entry,
+// keyed as the cache was. Called under c.mu at epoch advance; in-flight
+// entries (done not yet closed) are skipped rather than waited on — a
+// missing hint only costs a cold solve.
+func harvestHints(items map[string]*list.Element) map[string][]int {
+	hints := make(map[string][]int, len(items))
+	for key, el := range items {
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.done:
+			if e.err == nil && e.res != nil && len(e.res.OrderIdx) > 0 {
+				hints[key] = e.res.OrderIdx
+			}
+		default:
+		}
+	}
+	return hints
+}
+
 // buildRankResponse assembles the wire response from a snapshot and a
-// (possibly cached) result. The features header and each row's feature
-// values alias the immutable snapshot matrix — no per-request copies.
-func buildRankResponse(category string, snap *rankSnapshot, res *ranking.Result) *wire.RankResponse {
+// (possibly cached) result, truncated to limit places when limit > 0. The
+// features header and each row's feature values alias the immutable
+// snapshot matrix — no per-request copies.
+func buildRankResponse(category string, snap *rankSnapshot, res *ranking.Result, limit int) *wire.RankResponse {
+	order := res.OrderIdx
+	if limit > 0 && limit < len(order) {
+		order = order[:limit]
+	}
 	resp := &wire.RankResponse{
 		Category: category,
 		Epoch:    snap.epoch,
 		Features: snap.features,
-		Ranked:   make([]wire.RankedPlace, len(res.OrderIdx)),
+		Ranked:   make([]wire.RankedPlace, len(order)),
 	}
-	for k, idx := range res.OrderIdx {
+	for k, idx := range order {
 		resp.Ranked[k] = wire.RankedPlace{
 			Place:         snap.matrix.Places[idx],
 			FeatureValues: snap.matrix.Values[idx],

@@ -165,7 +165,7 @@ func TestProfileCacheSingleFlight(t *testing.T) {
 	c.init(4)
 	var fills atomic.Int64
 	res := &ranking.Result{}
-	fill := func() (*ranking.Result, error) {
+	fill := func([]int) (*ranking.Result, error) {
 		fills.Add(1)
 		return res, nil
 	}
@@ -175,7 +175,7 @@ func TestProfileCacheSingleFlight(t *testing.T) {
 	// releases it after all callers have announced themselves.
 	var arrived atomic.Int64
 	release := make(chan struct{})
-	concFill := func() (*ranking.Result, error) {
+	concFill := func([]int) (*ranking.Result, error) {
 		fills.Add(1)
 		<-release
 		return res, nil
@@ -233,7 +233,7 @@ func TestProfileCacheEviction(t *testing.T) {
 	fills := map[string]int{}
 	get := func(key string) {
 		t.Helper()
-		if _, err := c.getOrCompute(1, key, func() (*ranking.Result, error) {
+		if _, err := c.getOrCompute(1, key, func([]int) (*ranking.Result, error) {
 			fills[key]++
 			return &ranking.Result{}, nil
 		}); err != nil {
@@ -255,8 +255,9 @@ func TestProfileCacheEviction(t *testing.T) {
 }
 
 // decodeProfileKey inverts rankSnapshot.profileKey; used by the fuzz test
-// to prove injectivity by round-trip.
-func decodeProfileKey(t *testing.T, features []string, key string) map[string]ranking.Preference {
+// to prove injectivity by round-trip. Returns the preferences and the
+// trailing top-k bound.
+func decodeProfileKey(t *testing.T, features []string, key string) (map[string]ranking.Preference, int) {
 	t.Helper()
 	prefs := map[string]ranking.Preference{}
 	b := []byte(key)
@@ -278,22 +279,22 @@ func decodeProfileKey(t *testing.T, features []string, key string) map[string]ra
 		}
 		b = b[25:]
 	}
-	if len(b) != 0 {
-		t.Fatalf("%d trailing key bytes", len(b))
+	if len(b) != 8 {
+		t.Fatalf("%d trailing key bytes, want the 8-byte top-k suffix", len(b))
 	}
-	return prefs
+	return prefs, int(binary.BigEndian.Uint64(b))
 }
 
 // FuzzProfileKey proves the canonical profile key is injective: the key
 // decodes back to exactly the preferences that produced it (restricted to
 // catalog features), so two distinct canonical profiles can never share a
 // key. Seeds cover absent prefs, every kind, negative/NaN values, and
-// out-of-range kinds/weights.
+// out-of-range kinds/weights, plus the top-k suffix.
 func FuzzProfileKey(f *testing.F) {
 	features := []string{"temperature", "brightness", "noise", "wifi"}
 	f.Add([]byte{})
 	f.Add([]byte{1, 1, 64, 82, 64, 0, 0, 0, 0, 0, 3})
-	f.Add([]byte{1, 4, 0, 0, 0, 0, 0, 0, 0, 0, 200, 0, 2, 127, 248, 0, 0, 0, 0, 0, 1, 5})
+	f.Add([]byte{1, 4, 0, 0, 0, 0, 0, 0, 0, 0, 200, 0, 2, 127, 248, 0, 0, 0, 0, 0, 1, 5, 25})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap := &rankSnapshot{features: features}
 		prefs := map[string]ranking.Preference{}
@@ -314,8 +315,15 @@ func FuzzProfileKey(f *testing.F) {
 			}
 			data = data[11:]
 		}
-		key := snap.profileKey(prefs)
-		decoded := decodeProfileKey(t, features, key)
+		topK := 0
+		if len(data) > 0 {
+			topK = int(data[0]) // incl. 0 (unbounded)
+		}
+		key := snap.profileKey(prefs, topK)
+		decoded, decodedK := decodeProfileKey(t, features, key)
+		if decodedK != topK {
+			t.Fatalf("decoded top-k %d, want %d", decodedK, topK)
+		}
 		if len(decoded) != len(prefs) {
 			t.Fatalf("decoded %d prefs, want %d", len(decoded), len(prefs))
 		}
@@ -331,7 +339,7 @@ func FuzzProfileKey(f *testing.F) {
 		}
 		// A pref on a non-catalog feature must not change the key.
 		prefs["off-catalog"] = ranking.Preference{Kind: ranking.PrefValue, Value: 1, Weight: 1}
-		if snap.profileKey(prefs) != key {
+		if snap.profileKey(prefs, topK) != key {
 			t.Fatal("off-catalog preference changed the key")
 		}
 	})
@@ -352,20 +360,111 @@ func TestProfileKeyDistinguishes(t *testing.T) {
 		{"noise": {Kind: ranking.PrefValue, Value: 73, Weight: 3}},
 		{"temperature": {Kind: ranking.PrefKind(256 + int(ranking.PrefValue)), Value: 73, Weight: 3}},
 	}
-	baseKey := snap.profileKey(base)
+	baseKey := snap.profileKey(base, 0)
 	for i, v := range variants {
-		if snap.profileKey(v) == baseKey {
+		if snap.profileKey(v, 0) == baseKey {
 			t.Fatalf("variant %d collides with base profile", i)
 		}
+	}
+	// A bounded request must not share a key with the unbounded one: a
+	// top-k result only determines the leading ranks.
+	if snap.profileKey(base, 5) == baseKey {
+		t.Fatal("top-k bound did not change the key")
 	}
 	// Same canonical profile (plus an ignored unknown feature) → same key.
 	same := map[string]ranking.Preference{
 		"temperature": base["temperature"],
 		"unknown":     {Kind: ranking.PrefMin, Weight: 5},
 	}
-	if snap.profileKey(same) != baseKey {
+	if snap.profileKey(same, 0) != baseKey {
 		t.Fatal("equivalent canonical profiles produced different keys")
 	}
 }
 
 var _ = fmt.Sprintf // keep fmt imported if assertions above change
+
+// TestSnapshotRearmOnForeignIngest: UploadSeq is store-global, so ingest
+// into one category marks every category's snapshot stale. A category
+// whose own features and membership did not move must re-arm — keep its
+// epoch (and warm profile cache) without reassembling the matrix — while
+// a write to its own features must still advance the epoch.
+func TestSnapshotRearmOnForeignIngest(t *testing.T) {
+	clock := &virtualClock{now: t0}
+	db := store.New()
+	s, err := New(Config{
+		DB: db, Now: clock.Now, Catalog: DefaultCatalog(),
+		RankRefresh: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trailFeatures := []string{"temperature", "humidity", "roughness", "curvature", "altitude change"}
+	for i := 0; i < 3; i++ {
+		place := fmt.Sprintf("trail-%d", i)
+		if err := s.CreateApp(store.Application{
+			ID: fmt.Sprintf("trail-app-%d", i), Creator: "c", Category: world.CategoryTrail,
+			Place: place, Lat: 43, Lon: -76, RadiusM: 100, Script: "return 1", PeriodSec: 3600,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for j, f := range trailFeatures {
+			if err := db.UpsertFeature(store.FeatureRow{
+				Category: world.CategoryTrail, Place: place, Feature: f,
+				Value: float64(10*i + j), Samples: 1, Updated: clock.Now(),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.CreateApp(concApp(0)); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	rank := func() *wire.RankResponse {
+		t.Helper()
+		resp, err := h(nil, &wire.RankRequest{
+			UserID: "rearm-user", Category: world.CategoryTrail,
+			Prefs: []wire.PrefEntry{{Feature: "temperature", Kind: 2, Weight: 3}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, ok := resp.(*wire.RankResponse)
+		if !ok {
+			t.Fatalf("rank refused: %+v", resp)
+		}
+		return r
+	}
+	first := rank()
+
+	// Foreign ingest: a coffee report moves the global upload sequence but
+	// touches nothing in the trail category.
+	task := concJoin(t, s, 0, "rearm-user")
+	up := reportWithReadings(task, concApp(0).ID, "rearm-user", clock.Now(), 42)
+	if _, err := h(nil, up); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(clock.Now().Add(2 * time.Minute)) // past the refresh bound
+	second := rank()
+	if second.Epoch != first.Epoch {
+		t.Fatalf("foreign ingest advanced the trail epoch %d → %d; want a re-arm", first.Epoch, second.Epoch)
+	}
+	for i := range first.Ranked {
+		if second.Ranked[i].Place != first.Ranked[i].Place {
+			t.Fatalf("re-armed snapshot changed the ranking at %d", i)
+		}
+	}
+
+	// A write to the trail category's own features must advance the epoch.
+	if err := db.UpsertFeature(store.FeatureRow{
+		Category: world.CategoryTrail, Place: "trail-1", Feature: "temperature",
+		Value: 99, Samples: 2, Updated: clock.Now(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(clock.Now().Add(2 * time.Minute))
+	third := rank()
+	if third.Epoch <= second.Epoch {
+		t.Fatalf("trail feature write did not advance the epoch (%d → %d)", second.Epoch, third.Epoch)
+	}
+}

@@ -287,12 +287,29 @@ type Store struct {
 	schedShards  [numShards]schedShard
 	dedupShards  [numShards]dedupShard
 
-	// featVers holds one *atomic.Int64 per category, bumped whenever a
-	// feature row in that category materially changes (or an application
-	// joins the category). The rank-serving layer polls it to decide
-	// whether its matrix snapshot is stale — including changes written by
-	// other server instances sharing this store.
+	// featVers holds one *catVersion per category: a monotone counter
+	// bumped whenever a feature row in that category materially changes
+	// (or an application joins the category), plus the per-place version
+	// at which each place last changed. The rank-serving layer polls the
+	// counter to decide whether its matrix snapshot is stale — including
+	// changes written by other server instances sharing this store — and
+	// asks ChangedPlaces for the dirty rows so epoch rebuilds can merge
+	// deltas instead of re-sorting every column.
 	featVers sync.Map
+}
+
+// catVersion is one category's feature-change clock. ver counts material
+// changes; placeVers remembers, per place, the ver at which that place's
+// feature rows last changed. A place's recorded version is assigned from
+// the same Add that bumps ver, after the row is visible in the features
+// map — so any row change invisible to a reader that captured ver=V is
+// guaranteed to be recorded with a version > V (conservative: a reader
+// may be told a place is dirty whose change it already saw, never the
+// reverse).
+type catVersion struct {
+	ver       atomic.Int64
+	mu        sync.Mutex
+	placeVers map[string]int64
 }
 
 type featureKey struct {
@@ -890,25 +907,56 @@ func (s *Store) UpsertFeature(row FeatureRow) error {
 	s.features[key] = row
 	s.mu.Unlock()
 	if !existed || old.Value != row.Value || old.Samples != row.Samples {
-		s.bumpFeatureVersion(row.Category)
+		s.bumpFeaturePlace(row.Category, row.Place)
 	}
 	return nil
 }
 
 // FeatureVersion returns the category's monotone feature-change counter.
 func (s *Store) FeatureVersion(category string) int64 {
-	if v, ok := s.featVers.Load(category); ok {
-		return v.(*atomic.Int64).Load()
+	return s.catVer(category).ver.Load()
+}
+
+// ChangedPlaces returns the places in a category whose feature rows
+// changed at a version strictly greater than since, sorted. The result is
+// conservative: it may include a place whose change a since-captured
+// reader already observed, but never omits one it missed.
+func (s *Store) ChangedPlaces(category string, since int64) []string {
+	cv := s.catVer(category)
+	cv.mu.Lock()
+	var out []string
+	for place, ver := range cv.placeVers {
+		if ver > since {
+			out = append(out, place)
+		}
 	}
-	return 0
+	cv.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+func (s *Store) catVer(category string) *catVersion {
+	if v, ok := s.featVers.Load(category); ok {
+		return v.(*catVersion)
+	}
+	v, _ := s.featVers.LoadOrStore(category, &catVersion{placeVers: make(map[string]int64)})
+	return v.(*catVersion)
 }
 
 func (s *Store) bumpFeatureVersion(category string) {
-	v, ok := s.featVers.Load(category)
-	if !ok {
-		v, _ = s.featVers.LoadOrStore(category, new(atomic.Int64))
+	s.catVer(category).ver.Add(1)
+}
+
+// bumpFeaturePlace bumps the category version and stamps the place with
+// the version the bump produced.
+func (s *Store) bumpFeaturePlace(category, place string) {
+	cv := s.catVer(category)
+	ver := cv.ver.Add(1)
+	cv.mu.Lock()
+	if cv.placeVers[place] < ver {
+		cv.placeVers[place] = ver
 	}
-	v.(*atomic.Int64).Add(1)
+	cv.mu.Unlock()
 }
 
 // UploadSeq returns the sequence number of the most recent raw upload; it

@@ -248,7 +248,7 @@ func (s *Store) applyWALRecord(payload []byte) error {
 		}
 		f := *op.Feat
 		s.features[featureKey{f.Category, f.Place, f.Feature}] = f
-		s.bumpFeatureVersion(f.Category)
+		s.bumpFeaturePlace(f.Category, f.Place)
 	case opSched:
 		if op.Sched == nil {
 			return fmt.Errorf("store: wal %s record without payload", op.Op)

@@ -45,6 +45,8 @@ func fuzzSeeds() []Message {
 		&Ping{Token: "tok-1"},
 		&RankRequest{UserID: "alice", Category: "coffee-shop",
 			Prefs: []PrefEntry{{Feature: "noise", Kind: 2, Weight: 2}}},
+		&RankRequest{UserID: "bob", Category: "coffee-shop", TopK: 10,
+			Prefs: []PrefEntry{{Feature: "temperature", Kind: 1, Value: 73, Weight: 5}}},
 		&RankResponse{Category: "coffee-shop",
 			Features: []string{"temperature", "noise"},
 			Ranked: []RankedPlace{

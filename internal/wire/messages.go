@@ -424,6 +424,13 @@ type RankRequest struct {
 	Category string // "hiking-trail", "coffee-shop"
 	UserID   string
 	Prefs    []PrefEntry
+	// TopK, when > 0, asks for only the best TopK places; the server can
+	// then bound aggregation work by the response size. 0 means the full
+	// ranking. Encoded as an optional trailing field: a TopK=0 request is
+	// byte-identical to the pre-TopK frame, and decoders treat a frame
+	// without the field as TopK=0, so old and new peers interoperate in
+	// the full-ranking case.
+	TopK int
 }
 
 var _ Message = (*RankRequest)(nil)
@@ -440,6 +447,9 @@ func (m *RankRequest) encodePayload(w *Writer) {
 		w.PutVarint(int64(p.Kind))
 		w.PutFloat(p.Value)
 		w.PutVarint(int64(p.Weight))
+	}
+	if m.TopK > 0 {
+		w.PutUvarint(uint64(m.TopK))
 	}
 }
 
@@ -474,6 +484,17 @@ func (m *RankRequest) decodePayload(r *Reader) error {
 			return err
 		}
 		p.Weight = int(weight)
+	}
+	m.TopK = 0
+	if r.Remaining() > 0 {
+		k, err := r.Uvarint()
+		if err != nil {
+			return err
+		}
+		if k == 0 || k > 1<<31 {
+			return fmt.Errorf("%w: rank request top-k %d out of range", ErrBadPayload, k)
+		}
+		m.TopK = int(k)
 	}
 	return nil
 }

@@ -150,6 +150,26 @@ func TestRankRequestResponseRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(req, gotReq) {
 		t.Fatalf("rank request changed:\n%+v\n%+v", req, gotReq)
 	}
+	// TopK rides as an optional trailing field: it must round-trip when
+	// set, and a TopK=0 request must stay byte-identical to the pre-TopK
+	// frame layout (so old decoders accept it).
+	req.TopK = 25
+	gotReq = roundTrip(t, req).(*RankRequest)
+	if gotReq.TopK != 25 {
+		t.Fatalf("top-k lost in round trip: %+v", gotReq)
+	}
+	req.TopK = 0
+	withDefault, err := Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(withDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.(*RankRequest).TopK != 0 {
+		t.Fatalf("top-k default frame decoded as %+v", decoded)
+	}
 	resp := &RankResponse{
 		Category: "hiking-trail",
 		Features: []string{"temperature", "humidity"},
