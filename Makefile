@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak fleet-soak fleet-soak-short ci experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak replica-soak replica-soak-short fleet-soak fleet-soak-short ci experiments fieldtest sim clean
 
 all: build test
 
@@ -62,6 +62,17 @@ chaos-short:
 crash-soak:
 	$(GO) test -race -count=1 -run CrashSoak -v ./internal/chaos/
 
+# Replication chaos soak under the race detector: a 3-node cluster
+# (leader + two WAL-streaming followers) on virtual time survives random
+# kill -9s, timed partitions, checkpoint/truncation races, and one
+# planned failover, and every node's state digest must match a
+# never-crashed single-node baseline byte for byte.
+replica-soak:
+	$(GO) test -race -count=1 -run ReplicaSoak -v ./internal/chaos/
+
+replica-soak-short:
+	$(GO) test -race -short -count=1 -run ReplicaSoak ./internal/chaos/
+
 # Discrete-event fleet soak on virtual time: deterministic, fixed-seed,
 # race-enabled. The determinism gate runs the same seed twice and diffs
 # the end-state digests (a divergence prints the first differing
@@ -82,6 +93,7 @@ ci: vet build test
 	$(MAKE) obs-smoke
 	$(MAKE) chaos-short
 	$(MAKE) crash-soak
+	$(MAKE) replica-soak
 	$(MAKE) fleet-soak-short
 
 # Regenerate every paper table and figure.

@@ -215,6 +215,15 @@ func WithRankRefresh(d time.Duration) ServerOption {
 	return func(cfg *server.Config) { cfg.RankRefresh = d }
 }
 
+// WithMaxReplicaLag bounds how stale a read replica may serve rank
+// queries: past this silence from the leader it refuses them (503)
+// instead of answering from arbitrarily old state. Zero serves
+// regardless of lag; lagging replies carry the Stale flag either way.
+// It has no effect on a leader.
+func WithMaxReplicaLag(d time.Duration) ServerOption {
+	return func(cfg *server.Config) { cfg.MaxReplicaLag = d }
+}
+
 // WithObserver instruments the server (and its processor): ingest,
 // scheduling, snapshot, and cache metrics plus handler/dedup spans.
 func WithObserver(o *Observer) ServerOption {

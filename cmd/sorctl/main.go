@@ -7,6 +7,7 @@
 //	sorctl -server http://localhost:8080 ping -token token-0-1
 //	sorctl -server http://localhost:8080 metrics [-json] [-require a,b,c]
 //	sorctl -server http://localhost:8080 trace [-request ID] [-limit 50]
+//	sorctl -server http://localhost:8080 replica status [-json]
 //	sorctl wal inspect <data-dir|wal-dir>
 package main
 
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"sor"
+	"sor/internal/replica"
 	"sor/internal/wal"
 	"sor/internal/wire"
 	"sor/internal/world"
@@ -43,7 +45,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sorctl [-server URL] rank|ping|metrics|trace|wal [flags]")
+		return fmt.Errorf("usage: sorctl [-server URL] rank|ping|metrics|trace|replica|wal [flags]")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -56,6 +58,8 @@ func run() error {
 		return metrics(ctx, *serverURL, args[1:])
 	case "trace":
 		return trace(ctx, *serverURL, args[1:])
+	case "replica":
+		return replicaCmd(ctx, *serverURL, args[1:])
 	case "wal":
 		return walCmd(args[1:])
 	default:
@@ -316,6 +320,68 @@ func renderMetrics(w io.Writer, snap sor.MetricsSnapshot) {
 		h := snap.Histograms[k]
 		fmt.Fprintf(w, "%-8s %-56s n=%d p50=%.3g p99=%.3g max=%.3g\n",
 			"histo", k, h.Count, h.P50, h.P99, h.Max)
+	}
+}
+
+// replicaCmd scrapes /debug/replica. `replica status` shows the node's
+// replication role, and — on a leader — each follower's acked LSN, record
+// lag, and liveness; on a follower, its own applied/leader positions and
+// connection state.
+func replicaCmd(ctx context.Context, serverURL string, args []string) error {
+	if len(args) < 1 || args[0] != "status" {
+		return fmt.Errorf("usage: sorctl replica status [-json]")
+	}
+	fs := flag.NewFlagSet("replica status", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the raw JSON payload")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var st replica.Status
+	if err := getJSON(ctx, serverURL+replica.DebugPath, &st); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	renderReplicaStatus(os.Stdout, st)
+	return nil
+}
+
+// renderReplicaStatus writes the human `replica status` listing. Split
+// from replicaCmd so the golden-output test drives it against a
+// bytes.Buffer.
+func renderReplicaStatus(w io.Writer, st replica.Status) {
+	fmt.Fprintf(w, "role %s, log head LSN %d\n", st.Role, st.LastLSN)
+	if st.Role == "leader" {
+		if len(st.Followers) == 0 {
+			fmt.Fprintln(w, "no followers")
+			return
+		}
+		fmt.Fprintf(w, "%-20s %12s %12s %12s  %s\n", "FOLLOWER", "ACK-LSN", "LAG-RECORDS", "SILENT-MS", "LIVE")
+		for _, f := range st.Followers {
+			fmt.Fprintf(w, "%-20s %12d %12d %12d  %v\n", f.ID, f.AckLSN, f.LagRecords, f.SilentForMS, f.Live)
+		}
+		return
+	}
+	if st.Self == nil {
+		return
+	}
+	s := st.Self
+	conn := "connected"
+	switch {
+	case s.NeedsResync:
+		conn = "NEEDS RESYNC"
+	case !s.Connected:
+		conn = fmt.Sprintf("disconnected (%d consecutive failures)", s.Failures)
+	}
+	fmt.Fprintf(w, "follower %s: applied LSN %d, leader LSN %d, lag %d records, %s\n",
+		s.ID, s.AppliedLSN, s.LeaderLSN, s.LagRecords, conn)
+	if s.LastContactMS >= 0 {
+		fmt.Fprintf(w, "last leader contact %dms ago\n", s.LastContactMS)
+	} else {
+		fmt.Fprintln(w, "never heard from the leader")
 	}
 }
 

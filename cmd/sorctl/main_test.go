@@ -11,6 +11,7 @@ import (
 
 	"sor"
 	"sor/internal/obs"
+	"sor/internal/replica"
 	"sor/internal/wal"
 )
 
@@ -110,4 +111,38 @@ func TestMetricsGolden(t *testing.T) {
 	var buf bytes.Buffer
 	renderMetrics(&buf, snap)
 	checkGolden(t, "metrics.golden", buf.Bytes())
+}
+
+// TestReplicaStatusGolden pins the human `sorctl replica status`
+// rendering for a leader with followers, a connected follower, and a
+// follower that must resync.
+func TestReplicaStatusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderReplicaStatus(&buf, replica.Status{
+		Role:    "leader",
+		LastLSN: 2048,
+		Followers: []replica.FollowerStatus{
+			{ID: "node-b", AckLSN: 2048, LagRecords: 0, SilentForMS: 120, Live: true},
+			{ID: "node-c", AckLSN: 1500, LagRecords: 548, SilentForMS: 700000, Live: false},
+		},
+	})
+	buf.WriteByte('\n')
+	renderReplicaStatus(&buf, replica.Status{
+		Role:    "follower",
+		LastLSN: 2040,
+		Self: &replica.FollowerSelf{
+			ID: "node-b", AppliedLSN: 2040, LeaderLSN: 2048, LagRecords: 8,
+			LastContactMS: 120, Connected: true,
+		},
+	})
+	buf.WriteByte('\n')
+	renderReplicaStatus(&buf, replica.Status{
+		Role:    "follower",
+		LastLSN: 10,
+		Self: &replica.FollowerSelf{
+			ID: "node-late", AppliedLSN: 10, LeaderLSN: 0,
+			LastContactMS: -1, Failures: 3, NeedsResync: true,
+		},
+	})
+	checkGolden(t, "replica_status.golden", buf.Bytes())
 }

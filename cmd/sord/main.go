@@ -2,15 +2,25 @@
 // Syracuse target places as applications, prints their 2D barcodes'
 // payloads, and serves the binary-over-HTTP protocol on -addr, plus the
 // ops surface: /debug/metrics (JSON metrics snapshot), /debug/trace
-// (recent request spans), and /debug/pprof.
+// (recent request spans), /debug/replica (replication status), and
+// /debug/pprof.
 //
 // Usage:
 //
 //	sord -addr :8080 [-data-dir sor-data] [-barcodes] [-span-buffer 4096]
+//	sord -addr :8081 -data-dir node-b -role replica -node-id node-b \
+//	     -leader-url http://localhost:8080 [-max-replica-lag 5s]
 //
 // With -data-dir the server is durable: a checkpointed snapshot plus a
 // write-ahead log of every mutation since, recovered on startup. Without
 // it state is in-memory and dies with the process.
+//
+// A durable leader ships its WAL to any follower that pulls, and pins
+// log retention per acked follower. A -role replica node bootstraps from
+// its own data directory, streams the leader's log, serves rank reads
+// (refusing them past -max-replica-lag), and refuses writes. Failover is
+// operator-triggered: stop the leader, restart the chosen follower with
+// -role leader, point the other nodes' -leader-url at it.
 package main
 
 import (
@@ -29,6 +39,8 @@ import (
 	"sor"
 	"sor/internal/barcode"
 	"sor/internal/fieldtest"
+	"sor/internal/replica"
+	"sor/internal/store"
 	"sor/internal/world"
 )
 
@@ -67,7 +79,34 @@ func run() error {
 	showBarcodes := flag.Bool("barcodes", false, "print each place's 2D barcode as ASCII art")
 	public := flag.String("public-url", "", "base URL phones should use (default http://<addr>)")
 	spanBuffer := flag.Int("span-buffer", 0, "trace ring capacity (default 4096)")
+	role := flag.String("role", "leader", "cluster role: leader (serves writes and ships its WAL) or replica (streams a leader, serves reads)")
+	nodeID := flag.String("node-id", "", "this node's replication identity (default: hostname)")
+	leaderURL := flag.String("leader-url", "", "leader base URL (required with -role replica)")
+	pullInterval := flag.Duration("pull-interval", replica.DefaultPullInterval, "replica pull/heartbeat cadence while caught up")
+	maxReplicaLag := flag.Duration("max-replica-lag", 0, "replica refuses rank queries past this silence from the leader (0 = serve regardless)")
 	flag.Parse()
+
+	isReplica := false
+	switch *role {
+	case "leader":
+	case "replica":
+		isReplica = true
+		if *dataDir == "" {
+			return errors.New("-role replica needs -data-dir (the follower appends the leader's WAL to its own log)")
+		}
+		if *leaderURL == "" {
+			return errors.New("-role replica needs -leader-url")
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (leader|replica)", *role)
+	}
+	if *nodeID == "" {
+		if host, err := os.Hostname(); err == nil {
+			*nodeID = host
+		} else {
+			*nodeID = "node"
+		}
+	}
 
 	storage, storageDesc, err := storageFromFlags(*dataDir, *snapshot)
 	if err != nil {
@@ -80,22 +119,169 @@ func run() error {
 		sor.WithCatalog(sor.DefaultCatalog()),
 		sor.WithPush(sor.NewPush()),
 		sor.WithObserver(obsv),
+		sor.WithMaxReplicaLag(*maxReplicaLag),
 	)
 	if err != nil {
 		return err
 	}
-	if err := srv.Open(); err != nil {
+	if isReplica {
+		err = srv.OpenAsReplica()
+	} else {
+		err = srv.Open()
+	}
+	if err != nil {
 		return fmt.Errorf("opening storage: %w", err)
 	}
 	log.Print(storageDesc)
 
-	w, err := world.Canonical()
-	if err != nil {
-		return err
+	// Replication wiring. A durable leader serves ReplPull off its log;
+	// a replica pulls the leader's and applies it to its own.
+	handler := srv.Handler()
+	var leader *replica.Leader
+	var follower *replica.Follower
+	durable, _ := storage.(*store.DurableBackend)
+	switch {
+	case isReplica:
+		client, err := sor.NewClient(*leaderURL)
+		if err != nil {
+			return err
+		}
+		follower = replica.NewFollower(*nodeID, srv.DB(), client,
+			replica.WithPullInterval(*pullInterval),
+			replica.WithFollowerMetrics(obsv.Metrics()),
+		)
+		srv.SetReplicaLagProbe(follower.LagProbe())
+		log.Printf("replica %s following %s (pull interval %s, max lag %s)",
+			*nodeID, *leaderURL, *pullInterval, *maxReplicaLag)
+	case durable != nil && durable.WAL() != nil:
+		leader, err = replica.NewLeader(durable.WAL(),
+			replica.WithStateDir(durable.Dir()),
+			replica.WithLeaderMetrics(obsv.Metrics()),
+		)
+		if err != nil {
+			return err
+		}
+		handler = replica.Handler(leader, handler)
+		log.Printf("leader %s shipping WAL from %s", *nodeID, durable.WALDir())
 	}
+
 	baseURL := *public
 	if baseURL == "" {
 		baseURL = "http://localhost" + *addr
+	}
+	// A replica never registers apps itself: every mutation, including
+	// app creation, arrives through the replicated log.
+	if !isReplica {
+		if err := registerCanonicalApps(srv, baseURL, *showBarcodes); err != nil {
+			return err
+		}
+	}
+
+	sorHandler, err := sor.NewHTTPHandler(handler, sor.WithHandlerObserver(obsv))
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle(sor.ServerPath, sorHandler)
+	sor.RegisterDebug(mux, obsv)
+	replica.RegisterDebug(mux, func() replica.Status {
+		switch {
+		case follower != nil:
+			self := follower.Status()
+			return replica.Status{Role: "follower", LastLSN: self.AppliedLSN, Self: &self}
+		case leader != nil:
+			ls := leader.Status()
+			return replica.Status{Role: ls.Role, LastLSN: ls.LastLSN, Followers: ls.Followers}
+		default:
+			return replica.Status{Role: "single"}
+		}
+	})
+	// The Visualization module (§II-B): /charts?category=coffee-shop
+	// renders the current feature data as inline SVG bar charts.
+	mux.HandleFunc("/charts", func(w http.ResponseWriter, r *http.Request) {
+		category := r.URL.Query().Get("category")
+		if category == "" {
+			category = world.CategoryCoffee
+		}
+		if !isReplica {
+			// A replica's features arrive via the replicated log; folding
+			// here would write to its own.
+			srv.Processor().Process()
+		}
+		charts, err := srv.Charts(category)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>SOR feature data</title></head><body><h1>%s</h1>\n", category)
+		for _, c := range charts {
+			svg, err := c.SVG(480, 320)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintln(w, svg)
+		}
+		fmt.Fprintln(w, "</body></html>")
+	})
+
+	processingCtx, stopProcessing := context.WithCancel(context.Background())
+	defer stopProcessing()
+	replCh := make(chan error, 1)
+	if isReplica {
+		go func() { replCh <- follower.Run(processingCtx) }()
+	} else {
+		if _, err := srv.StartProcessing(processingCtx, 30*time.Second); err != nil {
+			return err
+		}
+	}
+
+	log.Printf("sensing server listening on %s (endpoints %s, /charts, %s, %s, %s, /debug/pprof)",
+		*addr, sor.ServerPath, sor.MetricsPath, sor.TracePath, replica.DebugPath)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// Graceful shutdown: stop accepting, then close the storage backend so
+	// the final checkpoint and WAL close happen before exit.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	shutdown := func() error {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpServer.Shutdown(shutdownCtx)
+		stopProcessing()
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("closing storage: %w", err)
+		}
+		return nil
+	}
+	select {
+	case err := <-errCh:
+		_ = srv.Close()
+		return err
+	case err := <-replCh:
+		// The stream became unresumable (the leader compacted past us):
+		// exit cleanly so the operator can resync from a fresh data dir.
+		if closeErr := shutdown(); closeErr != nil {
+			return closeErr
+		}
+		return fmt.Errorf("replication stopped: %w", err)
+	case sig := <-sigCh:
+		log.Printf("received %s, shutting down", sig)
+		return shutdown()
+	}
+}
+
+// registerCanonicalApps creates the six paper field-test applications
+// (idempotent over recovered state) and prints their join barcodes.
+func registerCanonicalApps(srv *sor.Server, baseURL string, showBarcodes bool) error {
+	w, err := world.Canonical()
+	if err != nil {
+		return err
 	}
 	type appDef struct {
 		id, place, category, script string
@@ -134,75 +320,9 @@ func run() error {
 			return err
 		}
 		log.Printf("registered %-16s -> %s (barcode: %dx%d modules)", a.id, a.place, code.Size, code.Size)
-		if *showBarcodes {
+		if showBarcodes {
 			fmt.Println(code.ASCII())
 		}
 	}
-
-	sorHandler, err := sor.NewHTTPHandler(srv.Handler(), sor.WithHandlerObserver(obsv))
-	if err != nil {
-		return err
-	}
-	mux := http.NewServeMux()
-	mux.Handle(sor.ServerPath, sorHandler)
-	sor.RegisterDebug(mux, obsv)
-	// The Visualization module (§II-B): /charts?category=coffee-shop
-	// renders the current feature data as inline SVG bar charts.
-	mux.HandleFunc("/charts", func(w http.ResponseWriter, r *http.Request) {
-		category := r.URL.Query().Get("category")
-		if category == "" {
-			category = world.CategoryCoffee
-		}
-		srv.Processor().Process()
-		charts, err := srv.Charts(category)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>SOR feature data</title></head><body><h1>%s</h1>\n", category)
-		for _, c := range charts {
-			svg, err := c.SVG(480, 320)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintln(w, svg)
-		}
-		fmt.Fprintln(w, "</body></html>")
-	})
-
-	processingCtx, stopProcessing := context.WithCancel(context.Background())
-	defer stopProcessing()
-	if _, err := srv.StartProcessing(processingCtx, 30*time.Second); err != nil {
-		return err
-	}
-
-	log.Printf("sensing server listening on %s (endpoints %s, /charts, %s, %s, /debug/pprof)",
-		*addr, sor.ServerPath, sor.MetricsPath, sor.TracePath)
-	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	// Graceful shutdown: stop accepting, then close the storage backend so
-	// the final checkpoint and WAL close happen before exit.
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpServer.ListenAndServe() }()
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		_ = srv.Close()
-		return err
-	case sig := <-sigCh:
-		log.Printf("received %s, shutting down", sig)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = httpServer.Shutdown(shutdownCtx)
-		stopProcessing()
-		if err := srv.Close(); err != nil {
-			return fmt.Errorf("closing storage: %w", err)
-		}
-		return nil
-	}
+	return nil
 }

@@ -1,0 +1,789 @@
+package chaos
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"sor/internal/replica"
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/transport"
+	"sor/internal/vclock"
+	"sor/internal/wire"
+	"sor/internal/world"
+)
+
+// ReplicaSoakConfig parameterizes a 3-node replication soak: a leader
+// and two WAL-streaming followers driven on virtual time while nodes
+// are being killed -9, followers partition from the leader, and one
+// planned failover promotes a follower mid-run. The contract under
+// test: after convergence every node's state digest is byte-identical
+// to a never-crashed single-node baseline that applied the same
+// workload — replication, recovery, retention pinning, and failover
+// must all be invisible in the final state.
+type ReplicaSoakConfig struct {
+	// Seed drives every random stream: tick widths, chaos placement,
+	// checkpoint points, staleness probes. One seed, one exact run —
+	// the driver is single-threaded on virtual time.
+	Seed int64
+	// Phones is how many users join the app (default 4). The last one
+	// joins late, after the failover, so task-ID continuity across
+	// promotions is part of the digest.
+	Phones int
+	// Uploads is how many reports each phone delivers (default 5).
+	Uploads int
+	// Kills is how many times a random node is killed -9 and later
+	// recovered (default 10). The current leader is a legitimate target.
+	Kills int
+	// Partitions is how many timed follower→leader partitions drop on
+	// the run (default 3).
+	Partitions int
+	// MaxLag is the replicas' staleness bound on the virtual clock
+	// (default 600ms — short enough that partitions outlive it, so the
+	// refusal path is actually exercised).
+	MaxLag time.Duration
+	// MinSteps keeps the run alive past the workload (default 600
+	// ticks, ~30s virtual) so partitions, checkpoints, and staleness
+	// windows land on a live cluster instead of racing a sprint.
+	MinSteps int
+	// BaseDir roots the four data directories (three nodes plus the
+	// never-crashed baseline). Required.
+	BaseDir string
+}
+
+// ReplicaSoakResult is the converged run's telemetry.
+type ReplicaSoakResult struct {
+	// Digest is the state digest all three nodes AND the never-crashed
+	// baseline agreed on.
+	Digest string
+	// Ops is how many workload operations the cluster acknowledged.
+	Ops int
+	// Steps is how many virtual-time ticks the run took.
+	Steps int
+	// Kills/Partitions/Checkpoints/Failovers count the chaos performed.
+	Kills       int
+	Partitions  int
+	Checkpoints int
+	Failovers   int
+	// OpRetries counts workload operations deferred because the leader
+	// was down or demoted mid-op.
+	OpRetries int
+	// PullErrors counts follower pulls that failed (leader down or
+	// partitioned) and went through backoff.
+	PullErrors int
+	// Probes counts replica rank reads checked against the staleness
+	// bound; StaleServed of them carried the Stale flag, StaleRefused
+	// were refused outright (503 past MaxLag).
+	Probes       int
+	StaleServed  int
+	StaleRefused int
+}
+
+const (
+	replSoakAppID    = "app-repl"
+	replSoakTTL      = 24 * time.Hour // follower liveness TTL; pins must outlive every partition
+	replSoakInterval = 100 * time.Millisecond
+)
+
+// replNode is one cluster member: its durable directory plus the live
+// incarnation (server, and either a replication leader or a follower).
+type replNode struct {
+	id  string
+	dir string
+
+	backend *store.DurableBackend
+	srv     *server.Server
+	ld      *replica.Leader   // leader role only
+	fol     *replica.Follower // follower role only
+	handler transport.Handler // dispatch incl. the ReplPull intercept on leaders
+
+	up               bool
+	partitionedUntil time.Time // virtual; no leader contact before this
+	nextPullAt       time.Time
+}
+
+// replCluster is the whole soak: three nodes, the shared virtual clock,
+// and the seeded chaos state.
+type replCluster struct {
+	cfg       ReplicaSoakConfig
+	clk       *vclock.Virtual
+	rng       *rand.Rand
+	nodes     [3]*replNode
+	leaderIdx int
+	restartAt map[int]time.Time // node index → virtual instant it recovers
+	res       ReplicaSoakResult
+}
+
+// codecRoundTrip pushes a message through the full wire codec both
+// ways, so replication and phone traffic in the soak exercise the same
+// framing the HTTP transport would.
+func codecRoundTrip(h transport.Handler, m wire.Message) (wire.Message, error) {
+	frame, err := wire.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	req, err := wire.Decode(frame)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h(context.Background(), req)
+	if err != nil {
+		return nil, err
+	}
+	out, err := wire.Encode(resp)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Decode(out)
+}
+
+// replSender routes one follower's pulls to whichever node currently
+// leads, failing them while the leader is down or this follower is
+// partitioned — the errors the follower's backoff machinery must
+// absorb.
+type replSender struct {
+	c    *replCluster
+	from int
+}
+
+func (s replSender) Send(_ context.Context, m wire.Message) (wire.Message, error) {
+	lead := s.c.nodes[s.c.leaderIdx]
+	self := s.c.nodes[s.from]
+	if !lead.up {
+		return nil, errors.New("chaos: leader is down")
+	}
+	if s.c.clk.Now().Before(self.partitionedUntil) {
+		return nil, errors.New("chaos: partitioned from the leader")
+	}
+	return codecRoundTrip(lead.handler, m)
+}
+
+// open boots (or recovers) node i in the given role. The data directory
+// is whatever the previous incarnation left behind — recovering from it
+// is the point.
+func (c *replCluster) open(i int, asLeader bool) error {
+	n := c.nodes[i]
+	backend := store.NewDurableBackend(n.dir,
+		store.WithSegmentBytes(4096),
+		// Checkpoints are driver events (seeded, explicit) — the
+		// background loop must never fire on its own mid-run.
+		store.WithSnapshotInterval(time.Hour),
+	)
+	srv, err := server.New(server.Config{
+		Storage:       backend,
+		Now:           func() time.Time { return soakEpoch },
+		Catalog:       server.DefaultCatalog(),
+		MaxReplicaLag: c.cfg.MaxLag,
+	})
+	if err != nil {
+		return err
+	}
+	if asLeader {
+		err = srv.Open()
+	} else {
+		err = srv.OpenAsReplica()
+	}
+	if err != nil {
+		return fmt.Errorf("chaos: recovering %s: %w", n.id, err)
+	}
+	n.backend, n.srv = backend, srv
+	if asLeader {
+		ld, err := replica.NewLeader(backend.WAL(),
+			replica.WithStateDir(n.dir),
+			replica.WithLeaderClock(c.clk),
+			replica.WithFollowerTTL(replSoakTTL),
+		)
+		if err != nil {
+			return err
+		}
+		n.ld, n.fol = ld, nil
+		n.handler = replica.Handler(ld, srv.Handler())
+	} else {
+		c.attachFollower(n, i)
+	}
+	n.up = true
+	return nil
+}
+
+// attachFollower wires a follower role onto an open node: the pull
+// client, the staleness probe, and an immediate first pull slot.
+func (c *replCluster) attachFollower(n *replNode, idx int) {
+	f := replica.NewFollower(n.id, n.srv.DB(), replSender{c: c, from: idx},
+		replica.WithFollowerClock(c.clk),
+		replica.WithPullInterval(replSoakInterval),
+		replica.WithFollowerBackoff(10*time.Millisecond, 500*time.Millisecond, c.cfg.Seed+int64(idx)),
+	)
+	n.srv.SetReplicaLagProbe(f.LagProbe())
+	n.ld, n.fol = nil, f
+	n.handler = n.srv.Handler()
+	n.nextPullAt = c.clk.Now()
+}
+
+func (c *replCluster) kill(i int) {
+	n := c.nodes[i]
+	n.srv.Kill()
+	n.up = false
+}
+
+// restartDue recovers every killed node whose downtime has elapsed, in
+// node order (map iteration would be nondeterministic).
+func (c *replCluster) restartDue(now time.Time) error {
+	for i := range c.nodes {
+		at, down := c.restartAt[i]
+		if !down || now.Before(at) {
+			continue
+		}
+		if err := c.open(i, i == c.leaderIdx); err != nil {
+			return err
+		}
+		delete(c.restartAt, i)
+	}
+	return nil
+}
+
+// replOp is one deterministic workload step. The op list is a pure
+// function of the config, so the cluster run and the baseline apply the
+// exact same mutations in the exact same order — only the chaos between
+// them differs.
+type replOp struct {
+	phone  int
+	upload int // -1: participate, else the phone's upload number
+}
+
+// buildReplOps interleaves joins and upload rounds. The last phone
+// joins halfway through the rounds — past the failover point — so the
+// new leader must mint its task ID continuing the old leader's "task-N"
+// sequence, and the digest comparison against the baseline proves it
+// did.
+func buildReplOps(phones, uploads int) []replOp {
+	late := phones - 1
+	var ops []replOp
+	for p := 0; p < phones-1; p++ {
+		ops = append(ops, replOp{phone: p, upload: -1})
+	}
+	for u := 0; u < uploads; u++ {
+		for p := 0; p < phones; p++ {
+			if p == late {
+				if u < uploads/2 {
+					continue
+				}
+				if u == uploads/2 {
+					ops = append(ops, replOp{phone: late, upload: -1})
+				}
+			}
+			ops = append(ops, replOp{phone: p, upload: u})
+		}
+	}
+	return ops
+}
+
+// applyReplOp runs one workload op against h. done=false means the op
+// must be retried later (leader down or refusing writes); a non-nil
+// error is a contract violation chaos never excuses.
+func applyReplOp(h transport.Handler, op replOp, scheds []*wire.Schedule) (done bool, err error) {
+	var m wire.Message
+	if op.upload < 0 {
+		m = &wire.Participate{
+			UserID: fmt.Sprintf("repl-user-%d", op.phone),
+			Token:  fmt.Sprintf("repl-token-%d", op.phone),
+			AppID:  replSoakAppID,
+			Loc:    wire.Location{Lat: 43.0413, Lon: -76.1350},
+			Budget: 8,
+		}
+	} else {
+		sched := scheds[op.phone]
+		if sched == nil {
+			return false, fmt.Errorf("chaos: upload before participation for phone %d", op.phone)
+		}
+		ms := soakEpoch.Add(time.Duration(op.upload+1) * time.Minute).UnixMilli()
+		series := make([]wire.SensorSeries, 0, 4)
+		for _, sensor := range []string{"temperature", "light", "microphone", "wifi"} {
+			series = append(series, wire.SensorSeries{
+				Sensor: sensor,
+				Samples: []wire.SensorSample{
+					{AtUnixMilli: ms, WindowMilli: 5000,
+						Readings: []float64{40 + float64(op.phone) + float64(op.upload)/8}},
+				},
+			})
+		}
+		m = &wire.DataUpload{
+			TaskID: sched.TaskID, AppID: sched.AppID, UserID: sched.UserID,
+			ReportID: fmt.Sprintf("repl-%d-%d", op.phone, op.upload),
+			Series:   series,
+		}
+	}
+	resp, err := codecRoundTrip(h, m)
+	if err != nil {
+		return false, nil // leader vanished mid-op: retry
+	}
+	ack, ok := resp.(*wire.Ack)
+	if !ok {
+		return false, fmt.Errorf("chaos: op got %s reply", resp.Type())
+	}
+	if !ack.OK {
+		if ack.Code == 503 {
+			return false, nil // demoted or replica: retry against the next leader
+		}
+		return false, fmt.Errorf("chaos: op refused: %d %s", ack.Code, ack.Message)
+	}
+	if op.upload < 0 {
+		inner, err := wire.Decode(ack.Payload)
+		if err != nil {
+			return false, err
+		}
+		sched, ok := inner.(*wire.Schedule)
+		if !ok {
+			return false, fmt.Errorf("chaos: participation ack carried %s", inner.Type())
+		}
+		scheds[op.phone] = sched
+	}
+	return true, nil
+}
+
+// probeStaleness issues a rank query to node i (followers only) and
+// checks the bounded-staleness contract: the gate must refuse exactly
+// when the follower's last leader contact is older than MaxLag (or
+// never happened), and lagging-but-served replies must carry the Stale
+// flag.
+func (c *replCluster) probeStaleness(i int) error {
+	n := c.nodes[i]
+	if !n.up || n.fol == nil {
+		return nil
+	}
+	c.res.Probes++
+	self := n.fol.Status()
+	expectRefuse := self.LastContactMS < 0 || self.LastContactMS > c.cfg.MaxLag.Milliseconds()
+	resp, err := codecRoundTrip(n.handler, &wire.RankRequest{
+		UserID: "probe", Category: world.CategoryCoffee,
+	})
+	if err != nil {
+		return err
+	}
+	switch r := resp.(type) {
+	case *wire.Ack:
+		if strings.Contains(r.Message, "staleness") {
+			if !expectRefuse {
+				return fmt.Errorf("chaos: %s refused rank %dms after leader contact (bound %s)",
+					n.id, self.LastContactMS, c.cfg.MaxLag)
+			}
+			c.res.StaleRefused++
+			return nil
+		}
+		// Any other refusal (no rankable data yet) must still have
+		// passed the gate first.
+		if expectRefuse {
+			return fmt.Errorf("chaos: %s answered rank %dms after leader contact (bound %s): %s",
+				n.id, self.LastContactMS, c.cfg.MaxLag, r.Message)
+		}
+		return nil
+	case *wire.RankResponse:
+		if expectRefuse {
+			return fmt.Errorf("chaos: %s served rank %dms after leader contact (bound %s)",
+				n.id, self.LastContactMS, c.cfg.MaxLag)
+		}
+		if r.Stale {
+			c.res.StaleServed++
+		} else if self.LagRecords > 0 {
+			return fmt.Errorf("chaos: %s lags %d records but served an unflagged rank reply",
+				n.id, self.LagRecords)
+		}
+		return nil
+	default:
+		return fmt.Errorf("chaos: rank probe got %s reply", resp.Type())
+	}
+}
+
+// failover is the planned promotion: demote the leader, drain the
+// followers to the frozen head, promote the successor, and rejoin the
+// old leader as a follower of the new one.
+func (c *replCluster) failover() error {
+	// Every node must be reachable for a planned failover; restart any
+	// that chaos has down and heal partitions so the drain can finish.
+	for i, n := range c.nodes {
+		if !n.up {
+			if err := c.open(i, i == c.leaderIdx); err != nil {
+				return err
+			}
+			delete(c.restartAt, i)
+		}
+		n.partitionedUntil = time.Time{}
+	}
+	oldIdx := c.leaderIdx
+	old := c.nodes[oldIdx]
+	nextIdx := (oldIdx + 1) % len(c.nodes)
+	succ := c.nodes[nextIdx]
+
+	// Freeze the head, then drain every follower to it: acked mutations
+	// must survive the promotion, and the lagging third node must not
+	// be left behind a successor that may have compacted its own
+	// prefix.
+	old.srv.Demote()
+	head := old.backend.WAL().LastLSN()
+	for _, n := range c.nodes {
+		if n.fol == nil {
+			continue
+		}
+		for i := 0; n.srv.DB().AppliedLSN() < head; i++ {
+			if i > 10000 {
+				return fmt.Errorf("chaos: %s never reached the old head %d", n.id, head)
+			}
+			if _, err := n.fol.PullOnce(context.Background()); err != nil {
+				return fmt.Errorf("chaos: failover drain on %s: %w", n.id, err)
+			}
+		}
+	}
+	if err := succ.srv.Promote(); err != nil {
+		return err
+	}
+	ld, err := replica.NewLeader(succ.backend.WAL(),
+		replica.WithStateDir(succ.dir),
+		replica.WithLeaderClock(c.clk),
+		replica.WithFollowerTTL(replSoakTTL),
+	)
+	if err != nil {
+		return err
+	}
+	succ.ld, succ.fol = ld, nil
+	succ.handler = replica.Handler(ld, succ.srv.Handler())
+	c.leaderIdx = nextIdx
+
+	// The demoted leader rejoins as a follower, resuming from its own
+	// head — its log is a byte-identical prefix of the new leader's.
+	c.attachFollower(old, oldIdx)
+
+	// One pull from every follower before anything else: the pulls
+	// register their acks with the new leader, which pins its retention
+	// so no later checkpoint can compact records they still need.
+	for _, n := range c.nodes {
+		if n.fol == nil {
+			continue
+		}
+		if _, err := n.fol.PullOnce(context.Background()); err != nil {
+			return fmt.Errorf("chaos: re-homing %s on the new leader: %w", n.id, err)
+		}
+		n.nextPullAt = c.clk.Now()
+	}
+	c.res.Failovers++
+	return nil
+}
+
+// RunReplicaSoak drives the 3-node cluster through the seeded chaos
+// schedule and returns its telemetry. See ReplicaSoakConfig for the
+// contract.
+func RunReplicaSoak(cfg ReplicaSoakConfig) (*ReplicaSoakResult, error) {
+	if cfg.Phones <= 0 {
+		cfg.Phones = 4
+	}
+	if cfg.Uploads <= 0 {
+		cfg.Uploads = 5
+	}
+	if cfg.Kills < 0 {
+		cfg.Kills = 0
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 3
+	}
+	if cfg.MaxLag <= 0 {
+		cfg.MaxLag = 600 * time.Millisecond
+	}
+	if cfg.MinSteps <= 0 {
+		cfg.MinSteps = 600
+	}
+	if cfg.BaseDir == "" {
+		return nil, errors.New("chaos: replica soak needs a base dir")
+	}
+
+	c := &replCluster{
+		cfg:       cfg,
+		clk:       vclock.NewVirtual(soakEpoch),
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5e91d0de)),
+		restartAt: map[int]time.Time{},
+	}
+	for i := range c.nodes {
+		c.nodes[i] = &replNode{
+			id:  fmt.Sprintf("node-%d", i),
+			dir: filepath.Join(cfg.BaseDir, fmt.Sprintf("node-%d", i)),
+		}
+	}
+	for i := range c.nodes {
+		if err := c.open(i, i == 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.nodes[0].srv.CreateApp(replSoakApp()); err != nil {
+		return nil, err
+	}
+
+	ops := buildReplOps(cfg.Phones, cfg.Uploads)
+	scheds := make([]*wire.Schedule, cfg.Phones)
+	killsLeft := cfg.Kills
+	partitionsLeft := cfg.Partitions
+	failoverDone := false
+	opIdx := 0
+
+	anyDown := func() bool {
+		for _, n := range c.nodes {
+			if !n.up {
+				return true
+			}
+		}
+		return false
+	}
+	const maxSteps = 200000
+	for step := 0; opIdx < len(ops) || killsLeft > 0 || anyDown() || step < cfg.MinSteps; step++ {
+		if step >= maxSteps {
+			return nil, fmt.Errorf("chaos: no convergence after %d steps (op %d/%d, %d kills left)",
+				step, opIdx, len(ops), killsLeft)
+		}
+		c.res.Steps = step + 1
+		c.clk.Advance(time.Duration(10+c.rng.Intn(90)) * time.Millisecond)
+		now := c.clk.Now()
+
+		// Recoveries due: a killed node restarts in its current role and
+		// replays its own disk.
+		if err := c.restartDue(now); err != nil {
+			return nil, err
+		}
+		// Kill -9 a random node. Near the end of the run, force the
+		// remaining kills so the quota is always spent.
+		if killsLeft > 0 && (c.rng.Float64() < 0.02 || step >= cfg.MinSteps) {
+			target := c.rng.Intn(len(c.nodes))
+			if c.nodes[target].up {
+				c.kill(target)
+				c.restartAt[target] = now.Add(time.Duration(200+c.rng.Intn(600)) * time.Millisecond)
+				killsLeft--
+				c.res.Kills++
+			}
+		}
+		// Timed partition: a follower loses its leader link for a window
+		// sized to overlap the staleness bound.
+		if partitionsLeft > 0 && c.rng.Float64() < 0.015 {
+			target := c.rng.Intn(len(c.nodes))
+			if target != c.leaderIdx && c.nodes[target].up {
+				c.nodes[target].partitionedUntil = now.Add(time.Duration(300+c.rng.Intn(1200)) * time.Millisecond)
+				partitionsLeft--
+				c.res.Partitions++
+			}
+		}
+		// Explicit checkpoint on a random live node: a snapshot plus WAL
+		// truncation racing the shipper, with retention pins as the only
+		// guard.
+		if c.rng.Float64() < 0.03 {
+			target := c.rng.Intn(len(c.nodes))
+			if c.nodes[target].up {
+				if err := c.nodes[target].backend.Checkpoint(); err != nil {
+					return nil, fmt.Errorf("chaos: checkpoint on %s: %w", c.nodes[target].id, err)
+				}
+				c.res.Checkpoints++
+			}
+		}
+		// One planned failover mid-workload.
+		if !failoverDone && opIdx >= len(ops)/2 {
+			if err := c.failover(); err != nil {
+				return nil, err
+			}
+			failoverDone = true
+		}
+		// Followers pull on their own cadence (NextDelay: eager while
+		// behind, heartbeat while caught up, backoff while cut off).
+		for _, n := range c.nodes {
+			if !n.up || n.fol == nil || now.Before(n.nextPullAt) {
+				continue
+			}
+			if _, err := n.fol.PullOnce(context.Background()); err != nil {
+				if errors.Is(err, replica.ErrNeedsResync) {
+					return nil, fmt.Errorf("chaos: %s forced into resync (retention guard failed)", n.id)
+				}
+				c.res.PullErrors++
+			}
+			delay := n.fol.NextDelay()
+			if delay < 10*time.Millisecond {
+				delay = 10 * time.Millisecond
+			}
+			n.nextPullAt = now.Add(delay)
+		}
+		// Replica reads: rank queries against a random node, checked
+		// against the staleness bound.
+		if c.rng.Float64() < 0.2 {
+			if err := c.probeStaleness(c.rng.Intn(len(c.nodes))); err != nil {
+				return nil, err
+			}
+		}
+		// One workload op against the current leader, strictly in order:
+		// a deferred op is retried until the cluster accepts it. Ops are
+		// paced out so writes keep landing while chaos is in flight.
+		if opIdx < len(ops) && (step%4 == 0 || step >= cfg.MinSteps) {
+			lead := c.nodes[c.leaderIdx]
+			if !lead.up {
+				c.res.OpRetries++
+				continue
+			}
+			done, err := applyReplOp(lead.handler, ops[opIdx], scheds)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				opIdx++
+				c.res.Ops++
+			} else {
+				c.res.OpRetries++
+			}
+		}
+	}
+
+	// Convergence: heal everything, fold the leader's features, and
+	// drain every follower to the final head.
+	for _, n := range c.nodes {
+		n.partitionedUntil = time.Time{}
+	}
+	lead := c.nodes[c.leaderIdx]
+	lead.srv.Processor().Process()
+	head := lead.backend.WAL().LastLSN()
+	for _, n := range c.nodes {
+		if n.fol == nil {
+			continue
+		}
+		for i := 0; n.srv.DB().AppliedLSN() < head; i++ {
+			if i > 10000 {
+				return nil, fmt.Errorf("chaos: %s never drained to head %d", n.id, head)
+			}
+			if _, err := n.fol.PullOnce(context.Background()); err != nil {
+				return nil, fmt.Errorf("chaos: final drain on %s: %w", n.id, err)
+			}
+		}
+		if got := n.backend.WAL().LastLSN(); got != head {
+			return nil, fmt.Errorf("chaos: %s log head %d, leader %d", n.id, got, head)
+		}
+	}
+
+	// The never-crashed baseline: one node, the same ops in the same
+	// order, one final fold.
+	want, err := runReplBaseline(filepath.Join(cfg.BaseDir, "baseline"), cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range c.nodes {
+		if got := StateDigest(n.srv.DB(), world.CategoryCoffee, replSoakAppID); got != want {
+			return nil, fmt.Errorf("chaos: %s digest %.12s diverged from baseline %.12s", n.id, got, want)
+		}
+	}
+	for _, n := range c.nodes {
+		_ = n.backend.Close()
+	}
+	c.res.Digest = want
+	return &c.res, nil
+}
+
+func replSoakApp() store.Application {
+	return store.Application{
+		ID: replSoakAppID, Creator: "chaos-harness",
+		Category: world.CategoryCoffee, Place: world.Starbucks,
+		Lat: 43.0413, Lon: -76.1350, RadiusM: 60,
+		Script: soakScript, PeriodSec: 10800,
+	}
+}
+
+// runReplBaseline applies the soak's exact op sequence to a single
+// never-crashed node and returns its state digest.
+func runReplBaseline(dir string, cfg ReplicaSoakConfig) (string, error) {
+	backend := store.NewDurableBackend(dir, store.WithSnapshotInterval(time.Hour))
+	srv, err := server.New(server.Config{
+		Storage: backend,
+		Now:     func() time.Time { return soakEpoch },
+		Catalog: server.DefaultCatalog(),
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := srv.Open(); err != nil {
+		return "", err
+	}
+	defer srv.Close()
+	if err := srv.CreateApp(replSoakApp()); err != nil {
+		return "", err
+	}
+	scheds := make([]*wire.Schedule, cfg.Phones)
+	for _, op := range buildReplOps(cfg.Phones, cfg.Uploads) {
+		done, err := applyReplOp(srv.Handler(), op, scheds)
+		if err != nil {
+			return "", fmt.Errorf("chaos: baseline op: %w", err)
+		}
+		if !done {
+			return "", errors.New("chaos: baseline op deferred with no chaos running")
+		}
+	}
+	srv.Processor().Process()
+	return StateDigest(srv.DB(), world.CategoryCoffee, replSoakAppID), nil
+}
+
+// StateDigest hashes a store's externally visible state into one
+// comparable string: users, apps, participations, anchors, the dedup
+// window, every stored upload body in sequence order, and the feature
+// matrix bit-for-bit (Updated stamps excluded — they are wall-clock).
+// Scheduler internals and WAL positions are deliberately outside the
+// digest: replicas do not run the scheduler, and compaction
+// legitimately shifts log offsets without changing state.
+func StateDigest(db *store.Store, category, appID string) string {
+	h := sha256.New()
+	put := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+
+	users := db.Users()
+	sort.Slice(users, func(i, j int) bool { return users[i].ID < users[j].ID })
+	for _, u := range users {
+		put("user|%s|%s|%s\n", u.ID, u.Name, u.Token)
+	}
+	apps := db.Apps()
+	sort.Slice(apps, func(i, j int) bool { return apps[i].ID < apps[j].ID })
+	for _, a := range apps {
+		put("app|%s|%s|%s|%s|%x|%x|%x|%d\n",
+			a.ID, a.Creator, a.Category, a.Place,
+			math.Float64bits(a.Lat), math.Float64bits(a.Lon),
+			math.Float64bits(a.RadiusM), a.PeriodSec)
+	}
+	for _, p := range db.ParticipationsByApp(appID) {
+		put("part|%s|%s|%s|%d|%d|%d\n",
+			p.TaskID, p.UserID, p.Token, p.Budget, p.Status, p.Joined.UnixNano())
+	}
+	anchors := db.Anchors()
+	sort.Slice(anchors, func(i, j int) bool { return anchors[i].AppID < anchors[j].AppID })
+	for _, a := range anchors {
+		put("anchor|%s|%d\n", a.AppID, a.AnchorUnix)
+	}
+	for _, id := range db.SeenReportIDs(appID) {
+		put("seen|%s\n", id)
+	}
+	for _, u := range db.AllUploads() {
+		put("upload|%d|%s|%d|", u.Seq, u.AppID, u.Received.UnixNano())
+		h.Write(u.Body)
+		put("\n")
+	}
+	rows := db.FeaturesByCategory(category)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Place != rows[j].Place {
+			return rows[i].Place < rows[j].Place
+		}
+		return rows[i].Feature < rows[j].Feature
+	})
+	for _, r := range rows {
+		put("feat|%s|%s|%x|%d\n", r.Place, r.Feature, math.Float64bits(r.Value), r.Samples)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Summary renders the soak telemetry for logs.
+func (r *ReplicaSoakResult) Summary() string {
+	return fmt.Sprintf(
+		"%d ops in %d steps (%d deferred); %d kills, %d partitions, %d checkpoints, %d failover; "+
+			"%d pull errors; %d rank probes (%d stale-flagged, %d refused); digest %.12s",
+		r.Ops, r.Steps, r.OpRetries, r.Kills, r.Partitions, r.Checkpoints, r.Failovers,
+		r.PullErrors, r.Probes, r.StaleServed, r.StaleRefused, r.Digest)
+}

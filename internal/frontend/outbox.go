@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"sor/internal/obs"
+	"sor/internal/transport"
 	"sor/internal/vclock"
 	"sor/internal/wire"
 )
@@ -62,12 +62,8 @@ type Outbox struct {
 	// flight. Re-sends are still safe — the server dedups — just wasteful.
 	drainMu sync.Mutex
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
-
-	backoffBase time.Duration
-	backoffCap  time.Duration
-	clock       vclock.Clock
+	delay *transport.Backoff
+	clock vclock.Clock
 
 	met outboxMetrics
 }
@@ -107,11 +103,9 @@ const (
 
 func newOutbox(capacity int, base, cap time.Duration, seed int64, clk vclock.Clock) *Outbox {
 	return &Outbox{
-		cap:         capacity,
-		rng:         rand.New(rand.NewSource(seed)),
-		backoffBase: base,
-		backoffCap:  cap,
-		clock:       vclock.Or(clk),
+		cap:   capacity,
+		delay: transport.NewBackoff(base, cap, seed),
+		clock: vclock.Or(clk),
 	}
 }
 
@@ -335,20 +329,9 @@ func (o *Outbox) Flush(ctx context.Context, sender Sender) error {
 }
 
 // flushDelay draws the attempt's backoff: uniform in
-// [0, min(cap, base·2^attempt)] — full jitter, so a fleet of phones cut
-// off by the same partition does not retry in lockstep when it heals.
+// [0, min(cap, base·2^attempt)] — full jitter via the shared
+// transport.Backoff, so a fleet of phones cut off by the same partition
+// does not retry in lockstep when it heals.
 func (o *Outbox) flushDelay(attempt int) time.Duration {
-	ceil := o.backoffBase
-	for i := 0; i < attempt && ceil < o.backoffCap; i++ {
-		ceil *= 2
-	}
-	if ceil > o.backoffCap {
-		ceil = o.backoffCap
-	}
-	if ceil <= 0 {
-		return 0
-	}
-	o.rngMu.Lock()
-	defer o.rngMu.Unlock()
-	return time.Duration(o.rng.Int63n(int64(ceil) + 1))
+	return o.delay.Delay(attempt)
 }

@@ -1,0 +1,314 @@
+// Package replica implements WAL-shipped replication: a leader streams
+// its committed write-ahead log to followers over the ordinary wire
+// codec, and each follower appends the records verbatim to its own log
+// and applies them through the store's replay path — so every piece of
+// derived state (feature matrix, dedup windows, rank epochs) rebuilds on
+// the replica exactly as it did on the leader, and the replica's data
+// directory is recoverable by the same machinery as the leader's.
+//
+// The protocol is pull-based and stateless per request: a follower's
+// ReplPull carries its durably-applied position (the combined heartbeat,
+// acknowledgement and fetch), the leader's ReplRecords reply carries the
+// next contiguous run of records. The leader pins a retention floor per
+// acked follower so checkpoints never truncate segments a live follower
+// still needs; a follower that outlives the liveness TTL loses its pin
+// and, if the tail it needs is later compacted, is told to resync from a
+// fresh data directory (ReplRecords.Compacted).
+//
+// Failover is operator-triggered and planned: Demote the leader (it
+// starts refusing writes), wait until the chosen follower's applied LSN
+// reaches the old head, Promote the follower (it rebuilds scheduler
+// state and starts accepting writes), and rejoin the old leader as a
+// follower of the new one — its log is a byte-identical prefix of the
+// new leader's, so it resumes from its own head.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sor/internal/obs"
+	"sor/internal/vclock"
+	"sor/internal/wal"
+	"sor/internal/wire"
+)
+
+// Leader defaults.
+const (
+	// DefaultBatchRecords / DefaultBatchBytes bound one ReplRecords reply
+	// unless the pull asks for less.
+	DefaultBatchRecords = 1024
+	DefaultBatchBytes   = 4 << 20
+	// DefaultFollowerTTL is how long a silent follower keeps its
+	// retention pin. Past it the leader assumes the follower is gone and
+	// lets checkpoints reclaim its segments; a zombie coming back after
+	// that may be told to resync.
+	DefaultFollowerTTL = 10 * time.Minute
+)
+
+// stateFile is the leader-side follower-ack ledger, persisted in the
+// data directory so retention floors survive a leader restart: a
+// follower that has not re-pulled yet is still protected from the first
+// post-restart checkpoint.
+const stateFile = "replica_state.json"
+
+// LeaderOption tunes a Leader.
+type LeaderOption func(*Leader)
+
+// WithLeaderClock substitutes the liveness clock (simulations pass a
+// *vclock.Virtual).
+func WithLeaderClock(clk vclock.Clock) LeaderOption {
+	return func(ld *Leader) { ld.clock = vclock.Or(clk) }
+}
+
+// WithFollowerTTL overrides the follower liveness window.
+func WithFollowerTTL(d time.Duration) LeaderOption {
+	return func(ld *Leader) { ld.ttl = d }
+}
+
+// WithLeaderBatch overrides the per-pull record/byte caps.
+func WithLeaderBatch(records int, bytes int64) LeaderOption {
+	return func(ld *Leader) { ld.maxRecords, ld.maxBytes = records, bytes }
+}
+
+// WithStateDir persists follower acks under dir (usually the backend's
+// data directory). Empty (the default) keeps them in memory only.
+func WithStateDir(dir string) LeaderOption {
+	return func(ld *Leader) { ld.statePath = filepath.Join(dir, stateFile) }
+}
+
+// WithLeaderMetrics publishes sor_replica_* leader series into reg.
+func WithLeaderMetrics(reg *obs.Registry) LeaderOption {
+	return func(ld *Leader) { ld.reg = reg }
+}
+
+// followerState is one follower's leader-side record.
+type followerState struct {
+	ackLSN   uint64
+	lastSeen time.Time
+	ackGauge *obs.Gauge
+	lagGauge *obs.Gauge
+}
+
+// Leader serves ReplPull requests off the local WAL and accounts for
+// follower liveness and retention.
+type Leader struct {
+	log        *wal.Log
+	clock      vclock.Clock
+	ttl        time.Duration
+	maxRecords int
+	maxBytes   int64
+	statePath  string
+	reg        *obs.Registry
+
+	mu        sync.Mutex
+	followers map[string]*followerState
+
+	followersGauge *obs.Gauge
+	pulls          *obs.Counter
+	shipped        *obs.Counter
+	compactedPulls *obs.Counter
+}
+
+// NewLeader builds a Leader over an open log. With WithStateDir it
+// re-pins every persisted follower ack before returning, so the window
+// between a leader restart and the first re-pull cannot truncate a
+// follower's tail.
+func NewLeader(log *wal.Log, opts ...LeaderOption) (*Leader, error) {
+	ld := &Leader{
+		log:        log,
+		clock:      vclock.Real{},
+		ttl:        DefaultFollowerTTL,
+		maxRecords: DefaultBatchRecords,
+		maxBytes:   DefaultBatchBytes,
+		followers:  make(map[string]*followerState),
+	}
+	for _, opt := range opts {
+		opt(ld)
+	}
+	ld.followersGauge = ld.reg.Gauge("sor_replica_followers")
+	ld.pulls = ld.reg.Counter("sor_replica_pulls_total")
+	ld.shipped = ld.reg.Counter("sor_replica_shipped_records_total")
+	ld.compactedPulls = ld.reg.Counter("sor_replica_compacted_pulls_total")
+	if err := ld.loadState(); err != nil {
+		return nil, err
+	}
+	return ld, nil
+}
+
+type persistedState struct {
+	Followers map[string]uint64 `json:"followers"` // id -> acked LSN
+}
+
+func (ld *Leader) loadState() error {
+	if ld.statePath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(ld.statePath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("replica: reading %s: %w", ld.statePath, err)
+	}
+	var ps persistedState
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return fmt.Errorf("replica: decoding %s: %w", ld.statePath, err)
+	}
+	now := ld.clock.Now()
+	for id, lsn := range ps.Followers {
+		ld.followers[id] = ld.newFollowerState(id, lsn, now)
+		ld.log.Retain(id, lsn)
+	}
+	ld.followersGauge.Set(int64(len(ld.followers)))
+	return nil
+}
+
+// persistLocked writes the ack ledger atomically (temp file + rename).
+// Best-effort: a failed write costs durability of the pins across a
+// restart, never correctness while this process lives.
+func (ld *Leader) persistLocked() {
+	if ld.statePath == "" {
+		return
+	}
+	ps := persistedState{Followers: make(map[string]uint64, len(ld.followers))}
+	for id, f := range ld.followers {
+		ps.Followers[id] = f.ackLSN
+	}
+	data, err := json.Marshal(&ps)
+	if err != nil {
+		return
+	}
+	tmp := ld.statePath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, ld.statePath)
+}
+
+func (ld *Leader) newFollowerState(id string, ack uint64, now time.Time) *followerState {
+	return &followerState{
+		ackLSN:   ack,
+		lastSeen: now,
+		ackGauge: ld.reg.Gauge("sor_replica_follower_ack_lsn", obs.L("follower", id)),
+		lagGauge: ld.reg.Gauge("sor_replica_follower_lag_records", obs.L("follower", id)),
+	}
+}
+
+// HandlePull serves one follower pull: account the ack, pin retention,
+// expire dead followers, and ship the next contiguous batch.
+func (ld *Leader) HandlePull(p *wire.ReplPull) (*wire.ReplRecords, error) {
+	now := ld.clock.Now()
+	ack := p.FromLSN - 1
+
+	ld.mu.Lock()
+	f, ok := ld.followers[p.FollowerID]
+	if !ok {
+		f = ld.newFollowerState(p.FollowerID, ack, now)
+		ld.followers[p.FollowerID] = f
+	}
+	// A re-registration may move the ack down as well as up: a follower
+	// that lost its unsynced tail in a crash legitimately resumes lower.
+	f.ackLSN, f.lastSeen = ack, now
+	// Expire followers silent past the TTL so one dead replica cannot
+	// pin the log forever.
+	for id, g := range ld.followers {
+		if id != p.FollowerID && now.Sub(g.lastSeen) > ld.ttl {
+			delete(ld.followers, id)
+			ld.log.ReleaseRetain(id)
+			g.ackGauge.Set(0)
+			g.lagGauge.Set(0)
+		}
+	}
+	ld.followersGauge.Set(int64(len(ld.followers)))
+	ld.persistLocked()
+	ld.mu.Unlock()
+
+	// Pin before reading: once Retain returns, no truncation can pass
+	// the ack, so a non-compacted read here stays readable for resumes.
+	ld.log.Retain(p.FollowerID, ack)
+	ld.pulls.Inc()
+
+	maxRecords := ld.maxRecords
+	if p.MaxRecords > 0 && p.MaxRecords < maxRecords {
+		maxRecords = p.MaxRecords
+	}
+	if maxRecords > wire.MaxReplBatchRecords {
+		maxRecords = wire.MaxReplBatchRecords
+	}
+	maxBytes := ld.maxBytes
+	if p.MaxBytes > 0 && p.MaxBytes < maxBytes {
+		maxBytes = p.MaxBytes
+	}
+	recs, err := ld.log.ReadAfter(ack, maxRecords, maxBytes)
+	head := ld.log.LastLSN()
+	resp := &wire.ReplRecords{FirstLSN: p.FromLSN, LeaderLSN: head}
+	switch {
+	case err == nil:
+		resp.Records = recs
+		ld.shipped.Add(int64(len(recs)))
+	case errors.Is(err, wal.ErrCompacted):
+		// The tail this follower needs is gone (it joined late or
+		// outlived its TTL): it must resync from scratch.
+		resp.Compacted = true
+		ld.compactedPulls.Inc()
+	default:
+		return nil, fmt.Errorf("replica: reading wal after %d: %w", ack, err)
+	}
+	var lag uint64
+	if head > ack {
+		lag = head - ack
+	}
+	ld.mu.Lock()
+	if f, ok := ld.followers[p.FollowerID]; ok {
+		f.ackGauge.Set(int64(ack))
+		f.lagGauge.Set(int64(lag))
+	}
+	ld.mu.Unlock()
+	return resp, nil
+}
+
+// Status reports the leader's view of its followers (the /debug/replica
+// payload and the soak's convergence probe).
+func (ld *Leader) Status() LeaderStatus {
+	now := ld.clock.Now()
+	head := ld.log.LastLSN()
+	st := LeaderStatus{Role: "leader", LastLSN: head}
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	for id, f := range ld.followers {
+		var lag uint64
+		if head > f.ackLSN {
+			lag = head - f.ackLSN
+		}
+		st.Followers = append(st.Followers, FollowerStatus{
+			ID:          id,
+			AckLSN:      f.ackLSN,
+			LagRecords:  lag,
+			SilentForMS: now.Sub(f.lastSeen).Milliseconds(),
+			Live:        now.Sub(f.lastSeen) <= ld.ttl,
+		})
+	}
+	sortFollowers(st.Followers)
+	return st
+}
+
+// Forget drops one follower's retention pin immediately (operator
+// decommission, without waiting for the TTL).
+func (ld *Leader) Forget(id string) {
+	ld.mu.Lock()
+	if f, ok := ld.followers[id]; ok {
+		delete(ld.followers, id)
+		f.ackGauge.Set(0)
+		f.lagGauge.Set(0)
+	}
+	ld.followersGauge.Set(int64(len(ld.followers)))
+	ld.persistLocked()
+	ld.mu.Unlock()
+	ld.log.ReleaseRetain(id)
+}

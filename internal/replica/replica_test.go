@@ -1,0 +1,531 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/transport"
+	"sor/internal/vclock"
+	"sor/internal/wire"
+	"sor/internal/world"
+)
+
+var t0 = time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+
+const testScript = `return 1`
+
+// node is one server over its own durable data directory.
+type node struct {
+	t       *testing.T
+	backend *store.DurableBackend
+	srv     *server.Server
+}
+
+func openNode(t *testing.T, dir string, asReplica bool, maxLag time.Duration, opts ...store.DurableOption) *node {
+	t.Helper()
+	backend := store.NewDurableBackend(dir, opts...)
+	srv, err := server.New(server.Config{
+		Storage:       backend,
+		Now:           func() time.Time { return t0 },
+		Catalog:       server.DefaultCatalog(),
+		MaxReplicaLag: maxLag,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asReplica {
+		err = srv.OpenAsReplica()
+	} else {
+		err = srv.Open()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &node{t: t, backend: backend, srv: srv}
+}
+
+// leaderFor attaches a replication Leader to the node's log and returns
+// the composed handler replication and phone traffic share.
+func leaderFor(t *testing.T, n *node, opts ...LeaderOption) (*Leader, transport.Handler) {
+	t.Helper()
+	ld, err := NewLeader(n.backend.WAL(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ld, Handler(ld, n.srv.Handler())
+}
+
+// codecSender drives a handler through a full encode/decode round trip,
+// so pulls exercise the same wire path phones use.
+type codecSender struct{ h transport.Handler }
+
+func (s codecSender) Send(ctx context.Context, m wire.Message) (wire.Message, error) {
+	frame, err := wire.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	req, err := wire.Decode(frame)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.h(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out, err := wire.Encode(resp)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Decode(out)
+}
+
+// catchUp pulls until one full round advances nothing.
+func catchUp(t *testing.T, f *Follower) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		n, err := f.PullOnce(context.Background())
+		if err != nil {
+			t.Fatalf("pull: %v", err)
+		}
+		if n == 0 && f.Status().LagRecords == 0 {
+			return
+		}
+	}
+	t.Fatal("follower never caught up")
+}
+
+// allRecords drains a node's log from the beginning.
+func allRecords(t *testing.T, n *node) [][]byte {
+	t.Helper()
+	recs, err := n.backend.WAL().ReadAfter(0, 0, 0)
+	if err != nil {
+		t.Fatalf("reading log: %v", err)
+	}
+	return recs
+}
+
+func sameRecords(t *testing.T, what string, a, b [][]byte) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d records", what, len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("%s: record %d differs:\n%q\n%q", what, i+1, a[i], b[i])
+		}
+	}
+}
+
+func starbucksApp() store.Application {
+	return store.Application{
+		ID: "app-sb", Creator: "owner",
+		Category: world.CategoryCoffee, Place: world.Starbucks,
+		Lat: 43.0413, Lon: -76.1350, RadiusM: 60,
+		Script: testScript, PeriodSec: 10800,
+	}
+}
+
+func participate(t *testing.T, h transport.Handler, userID, token string, budget int) *wire.Schedule {
+	t.Helper()
+	resp, err := h(nil, &wire.Participate{
+		UserID: userID, Token: token, AppID: "app-sb",
+		Loc:    wire.Location{Lat: 43.0413, Lon: -76.1350},
+		Budget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := resp.(*wire.Ack)
+	if !ack.OK {
+		t.Fatalf("participation refused: %s", ack.Message)
+	}
+	inner, err := wire.Decode(ack.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inner.(*wire.Schedule)
+}
+
+func upload(t *testing.T, h transport.Handler, sched *wire.Schedule, seq int) {
+	t.Helper()
+	ms := t0.Add(time.Duration(seq) * time.Minute).UnixMilli()
+	series := make([]wire.SensorSeries, 0, 4)
+	for _, sensor := range []string{"temperature", "light", "microphone", "wifi"} {
+		series = append(series, wire.SensorSeries{
+			Sensor: sensor,
+			Samples: []wire.SensorSample{
+				{AtUnixMilli: ms, WindowMilli: 5000, Readings: []float64{70 + float64(seq)}},
+			},
+		})
+	}
+	resp, err := h(nil, &wire.DataUpload{
+		TaskID: sched.TaskID, AppID: sched.AppID, UserID: sched.UserID,
+		ReportID: sched.UserID + "/" + sched.TaskID + "/" + string(rune('0'+seq)),
+		Series:   series,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK {
+		t.Fatalf("upload refused: %+v", ack)
+	}
+}
+
+func rank(t *testing.T, h transport.Handler) *wire.RankResponse {
+	t.Helper()
+	resp, err := h(nil, &wire.RankRequest{UserID: "alice", Category: world.CategoryCoffee})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := resp.(*wire.RankResponse)
+	if !ok {
+		t.Fatalf("rank reply = %+v", resp)
+	}
+	return rr
+}
+
+// TestFollowerConvergesAndServesReads is the tentpole's core contract:
+// after catching up, the follower's log is byte-identical to the
+// leader's, its derived state answers reads (ping, rank) like the
+// leader, and it refuses writes retryably.
+func TestFollowerConvergesAndServesReads(t *testing.T) {
+	leader := openNode(t, t.TempDir(), false, 0)
+	defer leader.srv.Close()
+	_, lh := leaderFor(t, leader)
+
+	if err := leader.srv.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, lh, "alice", "tok-a", 6)
+	for i := 1; i <= 3; i++ {
+		upload(t, lh, sched, i)
+	}
+	leaderRank := rank(t, lh) // folds features → more WAL records
+
+	fn := openNode(t, t.TempDir(), true, 0)
+	defer fn.srv.Close()
+	f := NewFollower("node-b", fn.srv.DB(), codecSender{lh},
+		WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 1))
+	fn.srv.SetReplicaLagProbe(f.LagProbe())
+	catchUp(t, f)
+
+	sameRecords(t, "follower log", allRecords(t, leader), allRecords(t, fn))
+
+	// Ping (read) served by the replica from replicated schedule rows.
+	resp, err := fn.srv.Handler()(nil, &wire.Ping{Token: "tok-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK || len(ack.Payload) == 0 {
+		t.Fatalf("replica ping = %+v", ack)
+	}
+
+	// Rank served off the replica's own snapshot of replicated features,
+	// identical to the leader's ranking.
+	replicaRank := rank(t, fn.srv.Handler())
+	if replicaRank.Stale {
+		t.Fatal("caught-up replica flagged its rank reply stale")
+	}
+	if len(replicaRank.Ranked) != len(leaderRank.Ranked) {
+		t.Fatalf("replica ranked %d places, leader %d", len(replicaRank.Ranked), len(leaderRank.Ranked))
+	}
+	for i := range replicaRank.Ranked {
+		if replicaRank.Ranked[i].Place != leaderRank.Ranked[i].Place {
+			t.Fatalf("rank order diverged at %d: %s vs %s",
+				i, replicaRank.Ranked[i].Place, leaderRank.Ranked[i].Place)
+		}
+	}
+
+	// Writes are refused retryably (503), not silently applied.
+	resp, err = fn.srv.Handler()(nil, &wire.Leave{UserID: "alice", AppID: "app-sb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); ack.OK || ack.Code != 503 {
+		t.Fatalf("replica write = %+v, want 503 refusal", ack)
+	}
+}
+
+// TestFollowerResumesAcrossRestart kills the follower mid-stream and
+// proves the reopened node resumes from its own durable position.
+func TestFollowerResumesAcrossRestart(t *testing.T) {
+	leader := openNode(t, t.TempDir(), false, 0)
+	defer leader.srv.Close()
+	_, lh := leaderFor(t, leader)
+	if err := leader.srv.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, lh, "alice", "tok-a", 8)
+	for i := 1; i <= 6; i++ {
+		upload(t, lh, sched, i)
+	}
+
+	fdir := t.TempDir()
+	fn := openNode(t, fdir, true, 0)
+	f := NewFollower("node-b", fn.srv.DB(), codecSender{lh},
+		WithFollowerBatch(2, 0), WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 1))
+	if _, err := f.PullOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.PullOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mid := fn.srv.DB().AppliedLSN()
+	if mid == 0 || mid >= leader.backend.WAL().LastLSN() {
+		t.Fatalf("follower applied %d of %d; want a strict prefix", mid, leader.backend.WAL().LastLSN())
+	}
+	fn.srv.Kill() // crash the follower, acked records only
+
+	fn2 := openNode(t, fdir, true, 0)
+	defer fn2.srv.Close()
+	if got := fn2.srv.DB().AppliedLSN(); got < mid {
+		t.Fatalf("reopened follower at LSN %d, had durably applied %d", got, mid)
+	}
+	f2 := NewFollower("node-b", fn2.srv.DB(), codecSender{lh},
+		WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 2))
+	catchUp(t, f2)
+	sameRecords(t, "log after follower restart", allRecords(t, leader), allRecords(t, fn2))
+}
+
+// TestRetentionSurvivesLeaderRestart pins the replica_state.json path: a
+// leader restart must re-pin persisted follower acks before its first
+// checkpoint can truncate them away.
+func TestRetentionSurvivesLeaderRestart(t *testing.T) {
+	dir := t.TempDir()
+	leader := openNode(t, dir, false, 0, store.WithSegmentBytes(256))
+	_, lh := leaderFor(t, leader, WithStateDir(dir))
+	st := leader.srv.DB()
+	for i := 0; i < 60; i++ {
+		if err := st.PutUser(store.User{ID: userID(i), Name: "u", Token: tokenID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fn := openNode(t, t.TempDir(), true, 0)
+	defer fn.srv.Close()
+	f := NewFollower("node-b", fn.srv.DB(), codecSender{lh},
+		WithFollowerBatch(10, 0), WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 1))
+	if _, err := f.PullOnce(context.Background()); err != nil { // applies 1..10
+		t.Fatal(err)
+	}
+	if _, err := f.PullOnce(context.Background()); err != nil { // acks 10, applies 11..20
+		t.Fatal(err)
+	}
+	// The leader's persisted floor is what the follower ACKED (10), one
+	// pull behind what it has applied (20).
+	const ack = uint64(10)
+
+	if err := leader.srv.Close(); err != nil { // checkpoint + truncate on the way down
+		t.Fatal(err)
+	}
+	leader2 := openNode(t, dir, false, 0, store.WithSegmentBytes(256))
+	defer leader2.srv.Close()
+	ld2, lh2 := leaderFor(t, leader2, WithStateDir(dir))
+	if got := ld2.Status().Followers; len(got) != 1 || got[0].ID != "node-b" || got[0].AckLSN != ack {
+		t.Fatalf("restarted leader follower state = %+v", got)
+	}
+	if err := leader2.backend.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The follower's tail survived both the shutdown checkpoint and the
+	// post-restart one: it can resume exactly where it acked.
+	if _, err := leader2.backend.WAL().ReadAfter(ack, 1, 0); err != nil {
+		t.Fatalf("follower tail truncated across leader restart: %v", err)
+	}
+	f2 := NewFollower("node-b", fn.srv.DB(), codecSender{lh2},
+		WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 3))
+	catchUp(t, f2)
+	// The leader compacted its prefix below the ack; compare the tails
+	// both sides still hold.
+	lt, err := leader2.backend.WAL().ReadAfter(ack, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := fn.backend.WAL().ReadAfter(ack, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, "log tail after leader restart", lt, ft)
+}
+
+func userID(i int) string  { return "user-" + string(rune('a'+i/26)) + string(rune('a'+i%26)) }
+func tokenID(i int) string { return "tok-" + string(rune('a'+i/26)) + string(rune('a'+i%26)) }
+
+// TestCompactedStreamDemandsResync: a follower arriving after the tail
+// it needs was checkpointed away is told to resync, not fed a gap.
+func TestCompactedStreamDemandsResync(t *testing.T) {
+	leader := openNode(t, t.TempDir(), false, 0, store.WithSegmentBytes(256))
+	defer leader.srv.Close()
+	_, lh := leaderFor(t, leader)
+	st := leader.srv.DB()
+	for i := 0; i < 60; i++ {
+		if err := st.PutUser(store.User{ID: userID(i), Name: "u", Token: tokenID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.backend.Checkpoint(); err != nil { // no followers: truncates freely
+		t.Fatal(err)
+	}
+	fn := openNode(t, t.TempDir(), true, 0)
+	defer fn.srv.Close()
+	f := NewFollower("node-late", fn.srv.DB(), codecSender{lh},
+		WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 1))
+	if _, err := f.PullOnce(context.Background()); !errors.Is(err, ErrNeedsResync) {
+		t.Fatalf("late follower pull = %v, want ErrNeedsResync", err)
+	}
+	if s := f.Status(); !s.NeedsResync || s.Connected {
+		t.Fatalf("status after compacted pull = %+v", s)
+	}
+}
+
+// TestPlannedFailover walks the operator runbook: demote the leader,
+// drain the follower, promote it, rejoin the old leader as a follower —
+// and proves the logs stay byte-identical with writes flowing through
+// the new leader.
+func TestPlannedFailover(t *testing.T) {
+	a := openNode(t, t.TempDir(), false, 0)
+	defer a.srv.Close()
+	_, ah := leaderFor(t, a)
+	if err := a.srv.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, ah, "alice", "tok-a", 6)
+	upload(t, ah, sched, 1)
+
+	b := openNode(t, t.TempDir(), true, 0)
+	defer b.srv.Close()
+	fb := NewFollower("node-b", b.srv.DB(), codecSender{ah},
+		WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 1))
+	catchUp(t, fb)
+
+	// Step 1: demote A. Writes are now refused on both nodes.
+	a.srv.Demote()
+	resp, err := ah(nil, &wire.Leave{UserID: "alice", AppID: "app-sb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); ack.OK || ack.Code != 503 {
+		t.Fatalf("demoted leader write = %+v, want 503", ack)
+	}
+	// Step 2: drain — the follower reaches the frozen head.
+	catchUp(t, fb)
+	if got, want := b.srv.DB().AppliedLSN(), a.backend.WAL().LastLSN(); got != want {
+		t.Fatalf("drained follower at %d, leader head %d", got, want)
+	}
+	// Step 3: promote B. It rebuilds scheduler state and accepts writes.
+	if err := b.srv.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	_, bh := leaderFor(t, b)
+	upload(t, bh, sched, 2) // alice's phone retries against the new leader
+	bob := participate(t, bh, "bob", "tok-b", 4)
+	upload(t, bh, bob, 1)
+
+	// Step 4: A rejoins as a follower of B, resuming from its own head.
+	fa := NewFollower("node-a", a.srv.DB(), codecSender{bh},
+		WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 2))
+	catchUp(t, fa)
+	sameRecords(t, "old leader log after rejoin", allRecords(t, b), allRecords(t, a))
+
+	// The rejoined A serves the post-failover state read-only: bob's
+	// schedule is visible through its ping path.
+	resp, err = a.srv.Handler()(nil, &wire.Ping{Token: "tok-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := resp.(*wire.Ack); !ack.OK || len(ack.Payload) == 0 {
+		t.Fatalf("rejoined node ping = %+v", ack)
+	}
+}
+
+// TestReplicaStalenessGate pins the bounded-staleness contract: a
+// replica past its lag bound refuses rank queries (503), one within the
+// bound but behind the leader serves with the explicit Stale flag.
+func TestReplicaStalenessGate(t *testing.T) {
+	leader := openNode(t, t.TempDir(), false, 0)
+	defer leader.srv.Close()
+	_, lh := leaderFor(t, leader)
+	if err := leader.srv.CreateApp(starbucksApp()); err != nil {
+		t.Fatal(err)
+	}
+	sched := participate(t, lh, "alice", "tok-a", 6)
+	upload(t, lh, sched, 1)
+	rank(t, lh) // fold features so replicas have a rankable matrix
+
+	clk := vclock.NewVirtual(t0)
+	backend := store.NewDurableBackend(t.TempDir())
+	srv, err := server.New(server.Config{
+		Storage:       backend,
+		Now:           clk.Now,
+		Catalog:       server.DefaultCatalog(),
+		MaxReplicaLag: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.OpenAsReplica(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Before any replication stream exists, lag is unbounded: refuse.
+	resp, err := srv.Handler()(nil, &wire.RankRequest{UserID: "alice", Category: world.CategoryCoffee})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, ok := resp.(*wire.Ack); !ok || ack.OK || ack.Code != 503 {
+		t.Fatalf("unprobed replica rank = %+v, want 503", resp)
+	}
+
+	f := NewFollower("node-b", srv.DB(), codecSender{lh},
+		WithFollowerClock(clk), WithFollowerBackoff(time.Millisecond, 10*time.Millisecond, 1))
+	srv.SetReplicaLagProbe(f.LagProbe())
+	catchUp(t, f)
+
+	// Fresh contact, zero lag: a clean, unflagged reply.
+	if rr := rank(t, srv.Handler()); rr.Stale {
+		t.Fatal("fresh replica flagged stale")
+	}
+
+	// New leader writes the replica knows about (the pull's LeaderLSN)
+	// but has not applied: serve, flagged stale.
+	upload(t, lh, sched, 2)
+	if _, err := f.PullOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	upload(t, lh, sched, 3)
+	pullOneRecordBehind(t, f, lh, srv)
+
+	// Contact older than the bound: refuse outright.
+	clk.Advance(2 * time.Second)
+	resp, err = srv.Handler()(nil, &wire.RankRequest{UserID: "alice", Category: world.CategoryCoffee})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, ok := resp.(*wire.Ack); !ok || ack.OK || ack.Code != 503 {
+		t.Fatalf("over-bound replica rank = %+v, want 503", resp)
+	}
+}
+
+// pullOneRecordBehind leaves the follower exactly one record behind a
+// leader that keeps writing, then asserts the rank reply carries the
+// Stale flag.
+func pullOneRecordBehind(t *testing.T, f *Follower, lh transport.Handler, srv *server.Server) {
+	t.Helper()
+	// One bounded pull: advances but leaves the newest record(s) behind.
+	f.maxRecords = 1
+	if _, err := f.PullOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	f.maxRecords = DefaultBatchRecords
+	if s := f.Status(); s.LagRecords == 0 {
+		t.Skip("leader fold landed in one record; cannot stage lag")
+	}
+	if rr := rank(t, srv.Handler()); !rr.Stale {
+		t.Fatal("lagging replica served an unflagged rank reply")
+	}
+}

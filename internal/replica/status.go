@@ -1,0 +1,77 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"sor/internal/transport"
+	"sor/internal/wire"
+)
+
+// DebugPath serves the replication status JSON (sorctl replica status).
+const DebugPath = "/debug/replica"
+
+// FollowerStatus is the leader's view of one follower.
+type FollowerStatus struct {
+	ID          string `json:"id"`
+	AckLSN      uint64 `json:"ack_lsn"`
+	LagRecords  uint64 `json:"lag_records"`
+	SilentForMS int64  `json:"silent_for_ms"`
+	Live        bool   `json:"live"`
+}
+
+// FollowerSelf is a follower's view of its own stream.
+type FollowerSelf struct {
+	ID            string `json:"id"`
+	AppliedLSN    uint64 `json:"applied_lsn"`
+	LeaderLSN     uint64 `json:"leader_lsn"`
+	LagRecords    uint64 `json:"lag_records"`
+	LastContactMS int64  `json:"last_contact_ms"` // -1 before first contact
+	Failures      int    `json:"failures"`
+	NeedsResync   bool   `json:"needs_resync"`
+	Connected     bool   `json:"connected"`
+}
+
+// LeaderStatus is the leader side of the status payload.
+type LeaderStatus struct {
+	Role      string           `json:"role"`
+	LastLSN   uint64           `json:"last_lsn"`
+	Followers []FollowerStatus `json:"followers,omitempty"`
+}
+
+// Status is the full /debug/replica payload for one node; exactly one
+// of the two views is populated depending on the node's current role.
+type Status struct {
+	Role      string           `json:"role"` // "leader" | "follower" | "single"
+	LastLSN   uint64           `json:"last_lsn"`
+	Followers []FollowerStatus `json:"followers,omitempty"`
+	Self      *FollowerSelf    `json:"self,omitempty"`
+}
+
+func sortFollowers(fs []FollowerStatus) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+}
+
+// Handler wraps a transport handler so ReplPull requests are served by
+// the leader and everything else falls through — replication rides the
+// same endpoint, codec and fault machinery as phone traffic.
+func Handler(ld *Leader, next transport.Handler) transport.Handler {
+	return func(ctx context.Context, m wire.Message) (wire.Message, error) {
+		if p, ok := m.(*wire.ReplPull); ok {
+			return ld.HandlePull(p)
+		}
+		return next(ctx, m)
+	}
+}
+
+// RegisterDebug mounts the status endpoint. src is called per request so
+// the payload always reflects the node's current role (a promoted
+// follower starts reporting as leader without re-mounting).
+func RegisterDebug(mux *http.ServeMux, src func() Status) {
+	mux.HandleFunc(DebugPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(src())
+	})
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"errors"
+	"time"
+)
+
+// This file is the server side of replica mode (see internal/replica for
+// the WAL shipping itself). A replica is a warm standby: it owns a full
+// DurableBackend whose log is a byte-for-byte copy of the leader's,
+// applied through store.ApplyReplicated, and serves rank and ping reads
+// off its own columnar snapshots. It never mutates — mutating messages
+// are refused retryably (dispatch), the data processor never runs
+// (rebuildSnapshot), and recovery's write-backs are deferred until
+// Promote — so the only writer of its log is the replication stream.
+
+// ReplicaLagProbe reports how far the replica trails the leader: age is
+// the time since the last confirmed leader contact (a successful pull,
+// even an empty heartbeat), records is the known record lag at that
+// contact. The replication layer installs it via SetReplicaLagProbe.
+type ReplicaLagProbe func() (age time.Duration, records uint64)
+
+// OpenAsReplica opens the storage backend like Open but leaves the
+// server in replica mode: recoverState is skipped entirely — it writes
+// (orphaning waiting tasks, refolding features through the processor),
+// and every derived fact it rebuilds either arrives via the replicated
+// WAL or is rebuilt at Promote time.
+func (s *Server) OpenAsReplica() error {
+	if s.storage == nil {
+		return errors.New("server: no storage backend configured")
+	}
+	if s.db != nil {
+		return errors.New("server: already open")
+	}
+	db, err := s.storage.Open()
+	if err != nil {
+		return err
+	}
+	s.replica.Store(true)
+	s.db = db
+	s.processor.db = db
+	return nil
+}
+
+// IsReplica reports whether the server is currently in replica mode.
+func (s *Server) IsReplica() bool { return s.replica.Load() }
+
+// SetReplicaLagProbe installs the staleness probe rank queries consult.
+func (s *Server) SetReplicaLagProbe(p ReplicaLagProbe) { s.lagProbe.Store(&p) }
+
+// Promote turns a caught-up replica into the leader: replica mode ends
+// (mutations accepted, the processor runs again) and recoverState
+// rebuilds the scheduling state Open would have — timelines from the
+// replicated anchors, memberships and ledgers from the replicated
+// participations and uploads. recoverState's writes (orphaned waiting
+// tasks, refolded features) now append to this node's log as the new
+// head of replication history. The caller must first stop the follower
+// pull loop; the operator runbook additionally waits until the applied
+// LSN matches the old leader's head, or acked mutations are lost.
+func (s *Server) Promote() error {
+	if s.db == nil {
+		return errors.New("server: not open")
+	}
+	if !s.replica.CompareAndSwap(true, false) {
+		return errors.New("server: not a replica")
+	}
+	return s.recoverState()
+}
+
+// Demote is the first step of a planned failover: the old leader stops
+// accepting mutations (refusing them retryably, like a replica) so its
+// log stops growing and a follower can catch up to a fixed head. Its
+// scheduling state stays in memory but unreachable; after the peer's
+// Promote, this node rejoins as a follower of the new leader and the
+// state is simply never consulted again.
+func (s *Server) Demote() {
+	s.replica.Store(true)
+}
+
+// replicaStale gates a rank read on the replica's lag. It returns
+// refuse=true when the staleness bound is configured and exceeded —
+// serving would silently hand out data older than the operator allows —
+// and stale=true when the reply should carry the explicit Stale flag
+// because the replica knows records are in flight behind it.
+func (s *Server) replicaStale() (stale, refuse bool) {
+	if !s.replica.Load() {
+		return false, false
+	}
+	p := s.lagProbe.Load()
+	if p == nil {
+		// No replication stream attached yet: the replica cannot bound
+		// its lag at all. Within-bound serving is unprovable, so refuse
+		// when a bound is configured.
+		return true, s.maxReplicaLag > 0
+	}
+	age, records := (*p)()
+	if s.maxReplicaLag > 0 && age > s.maxReplicaLag {
+		return true, true
+	}
+	return records > 0, false
+}

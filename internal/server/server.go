@@ -58,6 +58,14 @@ type Config struct {
 	// requests always observe every prior ingest, like the legacy path
 	// that re-processed per query.
 	RankRefresh time.Duration
+	// MaxReplicaLag bounds how stale a read replica may serve rank
+	// queries: when the follower has not confirmed contact with the
+	// leader within this window, rank requests are refused (503,
+	// retryable) instead of silently serving old data. Zero means serve
+	// regardless of lag. Replies that are served while the replica knows
+	// it lags carry the RankResponse.Stale flag. Only meaningful on
+	// servers opened as replicas.
+	MaxReplicaLag time.Duration
 	// Observer enables metrics and request tracing (nil = observability
 	// off; every instrumentation point degrades to a no-op).
 	Observer *obs.Observer
@@ -87,6 +95,14 @@ type Server struct {
 	rankRefresh  time.Duration
 	servingByCat sync.Map // category -> *categoryServing
 	appCats      sync.Map // appID -> category string
+
+	// Replica mode (replica.go): when set, the server is a warm standby —
+	// every mutating message is refused retryably, the data processor
+	// never runs (derived state arrives via the replicated WAL), and rank
+	// queries are staleness-gated by maxReplicaLag against lagProbe.
+	replica       atomic.Bool
+	maxReplicaLag time.Duration
+	lagProbe      atomic.Pointer[ReplicaLagProbe]
 
 	obsv *obs.Observer
 	met  serverMetrics
@@ -187,14 +203,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: empty feature catalog")
 	}
 	s := &Server{
-		db:          cfg.DB,
-		storage:     cfg.Storage,
-		now:         cfg.Now,
-		kernel:      cfg.Kernel,
-		step:        cfg.Step,
-		catalog:     cfg.Catalog,
-		push:        cfg.Push,
-		rankRefresh: cfg.RankRefresh,
+		db:            cfg.DB,
+		storage:       cfg.Storage,
+		now:           cfg.Now,
+		kernel:        cfg.Kernel,
+		step:          cfg.Step,
+		catalog:       cfg.Catalog,
+		push:          cfg.Push,
+		rankRefresh:   cfg.RankRefresh,
+		maxReplicaLag: cfg.MaxReplicaLag,
 	}
 	s.states = newShardedStates()
 	s.processor = NewDataProcessor(cfg.DB)
@@ -257,6 +274,15 @@ func (s *Server) Handler() transport.Handler {
 func (s *Server) dispatch(ctx context.Context, m wire.Message) (wire.Message, error) {
 	if s.db == nil {
 		return nil, errors.New("server: not open")
+	}
+	// A replica refuses every mutating message retryably (503, like a
+	// node mid-restart) so phones fail over to the leader instead of
+	// diverging this node's log. Reads — ping and rank — stay served.
+	if s.replica.Load() {
+		switch m.(type) {
+		case *wire.Participate, *wire.DataUpload, *wire.DataUploadBatch, *wire.Leave:
+			return refuse(503, "replica: writes go to the leader"), nil
+		}
 	}
 	switch msg := m.(type) {
 	case *wire.Participate:
@@ -770,6 +796,10 @@ func (s *Server) handleRankRequest(ctx context.Context, msg *wire.RankRequest) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	stale, tooStale := s.replicaStale()
+	if tooStale {
+		return refuse(503, "replica lag exceeds the staleness bound"), nil
+	}
 	snap, err := s.freshSnapshot(msg.Category)
 	if err != nil {
 		if errors.Is(err, errNoRankData) {
@@ -797,7 +827,9 @@ func (s *Server) handleRankRequest(ctx context.Context, msg *wire.RankRequest) (
 	if err != nil {
 		return refuse(400, "ranking failed: %v", err), nil
 	}
-	return buildRankResponse(msg.Category, snap, res, k), nil
+	resp := buildRankResponse(msg.Category, snap, res, k)
+	resp.Stale = stale
+	return resp, nil
 }
 
 // FeatureMatrix assembles the ranking matrix H for a category from the

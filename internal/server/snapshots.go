@@ -152,7 +152,13 @@ func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *ran
 	t0 := time.Now()
 	dirty := cs.dirty.Load()
 	uploadSeq := s.db.UploadSeq()
-	s.processor.Process()
+	// A replica never folds uploads itself: feature rows arrive through
+	// the replicated WAL (the leader's processor wrote them), and running
+	// the processor here would write this node's log, diverging it from
+	// the leader's byte-for-byte copy.
+	if !s.replica.Load() {
+		s.processor.Process()
+	}
 	featVer := s.db.FeatureVersion(category)
 
 	// Re-arm fast path: UploadSeq is store-global, so traffic to OTHER

@@ -150,6 +150,14 @@ func NewDurableBackend(dir string, opts ...DurableOption) *DurableBackend {
 // WALDir is where the backend keeps its log segments.
 func (b *DurableBackend) WALDir() string { return filepath.Join(b.dir, "wal") }
 
+// WAL exposes the open log for the replication layer (leader-side
+// shipping reads and retention floors). Nil before Open or with
+// WithoutWAL.
+func (b *DurableBackend) WAL() *wal.Log { return b.log }
+
+// Dir is the backend's data directory.
+func (b *DurableBackend) Dir() string { return b.dir }
+
 // Open recovers the store from disk and starts the checkpoint loop.
 func (b *DurableBackend) Open() (*Store, error) {
 	if b.st != nil {

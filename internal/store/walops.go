@@ -208,51 +208,66 @@ func (s *Store) markLocked(appID, id string) {
 	w.mark(id)
 }
 
-// applyWALRecord applies one replayed op. Recovery runs single-threaded,
-// before the store is shared, so it writes the tables directly.
-func (s *Store) applyWALRecord(payload []byte) error {
+// decodeWALRecord parses and fully validates one logged record without
+// touching the store, so callers can reject a malformed record before
+// committing to anything (ApplyReplicated must not let one into the local
+// log). Exactly one of the returns is set: in for binary ingest records,
+// op for JSON ops.
+func decodeWALRecord(payload []byte) (op *walOp, in *ingestOp, err error) {
 	if len(payload) > 0 && payload[0] == ingestTag {
-		in, err := decodeIngestOp(payload)
-		if err != nil {
-			return err
-		}
-		s.applyIngestOp(in)
-		return nil
+		in, err = decodeIngestOp(payload)
+		return nil, in, err
 	}
-	var op walOp
-	if err := json.Unmarshal(payload, &op); err != nil {
-		return fmt.Errorf("store: decoding wal record: %w", err)
+	op = &walOp{}
+	if err := json.Unmarshal(payload, op); err != nil {
+		return nil, nil, fmt.Errorf("store: decoding wal record: %w", err)
+	}
+	var need bool
+	switch op.Op {
+	case opUser:
+		need = op.User == nil
+	case opApp:
+		need = op.App == nil
+	case opPart:
+		need = op.Part == nil
+	case opFeat:
+		need = op.Feat == nil
+	case opSched:
+		need = op.Sched == nil
+	case opAnchor, opMark:
+	case opIngest:
+		need = op.Ingest == nil
+	default:
+		return nil, nil, fmt.Errorf("store: unknown wal op %q", op.Op)
+	}
+	if need {
+		return nil, nil, fmt.Errorf("store: wal %s record without payload", op.Op)
+	}
+	return op, nil, nil
+}
+
+// applyDecoded writes one validated op into the tables. Callers either
+// own the store exclusively (recovery) or hold the locks lockForOp picks.
+func (s *Store) applyDecoded(op *walOp, in *ingestOp) {
+	if in != nil {
+		s.applyIngestOp(in)
+		return
 	}
 	switch op.Op {
 	case opUser:
-		if op.User == nil {
-			return fmt.Errorf("store: wal %s record without payload", op.Op)
-		}
 		s.users[op.User.ID] = *op.User
 	case opApp:
-		if op.App == nil {
-			return fmt.Errorf("store: wal %s record without payload", op.Op)
-		}
 		s.apps[op.App.ID] = *op.App
 		if op.App.Category != "" {
 			s.bumpFeatureVersion(op.App.Category)
 		}
 	case opPart:
-		if op.Part == nil {
-			return fmt.Errorf("store: wal %s record without payload", op.Op)
-		}
 		s.participations[op.Part.TaskID] = *op.Part
 	case opFeat:
-		if op.Feat == nil {
-			return fmt.Errorf("store: wal %s record without payload", op.Op)
-		}
 		f := *op.Feat
 		s.features[featureKey{f.Category, f.Place, f.Feature}] = f
 		s.bumpFeaturePlace(f.Category, f.Place)
 	case opSched:
-		if op.Sched == nil {
-			return fmt.Errorf("store: wal %s record without payload", op.Op)
-		}
 		s.schedShards[shardIndex(op.Sched.TaskID)].rows[op.Sched.TaskID] = *op.Sched
 	case opAnchor:
 		s.anchors[op.AppID] = op.AnchorUnix
@@ -261,14 +276,113 @@ func (s *Store) applyWALRecord(payload []byte) error {
 			s.markLocked(op.AppID, op.ReportID)
 		}
 	case opIngest:
-		if op.Ingest == nil {
-			return fmt.Errorf("store: wal %s record without payload", op.Op)
-		}
 		s.applyIngestOp(op.Ingest)
-	default:
-		return fmt.Errorf("store: unknown wal op %q", op.Op)
 	}
+}
+
+// applyWALRecord applies one replayed op. Recovery runs single-threaded,
+// before the store is shared, so it writes the tables directly.
+func (s *Store) applyWALRecord(payload []byte) error {
+	op, in, err := decodeWALRecord(payload)
+	if err != nil {
+		return err
+	}
+	s.applyDecoded(op, in)
 	return nil
+}
+
+// lockForOp takes the same table locks the live mutator for this op kind
+// takes (and in the same order — dedup shard before upload shard, as
+// ingestLocked does), returning the matching unlock. Replicated applies
+// run under these so concurrent readers — rank serving, drains, the
+// checkpoint snapshot — see the replica's tables exactly as they would a
+// leader's.
+func (s *Store) lockForOp(op *walOp, in *ingestOp) func() {
+	if in == nil && op.Op == opIngest {
+		in = op.Ingest
+	}
+	switch {
+	case in != nil:
+		dsh := &s.dedupShards[shardIndex(in.AppID)]
+		ush := &s.uploadShards[shardIndex(in.AppID)]
+		dsh.mu.Lock()
+		ush.mu.Lock()
+		return func() { ush.mu.Unlock(); dsh.mu.Unlock() }
+	case op.Op == opSched:
+		sh := &s.schedShards[shardIndex(op.Sched.TaskID)]
+		sh.mu.Lock()
+		return sh.mu.Unlock
+	case op.Op == opMark:
+		sh := &s.dedupShards[shardIndex(op.AppID)]
+		sh.mu.Lock()
+		return sh.mu.Unlock
+	default:
+		s.mu.Lock()
+		return s.mu.Unlock
+	}
+}
+
+// ErrReplicaGap reports a replicated record that does not extend the
+// follower's log contiguously: applying it would diverge the replica's
+// byte-for-byte copy of the leader's WAL.
+var ErrReplicaGap = errors.New("store: replicated record out of sequence")
+
+// ApplyReplicated lands one leader-shipped WAL record on a follower: the
+// payload is appended verbatim to the follower's own log — so replica
+// logs stay byte-identical to the leader's and local recovery needs no
+// new machinery — then applied to the tables under the same locks the
+// live mutators take. wantLSN is the record's LSN on the leader; the
+// local append must produce exactly that LSN or nothing happens and
+// ErrReplicaGap comes back. Callers feed records one LSN at a time from
+// a single goroutine (the store refuses local mutations in replica mode,
+// so nothing else appends).
+func (s *Store) ApplyReplicated(wantLSN uint64, payload []byte) error {
+	if s.wal == nil {
+		return errors.New("store: replicated apply needs an attached WAL")
+	}
+	op, in, err := decodeWALRecord(payload)
+	if err != nil {
+		return fmt.Errorf("store: replicated record: %w", err)
+	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
+	if have := s.wal.LastLSN(); have+1 != wantLSN {
+		return fmt.Errorf("%w: record %d onto log at %d", ErrReplicaGap, wantLSN, have)
+	}
+	unlock := s.lockForOp(op, in)
+	defer unlock()
+	lsn, err := s.wal.Enqueue(payload)
+	if err != nil {
+		return fmt.Errorf("store: replica wal append: %w", err)
+	}
+	if lsn != wantLSN {
+		// Unreachable while the single-appender contract holds; failing
+		// loudly here stops replication before state can diverge.
+		return fmt.Errorf("%w: append landed at %d, want %d", ErrReplicaGap, lsn, wantLSN)
+	}
+	s.applyDecoded(op, in)
+	return nil
+}
+
+// WaitDurable blocks until lsn is durable per the WAL's sync policy —
+// the follower's ack gate: a pull's FromLSN must only ever admit records
+// that survive a crash, or a restarted follower could ack below a floor
+// the leader already truncated to.
+func (s *Store) WaitDurable(lsn uint64) error {
+	if s.wal == nil || lsn == 0 {
+		return nil
+	}
+	return s.wal.Wait(lsn)
+}
+
+// AppliedLSN is the follower's replication high-water mark: the last LSN
+// in its own log. ApplyReplicated keeps log and tables in lockstep, so
+// this is also the last applied record.
+func (s *Store) AppliedLSN() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.LastLSN()
 }
 
 // applyIngestOp replays one Ingest record (binary or legacy JSON framing).

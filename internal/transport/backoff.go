@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff draws capped full-jitter retry delays: step n is a uniform draw
+// from [0, min(cap, base·2^n)]. Full jitter decorrelates a fleet of peers
+// that all lost the same server — the device outbox, the client retry
+// loop, and the replication stream share this one shape so their retry
+// storms never arrive in synchronized waves. Safe for concurrent use.
+type Backoff struct {
+	base time.Duration
+	cap  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff builds a jitter source with the given envelope. The seed
+// makes the draws deterministic (simulations, tests); a zero or negative
+// base disables the delay entirely.
+func NewBackoff(base, cap time.Duration, seed int64) *Backoff {
+	return &Backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay draws the delay for backoff step n (0-based: step 0 is capped at
+// base). The doubling loop stops as soon as the ceiling reaches the cap,
+// so large steps cannot overflow.
+func (b *Backoff) Delay(step int) time.Duration {
+	ceil := b.base
+	for i := 0; i < step && ceil < b.cap; i++ {
+		ceil *= 2
+	}
+	if ceil > b.cap {
+		ceil = b.cap
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Duration(b.rng.Int63n(int64(ceil) + 1))
+}

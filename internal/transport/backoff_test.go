@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffEnvelope pins the jitter envelope the outbox, the client,
+// and the replication stream all rely on: step n draws uniformly from
+// [0, min(cap, base·2^n)], never outside it.
+func TestBackoffEnvelope(t *testing.T) {
+	const base = 10 * time.Millisecond
+	const cap = 160 * time.Millisecond
+	b := NewBackoff(base, cap, 42)
+	for step := 0; step <= 24; step++ {
+		ceil := base
+		for i := 0; i < step && ceil < cap; i++ {
+			ceil *= 2
+		}
+		if ceil > cap {
+			ceil = cap
+		}
+		sawUpperHalf := false
+		for draw := 0; draw < 400; draw++ {
+			d := b.Delay(step)
+			if d < 0 || d > ceil {
+				t.Fatalf("step %d: delay %v outside [0, %v]", step, d, ceil)
+			}
+			if d > ceil/2 {
+				sawUpperHalf = true
+			}
+		}
+		// Full jitter means the whole envelope is used, not just a band
+		// near zero; 400 uniform draws miss the upper half with
+		// probability 2^-400.
+		if !sawUpperHalf {
+			t.Fatalf("step %d: no draw above %v — envelope not fully jittered", step, ceil/2)
+		}
+	}
+}
+
+// TestBackoffCapClamp pins that growth stops exactly at the cap even for
+// steps large enough to overflow a naive base<<step.
+func TestBackoffCapClamp(t *testing.T) {
+	b := NewBackoff(time.Millisecond, 8*time.Millisecond, 7)
+	for step := 3; step < 200; step += 31 {
+		if d := b.Delay(step); d > 8*time.Millisecond {
+			t.Fatalf("step %d: delay %v exceeds cap", step, d)
+		}
+	}
+}
+
+// TestBackoffZeroBase pins that a disabled envelope draws no delay (and
+// never touches the rng, so seeded sequences stay aligned).
+func TestBackoffZeroBase(t *testing.T) {
+	b := NewBackoff(0, time.Second, 1)
+	for step := 0; step < 5; step++ {
+		if d := b.Delay(step); d != 0 {
+			t.Fatalf("zero base drew %v", d)
+		}
+	}
+}
+
+// TestBackoffDeterministic pins that equal seeds draw equal sequences —
+// what makes chaos soaks and fleet simulations replayable.
+func TestBackoffDeterministic(t *testing.T) {
+	a := NewBackoff(5*time.Millisecond, time.Second, 99)
+	b := NewBackoff(5*time.Millisecond, time.Second, 99)
+	for step := 0; step < 32; step++ {
+		da, db := a.Delay(step), b.Delay(step)
+		if da != db {
+			t.Fatalf("step %d: %v vs %v with equal seeds", step, da, db)
+		}
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -140,8 +139,9 @@ type Client struct {
 	onRetry    func(attempt int, delay time.Duration, err error)
 	clock      vclock.Clock
 
-	jitterMu sync.Mutex
-	jitter   *rand.Rand
+	delay        *Backoff
+	jitterSeed   int64
+	jitterSeeded bool
 
 	sends       atomic.Int64
 	retryCount  atomic.Int64
@@ -195,7 +195,7 @@ func WithBackoffCap(d time.Duration) ClientOption {
 
 // WithRetrySeed makes the retry jitter deterministic (tests).
 func WithRetrySeed(seed int64) ClientOption {
-	return func(c *Client) { c.jitter = rand.New(rand.NewSource(seed)) }
+	return func(c *Client) { c.jitterSeed, c.jitterSeeded = seed, true }
 }
 
 // WithRetryObserver installs a hook called before every retry sleep with
@@ -241,9 +241,11 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 		o(c)
 	}
 	c.clock = vclock.Or(c.clock)
-	if c.jitter == nil {
-		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	seed := c.jitterSeed
+	if !c.jitterSeeded {
+		seed = time.Now().UnixNano()
 	}
+	c.delay = NewBackoff(c.backoff, c.backoffCap, seed)
 	if c.obsv != nil {
 		c.met = newClientMetrics(c.obsv.Metrics())
 	}
@@ -271,23 +273,10 @@ func (c *Client) Stats() ClientStats {
 }
 
 // retryDelay computes the attempt's backoff with full jitter: a uniform
-// draw from [0, min(cap, base·2^(attempt-1))]. Full jitter decorrelates a
-// fleet of phones that all lost the same server, so the retry storm does
-// not arrive in synchronized waves.
+// draw from [0, min(cap, base·2^(attempt-1))] via the shared Backoff
+// helper (attempt is 1-based here, so attempt n is jitter step n-1).
 func (c *Client) retryDelay(attempt int) time.Duration {
-	ceil := c.backoff
-	for i := 1; i < attempt && ceil < c.backoffCap; i++ {
-		ceil *= 2
-	}
-	if ceil > c.backoffCap {
-		ceil = c.backoffCap
-	}
-	if ceil <= 0 {
-		return 0
-	}
-	c.jitterMu.Lock()
-	defer c.jitterMu.Unlock()
-	return time.Duration(c.jitter.Int63n(int64(ceil) + 1))
+	return c.delay.Delay(attempt - 1)
 }
 
 // Send encodes m, POSTs it, and decodes the response message. Transport

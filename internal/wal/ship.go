@@ -1,0 +1,176 @@
+package wal
+
+// This file is the log's replication surface: retention floors that keep
+// TruncateThrough from dropping segments a follower still needs, and
+// ReadAfter, the torn-read-free record reader the leader-side WAL shipper
+// streams from.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// ErrCompacted reports that the records a reader asked for were already
+// truncated away: the reader is too far behind the retention floor and
+// must rebuild from a snapshot instead of the log tail.
+var ErrCompacted = errors.New("wal: records compacted")
+
+// Retain registers reader id as having durably applied every record
+// through lsn: TruncateThrough keeps every record above lsn on disk until
+// the reader advances or is released. Re-registering may move the floor
+// in either direction — a follower that lost its unsynced tail in a crash
+// legitimately re-registers lower.
+func (l *Log) Retain(id string, lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.retained == nil {
+		l.retained = make(map[string]uint64)
+	}
+	l.retained[id] = lsn
+}
+
+// ReleaseRetain drops reader id's retention floor, letting truncation
+// advance past whatever it was holding.
+func (l *Log) ReleaseRetain(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.retained, id)
+}
+
+// Retained snapshots the registered readers and their applied LSNs.
+func (l *Log) Retained() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.retained))
+	for id, lsn := range l.retained {
+		out[id] = lsn
+	}
+	return out
+}
+
+// retainFloorLocked returns the lowest applied LSN across registered
+// readers. Called with mu held.
+func (l *Log) retainFloorLocked() (uint64, bool) {
+	var floor uint64
+	ok := false
+	for _, lsn := range l.retained {
+		if !ok || lsn < floor {
+			floor, ok = lsn, true
+		}
+	}
+	return floor, ok
+}
+
+// shipSpan is one file's worth of a ReadAfter plan, captured under mu.
+// For the live segment, end is the append offset at capture time: every
+// byte below it was fully memcpy'd before the lock was released (Enqueue
+// writes the frame and advances off under the same mu), and later appends
+// only touch bytes at or beyond it — which is why reading the file after
+// unlocking can never observe a torn record.
+type shipSpan struct {
+	path     string
+	firstLSN uint64
+	end      int64 // read only bytes below this offset; 0 = whole file
+}
+
+// ReadAfter returns the payloads of up to maxRecords records (or maxBytes
+// payload bytes, whichever limit lands first; at least one record is
+// always returned when available) with LSNs strictly above after, in LSN
+// order starting at after+1. Limits at or below zero mean unlimited.
+// A nil slice with a nil error means the caller is caught up. If after+1
+// was truncated away it returns ErrCompacted.
+//
+// File I/O happens outside the log's lock: the lock only captures the
+// sealed-segment list and the live segment's append offset. Sealed
+// segments are immutable, live bytes below the captured offset are
+// immutable, and retention floors (Retain) keep the planned files on
+// disk — a concurrent TruncateThrough past an unretained position is
+// reported as ErrCompacted, never as a torn or partial read.
+func (l *Log) ReadAfter(after uint64, maxRecords int, maxBytes int64) ([][]byte, error) {
+	if maxRecords <= 0 {
+		maxRecords = math.MaxInt
+	}
+	if maxBytes <= 0 {
+		maxBytes = math.MaxInt64
+	}
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return nil, err
+	}
+	last := l.nextLSN - 1
+	if after >= last {
+		l.mu.Unlock()
+		return nil, nil
+	}
+	oldest := l.segFirst
+	if len(l.sealed) > 0 {
+		oldest = l.sealed[0].firstLSN
+	}
+	if after+1 < oldest {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: need LSN %d, oldest on disk is %d", ErrCompacted, after+1, oldest)
+	}
+	var plan []shipSpan
+	for _, s := range l.sealed {
+		if s.lastLSN > after {
+			plan = append(plan, shipSpan{path: s.path, firstLSN: s.firstLSN})
+		}
+	}
+	if l.off > headerSize {
+		plan = append(plan, shipSpan{path: l.f.Name(), firstLSN: l.segFirst, end: l.off})
+	}
+	l.mu.Unlock()
+
+	var out [][]byte
+	var outBytes int64
+	next := after + 1
+	for _, sp := range plan {
+		b, err := os.ReadFile(sp.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Truncated between planning and reading: the reader was
+				// not retained at this position.
+				return nil, fmt.Errorf("%w: segment %s removed mid-read", ErrCompacted, filepath.Base(sp.path))
+			}
+			return nil, err
+		}
+		first, err := decodeHeader(b)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment %s: %w", filepath.Base(sp.path), err)
+		}
+		if sp.end > 0 && sp.end < int64(len(b)) {
+			b = b[:sp.end]
+		}
+		off := int64(headerSize)
+		lsn := first
+		for off < int64(len(b)) {
+			payload, n, derr := DecodeRecord(b[off:])
+			if derr != nil || len(payload) == 0 {
+				// Zero-filled preallocated tail, or (on a just-sealed
+				// segment read past the captured plan) the same clean end
+				// the replayer tolerates. Records below the captured
+				// offsets never decode short.
+				break
+			}
+			if lsn > after {
+				if lsn != next {
+					return nil, fmt.Errorf("wal: segment %s: expected LSN %d, decoded %d", filepath.Base(sp.path), next, lsn)
+				}
+				if len(out) > 0 && (len(out) >= maxRecords || outBytes+int64(len(payload)) > maxBytes) {
+					return out, nil
+				}
+				out = append(out, payload)
+				outBytes += int64(len(payload))
+				next++
+			}
+			off += int64(n)
+			lsn++
+		}
+	}
+	return out, nil
+}

@@ -159,6 +159,10 @@ type Log struct {
 	killed    bool
 	lastBatch int       // records covered by the previous fsync
 	sealed    []segMeta // full segments, oldest first
+	// retained maps reader ids (replication followers) to the highest LSN
+	// each has durably applied; TruncateThrough never removes a segment
+	// holding records above the lowest of these floors (see ship.go).
+	retained map[string]uint64
 
 	// Live segment, guarded by mu. data is the MAP_SHARED mapping of f;
 	// off is where the next record's frame begins.
@@ -460,8 +464,14 @@ func (l *Log) SyncedLSN() uint64 {
 // TruncateThrough deletes sealed segments wholly at or below lsn. The
 // live segment is never touched, so truncation granularity is a segment:
 // a segment is removed only once a checkpoint covers its every record.
+// Retained readers (replication followers, see Retain) clamp the cut: a
+// checkpoint may cover LSN 900, but if the slowest follower has applied
+// only 300, every segment holding records above 300 stays on disk.
 func (l *Log) TruncateThrough(lsn uint64) error {
 	l.mu.Lock()
+	if floor, ok := l.retainFloorLocked(); ok && floor < lsn {
+		lsn = floor
+	}
 	var victims []segMeta
 	keep := l.sealed[:0]
 	for _, s := range l.sealed {

@@ -52,6 +52,13 @@ func fuzzSeeds() []Message {
 			Ranked: []RankedPlace{
 				{Place: "Starbucks", FeatureValues: []float64{72.5, 0.2}},
 			}},
+		&RankResponse{Category: "coffee-shop", Epoch: 3, Stale: true,
+			Features: []string{"noise"},
+			Ranked:   []RankedPlace{{Place: "Freedom of Espresso", FeatureValues: []float64{0.4}}}},
+		&ReplPull{FollowerID: "node-2", FromLSN: 17, MaxRecords: 64, MaxBytes: 1 << 16},
+		&ReplRecords{FirstLSN: 17, LeaderLSN: 19,
+			Records: [][]byte{{0x01, 0x02, 0x03}, []byte(`{"op":"feat"}`)}},
+		&ReplRecords{FirstLSN: 3, LeaderLSN: 40, Compacted: true},
 	}
 }
 

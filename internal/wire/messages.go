@@ -517,6 +517,12 @@ type RankResponse struct {
 	Epoch    int64
 	Features []string
 	Ranked   []RankedPlace
+	// Stale marks a reply served by a read replica that knows it lags the
+	// leader: the ranking is internally consistent (one epoch snapshot)
+	// but may not reflect the newest uploads. Encoded only when set, as a
+	// trailing field, so non-replica responses stay bit-stable with older
+	// builds (the TopK idiom).
+	Stale bool
 }
 
 var _ Message = (*RankResponse)(nil)
@@ -538,6 +544,9 @@ func (m *RankResponse) encodePayload(w *Writer) {
 		for _, v := range p.FeatureValues {
 			w.PutFloat(v)
 		}
+	}
+	if m.Stale {
+		w.PutBool(true)
 	}
 }
 
@@ -577,6 +586,11 @@ func (m *RankResponse) decodePayload(r *Reader) error {
 			if m.Ranked[i].FeatureValues[j], err = r.Float(); err != nil {
 				return err
 			}
+		}
+	}
+	if r.Remaining() > 0 {
+		if m.Stale, err = r.Bool(); err != nil {
+			return err
 		}
 	}
 	return nil

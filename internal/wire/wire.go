@@ -55,6 +55,8 @@ const (
 	TypeRankRequest
 	TypeRankResponse
 	TypeDataUploadBatch
+	TypeReplPull
+	TypeReplRecords
 )
 
 // String names the message type.
@@ -78,6 +80,10 @@ func (t MsgType) String() string {
 		return "rank-response"
 	case TypeDataUploadBatch:
 		return "data-upload-batch"
+	case TypeReplPull:
+		return "repl-pull"
+	case TypeReplRecords:
+		return "repl-records"
 	default:
 		return fmt.Sprintf("unknown(%d)", byte(t))
 	}
@@ -363,6 +369,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &RankResponse{}, nil
 	case TypeDataUploadBatch:
 		return &DataUploadBatch{}, nil
+	case TypeReplPull:
+		return &ReplPull{}, nil
+	case TypeReplRecords:
+		return &ReplRecords{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", byte(t))
 	}
