@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak replica-soak replica-soak-short fleet-soak fleet-soak-short ci experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak replica-soak replica-soak-short fleet-soak fleet-soak-short session-soak session-soak-short ci experiments fieldtest sim clean
 
 all: build test
 
@@ -33,11 +33,13 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -short ./...
 	$(GO) test -count=1 -run 'TestRankCachedHitAllocs|TestRankTopKBoundsResponse' -v ./internal/server/
 
-# 10-second fuzz smokes over the two decoders that face untrusted bytes:
-# the wire decoder (open network) and the WAL record decoder (disk after
-# a crash).
+# 10-second fuzz smokes over the three decoders that face untrusted
+# bytes: the wire decoder (open network), the session frame decoder
+# (open network, wraps the wire codec), and the WAL record decoder
+# (disk after a crash).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzSessionFrame -fuzztime 10s ./internal/transport/session/
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal/
 
 # Boot a real sord, scrape /debug/metrics via sorctl, assert every
@@ -85,6 +87,23 @@ fleet-soak-short:
 	$(GO) test -race -short -count=1 ./internal/fleetsim/
 	$(GO) run ./cmd/sorsim -fleet -phones 1000 -per-app 50 -verify
 
+# Persistent-session transport soak: the stream session tests and the
+# exactly-once resume property test under the race detector, then the
+# fleetsim determinism gate over the stream transport — handshakes,
+# frame envelopes, server push and partition-severed sessions all ride
+# virtual time, and the same seed twice must produce byte-identical
+# digests.
+session-soak:
+	$(GO) test -race -count=1 -v ./internal/transport/session/
+	$(GO) test -race -count=1 -run 'Session|Stream' -v ./internal/chaos/
+	$(GO) test -race -count=1 -run Stream -v ./internal/fleetsim/
+	$(GO) run ./cmd/sorsim -fleet -phones 5000 -per-app 50 -transport stream -verify
+
+session-soak-short:
+	$(GO) test -race -short -count=1 ./internal/transport/session/
+	$(GO) test -race -short -count=1 -run Stream ./internal/fleetsim/
+	$(GO) run ./cmd/sorsim -fleet -phones 1000 -per-app 50 -transport stream -verify
+
 # Everything CI runs (.github/workflows/ci.yml mirrors this).
 ci: vet build test
 	$(GO) test -race -short ./...
@@ -95,6 +114,7 @@ ci: vet build test
 	$(MAKE) crash-soak
 	$(MAKE) replica-soak
 	$(MAKE) fleet-soak-short
+	$(MAKE) session-soak-short
 
 # Regenerate every paper table and figure.
 experiments: fieldtest sim

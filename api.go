@@ -19,6 +19,7 @@ import (
 	"sor/internal/server"
 	"sor/internal/store"
 	"sor/internal/transport"
+	"sor/internal/transport/session"
 	"sor/internal/wal"
 )
 
@@ -85,8 +86,14 @@ type Application = store.Application
 // User is one registered participant.
 type User = store.User
 
-// Push is the simulated GCM-like wake-up fabric.
-type Push = transport.Push
+// Push is the simulated GCM-like wake-up fabric: a thin shim over a
+// private SessionRegistry whose queued pushes collapse onto capacity-1
+// wake channels.
+//
+// Deprecated: connect devices through the stream transport (DialStream)
+// and hand the server a SessionRegistry via WithTransport; pushes then
+// carry real payloads instead of bare wake-ups.
+type Push = session.LocalPush
 
 // DataProcessor is the server's §IV-A feature pipeline.
 type DataProcessor = server.DataProcessor
@@ -156,7 +163,9 @@ func WithWALSegmentBytes(n int64) DurableOption { return store.WithSegmentBytes(
 func WithStorageMetrics(reg *Registry) DurableOption { return store.WithMetrics(reg) }
 
 // NewPush returns an empty push fabric.
-func NewPush() *Push { return transport.NewPush() }
+//
+// Deprecated: see Push.
+func NewPush() *Push { return session.NewLocalPush() }
 
 // DefaultCatalog is the paper's feature catalog: coffee shops and hiking
 // trails with their §IV default preferences.
@@ -199,8 +208,18 @@ func WithStep(step time.Duration) ServerOption {
 }
 
 // WithPush attaches the wake-up fabric.
+//
+// Deprecated: use WithTransport with a SessionRegistry — schedules and
+// invalidations then ride live device streams instead of bare wake-ups.
 func WithPush(p *Push) ServerOption {
 	return func(cfg *server.Config) { cfg.Push = p }
+}
+
+// WithTransport attaches the server's outbound push path — typically the
+// SessionRegistry a StreamServer serves, so fresh schedules, epoch
+// invalidations, and wake-ups ride the live device streams.
+func WithTransport(n Notifier) ServerOption {
+	return func(cfg *server.Config) { cfg.Push = n }
 }
 
 // WithRobustExtraction enables MAD outlier rejection in the Data
@@ -296,6 +315,12 @@ func WithClientHTTP(h *http.Client) ClientOption { return transport.WithHTTPClie
 // "client.send" span per attempt, all under one minted RequestID.
 func WithClientObserver(o *Observer) ClientOption { return transport.WithObserver(o) }
 
+// WithClientRetryObserver installs a hook called before every retry
+// sleep with the attempt number, chosen delay, and triggering error.
+func WithClientRetryObserver(fn func(attempt int, delay time.Duration, err error)) ClientOption {
+	return transport.WithRetryObserver(fn)
+}
+
 // NewHTTPHandler binds a server's Handler to HTTP at ServerPath.
 func NewHTTPHandler(h Handler, opts ...HandlerOption) (http.Handler, error) {
 	return transport.NewHTTPHandler(h, opts...)
@@ -306,6 +331,100 @@ func NewHTTPHandler(h Handler, opts ...HandlerOption) (http.Handler, error) {
 func WithHandlerObserver(o *Observer) HandlerOption {
 	return transport.WithHandlerObserver(o)
 }
+
+// ---- Stream transport ----
+
+// Conn is the device-side transport interface: Send/SendBatch for the
+// request/reply half, Events for server-initiated pushes, Close to
+// release it. The one-shot HTTP Client and the persistent StreamClient
+// both implement it, so device code switches transports with a flag.
+type Conn = transport.Conn
+
+// Notifier is the server's outbound push hook: given a device token, get
+// that phone to ping home. A SessionRegistry and the deprecated Push
+// both implement it.
+type Notifier = transport.Notifier
+
+// StreamClient is the persistent session transport's device side: one
+// long-lived framed connection multiplexing uploads, acks, and pushes,
+// with automatic reconnect under capped full-jitter backoff.
+type StreamClient = session.Client
+
+// StreamClientOption configures DialStream / NewStreamClient.
+type StreamClientOption = session.ClientOption
+
+// StreamDialer opens the raw connection a StreamClient frames over.
+type StreamDialer = session.Dialer
+
+// StreamServer accepts device streams on a listener and dispatches
+// their request frames into a server Handler.
+type StreamServer = session.Server
+
+// StreamServerOption configures NewStreamServer.
+type StreamServerOption = session.ServerOption
+
+// SessionRegistry tracks every live device stream on a server — who is
+// connected, how fresh, with bounded per-session push queues — and
+// implements Notifier, so WithTransport accepts it directly.
+type SessionRegistry = session.Registry
+
+// SessionRegistryOption configures NewSessionRegistry.
+type SessionRegistryOption = session.RegistryOption
+
+// DialStream connects a device to a server's stream endpoint. The
+// returned client dials lazily and re-dials on connection loss.
+func DialStream(addr, token string, opts ...StreamClientOption) (*StreamClient, error) {
+	return session.Dial(addr, token, opts...)
+}
+
+// NewStreamClient builds a stream client over a custom dialer (tests,
+// fault injection, in-process pipes).
+func NewStreamClient(dial StreamDialer, token string, opts ...StreamClientOption) (*StreamClient, error) {
+	return session.NewClient(dial, token, opts...)
+}
+
+// NewSessionRegistry returns an empty session registry. Hand it to both
+// NewStreamServer and the server's WithTransport.
+func NewSessionRegistry(opts ...SessionRegistryOption) *SessionRegistry {
+	return session.NewRegistry(opts...)
+}
+
+// WithSessionMetrics publishes the sor_session_* series into reg.
+func WithSessionMetrics(reg *Registry) SessionRegistryOption {
+	return session.WithRegistryMetrics(reg)
+}
+
+// NewStreamServer binds a handler and a session registry to a stream
+// endpoint; drive it with Serve on any net.Listener.
+func NewStreamServer(h Handler, reg *SessionRegistry, opts ...StreamServerOption) (*StreamServer, error) {
+	return session.NewServer(h, reg, opts...)
+}
+
+// WithStreamServerObserver instruments the stream endpoint (request,
+// handshake-error, and decode-error counters).
+func WithStreamServerObserver(o *Observer) StreamServerOption {
+	return session.WithServerObserver(o)
+}
+
+// WithStreamRetries sets the stream client's per-send retry budget.
+func WithStreamRetries(n int) StreamClientOption { return session.WithClientRetries(n) }
+
+// WithStreamBackoff bounds the stream client's reconnect/retry backoff.
+func WithStreamBackoff(base, cap time.Duration) StreamClientOption {
+	return session.WithClientBackoff(base, cap)
+}
+
+// WithStreamSeed makes stream retry jitter deterministic.
+func WithStreamSeed(seed int64) StreamClientOption { return session.WithClientSeed(seed) }
+
+// WithStreamObserver instruments the stream client through the same
+// retry series the HTTP client reports.
+func WithStreamObserver(o *Observer) StreamClientOption { return session.WithClientObserver(o) }
+
+// WithStreamOnResume installs the resume hook: it fires on each
+// successful re-dial after a connection loss — the place to flush a
+// frontend's outbox so interrupted reports go out immediately.
+func WithStreamOnResume(fn func()) StreamClientOption { return session.WithOnResume(fn) }
 
 // ---- Mobile frontend ----
 

@@ -1,0 +1,320 @@
+// Session-transport benchmarks: sustained upload throughput and
+// server→device push latency for the persistent stream transport vs the
+// one-shot HTTP transport, at a fleet of concurrent simulated devices.
+// These back BENCH_session.json (see DESIGN.md "Session transport &
+// push").
+//
+// Both transports run fully in-process over net.Pipe so the comparison
+// isolates protocol cost, not the kernel TCP stack: the HTTP side dials a
+// fresh pipe per request with keep-alives disabled (the one-shot
+// connection-per-upload model the PR replaces), the stream side holds one
+// long-lived framed pipe per device. Every upload on either side carries
+// the identical wire-codec payload and lands in the same server handler.
+//
+//	go test -run=NONE -bench=SessionTransport -benchtime=20000x .
+//	go test -run=NONE -bench=SessionPush -benchtime=20000x .
+package sor_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"sor/internal/ranking"
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/transport"
+	"sor/internal/transport/session"
+	"sor/internal/wire"
+)
+
+// benchDevices is the fleet size for the transport benchmarks: 10k
+// concurrent simulated devices (the BENCH_session.json bar), trimmed
+// under -short so the CI bench smoke stays fast. The fleet is sharded
+// 100 devices per application, matching the fleetsim default.
+func benchDevices() int {
+	if testing.Short() {
+		return 200
+	}
+	return 10000
+}
+
+// pipeListener is a net.Listener fed by dial: every dial call
+// manufactures a net.Pipe, hands the server end to Accept and returns the
+// client end. It lets an http.Server serve connection-per-request
+// traffic from 10k devices without consuming file descriptors.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+func (l *pipeListener) dial(ctx context.Context, _, _ string) (net.Conn, error) {
+	c, s := net.Pipe()
+	select {
+	case l.conns <- s:
+		return c, nil
+	case <-l.done:
+		c.Close()
+		return nil, net.ErrClosed
+	case <-ctx.Done():
+		c.Close()
+		return nil, ctx.Err()
+	}
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// sessionBenchEnv holds one shared server and both transport front doors:
+// an HTTP server in one-shot (connection-per-request) mode and a stream
+// session server, each reached over in-process pipes.
+type sessionBenchEnv struct {
+	env *benchEnv
+
+	httpClient *transport.Client
+	httpServer *http.Server
+	httpLn     *pipeListener
+
+	registry  *session.Registry
+	streamSrv *session.Server
+	devices   []*session.Client
+}
+
+// newFleetBenchEnv is newBenchEnv at fleet scale: the greedy scheduler
+// runs on the fleetsim parameters (5-minute timeline step, budget 2)
+// instead of the paper's 10-second step and budget 17, so joining 10k
+// devices takes seconds rather than dominating the benchmark. Upload
+// handling is identical — only Participate-time schedule computation
+// changes.
+func newFleetBenchEnv(b *testing.B, apps, users int) *benchEnv {
+	b.Helper()
+	start := time.Date(2013, time.November, 15, 11, 0, 0, 0, time.UTC)
+	catalog := map[string][]ranking.Feature{
+		"bench": {
+			{Name: "temperature", Unit: "°F",
+				Default: ranking.Preference{Kind: ranking.PrefValue, Value: 73}},
+			{Name: "noise", Unit: "",
+				Default: ranking.Preference{Kind: ranking.PrefMin}},
+		},
+	}
+	srv, err := server.New(server.Config{
+		DB:       store.New(),
+		Now:      func() time.Time { return start },
+		Step:     5 * time.Minute,
+		Catalog:  catalog,
+		Observer: benchObserver(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &benchEnv{srv: srv, start: start}
+	h := srv.Handler()
+	env.handle = func(m wire.Message) (wire.Message, error) {
+		return h(context.Background(), m)
+	}
+	for a := 0; a < apps; a++ {
+		appID := fmt.Sprintf("bench-app-%d", a)
+		if err := srv.CreateApp(store.Application{
+			ID:        appID,
+			Creator:   "bench",
+			Category:  "bench",
+			Place:     fmt.Sprintf("bench-place-%d", a),
+			Lat:       43.0 + float64(a),
+			Lon:       -76.0,
+			RadiusM:   500,
+			Script:    "return 1",
+			PeriodSec: benchPeriodSec,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		env.appIDs = append(env.appIDs, appID)
+	}
+	for u := 0; u < users; u++ {
+		appID := env.appIDs[u%apps]
+		userID := fmt.Sprintf("bench-user-%d", u)
+		resp, err := env.handle(&wire.Participate{
+			UserID: userID,
+			Token:  "bench-token-" + userID,
+			AppID:  appID,
+			Loc:    wire.Location{Lat: 43.0 + float64(u%apps), Lon: -76.0},
+			Budget: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ack, ok := resp.(*wire.Ack)
+		if !ok || !ack.OK {
+			b.Fatalf("participate %s refused: %+v", userID, resp)
+		}
+		inner, err := wire.Decode(ack.Payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched, ok := inner.(*wire.Schedule)
+		if !ok {
+			b.Fatalf("participate payload was %s", inner.Type())
+		}
+		env.userIDs = append(env.userIDs, userID)
+		env.taskIDs = append(env.taskIDs, sched.TaskID)
+	}
+	return env
+}
+
+func newSessionBenchEnv(b *testing.B, devices, apps int) *sessionBenchEnv {
+	b.Helper()
+	e := &sessionBenchEnv{env: newFleetBenchEnv(b, apps, devices)}
+
+	// One-shot HTTP: keep-alives off, so every request pays connection
+	// setup — the pre-session model of a phone waking, POSTing, sleeping.
+	hh, err := transport.NewHTTPHandler(e.env.srv.Handler())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.httpLn = newPipeListener()
+	e.httpServer = &http.Server{Handler: hh}
+	go e.httpServer.Serve(e.httpLn)
+	httpClient, err := transport.NewClient("http://sor-bench", transport.WithHTTPClient(&http.Client{
+		Transport: &http.Transport{DialContext: e.httpLn.dial, DisableKeepAlives: true},
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.httpClient = httpClient
+
+	// Stream: one persistent framed pipe per device, all multiplexed
+	// through the same handler the HTTP side uses.
+	e.registry = session.NewRegistry()
+	e.streamSrv, err = session.NewServer(e.env.srv.Handler(), e.registry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dial := func(ctx context.Context) (net.Conn, error) {
+		c, s := net.Pipe()
+		go e.streamSrv.ServeConn(s)
+		return c, nil
+	}
+	e.devices = make([]*session.Client, devices)
+	for d := range e.devices {
+		cli, err := session.NewClient(dial, e.env.userIDs[d],
+			session.WithEventBuffer(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.devices[d] = cli
+	}
+	b.Cleanup(func() {
+		for _, cli := range e.devices {
+			cli.Close()
+		}
+		e.streamSrv.Close()
+		e.httpServer.Close()
+		e.httpLn.Close()
+	})
+	return e
+}
+
+// prime forces every device to dial and handshake so the timed region
+// measures steady-state sessions, not connection storms.
+func (e *sessionBenchEnv) prime(b *testing.B) {
+	b.Helper()
+	benchUploaders(b, 256, len(e.devices), func(_, d int) error {
+		resp, err := e.devices[d].Send(context.Background(), e.env.report(d, 0))
+		if err != nil {
+			return err
+		}
+		if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
+			return fmt.Errorf("prime upload refused: %+v", resp)
+		}
+		return nil
+	})
+	if live := e.registry.Count(); live != len(e.devices) {
+		b.Fatalf("only %d of %d sessions live after priming", live, len(e.devices))
+	}
+}
+
+// BenchmarkSessionTransportUpload is the headline BENCH_session.json
+// number: ns per acked upload with the whole fleet sending concurrently.
+// b.N counts uploads fleet-wide, so per-device sustained throughput is
+// (1e9/ns_per_op)/devices and the stream-vs-http speedup is the ratio of
+// the two ns/op figures.
+func BenchmarkSessionTransportUpload(b *testing.B) {
+	devices := benchDevices()
+	e := newSessionBenchEnv(b, devices, devices/100)
+	e.prime(b)
+	b.Run(fmt.Sprintf("http-oneshot/devices-%d", devices), func(b *testing.B) {
+		benchUploaders(b, len(e.devices), b.N, func(d, seq int) error {
+			resp, err := e.httpClient.Send(context.Background(), e.env.report(d, int64(seq)))
+			if err != nil {
+				return err
+			}
+			if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
+				return fmt.Errorf("upload refused: %+v", resp)
+			}
+			return nil
+		})
+	})
+	b.Run(fmt.Sprintf("stream/devices-%d", devices), func(b *testing.B) {
+		benchUploaders(b, len(e.devices), b.N, func(d, seq int) error {
+			resp, err := e.devices[d].Send(context.Background(), e.env.report(d, int64(seq)))
+			if err != nil {
+				return err
+			}
+			if ack, ok := resp.(*wire.Ack); !ok || !ack.OK {
+				return fmt.Errorf("upload refused: %+v", resp)
+			}
+			return nil
+		})
+	})
+}
+
+// BenchmarkSessionPushLatency measures server→device delivery: ns from
+// Registry.PushMessage to the message arriving on the device's Events
+// channel, with the full fleet of sessions attached. The one-shot HTTP
+// transport has no server-initiated path at all — a device would pay a
+// full poll round-trip (the http-oneshot ns/op above) just to ask, and
+// only learns at its polling cadence.
+func BenchmarkSessionPushLatency(b *testing.B) {
+	devices := benchDevices()
+	e := newSessionBenchEnv(b, devices, devices/100)
+	e.prime(b)
+	sched := &wire.Schedule{TaskID: "bench-push", AppID: "bench-app-0"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := i % len(e.devices)
+		if err := e.registry.PushMessage(e.env.userIDs[d], sched); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-e.devices[d].Events():
+		case <-time.After(10 * time.Second):
+			b.Fatalf("push to device %d never arrived", d)
+		}
+	}
+}

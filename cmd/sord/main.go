@@ -7,9 +7,14 @@
 //
 // Usage:
 //
-//	sord -addr :8080 [-data-dir sor-data] [-barcodes] [-span-buffer 4096]
-//	sord -addr :8081 -data-dir node-b -role replica -node-id node-b \
+//	sord -addr :8080 [-stream-addr :8081] [-data-dir sor-data] [-barcodes]
+//	sord -addr :8082 -data-dir node-b -role replica -node-id node-b \
 //	     -leader-url http://localhost:8080 [-max-replica-lag 5s]
+//
+// With -stream-addr the server additionally accepts persistent device
+// streams (the session transport): one framed TCP connection per phone
+// multiplexing uploads, acks, schedule pushes, epoch invalidations, and
+// wake-ups, carrying the same wire payloads the HTTP endpoint does.
 //
 // With -data-dir the server is durable: a checkpointed snapshot plus a
 // write-ahead log of every mutation since, recovered on startup. Without
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,6 +80,7 @@ func storageFromFlags(dataDir, snapshot string) (sor.Storage, string, error) {
 
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
+	streamAddr := flag.String("stream-addr", "", "listen address for persistent device streams (empty = HTTP only)")
 	dataDir := flag.String("data-dir", "", "directory for durable state (snapshot + write-ahead log)")
 	snapshot := flag.String("snapshot", "", "deprecated: JSON snapshot file to load and periodically save (use -data-dir)")
 	showBarcodes := flag.Bool("barcodes", false, "print each place's 2D barcode as ASCII art")
@@ -114,10 +121,14 @@ func run() error {
 	}
 
 	obsv := sor.NewObserver(sor.WithTracer(sor.NewTracer(*spanBuffer)))
+	// The session registry is the push path: schedules, invalidations,
+	// and wake-ups ride whatever device streams are live. With no stream
+	// listener it is simply always empty.
+	registry := sor.NewSessionRegistry(sor.WithSessionMetrics(obsv.Metrics()))
 	srv, err := sor.NewServer(
 		sor.WithStorage(storage),
 		sor.WithCatalog(sor.DefaultCatalog()),
-		sor.WithPush(sor.NewPush()),
+		sor.WithTransport(registry),
 		sor.WithObserver(obsv),
 		sor.WithMaxReplicaLag(*maxReplicaLag),
 	)
@@ -247,12 +258,37 @@ func run() error {
 	// the final checkpoint and WAL close happen before exit.
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
+
+	// The stream endpoint shares the exact dispatcher (replica wrapper
+	// included), so both transports serve the same message set.
+	var streamServer *sor.StreamServer
+	if *streamAddr != "" {
+		streamServer, err = sor.NewStreamServer(handler, registry,
+			sor.WithStreamServerObserver(obsv))
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			return fmt.Errorf("stream listener: %w", err)
+		}
+		log.Printf("device stream endpoint listening on %s", ln.Addr())
+		go func() {
+			serveErr := streamServer.Serve(ln)
+			if serveErr != nil && !errors.Is(serveErr, net.ErrClosed) {
+				errCh <- fmt.Errorf("stream endpoint: %w", serveErr)
+			}
+		}()
+	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	shutdown := func() error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpServer.Shutdown(shutdownCtx)
+		if streamServer != nil {
+			_ = streamServer.Close()
+		}
 		stopProcessing()
 		if err := srv.Close(); err != nil {
 			return fmt.Errorf("closing storage: %w", err)
@@ -261,6 +297,9 @@ func run() error {
 	}
 	select {
 	case err := <-errCh:
+		if streamServer != nil {
+			_ = streamServer.Close()
+		}
 		_ = srv.Close()
 		return err
 	case err := <-replCh:

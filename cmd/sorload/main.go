@@ -20,6 +20,11 @@
 //	sorload -server http://localhost:8080 -app coffee-shop-3 -phones 25 -budget 10
 //	sorload -phones 8 -concurrency 4 -batch 32 -batches 50
 //	sorload -phones 8 -concurrency 4 -rankers 4 -ranks 200
+//	sorload -transport stream -stream-addr localhost:8081 -phones 25
+//
+// Every phase is written against the transport-neutral Conn interface:
+// -transport picks one-shot HTTP (default) or the persistent stream
+// session (sord -stream-addr), and the same load runs over either.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -36,6 +42,7 @@ import (
 	"sor/internal/ranking"
 	"sor/internal/stats"
 	"sor/internal/transport"
+	"sor/internal/transport/session"
 	"sor/internal/wire"
 	"sor/internal/world"
 )
@@ -49,6 +56,8 @@ func main() {
 
 func run() error {
 	serverURL := flag.String("server", "http://localhost:8080", "sensing server base URL")
+	transportKind := flag.String("transport", "http", "transport: http (one-shot) or stream (persistent session; per-request chaos flags apply to http only, -chaos-partition to both)")
+	streamAddr := flag.String("stream-addr", "localhost:8081", "stream endpoint for -transport stream (see sord -stream-addr)")
 	appID := flag.String("app", "coffee-shop-3", "application to load (as registered by sord)")
 	phones := flag.Int("phones", 10, "number of simulated phones")
 	budget := flag.Int("budget", 10, "per-phone sensing budget")
@@ -83,7 +92,6 @@ func run() error {
 	// outboxes to retransmit, and the server's ReportID dedup keeps the
 	// stored data identical to a clean run.
 	var fi *transport.FaultInjector
-	clientOpts := []sor.ClientOption{}
 	if *chaosRequestLoss > 0 || *chaosAckLoss > 0 || *chaosSpikeProb > 0 || *chaosPartition > 0 {
 		fi = transport.NewFaultInjector(transport.FaultConfig{
 			Seed:         *chaosSeed,
@@ -95,18 +103,48 @@ func run() error {
 		// Joins run clean so every phone gets a schedule; the injector arms
 		// once the fleet is in (see the barrier below).
 		fi.SetEnabled(false)
-		clientOpts = append(clientOpts,
-			sor.WithClientHTTP(&http.Client{
-				Transport: fi.Transport(nil),
-				Timeout:   10 * time.Second,
-			}),
-			sor.WithClientRetries(5),
-			sor.WithClientSeed(*chaosSeed))
 	}
-	client, err := sor.NewClient(*serverURL, clientOpts...)
-	if err != nil {
-		return err
+	// Every phase below talks through the transport-neutral Conn.
+	var conn sor.Conn
+	var httpClient *sor.Client
+	var streamClient *sor.StreamClient
+	switch *transportKind {
+	case "http":
+		clientOpts := []sor.ClientOption{}
+		if fi != nil {
+			clientOpts = append(clientOpts,
+				sor.WithClientHTTP(&http.Client{
+					Transport: fi.Transport(nil),
+					Timeout:   10 * time.Second,
+				}),
+				sor.WithClientRetries(5),
+				sor.WithClientSeed(*chaosSeed))
+		}
+		httpClient, err = sor.NewClient(*serverURL, clientOpts...)
+		if err != nil {
+			return err
+		}
+		conn = httpClient
+	case "stream":
+		dial := sor.StreamDialer(func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", *streamAddr)
+		})
+		if fi != nil {
+			// A partition refuses dials and severs the live stream, driving
+			// the client through its reconnect/resume path mid-load.
+			dial = session.FaultDialer(fi, dial)
+		}
+		streamClient, err = sor.NewStreamClient(dial, fmt.Sprintf("sorload-%d", *seed),
+			sor.WithStreamRetries(5), sor.WithStreamSeed(*chaosSeed))
+		if err != nil {
+			return err
+		}
+		conn = streamClient
+	default:
+		return fmt.Errorf("unknown -transport %q (http|stream)", *transportKind)
 	}
+	defer conn.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -158,7 +196,7 @@ func run() error {
 				r.err = err
 				return
 			}
-			fe, err := sor.NewFrontend(phone, client)
+			fe, err := sor.NewFrontend(phone, conn)
 			if err != nil {
 				r.err = err
 				return
@@ -221,11 +259,22 @@ func run() error {
 	}
 	if fi != nil {
 		fs := fi.Stats()
-		cs := client.Stats()
-		fmt.Printf("chaos: %d/%d requests lost, %d acks lost, %d refused by partition, %d spikes; "+
+		var retries int64
+		switch {
+		case httpClient != nil:
+			retries = httpClient.Stats().Retries
+		case streamClient != nil:
+			retries = streamClient.Stats().Retries
+		}
+		fmt.Printf("chaos: %d/%d requests lost, %d acks lost, %d refused by partition, %d severed, %d spikes; "+
 			"client retried %d times; outbox: %d delivered in %d drain passes\n",
-			fs.RequestsLost, fs.Requests, fs.ResponsesLost, fs.Partitioned, fs.Spikes,
-			cs.Retries, delivered, drainPasses)
+			fs.RequestsLost, fs.Requests, fs.ResponsesLost, fs.Partitioned, fs.SessionsSevered, fs.Spikes,
+			retries, delivered, drainPasses)
+	}
+	if streamClient != nil {
+		ss := streamClient.Stats()
+		fmt.Printf("stream: %d sends, %d retries, %d reconnects, %d pushes received\n",
+			ss.Sends, ss.Retries, ss.Reconnects, ss.PushesReceived)
 	}
 	if (*concurrency > 0 || *rankers > 0) && ok > 0 {
 		var targets []burstTarget
@@ -239,10 +288,10 @@ func run() error {
 		// writers churn ingest underneath it.
 		joinRankers := func() error { return nil }
 		if *rankers > 0 {
-			joinRankers = startRankPhase(ctx, client, place.Category, *rankers, *ranks, *seed)
+			joinRankers = startRankPhase(ctx, conn, place.Category, *rankers, *ranks, *seed)
 		}
 		if *concurrency > 0 {
-			if err := runBurstPhase(ctx, client, *appID, targets, *concurrency, *batchSize, *batches); err != nil {
+			if err := runBurstPhase(ctx, conn, *appID, targets, *concurrency, *batchSize, *batches); err != nil {
 				return err
 			}
 		}
@@ -281,7 +330,7 @@ func burstReport(appID string, tgt burstTarget, at time.Time, reportID string) w
 // runBurstPhase hammers the batched ingest path with `workers` concurrent
 // senders, each recording a per-worker latency histogram of SendBatch
 // round-trips.
-func runBurstPhase(ctx context.Context, client *sor.Client, appID string,
+func runBurstPhase(ctx context.Context, conn sor.Conn, appID string,
 	targets []burstTarget, workers, batchSize, batches int) error {
 	if batchSize < 1 || batchSize > wire.MaxBatchReports {
 		return fmt.Errorf("batch size %d out of [1,%d]", batchSize, wire.MaxBatchReports)
@@ -304,7 +353,7 @@ func runBurstPhase(ctx context.Context, client *sor.Client, appID string,
 					ups[i] = &up
 				}
 				t0 := time.Now()
-				ack, err := client.SendBatch(ctx, ups)
+				ack, err := conn.SendBatch(ctx, ups)
 				if err != nil {
 					errs[w] = err
 					return
@@ -363,7 +412,7 @@ func rankPrefs(i int) []wire.PrefEntry {
 // merged latency plus the span of snapshot epochs observed — under
 // concurrent ingest the epochs should advance, and within one worker
 // they must never go backwards.
-func startRankPhase(ctx context.Context, client *sor.Client, category string,
+func startRankPhase(ctx context.Context, conn sor.Conn, category string,
 	workers, ranks int, seed int64) func() error {
 	type rankStats struct {
 		hist     *stats.Histogram
@@ -390,7 +439,7 @@ func startRankPhase(ctx context.Context, client *sor.Client, category string,
 					Prefs:    rankPrefs(w*ranks + n),
 				}
 				t0 := time.Now()
-				resp, err := client.Send(ctx, req)
+				resp, err := conn.Send(ctx, req)
 				if err != nil {
 					r.err = err
 					return

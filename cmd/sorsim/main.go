@@ -11,6 +11,7 @@
 //	sorsim -sweep online             # online vs clairvoyant offline
 //	sorsim -sweep chaos              # exactly-once ingest under a faulty network
 //	sorsim -fleet -phones 100000     # deterministic virtual-day fleet simulation
+//	sorsim -fleet -transport stream  # same fleet over persistent sessions
 package main
 
 import (
@@ -55,6 +56,7 @@ func run() error {
 	rankPlaces := flag.Int("rank-places", 0, "with -fleet: seed a static rank category of this many places and serve bounded rank queries across the virtual day (0 = off; the columnar read-path soak uses 10000)")
 	rankQueries := flag.Int("rank-queries", 96, "with -fleet -rank-places: rank queries spread over the period")
 	rankTopK := flag.Int("rank-topk", 10, "with -fleet -rank-places: response bound per rank query")
+	transport := flag.String("transport", "http", "with -fleet: modeled transport, http (one-shot) or stream (persistent sessions)")
 	flag.Parse()
 
 	if *fleet {
@@ -73,6 +75,7 @@ func run() error {
 			RankPlaces:   *rankPlaces,
 			RankQueries:  *rankQueries,
 			RankTopK:     *rankTopK,
+			Transport:    *transport,
 		}, *verify, *coverageCurve)
 	}
 

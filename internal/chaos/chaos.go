@@ -22,7 +22,6 @@ import (
 	"sor/internal/frontend"
 	"sor/internal/obs"
 	"sor/internal/schedule"
-	"sor/internal/server"
 	"sor/internal/store"
 	"sor/internal/transport"
 	"sor/internal/wire"
@@ -133,25 +132,8 @@ func RunSoak(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := server.New(server.Config{
-		DB:       store.New(),
-		Now:      func() time.Time { return soakEpoch },
-		Catalog:  server.DefaultCatalog(),
-		Observer: cfg.Observer,
-	})
+	srv, err := newSoakServer(nil, cfg.Observer)
 	if err != nil {
-		return nil, err
-	}
-	if err := srv.CreateApp(store.Application{
-		ID:       soakAppID,
-		Creator:  "chaos-harness",
-		Category: world.CategoryCoffee,
-		Place:    world.Starbucks,
-		Lat:      place.Loc.Lat, Lon: place.Loc.Lon,
-		RadiusM:   60,
-		Script:    soakScript,
-		PeriodSec: 10800,
-	}); err != nil {
 		return nil, err
 	}
 	var handlerOpts []transport.HandlerOption

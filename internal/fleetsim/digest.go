@@ -116,6 +116,16 @@ func (r *Result) writeCanonical(w io.Writer) {
 	f := r.Fault
 	fmt.Fprintf(w, "fault requests=%d reqlost=%d acklost=%d partitioned=%d spikes=%d\n",
 		f.Requests, f.RequestsLost, f.ResponsesLost, f.Partitioned, f.Spikes)
+	// Stream lines are conditional (like the rank scenario's) so an http
+	// run's canonical dump is byte-identical to what it was before the
+	// session layer existed.
+	if c.Transport == TransportStream {
+		fmt.Fprintf(w, "cfg transport=%s\n", c.Transport)
+		s := r.Stream
+		fmt.Fprintf(w, "stream handshakes=%d reconnects=%d severed=%d wakes=%d scheds=%d inval=%d other=%d\n",
+			s.Handshakes, s.Reconnects, f.SessionsSevered,
+			s.Wakes, s.SchedulePushes, s.Invalidations, s.OtherPushes)
+	}
 	l := r.Latency
 	fmt.Fprintf(w, "latency count=%d p50=%d p95=%d p99=%d max=%d meanatt=%016x\n",
 		l.Count, l.P50, l.P95, l.P99, l.Max, math.Float64bits(l.MeanAttemptsPerAcked))
@@ -184,6 +194,12 @@ func (r *Result) Summary() string {
 	l := r.Latency
 	fmt.Fprintf(&b, "report latency (virtual): p50 %s  p95 %s  p99 %s  max %s  (%.2f attempts/report)\n",
 		l.P50, l.P95, l.P99, l.Max, l.MeanAttemptsPerAcked)
+	if r.Cfg.Transport == TransportStream {
+		s := r.Stream
+		fmt.Fprintf(&b, "stream: %d handshakes (%d reconnects), %d severed, pushes: %d wakes, %d schedules, %d invalidations\n",
+			s.Handshakes, s.Reconnects, f.SessionsSevered,
+			s.Wakes, s.SchedulePushes, s.Invalidations)
+	}
 	if r.State != nil {
 		fmt.Fprintf(&b, "state: %d uploads stored, %d folded, %d feature rows\n",
 			r.State.UploadsStored, r.State.Folded, len(r.State.Features))

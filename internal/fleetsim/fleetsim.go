@@ -36,6 +36,7 @@ import (
 	"sor/internal/stats"
 	"sor/internal/store"
 	"sor/internal/transport"
+	"sor/internal/transport/session"
 	"sor/internal/vclock"
 	"sor/internal/wire"
 	"sor/internal/world"
@@ -55,6 +56,20 @@ const fleetScript = `
 	return #t + #w
 `
 
+// Transport names for Config.Transport.
+const (
+	// TransportHTTP models the one-shot request/response transport (the
+	// default): every exchange is independent and the fault injector
+	// decides each one's fate.
+	TransportHTTP = "http"
+	// TransportStream models the persistent session transport: each phone
+	// handshakes (through the real session frame codec) onto a registry
+	// attached to the server's push path, requests ride request/reply
+	// frames, server-initiated pushes are drained RTT/2 after enqueue, and
+	// a partition severs every live session so phones re-handshake.
+	TransportStream = "stream"
+)
+
 // Config parameterizes one fleet run. The zero value of every fault field
 // is a fault-free run.
 type Config struct {
@@ -72,6 +87,11 @@ type Config struct {
 	Period time.Duration
 	// Step is the timeline discretization (default 5m).
 	Step time.Duration
+	// Transport selects the modeled transport: TransportHTTP (the default)
+	// or TransportStream. Stream runs add the session layer — handshakes,
+	// frame envelopes, push delivery — on top of the identical wire bytes,
+	// so the converged server state matches the http run seed for seed.
+	Transport string
 
 	// RequestLoss, AckLoss, SpikeProb, Spike parameterize the shared
 	// fault injector exactly as in transport.FaultConfig.
@@ -139,6 +159,9 @@ func (c *Config) applyDefaults() {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 60
 	}
+	if c.Transport == "" {
+		c.Transport = TransportHTTP
+	}
 	if c.PartitionFor > 0 && c.PartitionAt <= 0 {
 		c.PartitionAt = c.Period / 4
 	}
@@ -173,6 +196,17 @@ type CoveragePoint struct {
 	CumAcked int // running total
 }
 
+// StreamStats counts session-layer activity in a stream-transport run
+// (all zero under TransportHTTP).
+type StreamStats struct {
+	Handshakes     int // sessions attached (first joins + re-handshakes)
+	Reconnects     int // re-handshakes after a severed session
+	Wakes          int // wake-up pings drained by phones
+	SchedulePushes int // schedule pushes drained
+	Invalidations  int // epoch invalidations drained
+	OtherPushes    int // pushes with no simulated meaning
+}
+
 // LatencyStats summarizes virtual report latency (first attempt → ack).
 type LatencyStats struct {
 	Count                int
@@ -198,6 +232,8 @@ type Result struct {
 	Fault    transport.FaultStats
 	Latency  LatencyStats
 	Coverage []CoveragePoint
+	// Stream is the session-layer accounting (TransportStream only).
+	Stream StreamStats
 	// Rank is the rank-scenario sample list, empty unless RankPlaces > 0.
 	Rank []RankSample
 
@@ -255,6 +291,10 @@ type phone struct {
 	instants     int
 	firstAttempt time.Time
 	attempts     int
+
+	// sess is the phone's live server-side session (stream transport
+	// only); nil or closed means the next delivered exchange re-handshakes.
+	sess *session.Session
 }
 
 // driver owns the run: the queue, the clock, the server, the injector.
@@ -265,6 +305,9 @@ type driver struct {
 	handler transport.Handler
 	fi      *transport.FaultInjector
 	obsv    *obs.Observer
+	// reg is the session registry wired as the server's push path in
+	// stream mode (nil under TransportHTTP).
+	reg *session.Registry
 
 	queue  eventHeap
 	seq    uint64
@@ -379,16 +422,107 @@ func (d *driver) push(at time.Time, fn func()) {
 	heap.Push(&d.queue, &event{at: at, seq: d.seq, fn: fn})
 }
 
+func (d *driver) streaming() bool { return d.cfg.Transport == TransportStream }
+
+// handshake attaches p to the session registry through the real frame
+// codec — the hello and welcome bytes are exactly what the TCP stream
+// carries — and installs the enqueue hook that models push delivery:
+// every server-initiated message reaches the phone RTT/2 after enqueue.
+func (d *driver) handshake(p *phone) error {
+	hb, err := session.EncodeFrame(session.Frame{
+		Kind: session.KindHello,
+		Payload: session.EncodeHello(session.Hello{
+			Proto: session.ProtoVersion,
+			Token: p.token,
+			Caps:  session.SupportedCaps,
+		}),
+	})
+	if err != nil {
+		return fmt.Errorf("fleetsim: %s hello encode: %w", p.userID, err)
+	}
+	hf, _, err := session.DecodeFrame(hb)
+	if err != nil || hf.Kind != session.KindHello {
+		return fmt.Errorf("fleetsim: %s hello frame: %w", p.userID, err)
+	}
+	hello, err := session.DecodeHello(hf.Payload)
+	if err != nil {
+		return fmt.Errorf("fleetsim: %s hello decode: %w", p.userID, err)
+	}
+	sess, displaced, err := d.reg.Attach(hello.Token, session.IntersectCaps(hello.Caps))
+	if err != nil {
+		return fmt.Errorf("fleetsim: %s attach: %w", p.userID, err)
+	}
+	wb, err := session.EncodeFrame(session.Frame{
+		Kind: session.KindWelcome,
+		Payload: session.EncodeWelcome(session.Welcome{
+			Proto:   session.ProtoVersion,
+			Caps:    sess.Caps(),
+			Resumed: displaced,
+		}),
+	})
+	if err != nil {
+		return fmt.Errorf("fleetsim: %s welcome encode: %w", p.userID, err)
+	}
+	wf, _, err := session.DecodeFrame(wb)
+	if err != nil || wf.Kind != session.KindWelcome {
+		return fmt.Errorf("fleetsim: %s welcome frame: %w", p.userID, err)
+	}
+	if _, err := session.DecodeWelcome(wf.Payload); err != nil {
+		return fmt.Errorf("fleetsim: %s welcome decode: %w", p.userID, err)
+	}
+	d.res.Stream.Handshakes++
+	if p.sess != nil {
+		d.res.Stream.Reconnects++
+	}
+	p.sess = sess
+	// The hook may run with the registry lock held; scheduling an event
+	// only touches the single-threaded driver queue, never the registry.
+	sess.SetOnEnqueue(func() {
+		d.push(d.clk.Now().Add(d.cfg.RTT/2), func() { d.drainSession(sess) })
+	})
+	return nil
+}
+
+// drainSession is the delivery event an enqueue schedules: whatever is
+// queued on that exact session reaches the phone now. A session severed
+// in flight loses its queue with it — like the real socket.
+func (d *driver) drainSession(s *session.Session) {
+	if s.Closed() {
+		return
+	}
+	for _, m := range s.TakePending() {
+		switch m.(type) {
+		case *wire.Ping:
+			d.res.Stream.Wakes++
+		case *wire.Schedule:
+			d.res.Stream.SchedulePushes++
+		case *wire.EpochInvalidate:
+			d.res.Stream.Invalidations++
+		default:
+			d.res.Stream.OtherPushes++
+		}
+	}
+}
+
 // roundTrip carries msg to the server and its reply back through the real
 // wire codec — encode, decode, dispatch, encode, decode — so the fleet
 // exercises the exact bytes phones and server exchange, including the
 // traced v2 envelope.
 func (d *driver) roundTrip(msg wire.Message) (wire.Message, error) {
 	d.reqSeq++
-	id := fmt.Sprintf("fleet-%d", d.reqSeq)
+	seq := d.reqSeq
+	id := fmt.Sprintf("fleet-%d", seq)
 	b, err := wire.EncodeTraced(msg, id)
 	if err != nil {
 		return nil, fmt.Errorf("fleetsim: encode request: %w", err)
+	}
+	if d.streaming() {
+		// Stream mode wraps the identical wire bytes in a session frame —
+		// envelope on, envelope off — so the run exercises the exact
+		// request/reply framing the TCP transport ships.
+		if b, err = d.reframe(session.KindRequest, seq, b); err != nil {
+			return nil, err
+		}
 	}
 	decoded, reqID, err := wire.DecodeTraced(b)
 	if err != nil {
@@ -403,6 +537,11 @@ func (d *driver) roundTrip(msg wire.Message) (wire.Message, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleetsim: encode response: %w", err)
 	}
+	if d.streaming() {
+		if rb, err = d.reframe(session.KindReply, seq, rb); err != nil {
+			return nil, err
+		}
+	}
 	back, _, err := wire.DecodeTraced(rb)
 	if err != nil {
 		return nil, fmt.Errorf("fleetsim: decode response: %w", err)
@@ -410,9 +549,33 @@ func (d *driver) roundTrip(msg wire.Message) (wire.Message, error) {
 	return back, nil
 }
 
+// reframe rides payload through one session frame: encode, decode, check
+// the correlation id survived, hand back the payload bytes.
+func (d *driver) reframe(kind byte, id uint64, payload []byte) ([]byte, error) {
+	fb, err := session.EncodeFrame(session.Frame{Kind: kind, ID: id, Payload: payload})
+	if err != nil {
+		return nil, fmt.Errorf("fleetsim: encode frame: %w", err)
+	}
+	f, _, err := session.DecodeFrame(fb)
+	if err != nil {
+		return nil, fmt.Errorf("fleetsim: decode frame: %w", err)
+	}
+	if f.Kind != kind || f.ID != id {
+		return nil, fmt.Errorf("fleetsim: frame round-trip changed (kind %d id %d)", f.Kind, f.ID)
+	}
+	return f.Payload, nil
+}
+
 // join is the control-plane event: participate (reliably) and schedule
 // the upload that the returned plan implies.
 func (d *driver) join(p *phone) error {
+	// A stream phone handshakes before its first exchange; the control
+	// plane is reliable, so the handshake is too.
+	if d.streaming() {
+		if err := d.handshake(p); err != nil {
+			return err
+		}
+	}
 	resp, err := d.roundTrip(&wire.Participate{
 		UserID: p.userID,
 		Token:  p.token,
@@ -503,6 +666,17 @@ func (d *driver) attempt(p *phone) {
 	var ack *wire.Ack
 	if v.Delivered() {
 		d.res.DeliveredReqs++
+		if d.streaming() {
+			if p.sess == nil || p.sess.Closed() {
+				// The stream died (a partition severed it); a delivered
+				// attempt re-handshakes first — reconnection shares the
+				// network verdict of the exchange it carries.
+				if err := d.handshake(p); err != nil {
+					panic(fmt.Sprintf("fleetsim: %s rehandshake: %v", p.userID, err))
+				}
+			}
+			p.sess.Touch()
+		}
 		msg, err := wire.Decode(p.report)
 		if err != nil {
 			panic(fmt.Sprintf("fleetsim: %s report decode: %v", p.userID, err))
@@ -551,6 +725,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Period < cfg.Step {
 		return nil, errors.New("fleetsim: period shorter than step")
 	}
+	switch cfg.Transport {
+	case TransportHTTP, TransportStream:
+	default:
+		return nil, fmt.Errorf("fleetsim: unknown transport %q", cfg.Transport)
+	}
 
 	d := &driver{
 		cfg:      cfg,
@@ -560,6 +739,18 @@ func Run(cfg Config) (*Result, error) {
 	d.res.Cfg = cfg
 
 	d.obsv = obs.NewObserver(obs.WithClock(d.clk))
+	// In stream mode the server's push path is a session registry on the
+	// virtual clock, so joins push schedules and wakes to the live
+	// sessions exactly as the TCP transport would. HTTP runs keep a nil
+	// push path, leaving their digests untouched by this layer.
+	var push transport.Notifier
+	if cfg.Transport == TransportStream {
+		d.reg = session.NewRegistry(
+			session.WithRegistryClock(d.clk),
+			session.WithRegistryMetrics(d.obsv.Metrics()),
+		)
+		push = d.reg
+	}
 	srv, err := server.New(server.Config{
 		DB:     store.New(),
 		Now:    d.clk.Now,
@@ -570,6 +761,7 @@ func Run(cfg Config) (*Result, error) {
 		// static after seeding, so this only bounds rebuild frequency.
 		RankRefresh: 15 * time.Minute,
 		Catalog:     fleetCatalog(),
+		Push:        push,
 		Observer:    d.obsv,
 	})
 	if err != nil {
@@ -585,6 +777,11 @@ func Run(cfg Config) (*Result, error) {
 		Spike:        cfg.Spike,
 		Clock:        d.clk,
 	})
+	if d.reg != nil {
+		// A partition start severs every live stream, forcing phones back
+		// through the handshake — the same hook the real dialers hang here.
+		d.fi.OnPartition(d.reg.CloseAll)
+	}
 
 	// Build the shards and the fleet. Every random stream splits off the
 	// root in a fixed order — apps outer, phones inner — so the draw

@@ -1,0 +1,138 @@
+package fleetsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestFleetStreamDeterminism is the stream transport's determinism gate:
+// the full session layer — handshakes, frame envelopes, push delivery,
+// partition severing live streams — rides the virtual clock, so two runs
+// of the same seed must still produce byte-identical digests.
+func TestFleetStreamDeterminism(t *testing.T) {
+	seed := soakSeed(t, 42)
+	cfg := chaoticConfig(seed, 150)
+	cfg.Transport = TransportStream
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run A: %v\n%s", err, repro(t, seed))
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run B: %v\n%s", err, repro(t, seed))
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed, different stream digests:\n%s\n%s", FirstDiff(a, b), repro(t, seed))
+	}
+	// The session layer must actually have engaged, or the gate is hollow.
+	if a.Stream.Handshakes < cfg.Phones {
+		t.Fatalf("only %d handshakes for %d phones\n%s", a.Stream.Handshakes, cfg.Phones, repro(t, seed))
+	}
+	if a.Fault.SessionsSevered == 0 {
+		t.Fatalf("the partition severed no sessions\n%s", repro(t, seed))
+	}
+	if a.Stream.Reconnects == 0 {
+		t.Fatalf("no phone re-handshook after the partition\n%s", repro(t, seed))
+	}
+	if a.Stream.Wakes+a.Stream.SchedulePushes == 0 {
+		t.Fatalf("no server push ever reached a phone\n%s", repro(t, seed))
+	}
+	// The digest must be sensitive to the transport: the stream run adds
+	// its own canonical lines and session metrics.
+	httpCfg := chaoticConfig(seed, 150)
+	h, err := Run(httpCfg)
+	if err != nil {
+		t.Fatalf("http run: %v\n%s", err, repro(t, seed))
+	}
+	if h.Digest == a.Digest {
+		t.Fatalf("http and stream runs share a digest — stream lines missing from the dump\n%s", repro(t, seed))
+	}
+}
+
+// TestFleetStreamMatchesHTTP pins wire compatibility inside the
+// simulator: the session layer only wraps the identical wire bytes, and
+// handshakes draw nothing from the fault schedule, so a stream run and an
+// http run of the same seed must converge to the same server state —
+// schedules, budget ledgers, dedup windows, and the feature matrix down
+// to the last IEEE-754 bit. (The full digests legitimately differ: stream
+// runs carry extra canonical lines and session metrics.)
+func TestFleetStreamMatchesHTTP(t *testing.T) {
+	seed := soakSeed(t, 1234)
+	cfg := chaoticConfig(seed, 100)
+	h, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("http run: %v\n%s", err, repro(t, seed))
+	}
+	cfg.Transport = TransportStream
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("stream run: %v\n%s", err, repro(t, seed))
+	}
+	if s.Attempts != h.Attempts || s.Acked != h.Acked || s.Abandoned != h.Abandoned {
+		t.Errorf("delivery accounting diverged: stream %d/%d/%d vs http %d/%d/%d\n%s",
+			s.Attempts, s.Acked, s.Abandoned, h.Attempts, h.Acked, h.Abandoned, repro(t, seed))
+	}
+	if s.State.UploadsStored != h.State.UploadsStored || s.State.Folded != h.State.Folded {
+		t.Errorf("ingest diverged: stream stored=%d folded=%d vs http stored=%d folded=%d\n%s",
+			s.State.UploadsStored, s.State.Folded,
+			h.State.UploadsStored, h.State.Folded, repro(t, seed))
+	}
+	if got, want := len(s.State.Apps), len(h.State.Apps); got != want {
+		t.Fatalf("app count %d vs %d\n%s", got, want, repro(t, seed))
+	}
+	for i := range h.State.Apps {
+		ha, sa := h.State.Apps[i], s.State.Apps[i]
+		if fmt.Sprint(ha.Executed) != fmt.Sprint(sa.Executed) {
+			t.Errorf("app %s executed instants diverge across transports\n%s", ha.ID, repro(t, seed))
+		}
+		if fmt.Sprint(ha.Ledger) != fmt.Sprint(sa.Ledger) {
+			t.Errorf("app %s budget ledger diverges across transports\n%s", ha.ID, repro(t, seed))
+		}
+		if ha.SeenDigest != sa.SeenDigest || ha.SeenReports != sa.SeenReports {
+			t.Errorf("app %s dedup window diverges across transports\n%s", ha.ID, repro(t, seed))
+		}
+	}
+	if got, want := len(s.State.Features), len(h.State.Features); got != want {
+		t.Fatalf("feature rows %d vs %d\n%s", got, want, repro(t, seed))
+	}
+	for i := range h.State.Features {
+		hf, sf := h.State.Features[i], s.State.Features[i]
+		if hf.Place != sf.Place || hf.Feature != sf.Feature ||
+			hf.Value != sf.Value || hf.Samples != sf.Samples {
+			t.Errorf("feature row %s/%s diverges across transports\n%s",
+				hf.Place, hf.Feature, repro(t, seed))
+		}
+	}
+}
+
+// TestFleetStreamFaultFree checks the clean stream baseline: one
+// handshake per phone, no reconnects, and the same exactly-once delivery
+// the http baseline shows.
+func TestFleetStreamFaultFree(t *testing.T) {
+	seed := soakSeed(t, 7)
+	r, err := Run(Config{Phones: 120, PhonesPerApp: 40, Seed: seed,
+		Period: 6 * time.Hour, Step: 5 * time.Minute, Transport: TransportStream})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, repro(t, seed))
+	}
+	if r.Stream.Handshakes != 120 || r.Stream.Reconnects != 0 {
+		t.Errorf("handshakes=%d reconnects=%d, want 120/0\n%s",
+			r.Stream.Handshakes, r.Stream.Reconnects, repro(t, seed))
+	}
+	if r.Acked != r.Scheduled || r.Attempts != r.Acked {
+		t.Errorf("acked=%d scheduled=%d attempts=%d in a fault-free stream run\n%s",
+			r.Acked, r.Scheduled, r.Attempts, repro(t, seed))
+	}
+	if r.Fault.SessionsSevered != 0 {
+		t.Errorf("%d sessions severed without a partition\n%s",
+			r.Fault.SessionsSevered, repro(t, seed))
+	}
+}
+
+// TestFleetRejectsUnknownTransport pins the config validation.
+func TestFleetRejectsUnknownTransport(t *testing.T) {
+	if _, err := Run(Config{Phones: 1, Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

@@ -171,8 +171,9 @@ type Frontend struct {
 	clock            vclock.Clock
 	obsv             *obs.Observer
 
-	mu    sync.Mutex
-	tasks map[string]*TaskInfo
+	mu     sync.Mutex
+	tasks  map[string]*TaskInfo
+	listen *listener
 }
 
 // defaultAcquireRetries is how many times a failed sensor acquisition is

@@ -1,0 +1,107 @@
+package frontend
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"sor/internal/wire"
+)
+
+// EventSource is the server-initiated side of a stream transport: the
+// channel a session.Client exposes as Events(). The frontend deliberately
+// names its own one-method view instead of importing the transport's Conn
+// so HTTP-only builds pay nothing for the stream layer.
+type EventSource interface {
+	Events() <-chan wire.Message
+}
+
+// ListenStats counts what a Listen pump has consumed.
+type ListenStats struct {
+	Pings         int64 // wake-up pings answered (outbox drained)
+	Schedules     int64 // schedule pushes recorded
+	Invalidations int64 // epoch invalidations observed
+	Others        int64 // messages with no device-side meaning
+}
+
+// listener is the per-frontend Listen state, created on first use.
+type listener struct {
+	mu     sync.Mutex
+	scheds []*wire.Schedule
+
+	pings         atomic.Int64
+	schedules     atomic.Int64
+	invalidations atomic.Int64
+	others        atomic.Int64
+}
+
+func (f *Frontend) listenState() *listener {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.listen == nil {
+		f.listen = &listener{}
+	}
+	return f.listen
+}
+
+// Listen pumps server-initiated events from a stream transport until ctx
+// ends: wake-up pings trigger the ping/drain choreography HandlePing
+// implements, pushed schedules are recorded for the caller to execute
+// (PushedSchedules), and epoch invalidations are counted — a phone only
+// caches rank responses transiently, so observing the invalidation is all
+// the device side needs. Returns ctx.Err when the context ends. Run it on
+// its own goroutine alongside the frontend's request/reply traffic.
+func (f *Frontend) Listen(ctx context.Context, src EventSource) error {
+	ls := f.listenState()
+	events := src.Events()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case m, ok := <-events:
+			if !ok {
+				return nil
+			}
+			switch msg := m.(type) {
+			case *wire.Ping:
+				ls.pings.Add(1)
+				// Best effort, exactly like a GCM wake-up: a failed drain
+				// leaves reports parked for the next wake or explicit flush.
+				_ = f.HandlePing(ctx)
+			case *wire.Schedule:
+				ls.schedules.Add(1)
+				ls.mu.Lock()
+				ls.scheds = append(ls.scheds, msg)
+				ls.mu.Unlock()
+			case *wire.EpochInvalidate:
+				ls.invalidations.Add(1)
+			default:
+				ls.others.Add(1)
+			}
+		}
+	}
+}
+
+// PushedSchedules drains and returns the schedules the server pushed
+// since the last call, oldest first. The caller decides whether to
+// execute them (ExecuteSchedule) — an unattended pump must not spend
+// sensing budget on its own.
+func (f *Frontend) PushedSchedules() []*wire.Schedule {
+	ls := f.listenState()
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	out := ls.scheds
+	ls.scheds = nil
+	return out
+}
+
+// ListenStats snapshots the Listen pump's counters.
+func (f *Frontend) ListenStats() ListenStats {
+	ls := f.listenState()
+	return ListenStats{
+		Pings:         ls.pings.Load(),
+		Schedules:     ls.schedules.Load(),
+		Invalidations: ls.invalidations.Load(),
+		Others:        ls.others.Load(),
+	}
+}

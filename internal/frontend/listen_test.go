@@ -1,0 +1,74 @@
+package frontend
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sor/internal/wire"
+	"sor/internal/world"
+)
+
+// chanSource is a hand-fed EventSource.
+type chanSource struct{ ch chan wire.Message }
+
+func (s *chanSource) Events() <-chan wire.Message { return s.ch }
+
+// TestListenPumpsEvents pins the event pump: pings answer with the
+// HandlePing choreography, schedules accumulate for the caller, epoch
+// invalidations are counted, and the pump exits with the context.
+func TestListenPumpsEvents(t *testing.T) {
+	s := &fakeSender{}
+	f := newFrontend(t, world.BNCafe, s)
+	src := &chanSource{ch: make(chan wire.Message, 8)}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Listen(ctx, src) }()
+
+	src.ch <- &wire.Ping{Token: "tok-1"}
+	src.ch <- &wire.Schedule{AppID: "app-1", TaskID: "task-1"}
+	src.ch <- &wire.Schedule{AppID: "app-1", TaskID: "task-2"}
+	src.ch <- &wire.EpochInvalidate{Category: "coffee-shop", Epoch: 3}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := f.ListenStats()
+		if st.Pings == 1 && st.Schedules == 2 && st.Invalidations == 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := f.ListenStats(); st.Pings != 1 || st.Schedules != 2 || st.Invalidations != 1 {
+		t.Fatalf("stats = %+v after events", st)
+	}
+
+	// The ping reached the server through the sender (wake-up answered).
+	pinged := false
+	for _, m := range s.messages() {
+		if _, ok := m.(*wire.Ping); ok {
+			pinged = true
+		}
+	}
+	if !pinged {
+		t.Fatal("wake-up ping was not answered")
+	}
+
+	// Pushed schedules drain oldest-first and only once.
+	scheds := f.PushedSchedules()
+	if len(scheds) != 2 || scheds[0].TaskID != "task-1" || scheds[1].TaskID != "task-2" {
+		t.Fatalf("pushed schedules = %+v", scheds)
+	}
+	if got := f.PushedSchedules(); len(got) != 0 {
+		t.Fatalf("second drain returned %d schedules", len(got))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Listen returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Listen did not exit on cancel")
+	}
+}

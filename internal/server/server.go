@@ -47,8 +47,13 @@ type Config struct {
 	// Catalog maps a category to its ranked features with default
 	// preferences; required for ranking.
 	Catalog map[string][]ranking.Feature
-	// Push is the optional GCM-like wake-up fabric.
-	Push *transport.Push
+	// Push is the optional server-initiated fabric: anything that can ask
+	// a device to ping home. A session registry
+	// (internal/transport/session) here upgrades pushes to full messages
+	// — fresh schedules and epoch invalidations ride the live stream —
+	// via the transport.MessagePusher / Broadcaster interfaces; the
+	// deprecated simulated-GCM Push still satisfies the plain Notifier.
+	Push transport.Notifier
 	// RobustExtraction enables MAD outlier rejection in the Data
 	// Processor (defends against miscalibrated phones).
 	RobustExtraction bool
@@ -82,7 +87,7 @@ type Server struct {
 	kernel  coverage.Kernel
 	step    time.Duration
 	catalog map[string][]ranking.Feature
-	push    *transport.Push
+	push    transport.Notifier
 
 	states  *shardedStates // appID -> scheduler state, sharded
 	taskSeq atomic.Int64
@@ -491,8 +496,21 @@ func (s *Server) distributePlan(app store.Application, st *appSchedState, plan *
 			return err
 		}
 		if s.push != nil {
-			// Best effort: unreachable phones will poll eventually.
-			_ = s.push.Notify(tokenOf[userID])
+			// Best effort: unreachable phones will poll eventually. A
+			// stream-connected phone gets the fresh schedule itself pushed
+			// down its session, saving the wake-then-ping round trip; a
+			// wake-only fabric (or a push failure) falls back to the
+			// classic "ping home" nudge.
+			token := tokenOf[userID]
+			pushed := false
+			if mp, ok := s.push.(transport.MessagePusher); ok {
+				if sched, err := s.scheduleFor(app, st, userID); err == nil {
+					pushed = mp.PushMessage(token, sched) == nil
+				}
+			}
+			if !pushed {
+				_ = s.push.Notify(token)
+			}
 		}
 	}
 	return nil

@@ -11,6 +11,7 @@ import (
 
 	"sor/internal/obs"
 	"sor/internal/ranking"
+	"sor/internal/transport"
 	"sor/internal/wire"
 )
 
@@ -221,6 +222,14 @@ func (s *Server) rebuildSnapshot(cs *categoryServing, category string, prev *ran
 	cs.snap.Store(snap)
 	s.met.snapshotRebuilds.Inc()
 	s.met.snapshotRebuildMs.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+	// A new epoch invalidates every ranking devices cached for this
+	// category. Stream-connected phones hear about it immediately; a
+	// wake-only fabric has no payload channel, so they find out on their
+	// next query (the re-arm fast path above keeps the epoch and stays
+	// silent).
+	if b, ok := s.push.(transport.Broadcaster); ok {
+		b.Broadcast(&wire.EpochInvalidate{Category: category, Epoch: epoch})
+	}
 	return snap, nil
 }
 

@@ -3,7 +3,10 @@ package transport
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"sor/internal/obs"
 )
 
 // Backoff draws capped full-jitter retry delays: step n is a uniform draw
@@ -43,4 +46,82 @@ func (b *Backoff) Delay(step int) time.Duration {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return time.Duration(b.rng.Int63n(int64(ceil) + 1))
+}
+
+// RetryMonitor is the shared retry/backoff observation path. The HTTP
+// client's Send loop and the stream session's reconnect loop both report
+// through one of these, so every retry — whatever the transport — lands on
+// the same obs series (sor_client_retries_total, sor_client_backoff_ms,
+// ...) and fires the same WithRetryObserver hook, instead of each
+// transport growing a parallel mechanism. All methods are safe for
+// concurrent use and degrade to pure counting without a registry.
+type RetryMonitor struct {
+	onRetry func(attempt int, delay time.Duration, err error)
+
+	retries      atomic.Int64
+	nonRetryable atomic.Int64
+	exhausted    atomic.Int64
+
+	retriesC      *obs.Counter
+	nonRetryableC *obs.Counter
+	exhaustedC    *obs.Counter
+	backoffMs     *obs.Histogram
+}
+
+// NewRetryMonitor builds a monitor registering the shared retry series on
+// reg (nil reg = counters only, no metrics).
+func NewRetryMonitor(reg *obs.Registry) *RetryMonitor {
+	return &RetryMonitor{
+		retriesC:      reg.Counter("sor_client_retries_total"),
+		nonRetryableC: reg.Counter("sor_client_non_retryable_total"),
+		exhaustedC:    reg.Counter("sor_client_exhausted_total"),
+		backoffMs:     reg.LatencyHistogram("sor_client_backoff_ms"),
+	}
+}
+
+// SetHook installs the WithRetryObserver callback, invoked synchronously
+// from ObserveRetry before the caller sleeps the delay. Not safe to call
+// concurrently with ObserveRetry; install hooks before traffic starts.
+func (m *RetryMonitor) SetHook(fn func(attempt int, delay time.Duration, err error)) {
+	m.onRetry = fn
+}
+
+// ObserveRetry records one retry about to happen: attempt is the upcoming
+// attempt number (1-based), delay the jittered backoff about to be slept,
+// err the failure that caused it.
+func (m *RetryMonitor) ObserveRetry(attempt int, delay time.Duration, err error) {
+	if m.onRetry != nil {
+		m.onRetry(attempt, delay, err)
+	}
+	m.retries.Add(1)
+	m.retriesC.Inc()
+	m.backoffMs.Observe(float64(delay) / float64(time.Millisecond))
+}
+
+// ObserveNonRetryable records a send abandoned without retry (a refusal).
+func (m *RetryMonitor) ObserveNonRetryable() {
+	m.nonRetryable.Add(1)
+	m.nonRetryableC.Inc()
+}
+
+// ObserveExhausted records a send that ran out of attempts.
+func (m *RetryMonitor) ObserveExhausted() {
+	m.exhausted.Add(1)
+	m.exhaustedC.Inc()
+}
+
+// RetryStats snapshots the monitor's counters.
+type RetryStats struct {
+	Retries      int64
+	NonRetryable int64
+	Exhausted    int64
+}
+
+// Stats snapshots the retry counters.
+func (m *RetryMonitor) Stats() RetryStats {
+	return RetryStats{
+		Retries:      m.retries.Load(),
+		NonRetryable: m.nonRetryable.Load(),
+		Exhausted:    m.exhausted.Load(),
+	}
 }

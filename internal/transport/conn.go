@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"context"
+
+	"sor/internal/wire"
+)
+
+// Conn is the device-side transport: what a phone holds to talk to the
+// server, whatever the protocol underneath. The one-shot HTTP Client and
+// the persistent stream session (internal/transport/session) both
+// implement it, so the frontend, the fleet simulator, and the load tools
+// are written against Conn and switch transports with a flag.
+//
+// Send and SendBatch are the request/reply half (uploads, participation,
+// rank queries). Events is the server-initiated half: schedule pushes,
+// wake-up pings, and epoch invalidations arrive on it for transports that
+// keep a live channel open. A one-shot transport returns a nil Events
+// channel — receiving from it blocks forever, which composes correctly
+// inside a select.
+type Conn interface {
+	// Send delivers one message and returns the server's reply.
+	Send(ctx context.Context, m wire.Message) (wire.Message, error)
+	// SendBatch coalesces reports into one DataUploadBatch round trip.
+	SendBatch(ctx context.Context, uploads []*wire.DataUpload) (*wire.Ack, error)
+	// Events streams server-initiated messages; nil when the transport
+	// cannot carry them (one-shot HTTP).
+	Events() <-chan wire.Message
+	// Close releases the transport. Further Sends fail.
+	Close() error
+}
+
+// Notifier is the server's outbound wake-up hook: given a device token,
+// get that phone to ping home. The deprecated Push fabric and the session
+// registry both implement it; server.Config.Push accepts either.
+type Notifier interface {
+	Notify(token string) error
+}
+
+// MessagePusher is a Notifier that can additionally deliver a full wire
+// message down a live connection — the session registry. When the server's
+// push fabric implements it, schedule redistribution pushes the new
+// wire.Schedule itself instead of a bare wake-up, saving the phone the
+// ping round trip.
+type MessagePusher interface {
+	Notifier
+	PushMessage(token string, m wire.Message) error
+}
+
+// Broadcaster fans one message to every live session (epoch
+// invalidations). Returns how many sessions it was queued to.
+type Broadcaster interface {
+	Broadcast(m wire.Message) int
+}
+
+// Compile-time checks: both transports satisfy Conn, and the deprecated
+// push fabric stays usable wherever a Notifier is wanted.
+var (
+	_ Conn     = (*Client)(nil)
+	_ Notifier = (*Push)(nil)
+)
+
+// Events implements Conn for the one-shot HTTP client: there is no live
+// channel, so the returned nil channel never delivers (receives block
+// forever — use inside a select).
+func (c *Client) Events() <-chan wire.Message { return nil }
+
+// Close implements Conn. The HTTP client holds no per-device connection
+// state beyond keep-alive sockets, which are released here.
+func (c *Client) Close() error {
+	c.http.CloseIdleConnections()
+	return nil
+}

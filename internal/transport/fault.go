@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"sync"
 	"time"
@@ -60,6 +61,9 @@ type FaultStats struct {
 	ResponsesLost int // delivered but the ack was dropped
 	Partitioned   int // refused during a partition
 	Spikes        int // latency spikes injected
+	// SessionsSevered counts live stream sessions killed by partition
+	// starts (OnPartition hooks fired).
+	SessionsSevered int
 }
 
 // FaultInjector simulates a faulty network between phones and the sensing
@@ -79,6 +83,12 @@ type FaultInjector struct {
 	enabled     bool
 	partitioned bool
 	stats       FaultStats
+
+	// partitionHooks run (outside the lock) every time a partition
+	// starts: the stream transport registers one per live connection so a
+	// partition severs the session itself, not just in-flight requests.
+	partitionHooks map[int]func()
+	hookSeq        int
 }
 
 // NewFaultInjector builds an enabled injector with a deterministic
@@ -100,11 +110,41 @@ func (fi *FaultInjector) SetEnabled(on bool) {
 	fi.enabled = on
 }
 
-// StartPartition cuts the network: every request fails until HealPartition.
+// StartPartition cuts the network: every request fails until
+// HealPartition, and every registered OnPartition hook fires — live
+// stream sessions are severed, not just new requests refused.
 func (fi *FaultInjector) StartPartition() {
 	fi.mu.Lock()
-	defer fi.mu.Unlock()
 	fi.partitioned = true
+	hooks := make([]func(), 0, len(fi.partitionHooks))
+	for _, fn := range fi.partitionHooks {
+		hooks = append(hooks, fn)
+	}
+	fi.stats.SessionsSevered += len(hooks)
+	fi.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// OnPartition registers fn to run every time a partition starts and
+// returns its unregister function. The stream transport hangs one hook
+// per live connection here so partitions kill the TCP stream under the
+// session, forcing the client through its reconnect/resume path.
+func (fi *FaultInjector) OnPartition(fn func()) (cancel func()) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.partitionHooks == nil {
+		fi.partitionHooks = make(map[int]func())
+	}
+	id := fi.hookSeq
+	fi.hookSeq++
+	fi.partitionHooks[id] = fn
+	return func() {
+		fi.mu.Lock()
+		defer fi.mu.Unlock()
+		delete(fi.partitionHooks, id)
+	}
 }
 
 // HealPartition restores the network.
@@ -280,3 +320,31 @@ type discardResponseWriter struct {
 func (d *discardResponseWriter) Header() http.Header         { return d.header }
 func (d *discardResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
 func (d *discardResponseWriter) WriteHeader(int)             {}
+
+// severedConn is a net.Conn that a partition start kills.
+type severedConn struct {
+	net.Conn
+	cancel    func()
+	closeOnce sync.Once
+	err       error
+}
+
+func (c *severedConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.cancel()
+		c.err = c.Conn.Close()
+	})
+	return c.err
+}
+
+// SeverOnPartition wraps a live net.Conn so that a partition start closes
+// it immediately — blocked reads and writes on both ends fail, which is
+// how a real partition eventually presents to a TCP stream, compressed to
+// time zero. Closing the returned conn unregisters the hook. Stream
+// dialers wrap every connection they hand out with this (and refuse to
+// dial at all while Partitioned()).
+func (fi *FaultInjector) SeverOnPartition(inner net.Conn) net.Conn {
+	sc := &severedConn{Conn: inner}
+	sc.cancel = fi.OnPartition(func() { _ = sc.Close() })
+	return sc
+}

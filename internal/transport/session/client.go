@@ -1,0 +1,648 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sor/internal/obs"
+	"sor/internal/transport"
+	"sor/internal/vclock"
+	"sor/internal/wire"
+)
+
+// ErrSessionLost marks a request that was in flight when the stream died:
+// the server may or may not have processed it, exactly like a lost HTTP
+// response. Callers retry and rely on ReportID dedup, which is what the
+// device outbox already does.
+var ErrSessionLost = errors.New("session: connection lost")
+
+// ErrClientClosed marks use after Close.
+var ErrClientClosed = errors.New("session: client closed")
+
+// Dialer opens the raw stream a session runs over. Tests inject net.Pipe;
+// production uses a TCP dialer (Dial); chaos wraps it with a
+// FaultInjector so partitions refuse dials and sever live conns.
+type Dialer func(ctx context.Context) (net.Conn, error)
+
+// Client is the device side of the stream transport. It implements
+// transport.Conn: Send/SendBatch multiplex over one long-lived connection
+// by correlation id, Events delivers server-initiated pushes, and a dead
+// connection is re-dialed automatically with capped full-jitter backoff
+// (the shared transport.Backoff). On every resume the OnResume hook runs
+// — the frontend hangs its outbox drain there, so reports that were in
+// flight when the stream died are redelivered and deduped by ReportID:
+// exactly-once across connection death. Safe for concurrent use.
+type Client struct {
+	dial      Dialer
+	token     string
+	caps      []string
+	clock     vclock.Clock
+	retries   int
+	backoff   *transport.Backoff
+	monitor   *transport.RetryMonitor
+	obsv      *obs.Observer
+	heartbeat time.Duration
+
+	events        chan wire.Message
+	eventsDropped atomic.Int64
+
+	mu            sync.Mutex
+	cc            *clientConn
+	dialing       bool
+	dialDone      chan struct{}
+	nextID        uint64
+	closed        bool
+	everConnected bool
+	lastWelcome   Welcome
+	onResume      func()
+
+	sends      atomic.Int64
+	reconnects atomic.Int64
+	resumes    atomic.Int64
+	pushes     atomic.Int64
+
+	// jitterSeed/backoff envelope captured before the Backoff is built.
+	base, cap    time.Duration
+	seed         int64
+	seeded       bool
+	onRetry      func(attempt int, delay time.Duration, err error)
+	heartbeatCtx context.CancelFunc
+}
+
+// clientConn is one live connection's multiplexing state.
+type clientConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // frame write serialization
+
+	mu      sync.Mutex
+	waiters map[uint64]chan result
+	dead    bool
+
+	done chan struct{}
+}
+
+type result struct {
+	msg wire.Message
+	err error
+}
+
+// ClientOption configures NewClient/Dial.
+type ClientOption func(*Client)
+
+// WithClientClock backs backoff sleeps and heartbeats with clk.
+func WithClientClock(clk vclock.Clock) ClientOption {
+	return func(c *Client) { c.clock = clk }
+}
+
+// WithClientRetries sets how many times a Send survives a dead connection
+// before giving up (default 2, like the HTTP client).
+func WithClientRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithClientBackoff sets the reconnect backoff envelope (default 50 ms
+// base, 2 s cap — full jitter via transport.Backoff).
+func WithClientBackoff(base, cap time.Duration) ClientOption {
+	return func(c *Client) { c.base, c.cap = base, cap }
+}
+
+// WithClientSeed makes the reconnect jitter deterministic.
+func WithClientSeed(seed int64) ClientOption {
+	return func(c *Client) { c.seed, c.seeded = seed, true }
+}
+
+// WithClientRetryObserver installs the shared retry hook (the same
+// contract as the HTTP client's WithRetryObserver): called before every
+// backoff sleep with the upcoming attempt, the delay, and the cause.
+func WithClientRetryObserver(fn func(attempt int, delay time.Duration, err error)) ClientOption {
+	return func(c *Client) { c.onRetry = fn }
+}
+
+// WithClientObserver routes the client's retry series into o's registry.
+func WithClientObserver(o *obs.Observer) ClientOption {
+	return func(c *Client) { c.obsv = o }
+}
+
+// WithCaps overrides the capabilities offered in the hello (default
+// SupportedCaps).
+func WithCaps(caps ...string) ClientOption {
+	return func(c *Client) { c.caps = caps }
+}
+
+// WithEventBuffer sizes the Events channel (default 64). When a consumer
+// falls behind, the oldest unread pushes are dropped and counted — pushes
+// are hints, never the source of truth.
+func WithEventBuffer(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.events = make(chan wire.Message, n)
+		}
+	}
+}
+
+// WithHeartbeat sends a wire.Ping every d of clock time while the
+// connection is up, keeping the server's liveness fresh over quiet
+// periods (default off).
+func WithHeartbeat(d time.Duration) ClientOption {
+	return func(c *Client) { c.heartbeat = d }
+}
+
+// WithOnResume installs the resume hook, called (on its own goroutine)
+// after every successful reconnect. The frontend drains its outbox here.
+func WithOnResume(fn func()) ClientOption {
+	return func(c *Client) { c.onResume = fn }
+}
+
+// NewClient builds a stream client over dial, authenticating as token.
+// The first connection is made lazily on first Send.
+func NewClient(dial Dialer, token string, opts ...ClientOption) (*Client, error) {
+	if dial == nil {
+		return nil, errors.New("session: nil dialer")
+	}
+	if token == "" {
+		return nil, errors.New("session: empty device token")
+	}
+	c := &Client{
+		dial:     dial,
+		token:    token,
+		caps:     SupportedCaps,
+		retries:  2,
+		base:     50 * time.Millisecond,
+		cap:      2 * time.Second,
+		events:   make(chan wire.Message, 64),
+		dialDone: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.clock = vclock.Or(c.clock)
+	seed := c.seed
+	if !c.seeded {
+		seed = time.Now().UnixNano()
+	}
+	c.backoff = transport.NewBackoff(c.base, c.cap, seed)
+	c.monitor = transport.NewRetryMonitor(c.obsv.Metrics())
+	c.monitor.SetHook(c.onRetry)
+	return c, nil
+}
+
+// Dial builds a stream client over TCP to addr (host:port).
+func Dial(addr, token string, opts ...ClientOption) (*Client, error) {
+	var d net.Dialer
+	return NewClient(func(ctx context.Context) (net.Conn, error) {
+		return d.DialContext(ctx, "tcp", addr)
+	}, token, opts...)
+}
+
+// FaultDialer wraps dial with a FaultInjector: dials are refused while
+// partitioned, and every connection it hands out is severed the moment a
+// partition starts — partitions kill live sessions, not just requests.
+func FaultDialer(fi *transport.FaultInjector, dial Dialer) Dialer {
+	return func(ctx context.Context) (net.Conn, error) {
+		if fi.Partitioned() {
+			return nil, transport.ErrPartitioned
+		}
+		conn, err := dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return fi.SeverOnPartition(conn), nil
+	}
+}
+
+var _ transport.Conn = (*Client)(nil)
+
+// SetOnResume replaces the resume hook (for wiring built after the
+// client, e.g. a frontend's outbox drain).
+func (c *Client) SetOnResume(fn func()) {
+	c.mu.Lock()
+	c.onResume = fn
+	c.mu.Unlock()
+}
+
+// Token returns the device token the client authenticates as.
+func (c *Client) Token() string { return c.token }
+
+// Welcome returns the last handshake's negotiated terms.
+func (c *Client) Welcome() Welcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastWelcome
+}
+
+// Events implements transport.Conn: server-initiated schedule pushes,
+// wake-up pings, and epoch invalidations. Never closed; drain in a
+// select.
+func (c *Client) Events() <-chan wire.Message { return c.events }
+
+// ClientStats snapshots the stream client's counters.
+type ClientStats struct {
+	Sends          int64 // Send calls
+	Retries        int64 // attempts beyond each call's first (shared monitor)
+	Reconnects     int64 // successful re-dials after a lost connection
+	PushesReceived int64 // server-initiated messages delivered to Events
+	PushesDropped  int64 // pushes evicted because Events was full
+}
+
+// Stats snapshots the counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Sends:          c.sends.Load(),
+		Retries:        c.monitor.Stats().Retries,
+		Reconnects:     c.reconnects.Load(),
+		PushesReceived: c.pushes.Load(),
+		PushesDropped:  c.eventsDropped.Load(),
+	}
+}
+
+// Monitor exposes the shared retry-observation path (same series the
+// HTTP client reports to).
+func (c *Client) Monitor() *transport.RetryMonitor { return c.monitor }
+
+// Send implements transport.Conn. The message is encoded once (with its
+// trace RequestID, same as HTTP) and retransmitted verbatim across
+// connection deaths, up to retries re-dials with full-jitter backoff
+// between attempts.
+func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error) {
+	requestID := obs.RequestIDFrom(ctx)
+	if requestID == "" {
+		requestID = obs.NewRequestID()
+		ctx = obs.WithRequestID(ctx, requestID)
+	}
+	body, err := wire.EncodeTraced(m, string(requestID))
+	if err != nil {
+		return nil, fmt.Errorf("session: encode: %w", err)
+	}
+	c.sends.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff.Delay(attempt - 1)
+			c.monitor.ObserveRetry(attempt, delay, lastErr)
+			wake := c.clock.NewTimer(delay)
+			select {
+			case <-wake.C():
+			case <-ctx.Done():
+				wake.Stop()
+				return nil, fmt.Errorf("session: cancelled: %w", ctx.Err())
+			}
+		}
+		cc, err := c.conn(ctx)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) || ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		resp, err := c.roundTrip(ctx, cc, body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	c.monitor.ObserveExhausted()
+	return nil, fmt.Errorf("session: giving up after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// SendBatch implements transport.Conn, mirroring the HTTP client's batch
+// coalescing.
+func (c *Client) SendBatch(ctx context.Context, uploads []*wire.DataUpload) (*wire.Ack, error) {
+	if len(uploads) == 0 {
+		return nil, errors.New("session: empty upload batch")
+	}
+	if len(uploads) > wire.MaxBatchReports {
+		return nil, fmt.Errorf("session: batch of %d exceeds %d reports",
+			len(uploads), wire.MaxBatchReports)
+	}
+	batch := &wire.DataUploadBatch{Uploads: make([]wire.DataUpload, len(uploads))}
+	for i, up := range uploads {
+		if up == nil {
+			return nil, fmt.Errorf("session: nil upload at %d", i)
+		}
+		batch.Uploads[i] = *up
+	}
+	resp, err := c.Send(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	ack, ok := resp.(*wire.Ack)
+	if !ok {
+		return nil, fmt.Errorf("session: batch response was %s, want ack", resp.Type())
+	}
+	return ack, nil
+}
+
+// Close implements transport.Conn: the stream is torn down and every
+// in-flight Send fails with ErrSessionLost.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	cc := c.cc
+	c.cc = nil
+	if c.heartbeatCtx != nil {
+		c.heartbeatCtx()
+	}
+	c.mu.Unlock()
+	if cc != nil {
+		cc.fail(ErrClientClosed)
+	}
+	return nil
+}
+
+// conn returns the live connection, dialing and handshaking (single
+// flight) when there is none.
+func (c *Client) conn(ctx context.Context) (*clientConn, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClientClosed
+		}
+		if c.cc != nil {
+			cc := c.cc
+			c.mu.Unlock()
+			return cc, nil
+		}
+		if !c.dialing {
+			c.dialing = true
+			c.mu.Unlock()
+			break
+		}
+		wait := c.dialDone
+		c.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	cc, welcome, err := c.dialOnce(ctx)
+
+	c.mu.Lock()
+	c.dialing = false
+	close(c.dialDone)
+	c.dialDone = make(chan struct{})
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		cc.fail(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	c.cc = cc
+	c.lastWelcome = welcome
+	resumed := c.everConnected
+	c.everConnected = true
+	hook := c.onResume
+	c.mu.Unlock()
+
+	go c.readLoop(cc)
+	if c.heartbeat > 0 {
+		c.startHeartbeat(cc)
+	}
+	if resumed {
+		c.reconnects.Add(1)
+		c.resumes.Add(1)
+		// Resume: the outbox drain (or whatever the owner hung here) runs
+		// off the Send path so it cannot deadlock against the caller.
+		if hook != nil {
+			go hook()
+		}
+	}
+	return cc, nil
+}
+
+// dialOnce makes one connection attempt: dial, hello, welcome.
+func (c *Client) dialOnce(ctx context.Context) (*clientConn, Welcome, error) {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return nil, Welcome{}, err
+	}
+	hello := Hello{Proto: ProtoVersion, Token: c.token, Caps: c.caps}
+	if err := WriteFrame(conn, Frame{Kind: KindHello, Payload: EncodeHello(hello)}); err != nil {
+		_ = conn.Close()
+		return nil, Welcome{}, err
+	}
+	wf, err := ReadFrame(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, Welcome{}, err
+	}
+	if wf.Kind != KindWelcome {
+		_ = conn.Close()
+		return nil, Welcome{}, errors.New("session: handshake reply was not a welcome")
+	}
+	welcome, err := DecodeWelcome(wf.Payload)
+	if err != nil {
+		_ = conn.Close()
+		return nil, Welcome{}, err
+	}
+	if welcome.Proto == 0 || welcome.Proto > ProtoVersion {
+		_ = conn.Close()
+		return nil, Welcome{}, fmt.Errorf("session: server negotiated unusable protocol %d", welcome.Proto)
+	}
+	cc := &clientConn{
+		conn:    conn,
+		waiters: make(map[uint64]chan result),
+		done:    make(chan struct{}),
+	}
+	return cc, welcome, nil
+}
+
+// readLoop delivers replies to their waiters and pushes to Events until
+// the connection dies.
+func (c *Client) readLoop(cc *clientConn) {
+	for {
+		f, err := ReadFrame(cc.conn)
+		if err != nil {
+			c.lostConn(cc, err)
+			return
+		}
+		switch f.Kind {
+		case KindReply:
+			msg, derr := wire.Decode(f.Payload)
+			cc.deliver(f.ID, result{msg: msg, err: derr})
+		case KindPush:
+			msg, derr := wire.Decode(f.Payload)
+			if derr != nil {
+				continue
+			}
+			c.pushes.Add(1)
+			select {
+			case c.events <- msg:
+			default:
+				// Consumer is behind: make room by dropping the oldest
+				// unread push, then deliver the newest.
+				select {
+				case <-c.events:
+					c.eventsDropped.Add(1)
+				default:
+				}
+				select {
+				case c.events <- msg:
+				default:
+					c.eventsDropped.Add(1)
+				}
+			}
+		default:
+			c.lostConn(cc, fmt.Errorf("%w: unexpected frame kind %d", ErrBadFrame, f.Kind))
+			return
+		}
+	}
+}
+
+// lostConn tears down a dead connection: waiters fail with
+// ErrSessionLost and the next Send re-dials.
+func (c *Client) lostConn(cc *clientConn, cause error) {
+	c.mu.Lock()
+	if c.cc == cc {
+		c.cc = nil
+	}
+	c.mu.Unlock()
+	cc.fail(fmt.Errorf("%w: %v", ErrSessionLost, cause))
+}
+
+// roundTrip sends one pre-encoded request on cc and waits for its reply.
+func (c *Client) roundTrip(ctx context.Context, cc *clientConn, body []byte) (wire.Message, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+
+	ch := make(chan result, 1)
+	if err := cc.addWaiter(id, ch); err != nil {
+		return nil, err
+	}
+	if err := cc.writeFrame(Frame{Kind: KindRequest, ID: id, Payload: body}); err != nil {
+		cc.removeWaiter(id)
+		_ = cc.conn.Close()
+		return nil, fmt.Errorf("%w: %v", ErrSessionLost, err)
+	}
+	select {
+	case r := <-ch:
+		return r.msg, r.err
+	case <-cc.done:
+		return nil, ErrSessionLost
+	case <-ctx.Done():
+		cc.removeWaiter(id)
+		return nil, fmt.Errorf("session: cancelled: %w", ctx.Err())
+	}
+}
+
+// startHeartbeat pings over the stream every heartbeat interval until the
+// connection dies, keeping server-side liveness fresh while idle.
+func (c *Client) startHeartbeat(cc *clientConn) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c.mu.Lock()
+	c.heartbeatCtx = cancel
+	c.mu.Unlock()
+	go func() {
+		defer cancel()
+		tick := c.clock.NewTicker(c.heartbeat)
+		defer tick.Stop()
+		body, err := wire.Encode(&wire.Ping{Token: c.token})
+		if err != nil {
+			return
+		}
+		for {
+			select {
+			case <-tick.C():
+			case <-cc.done:
+				return
+			case <-ctx.Done():
+				return
+			}
+			c.mu.Lock()
+			c.nextID++
+			id := c.nextID
+			c.mu.Unlock()
+			ch := make(chan result, 1)
+			if cc.addWaiter(id, ch) != nil {
+				return
+			}
+			if cc.writeFrame(Frame{Kind: KindRequest, ID: id, Payload: body}) != nil {
+				cc.removeWaiter(id)
+				_ = cc.conn.Close()
+				return
+			}
+			select {
+			case <-ch: // reply discarded; the point was the traffic
+			case <-cc.done:
+				return
+			case <-ctx.Done():
+				cc.removeWaiter(id)
+				return
+			}
+		}
+	}()
+}
+
+func (cc *clientConn) writeFrame(f Frame) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return WriteFrame(cc.conn, f)
+}
+
+func (cc *clientConn) addWaiter(id uint64, ch chan result) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.dead {
+		return ErrSessionLost
+	}
+	cc.waiters[id] = ch
+	return nil
+}
+
+func (cc *clientConn) removeWaiter(id uint64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	delete(cc.waiters, id)
+}
+
+// deliver hands a reply to its waiter (no-op for unknown/cancelled ids).
+func (cc *clientConn) deliver(id uint64, r result) {
+	cc.mu.Lock()
+	ch := cc.waiters[id]
+	delete(cc.waiters, id)
+	cc.mu.Unlock()
+	if ch != nil {
+		ch <- r
+	}
+}
+
+// fail marks the connection dead, closes the socket, and fails every
+// waiter.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	waiters := cc.waiters
+	cc.waiters = nil
+	cc.mu.Unlock()
+	_ = cc.conn.Close()
+	close(cc.done)
+	for _, ch := range waiters {
+		ch <- result{err: err}
+	}
+}

@@ -1,0 +1,87 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// LocalPush is the deprecated simulated-GCM surface (Subscribe /
+// Unsubscribe / Notify / Sent) rebuilt as a thin shim over a session
+// Registry: each subscription is a local in-process session whose queued
+// wake-ups collapse onto a capacity-1 channel. It exists so code written
+// against the old transport.Push keeps working — sor.NewPush returns one
+// — while the registry underneath is the same machinery that serves real
+// device streams.
+//
+// Deprecated: connect devices through the stream transport and hand the
+// Registry itself to the server (sor.WithTransport).
+type LocalPush struct {
+	reg *Registry
+
+	mu   sync.Mutex
+	subs map[string]*localSub
+}
+
+type localSub struct {
+	sess *Session
+	ch   chan struct{}
+}
+
+// NewLocalPush builds a push fabric over its own private registry.
+func NewLocalPush() *LocalPush {
+	return &LocalPush{reg: NewRegistry(), subs: make(map[string]*localSub)}
+}
+
+// Registry exposes the backing session registry (the server's Notifier).
+func (p *LocalPush) Registry() *Registry { return p.reg }
+
+// Subscribe registers a device token and returns its wake-up channel
+// (capacity 1; duplicate wake-ups coalesce), mirroring the old Push
+// contract.
+func (p *LocalPush) Subscribe(token string) (<-chan struct{}, error) {
+	if token == "" {
+		return nil, errors.New("transport: empty token")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.subs[token]; dup {
+		return nil, fmt.Errorf("transport: token %q already subscribed", token)
+	}
+	sess, _, err := p.reg.Attach(token, nil)
+	if err != nil {
+		return nil, err
+	}
+	sub := &localSub{sess: sess, ch: make(chan struct{}, 1)}
+	// Queued messages collapse to wake signals: this subscriber has no
+	// stream to carry payloads, only the "ping home" bit.
+	sess.SetOnEnqueue(func() {
+		sess.TakePending()
+		select {
+		case sub.ch <- struct{}{}:
+		default: // already pending; coalesce
+		}
+	})
+	p.subs[token] = sub
+	return sub.ch, nil
+}
+
+// Unsubscribe removes a token.
+func (p *LocalPush) Unsubscribe(token string) {
+	p.mu.Lock()
+	sub := p.subs[token]
+	delete(p.subs, token)
+	p.mu.Unlock()
+	if sub != nil {
+		sub.sess.Close()
+	}
+}
+
+// Notify wakes a device; unknown tokens are an error (the phone is truly
+// unreachable).
+func (p *LocalPush) Notify(token string) error {
+	return p.reg.Notify(token)
+}
+
+// Sent reports how many notifications were delivered.
+func (p *LocalPush) Sent() int { return p.reg.Sent() }

@@ -143,33 +143,28 @@ type Client struct {
 	jitterSeed   int64
 	jitterSeeded bool
 
-	sends       atomic.Int64
-	retryCount  atomic.Int64
-	nonRetrying atomic.Int64
+	sends atomic.Int64
+
+	// monitor is the shared retry-observation path (backoff.go): the
+	// same series and hook the stream transport's reconnects report to.
+	monitor *RetryMonitor
 
 	obsv *obs.Observer
 	met  clientMetrics
 }
 
 // clientMetrics are the client's constant-label handles; all nil (no-op)
-// without an observer.
+// without an observer. Retry/backoff series live on the shared
+// RetryMonitor, not here.
 type clientMetrics struct {
-	sends        *obs.Counter
-	retries      *obs.Counter
-	nonRetryable *obs.Counter
-	exhausted    *obs.Counter
-	sendMs       *obs.Histogram
-	backoffMs    *obs.Histogram
+	sends  *obs.Counter
+	sendMs *obs.Histogram
 }
 
 func newClientMetrics(reg *obs.Registry) clientMetrics {
 	return clientMetrics{
-		sends:        reg.Counter("sor_client_sends_total"),
-		retries:      reg.Counter("sor_client_retries_total"),
-		nonRetryable: reg.Counter("sor_client_non_retryable_total"),
-		exhausted:    reg.Counter("sor_client_exhausted_total"),
-		sendMs:       reg.LatencyHistogram("sor_client_send_ms"),
-		backoffMs:    reg.LatencyHistogram("sor_client_backoff_ms"),
+		sends:  reg.Counter("sor_client_sends_total"),
+		sendMs: reg.LatencyHistogram("sor_client_send_ms"),
 	}
 }
 
@@ -249,6 +244,8 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	if c.obsv != nil {
 		c.met = newClientMetrics(c.obsv.Metrics())
 	}
+	c.monitor = NewRetryMonitor(c.obsv.Metrics())
+	c.monitor.SetHook(c.onRetry)
 	return c, nil
 }
 
@@ -265,12 +262,17 @@ type ClientStats struct {
 // Stats snapshots the retry counters (observability for tests and load
 // tools).
 func (c *Client) Stats() ClientStats {
+	rs := c.monitor.Stats()
 	return ClientStats{
 		Sends:        c.sends.Load(),
-		Retries:      c.retryCount.Load(),
-		NonRetryable: c.nonRetrying.Load(),
+		Retries:      rs.Retries,
+		NonRetryable: rs.NonRetryable,
 	}
 }
+
+// Monitor exposes the client's shared retry-observation path (tests and
+// tools that want the exhausted count too).
+func (c *Client) Monitor() *RetryMonitor { return c.monitor }
 
 // retryDelay computes the attempt's backoff with full jitter: a uniform
 // draw from [0, min(cap, base·2^(attempt-1))] via the shared Backoff
@@ -304,12 +306,7 @@ func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error)
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			delay := c.retryDelay(attempt)
-			if c.onRetry != nil {
-				c.onRetry(attempt, delay, lastErr)
-			}
-			c.retryCount.Add(1)
-			c.met.retries.Inc()
-			c.met.backoffMs.Observe(float64(delay) / float64(time.Millisecond))
+			c.monitor.ObserveRetry(attempt, delay, lastErr)
 			wake := c.clock.NewTimer(delay)
 			select {
 			case <-wake.C():
@@ -337,8 +334,7 @@ func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error)
 		if err != nil {
 			var httpErr *HTTPError
 			if errors.As(err, &httpErr) && !httpErr.Retryable() {
-				c.nonRetrying.Add(1)
-				c.met.nonRetryable.Inc()
+				c.monitor.ObserveNonRetryable()
 				return nil, err
 			}
 			lastErr = err
@@ -346,7 +342,7 @@ func (c *Client) Send(ctx context.Context, m wire.Message) (wire.Message, error)
 		}
 		return resp, nil
 	}
-	c.met.exhausted.Inc()
+	c.monitor.ObserveExhausted()
 	return nil, fmt.Errorf("transport: giving up after %d attempts: %w", c.retries+1, lastErr)
 }
 

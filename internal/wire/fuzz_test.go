@@ -59,6 +59,7 @@ func fuzzSeeds() []Message {
 		&ReplRecords{FirstLSN: 17, LeaderLSN: 19,
 			Records: [][]byte{{0x01, 0x02, 0x03}, []byte(`{"op":"feat"}`)}},
 		&ReplRecords{FirstLSN: 3, LeaderLSN: 40, Compacted: true},
+		&EpochInvalidate{Category: "coffee-shop", Epoch: 7},
 	}
 }
 

@@ -595,3 +595,31 @@ func (m *RankResponse) decodePayload(r *Reader) error {
 	}
 	return nil
 }
+
+// EpochInvalidate is a server-initiated push telling a device that a rank
+// category advanced to a new epoch: any ranking the device cached for that
+// category is stale and the next RankRequest will observe fresher data.
+// Devices never send it; it only flows down a session stream.
+type EpochInvalidate struct {
+	Category string
+	Epoch    int64
+}
+
+var _ Message = (*EpochInvalidate)(nil)
+
+// Type implements Message.
+func (*EpochInvalidate) Type() MsgType { return TypeEpochInvalidate }
+
+func (m *EpochInvalidate) encodePayload(w *Writer) {
+	w.PutString(m.Category)
+	w.PutVarint(m.Epoch)
+}
+
+func (m *EpochInvalidate) decodePayload(r *Reader) error {
+	var err error
+	if m.Category, err = r.String(); err != nil {
+		return err
+	}
+	m.Epoch, err = r.Varint()
+	return err
+}

@@ -57,6 +57,7 @@ const (
 	TypeDataUploadBatch
 	TypeReplPull
 	TypeReplRecords
+	TypeEpochInvalidate
 )
 
 // String names the message type.
@@ -84,6 +85,8 @@ func (t MsgType) String() string {
 		return "repl-pull"
 	case TypeReplRecords:
 		return "repl-records"
+	case TypeEpochInvalidate:
+		return "epoch-invalidate"
 	default:
 		return fmt.Sprintf("unknown(%d)", byte(t))
 	}
@@ -373,6 +376,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &ReplPull{}, nil
 	case TypeReplRecords:
 		return &ReplRecords{}, nil
+	case TypeEpochInvalidate:
+		return &EpochInvalidate{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", byte(t))
 	}
