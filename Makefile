@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak replica-soak replica-soak-short fleet-soak fleet-soak-short session-soak session-soak-short ci experiments fieldtest sim clean
+.PHONY: all build test test-short race vet bench bench-smoke fuzz-smoke obs-smoke chaos chaos-short crash-soak replica-soak replica-soak-short cluster-soak cluster-soak-short fleet-soak fleet-soak-short session-soak session-soak-short ci experiments fieldtest sim clean
 
 all: build test
 
@@ -75,6 +75,19 @@ replica-soak:
 replica-soak-short:
 	$(GO) test -race -short -count=1 -run ReplicaSoak ./internal/chaos/
 
+# Scale-out cluster soak under the race detector: two shards of two
+# nodes each behind a rendezvous-routing router on virtual time survive
+# kills, partitions, checkpoint races, one planned failover per shard
+# (one of them discovered by the router, not announced), and a follower
+# orphaned past compaction that rejoins via snapshot-ship resync; every
+# node's state digest must match a never-crashed single-node baseline
+# that applied only its shard's category workload.
+cluster-soak:
+	$(GO) test -race -count=1 -run ClusterSoak -v ./internal/chaos/
+
+cluster-soak-short:
+	$(GO) test -race -short -count=1 -run ClusterSoak ./internal/chaos/
+
 # Discrete-event fleet soak on virtual time: deterministic, fixed-seed,
 # race-enabled. The determinism gate runs the same seed twice and diffs
 # the end-state digests (a divergence prints the first differing
@@ -113,6 +126,7 @@ ci: vet build test
 	$(MAKE) chaos-short
 	$(MAKE) crash-soak
 	$(MAKE) replica-soak
+	$(MAKE) cluster-soak
 	$(MAKE) fleet-soak-short
 	$(MAKE) session-soak-short
 

@@ -296,16 +296,36 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	return transport.NewClient(baseURL, opts...)
 }
 
+// Retry is the consolidated retry envelope every retrying layer
+// accepts — the wire client, the stream client, the frontend outbox,
+// the cluster router, and StartNode. Zero fields keep the layer's
+// defaults; Attempts < 0 disables retries; Base == -1 disables backoff
+// sleeps entirely (deterministic tests); Seed != 0 makes jitter
+// reproducible.
+type Retry = transport.Retry
+
+// WithClientRetry applies a consolidated retry envelope to the wire
+// client.
+func WithClientRetry(r Retry) ClientOption { return transport.WithRetry(r) }
+
 // WithClientRetries sets the retry budget for transport failures.
+//
+// Deprecated: use WithClientRetry.
 func WithClientRetries(n int) ClientOption { return transport.WithRetries(n) }
 
 // WithClientBackoff sets the base retry backoff.
+//
+// Deprecated: use WithClientRetry.
 func WithClientBackoff(d time.Duration) ClientOption { return transport.WithBackoff(d) }
 
 // WithClientBackoffCap bounds the exponential backoff.
+//
+// Deprecated: use WithClientRetry.
 func WithClientBackoffCap(d time.Duration) ClientOption { return transport.WithBackoffCap(d) }
 
 // WithClientSeed makes retry jitter deterministic.
+//
+// Deprecated: use WithClientRetry.
 func WithClientSeed(seed int64) ClientOption { return transport.WithRetrySeed(seed) }
 
 // WithClientHTTP substitutes the underlying *http.Client.
@@ -406,15 +426,25 @@ func WithStreamServerObserver(o *Observer) StreamServerOption {
 	return session.WithServerObserver(o)
 }
 
+// WithStreamRetry applies a consolidated retry envelope to the stream
+// client's per-send retries and reconnect backoff.
+func WithStreamRetry(r Retry) StreamClientOption { return session.WithClientRetry(r) }
+
 // WithStreamRetries sets the stream client's per-send retry budget.
+//
+// Deprecated: use WithStreamRetry.
 func WithStreamRetries(n int) StreamClientOption { return session.WithClientRetries(n) }
 
 // WithStreamBackoff bounds the stream client's reconnect/retry backoff.
+//
+// Deprecated: use WithStreamRetry.
 func WithStreamBackoff(base, cap time.Duration) StreamClientOption {
 	return session.WithClientBackoff(base, cap)
 }
 
 // WithStreamSeed makes stream retry jitter deterministic.
+//
+// Deprecated: use WithStreamRetry.
 func WithStreamSeed(seed int64) StreamClientOption { return session.WithClientSeed(seed) }
 
 // WithStreamObserver instruments the stream client through the same
@@ -457,12 +487,21 @@ func NewFrontend(phone *Phone, sender Sender, opts ...FrontendOption) (*Frontend
 // WithOutboxCapacity bounds the store-and-forward queue.
 func WithOutboxCapacity(n int) FrontendOption { return frontend.WithOutboxCapacity(n) }
 
+// WithOutboxRetry applies a consolidated retry envelope to the outbox's
+// flush backoff. Attempts is ignored: the outbox never gives up — its
+// bounded queue is the retry budget.
+func WithOutboxRetry(r Retry) FrontendOption { return frontend.WithOutboxRetry(r) }
+
 // WithOutboxBackoff sets outbox flush backoff base and cap.
+//
+// Deprecated: use WithOutboxRetry.
 func WithOutboxBackoff(base, max time.Duration) FrontendOption {
 	return frontend.WithOutboxBackoff(base, max)
 }
 
 // WithOutboxSeed makes outbox jitter deterministic.
+//
+// Deprecated: use WithOutboxRetry.
 func WithOutboxSeed(seed int64) FrontendOption { return frontend.WithOutboxSeed(seed) }
 
 // WithFrontendObserver instruments the frontend's outbox (fleet-aggregate

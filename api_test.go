@@ -25,7 +25,7 @@ func TestPublicSurfaceBootsObservableServer(t *testing.T) {
 		sor.WithStore(sor.NewStore()),
 		sor.WithCatalog(sor.DefaultCatalog()),
 		sor.WithNow(func() time.Time { return epoch }),
-		sor.WithPush(sor.NewPush()),
+		sor.WithTransport(sor.NewSessionRegistry()),
 		sor.WithObserver(o),
 	)
 	if err != nil {
@@ -46,9 +46,7 @@ func TestPublicSurfaceBootsObservableServer(t *testing.T) {
 	defer ts.Close()
 
 	client, err := sor.NewClient(ts.URL,
-		sor.WithClientRetries(1),
-		sor.WithClientBackoff(time.Millisecond),
-		sor.WithClientSeed(1),
+		sor.WithClientRetry(sor.Retry{Attempts: 1, Base: time.Millisecond, Seed: 1}),
 		sor.WithClientObserver(o))
 	if err != nil {
 		t.Fatal(err)

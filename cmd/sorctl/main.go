@@ -8,6 +8,7 @@
 //	sorctl -server http://localhost:8080 metrics [-json] [-require a,b,c]
 //	sorctl -server http://localhost:8080 trace [-request ID] [-limit 50]
 //	sorctl -server http://localhost:8080 replica status [-json]
+//	sorctl -server http://localhost:8080 cluster status [-json]
 //	sorctl wal inspect <data-dir|wal-dir>
 package main
 
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"sor"
+	"sor/internal/cluster"
 	"sor/internal/replica"
 	"sor/internal/wal"
 	"sor/internal/wire"
@@ -45,7 +47,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: sorctl [-server URL] rank|ping|metrics|trace|replica|wal [flags]")
+		return fmt.Errorf("usage: sorctl [-server URL] rank|ping|metrics|trace|replica|cluster|wal [flags]")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -60,6 +62,8 @@ func run() error {
 		return trace(ctx, *serverURL, args[1:])
 	case "replica":
 		return replicaCmd(ctx, *serverURL, args[1:])
+	case "cluster":
+		return clusterCmd(ctx, *serverURL, args[1:])
 	case "wal":
 		return walCmd(args[1:])
 	default:
@@ -382,6 +386,64 @@ func renderReplicaStatus(w io.Writer, st replica.Status) {
 		fmt.Fprintf(w, "last leader contact %dms ago\n", s.LastContactMS)
 	} else {
 		fmt.Fprintln(w, "never heard from the leader")
+	}
+}
+
+// clusterCmd scrapes /debug/cluster on a router (or any node registered
+// in a cluster). `cluster status` shows every shard with its members'
+// roles, liveness, and applied LSNs, plus each registered app's resolved
+// shard placement.
+func clusterCmd(ctx context.Context, serverURL string, args []string) error {
+	if len(args) < 1 || args[0] != "status" {
+		return fmt.Errorf("usage: sorctl cluster status [-json]")
+	}
+	fs := flag.NewFlagSet("cluster status", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the raw JSON payload")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var st cluster.Status
+	if err := getJSON(ctx, serverURL+cluster.DebugPath, &st); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	renderClusterStatus(os.Stdout, st)
+	return nil
+}
+
+// renderClusterStatus writes the human `cluster status` listing. Split
+// from clusterCmd so the golden-output test drives it against a
+// bytes.Buffer.
+func renderClusterStatus(w io.Writer, st cluster.Status) {
+	if st.Router != "" {
+		fmt.Fprintf(w, "router %s\n", st.Router)
+	}
+	if len(st.Shards) == 0 {
+		fmt.Fprintln(w, "no shards registered")
+		return
+	}
+	for _, s := range st.Shards {
+		fmt.Fprintf(w, "shard %s (leader %s)\n", s.Name, orDash(s.Leader))
+		fmt.Fprintf(w, "  %-20s %-8s %-28s %12s %12s  %s\n",
+			"MEMBER", "ROLE", "ADDR", "APPLIED-LSN", "SILENT-MS", "LIVE")
+		for _, m := range s.Members {
+			silent := "-"
+			if m.SilentForMS >= 0 {
+				silent = fmt.Sprint(m.SilentForMS)
+			}
+			fmt.Fprintf(w, "  %-20s %-8s %-28s %12d %12s  %v\n",
+				m.Name, m.Role, m.Addr, m.AppliedLSN, silent, m.Live)
+		}
+	}
+	if len(st.Apps) > 0 {
+		fmt.Fprintf(w, "%-24s %-20s %s\n", "APP", "CATEGORY", "SHARD")
+		for _, a := range st.Apps {
+			fmt.Fprintf(w, "%-24s %-20s %s\n", a.AppID, a.Category, a.Shard)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"sor"
+	"sor/internal/cluster"
 	"sor/internal/obs"
 	"sor/internal/replica"
 	"sor/internal/wal"
@@ -145,4 +146,43 @@ func TestReplicaStatusGolden(t *testing.T) {
 		},
 	})
 	checkGolden(t, "replica_status.golden", buf.Bytes())
+}
+
+// TestClusterStatusGolden pins the human `sorctl cluster status`
+// rendering: a router's view of a 2-shard cluster mid-failover (one
+// member never heartbeated, one silent past its TTL) plus the app
+// placement table, and the degenerate empty map.
+func TestClusterStatusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderClusterStatus(&buf, cluster.Status{
+		Router: "router-0",
+		Shards: []cluster.ShardStatus{
+			{
+				Name:   "shard-a",
+				Leader: "shard-a-0",
+				Members: []cluster.MemberStatus{
+					{Name: "shard-a-0", Role: "leader", Addr: "http://10.0.0.1:8080",
+						Live: true, AppliedLSN: 2048, SilentForMS: 150},
+					{Name: "shard-a-1", Role: "replica", Addr: "http://10.0.0.2:8080",
+						Live: false, AppliedLSN: 1500, SilentForMS: 700000},
+				},
+			},
+			{
+				Name: "shard-b",
+				Members: []cluster.MemberStatus{
+					{Name: "shard-b-0", Role: "replica", Addr: "http://10.0.1.1:8080",
+						Live: true, AppliedLSN: 4096, SilentForMS: 90},
+					{Name: "shard-b-1", Role: "replica", Addr: "http://10.0.1.2:8080",
+						Live: false, AppliedLSN: 0, SilentForMS: -1},
+				},
+			},
+		},
+		Apps: []cluster.AppRoute{
+			{AppID: "app-coffee", Category: "coffee-shop", Shard: "shard-a"},
+			{AppID: "app-trail", Category: "hiking-trail", Shard: "shard-b"},
+		},
+	})
+	buf.WriteByte('\n')
+	renderClusterStatus(&buf, cluster.Status{})
+	checkGolden(t, "cluster_status.golden", buf.Bytes())
 }

@@ -1,15 +1,17 @@
-// Command sord runs a SOR sensing server: it registers the six canonical
-// Syracuse target places as applications, prints their 2D barcodes'
-// payloads, and serves the binary-over-HTTP protocol on -addr, plus the
-// ops surface: /debug/metrics (JSON metrics snapshot), /debug/trace
-// (recent request spans), /debug/replica (replication status), and
-// /debug/pprof.
+// Command sord runs a SOR node: a sensing server (leader or replica) or
+// a cluster router. A leader registers the six canonical Syracuse target
+// places as applications, prints their 2D barcodes' payloads, and serves
+// the binary-over-HTTP protocol on -addr, plus the ops surface:
+// /debug/metrics (JSON metrics snapshot), /debug/trace (recent request
+// spans), /debug/replica (replication status), /debug/cluster (on a
+// router), and /debug/pprof.
 //
 // Usage:
 //
 //	sord -addr :8080 [-stream-addr :8081] [-data-dir sor-data] [-barcodes]
 //	sord -addr :8082 -data-dir node-b -role replica -node-id node-b \
 //	     -leader-url http://localhost:8080 [-max-replica-lag 5s]
+//	sord -addr :8090 -role router -node-id router-0 -cluster cluster.json
 //
 // With -stream-addr the server additionally accepts persistent device
 // streams (the session transport): one framed TCP connection per phone
@@ -20,12 +22,17 @@
 // write-ahead log of every mutation since, recovered on startup. Without
 // it state is in-memory and dies with the process.
 //
-// A durable leader ships its WAL to any follower that pulls, and pins
-// log retention per acked follower. A -role replica node bootstraps from
-// its own data directory, streams the leader's log, serves rank reads
-// (refusing them past -max-replica-lag), and refuses writes. Failover is
-// operator-triggered: stop the leader, restart the chosen follower with
-// -role leader, point the other nodes' -leader-url at it.
+// A durable leader ships its WAL to any follower that pulls, pins log
+// retention per acked follower, and serves snapshot-ship resync
+// sessions. A -role replica node bootstraps from its own data directory,
+// streams the leader's log, serves rank reads (refusing them past
+// -max-replica-lag), and refuses writes; if the leader has compacted
+// past it, the node automatically refetches the leader's snapshot over
+// the wire and rejoins — no operator data-dir copying. With -cluster and
+// -shard a member also registers itself in the shared cluster map so
+// routers can find it; a -role router node forwards phone traffic to the
+// owning shard's leader by app category, failing over to promoted
+// standbys it discovers through heartbeats.
 package main
 
 import (
@@ -34,7 +41,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,8 +51,6 @@ import (
 	"sor"
 	"sor/internal/barcode"
 	"sor/internal/fieldtest"
-	"sor/internal/replica"
-	"sor/internal/store"
 	"sor/internal/world"
 )
 
@@ -57,24 +61,25 @@ func main() {
 	}
 }
 
-// storageFromFlags picks the backend: -data-dir is the supported knob;
-// -snapshot is the deprecated pre-WAL flag, kept as an alias for a
-// snapshot-only backend rooted at the file it names.
-func storageFromFlags(dataDir, snapshot string) (sor.Storage, string, error) {
+// storageFromFlags maps the storage flags onto a Node's Data spec:
+// -data-dir is the supported knob; -snapshot is the deprecated pre-WAL
+// flag, kept as an alias for a snapshot-only backend rooted at the file
+// it names. Empty data means in-memory state.
+func storageFromFlags(dataDir, snapshot string) (data string, opts []sor.DurableOption, desc string, err error) {
 	switch {
 	case dataDir != "" && snapshot != "":
-		return nil, "", errors.New("-data-dir and -snapshot are mutually exclusive")
+		return "", nil, "", errors.New("-data-dir and -snapshot are mutually exclusive")
 	case dataDir != "":
-		return sor.Durable(dataDir), fmt.Sprintf("durable state in %s (snapshot + WAL)", dataDir), nil
+		return dataDir, nil, fmt.Sprintf("durable state in %s (snapshot + WAL)", dataDir), nil
 	case snapshot != "":
 		// Deprecated path: same file, same periodic-snapshot-only
 		// durability as before the WAL existed.
-		return sor.Durable(filepath.Dir(snapshot),
+		return filepath.Dir(snapshot), []sor.DurableOption{
 			sor.WithSnapshotPath(snapshot),
 			sor.WithoutWAL(),
-		), fmt.Sprintf("deprecated -snapshot: periodic snapshots in %s, no WAL (use -data-dir)", snapshot), nil
+		}, fmt.Sprintf("deprecated -snapshot: periodic snapshots in %s, no WAL (use -data-dir)", snapshot), nil
 	default:
-		return sor.Memory(), "in-memory state (set -data-dir for durability)", nil
+		return "", nil, "in-memory state (set -data-dir for durability)", nil
 	}
 }
 
@@ -86,26 +91,20 @@ func run() error {
 	showBarcodes := flag.Bool("barcodes", false, "print each place's 2D barcode as ASCII art")
 	public := flag.String("public-url", "", "base URL phones should use (default http://<addr>)")
 	spanBuffer := flag.Int("span-buffer", 0, "trace ring capacity (default 4096)")
-	role := flag.String("role", "leader", "cluster role: leader (serves writes and ships its WAL) or replica (streams a leader, serves reads)")
-	nodeID := flag.String("node-id", "", "this node's replication identity (default: hostname)")
+	role := flag.String("role", sor.RoleLeader, "node role: leader (serves writes and ships its WAL), replica (streams a leader, serves reads), or router (forwards to shard leaders)")
+	nodeID := flag.String("node-id", "", "this node's cluster identity (default: hostname)")
 	leaderURL := flag.String("leader-url", "", "leader base URL (required with -role replica)")
-	pullInterval := flag.Duration("pull-interval", replica.DefaultPullInterval, "replica pull/heartbeat cadence while caught up")
+	clusterMap := flag.String("cluster", "", "cluster map file (required for -role router; on a member, registers it for routers)")
+	shard := flag.String("shard", "", "shard this member serves (required with -cluster on a member)")
+	advertise := flag.String("advertise", "", "address other nodes dial to reach this one (default http://localhost<addr>)")
+	pullInterval := flag.Duration("pull-interval", 0, "replica pull/heartbeat cadence while caught up (0 = default)")
 	maxReplicaLag := flag.Duration("max-replica-lag", 0, "replica refuses rank queries past this silence from the leader (0 = serve regardless)")
 	flag.Parse()
 
-	isReplica := false
 	switch *role {
-	case "leader":
-	case "replica":
-		isReplica = true
-		if *dataDir == "" {
-			return errors.New("-role replica needs -data-dir (the follower appends the leader's WAL to its own log)")
-		}
-		if *leaderURL == "" {
-			return errors.New("-role replica needs -leader-url")
-		}
+	case sor.RoleLeader, sor.RoleReplica, sor.RoleRouter:
 	default:
-		return fmt.Errorf("unknown -role %q (leader|replica)", *role)
+		return fmt.Errorf("unknown -role %q (leader|replica|router)", *role)
 	}
 	if *nodeID == "" {
 		if host, err := os.Hostname(); err == nil {
@@ -114,204 +113,120 @@ func run() error {
 			*nodeID = "node"
 		}
 	}
-
-	storage, storageDesc, err := storageFromFlags(*dataDir, *snapshot)
+	data, durableOpts, storageDesc, err := storageFromFlags(*dataDir, *snapshot)
 	if err != nil {
 		return err
 	}
+	node := sor.Node{
+		Name:           *nodeID,
+		Role:           *role,
+		Listen:         *addr,
+		StreamListen:   *streamAddr,
+		Data:           data,
+		DurableOptions: durableOpts,
+		Cluster:        *clusterMap,
+		Shard:          *shard,
+		Advertise:      *advertise,
+		Leader:         *leaderURL,
+		MaxReplicaLag:  *maxReplicaLag,
+		PullInterval:   *pullInterval,
+		Observer:       sor.NewObserver(sor.WithTracer(sor.NewTracer(*spanBuffer))),
+		Mux:            http.NewServeMux(),
+	}
 
-	obsv := sor.NewObserver(sor.WithTracer(sor.NewTracer(*spanBuffer)))
-	// The session registry is the push path: schedules, invalidations,
-	// and wake-ups ride whatever device streams are live. With no stream
-	// listener it is simply always empty.
-	registry := sor.NewSessionRegistry(sor.WithSessionMetrics(obsv.Metrics()))
-	srv, err := sor.NewServer(
-		sor.WithStorage(storage),
-		sor.WithCatalog(sor.DefaultCatalog()),
-		sor.WithTransport(registry),
-		sor.WithObserver(obsv),
-		sor.WithMaxReplicaLag(*maxReplicaLag),
-	)
+	// The Visualization module (§II-B): /charts?category=coffee-shop
+	// renders the current feature data as inline SVG bar charts. Mounted
+	// through Node.Mux so it shares the node's listener; rn is bound
+	// after StartNode, before the listener can receive traffic routed
+	// here by a human.
+	var rn *sor.RunningNode
+	if *role != sor.RoleRouter {
+		node.Mux.HandleFunc("/charts", func(w http.ResponseWriter, r *http.Request) {
+			category := r.URL.Query().Get("category")
+			if category == "" {
+				category = world.CategoryCoffee
+			}
+			srv := rn.Server()
+			if srv == nil {
+				http.Error(w, "resyncing from the leader", http.StatusServiceUnavailable)
+				return
+			}
+			if *role == sor.RoleLeader {
+				// A replica's features arrive via the replicated log; folding
+				// here would write to its own.
+				srv.Processor().Process()
+			}
+			charts, err := srv.Charts(category)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>SOR feature data</title></head><body><h1>%s</h1>\n", category)
+			for _, c := range charts {
+				svg, err := c.SVG(480, 320)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintln(w, svg)
+			}
+			fmt.Fprintln(w, "</body></html>")
+		})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rn, err = sor.StartNode(ctx, node)
 	if err != nil {
 		return err
 	}
-	if isReplica {
-		err = srv.OpenAsReplica()
-	} else {
-		err = srv.Open()
-	}
-	if err != nil {
-		return fmt.Errorf("opening storage: %w", err)
-	}
-	log.Print(storageDesc)
-
-	// Replication wiring. A durable leader serves ReplPull off its log;
-	// a replica pulls the leader's and applies it to its own.
-	handler := srv.Handler()
-	var leader *replica.Leader
-	var follower *replica.Follower
-	durable, _ := storage.(*store.DurableBackend)
-	switch {
-	case isReplica:
-		client, err := sor.NewClient(*leaderURL)
-		if err != nil {
-			return err
-		}
-		follower = replica.NewFollower(*nodeID, srv.DB(), client,
-			replica.WithPullInterval(*pullInterval),
-			replica.WithFollowerMetrics(obsv.Metrics()),
-		)
-		srv.SetReplicaLagProbe(follower.LagProbe())
-		log.Printf("replica %s following %s (pull interval %s, max lag %s)",
-			*nodeID, *leaderURL, *pullInterval, *maxReplicaLag)
-	case durable != nil && durable.WAL() != nil:
-		leader, err = replica.NewLeader(durable.WAL(),
-			replica.WithStateDir(durable.Dir()),
-			replica.WithLeaderMetrics(obsv.Metrics()),
-		)
-		if err != nil {
-			return err
-		}
-		handler = replica.Handler(leader, handler)
-		log.Printf("leader %s shipping WAL from %s", *nodeID, durable.WALDir())
+	if *role != sor.RoleRouter {
+		log.Print(storageDesc)
 	}
 
 	baseURL := *public
 	if baseURL == "" {
 		baseURL = "http://localhost" + *addr
 	}
-	// A replica never registers apps itself: every mutation, including
-	// app creation, arrives through the replicated log.
-	if !isReplica {
-		if err := registerCanonicalApps(srv, baseURL, *showBarcodes); err != nil {
+	switch *role {
+	case sor.RoleLeader:
+		// A replica never registers apps itself: every mutation, including
+		// app creation, arrives through the replicated log. A router holds
+		// no apps at all.
+		if err := registerCanonicalApps(rn.Server(), baseURL, *showBarcodes); err != nil {
+			_ = rn.Close()
 			return err
 		}
+		log.Printf("leader %s listening on %s (endpoints %s, /charts, %s, %s, %s, /debug/pprof)",
+			*nodeID, rn.Addr(), sor.ServerPath, sor.MetricsPath, sor.TracePath, sor.ReplicaDebugPath)
+	case sor.RoleReplica:
+		log.Printf("replica %s following %s on %s (pull interval %s, max lag %s)",
+			*nodeID, *leaderURL, rn.Addr(), *pullInterval, *maxReplicaLag)
+	case sor.RoleRouter:
+		log.Printf("router %s listening on %s (endpoints %s, %s, %s, %s, /debug/pprof)",
+			*nodeID, rn.Addr(), sor.ServerPath, sor.MetricsPath, sor.TracePath, sor.ClusterDebugPath)
+	}
+	if a := rn.StreamAddr(); a != "" {
+		log.Printf("device stream endpoint listening on %s", a)
 	}
 
-	sorHandler, err := sor.NewHTTPHandler(handler, sor.WithHandlerObserver(obsv))
-	if err != nil {
-		return err
-	}
-	mux := http.NewServeMux()
-	mux.Handle(sor.ServerPath, sorHandler)
-	sor.RegisterDebug(mux, obsv)
-	replica.RegisterDebug(mux, func() replica.Status {
-		switch {
-		case follower != nil:
-			self := follower.Status()
-			return replica.Status{Role: "follower", LastLSN: self.AppliedLSN, Self: &self}
-		case leader != nil:
-			ls := leader.Status()
-			return replica.Status{Role: ls.Role, LastLSN: ls.LastLSN, Followers: ls.Followers}
-		default:
-			return replica.Status{Role: "single"}
-		}
-	})
-	// The Visualization module (§II-B): /charts?category=coffee-shop
-	// renders the current feature data as inline SVG bar charts.
-	mux.HandleFunc("/charts", func(w http.ResponseWriter, r *http.Request) {
-		category := r.URL.Query().Get("category")
-		if category == "" {
-			category = world.CategoryCoffee
-		}
-		if !isReplica {
-			// A replica's features arrive via the replicated log; folding
-			// here would write to its own.
-			srv.Processor().Process()
-		}
-		charts, err := srv.Charts(category)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>SOR feature data</title></head><body><h1>%s</h1>\n", category)
-		for _, c := range charts {
-			svg, err := c.SVG(480, 320)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintln(w, svg)
-		}
-		fmt.Fprintln(w, "</body></html>")
-	})
-
-	processingCtx, stopProcessing := context.WithCancel(context.Background())
-	defer stopProcessing()
-	replCh := make(chan error, 1)
-	if isReplica {
-		go func() { replCh <- follower.Run(processingCtx) }()
-	} else {
-		if _, err := srv.StartProcessing(processingCtx, 30*time.Second); err != nil {
-			return err
-		}
-	}
-
-	log.Printf("sensing server listening on %s (endpoints %s, /charts, %s, %s, %s, /debug/pprof)",
-		*addr, sor.ServerPath, sor.MetricsPath, sor.TracePath, replica.DebugPath)
-	httpServer := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	// Graceful shutdown: stop accepting, then close the storage backend so
-	// the final checkpoint and WAL close happen before exit.
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpServer.ListenAndServe() }()
-
-	// The stream endpoint shares the exact dispatcher (replica wrapper
-	// included), so both transports serve the same message set.
-	var streamServer *sor.StreamServer
-	if *streamAddr != "" {
-		streamServer, err = sor.NewStreamServer(handler, registry,
-			sor.WithStreamServerObserver(obsv))
-		if err != nil {
-			return err
-		}
-		ln, err := net.Listen("tcp", *streamAddr)
-		if err != nil {
-			return fmt.Errorf("stream listener: %w", err)
-		}
-		log.Printf("device stream endpoint listening on %s", ln.Addr())
-		go func() {
-			serveErr := streamServer.Serve(ln)
-			if serveErr != nil && !errors.Is(serveErr, net.ErrClosed) {
-				errCh <- fmt.Errorf("stream endpoint: %w", serveErr)
-			}
-		}()
-	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	shutdown := func() error {
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = httpServer.Shutdown(shutdownCtx)
-		if streamServer != nil {
-			_ = streamServer.Close()
+	// A replica's resyncs are automatic and invisible; only a replication
+	// supervisor that gave up entirely (Err) should bring the node down.
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case sig := <-sigCh:
+			log.Printf("received %s, shutting down", sig)
+			return rn.Close()
+		case <-ticker.C:
+			if err := rn.Err(); err != nil {
+				_ = rn.Close()
+				return fmt.Errorf("replication stopped: %w", err)
+			}
 		}
-		stopProcessing()
-		if err := srv.Close(); err != nil {
-			return fmt.Errorf("closing storage: %w", err)
-		}
-		return nil
-	}
-	select {
-	case err := <-errCh:
-		if streamServer != nil {
-			_ = streamServer.Close()
-		}
-		_ = srv.Close()
-		return err
-	case err := <-replCh:
-		// The stream became unresumable (the leader compacted past us):
-		// exit cleanly so the operator can resync from a fresh data dir.
-		if closeErr := shutdown(); closeErr != nil {
-			return closeErr
-		}
-		return fmt.Errorf("replication stopped: %w", err)
-	case sig := <-sigCh:
-		log.Printf("received %s, shutting down", sig)
-		return shutdown()
 	}
 }
 

@@ -8,17 +8,30 @@ import (
 	"sor"
 )
 
+// backendFor materializes the storage spec storageFromFlags produces —
+// the same mapping StartNode applies to Node.Data/DurableOptions.
+func backendFor(data string, opts []sor.DurableOption) sor.Storage {
+	if data == "" {
+		return sor.Memory()
+	}
+	return sor.Durable(data, opts...)
+}
+
 func TestStorageFlagsAreMutuallyExclusive(t *testing.T) {
-	if _, _, err := storageFromFlags("data", "snap.json"); err == nil {
+	if _, _, _, err := storageFromFlags("data", "snap.json"); err == nil {
 		t.Fatal("want error when both -data-dir and -snapshot are set")
 	}
 }
 
 func TestStorageFlagsDefaultToMemory(t *testing.T) {
-	backend, _, err := storageFromFlags("", "")
+	data, opts, _, err := storageFromFlags("", "")
 	if err != nil {
 		t.Fatal(err)
 	}
+	if data != "" {
+		t.Fatalf("default storage rooted at %q, want in-memory", data)
+	}
+	backend := backendFor(data, opts)
 	db, err := backend.Open()
 	if err != nil {
 		t.Fatal(err)
@@ -33,10 +46,11 @@ func TestStorageFlagsDefaultToMemory(t *testing.T) {
 
 func TestDataDirFlagIsDurable(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "sor-data")
-	backend, _, err := storageFromFlags(dir, "")
+	data, opts, _, err := storageFromFlags(dir, "")
 	if err != nil {
 		t.Fatal(err)
 	}
+	backend := backendFor(data, opts)
 	db, err := backend.Open()
 	if err != nil {
 		t.Fatal(err)
@@ -54,10 +68,11 @@ func TestDataDirFlagIsDurable(t *testing.T) {
 		t.Fatalf("no wal dir in data dir: %v", err)
 	}
 
-	backend2, _, err := storageFromFlags(dir, "")
+	data2, opts2, _, err := storageFromFlags(dir, "")
 	if err != nil {
 		t.Fatal(err)
 	}
+	backend2 := backendFor(data2, opts2)
 	db2, err := backend2.Open()
 	if err != nil {
 		t.Fatal(err)
@@ -74,13 +89,14 @@ func TestDataDirFlagIsDurable(t *testing.T) {
 func TestDeprecatedSnapshotFlagStillWorks(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "sor.json")
-	backend, desc, err := storageFromFlags("", path)
+	data, opts, desc, err := storageFromFlags("", path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if desc == "" {
 		t.Fatal("deprecated flag should describe itself")
 	}
+	backend := backendFor(data, opts)
 	db, err := backend.Open()
 	if err != nil {
 		t.Fatal(err)
@@ -98,10 +114,11 @@ func TestDeprecatedSnapshotFlagStillWorks(t *testing.T) {
 		t.Fatalf("deprecated -snapshot mode must not create a WAL: %v", err)
 	}
 
-	backend2, _, err := storageFromFlags("", path)
+	data2, opts2, _, err := storageFromFlags("", path)
 	if err != nil {
 		t.Fatal(err)
 	}
+	backend2 := backendFor(data2, opts2)
 	db2, err := backend2.Open()
 	if err != nil {
 		t.Fatal(err)

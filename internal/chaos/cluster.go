@@ -1,0 +1,882 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"sor/internal/cluster"
+	"sor/internal/obs"
+	"sor/internal/replica"
+	"sor/internal/server"
+	"sor/internal/store"
+	"sor/internal/transport"
+	"sor/internal/vclock"
+	"sor/internal/wal"
+	"sor/internal/wire"
+	"sor/internal/world"
+)
+
+// ClusterSoakConfig parameterizes the scale-out soak: two shards of two
+// nodes each behind a router, driven on one virtual clock while nodes
+// are killed -9, followers partition, checkpoints race the shipper, one
+// planned failover lands on each shard (one reconciled by the operator,
+// one left for the router's discovery probes to find), and one follower
+// is deliberately orphaned past compaction and rejoins via snapshot-ship
+// resync. The contract: after convergence, every node of each shard
+// carries a state digest byte-identical to a never-crashed single-node
+// baseline that applied only that shard's category workload — sharding,
+// routing, failover, and resync must all be invisible in the final
+// state.
+type ClusterSoakConfig struct {
+	// Seed drives every random stream; one seed, one exact run.
+	Seed int64
+	// Phones is how many users join each category's app (default 3).
+	Phones int
+	// Uploads is how many reports each phone delivers (default 5).
+	Uploads int
+	// Kills is how many node kills land across the run (default 6).
+	Kills int
+	// Partitions is how many follower→leader partitions drop (default 2).
+	Partitions int
+	// MinSteps keeps the run alive past the workload (default 600).
+	MinSteps int
+	// BaseDir roots the data directories (four nodes plus two baselines).
+	BaseDir string
+}
+
+// ClusterSoakResult is the converged run's telemetry.
+type ClusterSoakResult struct {
+	// Digests maps each category to the digest its shard's nodes and the
+	// baseline agreed on.
+	Digests map[string]string
+	// Ops is how many workload operations the router acknowledged.
+	Ops int
+	// Steps is how many virtual-time ticks the run took.
+	Steps int
+	// Chaos performed.
+	Kills       int
+	Partitions  int
+	Checkpoints int
+	// Failovers counts planned Demote/drain/Promote sequences (one per
+	// shard); RouterFailovers counts leader changes the router's own
+	// probes discovered and reconciled into the registry.
+	Failovers       int
+	RouterFailovers int
+	// Resyncs counts snapshot-ship rejoins (the scripted orphaning).
+	Resyncs int
+	// OpRetries counts ops deferred because a shard was unavailable;
+	// PullErrors counts follower pulls absorbed by backoff; RankProbes
+	// counts rank queries routed through the router mid-chaos.
+	OpRetries  int
+	PullErrors int
+	RankProbes int
+}
+
+const clusterSoakTTL = 24 * time.Hour
+
+// clusterApp is one category's application and workload identity.
+type clusterApp struct {
+	id, category, place string
+	lat, lon            float64
+}
+
+func clusterApps() [2]clusterApp {
+	return [2]clusterApp{
+		{id: "app-coffee", category: world.CategoryCoffee, place: world.Starbucks,
+			lat: 43.0413, lon: -76.1350},
+		{id: "app-trail", category: world.CategoryTrail, place: world.GreenLakeTrail,
+			lat: 43.4512, lon: -76.3105},
+	}
+}
+
+func (a clusterApp) store() store.Application {
+	return store.Application{
+		ID: a.id, Creator: "chaos-harness",
+		Category: a.category, Place: a.place,
+		Lat: a.lat, Lon: a.lon, RadiusM: 60,
+		Script: soakScript, PeriodSec: 10800,
+	}
+}
+
+// clusterShard is one shard: two replNode incarnations and which one
+// currently leads.
+type clusterShard struct {
+	name      string
+	nodes     [2]*replNode
+	leaderIdx int
+}
+
+func (s *clusterShard) leader() *replNode { return s.nodes[s.leaderIdx] }
+
+// clusterSoak is the whole run: two shards, the registry and router on
+// the shared virtual clock, and the seeded chaos state.
+type clusterSoak struct {
+	cfg    ClusterSoakConfig
+	clk    *vclock.Virtual
+	rng    *rand.Rand
+	shards [2]*clusterShard
+	reg    *cluster.Registry
+	router *cluster.Router
+	// restartAt maps (shard, node) → the virtual instant it recovers.
+	restartAt map[[2]int]time.Time
+	// resync scripting state: which node is deliberately orphaned and
+	// where the script is (0 = not started, 1 = down and forgotten,
+	// 2 = done).
+	resyncShard, resyncNode, resyncPhase int
+	resyncApplied                        uint64
+	res                                  ClusterSoakResult
+}
+
+// nodeByName resolves a member name ("shard-a-0") to its incarnation —
+// the dialer's address space.
+func (c *clusterSoak) nodeByName(name string) *replNode {
+	for _, s := range c.shards {
+		for _, n := range s.nodes {
+			if n.id == name {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// clusterDialSender is the router's link to one member; it fails while
+// the member is down, like a refused TCP connect.
+type clusterDialSender struct {
+	c    *clusterSoak
+	name string
+}
+
+func (s clusterDialSender) Send(_ context.Context, m wire.Message) (wire.Message, error) {
+	n := s.c.nodeByName(s.name)
+	if n == nil {
+		return nil, fmt.Errorf("chaos: no such member %s", s.name)
+	}
+	if !n.up {
+		return nil, fmt.Errorf("chaos: %s is down", s.name)
+	}
+	return codecRoundTrip(n.handler, m)
+}
+
+// shardSender routes one follower's pulls to its shard's current
+// leader, failing while the leader is down or this follower is
+// partitioned.
+type shardSender struct {
+	c     *clusterSoak
+	shard int
+	from  int
+}
+
+func (s shardSender) Send(_ context.Context, m wire.Message) (wire.Message, error) {
+	sh := s.c.shards[s.shard]
+	lead := sh.leader()
+	self := sh.nodes[s.from]
+	if !lead.up {
+		return nil, errors.New("chaos: leader is down")
+	}
+	if s.c.clk.Now().Before(self.partitionedUntil) {
+		return nil, errors.New("chaos: partitioned from the leader")
+	}
+	return codecRoundTrip(lead.handler, m)
+}
+
+// leaderSender reaches a shard's current leader unconditionally — the
+// resync script's fetch path (the orphaned node is "down", but its
+// resync fetch is a fresh connection, not the partitioned pull link).
+type leaderSender struct {
+	c     *clusterSoak
+	shard int
+}
+
+func (s leaderSender) Send(_ context.Context, m wire.Message) (wire.Message, error) {
+	return codecRoundTrip(s.c.shards[s.shard].leader().handler, m)
+}
+
+// open boots (or recovers) node ni of shard si in the given role from
+// whatever its data directory holds.
+func (c *clusterSoak) open(si, ni int, asLeader bool) error {
+	sh := c.shards[si]
+	n := sh.nodes[ni]
+	backend := store.NewDurableBackend(n.dir,
+		// Small segments so compaction is fine-grained: the resync script
+		// needs a checkpoint to truncate past the orphaned follower
+		// within a handful of ops.
+		store.WithSegmentBytes(512),
+		store.WithSnapshotInterval(time.Hour),
+	)
+	srv, err := server.New(server.Config{
+		Storage: backend,
+		Now:     func() time.Time { return soakEpoch },
+		Catalog: server.DefaultCatalog(),
+	})
+	if err != nil {
+		return err
+	}
+	if asLeader {
+		err = srv.Open()
+	} else {
+		err = srv.OpenAsReplica()
+	}
+	if err != nil {
+		return fmt.Errorf("chaos: recovering %s: %w", n.id, err)
+	}
+	n.backend, n.srv = backend, srv
+	if asLeader {
+		ld, err := replica.NewLeader(backend.WAL(),
+			replica.WithStateDir(n.dir),
+			replica.WithLeaderClock(c.clk),
+			replica.WithFollowerTTL(clusterSoakTTL),
+			replica.WithSnapshotSource(backend),
+		)
+		if err != nil {
+			return err
+		}
+		n.ld, n.fol = ld, nil
+		n.handler = c.memberHandler(n, replica.Handler(ld, srv.Handler()))
+	} else {
+		c.attachClusterFollower(si, ni)
+	}
+	n.up = true
+	return nil
+}
+
+// memberHandler wraps a node's dispatch so it answers the router's
+// ClusterHello probes with its live role.
+func (c *clusterSoak) memberHandler(n *replNode, next transport.Handler) transport.Handler {
+	role := func() string {
+		if n.srv.IsReplica() {
+			return cluster.RoleReplica
+		}
+		return cluster.RoleLeader
+	}
+	applied := func() uint64 { return n.srv.DB().AppliedLSN() }
+	return cluster.MemberHandler(n.id, role, applied, next)
+}
+
+// attachClusterFollower wires the follower role onto an open node.
+func (c *clusterSoak) attachClusterFollower(si, ni int) {
+	sh := c.shards[si]
+	n := sh.nodes[ni]
+	f := replica.NewFollower(n.id, n.srv.DB(), shardSender{c: c, shard: si, from: ni},
+		replica.WithFollowerClock(c.clk),
+		replica.WithPullInterval(replSoakInterval),
+		replica.WithFollowerBackoff(10*time.Millisecond, 500*time.Millisecond,
+			c.cfg.Seed+int64(si*2+ni)),
+	)
+	n.srv.SetReplicaLagProbe(f.LagProbe())
+	n.ld, n.fol = nil, f
+	n.handler = c.memberHandler(n, n.srv.Handler())
+	n.nextPullAt = c.clk.Now()
+}
+
+// restartDue recovers killed nodes whose downtime elapsed, in shard and
+// node order. The resync script's orphan stays down until the script
+// rejoins it.
+func (c *clusterSoak) restartDue(now time.Time) error {
+	for si := range c.shards {
+		for ni := range c.shards[si].nodes {
+			at, down := c.restartAt[[2]int{si, ni}]
+			if !down || now.Before(at) {
+				continue
+			}
+			if err := c.open(si, ni, ni == c.shards[si].leaderIdx); err != nil {
+				return err
+			}
+			delete(c.restartAt, [2]int{si, ni})
+		}
+	}
+	return nil
+}
+
+// isResyncOrphan reports whether (si, ni) is mid-script: chaos must
+// neither kill nor restart it.
+func (c *clusterSoak) isResyncOrphan(si, ni int) bool {
+	return c.resyncPhase == 1 && si == c.resyncShard && ni == c.resyncNode
+}
+
+// failoverShard runs the planned Demote/drain/Promote on shard si. When
+// reconcile is true the registry learns the new roles from the operator
+// (SetRole); otherwise it is left stale, and the router's 503-triggered
+// discovery (or a heartbeat) must find the promotion on its own.
+func (c *clusterSoak) failoverShard(si int, reconcile bool) error {
+	sh := c.shards[si]
+	for ni, n := range sh.nodes {
+		if !n.up {
+			if c.isResyncOrphan(si, ni) {
+				return fmt.Errorf("chaos: failover on %s while its follower is mid-resync", sh.name)
+			}
+			if err := c.open(si, ni, ni == sh.leaderIdx); err != nil {
+				return err
+			}
+			delete(c.restartAt, [2]int{si, ni})
+		}
+		n.partitionedUntil = time.Time{}
+	}
+	oldIdx := sh.leaderIdx
+	old := sh.nodes[oldIdx]
+	nextIdx := 1 - oldIdx
+	succ := sh.nodes[nextIdx]
+
+	old.srv.Demote()
+	head := old.backend.WAL().LastLSN()
+	for i := 0; succ.srv.DB().AppliedLSN() < head; i++ {
+		if i > 10000 {
+			return fmt.Errorf("chaos: %s never reached the old head %d", succ.id, head)
+		}
+		if _, err := succ.fol.PullOnce(context.Background()); err != nil {
+			return fmt.Errorf("chaos: failover drain on %s: %w", succ.id, err)
+		}
+	}
+	if err := succ.srv.Promote(); err != nil {
+		return err
+	}
+	ld, err := replica.NewLeader(succ.backend.WAL(),
+		replica.WithStateDir(succ.dir),
+		replica.WithLeaderClock(c.clk),
+		replica.WithFollowerTTL(clusterSoakTTL),
+		replica.WithSnapshotSource(succ.backend),
+	)
+	if err != nil {
+		return err
+	}
+	succ.ld, succ.fol = ld, nil
+	succ.handler = c.memberHandler(succ, replica.Handler(ld, succ.srv.Handler()))
+	sh.leaderIdx = nextIdx
+
+	// The demoted leader rejoins as a follower and pins its retention on
+	// the new leader immediately.
+	c.attachClusterFollower(si, oldIdx)
+	if _, err := old.fol.PullOnce(context.Background()); err != nil {
+		return fmt.Errorf("chaos: re-homing %s: %w", old.id, err)
+	}
+	if reconcile {
+		if err := c.reg.SetRole(old.id, cluster.RoleReplica); err != nil {
+			return err
+		}
+		if err := c.reg.SetRole(succ.id, cluster.RoleLeader); err != nil {
+			return err
+		}
+	}
+	c.res.Failovers++
+	return nil
+}
+
+// resyncStep advances the scripted orphaning: phase 1 kills the
+// follower and drops its pin, then once the leader's log has provably
+// compacted past it, phase 2 rejoins it through the snapshot-ship path
+// and demands it stream normally again.
+func (c *clusterSoak) resyncStep() error {
+	sh := c.shards[c.resyncShard]
+	ni := 1 - sh.leaderIdx
+	n := sh.nodes[ni]
+	switch c.resyncPhase {
+	case 0:
+		if !n.up || n.fol == nil {
+			return nil // wait for a quiet moment on the target
+		}
+		c.resyncNode = ni
+		c.resyncApplied = n.srv.DB().AppliedLSN()
+		n.srv.Kill()
+		n.up = false
+		sh.leader().ld.Forget(n.id)
+		c.resyncPhase = 1
+	case 1:
+		if c.resyncNode != ni {
+			return nil // a failover moved leadership; the orphan keeps waiting
+		}
+		lead := sh.leader()
+		if err := lead.backend.Checkpoint(); err != nil {
+			return err
+		}
+		c.res.Checkpoints++
+		if _, err := lead.backend.WAL().ReadAfter(c.resyncApplied, 1, 0); !errors.Is(err, wal.ErrCompacted) {
+			return nil // the log has not outgrown the orphan yet; keep writing
+		}
+		// Proof first: a plain rejoin must be refused as unresumable.
+		n.partitionedUntil = time.Time{} // a stale window must not mask the refusal
+		if err := c.open(c.resyncShard, ni, false); err != nil {
+			return err
+		}
+		if _, err := n.fol.PullOnce(context.Background()); !errors.Is(err, replica.ErrNeedsResync) {
+			return fmt.Errorf("chaos: orphaned %s expected ErrNeedsResync, got %v", n.id, err)
+		}
+		n.srv.Kill()
+		n.up = false
+		// The real rejoin: fetch the leader's snapshot over the wire,
+		// install it, recover from it, stream the tail.
+		if _, err := replica.ResyncDataDir(context.Background(), n.id,
+			leaderSender{c: c, shard: c.resyncShard}, n.dir); err != nil {
+			return fmt.Errorf("chaos: snapshot-ship resync of %s: %w", n.id, err)
+		}
+		if err := c.open(c.resyncShard, ni, false); err != nil {
+			return err
+		}
+		if _, err := n.fol.PullOnce(context.Background()); err != nil {
+			return fmt.Errorf("chaos: %s first pull after resync: %w", n.id, err)
+		}
+		c.res.Resyncs++
+		c.resyncPhase = 2
+	}
+	return nil
+}
+
+// clusterOp is one deterministic workload step against one category.
+type clusterOp struct {
+	app    int
+	phone  int
+	upload int // -1: participate
+}
+
+// buildClusterOps interleaves the two categories' workloads evenly, so
+// both shards stay busy across every chaos window.
+func buildClusterOps(phones, uploads int) []clusterOp {
+	var perApp [2][]replOp
+	for a := range perApp {
+		perApp[a] = buildReplOps(phones, uploads)
+	}
+	var ops []clusterOp
+	for i := 0; i < len(perApp[0]) || i < len(perApp[1]); i++ {
+		for a := 0; a < 2; a++ {
+			if i < len(perApp[a]) {
+				ops = append(ops, clusterOp{app: a, phone: perApp[a][i].phone, upload: perApp[a][i].upload})
+			}
+		}
+	}
+	return ops
+}
+
+// applyClusterOp runs one workload op through h (the router). done=false
+// means the shard was unavailable and the op must be retried.
+func applyClusterOp(h transport.Handler, apps [2]clusterApp, op clusterOp, scheds [2][]*wire.Schedule) (bool, error) {
+	app := apps[op.app]
+	var m wire.Message
+	if op.upload < 0 {
+		m = &wire.Participate{
+			UserID: fmt.Sprintf("%s-user-%d", app.id, op.phone),
+			Token:  fmt.Sprintf("%s-token-%d", app.id, op.phone),
+			AppID:  app.id,
+			Loc:    wire.Location{Lat: app.lat, Lon: app.lon},
+			Budget: 8,
+		}
+	} else {
+		sched := scheds[op.app][op.phone]
+		if sched == nil {
+			return false, fmt.Errorf("chaos: upload before participation for %s phone %d", app.id, op.phone)
+		}
+		ms := soakEpoch.Add(time.Duration(op.upload+1) * time.Minute).UnixMilli()
+		series := make([]wire.SensorSeries, 0, 4)
+		for _, sensor := range []string{"temperature", "light", "microphone", "wifi"} {
+			series = append(series, wire.SensorSeries{
+				Sensor: sensor,
+				Samples: []wire.SensorSample{
+					{AtUnixMilli: ms, WindowMilli: 5000,
+						Readings: []float64{40 + float64(op.phone) + float64(op.upload)/8}},
+				},
+			})
+		}
+		m = &wire.DataUpload{
+			TaskID: sched.TaskID, AppID: sched.AppID, UserID: sched.UserID,
+			ReportID: fmt.Sprintf("%s-%d-%d", app.id, op.phone, op.upload),
+			Series:   series,
+		}
+	}
+	resp, err := codecRoundTrip(h, m)
+	if err != nil {
+		return false, nil // shard unavailable through the router: retry
+	}
+	ack, ok := resp.(*wire.Ack)
+	if !ok {
+		return false, fmt.Errorf("chaos: op got %s reply", resp.Type())
+	}
+	if !ack.OK {
+		if ack.Code == 503 {
+			return false, nil
+		}
+		return false, fmt.Errorf("chaos: op refused: %d %s", ack.Code, ack.Message)
+	}
+	if op.upload < 0 {
+		inner, err := wire.Decode(ack.Payload)
+		if err != nil {
+			return false, err
+		}
+		sched, ok := inner.(*wire.Schedule)
+		if !ok {
+			return false, fmt.Errorf("chaos: participation ack carried %s", inner.Type())
+		}
+		scheds[op.app][op.phone] = sched
+	}
+	return true, nil
+}
+
+// RunClusterSoak drives the 2-shard routed cluster through the seeded
+// chaos schedule. See ClusterSoakConfig for the contract.
+func RunClusterSoak(cfg ClusterSoakConfig) (*ClusterSoakResult, error) {
+	if cfg.Phones <= 0 {
+		cfg.Phones = 3
+	}
+	if cfg.Uploads <= 0 {
+		cfg.Uploads = 5
+	}
+	if cfg.Kills < 0 {
+		cfg.Kills = 0
+	} else if cfg.Kills == 0 {
+		cfg.Kills = 6
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 2
+	}
+	if cfg.MinSteps <= 0 {
+		cfg.MinSteps = 600
+	}
+	if cfg.BaseDir == "" {
+		return nil, errors.New("chaos: cluster soak needs a base dir")
+	}
+
+	c := &clusterSoak{
+		cfg:       cfg,
+		clk:       vclock.NewVirtual(soakEpoch),
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x0c1a57e4)),
+		restartAt: map[[2]int]time.Time{},
+	}
+	apps := clusterApps()
+
+	// Cluster map: two shards, four named members, the two category
+	// routing keys. Rendezvous places the categories; if both land on
+	// one shard, pin the second onto the other so each shard owns
+	// exactly one category (the digest comparison depends on it).
+	c.reg = cluster.NewRegistry(
+		cluster.WithRegistryClock(c.clk),
+		cluster.WithMemberTTL(clusterSoakTTL),
+	)
+	shardNames := [2]string{"shard-a", "shard-b"}
+	for si, name := range shardNames {
+		c.reg.AddShard(name)
+		c.shards[si] = &clusterShard{name: name}
+		for ni := 0; ni < 2; ni++ {
+			id := fmt.Sprintf("%s-%d", name, ni)
+			c.shards[si].nodes[ni] = &replNode{id: id, dir: filepath.Join(cfg.BaseDir, id)}
+			role := cluster.RoleReplica
+			if ni == 0 {
+				role = cluster.RoleLeader
+			}
+			if err := c.reg.AddMember(cluster.Member{Name: id, Shard: name, Role: role, Addr: id}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for a := range apps {
+		c.reg.RegisterApp(apps[a].id, apps[a].category)
+	}
+	if c.reg.ShardFor(apps[0].category) == c.reg.ShardFor(apps[1].category) {
+		other := shardNames[0]
+		if c.reg.ShardFor(apps[0].category) == shardNames[0] {
+			other = shardNames[1]
+		}
+		c.reg.PinKey(apps[1].category, other)
+	}
+	// appShard[a] is the index of the shard owning category a.
+	var appShard [2]int
+	for a := range apps {
+		home := c.reg.ShardFor(apps[a].category)
+		for si, name := range shardNames {
+			if name == home {
+				appShard[a] = si
+			}
+		}
+	}
+
+	routerReg := obs.NewRegistry()
+	rt, err := cluster.NewRouter("router-0", c.reg,
+		func(addr string) (cluster.Sender, error) { return clusterDialSender{c: c, name: addr}, nil },
+		cluster.WithRouterClock(c.clk),
+		// Base -1: no backoff sleeps — the driver is single-threaded on
+		// virtual time, so a real sleep would deadlock the run.
+		cluster.WithRouterRetry(transport.Retry{Attempts: 3, Base: -1, Seed: cfg.Seed + 7}),
+		cluster.WithRouterMetrics(routerReg),
+	)
+	if err != nil {
+		return nil, err
+	}
+	c.router = rt
+
+	for si := range c.shards {
+		for ni := range c.shards[si].nodes {
+			if err := c.open(si, ni, ni == 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Each category's app exists only on its owning shard — apps arrive
+	// via operator provisioning, not the phone protocol.
+	for a := range apps {
+		if err := c.shards[appShard[a]].leader().srv.CreateApp(apps[a].store()); err != nil {
+			return nil, err
+		}
+	}
+	// One pull from every follower before chaos starts: the pulls
+	// register acks with their leaders, pinning retention so the first
+	// seeded checkpoint cannot compact records a follower still needs.
+	for si := range c.shards {
+		for _, n := range c.shards[si].nodes {
+			if n.fol == nil {
+				continue
+			}
+			if _, err := n.fol.PullOnce(context.Background()); err != nil {
+				return nil, fmt.Errorf("chaos: initial pull on %s: %w", n.id, err)
+			}
+		}
+	}
+
+	ops := buildClusterOps(cfg.Phones, cfg.Uploads)
+	var scheds [2][]*wire.Schedule
+	for a := range scheds {
+		scheds[a] = make([]*wire.Schedule, cfg.Phones)
+	}
+	routerHandler := rt.Handler()
+	killsLeft := cfg.Kills
+	partitionsLeft := cfg.Partitions
+	var failoverDone [2]bool
+	opIdx := 0
+
+	anyDown := func() bool {
+		for si := range c.shards {
+			for ni, n := range c.shards[si].nodes {
+				if !n.up && !c.isResyncOrphan(si, ni) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	const maxSteps = 200000
+	for step := 0; opIdx < len(ops) || killsLeft > 0 || anyDown() || c.resyncPhase < 2 || step < cfg.MinSteps; step++ {
+		if step >= maxSteps {
+			return nil, fmt.Errorf("chaos: no convergence after %d steps (op %d/%d, %d kills left, resync phase %d)",
+				step, opIdx, len(ops), killsLeft, c.resyncPhase)
+		}
+		c.res.Steps = step + 1
+		c.clk.Advance(time.Duration(10+c.rng.Intn(90)) * time.Millisecond)
+		now := c.clk.Now()
+
+		if err := c.restartDue(now); err != nil {
+			return nil, err
+		}
+		// Kill -9 a random node (never the mid-script orphan).
+		if killsLeft > 0 && (c.rng.Float64() < 0.02 || step >= cfg.MinSteps) {
+			si, ni := c.rng.Intn(2), c.rng.Intn(2)
+			if c.shards[si].nodes[ni].up && !c.isResyncOrphan(si, ni) {
+				c.shards[si].nodes[ni].srv.Kill()
+				c.shards[si].nodes[ni].up = false
+				c.restartAt[[2]int{si, ni}] = now.Add(time.Duration(200+c.rng.Intn(600)) * time.Millisecond)
+				killsLeft--
+				c.res.Kills++
+			}
+		}
+		// Timed partition: a follower loses its shard leader link.
+		if partitionsLeft > 0 && c.rng.Float64() < 0.015 {
+			si := c.rng.Intn(2)
+			sh := c.shards[si]
+			ni := 1 - sh.leaderIdx
+			if sh.nodes[ni].up && !c.isResyncOrphan(si, ni) {
+				sh.nodes[ni].partitionedUntil = now.Add(time.Duration(300+c.rng.Intn(1200)) * time.Millisecond)
+				partitionsLeft--
+				c.res.Partitions++
+			}
+		}
+		// Explicit checkpoint on a random live node.
+		if c.rng.Float64() < 0.03 {
+			si, ni := c.rng.Intn(2), c.rng.Intn(2)
+			if n := c.shards[si].nodes[ni]; n.up {
+				if err := n.backend.Checkpoint(); err != nil {
+					return nil, fmt.Errorf("chaos: checkpoint on %s: %w", n.id, err)
+				}
+				c.res.Checkpoints++
+			}
+		}
+		// One planned failover per shard: the first reconciled into the
+		// registry by the operator, the second left for the router to
+		// discover through its probes.
+		if !failoverDone[0] && opIdx >= len(ops)/3 {
+			if err := c.failoverShard(0, true); err != nil {
+				return nil, err
+			}
+			failoverDone[0] = true
+		}
+		if !failoverDone[1] && opIdx >= 2*len(ops)/3 {
+			if err := c.failoverShard(1, false); err != nil {
+				return nil, err
+			}
+			failoverDone[1] = true
+		}
+		// The scripted snapshot-ship orphaning, once the first failover
+		// has settled.
+		if failoverDone[0] && c.resyncPhase < 2 && opIdx >= len(ops)/2 {
+			if err := c.resyncStep(); err != nil {
+				return nil, err
+			}
+		}
+		// Router heartbeats on a coarse seeded cadence.
+		if c.rng.Float64() < 0.05 {
+			rt.HeartbeatOnce(context.Background())
+		}
+		// Followers pull on their own cadence.
+		for si := range c.shards {
+			for _, n := range c.shards[si].nodes {
+				if !n.up || n.fol == nil || now.Before(n.nextPullAt) {
+					continue
+				}
+				if _, err := n.fol.PullOnce(context.Background()); err != nil {
+					if errors.Is(err, replica.ErrNeedsResync) {
+						return nil, fmt.Errorf("chaos: %s forced into resync (retention guard failed)", n.id)
+					}
+					c.res.PullErrors++
+				}
+				delay := n.fol.NextDelay()
+				if delay < 10*time.Millisecond {
+					delay = 10 * time.Millisecond
+				}
+				n.nextPullAt = now.Add(delay)
+			}
+		}
+		// Rank reads routed by category through the router.
+		if c.rng.Float64() < 0.1 {
+			app := apps[c.rng.Intn(2)]
+			resp, err := codecRoundTrip(routerHandler, &wire.RankRequest{
+				UserID: "probe", Category: app.category,
+			})
+			if err == nil {
+				switch resp.(type) {
+				case *wire.RankResponse, *wire.Ack:
+					c.res.RankProbes++
+				default:
+					return nil, fmt.Errorf("chaos: rank probe got %s reply", resp.Type())
+				}
+			}
+		}
+		// One workload op through the router, strictly in order.
+		if opIdx < len(ops) && (step%4 == 0 || step >= cfg.MinSteps) {
+			done, err := applyClusterOp(routerHandler, apps, ops[opIdx], scheds)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				opIdx++
+				c.res.Ops++
+			} else {
+				c.res.OpRetries++
+			}
+		}
+	}
+
+	// The router must have reconciled the unannounced failover into the
+	// registry by now (via a 503 retry or a heartbeat).
+	for si := range c.shards {
+		want := c.shards[si].leader().id
+		if got, ok := c.reg.LeaderOf(c.shards[si].name); !ok || got.Name != want {
+			return nil, fmt.Errorf("chaos: registry says %s leads %s, cluster says %s",
+				got.Name, c.shards[si].name, want)
+		}
+	}
+	c.res.RouterFailovers = int(routerReg.Snapshot().Counters["sor_cluster_failovers_total"])
+	if c.res.RouterFailovers == 0 {
+		return nil, errors.New("chaos: the unannounced failover was never discovered by the router")
+	}
+
+	// Convergence: heal everything, fold each leader's features, drain
+	// each follower to its shard head, and compare every node against
+	// the category baseline.
+	c.res.Digests = map[string]string{}
+	for si := range c.shards {
+		sh := c.shards[si]
+		for _, n := range sh.nodes {
+			n.partitionedUntil = time.Time{}
+		}
+		lead := sh.leader()
+		lead.srv.Processor().Process()
+		head := lead.backend.WAL().LastLSN()
+		for _, n := range sh.nodes {
+			if n.fol == nil {
+				continue
+			}
+			for i := 0; n.srv.DB().AppliedLSN() < head; i++ {
+				if i > 10000 {
+					return nil, fmt.Errorf("chaos: %s never drained to head %d", n.id, head)
+				}
+				if _, err := n.fol.PullOnce(context.Background()); err != nil {
+					return nil, fmt.Errorf("chaos: final drain on %s: %w", n.id, err)
+				}
+			}
+		}
+	}
+	for a := range apps {
+		sh := c.shards[appShard[a]]
+		want, err := runClusterBaseline(filepath.Join(cfg.BaseDir, "baseline-"+apps[a].id), cfg, apps[a])
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range sh.nodes {
+			if got := StateDigest(n.srv.DB(), apps[a].category, apps[a].id); got != want {
+				return nil, fmt.Errorf("chaos: %s digest %.12s diverged from %s baseline %.12s",
+					n.id, got, apps[a].id, want)
+			}
+		}
+		c.res.Digests[apps[a].category] = want
+	}
+	for si := range c.shards {
+		for _, n := range c.shards[si].nodes {
+			_ = n.backend.Close()
+		}
+	}
+	return &c.res, nil
+}
+
+// runClusterBaseline applies one category's exact op stream to a single
+// never-crashed node and returns its digest.
+func runClusterBaseline(dir string, cfg ClusterSoakConfig, app clusterApp) (string, error) {
+	backend := store.NewDurableBackend(dir, store.WithSnapshotInterval(time.Hour))
+	srv, err := server.New(server.Config{
+		Storage: backend,
+		Now:     func() time.Time { return soakEpoch },
+		Catalog: server.DefaultCatalog(),
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := srv.Open(); err != nil {
+		return "", err
+	}
+	defer srv.Close()
+	if err := srv.CreateApp(app.store()); err != nil {
+		return "", err
+	}
+	apps := [2]clusterApp{app, app}
+	var scheds [2][]*wire.Schedule
+	for a := range scheds {
+		scheds[a] = make([]*wire.Schedule, cfg.Phones)
+	}
+	for _, op := range buildReplOps(cfg.Phones, cfg.Uploads) {
+		done, err := applyClusterOp(srv.Handler(), apps, clusterOp{app: 0, phone: op.phone, upload: op.upload}, scheds)
+		if err != nil {
+			return "", fmt.Errorf("chaos: baseline op: %w", err)
+		}
+		if !done {
+			return "", errors.New("chaos: baseline op deferred with no chaos running")
+		}
+	}
+	srv.Processor().Process()
+	return StateDigest(srv.DB(), app.category, app.id), nil
+}
+
+// Summary renders the soak telemetry for logs.
+func (r *ClusterSoakResult) Summary() string {
+	return fmt.Sprintf(
+		"%d ops in %d steps (%d deferred); %d kills, %d partitions, %d checkpoints; "+
+			"%d planned failovers (%d router-discovered), %d snapshot-ship resyncs; "+
+			"%d pull errors, %d rank probes",
+		r.Ops, r.Steps, r.OpRetries, r.Kills, r.Partitions, r.Checkpoints,
+		r.Failovers, r.RouterFailovers, r.Resyncs, r.PullErrors, r.RankProbes)
+}

@@ -1,0 +1,449 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sor/internal/obs"
+	"sor/internal/transport"
+	"sor/internal/vclock"
+	"sor/internal/wire"
+)
+
+// Sender is the one transport method the router needs per member;
+// *transport.Client satisfies it, and simulations substitute an
+// in-process round trip.
+type Sender interface {
+	Send(ctx context.Context, m wire.Message) (wire.Message, error)
+}
+
+// Dialer turns a member's Addr into a Sender. Production passes
+// transport.NewClient; simulations pass a map lookup.
+type Dialer func(addr string) (Sender, error)
+
+// Router defaults.
+const (
+	defaultRouterAttempts = 2
+	defaultRouterBase     = 50 * time.Millisecond
+	defaultRouterCap      = 2 * time.Second
+	// DefaultHeartbeatInterval paces RunHeartbeats.
+	DefaultHeartbeatInterval = 2 * time.Second
+)
+
+// RouterOption tunes a Router.
+type RouterOption func(*Router)
+
+// WithRouterClock substitutes the clock backing retry backoff and
+// heartbeat pacing.
+func WithRouterClock(clk vclock.Clock) RouterOption {
+	return func(rt *Router) { rt.clock = vclock.Or(clk) }
+}
+
+// WithRouterRetry applies the consolidated retry envelope to forwarded
+// sends. A Base of -1 disables backoff sleeps entirely (deterministic
+// soak drivers).
+func WithRouterRetry(r transport.Retry) RouterOption {
+	return func(rt *Router) { rt.retry = r }
+}
+
+// WithRouterMetrics publishes sor_cluster_* series into reg.
+func WithRouterMetrics(reg *obs.Registry) RouterOption {
+	return func(rt *Router) { rt.metrics = reg }
+}
+
+// Router forwards phone traffic to the owning shard's leader. Uploads,
+// participations and leaves route by the app's category; rank queries
+// route by their category directly; batches split per shard and the
+// sub-acks merge; pings fan out (any shard may hold the device's pending
+// schedule). When a leader stops answering — or answers 503 because it
+// was demoted — the router probes the shard's other members with
+// ClusterHello, adopts whichever one now claims leadership, and retries:
+// the PR-8 Demote/Promote failover becomes invisible to phones.
+type Router struct {
+	name  string
+	reg   *Registry
+	dial  Dialer
+	clock vclock.Clock
+	retry transport.Retry
+
+	attempts int
+	backoff  *transport.Backoff
+
+	mu    sync.Mutex
+	conns map[string]Sender
+
+	metrics *obs.Registry // nil-safe: obs handles no-op without it
+
+	routed     map[string]*obs.Counter
+	retries    *obs.Counter
+	failovers  *obs.Counter
+	heartbeats *obs.Counter
+	unroutable *obs.Counter
+}
+
+// NewRouter builds a router named name (its ClusterHello identity) over
+// a registry and a dialer.
+func NewRouter(name string, reg *Registry, dial Dialer, opts ...RouterOption) (*Router, error) {
+	if name == "" {
+		return nil, errors.New("cluster: router needs a name")
+	}
+	if reg == nil || dial == nil {
+		return nil, errors.New("cluster: router needs a registry and a dialer")
+	}
+	rt := &Router{
+		name:  name,
+		reg:   reg,
+		dial:  dial,
+		clock: vclock.Real{},
+		conns: make(map[string]Sender),
+	}
+	for _, opt := range opts {
+		opt(rt)
+	}
+	rt.attempts = rt.retry.ResolveAttempts(defaultRouterAttempts)
+	base := rt.retry.ResolveBase(defaultRouterBase)
+	cap := rt.retry.ResolveCap(defaultRouterCap)
+	seed := rt.retry.ResolveSeed(rt.clock.Now().UnixNano())
+	rt.backoff = transport.NewBackoff(base, cap, seed)
+	rt.routed = make(map[string]*obs.Counter)
+	rt.retries = rt.metrics.Counter("sor_cluster_route_retries_total")
+	rt.failovers = rt.metrics.Counter("sor_cluster_failovers_total")
+	rt.heartbeats = rt.metrics.Counter("sor_cluster_heartbeats_total")
+	rt.unroutable = rt.metrics.Counter("sor_cluster_unroutable_total")
+	return rt, nil
+}
+
+// countRouted bumps the per-shard forwarded counter, creating the
+// labeled series on first use.
+func (rt *Router) countRouted(shard string) {
+	rt.mu.Lock()
+	c, ok := rt.routed[shard]
+	if !ok {
+		c = rt.metrics.Counter("sor_cluster_routed_total", obs.L("shard", shard))
+		rt.routed[shard] = c
+	}
+	rt.mu.Unlock()
+	c.Inc()
+}
+
+// Registry exposes the router's cluster map (status endpoints).
+func (rt *Router) Registry() *Registry { return rt.reg }
+
+// conn returns (dialing if needed) the member's sender.
+func (rt *Router) conn(m Member) (Sender, error) {
+	rt.mu.Lock()
+	s, ok := rt.conns[m.Name]
+	rt.mu.Unlock()
+	if ok {
+		return s, nil
+	}
+	s, err := rt.dial(m.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing %s (%s): %w", m.Name, m.Addr, err)
+	}
+	rt.mu.Lock()
+	rt.conns[m.Name] = s
+	rt.mu.Unlock()
+	return s, nil
+}
+
+func (rt *Router) dropConn(name string) {
+	rt.mu.Lock()
+	delete(rt.conns, name)
+	rt.mu.Unlock()
+}
+
+// keyForApp resolves an app's routing key: its registered category, or
+// the app id itself for apps the registry has never heard of.
+func (rt *Router) keyForApp(appID string) string {
+	if cat, ok := rt.reg.AppCategory(appID); ok {
+		return cat
+	}
+	return appID
+}
+
+// Handler returns the router's transport.Handler — mountable on an HTTP
+// endpoint exactly like a server's own handler, so phones cannot tell a
+// router from a single node.
+func (rt *Router) Handler() transport.Handler {
+	return func(ctx context.Context, m wire.Message) (wire.Message, error) {
+		switch msg := m.(type) {
+		case *wire.Participate:
+			return rt.routeByKey(ctx, rt.keyForApp(msg.AppID), m)
+		case *wire.DataUpload:
+			return rt.routeByKey(ctx, rt.keyForApp(msg.AppID), m)
+		case *wire.Leave:
+			return rt.routeByKey(ctx, rt.keyForApp(msg.AppID), m)
+		case *wire.RankRequest:
+			return rt.routeByKey(ctx, msg.Category, m)
+		case *wire.DataUploadBatch:
+			return rt.routeBatch(ctx, msg)
+		case *wire.Ping:
+			return rt.fanOutPing(ctx, msg)
+		case *wire.ClusterHello:
+			return &wire.ClusterHello{Node: rt.name, Role: RoleRouter}, nil
+		default:
+			// Replication and resync traffic goes node-to-node, never
+			// through the router.
+			rt.unroutable.Inc()
+			return &wire.Ack{OK: false, Code: 400,
+				Message: fmt.Sprintf("cluster: %s is not routable", m.Type())}, nil
+		}
+	}
+}
+
+// routeByKey forwards m to the leader of the shard owning key.
+func (rt *Router) routeByKey(ctx context.Context, key string, m wire.Message) (wire.Message, error) {
+	shard := rt.reg.ShardFor(key)
+	if shard == "" {
+		return &wire.Ack{OK: false, Code: 503, Message: "cluster: no shards registered"}, nil
+	}
+	return rt.sendToShard(ctx, shard, m)
+}
+
+// sendToShard delivers m to the shard's leader with retry, backoff, and
+// failover discovery between attempts.
+func (rt *Router) sendToShard(ctx context.Context, shard string, m wire.Message) (wire.Message, error) {
+	var lastErr error
+	for attempt := 0; attempt <= rt.attempts; attempt++ {
+		if attempt > 0 {
+			rt.retries.Inc()
+			if d := rt.backoff.Delay(attempt - 1); d > 0 {
+				select {
+				case <-rt.clock.After(d):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+		}
+		leader, ok := rt.reg.LeaderOf(shard)
+		if !ok {
+			lastErr = fmt.Errorf("cluster: shard %s has no leader", shard)
+			rt.discoverLeader(ctx, shard, "")
+			continue
+		}
+		s, err := rt.conn(leader)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := s.Send(ctx, m)
+		if err != nil {
+			lastErr = fmt.Errorf("cluster: %s: %w", leader.Name, err)
+			rt.dropConn(leader.Name)
+			rt.discoverLeader(ctx, shard, leader.Name)
+			continue
+		}
+		if ack, isAck := resp.(*wire.Ack); isAck && !ack.OK && ack.Code == 503 {
+			// The registry's "leader" answered as a replica: it was
+			// demoted (or is mid-restart). Probe for the promotion.
+			lastErr = fmt.Errorf("cluster: %s refused: %s", leader.Name, ack.Message)
+			rt.discoverLeader(ctx, shard, leader.Name)
+			continue
+		}
+		rt.countRouted(shard)
+		return resp, nil
+	}
+	return nil, fmt.Errorf("cluster: shard %s unavailable after %d attempts: %w",
+		shard, rt.attempts+1, lastErr)
+}
+
+// discoverLeader probes a shard's members for one that currently claims
+// leadership and reconciles the registry with what it finds. suspect is
+// the member that just failed (skipped).
+func (rt *Router) discoverLeader(ctx context.Context, shard, suspect string) {
+	for _, m := range rt.reg.MembersOf(shard) {
+		if m.Name == suspect {
+			continue
+		}
+		s, err := rt.conn(m)
+		if err != nil {
+			continue
+		}
+		resp, err := s.Send(ctx, &wire.ClusterHello{Node: rt.name, Role: RoleRouter})
+		if err != nil {
+			rt.dropConn(m.Name)
+			continue
+		}
+		hello, ok := resp.(*wire.ClusterHello)
+		if !ok {
+			continue
+		}
+		rt.reg.MarkAlive(m.Name, hello.AppliedLSN)
+		if hello.Role == RoleLeader && m.Role != RoleLeader {
+			if suspect != "" {
+				_ = rt.reg.SetRole(suspect, RoleReplica)
+			}
+			_ = rt.reg.SetRole(m.Name, RoleLeader)
+			rt.failovers.Inc()
+			return
+		}
+	}
+}
+
+// routeBatch splits a batch by owning shard, forwards the sub-batches,
+// and merges the sub-acks back into the single accepted/total shape the
+// server's own batch handler produces (200 all, 207 partial, 400 none).
+// Any shard failing entirely fails the whole batch retryably — the
+// ReportID dedup window makes the client's resend of already-stored
+// sub-batches harmless.
+func (rt *Router) routeBatch(ctx context.Context, batch *wire.DataUploadBatch) (wire.Message, error) {
+	if len(batch.Uploads) == 0 {
+		return &wire.Ack{OK: false, Code: 400, Message: "empty report batch"}, nil
+	}
+	byShard := make(map[string][]wire.DataUpload)
+	var order []string // deterministic forward order: first appearance
+	for _, up := range batch.Uploads {
+		shard := rt.reg.ShardFor(rt.keyForApp(up.AppID))
+		if shard == "" {
+			return &wire.Ack{OK: false, Code: 503, Message: "cluster: no shards registered"}, nil
+		}
+		if _, ok := byShard[shard]; !ok {
+			order = append(order, shard)
+		}
+		byShard[shard] = append(byShard[shard], up)
+	}
+	accepted, total := 0, len(batch.Uploads)
+	for _, shard := range order {
+		sub := byShard[shard]
+		resp, err := rt.sendToShard(ctx, shard, &wire.DataUploadBatch{Uploads: sub})
+		if err != nil {
+			return &wire.Ack{OK: false, Code: 503,
+				Message: fmt.Sprintf("cluster: shard %s unavailable mid-batch", shard)}, nil
+		}
+		ack, ok := resp.(*wire.Ack)
+		if !ok {
+			return &wire.Ack{OK: false, Code: 502,
+				Message: fmt.Sprintf("cluster: shard %s answered %s to a batch", shard, resp.Type())}, nil
+		}
+		switch {
+		case ack.OK && ack.Code == 200:
+			accepted += len(sub)
+		case ack.OK && ack.Code == 207:
+			var a, n int
+			if _, err := fmt.Sscanf(ack.Message, "stored %d/%d", &a, &n); err == nil {
+				accepted += a
+			}
+		}
+	}
+	switch {
+	case accepted == 0:
+		return &wire.Ack{OK: false, Code: 400,
+			Message: fmt.Sprintf("no report in batch of %d matched an active task", total)}, nil
+	case accepted < total:
+		return &wire.Ack{OK: true, Code: 207,
+			Message: fmt.Sprintf("stored %d/%d", accepted, total)}, nil
+	default:
+		return &wire.Ack{OK: true, Code: 200,
+			Message: fmt.Sprintf("stored %d/%d", accepted, total)}, nil
+	}
+}
+
+// fanOutPing asks every shard for the device's pending schedule: any
+// shard may own an app the device participates in. The first reply
+// carrying a schedule wins; otherwise the first OK heartbeat.
+func (rt *Router) fanOutPing(ctx context.Context, p *wire.Ping) (wire.Message, error) {
+	shards := rt.reg.Shards()
+	if len(shards) == 0 {
+		return &wire.Ack{OK: false, Code: 503, Message: "cluster: no shards registered"}, nil
+	}
+	var firstOK *wire.Ack
+	var lastErr error
+	for _, shard := range shards {
+		resp, err := rt.sendToShard(ctx, shard, p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if ack, ok := resp.(*wire.Ack); ok {
+			if ack.OK && len(ack.Payload) > 0 {
+				return ack, nil
+			}
+			if ack.OK && firstOK == nil {
+				firstOK = ack
+			}
+		}
+	}
+	if firstOK != nil {
+		return firstOK, nil
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return &wire.Ack{OK: false, Code: 503, Message: "cluster: no shard answered ping"}, nil
+}
+
+// HeartbeatOnce probes every non-router member, marks liveness, and
+// reconciles roles the heartbeat discovers changed (a promotion the
+// router has not routed through yet). Returns how many members answered.
+func (rt *Router) HeartbeatOnce(ctx context.Context) int {
+	answered := 0
+	for _, shard := range rt.reg.Shards() {
+		for _, m := range rt.reg.MembersOf(shard) {
+			s, err := rt.conn(m)
+			if err != nil {
+				continue
+			}
+			resp, err := s.Send(ctx, &wire.ClusterHello{Node: rt.name, Role: RoleRouter})
+			if err != nil {
+				rt.dropConn(m.Name)
+				continue
+			}
+			hello, ok := resp.(*wire.ClusterHello)
+			if !ok {
+				continue
+			}
+			rt.reg.MarkAlive(m.Name, hello.AppliedLSN)
+			if hello.Role != m.Role && (hello.Role == RoleLeader || hello.Role == RoleReplica) {
+				if hello.Role == RoleLeader {
+					// Demote whoever the registry thought led this shard.
+					if old, ok := rt.reg.LeaderOf(shard); ok && old.Name != m.Name {
+						_ = rt.reg.SetRole(old.Name, RoleReplica)
+					}
+					rt.failovers.Inc()
+				}
+				_ = rt.reg.SetRole(m.Name, hello.Role)
+			}
+			answered++
+		}
+	}
+	rt.heartbeats.Inc()
+	return answered
+}
+
+// RunHeartbeats probes on a cadence until ctx ends.
+func (rt *Router) RunHeartbeats(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	ticker := rt.clock.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C():
+			rt.HeartbeatOnce(ctx)
+		}
+	}
+}
+
+// MemberHandler answers ClusterHello probes on a member node — naming
+// itself and reporting its live role and applied LSN — and passes every
+// other message to next. role and applied are called per probe so a
+// promotion is visible on the very next heartbeat.
+func MemberHandler(name string, role func() string, applied func() uint64, next transport.Handler) transport.Handler {
+	return func(ctx context.Context, m wire.Message) (wire.Message, error) {
+		if _, ok := m.(*wire.ClusterHello); ok {
+			h := &wire.ClusterHello{Node: name, Role: role()}
+			if applied != nil {
+				h.AppliedLSN = applied()
+			}
+			return h, nil
+		}
+		return next(ctx, m)
+	}
+}

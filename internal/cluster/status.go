@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// DebugPath serves the cluster status JSON (sorctl cluster status).
+const DebugPath = "/debug/cluster"
+
+// MemberStatus is one member's row in the status payload.
+type MemberStatus struct {
+	Name       string `json:"name"`
+	Role       string `json:"role"`
+	Addr       string `json:"addr"`
+	Live       bool   `json:"live"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// SilentForMS is the time since the last heartbeat reply; -1 before
+	// the first one.
+	SilentForMS int64 `json:"silent_for_ms"`
+}
+
+// ShardStatus is one shard and its members.
+type ShardStatus struct {
+	Name    string         `json:"name"`
+	Leader  string         `json:"leader,omitempty"`
+	Members []MemberStatus `json:"members"`
+}
+
+// AppRoute is one app's resolved placement.
+type AppRoute struct {
+	AppID    string `json:"app_id"`
+	Category string `json:"category"`
+	Shard    string `json:"shard"`
+}
+
+// Status is the full /debug/cluster payload.
+type Status struct {
+	Router string        `json:"router,omitempty"`
+	Shards []ShardStatus `json:"shards"`
+	Apps   []AppRoute    `json:"apps,omitempty"`
+}
+
+// Status snapshots the registry: every shard with its members' roles and
+// liveness, and every registered app's resolved placement.
+func (r *Registry) Status() Status {
+	r.mu.Lock()
+	now := r.clock.Now()
+	var st Status
+	for _, shard := range r.shards {
+		ss := ShardStatus{Name: shard}
+		for _, m := range r.members {
+			if m.Shard != shard {
+				continue
+			}
+			ms := MemberStatus{
+				Name:        m.Name,
+				Role:        m.Role,
+				Addr:        m.Addr,
+				AppliedLSN:  m.appliedLSN,
+				SilentForMS: -1,
+			}
+			if m.everSeen {
+				ms.SilentForMS = now.Sub(m.lastSeen).Milliseconds()
+				ms.Live = now.Sub(m.lastSeen) <= r.ttl
+			}
+			if m.Role == RoleLeader {
+				ss.Leader = m.Name
+			}
+			ss.Members = append(ss.Members, ms)
+		}
+		sort.Slice(ss.Members, func(i, j int) bool { return ss.Members[i].Name < ss.Members[j].Name })
+		st.Shards = append(st.Shards, ss)
+	}
+	apps := make([]AppRoute, 0, len(r.apps))
+	for id, cat := range r.apps {
+		apps = append(apps, AppRoute{AppID: id, Category: cat})
+	}
+	r.mu.Unlock()
+	// Resolve placements outside the lock (ShardFor locks again).
+	for i := range apps {
+		apps[i].Shard = r.ShardFor(apps[i].Category)
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i].AppID < apps[j].AppID })
+	st.Apps = apps
+	return st
+}
+
+// Status is the router's view: the registry snapshot stamped with the
+// router's own name.
+func (rt *Router) Status() Status {
+	st := rt.reg.Status()
+	st.Router = rt.name
+	return st
+}
+
+// RegisterDebug mounts the status endpoint. src is called per request so
+// the payload always reflects the current map (roles move on failover).
+func RegisterDebug(mux *http.ServeMux, src func() Status) {
+	mux.HandleFunc(DebugPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(src())
+	})
+}

@@ -105,14 +105,19 @@ type Leader struct {
 	maxBytes   int64
 	statePath  string
 	reg        *obs.Registry
+	snapSource SnapshotSource
 
 	mu        sync.Mutex
 	followers map[string]*followerState
+	resyncs   map[string]*resyncSession
 
 	followersGauge *obs.Gauge
 	pulls          *obs.Counter
 	shipped        *obs.Counter
 	compactedPulls *obs.Counter
+	resyncsStarted *obs.Counter
+	snapChunks     *obs.Counter
+	snapBytes      *obs.Counter
 }
 
 // NewLeader builds a Leader over an open log. With WithStateDir it
@@ -135,6 +140,9 @@ func NewLeader(log *wal.Log, opts ...LeaderOption) (*Leader, error) {
 	ld.pulls = ld.reg.Counter("sor_replica_pulls_total")
 	ld.shipped = ld.reg.Counter("sor_replica_shipped_records_total")
 	ld.compactedPulls = ld.reg.Counter("sor_replica_compacted_pulls_total")
+	ld.resyncsStarted = ld.reg.Counter("sor_replica_resyncs_total")
+	ld.snapChunks = ld.reg.Counter("sor_replica_snap_chunks_total")
+	ld.snapBytes = ld.reg.Counter("sor_replica_snap_bytes_total")
 	if err := ld.loadState(); err != nil {
 		return nil, err
 	}

@@ -59,8 +59,11 @@ func sortFollowers(fs []FollowerStatus) {
 // same endpoint, codec and fault machinery as phone traffic.
 func Handler(ld *Leader, next transport.Handler) transport.Handler {
 	return func(ctx context.Context, m wire.Message) (wire.Message, error) {
-		if p, ok := m.(*wire.ReplPull); ok {
+		switch p := m.(type) {
+		case *wire.ReplPull:
 			return ld.HandlePull(p)
+		case *wire.SnapPull:
+			return ld.HandleSnapPull(p)
 		}
 		return next(ctx, m)
 	}

@@ -49,6 +49,7 @@ type durableOptions struct {
 	snapshotPath     string
 	walEnabled       bool
 	sync             wal.SyncPolicy
+	syncWait         time.Duration
 	segmentBytes     int64
 	metrics          *obs.Registry
 	clock            vclock.Clock
@@ -81,6 +82,14 @@ func WithoutWAL() DurableOption {
 // a background cadence).
 func WithWALSync(p wal.SyncPolicy) DurableOption {
 	return func(o *durableOptions) { o.sync = p }
+}
+
+// WithWALSyncWait adds a fixed wait to every acked WAL flush, modeling
+// a dedicated commit device with that service time (wal.Options.SyncWait).
+// Capacity benchmarks on shared hosts use it; production configurations
+// must not.
+func WithWALSyncWait(d time.Duration) DurableOption {
+	return func(o *durableOptions) { o.syncWait = d }
 }
 
 // WithSegmentBytes sets the WAL segment rotation threshold.
@@ -180,9 +189,15 @@ func (b *DurableBackend) Open() (*Store, error) {
 		b.recovered.Add(int64(stats.Records))
 		log, err := wal.Open(b.WALDir(), wal.Options{
 			Sync:         b.opts.sync,
+			SyncWait:     b.opts.syncWait,
 			SegmentBytes: b.opts.segmentBytes,
 			Metrics:      walObsMetrics(b.opts.metrics),
 			Clock:        b.opts.clock,
+			// A snapshot-shipped data dir has a snapshot watermark but no
+			// segments: seed the fresh log so the first replicated append
+			// lands at exactly the LSN the leader assigned it. A normal
+			// recovery ignores this (its segments carry the numbering).
+			FirstLSN: st.restoredLSN + 1,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("store: wal open: %w", err)
@@ -243,6 +258,46 @@ func (b *DurableBackend) Checkpoint() error {
 	b.checkpoints.Inc()
 	b.checkpointMS.Observe(float64(time.Since(start).Milliseconds()))
 	return nil
+}
+
+// SnapshotForShip cuts a consistent snapshot image for resync shipping
+// and returns it with its embedded WAL watermark, without touching the
+// on-disk checkpoint or truncating anything. The same snapMu write-lock
+// Checkpoint takes makes the image an exact cut: the caller can hand the
+// bytes to a compacted-past follower knowing replication from
+// watermark+1 resumes exactly where the image ends.
+func (b *DurableBackend) SnapshotForShip() ([]byte, uint64, error) {
+	st := b.st
+	if st == nil {
+		return nil, 0, errors.New("store: backend not open")
+	}
+	st.snapMu.Lock()
+	var watermark uint64
+	if b.log != nil {
+		watermark = b.log.LastLSN()
+	}
+	data, err := st.Snapshot()
+	st.snapMu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, watermark, nil
+}
+
+// InstallShippedSnapshot resets dir to hold exactly one shipped snapshot
+// image: any stale snapshot.json and WAL segments are removed, the image
+// lands via the usual temp+rename, and the next DurableBackend.Open
+// restores from it with an empty log seeded at the image's watermark+1.
+// This is the follower half of resync — the replacement for an operator
+// hand-copying a leader's data dir.
+func InstallShippedSnapshot(dir string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating data dir: %w", err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "wal")); err != nil {
+		return fmt.Errorf("store: clearing stale wal: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, "snapshot.json"), data)
 }
 
 // Close checkpoints one final time and closes the WAL cleanly.

@@ -100,19 +100,39 @@ func WithClientClock(clk vclock.Clock) ClientOption {
 	return func(c *Client) { c.clock = clk }
 }
 
+// WithClientRetry applies a consolidated transport.Retry envelope — the
+// single replacement for WithClientRetries + WithClientBackoff +
+// WithClientSeed.
+func WithClientRetry(r transport.Retry) ClientOption {
+	return func(c *Client) {
+		c.retries = r.ResolveAttempts(c.retries)
+		c.base = r.ResolveBase(c.base)
+		c.cap = r.ResolveCap(c.cap)
+		if r.Seed != 0 {
+			c.seed, c.seeded = r.Seed, true
+		}
+	}
+}
+
 // WithClientRetries sets how many times a Send survives a dead connection
 // before giving up (default 2, like the HTTP client).
+//
+// Deprecated: use WithClientRetry.
 func WithClientRetries(n int) ClientOption {
 	return func(c *Client) { c.retries = n }
 }
 
 // WithClientBackoff sets the reconnect backoff envelope (default 50 ms
 // base, 2 s cap — full jitter via transport.Backoff).
+//
+// Deprecated: use WithClientRetry.
 func WithClientBackoff(base, cap time.Duration) ClientOption {
 	return func(c *Client) { c.base, c.cap = base, cap }
 }
 
 // WithClientSeed makes the reconnect jitter deterministic.
+//
+// Deprecated: use WithClientRetry.
 func WithClientSeed(seed int64) ClientOption {
 	return func(c *Client) { c.seed, c.seeded = seed, true }
 }

@@ -173,22 +173,30 @@ type ClientOption func(*Client)
 
 // WithRetries sets how many times transport-level failures are retried
 // (default 2).
+//
+// Deprecated: use WithRetry.
 func WithRetries(n int) ClientOption {
 	return func(c *Client) { c.retries = n }
 }
 
 // WithBackoff sets the base backoff between retries (default 50 ms,
 // doubling per attempt before jitter).
+//
+// Deprecated: use WithRetry.
 func WithBackoff(d time.Duration) ClientOption {
 	return func(c *Client) { c.backoff = d }
 }
 
 // WithBackoffCap bounds the exponential backoff growth (default 2 s).
+//
+// Deprecated: use WithRetry.
 func WithBackoffCap(d time.Duration) ClientOption {
 	return func(c *Client) { c.backoffCap = d }
 }
 
 // WithRetrySeed makes the retry jitter deterministic (tests).
+//
+// Deprecated: use WithRetry.
 func WithRetrySeed(seed int64) ClientOption {
 	return func(c *Client) { c.jitterSeed, c.jitterSeeded = seed, true }
 }

@@ -120,8 +120,23 @@ type Options struct {
 	// their next record into this one. Costs one window of latency per
 	// commit, buys near-full coalescing at saturation.
 	GroupWindow time.Duration
+	// SyncWait, when positive, adds a fixed wait to every acked flush
+	// (the SyncEach inline fsync and the SyncGrouped batch fsync),
+	// modeling a dedicated commit device with that service time.
+	// Capacity benchmarks on shared hosts use it to measure software
+	// scalability where the host's one disk would otherwise be a
+	// bottleneck shared across logs that deploy to separate machines.
+	// It has no place in production configurations.
+	SyncWait time.Duration
 	// Metrics receives counter callbacks.
 	Metrics Metrics
+	// FirstLSN seeds the log's numbering when the directory holds no
+	// segments yet (0 means start at 1, the normal fresh-boot case).
+	// A snapshot-shipped replica sets it to the shipped snapshot's
+	// watermark + 1 so its first replicated append lands at exactly the
+	// LSN the leader assigned it. Ignored whenever segments exist — an
+	// established log already knows its own position.
+	FirstLSN uint64
 	// Clock backs the SyncOS background flusher's cadence. Nil means the
 	// wall clock; simulations pass a *vclock.Virtual so flush ticks ride
 	// virtual time. The group-commit linger window deliberately stays on
@@ -247,10 +262,14 @@ func Open(dir string, opts Options) (*Log, error) {
 	l.progress = sync.NewCond(&l.mu)
 
 	if len(segs) == 0 {
-		if err := l.openSegment(1, 0); err != nil {
+		first := opts.FirstLSN
+		if first == 0 {
+			first = 1
+		}
+		if err := l.openSegment(first, 0); err != nil {
 			return nil, err
 		}
-		l.nextLSN = 1
+		l.nextLSN = first
 	} else {
 		l.sealed = segs[:len(segs)-1]
 		live := segs[len(segs)-1]
@@ -397,6 +416,9 @@ func (l *Log) Enqueue(payload []byte) (uint64, error) {
 		if err := l.f.Sync(); err != nil {
 			l.setErr(err)
 			return 0, err
+		}
+		if l.opts.SyncWait > 0 {
+			time.Sleep(l.opts.SyncWait)
 		}
 		l.opts.Metrics.fsyncs()
 		l.synced = lsn
@@ -693,6 +715,9 @@ func (l *Log) fsyncLocked() {
 	f := l.f
 	l.mu.Unlock()
 	err := f.Sync()
+	if err == nil && l.opts.SyncWait > 0 {
+		time.Sleep(l.opts.SyncWait)
+	}
 	l.mu.Lock()
 	if err != nil {
 		// ErrClosed means rotation sealed the segment mid-flush — and

@@ -346,3 +346,58 @@ func TestMetricsFire(t *testing.T) {
 		t.Fatalf("metrics appends=%d bytes=%d fsyncs=%d seals=%d", appends, bytes, fsyncs, seals)
 	}
 }
+
+func TestOpenFirstLSNSeedsEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{FirstLSN: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastLSN(); got != 41 {
+		t.Fatalf("LastLSN on a seeded empty log = %d, want 41", got)
+	}
+	lsn, err := l.Append([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 42 {
+		t.Fatalf("first append landed at %d, want 42", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening an established log ignores the seed: the segments on disk
+	// already carry the numbering.
+	l2, err := Open(dir, Options{FirstLSN: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastLSN(); got != 42 {
+		t.Fatalf("reopened LastLSN = %d, want 42", got)
+	}
+	if lsn, err := l2.Append([]byte("second")); err != nil || lsn != 43 {
+		t.Fatalf("append after reopen = (%d, %v), want (43, nil)", lsn, err)
+	}
+}
+
+func TestReplayAfterSeededFirstLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{FirstLSN: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir, 100)
+	if len(got) != 5 || got[101] != "r0" || got[105] != "r4" {
+		t.Fatalf("replay after 100 = %v", got)
+	}
+}

@@ -1,0 +1,164 @@
+package wire
+
+import "fmt"
+
+// MaxSnapChunkBytes bounds one SnapChunk's Data — snapshot shipping
+// streams in chunks so a multi-megabyte snapshot never produces a frame
+// the codec's hostile-input limits would reject.
+const MaxSnapChunkBytes = 1 << 20
+
+// SnapPull asks the leader for a slice of its newest durable snapshot.
+// A follower that hit ErrNeedsResync (the leader compacted past its LSN)
+// issues SnapPulls from Offset 0 until the leader reports Done, writes
+// the bytes to a fresh data directory, and rejoins WAL shipping at the
+// snapshot's embedded watermark + 1. Offset 0 opens a resync session:
+// the leader pins its WAL tail, cuts a fresh snapshot, and serves every
+// later offset from that same cached image so the bytes stay consistent
+// even while the leader keeps committing.
+type SnapPull struct {
+	// FollowerID names the requester; the leader keys the cached snapshot
+	// image and the retention pin by it.
+	FollowerID string
+	// Offset is the byte offset into the snapshot image to resume from.
+	Offset uint64
+	// MaxBytes bounds the reply chunk (0 = leader default, capped at
+	// MaxSnapChunkBytes either way).
+	MaxBytes int64
+}
+
+var _ Message = (*SnapPull)(nil)
+
+// Type implements Message.
+func (*SnapPull) Type() MsgType { return TypeSnapPull }
+
+func (m *SnapPull) encodePayload(w *Writer) {
+	w.PutString(m.FollowerID)
+	w.PutUvarint(m.Offset)
+	w.PutUvarint(uint64(m.MaxBytes))
+}
+
+func (m *SnapPull) decodePayload(r *Reader) error {
+	var err error
+	if m.FollowerID, err = r.String(); err != nil {
+		return err
+	}
+	if m.FollowerID == "" {
+		return fmt.Errorf("%w: empty follower id", ErrBadPayload)
+	}
+	if m.Offset, err = r.Uvarint(); err != nil {
+		return err
+	}
+	maxBytes, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	if maxBytes > MaxSnapChunkBytes {
+		return fmt.Errorf("%w: snap pull max bytes %d", ErrBadPayload, maxBytes)
+	}
+	m.MaxBytes = int64(maxBytes)
+	return nil
+}
+
+// SnapChunk is the leader's reply to a SnapPull: a consistent slice of
+// the snapshot image cut for this follower's resync session, plus enough
+// metadata (total size, WAL watermark) for the follower to validate the
+// reassembled file and resume pulling records at WalLSN+1.
+type SnapChunk struct {
+	// WalLSN is the watermark embedded in the snapshot: every WAL record
+	// at or below it is folded into the image. It is constant across all
+	// chunks of one session.
+	WalLSN uint64
+	// TotalSize is the full snapshot image size in bytes.
+	TotalSize uint64
+	// Offset echoes the pull's offset; Data starts there.
+	Offset uint64
+	// Data is the image slice [Offset, Offset+len(Data)).
+	Data []byte
+	// Done reports that Offset+len(Data) == TotalSize — the follower has
+	// the whole image and the leader may drop the session.
+	Done bool
+}
+
+var _ Message = (*SnapChunk)(nil)
+
+// Type implements Message.
+func (*SnapChunk) Type() MsgType { return TypeSnapChunk }
+
+func (m *SnapChunk) encodePayload(w *Writer) {
+	w.PutUvarint(m.WalLSN)
+	w.PutUvarint(m.TotalSize)
+	w.PutUvarint(m.Offset)
+	w.PutBytes(m.Data)
+	w.PutBool(m.Done)
+}
+
+func (m *SnapChunk) decodePayload(r *Reader) error {
+	var err error
+	if m.WalLSN, err = r.Uvarint(); err != nil {
+		return err
+	}
+	if m.TotalSize, err = r.Uvarint(); err != nil {
+		return err
+	}
+	if m.Offset, err = r.Uvarint(); err != nil {
+		return err
+	}
+	if m.Data, err = r.Bytes(); err != nil {
+		return err
+	}
+	if len(m.Data) > MaxSnapChunkBytes {
+		return fmt.Errorf("%w: snap chunk of %d bytes", ErrBadPayload, len(m.Data))
+	}
+	if m.Done, err = r.Bool(); err != nil {
+		return err
+	}
+	if m.Offset+uint64(len(m.Data)) > m.TotalSize {
+		return fmt.Errorf("%w: snap chunk past total size", ErrBadPayload)
+	}
+	return nil
+}
+
+// ClusterHello is the cluster tier's liveness and role probe. The router
+// sends it to a member naming itself; the member replies with its own
+// identity, current role, and applied LSN. A reply whose Role disagrees
+// with the registry (a standby answering "leader" after a failover) is
+// how the router discovers promotions without an operator editing the
+// map file.
+type ClusterHello struct {
+	// Node is the sender's registered name.
+	Node string
+	// Role is the sender's current role: "router" on the probe,
+	// "leader" or "replica" on the reply.
+	Role string
+	// AppliedLSN is the head of the member's log at reply time (0 on the
+	// probe and for nodes without a durable log).
+	AppliedLSN uint64
+}
+
+var _ Message = (*ClusterHello)(nil)
+
+// Type implements Message.
+func (*ClusterHello) Type() MsgType { return TypeClusterHello }
+
+func (m *ClusterHello) encodePayload(w *Writer) {
+	w.PutString(m.Node)
+	w.PutString(m.Role)
+	w.PutUvarint(m.AppliedLSN)
+}
+
+func (m *ClusterHello) decodePayload(r *Reader) error {
+	var err error
+	if m.Node, err = r.String(); err != nil {
+		return err
+	}
+	if m.Node == "" {
+		return fmt.Errorf("%w: empty cluster node name", ErrBadPayload)
+	}
+	if m.Role, err = r.String(); err != nil {
+		return err
+	}
+	if m.AppliedLSN, err = r.Uvarint(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestSnapPullRoundTrip(t *testing.T) {
+	m := &SnapPull{FollowerID: "node-c", Offset: 1 << 16, MaxBytes: 64 << 10}
+	got := roundTrip(t, m).(*SnapPull)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip changed message:\n%+v\n%+v", m, got)
+	}
+}
+
+func TestSnapPullRejectsBadFields(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *SnapPull
+	}{
+		{"empty-follower", &SnapPull{FollowerID: ""}},
+		{"huge-chunk", &SnapPull{FollowerID: "f", MaxBytes: MaxSnapChunkBytes + 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := Encode(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Decode(b); !errors.Is(err, ErrBadPayload) {
+				t.Fatalf("decode = %v, want ErrBadPayload", err)
+			}
+		})
+	}
+}
+
+func TestSnapChunkRoundTrip(t *testing.T) {
+	m := &SnapChunk{
+		WalLSN:    512,
+		TotalSize: 10,
+		Offset:    4,
+		Data:      []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	got := roundTrip(t, m).(*SnapChunk)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip changed message:\n%+v\n%+v", m, got)
+	}
+	// Final chunk: Done set, Data reaching exactly TotalSize.
+	final := &SnapChunk{WalLSN: 512, TotalSize: 10, Offset: 8, Data: []byte{1, 2}, Done: true}
+	if got := roundTrip(t, final).(*SnapChunk); !got.Done {
+		t.Fatal("done flag lost in round trip")
+	}
+}
+
+func TestSnapChunkRejectsOverrun(t *testing.T) {
+	// A chunk extending past its own declared TotalSize is corrupt.
+	m := &SnapChunk{WalLSN: 1, TotalSize: 3, Offset: 2, Data: []byte{1, 2}}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(b); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("decode = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestClusterHelloRoundTrip(t *testing.T) {
+	m := &ClusterHello{Node: "shard-a-1", Role: "leader", AppliedLSN: 9001}
+	got := roundTrip(t, m).(*ClusterHello)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip changed message:\n%+v\n%+v", m, got)
+	}
+}
+
+func TestClusterHelloRejectsEmptyNode(t *testing.T) {
+	b, err := Encode(&ClusterHello{Node: "", Role: "router"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(b); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("decode = %v, want ErrBadPayload", err)
+	}
+}

@@ -60,6 +60,12 @@ func fuzzSeeds() []Message {
 			Records: [][]byte{{0x01, 0x02, 0x03}, []byte(`{"op":"feat"}`)}},
 		&ReplRecords{FirstLSN: 3, LeaderLSN: 40, Compacted: true},
 		&EpochInvalidate{Category: "coffee-shop", Epoch: 7},
+		&SnapPull{FollowerID: "node-2", Offset: 4096, MaxBytes: 64 << 10},
+		&SnapChunk{WalLSN: 40, TotalSize: 8, Offset: 4,
+			Data: []byte{0x7b, 0x22, 0x76, 0x22}, Done: false},
+		&SnapChunk{WalLSN: 40, TotalSize: 8, Offset: 4,
+			Data: []byte{0x31, 0x32, 0x7d, 0x0a}, Done: true},
+		&ClusterHello{Node: "shard-a-1", Role: "leader", AppliedLSN: 77},
 	}
 }
 

@@ -58,6 +58,9 @@ const (
 	TypeReplPull
 	TypeReplRecords
 	TypeEpochInvalidate
+	TypeSnapPull
+	TypeSnapChunk
+	TypeClusterHello
 )
 
 // String names the message type.
@@ -87,6 +90,12 @@ func (t MsgType) String() string {
 		return "repl-records"
 	case TypeEpochInvalidate:
 		return "epoch-invalidate"
+	case TypeSnapPull:
+		return "snap-pull"
+	case TypeSnapChunk:
+		return "snap-chunk"
+	case TypeClusterHello:
+		return "cluster-hello"
 	default:
 		return fmt.Sprintf("unknown(%d)", byte(t))
 	}
@@ -378,6 +387,12 @@ func newMessage(t MsgType) (Message, error) {
 		return &ReplRecords{}, nil
 	case TypeEpochInvalidate:
 		return &EpochInvalidate{}, nil
+	case TypeSnapPull:
+		return &SnapPull{}, nil
+	case TypeSnapChunk:
+		return &SnapChunk{}, nil
+	case TypeClusterHello:
+		return &ClusterHello{}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", byte(t))
 	}
